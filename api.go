@@ -1,0 +1,217 @@
+// Package timingsubg is a Go implementation of time-constrained
+// continuous subgraph search over streaming graphs (Li, Zou, Özsu, Zhao —
+// ICDE 2019). It finds, continuously, every subgraph of a sliding-window
+// snapshot that is isomorphic to a query graph and whose edge timestamps
+// respect the query's timing-order constraints.
+//
+// The public API is a thin façade over the internal engine:
+//
+//	labels := timingsubg.NewLabels()
+//	b := timingsubg.NewQueryBuilder()
+//	v := b.AddVertex(labels.Intern("victim"))
+//	c := b.AddVertex(labels.Intern("cc-server"))
+//	reg := b.AddEdge(v, c)
+//	cmd := b.AddEdge(c, v)
+//	b.Before(reg, cmd) // registration precedes command
+//	q, _ := b.Build()
+//
+//	s, _ := timingsubg.NewSearcher(q, timingsubg.Options{
+//		Window:  30,
+//		OnMatch: func(m *timingsubg.Match) { fmt.Println(m) },
+//	})
+//	for _, e := range edges {
+//		s.Feed(e)
+//	}
+//	s.Close()
+//
+// See examples/ for runnable scenarios and DESIGN.md for architecture.
+package timingsubg
+
+import (
+	"errors"
+	"io"
+
+	"timingsubg/internal/core"
+	"timingsubg/internal/graph"
+	"timingsubg/internal/match"
+	"timingsubg/internal/query"
+)
+
+// Core type aliases so users never import internal packages.
+type (
+	// Query is an immutable continuous query graph with timing order.
+	Query = query.Query
+	// QueryBuilder assembles a Query.
+	QueryBuilder = query.Builder
+	// Decomposition is a TC decomposition of a query.
+	Decomposition = query.Decomposition
+	// Match is a complete time-constrained match.
+	Match = match.Match
+	// Edge is a streaming-graph edge.
+	Edge = graph.Edge
+	// VertexID identifies a data vertex.
+	VertexID = graph.VertexID
+	// EdgeID identifies a data edge.
+	EdgeID = graph.EdgeID
+	// Timestamp is an edge arrival time.
+	Timestamp = graph.Timestamp
+	// Label is an interned label.
+	Label = graph.Label
+	// Labels is a label intern table.
+	Labels = graph.Labels
+)
+
+// NewLabels returns an empty label intern table.
+func NewLabels() *Labels { return graph.NewLabels() }
+
+// NewQueryBuilder returns an empty query builder.
+func NewQueryBuilder() *QueryBuilder { return query.NewBuilder() }
+
+// Decompose computes the cost-model-guided TC decomposition of q.
+func Decompose(q *Query) *Decomposition { return query.Decompose(q) }
+
+// Storage selects the partial-match store.
+type Storage = core.Storage
+
+// Storage backends.
+const (
+	// MSTree is the match-store tree backend (default, recommended).
+	MSTree = core.MSTree
+	// Independent stores each partial match separately (ablation).
+	Independent = core.Independent
+)
+
+// LockScheme selects the concurrency-control scheme.
+type LockScheme = core.LockScheme
+
+// Locking schemes for Workers > 1.
+const (
+	// FineGrained is the paper's per-item locking (default).
+	FineGrained = core.FineGrained
+	// AllLocks acquires all locks up front (baseline).
+	AllLocks = core.AllLocks
+)
+
+// Options configures a Searcher.
+type Options struct {
+	// Window is the time-based sliding-window duration |W| (the
+	// paper's model). Exactly one of Window and CountWindow must be
+	// positive.
+	Window Timestamp
+	// CountWindow, when positive, uses a count-based sliding window
+	// holding the most recent CountWindow edges instead of a
+	// time-based one. Timing-order match semantics are unchanged;
+	// only the expiry rule differs.
+	CountWindow int
+	// OnMatch receives every complete match; it may be nil when only
+	// counters are needed. The callback is serialized.
+	OnMatch func(*Match)
+	// Storage selects the partial-match backend (default MSTree).
+	Storage Storage
+	// Workers > 1 enables concurrent execution with that many in-flight
+	// edge transactions (requires MSTree storage).
+	Workers int
+	// LockScheme selects the concurrency control when Workers > 1.
+	LockScheme LockScheme
+	// Decomposition overrides the automatic TC decomposition.
+	Decomposition *Decomposition
+}
+
+// Searcher is a continuous time-constrained subgraph searcher over one
+// query and one sliding window. Feed edges in timestamp order; matches
+// are delivered to OnMatch as they complete.
+type Searcher struct {
+	stream graph.Windower
+	eng    *core.Engine
+	par    *core.Parallel
+}
+
+// ErrBadOptions reports invalid Searcher options.
+var ErrBadOptions = errors.New("timingsubg: invalid options")
+
+// NewSearcher builds a Searcher for q.
+func NewSearcher(q *Query, opts Options) (*Searcher, error) {
+	switch {
+	case opts.Window > 0 && opts.CountWindow > 0:
+		return nil, errors.Join(ErrBadOptions, errors.New("set only one of Window and CountWindow"))
+	case opts.Window <= 0 && opts.CountWindow <= 0:
+		return nil, errors.Join(ErrBadOptions, errors.New("one of Window and CountWindow must be positive"))
+	}
+	if opts.Workers > 1 && opts.Storage == Independent {
+		return nil, errors.Join(ErrBadOptions, errors.New("concurrent execution requires the MSTree backend"))
+	}
+	eng := core.New(q, core.Config{
+		Storage:       opts.Storage,
+		Decomposition: opts.Decomposition,
+		OnMatch:       opts.OnMatch,
+	})
+	var w graph.Windower
+	if opts.CountWindow > 0 {
+		w = graph.NewCountStream(opts.CountWindow)
+	} else {
+		w = graph.NewStream(opts.Window)
+	}
+	s := &Searcher{stream: w, eng: eng}
+	if opts.Workers > 1 {
+		s.par = core.NewParallel(eng, opts.LockScheme, opts.Workers)
+	}
+	return s, nil
+}
+
+// Feed pushes one edge into the stream. The edge's Time must exceed the
+// previous edge's; its ID is assigned by the stream and returned. Expired
+// edges are retired and the new edge is matched before Feed returns (in
+// concurrent mode, before the transaction completes asynchronously).
+func (s *Searcher) Feed(e Edge) (EdgeID, error) {
+	stored, expired, err := s.stream.Push(e)
+	if err != nil {
+		return 0, err
+	}
+	if s.par != nil {
+		s.par.Process(stored, expired)
+	} else {
+		s.eng.Process(stored, expired)
+	}
+	return stored.ID, nil
+}
+
+// Close drains in-flight work (concurrent mode) and finalizes counters.
+// The Searcher must not be fed after Close.
+func (s *Searcher) Close() {
+	if s.par != nil {
+		s.par.Wait()
+	}
+}
+
+// MatchCount returns the number of matches reported so far. In concurrent
+// mode call Close (or accept a lower bound) before reading.
+func (s *Searcher) MatchCount() int64 { return s.eng.Stats().Matches.Load() }
+
+// Discarded returns how many fed edges were filtered as discardable
+// (matched a query edge label but could never complete a match).
+func (s *Searcher) Discarded() int64 { return s.eng.Stats().Discarded.Load() }
+
+// SpaceBytes estimates resident bytes of maintained partial matches.
+// Call while no Feed is in flight.
+func (s *Searcher) SpaceBytes() int64 { return s.eng.SpaceBytes() }
+
+// PartialMatches returns the number of stored partial matches.
+func (s *Searcher) PartialMatches() int64 { return s.eng.PartialMatchCount() }
+
+// K returns the size of the TC decomposition in use.
+func (s *Searcher) K() int { return s.eng.K() }
+
+// InWindow returns the number of edges currently inside the window.
+func (s *Searcher) InWindow() int { return s.stream.Len() }
+
+// WriteState dumps the engine's live expansion-list populations and
+// counters for diagnostics. Call while no Feed is in flight.
+func (s *Searcher) WriteState(w io.Writer) { s.eng.WriteState(w) }
+
+// CurrentMatches enumerates the matches standing in the current window
+// (reported and not yet expired). The Match passed to fn is scratch —
+// Clone to retain. Call while no Feed is in flight.
+func (s *Searcher) CurrentMatches(fn func(*Match) bool) { s.eng.CurrentMatches(fn) }
+
+// CurrentMatchCount returns the number of standing matches.
+func (s *Searcher) CurrentMatchCount() int { return s.eng.CurrentMatchCount() }

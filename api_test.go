@@ -1,0 +1,195 @@
+package timingsubg_test
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"testing"
+
+	"timingsubg"
+)
+
+// buildTwoHop builds the query a→b→c with (a→b) ≺ (b→c).
+func buildTwoHop(t *testing.T) (*timingsubg.Query, *timingsubg.Labels, []timingsubg.Label) {
+	t.Helper()
+	labels := timingsubg.NewLabels()
+	ls := []timingsubg.Label{labels.Intern("a"), labels.Intern("b"), labels.Intern("c")}
+	b := timingsubg.NewQueryBuilder()
+	va, vb, vc := b.AddVertex(ls[0]), b.AddVertex(ls[1]), b.AddVertex(ls[2])
+	e1 := b.AddEdge(va, vb)
+	e2 := b.AddEdge(vb, vc)
+	b.Before(e1, e2)
+	q, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q, labels, ls
+}
+
+func TestSearcherBasics(t *testing.T) {
+	q, _, ls := buildTwoHop(t)
+	var got []string
+	s, err := timingsubg.NewSearcher(q, timingsubg.Options{
+		Window:  10,
+		OnMatch: func(m *timingsubg.Match) { got = append(got, m.Key()) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed := func(f, to int64, fl, tl timingsubg.Label, tm int64) {
+		t.Helper()
+		if _, err := s.Feed(timingsubg.Edge{
+			From: timingsubg.VertexID(f), To: timingsubg.VertexID(to),
+			FromLabel: fl, ToLabel: tl, Time: timingsubg.Timestamp(tm),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	feed(1, 2, ls[0], ls[1], 1) // a→b
+	feed(2, 3, ls[1], ls[2], 2) // b→c: completes
+	feed(2, 4, ls[1], ls[2], 3) // b→c again: second match
+	s.Close()
+	if len(got) != 2 {
+		t.Fatalf("want 2 matches, got %v", got)
+	}
+	if s.MatchCount() != 2 {
+		t.Errorf("MatchCount: want 2, got %d", s.MatchCount())
+	}
+	if s.InWindow() != 3 {
+		t.Errorf("InWindow: want 3, got %d", s.InWindow())
+	}
+	if s.K() != 1 {
+		t.Errorf("two ordered edges are one TC-query; got k=%d", s.K())
+	}
+	if s.SpaceBytes() <= 0 || s.PartialMatches() <= 0 {
+		t.Error("space accounting must be positive with live partials")
+	}
+}
+
+func TestSearcherTimingOrderFilters(t *testing.T) {
+	q, _, ls := buildTwoHop(t)
+	s, err := timingsubg.NewSearcher(q, timingsubg.Options{Window: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// b→c first, then a→b: structure matches, timing order does not.
+	if _, err := s.Feed(timingsubg.Edge{From: 2, To: 3, FromLabel: ls[1], ToLabel: ls[2], Time: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Feed(timingsubg.Edge{From: 1, To: 2, FromLabel: ls[0], ToLabel: ls[1], Time: 2}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if s.MatchCount() != 0 {
+		t.Error("reversed arrivals must not match under the timing order")
+	}
+	if s.Discarded() == 0 {
+		t.Error("the b→c edge is discardable (no a→b precedes it)")
+	}
+}
+
+func TestSearcherWindowExpiry(t *testing.T) {
+	q, _, ls := buildTwoHop(t)
+	s, err := timingsubg.NewSearcher(q, timingsubg.Options{Window: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	must := func(e timingsubg.Edge) {
+		t.Helper()
+		if _, err := s.Feed(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(timingsubg.Edge{From: 1, To: 2, FromLabel: ls[0], ToLabel: ls[1], Time: 1})
+	// Let it expire: window (2,5] no longer holds t=1.
+	must(timingsubg.Edge{From: 9, To: 9, FromLabel: ls[2], ToLabel: ls[2], Time: 5})
+	must(timingsubg.Edge{From: 2, To: 3, FromLabel: ls[1], ToLabel: ls[2], Time: 6})
+	s.Close()
+	if s.MatchCount() != 0 {
+		t.Error("expired prefix must not contribute to matches")
+	}
+}
+
+func TestSearcherOptionValidation(t *testing.T) {
+	q, _, _ := buildTwoHop(t)
+	if _, err := timingsubg.NewSearcher(q, timingsubg.Options{}); !errors.Is(err, timingsubg.ErrBadOptions) {
+		t.Errorf("zero window must be rejected, got %v", err)
+	}
+	_, err := timingsubg.NewSearcher(q, timingsubg.Options{
+		Window: 5, Workers: 4, Storage: timingsubg.Independent,
+	})
+	if !errors.Is(err, timingsubg.ErrBadOptions) {
+		t.Errorf("concurrent independent storage must be rejected, got %v", err)
+	}
+}
+
+func TestSearcherRejectsOutOfOrderFeeds(t *testing.T) {
+	q, _, ls := buildTwoHop(t)
+	s, err := timingsubg.NewSearcher(q, timingsubg.Options{Window: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Feed(timingsubg.Edge{From: 1, To: 2, FromLabel: ls[0], ToLabel: ls[1], Time: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Feed(timingsubg.Edge{From: 1, To: 2, FromLabel: ls[0], ToLabel: ls[1], Time: 5}); err == nil {
+		t.Error("non-increasing timestamps must be rejected")
+	}
+}
+
+func TestSearcherConcurrentMatchesSerial(t *testing.T) {
+	q, _, ls := buildTwoHop(t)
+	mk := func(i int64) timingsubg.Edge {
+		switch i % 3 {
+		case 0:
+			return timingsubg.Edge{From: timingsubg.VertexID(i % 7), To: timingsubg.VertexID(10 + i%5),
+				FromLabel: ls[0], ToLabel: ls[1], Time: timingsubg.Timestamp(i + 1)}
+		case 1:
+			return timingsubg.Edge{From: timingsubg.VertexID(10 + i%5), To: timingsubg.VertexID(20 + i%6),
+				FromLabel: ls[1], ToLabel: ls[2], Time: timingsubg.Timestamp(i + 1)}
+		default:
+			return timingsubg.Edge{From: timingsubg.VertexID(30 + i%4), To: timingsubg.VertexID(40 + i%4),
+				FromLabel: ls[2], ToLabel: ls[0], Time: timingsubg.Timestamp(i + 1)}
+		}
+	}
+	runWith := func(workers int, scheme timingsubg.LockScheme) []string {
+		var mu sync.Mutex
+		var keys []string
+		s, err := timingsubg.NewSearcher(q, timingsubg.Options{
+			Window:     30,
+			Workers:    workers,
+			LockScheme: scheme,
+			OnMatch: func(m *timingsubg.Match) {
+				mu.Lock()
+				keys = append(keys, m.Key())
+				mu.Unlock()
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := int64(0); i < 400; i++ {
+			if _, err := s.Feed(mk(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.Close()
+		sort.Strings(keys)
+		return keys
+	}
+	serial := runWith(1, timingsubg.FineGrained)
+	if len(serial) == 0 {
+		t.Fatal("workload should produce matches")
+	}
+	for _, scheme := range []timingsubg.LockScheme{timingsubg.FineGrained, timingsubg.AllLocks} {
+		conc := runWith(3, scheme)
+		if len(conc) != len(serial) {
+			t.Fatalf("scheme %v: %d matches vs serial %d", scheme, len(conc), len(serial))
+		}
+		for i := range conc {
+			if conc[i] != serial[i] {
+				t.Fatalf("scheme %v: result sets differ", scheme)
+			}
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package timingsubg
+
+import (
+	"testing"
+)
+
+// Ablation benches for the post-paper extensions: what durability,
+// count windows, and channel delivery cost relative to the plain
+// in-memory searcher on the same stream and query.
+
+func extBenchStream(b *testing.B, n int) ([]Edge, *Query) {
+	b.Helper()
+	labels := NewLabels()
+	q := persistTestQuery(b, labels)
+	return persistTestStream(labels, n, 51), q
+}
+
+// BenchmarkFeedPlain is the baseline: in-memory searcher, time window.
+func BenchmarkFeedPlain(b *testing.B) {
+	edges, q := extBenchStream(b, 4096)
+	s, err := NewSearcher(q, Options{Window: 50})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := edges[i%len(edges)]
+		e.Time = Timestamp(i + 1)
+		if _, err := s.Feed(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFeedCountWindow swaps in the count-based window.
+func BenchmarkFeedCountWindow(b *testing.B) {
+	edges, q := extBenchStream(b, 4096)
+	s, err := NewSearcher(q, Options{CountWindow: 50})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := edges[i%len(edges)]
+		e.Time = Timestamp(i + 1)
+		if _, err := s.Feed(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFeedDurable adds the WAL (no fsync) and periodic
+// checkpointing — the full durability tax per edge.
+func BenchmarkFeedDurable(b *testing.B) {
+	edges, q := extBenchStream(b, 4096)
+	ps, err := OpenPersistent(q, PersistentOptions{
+		Options:         Options{Window: 50},
+		Dir:             b.TempDir(),
+		CheckpointEvery: 4096,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := edges[i%len(edges)]
+		e.Time = Timestamp(i + 1)
+		if _, err := ps.Feed(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if err := ps.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkCheckpoint measures one forced checkpoint of a populated
+// window (write + GC + WAL truncation).
+func BenchmarkCheckpoint(b *testing.B) {
+	edges, q := extBenchStream(b, 4096)
+	ps, err := OpenPersistent(q, PersistentOptions{
+		Options:         Options{Window: 500},
+		Dir:             b.TempDir(),
+		CheckpointEvery: 1 << 30, // manual only
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i, e := range edges {
+		e.Time = Timestamp(i + 1)
+		if _, err := ps.Feed(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ps.Checkpoint(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if err := ps.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkRecovery measures OpenPersistent against a directory with a
+// populated checkpoint — the restart cost a deployment pays.
+func BenchmarkRecovery(b *testing.B) {
+	edges, q := extBenchStream(b, 4096)
+	dir := b.TempDir()
+	ps, err := OpenPersistent(q, PersistentOptions{
+		Options: Options{Window: 500},
+		Dir:     dir,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i, e := range edges {
+		e.Time = Timestamp(i + 1)
+		if _, err := ps.Feed(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := ps.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ps, err := OpenPersistent(q, PersistentOptions{
+			Options: Options{Window: 500},
+			Dir:     dir,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		// Close writes a checkpoint; keep it out of the recovery timing.
+		if err := ps.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}

@@ -1,0 +1,121 @@
+// Command experiments regenerates the paper's evaluation figures
+// (Section VII) as printed tables. Each figure's workload parameters are
+// scaled for laptop runtimes (see EXPERIMENTS.md); relative shapes — who
+// wins, by what factor, where trends bend — are the reproduction target.
+//
+// Usage:
+//
+//	experiments -fig 15            # one figure
+//	experiments -fig all           # everything (minutes)
+//	experiments -fig 15 -quick     # smoke-sized workload
+//	experiments -fig cost          # Theorem 7 cost model table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"timingsubg/internal/bench"
+	"timingsubg/internal/datagen"
+	"timingsubg/internal/graph"
+	"timingsubg/internal/querygen"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 15,16,17,18,19,20,21,22,23,24,25,cost,table1 or all")
+	quick := flag.Bool("quick", false, "use the smoke-test workload scale")
+	seed := flag.Int64("seed", 42, "master random seed")
+	csvDir := flag.String("csv", "", "also write per-panel CSV files into this directory")
+	flag.Parse()
+
+	cfg := bench.DefaultConfig()
+	if *quick {
+		cfg = bench.QuickConfig()
+	}
+	cfg.Seed = *seed
+
+	want := map[string]bool{}
+	for _, f := range strings.Split(*fig, ",") {
+		want[strings.TrimSpace(f)] = true
+	}
+	all := want["all"]
+	ran := false
+
+	emit := func(f bench.Figure) {
+		bench.Render(os.Stdout, f)
+		if *csvDir != "" {
+			if err := bench.WriteCSV(*csvDir, f); err != nil {
+				fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+			}
+		}
+		ran = true
+	}
+
+	if all || want["15"] || want["17"] {
+		tf, sf := bench.Fig15and17(cfg)
+		emit(tf)
+		emit(sf)
+	}
+	if all || want["16"] || want["18"] {
+		tf, sf := bench.Fig16and18(cfg)
+		emit(tf)
+		emit(sf)
+	}
+	if all || want["19"] {
+		emit(bench.Fig19(cfg))
+	}
+	if all || want["20"] {
+		emit(bench.Fig20(cfg))
+	}
+	if all || want["21"] {
+		tf, sf := bench.Fig21(cfg)
+		emit(tf)
+		emit(sf)
+	}
+	if all || want["23"] || want["24"] {
+		tf, sf := bench.Fig23and24(cfg)
+		emit(tf)
+		emit(sf)
+	}
+	if all || want["22"] {
+		bench.RenderCaseStudy(os.Stdout, bench.CaseStudy(cfg.Seed, 800))
+		ran = true
+	}
+	if all || want["25"] {
+		emit(bench.Fig25(cfg))
+	}
+	if all || want["table1"] {
+		bench.RenderTable1(os.Stdout)
+		ran = true
+	}
+	if all || want["cost"] {
+		costTable(cfg)
+		ran = true
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+}
+
+// costTable prints Theorem 7's expected join operations per incoming
+// edge for a representative query across decomposition sizes.
+func costTable(cfg bench.Config) {
+	labels := graph.NewLabels()
+	gen := datagen.New(datagen.WikiTalk, labels, datagen.Config{Vertices: cfg.Vertices, Seed: cfg.Seed})
+	warm := gen.Take(2000)
+	q, _, err := querygen.Generate(warm, querygen.Config{Size: cfg.KQuerySize, Seed: cfg.Seed})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cost: %v\n", err)
+		return
+	}
+	s := bench.CostModelTable(q, cfg.KValues)
+	fmt.Printf("== Theorem 7: expected join operations per incoming edge (|E(Q)|=%d) ==\n", q.NumEdges())
+	fmt.Printf("%-4s %s\n", "k", "N")
+	for i := range s.X {
+		fmt.Printf("%-4.0f %.3f\n", s.X[i], s.Y[i])
+	}
+	fmt.Println("(increases with k: Algorithm 6 prefers the smallest decomposition)")
+}

@@ -1,0 +1,97 @@
+// Command tsgen generates synthetic streaming-graph datasets (the
+// paper's three workloads, Section VII-A) and benchmark queries
+// (Section VII-B) as files for use with tsrun.
+//
+// Usage:
+//
+//	tsgen -dataset networkflow -n 100000 -out stream.csv
+//	tsgen -dataset wikitalk -n 50000 -out stream.csv -query query.txt -qsize 6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"timingsubg/internal/datagen"
+	"timingsubg/internal/graph"
+	"timingsubg/internal/query"
+	"timingsubg/internal/querygen"
+)
+
+func main() {
+	dataset := flag.String("dataset", "networkflow", "networkflow | wikitalk | socialstream")
+	n := flag.Int("n", 100000, "number of stream edges")
+	vertices := flag.Int("vertices", 2000, "entity population")
+	seed := flag.Int64("seed", 1, "random seed")
+	out := flag.String("out", "stream.csv", "output stream file")
+	queryOut := flag.String("query", "", "also generate a query file")
+	qsize := flag.Int("qsize", 6, "query size (edges)")
+	qorder := flag.String("qorder", "random", "timing order: random | full | empty")
+	flag.Parse()
+
+	var ds datagen.Dataset
+	switch strings.ToLower(*dataset) {
+	case "networkflow", "network":
+		ds = datagen.NetworkFlow
+	case "wikitalk", "wiki":
+		ds = datagen.WikiTalk
+	case "socialstream", "social":
+		ds = datagen.SocialStream
+	default:
+		fmt.Fprintf(os.Stderr, "unknown dataset %q\n", *dataset)
+		os.Exit(2)
+	}
+
+	labels := graph.NewLabels()
+	gen := datagen.New(ds, labels, datagen.Config{Vertices: *vertices, Seed: *seed})
+	edges := gen.Take(*n)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	if err := datagen.WriteEdges(f, labels, edges); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %d edges (%s) to %s\n", len(edges), ds, *out)
+
+	if *queryOut == "" {
+		return
+	}
+	kind := querygen.RandomOrder
+	switch strings.ToLower(*qorder) {
+	case "full":
+		kind = querygen.FullOrder
+	case "empty":
+		kind = querygen.EmptyOrder
+	}
+	prefix := edges
+	if len(prefix) > 5000 {
+		prefix = prefix[:5000]
+	}
+	q, _, err := querygen.Generate(prefix, querygen.Config{Size: *qsize, Order: kind, Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+	qf, err := os.Create(*queryOut)
+	if err != nil {
+		fatal(err)
+	}
+	if err := query.Write(qf, labels, q); err != nil {
+		fatal(err)
+	}
+	if err := qf.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote query (%d edges, k=%d) to %s\n", q.NumEdges(), query.Decompose(q).K(), *queryOut)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

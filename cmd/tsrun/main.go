@@ -1,0 +1,201 @@
+// Command tsrun executes a continuous time-constrained subgraph query
+// over a stream file, printing matches (or just counters) and summary
+// statistics.
+//
+// Usage:
+//
+//	tsrun -stream stream.csv -query query.txt -window 10000
+//	tsrun -stream stream.csv -query query.txt -window 10000 -workers 4
+//	tsrun -stream stream.csv -query query.txt -count-window 5000
+//	tsrun -stream stream.csv -query query.txt -window 10000 -durable ./state
+//	tsrun -stream stream.csv -query query.txt -window 10000 -adaptive
+//	tsrun -stream stream.csv -query query.txt -window 10000 -metrics 127.0.0.1:9090
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"timingsubg"
+	"timingsubg/internal/datagen"
+	"timingsubg/internal/graph"
+	"timingsubg/internal/query"
+	"timingsubg/internal/stats"
+)
+
+// runner is the common surface of the searcher variants tsrun can drive.
+type runner interface {
+	Feed(e timingsubg.Edge) (timingsubg.EdgeID, error)
+	MatchCount() int64
+	Discarded() int64
+	PartialMatches() int64
+	SpaceBytes() int64
+	K() int
+}
+
+func main() {
+	streamPath := flag.String("stream", "", "stream file (CSV from tsgen, or SNAP with -snap)")
+	snap := flag.Bool("snap", false, "stream file is SNAP temporal format: 'src dst unixtime' lines")
+	queryPath := flag.String("query", "", "query file (see internal/query/parse.go format)")
+	window := flag.Int64("window", 10000, "time-based sliding window |W| in stream time units")
+	countWindow := flag.Int("count-window", 0, "count-based window of the latest N edges (overrides -window)")
+	workers := flag.Int("workers", 1, "concurrent edge transactions (>1 enables the Section V scheduler)")
+	allLocks := flag.Bool("alllocks", false, "use the All-locks baseline scheme instead of fine-grained")
+	ind := flag.Bool("independent", false, "use independent partial-match storage (Timing-IND)")
+	durable := flag.String("durable", "", "durability directory: WAL + checkpoints with crash recovery")
+	adaptive := flag.Bool("adaptive", false, "enable adaptive join-order reoptimization")
+	metricsAddr := flag.String("metrics", "", "serve live JSON metrics on this address during the run")
+	printMatches := flag.Bool("print", false, "print each match")
+	explain := flag.Bool("explain", false, "print the compiled query plan before running")
+	state := flag.Bool("state", false, "dump engine state (per-item populations) after the run")
+	flag.Parse()
+
+	if *streamPath == "" || *queryPath == "" {
+		fmt.Fprintln(os.Stderr, "both -stream and -query are required")
+		os.Exit(2)
+	}
+	if *durable != "" && *adaptive {
+		fmt.Fprintln(os.Stderr, "-durable and -adaptive are mutually exclusive")
+		os.Exit(2)
+	}
+
+	labels := graph.NewLabels()
+	qf, err := os.Open(*queryPath)
+	if err != nil {
+		fatal(err)
+	}
+	q, err := query.Parse(qf, labels)
+	qf.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	if *explain {
+		query.Explain(os.Stdout, labels, q, query.Decompose(q))
+	}
+
+	sf, err := os.Open(*streamPath)
+	if err != nil {
+		fatal(err)
+	}
+	var edges []graph.Edge
+	if *snap {
+		edges, err = datagen.ReadSNAP(sf, labels, nil)
+	} else {
+		edges, err = datagen.ReadEdges(sf, labels)
+	}
+	sf.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := timingsubg.Options{
+		Window:  timingsubg.Timestamp(*window),
+		Workers: *workers,
+	}
+	if *countWindow > 0 {
+		opts.Window = 0
+		opts.CountWindow = *countWindow
+	}
+	if *allLocks {
+		opts.LockScheme = timingsubg.AllLocks
+	}
+	if *ind {
+		opts.Storage = timingsubg.Independent
+	}
+	if *printMatches {
+		opts.OnMatch = func(m *timingsubg.Match) { fmt.Printf("match %s\n", m) }
+	}
+
+	reg := timingsubg.NewMetricsRegistry()
+	var r runner
+	var plain *timingsubg.Searcher
+	var closeRun func()
+	switch {
+	case *durable != "":
+		ps, err := timingsubg.OpenPersistent(q, timingsubg.PersistentOptions{
+			Options: opts,
+			Dir:     *durable,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if ps.Replayed() > 0 || ps.MatchCount() > 0 {
+			fmt.Printf("recovered: %d durable matches, %d WAL edges replayed, window holds %d edges\n",
+				ps.MatchCount(), ps.Replayed(), ps.InWindow())
+		}
+		if err := ps.RegisterMetrics(reg, "tsrun"); err != nil {
+			fatal(err)
+		}
+		r = ps
+		closeRun = func() {
+			if err := ps.Close(); err != nil {
+				fatal(err)
+			}
+		}
+	case *adaptive:
+		a, err := timingsubg.NewAdaptiveSearcher(q, timingsubg.AdaptiveOptions{Options: opts})
+		if err != nil {
+			fatal(err)
+		}
+		if err := a.RegisterMetrics(reg, "tsrun"); err != nil {
+			fatal(err)
+		}
+		r = a
+		closeRun = func() {
+			a.Close()
+			fmt.Printf("join-order reoptimizations: %d\n", a.Reoptimizations())
+		}
+	default:
+		s, err := timingsubg.NewSearcher(q, opts)
+		if err != nil {
+			fatal(err)
+		}
+		if err := s.RegisterMetrics(reg, "tsrun"); err != nil {
+			fatal(err)
+		}
+		r, plain = s, s
+		closeRun = s.Close
+	}
+
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer ln.Close()
+		go http.Serve(ln, timingsubg.MetricsHandler(reg))
+		fmt.Printf("metrics: http://%s\n", ln.Addr())
+	}
+
+	var hist stats.Histogram
+	start := time.Now()
+	for _, e := range edges {
+		t0 := time.Now()
+		if _, err := r.Feed(e); err != nil {
+			fatal(err)
+		}
+		hist.Observe(time.Since(t0))
+	}
+	elapsed := time.Since(start)
+	closeRun()
+
+	fmt.Printf("query: %d edges, decomposition k=%d\n", q.NumEdges(), r.K())
+	fmt.Printf("edges: %d  elapsed: %v  throughput: %.0f edges/sec\n",
+		len(edges), elapsed.Round(time.Millisecond), float64(len(edges))/elapsed.Seconds())
+	fmt.Printf("matches: %d  discardable filtered: %d  partial matches held: %d  space: %d KB\n",
+		r.MatchCount(), r.Discarded(), r.PartialMatches(), r.SpaceBytes()/1024)
+	fmt.Printf("per-edge latency: %s\n", hist.String())
+	if *state && plain != nil {
+		plain.WriteState(os.Stdout)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,112 @@
+package timingsubg
+
+import (
+	"testing"
+)
+
+func TestCountWindowOptionsValidation(t *testing.T) {
+	labels := NewLabels()
+	q := persistTestQuery(t, labels)
+	if _, err := NewSearcher(q, Options{}); err == nil {
+		t.Fatal("no window accepted")
+	}
+	if _, err := NewSearcher(q, Options{Window: 5, CountWindow: 5}); err == nil {
+		t.Fatal("both windows accepted")
+	}
+	if _, err := NewSearcher(q, Options{CountWindow: 5}); err != nil {
+		t.Fatalf("count window rejected: %v", err)
+	}
+}
+
+// TestCountWindowEqualsTimeWindowOnUnitSpacing: with unit inter-arrival
+// times the two window kinds define identical snapshots, so the full
+// matching pipelines must report identical match sets.
+func TestCountWindowEqualsTimeWindowOnUnitSpacing(t *testing.T) {
+	labels := NewLabels()
+	q := persistTestQuery(t, labels)
+	edges := persistTestStream(labels, 500, 21) // times are 1..500
+
+	run := func(opts Options) map[string]bool {
+		got := map[string]bool{}
+		opts.OnMatch = func(m *Match) { got[matchKey(m)] = true }
+		s, err := NewSearcher(q, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range edges {
+			if _, err := s.Feed(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.Close()
+		return got
+	}
+
+	timeMatches := run(Options{Window: 60})
+	countMatches := run(Options{CountWindow: 60})
+	if len(timeMatches) == 0 {
+		t.Fatal("no matches at all; test stream too sparse")
+	}
+	if len(timeMatches) != len(countMatches) {
+		t.Fatalf("time window found %d matches, count window %d", len(timeMatches), len(countMatches))
+	}
+	for k := range timeMatches {
+		if !countMatches[k] {
+			t.Fatalf("count window missed match %s", k)
+		}
+	}
+}
+
+// TestCountWindowExpiryDropsMatches: a standing match must disappear
+// once one of its edges is pushed out of the count window.
+func TestCountWindowExpiryDropsMatches(t *testing.T) {
+	labels := NewLabels()
+	q := persistTestQuery(t, labels)
+	la, lb := labels.Intern("a"), labels.Intern("b")
+	lc, ld := labels.Intern("c"), labels.Intern("d")
+
+	s, err := NewSearcher(q, Options{CountWindow: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed := func(from, to int64, fl, tl Label, ts int64) {
+		if _, err := s.Feed(Edge{From: VertexID(from), To: VertexID(to), FromLabel: fl, ToLabel: tl, Time: Timestamp(ts)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Build the chain a→b→c→d in timing order; all 3 edges fit in the
+	// 4-edge window.
+	feed(1, 2, la, lb, 1)
+	feed(2, 3, lb, lc, 2)
+	feed(3, 4, lc, ld, 3)
+	if s.CurrentMatchCount() != 1 {
+		t.Fatalf("standing matches = %d, want 1", s.CurrentMatchCount())
+	}
+	// Two unrelated edges push the first chain edge out of the window.
+	feed(9, 9, la, la, 4)
+	feed(9, 9, la, la, 5)
+	if s.CurrentMatchCount() != 0 {
+		t.Fatalf("standing matches after expiry = %d, want 0", s.CurrentMatchCount())
+	}
+	s.Close()
+}
+
+// TestCountWindowBoundsState: under a hot burst the count window keeps
+// the in-window edge count (and hence engine state) hard-bounded.
+func TestCountWindowBoundsState(t *testing.T) {
+	labels := NewLabels()
+	q := persistTestQuery(t, labels)
+	s, err := NewSearcher(q, Options{CountWindow: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range persistTestStream(labels, 2000, 22) {
+		if _, err := s.Feed(e); err != nil {
+			t.Fatal(err)
+		}
+		if s.InWindow() > 32 {
+			t.Fatalf("edge %d: window holds %d > 32 edges", i, s.InWindow())
+		}
+	}
+	s.Close()
+}

@@ -1,0 +1,149 @@
+package timingsubg_test
+
+import (
+	"fmt"
+	"os"
+
+	"timingsubg"
+)
+
+// chainABC builds the a→b→c chain with e1 ≺ e2 used by the examples.
+func chainABC(labels *timingsubg.Labels) *timingsubg.Query {
+	b := timingsubg.NewQueryBuilder()
+	va := b.AddVertex(labels.Intern("a"))
+	vb := b.AddVertex(labels.Intern("b"))
+	vc := b.AddVertex(labels.Intern("c"))
+	e1 := b.AddEdge(va, vb)
+	e2 := b.AddEdge(vb, vc)
+	b.Before(e1, e2)
+	q, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// ExampleOpenPersistent shows durable search: edges are logged before
+// matching, and reopening the same directory resumes with all state.
+func ExampleOpenPersistent() {
+	dir, err := os.MkdirTemp("", "timingsubg-example-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+
+	labels := timingsubg.NewLabels()
+	q := chainABC(labels)
+	la, lb, lc := labels.Intern("a"), labels.Intern("b"), labels.Intern("c")
+
+	open := func() *timingsubg.PersistentSearcher {
+		ps, err := timingsubg.OpenPersistent(q, timingsubg.PersistentOptions{
+			Options: timingsubg.Options{Window: 100},
+			Dir:     dir,
+		})
+		if err != nil {
+			panic(err)
+		}
+		return ps
+	}
+
+	ps := open()
+	ps.Feed(timingsubg.Edge{From: 1, To: 2, FromLabel: la, ToLabel: lb, Time: 1})
+	ps.Feed(timingsubg.Edge{From: 2, To: 3, FromLabel: lb, ToLabel: lc, Time: 2})
+	fmt.Println("run 1 matches:", ps.MatchCount())
+	ps.Close()
+
+	ps2 := open() // restart: counters and window state are recovered
+	fmt.Println("run 2 recovered matches:", ps2.MatchCount())
+	fmt.Println("run 2 window edges:", ps2.InWindow())
+	ps2.Close()
+
+	// Output:
+	// run 1 matches: 1
+	// run 2 recovered matches: 1
+	// run 2 window edges: 2
+}
+
+// ExampleMatchChannel adapts callback delivery to a channel consumer.
+func ExampleMatchChannel() {
+	labels := timingsubg.NewLabels()
+	q := chainABC(labels)
+	la, lb, lc := labels.Intern("a"), labels.Intern("b"), labels.Intern("c")
+
+	onMatch, matches, done := timingsubg.MatchChannel(16)
+	s, err := timingsubg.NewSearcher(q, timingsubg.Options{Window: 100, OnMatch: onMatch})
+	if err != nil {
+		panic(err)
+	}
+	consumed := make(chan struct{})
+	go func() {
+		defer close(consumed)
+		for m := range matches {
+			fmt.Println("got match with", len(m.Edges), "edges")
+		}
+	}()
+	s.Feed(timingsubg.Edge{From: 1, To: 2, FromLabel: la, ToLabel: lb, Time: 1})
+	s.Feed(timingsubg.Edge{From: 2, To: 3, FromLabel: lb, ToLabel: lc, Time: 2})
+	s.Close()
+	done()
+	<-consumed
+
+	// Output:
+	// got match with 2 edges
+}
+
+// ExampleNewRoutedMultiSearcher monitors two patterns over one stream;
+// routing dispatches each edge only to interested queries.
+func ExampleNewRoutedMultiSearcher() {
+	labels := timingsubg.NewLabels()
+	lx, ly := labels.Intern("x"), labels.Intern("y")
+
+	single := func(from, to timingsubg.Label) *timingsubg.Query {
+		b := timingsubg.NewQueryBuilder()
+		u, v := b.AddVertex(from), b.AddVertex(to)
+		b.AddEdge(u, v)
+		q, err := b.Build()
+		if err != nil {
+			panic(err)
+		}
+		return q
+	}
+	ms, err := timingsubg.NewRoutedMultiSearcher([]timingsubg.QuerySpec{
+		{Name: "xy", Query: single(lx, ly), Options: timingsubg.Options{Window: 10}},
+		{Name: "yx", Query: single(ly, lx), Options: timingsubg.Options{Window: 10}},
+	}, func(name string, m *timingsubg.Match) {
+		fmt.Println("alert from", name)
+	})
+	if err != nil {
+		panic(err)
+	}
+	ms.Feed(timingsubg.Edge{From: 1, To: 2, FromLabel: lx, ToLabel: ly, Time: 1})
+	ms.Feed(timingsubg.Edge{From: 2, To: 1, FromLabel: ly, ToLabel: lx, Time: 2})
+	ms.Close()
+
+	// Output:
+	// alert from xy
+	// alert from yx
+}
+
+// ExampleNewAdaptiveSearcher runs with join-order feedback enabled;
+// on short streams it behaves exactly like a plain Searcher.
+func ExampleNewAdaptiveSearcher() {
+	labels := timingsubg.NewLabels()
+	q := chainABC(labels)
+	la, lb, lc := labels.Intern("a"), labels.Intern("b"), labels.Intern("c")
+
+	a, err := timingsubg.NewAdaptiveSearcher(q, timingsubg.AdaptiveOptions{
+		Options: timingsubg.Options{Window: 100},
+	})
+	if err != nil {
+		panic(err)
+	}
+	a.Feed(timingsubg.Edge{From: 1, To: 2, FromLabel: la, ToLabel: lb, Time: 1})
+	a.Feed(timingsubg.Edge{From: 2, To: 3, FromLabel: lb, ToLabel: lc, Time: 2})
+	a.Close()
+	fmt.Println("matches:", a.MatchCount(), "reoptimizations:", a.Reoptimizations())
+
+	// Output:
+	// matches: 1 reoptimizations: 0
+}

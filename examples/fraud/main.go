@@ -1,0 +1,106 @@
+// Command fraud reproduces the paper's credit-card-fraud motivating
+// example (Fig. 2): a criminal sets up a credit payment to a merchant
+// (t1), the bank sends the merchant the real payment (t2), the merchant
+// transfers the money to a middleman (t3), and the middleman transfers it
+// back to the criminal (t4), with t1 < t2 < t3 < t4. The query is
+// monitored continuously over a synthetic transaction stream with
+// planted fraud rings.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"timingsubg"
+)
+
+func main() {
+	labels := timingsubg.NewLabels()
+	acct := labels.Intern("account")
+	bank := labels.Intern("bank")
+	creditPay := labels.Intern("credit-pay")
+	realPay := labels.Intern("real-payment")
+	transfer := labels.Intern("transfer")
+
+	// Fig. 2 pattern: criminal c, merchant m, middleman a, bank x.
+	b := timingsubg.NewQueryBuilder()
+	c := b.AddVertex(acct)
+	m := b.AddVertex(acct)
+	a := b.AddVertex(acct)
+	x := b.AddVertex(bank)
+	t1 := b.AddLabeledEdge(c, m, creditPay)
+	t2 := b.AddLabeledEdge(x, m, realPay)
+	t3 := b.AddLabeledEdge(m, a, transfer)
+	t4 := b.AddLabeledEdge(a, c, transfer)
+	b.Before(t1, t2)
+	b.Before(t2, t3)
+	b.Before(t3, t4)
+	q, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+
+	var alerts int
+	s, err := timingsubg.NewSearcher(q, timingsubg.Options{
+		Window: 500, // transactions must cash out within the window
+		OnMatch: func(mt *timingsubg.Match) {
+			alerts++
+			fmt.Printf("!! FRAUD RING: criminal=%d merchant=%d middleman=%d (credit t=%d, cash-out t=%d)\n",
+				mt.Vtx[c], mt.Vtx[m], mt.Vtx[a], mt.Edges[t1].Time, mt.Edges[t4].Time)
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	rng := rand.New(rand.NewSource(11))
+	const accounts = 500
+	const bankID = 1_000_000
+	t := timingsubg.Timestamp(0)
+	feed := func(from, to int64, fl, tl, el timingsubg.Label) {
+		t++
+		if _, err := s.Feed(timingsubg.Edge{
+			From: timingsubg.VertexID(from), To: timingsubg.VertexID(to),
+			FromLabel: fl, ToLabel: tl, EdgeLabel: el, Time: t,
+		}); err != nil {
+			panic(err)
+		}
+	}
+	noise := func(n int) {
+		for i := 0; i < n; i++ {
+			from, to := rng.Int63n(accounts), rng.Int63n(accounts)
+			if from == to {
+				to = (to + 1) % accounts
+			}
+			switch rng.Intn(4) {
+			case 0:
+				feed(from, to, acct, acct, creditPay)
+			case 1:
+				feed(bankID, to, bank, acct, realPay)
+			default:
+				feed(from, to, acct, acct, transfer)
+			}
+		}
+	}
+
+	// Interleave two fraud rings with plenty of legitimate traffic.
+	plant := func(criminal, merchant, middleman int64, gap int) {
+		feed(criminal, merchant, acct, acct, creditPay) // t1
+		noise(gap)
+		feed(bankID, merchant, bank, acct, realPay) // t2
+		noise(gap)
+		feed(merchant, middleman, acct, acct, transfer) // t3
+		noise(gap)
+		feed(middleman, criminal, acct, acct, transfer) // t4
+	}
+	noise(300)
+	plant(9001, 9002, 9003, 20)
+	noise(200)
+	plant(9101, 9102, 9103, 35)
+	noise(300)
+	s.Close()
+
+	fmt.Printf("\nprocessed %d transactions: %d fraud alerts, %d discardable filtered, %d partials held\n",
+		t, s.MatchCount(), s.Discarded(), s.PartialMatches())
+	_ = alerts
+}

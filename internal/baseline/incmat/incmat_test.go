@@ -1,0 +1,111 @@
+package incmat
+
+import (
+	"testing"
+
+	"timingsubg/internal/graph"
+	"timingsubg/internal/iso"
+	"timingsubg/internal/match"
+	"timingsubg/internal/query"
+)
+
+func pathQuery(t *testing.T) (*query.Query, []graph.Label) {
+	t.Helper()
+	labels := graph.NewLabels()
+	ls := []graph.Label{labels.Intern("a"), labels.Intern("b"), labels.Intern("c")}
+	b := query.NewBuilder()
+	va, vb, vc := b.AddVertex(ls[0]), b.AddVertex(ls[1]), b.AddVertex(ls[2])
+	e1 := b.AddEdge(va, vb)
+	e2 := b.AddEdge(vb, vc)
+	b.Before(e1, e2)
+	q, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q, ls
+}
+
+func TestIncMatBasicMatch(t *testing.T) {
+	q, ls := pathQuery(t)
+	var got []string
+	m := New(q, iso.QuickSI, func(mm *match.Match) {
+		if err := mm.Verify(q); err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, mm.Key())
+	})
+	m.Insert(graph.Edge{ID: 1, From: 10, To: 20, FromLabel: ls[0], ToLabel: ls[1], Time: 1})
+	m.Insert(graph.Edge{ID: 2, From: 20, To: 30, FromLabel: ls[1], ToLabel: ls[2], Time: 2})
+	if len(got) != 1 {
+		t.Fatalf("want 1 match, got %v", got)
+	}
+	if m.LiveMatches() != 1 {
+		t.Errorf("live matches: want 1, got %d", m.LiveMatches())
+	}
+}
+
+func TestIncMatTimingPostFilter(t *testing.T) {
+	q, ls := pathQuery(t)
+	m := New(q, iso.TurboISO, nil)
+	// Reversed arrivals violate e1 ≺ e2.
+	m.Insert(graph.Edge{ID: 1, From: 20, To: 30, FromLabel: ls[1], ToLabel: ls[2], Time: 1})
+	m.Insert(graph.Edge{ID: 2, From: 10, To: 20, FromLabel: ls[0], ToLabel: ls[1], Time: 2})
+	if m.MatchCount() != 0 {
+		t.Error("posterior timing filter must reject the match")
+	}
+}
+
+func TestIncMatExpiry(t *testing.T) {
+	q, ls := pathQuery(t)
+	m := New(q, iso.BoostISO, nil)
+	e1 := graph.Edge{ID: 1, From: 10, To: 20, FromLabel: ls[0], ToLabel: ls[1], Time: 1}
+	e2 := graph.Edge{ID: 2, From: 20, To: 30, FromLabel: ls[1], ToLabel: ls[2], Time: 2}
+	m.Insert(e1)
+	m.Insert(e2)
+	if m.LiveMatches() != 1 {
+		t.Fatal("expected one live match")
+	}
+	m.Delete(e1)
+	if m.LiveMatches() != 0 {
+		t.Error("expiring a member edge must drop the match")
+	}
+	// The snapshot has also shed the edge: a fresh e2' cannot re-match.
+	m.Insert(graph.Edge{ID: 3, From: 20, To: 31, FromLabel: ls[1], ToLabel: ls[2], Time: 3})
+	if m.LiveMatches() != 0 {
+		t.Error("no match should exist without the a→b edge")
+	}
+}
+
+func TestIncMatNoDuplicateReports(t *testing.T) {
+	q, ls := pathQuery(t)
+	seen := map[string]int{}
+	m := New(q, iso.QuickSI, func(mm *match.Match) { seen[mm.Key()]++ })
+	m.Insert(graph.Edge{ID: 1, From: 10, To: 20, FromLabel: ls[0], ToLabel: ls[1], Time: 1})
+	m.Insert(graph.Edge{ID: 2, From: 20, To: 30, FromLabel: ls[1], ToLabel: ls[2], Time: 2})
+	// An unrelated edge near the match must not re-report it.
+	m.Insert(graph.Edge{ID: 3, From: 20, To: 31, FromLabel: ls[1], ToLabel: ls[2], Time: 3})
+	for k, n := range seen {
+		if n != 1 {
+			t.Errorf("match %s reported %d times", k, n)
+		}
+	}
+}
+
+func TestIncMatSpaceIncludesSnapshot(t *testing.T) {
+	q, ls := pathQuery(t)
+	m := New(q, iso.QuickSI, nil)
+	// A label-matching edge costs adjacency space even when no match
+	// forms — the overhead Figs. 17-18 highlight for re-search baselines.
+	m.Insert(graph.Edge{ID: 1, From: 1, To: 2, FromLabel: ls[0], ToLabel: ls[1], Time: 1})
+	if m.SpaceBytes() <= 0 {
+		t.Error("IncMat must pay for window adjacency even without matches")
+	}
+	// Edges matching no query edge still cost adjacency space: the
+	// re-search approach keeps the whole window graph (only the search
+	// is skipped for them).
+	before := m.SpaceBytes()
+	m.Insert(graph.Edge{ID: 2, From: 3, To: 4, FromLabel: ls[2], ToLabel: ls[2], Time: 2})
+	if m.SpaceBytes() <= before {
+		t.Error("the full window adjacency must be maintained")
+	}
+}

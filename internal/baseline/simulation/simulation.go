@@ -1,0 +1,313 @@
+// Package simulation implements continuous pattern matching under
+// *graph simulation* semantics with a timing post-filter — the match
+// semantics of Song et al. ("Event pattern matching over graph
+// streams", VLDB 2015), the Table I comparator whose semantics differ
+// from this repository's subgraph isomorphism.
+//
+// Graph simulation relaxes isomorphism: instead of a bijective
+// embedding, it computes the maximal relation R ⊆ V(Q)×V(G) such that
+// for (u, x) ∈ R,
+//
+//  1. L(u) = L(x), and
+//  2. for every query edge u→v there is a data edge x→y (matching the
+//     query edge's label, if any) with (v, y) ∈ R, and symmetrically
+//     for every query edge w→u there is a data edge z→x with (w, z) ∈ R.
+//
+// Simulation is computable in polynomial time and is strictly weaker
+// than isomorphism: every vertex that participates in an isomorphic
+// embedding is in the simulation relation, but the relation may also
+// contain vertices of structures (e.g. longer cycles, unbounded trees)
+// that no isomorphic embedding covers. The tests demonstrate both
+// directions; the paper's Section I related-work discussion is exactly
+// this semantic gap.
+//
+// The timing order is handled the way Song et al.'s approach is
+// characterized in the paper — as post-processing: the untimed relation
+// is computed first, and a fixpoint filter then prunes candidate data
+// edges that cannot participate in any timing-consistent assignment at
+// the *relation* granularity (for each constraint ε' ≺ ε, a surviving
+// candidate of ε needs some candidate of ε' with a smaller timestamp,
+// and vice versa). This is the natural relation-level analogue of the
+// timing constraint; binding-level joint consistency is precisely what
+// simulation semantics gives up relative to isomorphism.
+package simulation
+
+import (
+	"sort"
+
+	"timingsubg/internal/graph"
+	"timingsubg/internal/query"
+)
+
+// Relation is a simulation relation: for each query vertex, the sorted
+// set of data vertices simulating it. An empty Relation (any query
+// vertex with no partners) means the pattern has no simulation match
+// in the snapshot; the maximal-relation computation then returns the
+// empty map.
+type Relation map[query.VertexID][]graph.VertexID
+
+// Has reports whether (u, x) is in the relation.
+func (r Relation) Has(u query.VertexID, x graph.VertexID) bool {
+	s := r[u]
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= x })
+	return i < len(s) && s[i] == x
+}
+
+// Size returns the total number of (query vertex, data vertex) pairs.
+func (r Relation) Size() int {
+	n := 0
+	for _, s := range r {
+		n += len(s)
+	}
+	return n
+}
+
+// Match computes the maximal graph simulation relation of q over the
+// snapshot, ignoring timing order. The result is empty (nil map) when
+// some query vertex has no simulating data vertex — simulation is
+// all-or-nothing per query vertex class.
+func Match(q *query.Query, snap *graph.Snapshot) Relation {
+	cand := initial(q, snap)
+	refineStructure(q, snap, cand)
+	return finalize(q, cand)
+}
+
+// TimedMatch computes Match and then applies the timing post-filter:
+// candidate data edges for each query edge are pruned to those that can
+// appear in a relation-level timing-consistent assignment, and the
+// relation is re-refined against the surviving edges to a fixpoint.
+func TimedMatch(q *query.Query, snap *graph.Snapshot) Relation {
+	cand := initial(q, snap)
+	refineStructure(q, snap, cand)
+	// Iterate: prune edge candidates by timing feasibility, restrict
+	// the relation to endpoints of surviving edges, re-refine, repeat
+	// until stable.
+	for {
+		edgeCand := edgeCandidates(q, snap, cand)
+		if !pruneByTiming(q, edgeCand) {
+			// Timing pruning removed nothing; relation is stable.
+			break
+		}
+		if !restrictToEdges(q, cand, edgeCand) {
+			break
+		}
+		refineStructure(q, snap, cand)
+	}
+	return finalize(q, cand)
+}
+
+// initial computes the label-based candidate sets.
+func initial(q *query.Query, snap *graph.Snapshot) map[query.VertexID]map[graph.VertexID]bool {
+	cand := make(map[query.VertexID]map[graph.VertexID]bool, q.NumVertices())
+	for u := query.VertexID(0); int(u) < q.NumVertices(); u++ {
+		set := make(map[graph.VertexID]bool)
+		for _, x := range snap.VerticesWithLabel(q.VertexLabel(u)) {
+			set[x] = true
+		}
+		cand[u] = set
+	}
+	return cand
+}
+
+// refineStructure runs the standard simulation fixpoint: drop (u, x)
+// when some query edge at u has no witness at x.
+func refineStructure(q *query.Query, snap *graph.Snapshot, cand map[query.VertexID]map[graph.VertexID]bool) {
+	for changed := true; changed; {
+		changed = false
+		for ui := 0; ui < q.NumVertices(); ui++ {
+			u := query.VertexID(ui)
+			for x := range cand[u] {
+				if !hasAllWitnesses(q, snap, cand, u, x) {
+					delete(cand[u], x)
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// hasAllWitnesses checks condition (2) for the pair (u, x).
+func hasAllWitnesses(q *query.Query, snap *graph.Snapshot, cand map[query.VertexID]map[graph.VertexID]bool, u query.VertexID, x graph.VertexID) bool {
+	for _, eid := range q.Touching(u) {
+		qe := q.Edge(eid)
+		if qe.From == u {
+			if !hasWitness(snap.Out(x), snap, qe.Label, cand[qe.To]) {
+				return false
+			}
+		}
+		if qe.To == u {
+			if !hasWitnessIn(snap.In(x), snap, qe.Label, cand[qe.From]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func hasWitness(out []graph.EdgeID, snap *graph.Snapshot, lbl graph.Label, partners map[graph.VertexID]bool) bool {
+	for _, deID := range out {
+		de, ok := snap.Edge(deID)
+		if !ok {
+			continue
+		}
+		if lbl != graph.NoLabel && lbl != de.EdgeLabel {
+			continue
+		}
+		if partners[de.To] {
+			return true
+		}
+	}
+	return false
+}
+
+func hasWitnessIn(in []graph.EdgeID, snap *graph.Snapshot, lbl graph.Label, partners map[graph.VertexID]bool) bool {
+	for _, deID := range in {
+		de, ok := snap.Edge(deID)
+		if !ok {
+			continue
+		}
+		if lbl != graph.NoLabel && lbl != de.EdgeLabel {
+			continue
+		}
+		if partners[de.From] {
+			return true
+		}
+	}
+	return false
+}
+
+// edgeCandidates lists, for each query edge, the data edges whose
+// endpoints are in the current relation and whose labels agree.
+func edgeCandidates(q *query.Query, snap *graph.Snapshot, cand map[query.VertexID]map[graph.VertexID]bool) [][]graph.Edge {
+	out := make([][]graph.Edge, q.NumEdges())
+	snap.Edges(func(de graph.Edge) bool {
+		for i := 0; i < q.NumEdges(); i++ {
+			qe := q.Edge(query.EdgeID(i))
+			if qe.Label != graph.NoLabel && qe.Label != de.EdgeLabel {
+				continue
+			}
+			if cand[qe.From][de.From] && cand[qe.To][de.To] {
+				out[i] = append(out[i], de)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// pruneByTiming drops candidates of query edge ε that cannot satisfy a
+// timing constraint against the candidates of the other side: for each
+// ε' ≺ ε, a candidate σ of ε needs some candidate σ' of ε' with
+// t(σ') < t(σ); symmetrically for ε ≺ ε'. Iterates to a local fixpoint
+// and reports whether anything was pruned.
+func pruneByTiming(q *query.Query, edgeCand [][]graph.Edge) bool {
+	pruned := false
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < q.NumEdges(); i++ {
+			var kept []graph.Edge
+			for _, de := range edgeCand[i] {
+				if timingFeasible(q, edgeCand, query.EdgeID(i), de) {
+					kept = append(kept, de)
+				}
+			}
+			if len(kept) != len(edgeCand[i]) {
+				edgeCand[i] = kept
+				changed = true
+				pruned = true
+			}
+		}
+	}
+	return pruned
+}
+
+func timingFeasible(q *query.Query, edgeCand [][]graph.Edge, e query.EdgeID, de graph.Edge) bool {
+	for j := 0; j < q.NumEdges(); j++ {
+		other := query.EdgeID(j)
+		if other == e {
+			continue
+		}
+		if q.Precedes(other, e) {
+			if !hasEarlier(edgeCand[j], de.Time) {
+				return false
+			}
+		}
+		if q.Precedes(e, other) {
+			if !hasLater(edgeCand[j], de.Time) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func hasEarlier(cands []graph.Edge, t graph.Timestamp) bool {
+	for _, c := range cands {
+		if c.Time < t {
+			return true
+		}
+	}
+	return false
+}
+
+func hasLater(cands []graph.Edge, t graph.Timestamp) bool {
+	for _, c := range cands {
+		if c.Time > t {
+			return true
+		}
+	}
+	return false
+}
+
+// restrictToEdges shrinks the relation to vertices that appear as an
+// endpoint of some surviving candidate edge (vertices incident to no
+// query edge keep their candidates). Reports whether anything shrank.
+func restrictToEdges(q *query.Query, cand map[query.VertexID]map[graph.VertexID]bool, edgeCand [][]graph.Edge) bool {
+	keep := make(map[query.VertexID]map[graph.VertexID]bool, q.NumVertices())
+	for i := 0; i < q.NumEdges(); i++ {
+		qe := q.Edge(query.EdgeID(i))
+		for _, de := range edgeCand[i] {
+			if keep[qe.From] == nil {
+				keep[qe.From] = make(map[graph.VertexID]bool)
+			}
+			if keep[qe.To] == nil {
+				keep[qe.To] = make(map[graph.VertexID]bool)
+			}
+			keep[qe.From][de.From] = true
+			keep[qe.To][de.To] = true
+		}
+	}
+	changed := false
+	for ui := 0; ui < q.NumVertices(); ui++ {
+		u := query.VertexID(ui)
+		if len(q.Touching(u)) == 0 {
+			continue
+		}
+		for x := range cand[u] {
+			if !keep[u][x] {
+				delete(cand[u], x)
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// finalize converts candidate sets to the all-or-nothing Relation.
+func finalize(q *query.Query, cand map[query.VertexID]map[graph.VertexID]bool) Relation {
+	for ui := 0; ui < q.NumVertices(); ui++ {
+		if len(cand[query.VertexID(ui)]) == 0 {
+			return nil
+		}
+	}
+	rel := make(Relation, len(cand))
+	for u, set := range cand {
+		vs := make([]graph.VertexID, 0, len(set))
+		for x := range set {
+			vs = append(vs, x)
+		}
+		sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+		rel[u] = vs
+	}
+	return rel
+}

@@ -1,0 +1,230 @@
+package simulation
+
+import (
+	"math/rand"
+	"testing"
+
+	"timingsubg/internal/core"
+	"timingsubg/internal/graph"
+	"timingsubg/internal/match"
+	"timingsubg/internal/query"
+)
+
+// chainQuery builds a→b→c with e1 ≺ e2.
+func chainQuery(t testing.TB) *query.Query {
+	t.Helper()
+	b := query.NewBuilder()
+	va, vb, vc := b.AddVertex(1), b.AddVertex(2), b.AddVertex(3)
+	e1 := b.AddEdge(va, vb)
+	e2 := b.AddEdge(vb, vc)
+	b.Before(e1, e2)
+	q, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+// twoCycleQuery builds u(1)⇄v(2) without timing order.
+func twoCycleQuery(t testing.TB) *query.Query {
+	t.Helper()
+	b := query.NewBuilder()
+	u, v := b.AddVertex(1), b.AddVertex(2)
+	b.AddEdge(u, v)
+	b.AddEdge(v, u)
+	q, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func edge(id int64, from, to int64, fl, tl graph.Label, ts int64) graph.Edge {
+	return graph.Edge{
+		ID: graph.EdgeID(id), From: graph.VertexID(from), To: graph.VertexID(to),
+		FromLabel: fl, ToLabel: tl, Time: graph.Timestamp(ts),
+	}
+}
+
+// verifyFixpoint checks the defining simulation condition directly on a
+// returned relation: every pair has all required witnesses inside the
+// relation.
+func verifyFixpoint(t *testing.T, q *query.Query, snap *graph.Snapshot, rel Relation) {
+	t.Helper()
+	for ui := 0; ui < q.NumVertices(); ui++ {
+		u := query.VertexID(ui)
+		for _, x := range rel[u] {
+			for _, eid := range q.Touching(u) {
+				qe := q.Edge(eid)
+				if qe.From == u {
+					ok := false
+					for _, deID := range snap.Out(x) {
+						de, _ := snap.Edge(deID)
+						if (qe.Label == graph.NoLabel || qe.Label == de.EdgeLabel) && rel.Has(qe.To, de.To) {
+							ok = true
+							break
+						}
+					}
+					if !ok {
+						t.Fatalf("pair (%d,%d) lacks out-witness for query edge %d", u, x, eid)
+					}
+				}
+				if qe.To == u {
+					ok := false
+					for _, deID := range snap.In(x) {
+						de, _ := snap.Edge(deID)
+						if (qe.Label == graph.NoLabel || qe.Label == de.EdgeLabel) && rel.Has(qe.From, de.From) {
+							ok = true
+							break
+						}
+					}
+					if !ok {
+						t.Fatalf("pair (%d,%d) lacks in-witness for query edge %d", u, x, eid)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSimulationSimpleChain(t *testing.T) {
+	q := chainQuery(t)
+	snap := graph.SnapshotOf([]graph.Edge{
+		edge(0, 10, 11, 1, 2, 1),
+		edge(1, 11, 12, 2, 3, 2),
+	})
+	rel := Match(q, snap)
+	if rel == nil {
+		t.Fatal("no simulation found for exact embedding")
+	}
+	verifyFixpoint(t, q, snap, rel)
+	if !rel.Has(0, 10) || !rel.Has(1, 11) || !rel.Has(2, 12) {
+		t.Fatalf("relation misses the embedding: %v", rel)
+	}
+}
+
+func TestSimulationAllOrNothing(t *testing.T) {
+	q := chainQuery(t)
+	// Only the first query edge has data; vertex c has no partner.
+	snap := graph.SnapshotOf([]graph.Edge{edge(0, 10, 11, 1, 2, 1)})
+	if rel := Match(q, snap); rel != nil {
+		t.Fatalf("partial structure simulated: %v", rel)
+	}
+}
+
+// TestSimulationWeakerThanIsomorphism is the Table I semantics gap: a
+// 4-cycle alternating labels 1,2 simulates the 2-cycle query (every
+// vertex has the required in/out witnesses) although no isomorphic
+// embedding of the 2-cycle exists.
+func TestSimulationWeakerThanIsomorphism(t *testing.T) {
+	q := twoCycleQuery(t)
+	fourCycle := []graph.Edge{
+		edge(0, 1, 2, 1, 2, 1),
+		edge(1, 2, 3, 2, 1, 2),
+		edge(2, 3, 4, 1, 2, 3),
+		edge(3, 4, 1, 2, 1, 4),
+	}
+	snap := graph.SnapshotOf(fourCycle)
+	rel := Match(q, snap)
+	if rel == nil {
+		t.Fatal("4-cycle does not simulate 2-cycle")
+	}
+	verifyFixpoint(t, q, snap, rel)
+	if rel.Size() != 4 {
+		t.Fatalf("relation size %d, want all 4 vertices", rel.Size())
+	}
+
+	// The isomorphism engine must find nothing on the same stream.
+	eng := core.New(q, core.Config{})
+	for _, e := range fourCycle {
+		eng.Process(e, nil)
+	}
+	if got := eng.Stats().Matches.Load(); got != 0 {
+		t.Fatalf("isomorphism engine found %d matches in the 4-cycle", got)
+	}
+}
+
+// TestTimedMatchPrunesInfeasible: with e1 ≺ e2, data where every
+// candidate of e2 precedes every candidate of e1 must yield no timed
+// simulation.
+func TestTimedMatchPrunesInfeasible(t *testing.T) {
+	q := chainQuery(t)
+	snap := graph.SnapshotOf([]graph.Edge{
+		edge(0, 11, 12, 2, 3, 1), // e2-shaped, earliest
+		edge(1, 10, 11, 1, 2, 2), // e1-shaped, latest
+	})
+	if rel := Match(q, snap); rel == nil {
+		t.Fatal("untimed simulation should exist")
+	}
+	if rel := TimedMatch(q, snap); rel != nil {
+		t.Fatalf("timing-infeasible structure survived: %v", rel)
+	}
+}
+
+func TestTimedMatchKeepsFeasible(t *testing.T) {
+	q := chainQuery(t)
+	snap := graph.SnapshotOf([]graph.Edge{
+		edge(0, 10, 11, 1, 2, 1),
+		edge(1, 11, 12, 2, 3, 2),
+	})
+	rel := TimedMatch(q, snap)
+	if rel == nil {
+		t.Fatal("feasible structure pruned")
+	}
+	verifyFixpoint(t, q, snap, rel)
+}
+
+// TestSimulationContainsIsomorphismMatches: on random streams, every
+// vertex binding of every isomorphism match is contained in the timed
+// simulation relation over the same snapshot — simulation is a strict
+// over-approximation.
+func TestSimulationContainsIsomorphismMatches(t *testing.T) {
+	q := chainQuery(t)
+	rng := rand.New(rand.NewSource(3))
+	labelOf := func(v graph.VertexID) graph.Label { return graph.Label(int(v)%3 + 1) }
+
+	for trial := 0; trial < 20; trial++ {
+		var edges []graph.Edge
+		for i := 0; i < 60; i++ {
+			from := graph.VertexID(rng.Intn(9))
+			to := graph.VertexID(rng.Intn(9))
+			if from == to {
+				to = (to + 1) % 9
+			}
+			edges = append(edges, graph.Edge{
+				ID: graph.EdgeID(i), From: from, To: to,
+				FromLabel: labelOf(from), ToLabel: labelOf(to),
+				Time: graph.Timestamp(i + 1),
+			})
+		}
+		snap := graph.SnapshotOf(edges)
+		rel := TimedMatch(q, snap)
+
+		// Collect isomorphism matches over the full (never-expiring)
+		// snapshot by driving the serial engine.
+		var bindings []map[query.VertexID]graph.VertexID
+		eng := core.New(q, core.Config{OnMatch: func(m *match.Match) {
+			b := make(map[query.VertexID]graph.VertexID)
+			for qe := 0; qe < q.NumEdges(); qe++ {
+				e := q.Edge(query.EdgeID(qe))
+				b[e.From] = m.Edges[qe].From
+				b[e.To] = m.Edges[qe].To
+			}
+			bindings = append(bindings, b)
+		}})
+		for _, e := range edges {
+			eng.Process(e, nil)
+		}
+
+		for _, b := range bindings {
+			if rel == nil {
+				t.Fatalf("trial %d: isomorphism matched but timed simulation is empty", trial)
+			}
+			for u, x := range b {
+				if !rel.Has(u, x) {
+					t.Fatalf("trial %d: iso binding (%d,%d) missing from simulation relation", trial, u, x)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,208 @@
+// Package sjtree reimplements the SJ-tree baseline (Choudhury et al.,
+// EDBT 2015) as described in the paper's related work and Section VII-C:
+// a left-deep subgraph-join tree whose nodes materialize all partial
+// matches of growing prefixes of the query, with no timing-order pruning.
+// Timing constraints are verified posteriorly on complete matches, the
+// way the paper evaluates SJ-tree. Expiry enumerates stored partial
+// matches to find those containing the expired edge — the maintenance
+// cost the MS-tree is designed to avoid.
+package sjtree
+
+import (
+	"sync/atomic"
+
+	"timingsubg/internal/graph"
+	"timingsubg/internal/match"
+	"timingsubg/internal/query"
+)
+
+// Matcher is a continuous SJ-tree matcher.
+type Matcher struct {
+	q     *query.Query
+	order []query.EdgeID // connected left-deep leaf order
+	// nodes[i] holds all partial matches of the prefix order[0..i].
+	nodes [][]*match.Match
+	// singles[i] holds the in-window data edges matching order[i].
+	singles [][]graph.Edge
+
+	onMatch func(*match.Match)
+	matches atomic.Int64
+	joins   atomic.Int64
+}
+
+// New builds an SJ-tree matcher for q. onMatch may be nil.
+func New(q *query.Query, onMatch func(*match.Match)) *Matcher {
+	return &Matcher{
+		q:       q,
+		order:   connectedOrder(q),
+		nodes:   make([][]*match.Match, q.NumEdges()),
+		singles: make([][]graph.Edge, q.NumEdges()),
+		onMatch: onMatch,
+	}
+}
+
+// connectedOrder returns a prefix-connected permutation of the query
+// edges (SJ-tree's left-deep join order; we use the lowest-ID connected
+// expansion, selectivity ordering being data-dependent).
+func connectedOrder(q *query.Query) []query.EdgeID {
+	m := q.NumEdges()
+	order := []query.EdgeID{0}
+	used := make([]bool, m)
+	used[0] = true
+	for len(order) < m {
+		for c := 0; c < m; c++ {
+			if used[c] {
+				continue
+			}
+			for _, o := range order {
+				if q.EdgesAdjacent(query.EdgeID(c), o) {
+					used[c] = true
+					order = append(order, query.EdgeID(c))
+					c = m
+					break
+				}
+			}
+		}
+	}
+	return order
+}
+
+// MatchCount returns the number of complete (timing-valid) matches
+// reported so far.
+func (t *Matcher) MatchCount() int64 { return t.matches.Load() }
+
+// JoinOps returns the number of compatibility checks performed.
+func (t *Matcher) JoinOps() int64 { return t.joins.Load() }
+
+// Process handles one window slide: expired edges leave, then d enters.
+func (t *Matcher) Process(d graph.Edge, expired []graph.Edge) {
+	for _, x := range expired {
+		t.Delete(x)
+	}
+	t.Insert(d)
+}
+
+// Insert adds an incoming edge: for every leaf position it matches, join
+// it with the prefix matches to its left, then cascade the new partial
+// matches rightward through the stored single-edge match sets.
+func (t *Matcher) Insert(d graph.Edge) {
+	for i, qe := range t.order {
+		if !t.q.MatchesData(qe, d) {
+			continue
+		}
+		t.singles[i] = append(t.singles[i], d)
+
+		var delta []*match.Match
+		if i == 0 {
+			m := match.New(t.q)
+			if m.CanBindStructural(t.q, qe, d) {
+				m.Bind(t.q, qe, d)
+				delta = append(delta, m)
+			}
+		} else {
+			for _, left := range t.nodes[i-1] {
+				t.joins.Add(1)
+				if left.CanBindStructural(t.q, qe, d) {
+					nm := left.Clone()
+					nm.Bind(t.q, qe, d)
+					delta = append(delta, nm)
+				}
+			}
+		}
+		t.absorb(i, delta)
+	}
+}
+
+// absorb stores delta at node i and cascades it through the remaining
+// leaves. Complete structural matches are timing-checked and reported.
+func (t *Matcher) absorb(i int, delta []*match.Match) {
+	t.nodes[i] = append(t.nodes[i], delta...)
+	for j := i + 1; j < len(t.order) && len(delta) > 0; j++ {
+		qe := t.order[j]
+		var next []*match.Match
+		for _, m := range delta {
+			for _, d := range t.singles[j] {
+				t.joins.Add(1)
+				if m.CanBindStructural(t.q, qe, d) {
+					nm := m.Clone()
+					nm.Bind(t.q, qe, d)
+					next = append(next, nm)
+				}
+			}
+		}
+		t.nodes[j] = append(t.nodes[j], next...)
+		delta = next
+	}
+	// Report the complete structural matches after the posterior timing
+	// filter.
+	for _, m := range delta {
+		if !m.Complete(t.q) {
+			continue
+		}
+		if t.timingOK(m) {
+			t.matches.Add(1)
+			if t.onMatch != nil {
+				t.onMatch(m.Clone())
+			}
+		}
+	}
+}
+
+// timingOK is the posterior timing-order filter.
+func (t *Matcher) timingOK(m *match.Match) bool {
+	for _, p := range t.q.OrderPairs() {
+		if m.Edges[p[0]].Time >= m.Edges[p[1]].Time {
+			return false
+		}
+	}
+	return true
+}
+
+// Delete removes an expired edge by enumerating every stored partial
+// match (the SJ-tree maintenance cost the paper highlights).
+func (t *Matcher) Delete(d graph.Edge) {
+	for i := range t.singles {
+		keep := t.singles[i][:0]
+		for _, e := range t.singles[i] {
+			if e.ID != d.ID {
+				keep = append(keep, e)
+			}
+		}
+		t.singles[i] = keep
+	}
+	for i := range t.nodes {
+		keep := t.nodes[i][:0]
+		for _, m := range t.nodes[i] {
+			if !m.HasDataEdge(d.ID) {
+				keep = append(keep, m)
+			}
+		}
+		// Zero the tail so dropped matches are collectable.
+		for j := len(keep); j < len(t.nodes[i]); j++ {
+			t.nodes[i][j] = nil
+		}
+		t.nodes[i] = keep
+	}
+}
+
+// SpaceBytes estimates resident size: all materialized partial matches
+// plus the single-edge match sets.
+func (t *Matcher) SpaceBytes() int64 {
+	var b int64
+	for i := range t.nodes {
+		for _, m := range t.nodes[i] {
+			b += m.SpaceBytes()
+		}
+		b += int64(len(t.singles[i])) * 56
+	}
+	return b
+}
+
+// PartialMatchCount returns the number of stored partial matches.
+func (t *Matcher) PartialMatchCount() int64 {
+	var n int64
+	for i := range t.nodes {
+		n += int64(len(t.nodes[i]))
+	}
+	return n
+}

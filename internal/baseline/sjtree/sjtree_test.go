@@ -1,0 +1,123 @@
+package sjtree
+
+import (
+	"testing"
+
+	"timingsubg/internal/graph"
+	"timingsubg/internal/match"
+	"timingsubg/internal/query"
+)
+
+// pathQuery builds a→b→c with optional order e1 ≺ e2.
+func pathQuery(t *testing.T, ordered bool) (*query.Query, []graph.Label) {
+	t.Helper()
+	labels := graph.NewLabels()
+	ls := []graph.Label{labels.Intern("a"), labels.Intern("b"), labels.Intern("c")}
+	b := query.NewBuilder()
+	va, vb, vc := b.AddVertex(ls[0]), b.AddVertex(ls[1]), b.AddVertex(ls[2])
+	e1 := b.AddEdge(va, vb)
+	e2 := b.AddEdge(vb, vc)
+	if ordered {
+		b.Before(e1, e2)
+	}
+	q, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q, ls
+}
+
+func TestSJTreeFindsOutOfOrderArrivals(t *testing.T) {
+	// Without timing order, SJ-tree must find the match regardless of
+	// arrival order (its defining difference from the Timing engine).
+	q, ls := pathQuery(t, false)
+	var got []string
+	m := New(q, func(mm *match.Match) {
+		if err := mm.Verify(q); err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, mm.Key())
+	})
+	// b→c arrives before a→b.
+	m.Insert(graph.Edge{ID: 1, From: 20, To: 30, FromLabel: ls[1], ToLabel: ls[2], Time: 1})
+	m.Insert(graph.Edge{ID: 2, From: 10, To: 20, FromLabel: ls[0], ToLabel: ls[1], Time: 2})
+	if len(got) != 1 {
+		t.Fatalf("want 1 match, got %v", got)
+	}
+}
+
+func TestSJTreePosteriorTimingFilter(t *testing.T) {
+	q, ls := pathQuery(t, true)
+	m := New(q, nil)
+	// Reversed arrivals: structurally fine, timing filter must drop it.
+	m.Insert(graph.Edge{ID: 1, From: 20, To: 30, FromLabel: ls[1], ToLabel: ls[2], Time: 1})
+	m.Insert(graph.Edge{ID: 2, From: 10, To: 20, FromLabel: ls[0], ToLabel: ls[1], Time: 2})
+	if m.MatchCount() != 0 {
+		t.Fatal("posterior filter must reject reversed arrivals")
+	}
+	// SJ-tree still materialized the partial matches — that is the
+	// wasted space the Timing engine prunes.
+	if m.PartialMatchCount() == 0 {
+		t.Fatal("SJ-tree stores partials it cannot use (no timing pruning)")
+	}
+	// Correct order on fresh vertices matches.
+	m.Insert(graph.Edge{ID: 3, From: 11, To: 21, FromLabel: ls[0], ToLabel: ls[1], Time: 3})
+	m.Insert(graph.Edge{ID: 4, From: 21, To: 31, FromLabel: ls[1], ToLabel: ls[2], Time: 4})
+	if m.MatchCount() != 1 {
+		t.Fatalf("want 1 match, got %d", m.MatchCount())
+	}
+}
+
+func TestSJTreeDeleteScans(t *testing.T) {
+	q, ls := pathQuery(t, false)
+	m := New(q, nil)
+	e1 := graph.Edge{ID: 1, From: 10, To: 20, FromLabel: ls[0], ToLabel: ls[1], Time: 1}
+	e2 := graph.Edge{ID: 2, From: 20, To: 30, FromLabel: ls[1], ToLabel: ls[2], Time: 2}
+	m.Insert(e1)
+	m.Insert(e2)
+	before := m.PartialMatchCount()
+	if before == 0 {
+		t.Fatal("partials expected")
+	}
+	m.Delete(e1)
+	after := m.PartialMatchCount()
+	if after >= before {
+		t.Fatalf("delete must remove partials containing the edge: %d -> %d", before, after)
+	}
+	// Singles index must also drop the edge.
+	m.Insert(graph.Edge{ID: 3, From: 20, To: 31, FromLabel: ls[1], ToLabel: ls[2], Time: 3})
+	if m.MatchCount() != 1 {
+		t.Fatalf("only the pre-deletion match should have been reported, got %d", m.MatchCount())
+	}
+}
+
+func TestSJTreeSpaceAccounting(t *testing.T) {
+	q, ls := pathQuery(t, false)
+	m := New(q, nil)
+	if m.SpaceBytes() != 0 {
+		t.Error("empty matcher should report ~0 space")
+	}
+	m.Insert(graph.Edge{ID: 1, From: 10, To: 20, FromLabel: ls[0], ToLabel: ls[1], Time: 1})
+	if m.SpaceBytes() <= 0 {
+		t.Error("space must grow with stored partials")
+	}
+}
+
+func TestConnectedOrderIsPrefixConnected(t *testing.T) {
+	q, _ := pathQuery(t, false)
+	order := connectedOrder(q)
+	if len(order) != q.NumEdges() {
+		t.Fatal("order must cover all edges")
+	}
+	for i := 1; i < len(order); i++ {
+		connected := false
+		for j := 0; j < i; j++ {
+			if q.EdgesAdjacent(order[i], order[j]) {
+				connected = true
+			}
+		}
+		if !connected {
+			t.Fatalf("edge %d disconnected from prefix", order[i])
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"timingsubg/internal/datagen"
+	"timingsubg/internal/graph"
+)
+
+func TestCaseStudyDetectsPlant(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		r := CaseStudy(seed, 400)
+		if !r.Detected {
+			t.Errorf("seed %d: planted incident not detected", seed)
+		}
+		if r.ExfilAt <= r.CommandAt {
+			t.Errorf("seed %d: exfiltration must follow the command", seed)
+		}
+		if r.Discarded == 0 {
+			t.Errorf("seed %d: background chatter should be pruned as discardable", seed)
+		}
+	}
+}
+
+func TestRenderCaseStudy(t *testing.T) {
+	var buf bytes.Buffer
+	RenderCaseStudy(&buf, CaseStudy(7, 300))
+	out := buf.String()
+	if !strings.Contains(out, "DETECTED") || !strings.Contains(out, "Fig22") {
+		t.Errorf("unexpected case-study rendering:\n%s", out)
+	}
+	buf.Reset()
+	RenderCaseStudy(&buf, CaseStudyResult{})
+	if !strings.Contains(buf.String(), "NOT DETECTED") {
+		t.Error("undetected case must render a warning")
+	}
+}
+
+func TestRenderTable1(t *testing.T) {
+	var buf bytes.Buffer
+	RenderTable1(&buf)
+	for _, want := range []string{"Timing", "SJ-tree", "IncMat", "Table I"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("Table I missing %q", want)
+		}
+	}
+}
+
+func TestRunBudgetTruncates(t *testing.T) {
+	c := tinyConfig()
+	ds := datagen.WikiTalk
+	warm, edges := c.stream(ds, c.DefaultWindow)
+	qs := c.QuerySet(ds, 4, warm)
+	if len(qs) == 0 {
+		t.Skip("no query")
+	}
+	// slowMatcher stalls per edge so even a tiny budget truncates.
+	r := RunBudget(slowMatcher{}, edges, 300, 20*time.Millisecond)
+	if !r.Truncated {
+		t.Error("budget must truncate a slow run")
+	}
+	if r.Throughput <= 0 {
+		t.Error("truncated runs still report throughput over the prefix")
+	}
+	// Unlimited budget never truncates.
+	full := Run(NewMatcher(Timing, qs[0].Query), edges, 300)
+	if full.Truncated {
+		t.Error("Run must not truncate")
+	}
+}
+
+// slowMatcher is a Matcher whose per-edge cost dwarfs any test budget.
+type slowMatcher struct{}
+
+func (slowMatcher) Process(graph.Edge, []graph.Edge) { time.Sleep(200 * time.Microsecond) }
+func (slowMatcher) MatchCount() int64                { return 0 }
+func (slowMatcher) SpaceBytes() int64                { return 0 }

@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// WriteCSV writes one CSV file per panel of fig into dir (created if
+// missing), named <FigName>_<panel>.csv with the x column first and one
+// column per series — ready for any plotting tool.
+func WriteCSV(dir string, fig Figure) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, p := range fig.Panels {
+		name := fmt.Sprintf("%s_%s.csv", fig.Name, sanitize(p.Name))
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if err := writePanelCSV(f, fig.XLabel, p); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writePanelCSV(f *os.File, xlabel string, p Panel) error {
+	header := []string{sanitize(xlabel)}
+	for _, s := range p.Series {
+		header = append(header, sanitize(s.Label))
+	}
+	if _, err := fmt.Fprintln(f, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	var xs []float64
+	seen := map[float64]bool{}
+	for _, s := range p.Series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+	for _, x := range xs {
+		row := []string{trimFloat(x)}
+		for _, s := range p.Series {
+			if v, ok := lookup(s, x); ok {
+				row = append(row, fmt.Sprintf("%g", v))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if _, err := fmt.Fprintln(f, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sanitize(s string) string {
+	s = strings.ReplaceAll(s, ",", ";")
+	s = strings.ReplaceAll(s, " ", "_")
+	s = strings.ReplaceAll(s, "/", "-")
+	return s
+}

@@ -1,0 +1,96 @@
+// Package bench is the experiment harness: it regenerates every figure
+// of the paper's evaluation (Section VII) as printable series — workload
+// generation, query generation, method drivers, throughput/space/speedup
+// measurement and table rendering. EXPERIMENTS.md records the measured
+// shapes against the paper's.
+package bench
+
+import (
+	"fmt"
+
+	"timingsubg/internal/baseline/incmat"
+	"timingsubg/internal/baseline/sjtree"
+	"timingsubg/internal/core"
+	"timingsubg/internal/graph"
+	"timingsubg/internal/iso"
+	"timingsubg/internal/query"
+)
+
+// Method identifies one of the compared systems (Section VII-C).
+type Method int
+
+// The six compared methods, in the paper's legend order.
+const (
+	Timing Method = iota
+	TimingIND
+	SJTree
+	IncBoostISO
+	IncTurboISO
+	IncQuickSI
+)
+
+// Methods returns all compared methods in legend order.
+func Methods() []Method {
+	return []Method{Timing, TimingIND, SJTree, IncBoostISO, IncTurboISO, IncQuickSI}
+}
+
+// String names the method as in the paper's figures.
+func (m Method) String() string {
+	switch m {
+	case Timing:
+		return "Timing"
+	case TimingIND:
+		return "Timing-IND"
+	case SJTree:
+		return "SJ-tree"
+	case IncBoostISO:
+		return "BoostISO"
+	case IncTurboISO:
+		return "TurboISO"
+	case IncQuickSI:
+		return "QuickSI"
+	}
+	return fmt.Sprintf("method#%d", int(m))
+}
+
+// Matcher is the uniform driver interface over all compared systems.
+type Matcher interface {
+	// Process handles one window slide (expired edges leave, d enters).
+	Process(d graph.Edge, expired []graph.Edge)
+	// MatchCount returns the number of matches reported so far.
+	MatchCount() int64
+	// SpaceBytes estimates current resident bytes of maintained state.
+	SpaceBytes() int64
+}
+
+// engineMatcher adapts core.Engine.
+type engineMatcher struct{ e *core.Engine }
+
+func (m engineMatcher) Process(d graph.Edge, expired []graph.Edge) { m.e.Process(d, expired) }
+func (m engineMatcher) MatchCount() int64                          { return m.e.Stats().Matches.Load() }
+func (m engineMatcher) SpaceBytes() int64                          { return m.e.SpaceBytes() }
+
+// NewMatcher builds the driver for a method and query.
+func NewMatcher(m Method, q *query.Query) Matcher {
+	switch m {
+	case Timing:
+		return engineMatcher{core.New(q, core.Config{Storage: core.MSTree})}
+	case TimingIND:
+		return engineMatcher{core.New(q, core.Config{Storage: core.Independent})}
+	case SJTree:
+		return sjtree.New(q, nil)
+	case IncQuickSI:
+		return incmat.New(q, iso.QuickSI, nil)
+	case IncTurboISO:
+		return incmat.New(q, iso.TurboISO, nil)
+	case IncBoostISO:
+		return incmat.New(q, iso.BoostISO, nil)
+	}
+	panic(fmt.Sprintf("bench: unknown method %d", int(m)))
+}
+
+// NewTimingMatcher builds a Timing driver with an explicit decomposition,
+// used by the Fig. 21 optimization ablation.
+func NewTimingMatcher(q *query.Query, dec *query.Decomposition) Matcher {
+	return engineMatcher{core.New(q, core.Config{Storage: core.MSTree, Decomposition: dec})}
+}

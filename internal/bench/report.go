@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Render prints a figure as aligned tables, one per panel: rows are X
+// values, columns are series — the same rows/series the paper plots.
+func Render(w io.Writer, fig Figure) {
+	fmt.Fprintf(w, "== %s: %s ==\n", fig.Name, fig.Title)
+	for _, p := range fig.Panels {
+		fmt.Fprintf(w, "-- %s --\n", p.Name)
+		renderPanel(w, fig.XLabel, fig.YLabel, p)
+		fmt.Fprintln(w)
+	}
+}
+
+func renderPanel(w io.Writer, xlabel, ylabel string, p Panel) {
+	// Collect the x-axis as the union of series x values, in first-seen
+	// order.
+	var xs []float64
+	seen := map[float64]bool{}
+	for _, s := range p.Series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+	header := []string{xlabel}
+	for _, s := range p.Series {
+		header = append(header, s.Label)
+	}
+	rows := [][]string{header}
+	for _, x := range xs {
+		row := []string{trimFloat(x)}
+		for _, s := range p.Series {
+			v, ok := lookup(s, x)
+			if !ok {
+				row = append(row, "-")
+			} else {
+				row = append(row, fmtVal(v))
+			}
+		}
+		rows = append(rows, row)
+	}
+	writeAligned(w, rows)
+	fmt.Fprintf(w, "(y: %s)\n", ylabel)
+}
+
+func lookup(s Series, x float64) (float64, bool) {
+	for i, sx := range s.X {
+		if sx == x {
+			return s.Y[i], true
+		}
+	}
+	return 0, false
+}
+
+func trimFloat(x float64) string {
+	if x == float64(int64(x)) {
+		return fmt.Sprintf("%d", int64(x))
+	}
+	return fmt.Sprintf("%.2f", x)
+}
+
+func fmtVal(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 100000:
+		return fmt.Sprintf("%.3g", v)
+	case v >= 100:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+func writeAligned(w io.Writer, rows [][]string) {
+	if len(rows) == 0 {
+		return
+	}
+	widths := make([]int, len(rows[0]))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		var b strings.Builder
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+}

@@ -1,0 +1,218 @@
+package checkpoint
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"timingsubg/internal/graph"
+)
+
+func sample(nextSeq int64, nEdges int) Checkpoint {
+	ck := Checkpoint{
+		NextSeq:   nextSeq,
+		Window:    30,
+		Matches:   nextSeq * 2,
+		Discarded: nextSeq / 2,
+	}
+	for i := 0; i < nEdges; i++ {
+		ck.Edges = append(ck.Edges, graph.Edge{
+			ID:        graph.EdgeID(nextSeq) - graph.EdgeID(nEdges-i),
+			From:      graph.VertexID(i),
+			To:        graph.VertexID(i + 1),
+			FromLabel: graph.Label(i % 4),
+			ToLabel:   graph.Label(i % 3),
+			EdgeLabel: graph.Label(i % 2),
+			Time:      graph.Timestamp(100 + i),
+		})
+	}
+	return ck
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	want := sample(42, 17)
+	if err := Save(dir, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := Load(dir)
+	if err != nil || !ok {
+		t.Fatalf("load: ok=%v err=%v", ok, err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+func TestLoadEmptyDirIsColdStart(t *testing.T) {
+	_, ok, err := Load(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("empty dir reported a checkpoint")
+	}
+}
+
+func TestLoadMissingDirIsColdStart(t *testing.T) {
+	_, ok, err := Load(filepath.Join(t.TempDir(), "nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("missing dir reported a checkpoint")
+	}
+}
+
+func TestLoadPicksNewest(t *testing.T) {
+	dir := t.TempDir()
+	for _, seq := range []int64{10, 30, 20} {
+		if err := Save(dir, sample(seq, 3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, ok, _ := Load(dir)
+	if !ok || got.NextSeq != 30 {
+		t.Fatalf("got NextSeq %d, want 30", got.NextSeq)
+	}
+}
+
+func TestCorruptNewestFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	if err := Save(dir, sample(10, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(dir, sample(20, 5)); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the newest file.
+	path := filepath.Join(dir, name(20))
+	data, _ := os.ReadFile(path)
+	data[len(data)/2] ^= 0xFF
+	os.WriteFile(path, data, 0o644)
+
+	got, ok, err := Load(dir)
+	if err != nil || !ok {
+		t.Fatalf("load: ok=%v err=%v", ok, err)
+	}
+	if got.NextSeq != 10 {
+		t.Fatalf("fallback loaded NextSeq %d, want 10", got.NextSeq)
+	}
+}
+
+func TestAllCorruptIsColdStart(t *testing.T) {
+	dir := t.TempDir()
+	if err := Save(dir, sample(10, 5)); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name(10))
+	os.WriteFile(path, []byte("junk"), 0o644)
+	_, ok, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("corrupt-only dir reported a checkpoint")
+	}
+}
+
+func TestGCKeepsNewest(t *testing.T) {
+	dir := t.TempDir()
+	for _, seq := range []int64{1, 2, 3, 4} {
+		if err := Save(dir, sample(seq, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := GC(dir, 2); err != nil {
+		t.Fatal(err)
+	}
+	names, err := list(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 {
+		t.Fatalf("after GC: %d files, want 2", len(names))
+	}
+	got, ok, _ := Load(dir)
+	if !ok || got.NextSeq != 4 {
+		t.Fatalf("after GC newest = %d, want 4", got.NextSeq)
+	}
+}
+
+func TestGCMissingDirNoop(t *testing.T) {
+	if err := GC(filepath.Join(t.TempDir(), "nope"), 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyEdgeSet(t *testing.T) {
+	dir := t.TempDir()
+	want := Checkpoint{NextSeq: 0, Window: 5}
+	if err := Save(dir, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, _ := Load(dir)
+	if !ok {
+		t.Fatal("not loaded")
+	}
+	if got.NextSeq != 0 || got.Window != 5 || len(got.Edges) != 0 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+// TestTruncatedTailEveryByte checks that any prefix of a valid
+// checkpoint file is rejected (never mis-parsed) and never panics.
+func TestTruncatedTailEveryByte(t *testing.T) {
+	dir := t.TempDir()
+	if err := Save(dir, sample(7, 9)); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(filepath.Join(dir, name(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(full); cut++ {
+		d2 := t.TempDir()
+		os.WriteFile(filepath.Join(d2, name(7)), full[:cut], 0o644)
+		if _, ok, _ := Load(d2); ok {
+			t.Fatalf("truncated file (cut=%d) loaded successfully", cut)
+		}
+	}
+}
+
+// TestCodecQuick property-checks the checkpoint codec over random
+// contents, including negative IDs and extreme values.
+func TestCodecQuick(t *testing.T) {
+	f := func(nextSeq, matches, discarded int64, window int32, raw []int64) bool {
+		ck := Checkpoint{
+			NextSeq:   nextSeq,
+			Window:    graph.Timestamp(window),
+			Matches:   matches,
+			Discarded: discarded,
+		}
+		for i := 0; i+6 < len(raw); i += 7 {
+			ck.Edges = append(ck.Edges, graph.Edge{
+				ID:        graph.EdgeID(raw[i]),
+				From:      graph.VertexID(raw[i+1]),
+				To:        graph.VertexID(raw[i+2]),
+				FromLabel: graph.Label(raw[i+3]),
+				ToLabel:   graph.Label(raw[i+4]),
+				EdgeLabel: graph.Label(raw[i+5]),
+				Time:      graph.Timestamp(raw[i+6]),
+			})
+		}
+		got, err := decode(encode(ck), "quick")
+		if err != nil {
+			return false
+		}
+		if len(got.Edges) == 0 && len(ck.Edges) == 0 {
+			got.Edges, ck.Edges = nil, nil
+		}
+		return reflect.DeepEqual(got, ck)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+
+	"timingsubg/internal/graph"
+	"timingsubg/internal/match"
+	"timingsubg/internal/query"
+)
+
+// benchQuery builds a 2-subquery decomposition query (a→b ≺-chained pair
+// plus a free edge) plus compatible match halves for join benchmarks.
+func benchQuery(b *testing.B) (*query.Query, *query.Decomposition, *match.Match, *match.Match) {
+	b.Helper()
+	labels := graph.NewLabels()
+	la, lb, lc, ld := labels.Intern("a"), labels.Intern("b"), labels.Intern("c"), labels.Intern("d")
+	qb := query.NewBuilder()
+	va, vb, vc, vd := qb.AddVertex(la), qb.AddVertex(lb), qb.AddVertex(lc), qb.AddVertex(ld)
+	e1 := qb.AddEdge(va, vb)
+	e2 := qb.AddEdge(vb, vc)
+	qb.AddEdge(vc, vd) // free edge: its own TC-subquery
+	qb.Before(e1, e2)
+	q, err := qb.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	dec := query.Decompose(q)
+	if dec.K() != 2 {
+		b.Fatalf("want k=2, got %d", dec.K())
+	}
+
+	left := match.New(q)
+	left.Bind(q, e1, graph.Edge{ID: 1, From: 10, To: 20, FromLabel: la, ToLabel: lb, Time: 1})
+	left.Bind(q, e2, graph.Edge{ID: 2, From: 20, To: 30, FromLabel: lb, ToLabel: lc, Time: 2})
+	right := match.New(q)
+	right.Bind(q, query.EdgeID(2), graph.Edge{ID: 3, From: 30, To: 40, FromLabel: lc, ToLabel: ld, Time: 3})
+	// Align halves with the decomposition's actual split.
+	if dec.Subqueries[0].Len() != 2 {
+		left, right = right, left
+	}
+	return q, dec, left, right
+}
+
+// BenchmarkJoinSpecialized measures the precomputed levelJoin check —
+// the hot path of Algorithm 1's global cascade.
+func BenchmarkJoinSpecialized(b *testing.B) {
+	q, dec, left, right := benchQuery(b)
+	joins := buildJoins(q, dec)
+	j := &joins[2]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !j.compatible(left, right) {
+			b.Fatal("halves must be compatible")
+		}
+	}
+}
+
+// BenchmarkJoinGeneric measures the generic match.Compatible the
+// specialized join replaces (the ablation behind the Figs. 23-24 win).
+func BenchmarkJoinGeneric(b *testing.B) {
+	q, _, left, right := benchQuery(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !left.Compatible(q, right) {
+			b.Fatal("halves must be compatible")
+		}
+	}
+}
+
+// BenchmarkInsertPlan measures lock-plan generation, the per-edge
+// dispatcher cost in concurrent mode.
+func BenchmarkInsertPlan(b *testing.B) {
+	q, dec, _, _ := benchQuery(b)
+	eng := New(q, Config{Decomposition: dec})
+	d := graph.Edge{ID: 9, From: 10, To: 20, FromLabel: q.VertexLabel(0), ToLabel: q.VertexLabel(1), Time: 5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(eng.InsertPlan(d)) == 0 {
+			b.Fatal("edge should match")
+		}
+	}
+}
+
+// BenchmarkEngineInsertDiscardable measures the fast path: an edge that
+// matches a non-first sequence position with an empty predecessor item
+// is discarded in O(1) (Theorem 3 with |L^{i-1}| = 0).
+func BenchmarkEngineInsertDiscardable(b *testing.B) {
+	q, dec, _, _ := benchQuery(b)
+	eng := New(q, Config{Decomposition: dec})
+	// e2 (b→c) is second in its sequence; with no a→b stored, the edge is
+	// discardable.
+	d := graph.Edge{ID: 1, From: 20, To: 30, FromLabel: q.VertexLabel(1), ToLabel: q.VertexLabel(2), Time: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.ID = graph.EdgeID(i)
+		d.Time = graph.Timestamp(i + 1)
+		eng.Insert(d)
+	}
+	if eng.Stats().Discarded.Load() == 0 {
+		b.Fatal("edges should have been discarded")
+	}
+}

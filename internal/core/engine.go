@@ -1,0 +1,414 @@
+// Package core implements the paper's continuous query engine ("Timing"):
+// incoming edges extend the expansion lists of a TC decomposition
+// (Algorithm 1, INSERT), expired edges cascade out of them (Algorithm 2,
+// DELETE), and complete matches are reported as they form. The engine is
+// storage-agnostic (MS-tree or independent copies → the paper's
+// Timing-IND ablation) and locking-agnostic (serial, fine-grained, or
+// All-locks → Section V).
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"timingsubg/internal/explist"
+	"timingsubg/internal/graph"
+	"timingsubg/internal/lock"
+	"timingsubg/internal/match"
+	"timingsubg/internal/query"
+)
+
+// Storage selects the partial-match store backend.
+type Storage int
+
+// Storage backends.
+const (
+	// MSTree stores partial matches in match-store trees (the paper's
+	// Timing system).
+	MSTree Storage = iota
+	// Independent stores every partial match as a standalone copy (the
+	// paper's Timing-IND ablation).
+	Independent
+)
+
+// Config configures an Engine.
+type Config struct {
+	// Storage selects the backend; default MSTree.
+	Storage Storage
+	// Decomposition overrides the cost-model-guided decomposition;
+	// nil computes query.Decompose(q).
+	Decomposition *query.Decomposition
+	// OnMatch, if non-nil, receives every complete match as it forms.
+	// The match is owned by the callback. In concurrent mode the callback
+	// is serialized by the engine.
+	OnMatch func(*match.Match)
+}
+
+// Stats holds engine counters. All fields are updated atomically so they
+// are safe to read in concurrent mode.
+type Stats struct {
+	EdgesIn    atomic.Int64 // insert operations processed
+	EdgesOut   atomic.Int64 // delete operations processed
+	Discarded  atomic.Int64 // incoming edges filtered as discardable
+	Matches    atomic.Int64 // complete matches reported
+	JoinOps    atomic.Int64 // compatibility joins performed
+	PartialIns atomic.Int64 // partial matches inserted
+	PartialDel atomic.Int64 // partial matches deleted
+}
+
+// edgeLoc places a query edge inside the decomposition.
+type edgeLoc struct {
+	sub int // 1-based TC-subquery index
+	pos int // 1-based position in the timing sequence
+}
+
+// Engine is the continuous time-constrained subgraph search engine.
+// Methods Insert/Delete/Process run serially; the parallel front end in
+// parallel.go drives the same code under the Section V locking protocol.
+type Engine struct {
+	q      *query.Query
+	dec    *query.Decomposition
+	subs   []explist.SubList
+	global explist.GlobalList // nil when the decomposition has one subquery
+	loc    []edgeLoc          // indexed by query.EdgeID
+	joins  []levelJoin        // join metadata for global items 2..k
+
+	onMatch func(*match.Match)
+	emitMu  sync.Mutex
+
+	stats Stats
+}
+
+// New builds an engine for q.
+func New(q *query.Query, cfg Config) *Engine {
+	dec := cfg.Decomposition
+	if dec == nil {
+		dec = query.Decompose(q)
+	}
+	e := &Engine{q: q, dec: dec, onMatch: cfg.OnMatch}
+	e.loc = make([]edgeLoc, q.NumEdges())
+	for si, sub := range dec.Subqueries {
+		for pi, qe := range sub.Seq {
+			e.loc[qe] = edgeLoc{sub: si + 1, pos: pi + 1}
+		}
+	}
+	for _, sub := range dec.Subqueries {
+		if cfg.Storage == Independent {
+			e.subs = append(e.subs, explist.NewFlatSubList(q, sub))
+		} else {
+			e.subs = append(e.subs, explist.NewTreeSubList(q, sub))
+		}
+	}
+	if dec.K() > 1 {
+		if cfg.Storage == Independent {
+			e.global = explist.NewFlatGlobalList(q, dec)
+		} else {
+			e.global = explist.NewTreeGlobalList(q, dec)
+		}
+		e.joins = buildJoins(q, dec)
+	}
+	return e
+}
+
+// Query returns the engine's query.
+func (e *Engine) Query() *query.Query { return e.q }
+
+// Decomposition returns the TC decomposition in use.
+func (e *Engine) Decomposition() *query.Decomposition { return e.dec }
+
+// Stats returns the engine counters.
+func (e *Engine) Stats() *Stats { return &e.stats }
+
+// K returns the decomposition size.
+func (e *Engine) K() int { return e.dec.K() }
+
+// Insert processes one incoming edge (Algorithm 1), serially.
+func (e *Engine) Insert(d graph.Edge) { e.runInsert(d, lock.NopLocker{}) }
+
+// Delete processes one expired edge (Algorithm 2), serially.
+func (e *Engine) Delete(d graph.Edge) { e.runDelete(d, lock.NopLocker{}) }
+
+// Process handles one window slide serially: expired edges are removed in
+// chronological order, then the incoming edge is inserted.
+func (e *Engine) Process(d graph.Edge, expired []graph.Edge) {
+	for _, x := range expired {
+		e.Delete(x)
+	}
+	e.Insert(d)
+}
+
+// SpaceBytes estimates the resident size of all stored partial matches.
+// Call while quiescent.
+func (e *Engine) SpaceBytes() int64 {
+	var b int64
+	for _, s := range e.subs {
+		b += s.SpaceBytes()
+	}
+	if e.global != nil {
+		b += e.global.SpaceBytes()
+	}
+	return b
+}
+
+// PartialMatchCount returns the total number of stored partial matches
+// across all expansion-list items. Call while quiescent.
+func (e *Engine) PartialMatchCount() int64 {
+	var n int64
+	for _, s := range e.subs {
+		for lvl := 1; lvl <= s.Depth(); lvl++ {
+			n += int64(s.Count(lvl))
+		}
+	}
+	if e.global != nil {
+		for lvl := 2; lvl <= e.global.K(); lvl++ {
+			n += int64(e.global.Count(lvl))
+		}
+	}
+	return n
+}
+
+// pair carries a stored handle together with its materialized match.
+type pair struct {
+	h explist.Handle
+	m *match.Match
+}
+
+// item names the lock resource for sub-list s (1-based) item lvl; sub 0
+// is the global list. globalReadItem resolves the L₀¹ alias.
+func item(s, lvl int) lock.ItemID { return lock.ItemID{List: s, Level: lvl} }
+
+// globalReadItem returns the lock item that stores global item lvl:
+// L₀¹ aliases the first sub-list's last item (Section V-A).
+func (e *Engine) globalReadItem(lvl int) lock.ItemID {
+	if lvl == 1 {
+		return item(1, e.subs[0].Depth())
+	}
+	return item(0, lvl)
+}
+
+// -------------------------------------------------------------------
+// Algorithm 1: INSERT. The lock acquire/release points below must stay
+// in lockstep with InsertPlan; FineTxn asserts the correspondence.
+// -------------------------------------------------------------------
+
+func (e *Engine) runInsert(d graph.Edge, lk lock.Locker) {
+	e.stats.EdgesIn.Add(1)
+	contributed := false
+	for _, qe := range e.q.MatchingEdges(d) {
+		s, p := e.loc[qe].sub, e.loc[qe].pos
+		sub := e.subs[s-1]
+		depth := sub.Depth()
+
+		var delta []pair
+		if p == 1 {
+			probe := match.New(e.q)
+			lk.Acquire(item(s, 1), lock.X)
+			if probe.CanBind(e.q, qe, d) {
+				if h := sub.Insert(1, nil, d); h != nil {
+					probe.Bind(e.q, qe, d)
+					delta = append(delta, pair{h, probe})
+				}
+			}
+			lk.Release(item(s, 1), lock.X)
+		} else {
+			var parents []pair
+			lk.Acquire(item(s, p-1), lock.S)
+			sub.Each(p-1, func(h explist.Handle, m *match.Match) bool {
+				e.stats.JoinOps.Add(1)
+				if m.CanBind(e.q, qe, d) {
+					parents = append(parents, pair{h, m.Clone()})
+				}
+				return true
+			})
+			lk.Release(item(s, p-1), lock.S)
+
+			lk.Acquire(item(s, p), lock.X)
+			for _, pr := range parents {
+				if h := sub.Insert(p, pr.h, d); h != nil {
+					pr.m.Bind(e.q, qe, d)
+					delta = append(delta, pair{h, pr.m})
+				}
+			}
+			lk.Release(item(s, p), lock.X)
+		}
+		e.stats.PartialIns.Add(int64(len(delta)))
+		if len(delta) > 0 {
+			contributed = true
+		}
+
+		if p == depth {
+			if e.K() == 1 {
+				e.emit(delta)
+			} else {
+				e.cascade(s, delta, lk)
+			}
+		}
+	}
+	if !contributed {
+		e.stats.Discarded.Add(1)
+	}
+}
+
+// joined is a compatible (left, right) candidate pair with its merged
+// match, produced while reading under the S lock and inserted under the
+// X lock.
+type joined struct {
+	lh, rh explist.Handle
+	m      *match.Match
+}
+
+// cascade joins fresh complete matches of subquery s into the global
+// list and onward through Q^{s+1}..Q^k (Algorithm 1 lines 11-24). It
+// walks every planned item even when delta drains to empty, so the lock
+// schedule matches the dispatched plan. Compatibility is evaluated
+// during the read phase with the precomputed per-level join metadata, so
+// only genuinely joinable rows are materialized.
+func (e *Engine) cascade(s int, delta []pair, lk lock.Locker) {
+	k := e.K()
+	deltaG := delta
+	if s > 1 {
+		// New Q^s matches join with the stored prefix Ω(L₀^{s-1}):
+		// the stored side is the LEFT side of join level s.
+		var pairs []joined
+		ri := e.globalReadItem(s - 1)
+		j := &e.joins[s]
+		lk.Acquire(ri, lock.S)
+		if len(deltaG) > 0 {
+			e.eachGlobal(s-1, func(lh explist.Handle, left *match.Match) bool {
+				for _, d := range deltaG {
+					e.stats.JoinOps.Add(1)
+					if j.compatible(left, d.m) {
+						pairs = append(pairs, joined{lh: lh, rh: d.h, m: left.Merge(d.m)})
+					}
+				}
+				return true
+			})
+		}
+		lk.Release(ri, lock.S)
+
+		lk.Acquire(item(0, s), lock.X)
+		deltaG = e.insertJoined(s, pairs)
+		lk.Release(item(0, s), lock.X)
+	}
+	for x := s + 1; x <= k; x++ {
+		// The accumulated prefix deltaG joins with stored Ω(Q^x): the
+		// stored side is the RIGHT side of join level x.
+		var pairs []joined
+		ri := item(x, e.subs[x-1].Depth())
+		j := &e.joins[x]
+		lk.Acquire(ri, lock.S)
+		if len(deltaG) > 0 {
+			e.subs[x-1].Each(e.subs[x-1].Depth(), func(rh explist.Handle, right *match.Match) bool {
+				for _, d := range deltaG {
+					e.stats.JoinOps.Add(1)
+					if j.compatible(d.m, right) {
+						pairs = append(pairs, joined{lh: d.h, rh: rh, m: d.m.Merge(right)})
+					}
+				}
+				return true
+			})
+		}
+		lk.Release(ri, lock.S)
+
+		lk.Acquire(item(0, x), lock.X)
+		deltaG = e.insertJoined(x, pairs)
+		lk.Release(item(0, x), lock.X)
+	}
+	if k > 1 {
+		e.emit(deltaG)
+	}
+}
+
+// insertJoined stores pre-joined pairs at global item lvl. The caller
+// holds the X lock on item(0, lvl).
+func (e *Engine) insertJoined(lvl int, pairs []joined) []pair {
+	var out []pair
+	for _, p := range pairs {
+		if h := e.global.Insert(lvl, p.lh, p.rh); h != nil {
+			out = append(out, pair{h, p.m})
+		}
+	}
+	e.stats.PartialIns.Add(int64(len(out)))
+	return out
+}
+
+// eachGlobal iterates global item lvl, resolving the L₀¹ alias.
+func (e *Engine) eachGlobal(lvl int, fn func(explist.Handle, *match.Match) bool) {
+	if lvl == 1 {
+		e.subs[0].Each(e.subs[0].Depth(), fn)
+		return
+	}
+	e.global.Each(lvl, fn)
+}
+
+// emit reports complete matches. The callback is serialized so user code
+// never needs its own locking.
+func (e *Engine) emit(results []pair) {
+	if len(results) == 0 {
+		return
+	}
+	e.stats.Matches.Add(int64(len(results)))
+	if e.onMatch == nil {
+		return
+	}
+	e.emitMu.Lock()
+	defer e.emitMu.Unlock()
+	for _, r := range results {
+		e.onMatch(r.m)
+	}
+}
+
+// -------------------------------------------------------------------
+// Algorithm 2: DELETE. Lock points mirror DeletePlan.
+// -------------------------------------------------------------------
+
+func (e *Engine) runDelete(d graph.Edge, lk lock.Locker) {
+	e.stats.EdgesOut.Add(1)
+	k := e.K()
+	for s := 1; s <= k; s++ {
+		if !e.subTouchedBy(s, d) {
+			continue
+		}
+		sub := e.subs[s-1]
+		depth := sub.Depth()
+		var casualties []explist.Handle
+		for lvl := 1; lvl <= depth; lvl++ {
+			lk.Acquire(item(s, lvl), lock.X)
+			casualties = sub.DeleteLevel(lvl, d.ID, casualties)
+			lk.Release(item(s, lvl), lock.X)
+			e.stats.PartialDel.Add(int64(len(casualties)))
+		}
+		if k == 1 {
+			continue
+		}
+		lastDead := casualties
+		start := s
+		var gcas, deadSubs []explist.Handle
+		if s == 1 {
+			start = 2
+			gcas = lastDead
+		} else {
+			deadSubs = lastDead
+		}
+		for lvl := start; lvl <= k; lvl++ {
+			var ds []explist.Handle
+			if lvl == s {
+				ds = deadSubs
+			}
+			lk.Acquire(item(0, lvl), lock.X)
+			gcas = e.global.DeleteLevel(lvl, ds, gcas, d.ID)
+			lk.Release(item(0, lvl), lock.X)
+			e.stats.PartialDel.Add(int64(len(gcas)))
+		}
+	}
+}
+
+// subTouchedBy reports whether d can match any position of subquery s.
+func (e *Engine) subTouchedBy(s int, d graph.Edge) bool {
+	for _, qe := range e.dec.Subqueries[s-1].Seq {
+		if e.q.MatchesData(qe, d) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,236 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"timingsubg/internal/baseline/incmat"
+	"timingsubg/internal/baseline/sjtree"
+	"timingsubg/internal/core"
+	"timingsubg/internal/datagen"
+	"timingsubg/internal/graph"
+	"timingsubg/internal/iso"
+	"timingsubg/internal/match"
+	"timingsubg/internal/query"
+	"timingsubg/internal/querygen"
+)
+
+// runStream feeds edges through a fresh stream of the given window and
+// invokes process for every slide.
+func runStream(t *testing.T, edges []graph.Edge, window graph.Timestamp, process func(d graph.Edge, expired []graph.Edge)) {
+	t.Helper()
+	st := graph.NewStream(window)
+	for _, e := range edges {
+		stored, expired, err := st.Push(e)
+		if err != nil {
+			t.Fatalf("push: %v", err)
+		}
+		process(stored, expired)
+	}
+}
+
+// collectKeys runs the Timing engine over the stream and returns the
+// sorted keys of reported matches.
+func timingKeys(t *testing.T, q *query.Query, storage core.Storage, dec *query.Decomposition, edges []graph.Edge, window graph.Timestamp) []string {
+	t.Helper()
+	var keys []string
+	eng := core.New(q, core.Config{Storage: storage, Decomposition: dec, OnMatch: func(m *match.Match) {
+		if err := m.Verify(q); err != nil {
+			t.Fatalf("engine emitted invalid match %s: %v", m, err)
+		}
+		keys = append(keys, m.Key())
+	}})
+	runStream(t, edges, window, eng.Process)
+	sort.Strings(keys)
+	return keys
+}
+
+func incmatKeys(t *testing.T, q *query.Query, alg iso.Algorithm, edges []graph.Edge, window graph.Timestamp) []string {
+	t.Helper()
+	var keys []string
+	im := incmat.New(q, alg, func(m *match.Match) {
+		if err := m.Verify(q); err != nil {
+			t.Fatalf("incmat emitted invalid match %s: %v", m, err)
+		}
+		keys = append(keys, m.Key())
+	})
+	runStream(t, edges, window, im.Process)
+	sort.Strings(keys)
+	return keys
+}
+
+func sjtreeKeys(t *testing.T, q *query.Query, edges []graph.Edge, window graph.Timestamp) []string {
+	t.Helper()
+	var keys []string
+	sj := sjtree.New(q, func(m *match.Match) {
+		if err := m.Verify(q); err != nil {
+			t.Fatalf("sjtree emitted invalid match %s: %v", m, err)
+		}
+		keys = append(keys, m.Key())
+	})
+	runStream(t, edges, window, sj.Process)
+	sort.Strings(keys)
+	return keys
+}
+
+func diffKeys(t *testing.T, name string, want, got []string) {
+	t.Helper()
+	if len(want) == len(got) {
+		same := true
+		for i := range want {
+			if want[i] != got[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return
+		}
+	}
+	t.Errorf("%s: result sets differ: want %d matches, got %d", name, len(want), len(got))
+	wm := map[string]bool{}
+	for _, k := range want {
+		wm[k] = true
+	}
+	gm := map[string]bool{}
+	for _, k := range got {
+		gm[k] = true
+	}
+	shown := 0
+	for _, k := range want {
+		if !gm[k] && shown < 5 {
+			t.Errorf("  missing: %s", k)
+			shown++
+		}
+	}
+	shown = 0
+	for _, k := range got {
+		if !wm[k] && shown < 5 {
+			t.Errorf("  extra:   %s", k)
+			shown++
+		}
+	}
+}
+
+// TestPaperRunningExample reproduces Figs. 3-5: query Q (6 edges with
+// 6≺3≺1 and 6≺5≺4) over the 10-edge stream with window 9; the match
+// {σ1,σ3,σ4,σ5,σ7,σ8} must be found at t=8.
+func TestPaperRunningExample(t *testing.T) {
+	labels := graph.NewLabels()
+	la, lb, lc, ld, le, lf := labels.Intern("a"), labels.Intern("b"), labels.Intern("c"),
+		labels.Intern("d"), labels.Intern("e"), labels.Intern("f")
+
+	// Query of Fig. 5: vertices a,b,c,d,e,f; edges (paper numbering, cf.
+	// Figs. 6 and 11): ε1: a→b, ε2: b→c, ε3: d→b, ε4: d→c, ε5: c→e,
+	// ε6: e→f.
+	b := query.NewBuilder()
+	va, vb, vc, vd, ve, vf := b.AddVertex(la), b.AddVertex(lb), b.AddVertex(lc),
+		b.AddVertex(ld), b.AddVertex(le), b.AddVertex(lf)
+	e1 := b.AddEdge(va, vb)
+	_ = b.AddEdge(vb, vc) // ε2
+	e3 := b.AddEdge(vd, vb)
+	e4 := b.AddEdge(vd, vc)
+	e5 := b.AddEdge(vc, ve)
+	e6 := b.AddEdge(ve, vf)
+	// 6 ≺ 3 ≺ 1 and 6 ≺ 5 ≺ 4.
+	b.Before(e6, e3)
+	b.Before(e3, e1)
+	b.Before(e6, e5)
+	b.Before(e5, e4)
+	q, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The stream of Fig. 3 (vertex IDs from the superscripts).
+	mk := func(from, to int64, fl, tl graph.Label, ts int64) graph.Edge {
+		return graph.Edge{From: graph.VertexID(from), To: graph.VertexID(to),
+			FromLabel: fl, ToLabel: tl, Time: graph.Timestamp(ts)}
+	}
+	edges := []graph.Edge{
+		mk(7, 8, le, lf, 1),  // σ1 e7→f8
+		mk(4, 9, lc, le, 2),  // σ2 c4→e9
+		mk(4, 7, lc, le, 3),  // σ3 c4→e7
+		mk(5, 4, ld, lc, 4),  // σ4 d5→c4
+		mk(3, 4, lb, lc, 5),  // σ5 b3→c4
+		mk(2, 3, la, lb, 6),  // σ6 a2→b3
+		mk(5, 3, ld, lb, 7),  // σ7 d5→b3
+		mk(1, 3, la, lb, 8),  // σ8 a1→b3
+		mk(6, 4, ld, lc, 9),  // σ9 d6→c4
+		mk(5, 7, ld, le, 10), // σ10 d5→e7
+	}
+
+	var got []string
+	var gotAt []graph.Timestamp
+	eng := core.New(q, core.Config{OnMatch: func(m *match.Match) {
+		if err := m.Verify(q); err != nil {
+			t.Fatalf("invalid match: %v", err)
+		}
+		got = append(got, m.Key())
+		var maxT graph.Timestamp
+		for _, e := range m.Edges {
+			if e.Time > maxT {
+				maxT = e.Time
+			}
+		}
+		gotAt = append(gotAt, maxT)
+	}})
+	runStream(t, edges, 9, eng.Process)
+
+	if len(got) != 1 {
+		t.Fatalf("want exactly the Fig. 4a match, got %d matches: %v", len(got), got)
+	}
+	if gotAt[0] != 8 {
+		t.Errorf("match should complete at t=8, got t=%d", gotAt[0])
+	}
+	// σ IDs are assigned 0-based in arrival order: σ1→0, σ3→2, σ4→3,
+	// σ5→4, σ7→6, σ8→7. Query edges: ε1 matches σ8(7), ε2 matches
+	// σ5(4), ε3 matches σ7(6), ε4 matches σ4(3), ε5 matches σ3(2),
+	// ε6 matches σ1(0) — the bold match of Fig. 4a.
+	want := "0=7,1=4,2=6,3=3,4=2,5=0"
+	if got[0] != want {
+		t.Errorf("match assignment: want %s, got %s", want, got[0])
+	}
+
+	// The decomposition of Fig. 8 has three TC-subqueries.
+	if k := eng.K(); k != 3 {
+		t.Errorf("decomposition size: want 3, got %d", k)
+	}
+}
+
+// TestCrossValidation compares Timing, Timing-IND, SJ-tree and IncMat
+// (all three static algorithms) on random streams and random queries.
+func TestCrossValidation(t *testing.T) {
+	for _, ds := range datagen.Datasets() {
+		for trial := 0; trial < 6; trial++ {
+			ds, trial := ds, trial
+			t.Run(fmt.Sprintf("%s/trial%d", ds, trial), func(t *testing.T) {
+				labels := graph.NewLabels()
+				gen := datagen.New(ds, labels, datagen.Config{Vertices: 60, Seed: int64(100*trial + 7)})
+				edges := gen.Take(600)
+				size := 3 + trial%4 // 3..6 query edges
+				kind := querygen.OrderKind(trial % 3)
+				q, _, err := querygen.Generate(edges[:300], querygen.Config{
+					Size: size, Order: kind, Seed: int64(trial*31 + 5)})
+				if err != nil {
+					t.Skipf("no query: %v", err)
+				}
+				window := graph.Timestamp(200)
+
+				want := incmatKeys(t, q, iso.QuickSI, edges, window)
+				diffKeys(t, "timing-mstree", want, timingKeys(t, q, core.MSTree, nil, edges, window))
+				diffKeys(t, "timing-flat", want, timingKeys(t, q, core.Independent, nil, edges, window))
+				diffKeys(t, "sjtree", want, sjtreeKeys(t, q, edges, window))
+				diffKeys(t, "incmat-turbo", want, incmatKeys(t, q, iso.TurboISO, edges, window))
+				diffKeys(t, "incmat-boost", want, incmatKeys(t, q, iso.BoostISO, edges, window))
+
+				// Random decomposition / join order must not change results.
+				rng := rand.New(rand.NewSource(int64(trial)))
+				dec := query.DecomposeRandom(q, rng, rng)
+				diffKeys(t, "timing-randdec", want, timingKeys(t, q, core.MSTree, dec, edges, window))
+			})
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"timingsubg/internal/graph"
+	"timingsubg/internal/match"
+	"timingsubg/internal/query"
+)
+
+// levelJoin precomputes, for global item x (joining the prefix
+// Q¹∪…∪Q^{x−1} with Q^x), exactly which checks the compatibility join
+// ⋈ᵀ needs: which query vertices are shared, which are newly bound by
+// the right side, which timing-order pairs cross the two sides, and
+// whether two query edges could ever bind the same data edge. The
+// generic match.Compatible scans all O(V²+E²) combinations per candidate
+// pair; with the metadata the join costs only what the query structure
+// demands — in particular an empty timing order costs no timing checks,
+// which is what keeps Timing ahead of SJ-tree at large decomposition
+// sizes (Figs. 23-24).
+type levelJoin struct {
+	// shared lists query vertices bound on both sides; bindings must
+	// agree.
+	shared []query.VertexID
+	// newV lists query vertices bound only by the right side; their
+	// images must not collide with any left-side image.
+	newV []query.VertexID
+	// leftV lists the query vertices bound by the left side, used for
+	// collision checks against newV images.
+	leftV []query.VertexID
+	// cross lists timing constraints across the sides as (l, r, leftFirst):
+	// leftFirst means left edge l must precede right edge r.
+	cross []crossOrder
+	// dupCheck is set when some left edge and some right edge could bind
+	// the same data edge (same endpoint-label/edge-label pattern AND
+	// overlapping endpoints), requiring the full reuse scan.
+	dupCheck bool
+}
+
+type crossOrder struct {
+	l, r      query.EdgeID
+	leftFirst bool
+}
+
+// buildJoins computes levelJoin metadata for global items 2..k; index 0
+// and 1 are unused.
+func buildJoins(q *query.Query, dec *query.Decomposition) []levelJoin {
+	k := dec.K()
+	joins := make([]levelJoin, k+1)
+	var prefixMask uint64
+	for x := 2; x <= k; x++ {
+		prefixMask |= dec.Subqueries[x-2].Mask
+		rightMask := dec.Subqueries[x-1].Mask
+		joins[x] = makeLevelJoin(q, prefixMask, rightMask)
+	}
+	return joins
+}
+
+func makeLevelJoin(q *query.Query, leftMask, rightMask uint64) levelJoin {
+	var j levelJoin
+	leftV := vertexSetOf(q, leftMask)
+	rightV := vertexSetOf(q, rightMask)
+	for v := 0; v < q.NumVertices(); v++ {
+		switch {
+		case leftV[v] && rightV[v]:
+			j.shared = append(j.shared, query.VertexID(v))
+		case rightV[v]:
+			j.newV = append(j.newV, query.VertexID(v))
+		}
+		if leftV[v] {
+			j.leftV = append(j.leftV, query.VertexID(v))
+		}
+	}
+	for l := 0; l < q.NumEdges(); l++ {
+		if leftMask&(1<<uint(l)) == 0 {
+			continue
+		}
+		for r := 0; r < q.NumEdges(); r++ {
+			if rightMask&(1<<uint(r)) == 0 {
+				continue
+			}
+			le, re := query.EdgeID(l), query.EdgeID(r)
+			if q.Precedes(le, re) {
+				j.cross = append(j.cross, crossOrder{l: le, r: re, leftFirst: true})
+			}
+			if q.Precedes(re, le) {
+				j.cross = append(j.cross, crossOrder{l: le, r: re, leftFirst: false})
+			}
+			if !j.dupCheck && edgesCouldShareData(q, le, re) {
+				j.dupCheck = true
+			}
+		}
+	}
+	return j
+}
+
+func vertexSetOf(q *query.Query, mask uint64) []bool {
+	set := make([]bool, q.NumVertices())
+	for e := 0; mask != 0; e++ {
+		if mask&1 != 0 {
+			qe := q.Edge(query.EdgeID(e))
+			set[qe.From] = true
+			set[qe.To] = true
+		}
+		mask >>= 1
+	}
+	return set
+}
+
+// edgesCouldShareData reports whether one data edge could bind both a
+// and b: the endpoint labels must coincide and the edge labels must be
+// compatible (equal, or either unlabelled). Only then does the join need
+// the full data-edge reuse scan.
+func edgesCouldShareData(q *query.Query, a, b query.EdgeID) bool {
+	ea, eb := q.Edge(a), q.Edge(b)
+	if q.VertexLabel(ea.From) != q.VertexLabel(eb.From) || q.VertexLabel(ea.To) != q.VertexLabel(eb.To) {
+		return false
+	}
+	return ea.Label == eb.Label || ea.Label == graph.NoLabel || eb.Label == graph.NoLabel
+}
+
+// compatible applies the precomputed join checks to a (left, right)
+// candidate pair. It is equivalent to left.Compatible(q, right) for
+// matches with the expected bound-edge masks but touches only the
+// necessary fields.
+func (j *levelJoin) compatible(left, right *match.Match) bool {
+	for _, v := range j.shared {
+		if left.Vtx[v] != right.Vtx[v] {
+			return false
+		}
+	}
+	for _, v := range j.newV {
+		rv := right.Vtx[v]
+		for _, lv := range j.leftV {
+			if left.Vtx[lv] == rv {
+				return false
+			}
+		}
+	}
+	for _, c := range j.cross {
+		lt := left.Edges[c.l].Time
+		rt := right.Edges[c.r].Time
+		if c.leftFirst {
+			if lt >= rt {
+				return false
+			}
+		} else if rt >= lt {
+			return false
+		}
+	}
+	if j.dupCheck {
+		for e := range right.Edges {
+			if right.Edges[e].ID != match.NoEdge && left.HasDataEdge(right.Edges[e].ID) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"timingsubg/internal/graph"
+	"timingsubg/internal/match"
+	"timingsubg/internal/query"
+)
+
+// TestLevelJoinMatchesGeneric cross-checks the specialized levelJoin
+// compatibility against match.Compatible on randomly generated left
+// (prefix) and right (Q^x) matches of the running-example decomposition:
+// the two must agree on every pair.
+func TestLevelJoinMatchesGeneric(t *testing.T) {
+	eng, q, _ := planQuery(t)
+	dec := eng.Decomposition()
+	joins := buildJoins(q, dec)
+	rng := rand.New(rand.NewSource(4))
+
+	// randMatch binds the edges of the given subquery mask to random
+	// data edges with consistent, internally injective endpoints — the
+	// invariant every stored partial match satisfies. Vertices are drawn
+	// without replacement from a small pool so CROSS-side collisions and
+	// agreements occur often; edge IDs are drawn from a per-side range so
+	// they never collide across sides (as in a real stream, where one
+	// data edge cannot carry two different label patterns).
+	randMatch := func(mask uint64, idBase int64) *match.Match {
+		m := match.New(q)
+		assign := make(map[query.VertexID]graph.VertexID)
+		used := make(map[graph.VertexID]bool)
+		pick := func(v query.VertexID) graph.VertexID {
+			if dv, ok := assign[v]; ok {
+				return dv
+			}
+			for {
+				dv := graph.VertexID(rng.Intn(10))
+				if !used[dv] {
+					used[dv] = true
+					assign[v] = dv
+					return dv
+				}
+			}
+		}
+		id := graph.EdgeID(idBase + rng.Int63n(1000))
+		for e := 0; e < q.NumEdges(); e++ {
+			if mask&(1<<uint(e)) == 0 {
+				continue
+			}
+			qe := q.Edge(query.EdgeID(e))
+			from := pick(qe.From)
+			to := pick(qe.To)
+			id++
+			m.Edges[e] = graph.Edge{
+				ID: id, From: from, To: to,
+				FromLabel: q.VertexLabel(qe.From), ToLabel: q.VertexLabel(qe.To),
+				Time: graph.Timestamp(rng.Intn(40) + 1),
+			}
+			m.Vtx[qe.From] = from
+			m.Vtx[qe.To] = to
+			m.EdgeMask |= 1 << uint(e)
+		}
+		return m
+	}
+
+	var prefix uint64
+	for x := 2; x <= dec.K(); x++ {
+		prefix |= dec.Subqueries[x-2].Mask
+		right := dec.Subqueries[x-1].Mask
+		j := &joins[x]
+		agreeChecked := 0
+		for trial := 0; trial < 3000; trial++ {
+			l := randMatch(prefix, 1_000_000)
+			r := randMatch(right, 2_000_000)
+			want := l.Compatible(q, r)
+			got := j.compatible(l, r)
+			if want != got {
+				t.Fatalf("level %d trial %d: generic=%v specialized=%v\nleft=%s\nright=%s",
+					x, trial, want, got, l, r)
+			}
+			agreeChecked++
+		}
+		if agreeChecked == 0 {
+			t.Fatalf("level %d: no pairs checked", x)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"testing"
+
+	"timingsubg/internal/graph"
+	"timingsubg/internal/lock"
+	"timingsubg/internal/query"
+)
+
+// planQuery builds the running-example query (Fig. 5) and an engine.
+func planQuery(t *testing.T) (*Engine, *query.Query, *graph.Labels) {
+	t.Helper()
+	labels := graph.NewLabels()
+	la, lb, lc := labels.Intern("a"), labels.Intern("b"), labels.Intern("c")
+	ld, le, lf := labels.Intern("d"), labels.Intern("e"), labels.Intern("f")
+	b := query.NewBuilder()
+	va, vb, vc := b.AddVertex(la), b.AddVertex(lb), b.AddVertex(lc)
+	vd, ve, vf := b.AddVertex(ld), b.AddVertex(le), b.AddVertex(lf)
+	e1 := b.AddEdge(va, vb)
+	b.AddEdge(vb, vc)
+	e3 := b.AddEdge(vd, vb)
+	e4 := b.AddEdge(vd, vc)
+	e5 := b.AddEdge(vc, ve)
+	e6 := b.AddEdge(ve, vf)
+	b.Before(e6, e3)
+	b.Before(e3, e1)
+	b.Before(e6, e5)
+	b.Before(e5, e4)
+	q, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(q, Config{}), q, labels
+}
+
+// TestInsertPlanShape verifies the Section V-A lock-request patterns on
+// the running example: a first-sequence-position edge needs exactly one
+// exclusive lock; a mid-sequence edge needs S on the previous item and X
+// on its own; a sequence-completing edge cascades through the global
+// items with alternating S/X requests (the Fig. 13 dispatch pattern).
+func TestInsertPlanShape(t *testing.T) {
+	eng, q, labels := planQuery(t)
+	dec := eng.Decomposition()
+	if dec.K() != 3 {
+		t.Fatalf("running example must decompose into 3, got %d", dec.K())
+	}
+	le, lf := labels.Intern("e"), labels.Intern("f")
+
+	// An e→f edge matches ε6, the first edge of its TC-subquery.
+	first := graph.Edge{From: 7, To: 8, FromLabel: le, ToLabel: lf, Time: 1}
+	plan := eng.InsertPlan(first)
+	s, p := dec.Locate(q.MatchingEdges(first)[0])
+	if p != 0 {
+		t.Fatalf("ε6 must be first in its sequence, got position %d", p)
+	}
+	want := []lock.Request{{Item: lock.ItemID{List: s + 1, Level: 1}, Mode: lock.X}}
+	if len(dec.Subqueries[s].Seq) == 1 {
+		t.Fatal("ε6's subquery has 3 edges in the paper")
+	}
+	if len(plan) != len(want) || plan[0] != want[0] {
+		t.Fatalf("first-position plan: want %v, got %v", want, plan)
+	}
+
+	// A c→e edge matches ε5, second in the same sequence: S then X.
+	lc := labels.Intern("c")
+	mid := graph.Edge{From: 4, To: 7, FromLabel: lc, ToLabel: le, Time: 2}
+	plan = eng.InsertPlan(mid)
+	if len(plan) != 2 {
+		t.Fatalf("mid-position plan: want 2 requests, got %v", plan)
+	}
+	if plan[0].Mode != lock.S || plan[0].Item.Level != 1 {
+		t.Errorf("mid plan must read the previous item shared: %v", plan)
+	}
+	if plan[1].Mode != lock.X || plan[1].Item.Level != 2 {
+		t.Errorf("mid plan must write its own item exclusive: %v", plan)
+	}
+	if plan[0].Item.List != plan[1].Item.List {
+		t.Error("both requests target the same sub-list")
+	}
+
+	// A d→c edge matches ε4, completing the 3-edge subquery: the plan
+	// must continue into the global cascade and end writing L0's last
+	// item.
+	ld := labels.Intern("d")
+	lastE := graph.Edge{From: 5, To: 4, FromLabel: ld, ToLabel: lc, Time: 3}
+	plan = eng.InsertPlan(lastE)
+	if len(plan) < 4 {
+		t.Fatalf("sequence-completing plan must cascade, got %v", plan)
+	}
+	tail := plan[len(plan)-1]
+	if tail.Mode != lock.X || tail.Item.List != 0 || tail.Item.Level != dec.K() {
+		t.Errorf("cascade must end with X on L0^%d, got %v", dec.K(), tail)
+	}
+	// Alternating read/write pattern in the cascade: every X(0, x) is
+	// preceded by an S read.
+	for i, r := range plan {
+		if r.Item.List == 0 && r.Mode == lock.X && i > 0 {
+			if plan[i-1].Mode != lock.S {
+				t.Errorf("global write at %d not preceded by a read: %v", i, plan)
+			}
+		}
+	}
+
+	// An edge matching nothing has an empty plan.
+	quiet := labels.Intern("zz")
+	if got := eng.InsertPlan(graph.Edge{From: 1, To: 2, FromLabel: quiet, ToLabel: quiet}); len(got) != 0 {
+		t.Errorf("unmatched edge must need no locks, got %v", got)
+	}
+}
+
+// TestDeletePlanShape verifies Del(σ) locks every level of each matched
+// sub-list exclusively, then the global items from its join position on.
+func TestDeletePlanShape(t *testing.T) {
+	eng, _, labels := planQuery(t)
+	dec := eng.Decomposition()
+	le, lf := labels.Intern("e"), labels.Intern("f")
+	d := graph.Edge{From: 7, To: 8, FromLabel: le, ToLabel: lf, Time: 1}
+	plan := eng.DeletePlan(d)
+	if len(plan) == 0 {
+		t.Fatal("matched edge needs a delete plan")
+	}
+	for _, r := range plan {
+		if r.Mode != lock.X {
+			t.Fatalf("deletes use exclusive locks only, got %v", plan)
+		}
+	}
+	// The sub-list must be locked level by level from 1.
+	s, _ := dec.Locate(0)
+	_ = s
+	if plan[0].Item.Level != 1 {
+		t.Errorf("delete starts at the first item, got %v", plan[0])
+	}
+	// The plan must reach the global list when the subquery joins it.
+	sawGlobal := false
+	for _, r := range plan {
+		if r.Item.List == 0 {
+			sawGlobal = true
+		}
+	}
+	if !sawGlobal && dec.K() > 1 {
+		// Sub 1's global item aliases its own last item, so a match in
+		// sub 1 may legitimately skip explicit L0 locks only if its
+		// cascade starts at level 2.
+		t.Log("plan:", plan)
+		t.Error("delete plan must cover the global cascade")
+	}
+}

@@ -1,0 +1,362 @@
+package core_test
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"timingsubg/internal/core"
+	"timingsubg/internal/datagen"
+	"timingsubg/internal/graph"
+	"timingsubg/internal/match"
+	"timingsubg/internal/query"
+	"timingsubg/internal/querygen"
+)
+
+// TestOrderMonotonicity checks the core semantic property of timing
+// orders: strengthening ≺ can only remove matches. For random walks we
+// build three queries over the same graph — empty, random, full — and
+// verify result-set containment full ⊆ random ⊆ empty.
+func TestOrderMonotonicity(t *testing.T) {
+	for trial := 0; trial < 5; trial++ {
+		labels := graph.NewLabels()
+		gen := datagen.New(datagen.Datasets()[trial%3], labels,
+			datagen.Config{Vertices: 500, Seed: int64(trial*13 + 1)})
+		edges := gen.Take(900)
+
+		// Use one witness subgraph for all three orders by fixing the
+		// walk seed and only changing the order kind.
+		mkKeys := func(kind querygen.OrderKind) (map[string]bool, bool) {
+			q, _, err := querygen.Generate(edges[:400], querygen.Config{
+				Size: 4, Order: kind, Seed: 99})
+			if err != nil {
+				return nil, false
+			}
+			keys := map[string]bool{}
+			eng := core.New(q, core.Config{OnMatch: func(m *match.Match) {
+				keys[m.Key()] = true
+			}})
+			runStream(t, edges, 300, eng.Process)
+			return keys, true
+		}
+		empty, ok1 := mkKeys(querygen.EmptyOrder)
+		random, ok2 := mkKeys(querygen.RandomOrder)
+		full, ok3 := mkKeys(querygen.FullOrder)
+		if !ok1 || !ok2 || !ok3 {
+			continue
+		}
+		for k := range random {
+			if !empty[k] {
+				t.Errorf("trial %d: random-order match %s missing under empty order", trial, k)
+			}
+		}
+		for k := range full {
+			if !empty[k] {
+				t.Errorf("trial %d: full-order match %s missing under empty order", trial, k)
+			}
+		}
+		if len(full) > len(random) || len(random) > len(empty) {
+			t.Errorf("trial %d: monotonicity violated: |full|=%d |random|=%d |empty|=%d",
+				trial, len(full), len(random), len(empty))
+		}
+	}
+}
+
+// TestDiscardableEdgeCounting reproduces the paper's discardable-edge
+// discussion: in the running example, σ6 (matching only ε1) is
+// discardable at t=6 because no edge matching ε3 arrived before it.
+func TestDiscardableEdgeCounting(t *testing.T) {
+	labels := graph.NewLabels()
+	la, lb := labels.Intern("a"), labels.Intern("b")
+	ld := labels.Intern("d")
+	b := query.NewBuilder()
+	va, vb, vd := b.AddVertex(la), b.AddVertex(lb), b.AddVertex(ld)
+	e1 := b.AddEdge(va, vb) // ε1
+	e3 := b.AddEdge(vd, vb) // ε3
+	b.Before(e3, e1)        // 3 ≺ 1
+	q, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.New(q, core.Config{})
+	// a→b arrives with no prior d→b: discardable.
+	eng.Insert(graph.Edge{ID: 0, From: 2, To: 3, FromLabel: la, ToLabel: lb, Time: 1})
+	if got := eng.Stats().Discarded.Load(); got != 1 {
+		t.Fatalf("want 1 discardable edge, got %d", got)
+	}
+	if got := eng.PartialMatchCount(); got != 0 {
+		t.Fatalf("discardable edges must not be stored, got %d partials", got)
+	}
+	// d→b arrives: stored as a match of Preq(ε3).
+	eng.Insert(graph.Edge{ID: 1, From: 5, To: 3, FromLabel: ld, ToLabel: lb, Time: 2})
+	if got := eng.PartialMatchCount(); got != 1 {
+		t.Fatalf("prerequisite edge must be stored, got %d partials", got)
+	}
+	// a→b arrives again, now extendable: completes a match.
+	eng.Insert(graph.Edge{ID: 2, From: 2, To: 3, FromLabel: la, ToLabel: lb, Time: 3})
+	if got := eng.Stats().Matches.Load(); got != 1 {
+		t.Fatalf("want 1 match, got %d", got)
+	}
+}
+
+// TestEdgeLabeledQueries runs a network-flow-style query whose edges are
+// distinguished only by edge labels (all vertices share the "IP" label).
+func TestEdgeLabeledQueries(t *testing.T) {
+	labels := graph.NewLabels()
+	ip := labels.Intern("IP")
+	http := labels.Intern("http")
+	tcp := labels.Intern("tcp")
+
+	b := query.NewBuilder()
+	v, w := b.AddVertex(ip), b.AddVertex(ip)
+	browse := b.AddLabeledEdge(v, w, http)
+	answer := b.AddLabeledEdge(w, v, tcp)
+	b.Before(browse, answer)
+	q, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var keys []string
+	eng := core.New(q, core.Config{OnMatch: func(m *match.Match) {
+		keys = append(keys, m.Key())
+	}})
+	edges := []graph.Edge{
+		{From: 1, To: 2, FromLabel: ip, ToLabel: ip, EdgeLabel: tcp, Time: 1},  // wrong label for browse
+		{From: 1, To: 2, FromLabel: ip, ToLabel: ip, EdgeLabel: http, Time: 2}, // browse
+		{From: 2, To: 1, FromLabel: ip, ToLabel: ip, EdgeLabel: http, Time: 3}, // wrong label for answer
+		{From: 2, To: 1, FromLabel: ip, ToLabel: ip, EdgeLabel: tcp, Time: 4},  // answer: match
+	}
+	runStream(t, edges, 100, eng.Process)
+	if len(keys) != 1 {
+		t.Fatalf("want exactly one labelled match, got %v", keys)
+	}
+}
+
+// TestExpiryRemovesEverything feeds a burst and then lets the whole
+// window expire; all stored partial matches must drain.
+func TestExpiryRemovesEverything(t *testing.T) {
+	for _, storage := range []core.Storage{core.MSTree, core.Independent} {
+		labels := graph.NewLabels()
+		gen := datagen.New(datagen.SocialStream, labels, datagen.Config{Vertices: 200, Seed: 4})
+		edges := gen.Take(400)
+		q, _, err := querygen.Generate(edges, querygen.Config{Size: 3, Seed: 8})
+		if err != nil {
+			t.Skipf("no query: %v", err)
+		}
+		eng := core.New(q, core.Config{Storage: storage})
+		st := graph.NewStream(100)
+		for _, e := range edges {
+			stored, expired, err := st.Push(e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng.Process(stored, expired)
+		}
+		// A final far-future unmatched edge slides everything out.
+		quiet := labels.Intern("quiet-label")
+		stored, expired, err := st.Push(graph.Edge{
+			From: 1, To: 2, FromLabel: quiet, ToLabel: quiet,
+			Time: edges[len(edges)-1].Time + 10_000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.Process(stored, expired)
+		if got := eng.PartialMatchCount(); got != 0 {
+			t.Errorf("storage %d: %d partial matches survived full expiry", storage, got)
+		}
+		if eng.SpaceBytes() != 0 {
+			t.Errorf("storage %d: space must drain to 0, got %d", storage, eng.SpaceBytes())
+		}
+	}
+}
+
+// TestMatchesReportedOnce verifies no duplicate reports across a full
+// run (matches are keyed by their data-edge assignment).
+func TestMatchesReportedOnce(t *testing.T) {
+	labels := graph.NewLabels()
+	gen := datagen.New(datagen.WikiTalk, labels, datagen.Config{Vertices: 300, Seed: 12})
+	edges := gen.Take(800)
+	q, _, err := querygen.Generate(edges[:300], querygen.Config{Size: 4, Order: querygen.EmptyOrder, Seed: 2})
+	if err != nil {
+		t.Skipf("no query: %v", err)
+	}
+	seen := map[string]int{}
+	eng := core.New(q, core.Config{OnMatch: func(m *match.Match) {
+		seen[m.Key()]++
+	}})
+	runStream(t, edges, 250, eng.Process)
+	var dups []string
+	for k, n := range seen {
+		if n > 1 {
+			dups = append(dups, k)
+		}
+	}
+	sort.Strings(dups)
+	if len(dups) > 0 {
+		t.Errorf("%d matches reported more than once, e.g. %s", len(dups), dups[0])
+	}
+}
+
+// TestStatsConsistency sanity-checks the counter relationships.
+func TestStatsConsistency(t *testing.T) {
+	labels := graph.NewLabels()
+	gen := datagen.New(datagen.NetworkFlow, labels, datagen.Config{Vertices: 300, Seed: 3})
+	edges := gen.Take(600)
+	q, _, err := querygen.Generate(edges[:200], querygen.Config{Size: 4, Seed: 6})
+	if err != nil {
+		t.Skipf("no query: %v", err)
+	}
+	eng := core.New(q, core.Config{})
+	runStream(t, edges, 200, eng.Process)
+	st := eng.Stats()
+	if st.EdgesIn.Load() != int64(len(edges)) {
+		t.Errorf("EdgesIn: want %d, got %d", len(edges), st.EdgesIn.Load())
+	}
+	if st.EdgesOut.Load() != int64(len(edges)-200) {
+		t.Errorf("EdgesOut: want %d, got %d", len(edges)-200, st.EdgesOut.Load())
+	}
+	if st.Discarded.Load() > st.EdgesIn.Load() {
+		t.Error("Discarded cannot exceed EdgesIn")
+	}
+	if st.Matches.Load() < 0 || st.PartialIns.Load() < st.Matches.Load() {
+		t.Error("every match is at least one partial insertion")
+	}
+}
+
+// TestCurrentMatches verifies the standing-match view: matches appear
+// when complete and disappear when a member edge expires.
+func TestCurrentMatches(t *testing.T) {
+	labels := graph.NewLabels()
+	la, lb, lc := labels.Intern("a"), labels.Intern("b"), labels.Intern("c")
+	for _, chain := range []bool{true, false} {
+		b := query.NewBuilder()
+		va, vb, vc := b.AddVertex(la), b.AddVertex(lb), b.AddVertex(lc)
+		e1 := b.AddEdge(va, vb)
+		e2 := b.AddEdge(vb, vc)
+		if chain {
+			b.Before(e1, e2) // k=1
+		} // else k=2: exercises the global list path
+		q, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := core.New(q, core.Config{})
+		st := graph.NewStream(5)
+		push := func(f, to int64, fl, tl graph.Label, tm int64) {
+			t.Helper()
+			stored, expired, err := st.Push(graph.Edge{
+				From: graph.VertexID(f), To: graph.VertexID(to),
+				FromLabel: fl, ToLabel: tl, Time: graph.Timestamp(tm)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng.Process(stored, expired)
+		}
+		push(1, 2, la, lb, 1)
+		push(2, 3, lb, lc, 2)
+		if got := eng.CurrentMatchCount(); got != 1 {
+			t.Fatalf("chain=%v: want 1 standing match, got %d", chain, got)
+		}
+		n := 0
+		eng.CurrentMatches(func(m *match.Match) bool {
+			if err := m.Verify(q); err != nil {
+				t.Errorf("standing match invalid: %v", err)
+			}
+			n++
+			return true
+		})
+		if n != 1 {
+			t.Fatalf("chain=%v: enumerated %d", chain, n)
+		}
+		// Slide the first edge out: the match must vanish.
+		push(7, 8, lc, lc, 10)
+		if got := eng.CurrentMatchCount(); got != 0 {
+			t.Fatalf("chain=%v: match must expire, got %d", chain, got)
+		}
+	}
+}
+
+// TestTheorem2OnlyMatchedItemUpdated verifies Theorem 2: when an
+// incoming edge matches the i-th edge of a TC-subquery's timing
+// sequence, only item L^i of that subquery (plus the global cascade)
+// gains partial matches — every other sub-list item stays untouched.
+func TestTheorem2OnlyMatchedItemUpdated(t *testing.T) {
+	labels := graph.NewLabels()
+	la, lb, lc, ld := labels.Intern("a"), labels.Intern("b"), labels.Intern("c"), labels.Intern("d")
+	// One TC-query: a→b ≺ b→c ≺ c→d.
+	b := query.NewBuilder()
+	va, vb, vc, vd := b.AddVertex(la), b.AddVertex(lb), b.AddVertex(lc), b.AddVertex(ld)
+	e1 := b.AddEdge(va, vb)
+	e2 := b.AddEdge(vb, vc)
+	e3 := b.AddEdge(vc, vd)
+	b.Before(e1, e2)
+	b.Before(e2, e3)
+	q, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.New(q, core.Config{})
+
+	// Feed ε1-matching edge: exactly one new partial match.
+	eng.Insert(graph.Edge{ID: 1, From: 1, To: 2, FromLabel: la, ToLabel: lb, Time: 1})
+	if got := eng.PartialMatchCount(); got != 1 {
+		t.Fatalf("after ε1: want 1 partial, got %d", got)
+	}
+	// Feed ε3-matching edge with no ε2 prefix: discardable, nothing new.
+	eng.Insert(graph.Edge{ID: 2, From: 3, To: 4, FromLabel: lc, ToLabel: ld, Time: 2})
+	if got := eng.PartialMatchCount(); got != 1 {
+		t.Fatalf("after discardable ε3: want 1 partial, got %d", got)
+	}
+	// Feed ε2-matching edge extending the prefix: exactly one new.
+	eng.Insert(graph.Edge{ID: 3, From: 2, To: 3, FromLabel: lb, ToLabel: lc, Time: 3})
+	if got := eng.PartialMatchCount(); got != 2 {
+		t.Fatalf("after ε2: want 2 partials, got %d", got)
+	}
+	// Feed ε3 again, now extendable: completes the match (third partial =
+	// the complete match at the last item).
+	eng.Insert(graph.Edge{ID: 4, From: 3, To: 4, FromLabel: lc, ToLabel: ld, Time: 4})
+	if got := eng.PartialMatchCount(); got != 3 {
+		t.Fatalf("after ε3: want 3 partials, got %d", got)
+	}
+	if got := eng.Stats().Matches.Load(); got != 1 {
+		t.Fatalf("want 1 complete match, got %d", got)
+	}
+}
+
+// TestItemCountsAndWriteState covers the observability surface: per-item
+// populations must mirror the engine's partial-match count.
+func TestItemCountsAndWriteState(t *testing.T) {
+	labels := graph.NewLabels()
+	la, lb := labels.Intern("a"), labels.Intern("b")
+	b := query.NewBuilder()
+	va, vb := b.AddVertex(la), b.AddVertex(lb)
+	b.AddEdge(va, vb)
+	b.AddEdge(vb, va)
+	q, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.New(q, core.Config{})
+	eng.Insert(graph.Edge{ID: 1, From: 1, To: 2, FromLabel: la, ToLabel: lb, Time: 1})
+	eng.Insert(graph.Edge{ID: 2, From: 2, To: 1, FromLabel: lb, ToLabel: la, Time: 2})
+
+	total := 0
+	for _, ic := range eng.ItemCounts() {
+		if ic.Count < 0 {
+			t.Fatalf("negative count: %+v", ic)
+		}
+		total += ic.Count
+	}
+	if int64(total) != eng.PartialMatchCount() {
+		t.Errorf("item counts sum %d != PartialMatchCount %d", total, eng.PartialMatchCount())
+	}
+	var sb strings.Builder
+	eng.WriteState(&sb)
+	for _, want := range []string{"decomposition k=", "matches=1"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("WriteState missing %q:\n%s", want, sb.String())
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package core_test
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+
+	"timingsubg/internal/core"
+	"timingsubg/internal/graph"
+	"timingsubg/internal/match"
+	"timingsubg/internal/query"
+)
+
+// TestConcurrentExpiryStress drives a dense stream through a tiny window
+// so deletion transactions constantly chase insertions through the
+// MS-trees, maximizing the partial-removal interleavings of Theorem 5.
+// A small label alphabet makes nearly every edge relevant.
+func TestConcurrentExpiryStress(t *testing.T) {
+	labels := graph.NewLabels()
+	la, lb, lc := labels.Intern("A"), labels.Intern("B"), labels.Intern("C")
+
+	// Triangle query A→B→C→A with a partial order: (A→B) ≺ (C→A).
+	b := query.NewBuilder()
+	va, vb, vc := b.AddVertex(la), b.AddVertex(lb), b.AddVertex(lc)
+	ab := b.AddEdge(va, vb)
+	b.AddEdge(vb, vc)
+	ca := b.AddEdge(vc, va)
+	b.Before(ab, ca)
+	q, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Dense deterministic stream over 9 vertices (3 per label).
+	var edges []graph.Edge
+	tm := graph.Timestamp(0)
+	push := func(f, to int64, fl, tl graph.Label) {
+		tm++
+		edges = append(edges, graph.Edge{
+			From: graph.VertexID(f), To: graph.VertexID(to),
+			FromLabel: fl, ToLabel: tl, Time: tm,
+		})
+	}
+	for round := 0; round < 700; round++ {
+		i := int64(round % 3)
+		j := int64((round / 3) % 3)
+		switch round % 3 {
+		case 0:
+			push(i, 3+j, la, lb)
+		case 1:
+			push(3+i, 6+j, lb, lc)
+		case 2:
+			push(6+i, j, lc, la)
+		}
+	}
+
+	serialRun := func() []string {
+		var keys []string
+		eng := core.New(q, core.Config{OnMatch: func(m *match.Match) {
+			keys = append(keys, m.Key())
+		}})
+		runStream(t, edges, 40, eng.Process)
+		sort.Strings(keys)
+		return keys
+	}
+	want := serialRun()
+	if len(want) == 0 {
+		t.Fatal("stress workload produced no matches; widen it")
+	}
+
+	for _, workers := range []int{2, 4, 8} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers%d", workers), func(t *testing.T) {
+			for rep := 0; rep < 3; rep++ {
+				var mu sync.Mutex
+				var got []string
+				eng := core.New(q, core.Config{OnMatch: func(m *match.Match) {
+					if err := m.Verify(q); err != nil {
+						t.Errorf("invalid match under contention: %v", err)
+					}
+					mu.Lock()
+					got = append(got, m.Key())
+					mu.Unlock()
+				}})
+				par := core.NewParallel(eng, core.FineGrained, workers)
+				runStream(t, edges, 40, par.Process)
+				par.Wait()
+				sort.Strings(got)
+				diffKeys(t, fmt.Sprintf("rep%d", rep), want, got)
+			}
+		})
+	}
+}

@@ -1,0 +1,265 @@
+package datagen
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"timingsubg/internal/graph"
+)
+
+func TestGeneratorsBasics(t *testing.T) {
+	for _, ds := range Datasets() {
+		ds := ds
+		t.Run(ds.String(), func(t *testing.T) {
+			labels := graph.NewLabels()
+			gen := New(ds, labels, Config{Vertices: 100, Seed: 1})
+			edges := gen.Take(2000)
+			if len(edges) != 2000 {
+				t.Fatalf("want 2000 edges, got %d", len(edges))
+			}
+			for i, e := range edges {
+				if e.ID != graph.EdgeID(i) {
+					t.Fatalf("edge %d: want sequential ID, got %d", i, e.ID)
+				}
+				if i > 0 && e.Time <= edges[i-1].Time {
+					t.Fatalf("edge %d: timestamps must strictly increase", i)
+				}
+				if e.From == e.To && ds != SocialStream {
+					t.Fatalf("edge %d: generators avoid self loops", i)
+				}
+				if e.FromLabel == 0 || e.ToLabel == 0 {
+					t.Fatalf("edge %d: vertices must be labelled", i)
+				}
+			}
+		})
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	for _, ds := range Datasets() {
+		a := New(ds, graph.NewLabels(), Config{Vertices: 50, Seed: 7}).Take(500)
+		b := New(ds, graph.NewLabels(), Config{Vertices: 50, Seed: 7}).Take(500)
+		for i := range a {
+			if a[i].From != b[i].From || a[i].To != b[i].To || a[i].Time != b[i].Time {
+				t.Fatalf("%s: same seed must give identical streams (edge %d)", ds, i)
+			}
+		}
+		c := New(ds, graph.NewLabels(), Config{Vertices: 50, Seed: 8}).Take(500)
+		same := true
+		for i := range a {
+			if a[i].From != c[i].From || a[i].To != c[i].To {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Errorf("%s: different seeds should differ", ds)
+		}
+	}
+}
+
+// TestNetworkFlowPortSkew checks the CAIDA-shaped property the paper
+// reports: a handful of hot ports dominate the stream.
+func TestNetworkFlowPortSkew(t *testing.T) {
+	labels := graph.NewLabels()
+	gen := New(NetworkFlow, labels, Config{Vertices: 200, Seed: 3})
+	edges := gen.Take(10000)
+	freq := map[graph.Label]int{}
+	for _, e := range edges {
+		freq[e.EdgeLabel]++
+	}
+	if len(freq) < 20 {
+		t.Fatalf("want a long tail of edge terms, got %d", len(freq))
+	}
+	// Top 18 terms (6 hot ports × 3 protocols) must cover ≥ 40%.
+	var counts []int
+	for _, c := range freq {
+		counts = append(counts, c)
+	}
+	for i := 0; i < len(counts); i++ {
+		for j := i + 1; j < len(counts); j++ {
+			if counts[j] > counts[i] {
+				counts[i], counts[j] = counts[j], counts[i]
+			}
+		}
+	}
+	top := 0
+	for i := 0; i < 18 && i < len(counts); i++ {
+		top += counts[i]
+	}
+	if float64(top) < 0.4*float64(len(edges)) {
+		t.Errorf("hot terms cover only %d/%d records; want the paper's skew", top, len(edges))
+	}
+}
+
+// TestWikiTalkLabels verifies the 26-letter labelling scheme.
+func TestWikiTalkLabels(t *testing.T) {
+	labels := graph.NewLabels()
+	gen := New(WikiTalk, labels, Config{Vertices: 100, Seed: 2})
+	edges := gen.Take(1000)
+	seen := map[graph.Label]bool{}
+	for _, e := range edges {
+		seen[e.FromLabel] = true
+		seen[e.ToLabel] = true
+	}
+	if len(seen) > 26 {
+		t.Errorf("wiki-talk must use at most 26 vertex labels, got %d", len(seen))
+	}
+	if len(seen) < 10 {
+		t.Errorf("expected a spread of letters, got %d", len(seen))
+	}
+}
+
+// TestSocialStreamTypes verifies typed endpoints and predicates.
+func TestSocialStreamTypes(t *testing.T) {
+	labels := graph.NewLabels()
+	gen := New(SocialStream, labels, Config{Vertices: 100, Seed: 4})
+	edges := gen.Take(3000)
+	userL, _ := labels.Lookup("user")
+	postL, _ := labels.Lookup("post")
+	creates, _ := labels.Lookup("creates")
+	follows, _ := labels.Lookup("follows")
+	var sawCreate, sawFollow bool
+	for _, e := range edges {
+		if e.EdgeLabel == 0 {
+			t.Fatal("social edges must carry predicates")
+		}
+		if e.EdgeLabel == creates {
+			sawCreate = true
+			if e.FromLabel != userL || e.ToLabel != postL {
+				t.Fatal("creates must connect user→post")
+			}
+		}
+		if e.EdgeLabel == follows {
+			sawFollow = true
+			if e.FromLabel != userL || e.ToLabel != userL {
+				t.Fatal("follows must connect user→user")
+			}
+		}
+	}
+	if !sawCreate || !sawFollow {
+		t.Error("expected creates and follows predicates in 3000 edges")
+	}
+}
+
+func TestReadWriteEdgesRoundTrip(t *testing.T) {
+	labels := graph.NewLabels()
+	gen := New(SocialStream, labels, Config{Vertices: 30, Seed: 5})
+	edges := gen.Take(100)
+
+	var buf bytes.Buffer
+	if err := WriteEdges(&buf, labels, edges); err != nil {
+		t.Fatal(err)
+	}
+	labels2 := graph.NewLabels()
+	got, err := ReadEdges(&buf, labels2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(edges) {
+		t.Fatalf("want %d edges, got %d", len(edges), len(got))
+	}
+	for i := range got {
+		if got[i].From != edges[i].From || got[i].To != edges[i].To || got[i].Time != edges[i].Time {
+			t.Fatalf("edge %d drifted through the round trip", i)
+		}
+		// Labels re-intern to possibly different ids but same strings.
+		if labels2.String(got[i].FromLabel) != labels.String(edges[i].FromLabel) {
+			t.Fatalf("edge %d: from-label string changed", i)
+		}
+		if labels2.String(got[i].EdgeLabel) != labels.String(edges[i].EdgeLabel) {
+			t.Fatalf("edge %d: edge-label string changed", i)
+		}
+	}
+}
+
+func TestReadEdgesErrors(t *testing.T) {
+	labels := graph.NewLabels()
+	cases := []string{
+		"1,2,a,b,x",            // 5 fields
+		"x,2,a,b,l,3",          // bad from
+		"1,y,a,b,l,3",          // bad to
+		"1,2,a,b,l,notatime\n", // bad time
+	}
+	for _, c := range cases {
+		if _, err := ReadEdges(strings.NewReader(c), labels); err == nil {
+			t.Errorf("ReadEdges(%q) should fail", c)
+		}
+	}
+	// Comments and blank lines are fine.
+	got, err := ReadEdges(strings.NewReader("# header\n\n1,2,a,b,l,3\n"), labels)
+	if err != nil || len(got) != 1 {
+		t.Errorf("comments/blanks must be skipped: %v %d", err, len(got))
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	labels := graph.NewLabels()
+	_ = labels
+	gen := New(WikiTalk, graph.NewLabels(), Config{Vertices: 1000, Seed: 6})
+	edges := gen.Take(5000)
+	freq := map[graph.VertexID]int{}
+	for _, e := range edges {
+		freq[e.From]++
+	}
+	// The hot pool (5% of users) must account for a large share of the
+	// activity, but no single user may dominate (see datagen.Skewed).
+	hot := 0
+	var maxSingle int
+	for v, c := range freq {
+		if int(v) < 50 { // hot pool of 1000*0.05
+			hot += c
+		}
+		if c > maxSingle {
+			maxSingle = c
+		}
+	}
+	if float64(hot) < 0.4*float64(len(edges)) {
+		t.Errorf("hot pool should draw ≥40%% of activity, got %d/%d", hot, len(edges))
+	}
+	if float64(maxSingle) > 0.05*float64(len(edges)) {
+		t.Errorf("no single user should dominate, top has %d/%d", maxSingle, len(edges))
+	}
+}
+
+func TestReadSNAP(t *testing.T) {
+	labels := graph.NewLabels()
+	in := `# comment
+11 22 1000
+33 44 1000
+55 66 999
+`
+	edges, err := ReadSNAP(strings.NewReader(in), labels, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edges) != 3 {
+		t.Fatalf("want 3 edges, got %d", len(edges))
+	}
+	// Sorted by time, equal stamps spaced apart, strictly increasing.
+	if edges[0].From != 55 {
+		t.Errorf("earliest edge first, got %+v", edges[0])
+	}
+	for i := 1; i < len(edges); i++ {
+		if edges[i].Time <= edges[i-1].Time {
+			t.Fatalf("timestamps must strictly increase: %v then %v", edges[i-1].Time, edges[i].Time)
+		}
+	}
+	// Default labels: first digit of the numeric ID.
+	if labels.String(edges[0].FromLabel) != "5" || labels.String(edges[0].ToLabel) != "6" {
+		t.Errorf("default SNAP labels wrong: %s %s",
+			labels.String(edges[0].FromLabel), labels.String(edges[0].ToLabel))
+	}
+	// Custom labeller.
+	edges, err = ReadSNAP(strings.NewReader("7 8 5\n"), labels, func(id int64) string { return "user" })
+	if err != nil || labels.String(edges[0].FromLabel) != "user" {
+		t.Error("custom labeller must apply")
+	}
+	// Errors.
+	for _, bad := range []string{"1 2\n", "x 2 3\n", "1 y 3\n", "1 2 z\n"} {
+		if _, err := ReadSNAP(strings.NewReader(bad), labels, nil); err == nil {
+			t.Errorf("ReadSNAP(%q) should fail", bad)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package datagen
+
+import (
+	"strings"
+	"testing"
+
+	"timingsubg/internal/graph"
+)
+
+// FuzzReadEdges hardens the CSV stream parser: arbitrary input must
+// parse or error, never panic, and parsed edges must carry the fields
+// the line stated.
+func FuzzReadEdges(f *testing.F) {
+	f.Add("1,2,a,b,l,3\n")
+	f.Add("# c\n\n1,2,a,b,l,3\n9,8,x,y,z,4\n")
+	f.Add("1,2,a,b,l\n")
+	f.Add(",,,,,\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		labels := graph.NewLabels()
+		edges, err := ReadEdges(strings.NewReader(input), labels)
+		if err != nil {
+			return
+		}
+		for _, e := range edges {
+			_ = labels.String(e.FromLabel)
+			_ = labels.String(e.ToLabel)
+		}
+	})
+}
+
+// FuzzReadSNAP hardens the SNAP loader and its strictly-increasing
+// timestamp repair.
+func FuzzReadSNAP(f *testing.F) {
+	f.Add("1 2 3\n")
+	f.Add("1 2 3\n4 5 3\n6 7 1\n")
+	f.Add("# x\n% y\n1 2 3\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		labels := graph.NewLabels()
+		edges, err := ReadSNAP(strings.NewReader(input), labels, nil)
+		if err != nil {
+			return
+		}
+		for i := 1; i < len(edges); i++ {
+			if edges[i].Time <= edges[i-1].Time {
+				t.Fatal("SNAP loader must emit strictly increasing timestamps")
+			}
+		}
+	})
+}

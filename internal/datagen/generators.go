@@ -1,0 +1,277 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"timingsubg/internal/graph"
+)
+
+// Dataset names a synthetic workload.
+type Dataset int
+
+// The paper's three evaluation datasets (Section VII-A).
+const (
+	// NetworkFlow mirrors the CAIDA traffic shape: one vertex label
+	// ("IP"), edge labels ⟨*, dstPort, proto⟩ with a top-heavy port
+	// distribution (the paper reports the top 0.01% of ports covering
+	// >50% of records).
+	NetworkFlow Dataset = iota
+	// WikiTalk mirrors the SNAP wiki-talk temporal network: 26 vertex
+	// labels (first character of the user name), Zipf user activity.
+	WikiTalk
+	// SocialStream mirrors LSBench: typed entities with predicate edge
+	// labels (posts/likes/follows/...).
+	SocialStream
+)
+
+// String names the dataset as in the paper's figures.
+func (d Dataset) String() string {
+	switch d {
+	case NetworkFlow:
+		return "NetworkFlow"
+	case WikiTalk:
+		return "Wiki-talk"
+	case SocialStream:
+		return "SocialStream"
+	}
+	return "dataset?"
+}
+
+// Datasets lists all three workloads in figure order.
+func Datasets() []Dataset { return []Dataset{NetworkFlow, WikiTalk, SocialStream} }
+
+// Config tunes a generator.
+type Config struct {
+	// Vertices is the entity population size.
+	Vertices int
+	// Seed drives all randomness; equal seeds give identical streams.
+	Seed int64
+}
+
+// Generator produces a deterministic edge stream for a dataset. Edges
+// arrive one timestamp apart, so a window of w units holds the w most
+// recent edges — matching the paper's window unit, the average
+// inter-arrival gap (Section VII-C).
+type Generator struct {
+	ds      Dataset
+	rng     *rand.Rand
+	labels  *graph.Labels
+	nextT   graph.Timestamp
+	cfg     Config
+	nextFn  func() graph.Edge
+	ipLabel graph.Label
+
+	// NetworkFlow state.
+	hosts    *Skewed
+	hotPorts []graph.Label
+	allPorts []graph.Label
+	protos   []graph.Label
+
+	// WikiTalk state.
+	users   *Skewed
+	letters []graph.Label
+
+	// SocialStream state.
+	socialUsers *Skewed
+	predicates  []graph.Label
+	typeLabels  map[string]graph.Label
+	postSeq     int
+}
+
+// New returns a generator for ds. The Labels table is shared with query
+// generation so labels intern consistently.
+func New(ds Dataset, labels *graph.Labels, cfg Config) *Generator {
+	if cfg.Vertices <= 0 {
+		cfg.Vertices = 2000
+	}
+	g := &Generator{
+		ds:     ds,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		labels: labels,
+		cfg:    cfg,
+	}
+	switch ds {
+	case NetworkFlow:
+		g.initNetworkFlow()
+	case WikiTalk:
+		g.initWikiTalk()
+	case SocialStream:
+		g.initSocialStream()
+	}
+	return g
+}
+
+// Labels returns the intern table in use.
+func (g *Generator) Labels() *graph.Labels { return g.labels }
+
+// Next produces the next stream edge. Edges carry sequential IDs and
+// timestamps one unit apart; graph.Stream assigns the same IDs on Push,
+// so query-generation witnesses align with streamed edges.
+func (g *Generator) Next() graph.Edge {
+	e := g.nextFn()
+	e.ID = graph.EdgeID(g.nextT)
+	g.nextT++
+	e.Time = g.nextT
+	return e
+}
+
+// Take produces the next n stream edges.
+func (g *Generator) Take(n int) []graph.Edge {
+	out := make([]graph.Edge, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+// --- NetworkFlow ---------------------------------------------------
+
+func (g *Generator) initNetworkFlow() {
+	g.ipLabel = g.labels.Intern("IP")
+	g.hosts = NewSkewed(g.rng, g.cfg.Vertices, 0.05, 0.5)
+	// 6 hot destination ports cover ~50% of records; a long tail covers
+	// the rest (Section VII-A's CAIDA port skew).
+	hot := []string{"80", "443", "53", "22", "25", "8080"}
+	for _, p := range hot {
+		g.hotPorts = append(g.hotPorts, g.labels.Intern("*:"+p))
+	}
+	for p := 0; p < 200; p++ {
+		g.allPorts = append(g.allPorts, g.labels.Intern(fmt.Sprintf("*:%d", 10000+p)))
+	}
+	for _, pr := range []string{"tcp", "udp", "icmp"} {
+		g.protos = append(g.protos, g.labels.Intern("proto:"+pr))
+	}
+	g.nextFn = g.nextFlow
+}
+
+func (g *Generator) nextFlow() graph.Edge {
+	src := graph.VertexID(g.hosts.Next())
+	dst := graph.VertexID(g.hosts.Next())
+	for dst == src {
+		dst = graph.VertexID(g.hosts.Next())
+	}
+	var port graph.Label
+	if g.rng.Float64() < 0.5 {
+		port = g.hotPorts[g.rng.Intn(len(g.hotPorts))]
+	} else {
+		port = g.allPorts[g.rng.Intn(len(g.allPorts))]
+	}
+	proto := g.protos[g.rng.Intn(len(g.protos))]
+	// The edge label combines ⟨*, dstPort, proto⟩ as one interned term.
+	lbl := g.labels.Intern(g.labels.String(port) + "/" + g.labels.String(proto))
+	return graph.Edge{
+		From: src, To: dst,
+		FromLabel: g.ipLabel, ToLabel: g.ipLabel,
+		EdgeLabel: lbl,
+	}
+}
+
+// --- WikiTalk --------------------------------------------------------
+
+func (g *Generator) initWikiTalk() {
+	g.users = NewSkewed(g.rng, g.cfg.Vertices, 0.05, 0.5)
+	for c := 'a'; c <= 'z'; c++ {
+		g.letters = append(g.letters, g.labels.Intern(string(c)))
+	}
+	g.nextFn = g.nextTalk
+}
+
+// userLabel derives a stable "first character of the user name" label.
+func (g *Generator) userLabel(u graph.VertexID) graph.Label {
+	return g.letters[int(u)%len(g.letters)]
+}
+
+func (g *Generator) nextTalk() graph.Edge {
+	a := graph.VertexID(g.users.Next())
+	b := graph.VertexID(g.users.Next())
+	for b == a {
+		b = graph.VertexID(g.users.Next())
+	}
+	return graph.Edge{
+		From: a, To: b,
+		FromLabel: g.userLabel(a), ToLabel: g.userLabel(b),
+	}
+}
+
+// --- SocialStream ----------------------------------------------------
+
+func (g *Generator) initSocialStream() {
+	g.socialUsers = NewSkewed(g.rng, g.cfg.Vertices, 0.05, 0.5)
+	g.typeLabels = map[string]graph.Label{
+		"user":  g.labels.Intern("user"),
+		"post":  g.labels.Intern("post"),
+		"photo": g.labels.Intern("photo"),
+		"gps":   g.labels.Intern("gps"),
+		"tag":   g.labels.Intern("tag"),
+	}
+	for _, p := range []string{"creates", "likes", "replies", "follows", "uploads", "taggedWith", "locatedAt", "tracks"} {
+		g.predicates = append(g.predicates, g.labels.Intern(p))
+	}
+	g.nextFn = g.nextSocial
+}
+
+// Entity ID spaces are partitioned so vertex IDs never collide across
+// types: users occupy [0, V), posts [V, 2V+...), etc.
+func (g *Generator) nextSocial() graph.Edge {
+	u := graph.VertexID(g.socialUsers.Next())
+	pick := g.rng.Float64()
+	V := graph.VertexID(g.cfg.Vertices)
+	pred := func(name string) graph.Label {
+		for i, p := range []string{"creates", "likes", "replies", "follows", "uploads", "taggedWith", "locatedAt", "tracks"} {
+			if p == name {
+				return g.predicates[i]
+			}
+		}
+		return g.predicates[0]
+	}
+	switch {
+	case pick < 0.30: // user creates post
+		g.postSeq++
+		post := V + graph.VertexID(g.postSeq)
+		return graph.Edge{From: u, To: post,
+			FromLabel: g.typeLabels["user"], ToLabel: g.typeLabels["post"],
+			EdgeLabel: pred("creates")}
+	case pick < 0.50: // user likes an existing (recent) post
+		post := V + graph.VertexID(1+g.rng.Intn(maxInt(1, g.postSeq)))
+		return graph.Edge{From: u, To: post,
+			FromLabel: g.typeLabels["user"], ToLabel: g.typeLabels["post"],
+			EdgeLabel: pred("likes")}
+	case pick < 0.62: // user replies to post
+		post := V + graph.VertexID(1+g.rng.Intn(maxInt(1, g.postSeq)))
+		return graph.Edge{From: u, To: post,
+			FromLabel: g.typeLabels["user"], ToLabel: g.typeLabels["post"],
+			EdgeLabel: pred("replies")}
+	case pick < 0.80: // user follows user
+		v := graph.VertexID(g.socialUsers.Next())
+		for v == u {
+			v = graph.VertexID(g.socialUsers.Next())
+		}
+		return graph.Edge{From: u, To: v,
+			FromLabel: g.typeLabels["user"], ToLabel: g.typeLabels["user"],
+			EdgeLabel: pred("follows")}
+	case pick < 0.88: // user uploads photo
+		photo := 10*V + graph.VertexID(g.rng.Intn(g.cfg.Vertices))
+		return graph.Edge{From: u, To: photo,
+			FromLabel: g.typeLabels["user"], ToLabel: g.typeLabels["photo"],
+			EdgeLabel: pred("uploads")}
+	case pick < 0.94: // photo tagged with tag
+		photo := 10*V + graph.VertexID(g.rng.Intn(g.cfg.Vertices))
+		tag := 20*V + graph.VertexID(g.rng.Intn(200))
+		return graph.Edge{From: photo, To: tag,
+			FromLabel: g.typeLabels["photo"], ToLabel: g.typeLabels["tag"],
+			EdgeLabel: pred("taggedWith")}
+	default: // gps tracks user
+		gps := 30*V + graph.VertexID(g.rng.Intn(g.cfg.Vertices))
+		return graph.Edge{From: gps, To: u,
+			FromLabel: g.typeLabels["gps"], ToLabel: g.typeLabels["user"],
+			EdgeLabel: pred("tracks")}
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,68 @@
+package datagen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"timingsubg/internal/graph"
+)
+
+// WriteEdges writes a stream as CSV lines:
+//
+//	from,to,fromLabel,toLabel,edgeLabel,time
+//
+// Labels are written as strings so a stream file is self-contained.
+func WriteEdges(w io.Writer, labels *graph.Labels, edges []graph.Edge) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range edges {
+		_, err := fmt.Fprintf(bw, "%d,%d,%s,%s,%s,%d\n",
+			e.From, e.To,
+			labels.String(e.FromLabel), labels.String(e.ToLabel),
+			labels.String(e.EdgeLabel), e.Time)
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdges parses the CSV format written by WriteEdges, interning labels
+// into the given table.
+func ReadEdges(r io.Reader, labels *graph.Labels) ([]graph.Edge, error) {
+	var out []graph.Edge
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		parts := strings.Split(text, ",")
+		if len(parts) != 6 {
+			return nil, fmt.Errorf("datagen: line %d: want 6 fields, got %d", line, len(parts))
+		}
+		from, err := strconv.ParseInt(parts[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("datagen: line %d: bad from: %v", line, err)
+		}
+		to, err := strconv.ParseInt(parts[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("datagen: line %d: bad to: %v", line, err)
+		}
+		t, err := strconv.ParseInt(parts[5], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("datagen: line %d: bad time: %v", line, err)
+		}
+		out = append(out, graph.Edge{
+			From: graph.VertexID(from), To: graph.VertexID(to),
+			FromLabel: labels.Intern(parts[2]), ToLabel: labels.Intern(parts[3]),
+			EdgeLabel: labels.Intern(parts[4]), Time: graph.Timestamp(t),
+		})
+	}
+	return out, sc.Err()
+}

@@ -1,0 +1,278 @@
+// Package explist implements expansion lists (Definition 9): the ordered
+// sequence of items L¹..Lᵏ that store the partial matches of each
+// prerequisite subquery of a TC-subquery, and the global list L₀ that
+// stores the partial join results across TC-subqueries (Section III-B).
+//
+// Two storage backends exist: the MS-tree backend (the paper's Timing
+// system) and an independent backend that stores every partial match as a
+// standalone copy (the paper's Timing-IND ablation).
+package explist
+
+import (
+	"timingsubg/internal/graph"
+	"timingsubg/internal/match"
+	"timingsubg/internal/mstree"
+	"timingsubg/internal/query"
+)
+
+// Handle identifies a stored partial match inside a list; the concrete
+// type depends on the backend. Handles let the engine extend matches in
+// O(1) and cascade deletions without re-searching.
+type Handle interface{}
+
+// SubList stores the expansion list Lᵢ of one TC-subquery: item j holds
+// the matches of the prerequisite subquery Preq(εⱼ) = {ε₁..εⱼ}.
+type SubList interface {
+	// Depth returns |Qi|, the number of items.
+	Depth() int
+	// Count returns the number of matches stored at item lvl (1-based).
+	Count(lvl int) int
+	// Each calls fn with each stored match of item lvl until fn returns
+	// false. The *match.Match passed to fn is scratch reused across
+	// iterations; fn must Clone it to retain it.
+	Each(lvl int, fn func(h Handle, m *match.Match) bool)
+	// Insert stores the match obtained by extending parent with data edge
+	// e (bound to the lvl-th sequence edge); parent is nil for lvl 1.
+	// It returns nil if the parent died concurrently.
+	Insert(lvl int, parent Handle, e graph.Edge) Handle
+	// Materialize rebuilds a fresh copy of the match identified by h at
+	// item lvl.
+	Materialize(lvl int, h Handle) *match.Match
+	// DeleteLevel removes at item lvl every match containing expired edge
+	// edgeID and every extension of parentCasualties, returning this
+	// level's casualties.
+	DeleteLevel(lvl int, edgeID graph.EdgeID, parentCasualties []Handle) []Handle
+	// SpaceBytes estimates resident bytes (call while quiescent).
+	SpaceBytes() int64
+}
+
+// GlobalList stores the expansion list L₀ over a decomposition
+// {Q¹..Qᵏ}: item i holds matches of Q¹∪..∪Qⁱ. Item 1 aliases the last
+// item of the first sub-list (Section V-A), so a GlobalList only
+// materializes items 2..k.
+type GlobalList interface {
+	// K returns the decomposition size.
+	K() int
+	// Count returns the number of matches at item lvl (lvl ≥ 2).
+	Count(lvl int) int
+	// Each calls fn with each stored match of item lvl (≥ 2). The match
+	// is scratch reused across iterations; Clone to retain.
+	Each(lvl int, fn func(h Handle, m *match.Match) bool)
+	// Insert stores the join of parent (an item lvl−1 handle; for lvl ==
+	// 2 a handle from the first sub-list's last item) with the submatch
+	// of Q^lvl identified by sub (a handle from sub-list lvl's last
+	// item). Returns nil if either side died concurrently.
+	Insert(lvl int, parent, sub Handle) Handle
+	// Materialize rebuilds a fresh copy of the combined match at item lvl.
+	Materialize(lvl int, h Handle) *match.Match
+	// DeleteLevel removes at item lvl every match whose Q^lvl submatch is
+	// in deadSubs, every extension of parentCasualties, and (independent
+	// backend) every match containing edgeID; returns this level's
+	// casualties.
+	DeleteLevel(lvl int, deadSubs, parentCasualties []Handle, edgeID graph.EdgeID) []Handle
+	// SpaceBytes estimates resident bytes (call while quiescent).
+	SpaceBytes() int64
+}
+
+// ---------------------------------------------------------------------
+// MS-tree backend
+// ---------------------------------------------------------------------
+
+// TreeSubList is the MS-tree backed SubList.
+type TreeSubList struct {
+	q    *query.Query
+	sub  *query.TCSubquery
+	tree *mstree.Tree
+}
+
+// NewTreeSubList returns an MS-tree backed expansion list for sub.
+func NewTreeSubList(q *query.Query, sub *query.TCSubquery) *TreeSubList {
+	return &TreeSubList{q: q, sub: sub, tree: mstree.New(sub.Len())}
+}
+
+// Tree exposes the underlying MS-tree for tests and space audits.
+func (l *TreeSubList) Tree() *mstree.Tree { return l.tree }
+
+// Depth implements SubList.
+func (l *TreeSubList) Depth() int { return l.sub.Len() }
+
+// Count implements SubList.
+func (l *TreeSubList) Count(lvl int) int { return l.tree.Count(lvl) }
+
+// Each implements SubList. Scratch buffers are per call so concurrent
+// shared-lock readers never share state.
+func (l *TreeSubList) Each(lvl int, fn func(Handle, *match.Match) bool) {
+	var scratch *match.Match
+	var ebuf []graph.Edge
+	l.tree.Each(lvl, func(n *mstree.Node) bool {
+		if scratch == nil {
+			scratch = match.New(l.q)
+		}
+		ebuf = l.fill(scratch, n, ebuf)
+		return fn(n, scratch)
+	})
+}
+
+// Materialize implements SubList.
+func (l *TreeSubList) Materialize(_ int, h Handle) *match.Match {
+	m := match.New(l.q)
+	l.fill(m, h.(*mstree.Node), nil)
+	return m
+}
+
+// fill rebuilds into m the partial match for node n by backtracking its
+// path, reusing ebuf; it returns the (possibly grown) buffer.
+func (l *TreeSubList) fill(m *match.Match, n *mstree.Node, ebuf []graph.Edge) []graph.Edge {
+	ebuf = n.PathEdges(ebuf)
+	resetMatch(m)
+	for pos, d := range ebuf {
+		m.Bind(l.q, l.sub.Seq[pos], d)
+	}
+	return ebuf
+}
+
+// Insert implements SubList.
+func (l *TreeSubList) Insert(lvl int, parent Handle, e graph.Edge) Handle {
+	var p *mstree.Node
+	if parent != nil {
+		p = parent.(*mstree.Node)
+	}
+	n := l.tree.InsertEdge(lvl, p, e)
+	if n == nil {
+		return nil
+	}
+	return n
+}
+
+// DeleteLevel implements SubList.
+func (l *TreeSubList) DeleteLevel(lvl int, edgeID graph.EdgeID, parentCasualties []Handle) []Handle {
+	dead := l.tree.DeleteLevel(lvl, edgeID, toNodes(parentCasualties), nil)
+	return toHandles(dead)
+}
+
+// SpaceBytes implements SubList.
+func (l *TreeSubList) SpaceBytes() int64 { return l.tree.SpaceBytes() }
+
+// TreeGlobalList is the MS-tree backed GlobalList: nodes hold pointers to
+// complete-submatch leaves in the sub-lists' trees rather than copies
+// (Section IV-A).
+type TreeGlobalList struct {
+	q    *query.Query
+	dec  *query.Decomposition
+	tree *mstree.Tree
+}
+
+// NewTreeGlobalList returns an MS-tree backed L₀ for the decomposition.
+func NewTreeGlobalList(q *query.Query, dec *query.Decomposition) *TreeGlobalList {
+	return &TreeGlobalList{q: q, dec: dec, tree: mstree.New(dec.K())}
+}
+
+// Tree exposes the underlying MS-tree for tests and space audits.
+func (g *TreeGlobalList) Tree() *mstree.Tree { return g.tree }
+
+// K implements GlobalList.
+func (g *TreeGlobalList) K() int { return g.dec.K() }
+
+// Count implements GlobalList.
+func (g *TreeGlobalList) Count(lvl int) int { return g.tree.Count(lvl) }
+
+// Each implements GlobalList.
+func (g *TreeGlobalList) Each(lvl int, fn func(Handle, *match.Match) bool) {
+	var scratch *match.Match
+	var ebuf []graph.Edge
+	g.tree.Each(lvl, func(n *mstree.Node) bool {
+		if scratch == nil {
+			scratch = match.New(g.q)
+		}
+		ebuf = g.fill(scratch, n, ebuf)
+		return fn(n, scratch)
+	})
+}
+
+// Materialize implements GlobalList.
+func (g *TreeGlobalList) Materialize(_ int, h Handle) *match.Match {
+	m := match.New(g.q)
+	g.fill(m, h.(*mstree.Node), nil)
+	return m
+}
+
+// fill rebuilds the combined match for global node n: walk global parents
+// down to item 2, whose parent is a leaf of the first sub-list's tree,
+// binding each referenced submatch's path along the way.
+func (g *TreeGlobalList) fill(m *match.Match, n *mstree.Node, ebuf []graph.Edge) []graph.Edge {
+	resetMatch(m)
+	cur := n
+	for lvl := n.Level; lvl >= 2; lvl-- {
+		ebuf = g.bindSub(m, lvl, cur.Sub, ebuf)
+		if lvl == 2 {
+			ebuf = g.bindSub(m, 1, cur.Parent, ebuf)
+		}
+		cur = cur.Parent
+	}
+	return ebuf
+}
+
+// bindSub binds into m the submatch of the subIdx-th (1-based)
+// TC-subquery represented by leaf.
+func (g *TreeGlobalList) bindSub(m *match.Match, subIdx int, leaf *mstree.Node, ebuf []graph.Edge) []graph.Edge {
+	sub := g.dec.Subqueries[subIdx-1]
+	ebuf = leaf.PathEdges(ebuf)
+	for pos, d := range ebuf {
+		m.Bind(g.q, sub.Seq[pos], d)
+	}
+	return ebuf
+}
+
+// Insert implements GlobalList.
+func (g *TreeGlobalList) Insert(lvl int, parent, sub Handle) Handle {
+	p, _ := parent.(*mstree.Node)
+	s, _ := sub.(*mstree.Node)
+	n := g.tree.InsertSub(lvl, p, s)
+	if n == nil {
+		return nil
+	}
+	return n
+}
+
+// DeleteLevel implements GlobalList.
+func (g *TreeGlobalList) DeleteLevel(lvl int, deadSubs, parentCasualties []Handle, _ graph.EdgeID) []Handle {
+	dead := g.tree.DeleteLevel(lvl, -1, toNodes(parentCasualties), toNodes(deadSubs))
+	return toHandles(dead)
+}
+
+// SpaceBytes implements GlobalList.
+func (g *TreeGlobalList) SpaceBytes() int64 { return g.tree.SpaceBytes() }
+
+func toNodes(hs []Handle) []*mstree.Node {
+	if len(hs) == 0 {
+		return nil
+	}
+	out := make([]*mstree.Node, 0, len(hs))
+	for _, h := range hs {
+		if n, ok := h.(*mstree.Node); ok {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func toHandles(ns []*mstree.Node) []Handle {
+	if len(ns) == 0 {
+		return nil
+	}
+	out := make([]Handle, len(ns))
+	for i, n := range ns {
+		out[i] = n
+	}
+	return out
+}
+
+func resetMatch(m *match.Match) {
+	for i := range m.Vtx {
+		m.Vtx[i] = match.Unbound
+	}
+	for i := range m.Edges {
+		m.Edges[i].ID = match.NoEdge
+	}
+	m.EdgeMask = 0
+}

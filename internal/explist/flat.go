@@ -1,0 +1,202 @@
+package explist
+
+import (
+	"timingsubg/internal/graph"
+	"timingsubg/internal/match"
+	"timingsubg/internal/query"
+)
+
+// flatEntry is one independently stored partial match. Entries form a
+// per-item doubly linked list so deletion mid-scan is O(1), and carry a
+// dead flag so handles held across operations stay safe.
+type flatEntry struct {
+	m          *match.Match
+	prev, next *flatEntry
+	dead       bool
+}
+
+// flatItem is one expansion-list item storing independent match copies.
+type flatItem struct {
+	head, tail *flatEntry
+	count      int
+}
+
+func (it *flatItem) insert(m *match.Match) *flatEntry {
+	e := &flatEntry{m: m}
+	if it.tail == nil {
+		it.head, it.tail = e, e
+	} else {
+		it.tail.next = e
+		e.prev = it.tail
+		it.tail = e
+	}
+	it.count++
+	return e
+}
+
+func (it *flatItem) remove(e *flatEntry) {
+	if e.dead {
+		return
+	}
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		it.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		it.tail = e.prev
+	}
+	e.dead = true
+	it.count--
+}
+
+func (it *flatItem) each(fn func(h Handle, m *match.Match) bool) {
+	for e := it.head; e != nil; e = e.next {
+		if !fn(e, e.m) {
+			return
+		}
+	}
+}
+
+// deleteContaining removes every entry whose match contains data edge id,
+// returning the casualties. This is the Timing-IND deletion path: without
+// the MS-tree, every stored partial match must be inspected (the paper's
+// motivation for the tree in Section IV).
+func (it *flatItem) deleteContaining(id graph.EdgeID) []Handle {
+	var dead []Handle
+	for e := it.head; e != nil; {
+		next := e.next
+		if e.m.HasDataEdge(id) {
+			it.remove(e)
+			dead = append(dead, e)
+		}
+		e = next
+	}
+	return dead
+}
+
+func (it *flatItem) spaceBytes() int64 {
+	var b int64
+	for e := it.head; e != nil; e = e.next {
+		b += e.m.SpaceBytes() + 32
+	}
+	return b
+}
+
+// FlatSubList is the independent-storage SubList (Timing-IND): each item
+// keeps full copies of its partial matches.
+type FlatSubList struct {
+	q     *query.Query
+	sub   *query.TCSubquery
+	items []flatItem
+}
+
+// NewFlatSubList returns an independent-storage expansion list for sub.
+func NewFlatSubList(q *query.Query, sub *query.TCSubquery) *FlatSubList {
+	return &FlatSubList{q: q, sub: sub, items: make([]flatItem, sub.Len())}
+}
+
+// Depth implements SubList.
+func (l *FlatSubList) Depth() int { return len(l.items) }
+
+// Count implements SubList.
+func (l *FlatSubList) Count(lvl int) int { return l.items[lvl-1].count }
+
+// Each implements SubList.
+func (l *FlatSubList) Each(lvl int, fn func(Handle, *match.Match) bool) {
+	l.items[lvl-1].each(fn)
+}
+
+// Materialize implements SubList.
+func (l *FlatSubList) Materialize(_ int, h Handle) *match.Match {
+	return h.(*flatEntry).m.Clone()
+}
+
+// Insert implements SubList.
+func (l *FlatSubList) Insert(lvl int, parent Handle, e graph.Edge) Handle {
+	var m *match.Match
+	if parent == nil {
+		m = match.New(l.q)
+	} else {
+		pe := parent.(*flatEntry)
+		if pe.dead {
+			return nil
+		}
+		m = pe.m.Clone()
+	}
+	m.Bind(l.q, l.sub.Seq[lvl-1], e)
+	return l.items[lvl-1].insert(m)
+}
+
+// DeleteLevel implements SubList. Independent storage finds casualties by
+// scanning for edge containment; parent casualties are implied because an
+// extension of a match containing the expired edge also contains it.
+func (l *FlatSubList) DeleteLevel(lvl int, edgeID graph.EdgeID, _ []Handle) []Handle {
+	return l.items[lvl-1].deleteContaining(edgeID)
+}
+
+// SpaceBytes implements SubList.
+func (l *FlatSubList) SpaceBytes() int64 {
+	var b int64
+	for i := range l.items {
+		b += l.items[i].spaceBytes()
+	}
+	return b
+}
+
+// FlatGlobalList is the independent-storage GlobalList.
+type FlatGlobalList struct {
+	q     *query.Query
+	dec   *query.Decomposition
+	items []flatItem // index 0 unused; items 2..k at [1..k-1]
+}
+
+// NewFlatGlobalList returns an independent-storage L₀.
+func NewFlatGlobalList(q *query.Query, dec *query.Decomposition) *FlatGlobalList {
+	return &FlatGlobalList{q: q, dec: dec, items: make([]flatItem, dec.K())}
+}
+
+// K implements GlobalList.
+func (g *FlatGlobalList) K() int { return g.dec.K() }
+
+// Count implements GlobalList.
+func (g *FlatGlobalList) Count(lvl int) int { return g.items[lvl-1].count }
+
+// Each implements GlobalList.
+func (g *FlatGlobalList) Each(lvl int, fn func(Handle, *match.Match) bool) {
+	g.items[lvl-1].each(fn)
+}
+
+// Materialize implements GlobalList.
+func (g *FlatGlobalList) Materialize(_ int, h Handle) *match.Match {
+	return h.(*flatEntry).m.Clone()
+}
+
+// Insert implements GlobalList. Both handles are flat entries (the level
+// 2 parent comes from the first sub-list's last item, which for the flat
+// backend is also a flat entry).
+func (g *FlatGlobalList) Insert(lvl int, parent, sub Handle) Handle {
+	pe := parent.(*flatEntry)
+	se := sub.(*flatEntry)
+	if pe.dead || se.dead {
+		return nil
+	}
+	m := pe.m.Merge(se.m)
+	return g.items[lvl-1].insert(m)
+}
+
+// DeleteLevel implements GlobalList: scan for edge containment.
+func (g *FlatGlobalList) DeleteLevel(lvl int, _, _ []Handle, edgeID graph.EdgeID) []Handle {
+	return g.items[lvl-1].deleteContaining(edgeID)
+}
+
+// SpaceBytes implements GlobalList.
+func (g *FlatGlobalList) SpaceBytes() int64 {
+	var b int64
+	for i := range g.items {
+		b += g.items[i].spaceBytes()
+	}
+	return b
+}

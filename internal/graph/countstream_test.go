@@ -1,0 +1,175 @@
+package graph
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestCountStreamBasics(t *testing.T) {
+	s := NewCountStream(3)
+	if s.N() != 3 || s.Len() != 0 || s.Seen() != 0 {
+		t.Fatalf("fresh stream: N=%d Len=%d Seen=%d", s.N(), s.Len(), s.Seen())
+	}
+	for i := 1; i <= 3; i++ {
+		stored, expired, err := s.Push(Edge{From: VertexID(i), Time: Timestamp(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stored.ID != EdgeID(i-1) {
+			t.Fatalf("edge %d got ID %d", i, stored.ID)
+		}
+		if len(expired) != 0 {
+			t.Fatalf("premature expiry at %d", i)
+		}
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	// Fourth push must expire exactly the oldest.
+	_, expired, err := s.Push(Edge{From: 4, Time: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(expired) != 1 || expired[0].ID != 0 {
+		t.Fatalf("expired %v, want exactly edge 0", expired)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len after slide = %d, want 3", s.Len())
+	}
+	in := s.InWindow()
+	if len(in) != 3 || in[0].ID != 1 || in[2].ID != 3 {
+		t.Fatalf("InWindow = %v", in)
+	}
+}
+
+func TestCountStreamRejectsOutOfOrder(t *testing.T) {
+	s := NewCountStream(2)
+	if _, _, err := s.Push(Edge{Time: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Push(Edge{Time: 5}); !errors.Is(err, ErrOutOfOrder) {
+		t.Fatalf("equal timestamp accepted: %v", err)
+	}
+	if _, _, err := s.Push(Edge{Time: 4}); !errors.Is(err, ErrOutOfOrder) {
+		t.Fatalf("smaller timestamp accepted: %v", err)
+	}
+}
+
+func TestCountStreamPanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for n=0")
+		}
+	}()
+	NewCountStream(0)
+}
+
+func TestCountStreamWindowOfOne(t *testing.T) {
+	s := NewCountStream(1)
+	for i := 1; i <= 5; i++ {
+		_, expired, err := s.Push(Edge{Time: Timestamp(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 1 && len(expired) != 0 {
+			t.Fatal("first push expired something")
+		}
+		if i > 1 && (len(expired) != 1 || expired[0].ID != EdgeID(i-2)) {
+			t.Fatalf("push %d expired %v", i, expired)
+		}
+	}
+	if s.Len() != 1 || s.Seen() != 5 {
+		t.Fatalf("Len=%d Seen=%d", s.Len(), s.Seen())
+	}
+}
+
+// TestCountStreamInvariants property-checks the core window invariants
+// over random push sequences: Len never exceeds n, IDs are sequential,
+// the window is always the most recent Len edges in order, and every
+// pushed edge is either in the window or was expired exactly once.
+func TestCountStreamInvariants(t *testing.T) {
+	f := func(n uint8, pushes uint8) bool {
+		win := int(n%16) + 1
+		s := NewCountStream(win)
+		var all, gone []Edge
+		for i := 0; i < int(pushes); i++ {
+			stored, expired, err := s.Push(Edge{From: VertexID(i), Time: Timestamp(i + 1)})
+			if err != nil {
+				return false
+			}
+			all = append(all, stored)
+			gone = append(gone, expired...)
+			if s.Len() > win {
+				return false
+			}
+		}
+		in := s.InWindow()
+		if len(in)+len(gone) != len(all) {
+			return false
+		}
+		// The window must be exactly the suffix of all pushed edges.
+		for i, e := range in {
+			if e != all[len(all)-len(in)+i] {
+				return false
+			}
+		}
+		// Expired edges must be exactly the prefix, in order.
+		for i, e := range gone {
+			if e != all[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCountVsTimeWindowAgreeOnUnitSpacing: with unit inter-arrival
+// times, a time window of duration n holds exactly the latest n edges,
+// i.e. the two window kinds expire identical edge sequences.
+func TestCountVsTimeWindowAgreeOnUnitSpacing(t *testing.T) {
+	const n = 7
+	cs := NewCountStream(n)
+	ts := NewStream(Timestamp(n))
+	for i := 1; i <= 50; i++ {
+		e := Edge{From: VertexID(i), Time: Timestamp(i)}
+		_, ce, err1 := cs.Push(e)
+		_, te, err2 := ts.Push(e)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if len(ce) != len(te) {
+			t.Fatalf("push %d: count expired %d, time expired %d", i, len(ce), len(te))
+		}
+		for j := range ce {
+			if ce[j].ID != te[j].ID {
+				t.Fatalf("push %d: expiry order differs", i)
+			}
+		}
+	}
+	if cs.Len() != ts.Len() {
+		t.Fatalf("window sizes diverged: %d vs %d", cs.Len(), ts.Len())
+	}
+}
+
+// TestCountVsTimeWindowDivergeOnBursts: with bursty timestamps the two
+// window kinds are genuinely different — count keeps a hard edge bound
+// while the time window balloons during a burst.
+func TestCountVsTimeWindowDivergeOnBursts(t *testing.T) {
+	cs := NewCountStream(5)
+	ts := NewStream(100)
+	for i := 1; i <= 20; i++ {
+		e := Edge{Time: Timestamp(i)} // 20 edges within one 100-tick window
+		cs.Push(e)
+		ts.Push(e)
+	}
+	if cs.Len() != 5 {
+		t.Fatalf("count window Len = %d, want 5", cs.Len())
+	}
+	if ts.Len() != 20 {
+		t.Fatalf("time window Len = %d, want 20", ts.Len())
+	}
+}

@@ -1,0 +1,47 @@
+package graph
+
+import "fmt"
+
+// VertexID identifies a data vertex. IDs are assigned by the producer of
+// the stream; the graph layer only requires them to be unique per vertex.
+type VertexID int64
+
+// EdgeID identifies a data edge. The streaming layer assigns sequential
+// IDs in arrival order, so EdgeID order coincides with timestamp order.
+type EdgeID int64
+
+// Timestamp is the arrival time of an edge. The paper's model assigns each
+// edge a distinct, strictly increasing timestamp; Timestamp is an abstract
+// tick (the harness uses average-inter-arrival units, Sec. VII-C).
+type Timestamp int64
+
+// Edge is one element of a streaming graph: a directed edge From→To with
+// vertex labels, an optional edge label, and an arrival timestamp.
+type Edge struct {
+	ID        EdgeID
+	From, To  VertexID
+	FromLabel Label
+	ToLabel   Label
+	EdgeLabel Label
+	Time      Timestamp
+}
+
+// String renders the edge for diagnostics, e.g. "σ3(7→8 @5)".
+func (e Edge) String() string {
+	return fmt.Sprintf("σ%d(%d→%d @%d)", e.ID, e.From, e.To, e.Time)
+}
+
+// Touches reports whether v is one of the edge's endpoints.
+func (e Edge) Touches(v VertexID) bool { return e.From == v || e.To == v }
+
+// LabelOf returns the label of endpoint v; it panics if v is not an
+// endpoint of e, which would indicate a programming error in a caller.
+func (e Edge) LabelOf(v VertexID) Label {
+	switch v {
+	case e.From:
+		return e.FromLabel
+	case e.To:
+		return e.ToLabel
+	}
+	panic(fmt.Sprintf("graph: vertex %d is not an endpoint of %s", v, e))
+}

@@ -1,0 +1,308 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLabelsIntern(t *testing.T) {
+	l := NewLabels()
+	a := l.Intern("alpha")
+	b := l.Intern("beta")
+	if a == b {
+		t.Fatal("distinct strings must intern to distinct labels")
+	}
+	if got := l.Intern("alpha"); got != a {
+		t.Errorf("re-interning must be stable: got %d want %d", got, a)
+	}
+	if l.String(a) != "alpha" || l.String(b) != "beta" {
+		t.Error("String must invert Intern")
+	}
+	if id, ok := l.Lookup("alpha"); !ok || id != a {
+		t.Error("Lookup must find interned labels")
+	}
+	if _, ok := l.Lookup("gamma"); ok {
+		t.Error("Lookup must not intern")
+	}
+	if l.Intern("") != 0 {
+		t.Error("empty label must be the reserved id 0")
+	}
+	if l.Len() != 3 {
+		t.Errorf("Len: want 3 (\"\", alpha, beta), got %d", l.Len())
+	}
+}
+
+func TestLabelsUnknownString(t *testing.T) {
+	l := NewLabels()
+	if got := l.String(Label(99)); got != "label#99" {
+		t.Errorf("unknown label should format safely, got %q", got)
+	}
+}
+
+func TestLabelsConcurrent(t *testing.T) {
+	l := NewLabels()
+	done := make(chan bool)
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			for i := 0; i < 200; i++ {
+				l.Intern(fmt.Sprintf("label-%d", i%50))
+			}
+			done <- true
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+	if l.Len() != 51 { // 50 labels + reserved ""
+		t.Errorf("concurrent interning must dedupe: got %d labels", l.Len())
+	}
+}
+
+func TestStreamWindowSemantics(t *testing.T) {
+	s := NewStream(3) // window (t-3, t]
+	push := func(tm Timestamp) (Edge, []Edge) {
+		e, exp, err := s.Push(Edge{Time: tm})
+		if err != nil {
+			t.Fatalf("push at %d: %v", tm, err)
+		}
+		return e, exp
+	}
+	push(1)
+	push(2)
+	push(3)
+	if s.Len() != 3 {
+		t.Fatalf("window (0,3] must hold 3 edges, got %d", s.Len())
+	}
+	_, exp := push(4) // window (1,4]: edge at t=1 expires
+	if len(exp) != 1 || exp[0].Time != 1 {
+		t.Fatalf("want edge@1 to expire, got %v", exp)
+	}
+	_, exp = push(10) // window (7,10]: edges at 2,3,4 expire, oldest first
+	if len(exp) != 3 || exp[0].Time != 2 || exp[1].Time != 3 || exp[2].Time != 4 {
+		t.Fatalf("want edges@2,3,4 oldest-first, got %v", exp)
+	}
+	if s.Len() != 1 {
+		t.Errorf("only edge@10 should remain, got %d", s.Len())
+	}
+}
+
+func TestStreamRejectsOutOfOrder(t *testing.T) {
+	s := NewStream(5)
+	if _, _, err := s.Push(Edge{Time: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Push(Edge{Time: 5}); !errors.Is(err, ErrOutOfOrder) {
+		t.Errorf("equal timestamp must be rejected, got %v", err)
+	}
+	if _, _, err := s.Push(Edge{Time: 4}); !errors.Is(err, ErrOutOfOrder) {
+		t.Errorf("smaller timestamp must be rejected, got %v", err)
+	}
+}
+
+func TestStreamAssignsSequentialIDs(t *testing.T) {
+	s := NewStream(100)
+	for i := 0; i < 10; i++ {
+		e, _, err := s.Push(Edge{Time: Timestamp(i + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.ID != EdgeID(i) {
+			t.Fatalf("want sequential id %d, got %d", i, e.ID)
+		}
+	}
+	if s.Seen() != 10 {
+		t.Errorf("Seen: want 10, got %d", s.Seen())
+	}
+}
+
+// TestStreamRingGrowth exercises the ring buffer across many
+// growth/wrap cycles and validates InWindow ordering.
+func TestStreamRingGrowth(t *testing.T) {
+	s := NewStream(37)
+	for i := 1; i <= 1000; i++ {
+		if _, _, err := s.Push(Edge{Time: Timestamp(i)}); err != nil {
+			t.Fatal(err)
+		}
+		in := s.InWindow()
+		if len(in) != s.Len() {
+			t.Fatalf("InWindow length mismatch at %d", i)
+		}
+		for j := 1; j < len(in); j++ {
+			if in[j].Time <= in[j-1].Time {
+				t.Fatalf("InWindow must be oldest-first at %d", i)
+			}
+		}
+		if in[len(in)-1].Time != Timestamp(i) {
+			t.Fatalf("newest edge must be last")
+		}
+	}
+	if s.Len() != 37 {
+		t.Errorf("steady state window should hold 37 edges, got %d", s.Len())
+	}
+}
+
+// TestStreamWindowInvariant property-checks that after any push
+// sequence, all in-window timestamps lie in (last-|W|, last].
+func TestStreamWindowInvariant(t *testing.T) {
+	f := func(windowRaw uint8, gapsRaw []uint8) bool {
+		window := Timestamp(windowRaw%50 + 1)
+		s := NewStream(window)
+		tm := Timestamp(0)
+		for _, g := range gapsRaw {
+			tm += Timestamp(g%7 + 1)
+			if _, _, err := s.Push(Edge{Time: tm}); err != nil {
+				return false
+			}
+			for _, e := range s.InWindow() {
+				if e.Time <= tm-window || e.Time > tm {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSnapshotAddRemove(t *testing.T) {
+	s := NewSnapshot()
+	e1 := Edge{ID: 1, From: 10, To: 20, FromLabel: 1, ToLabel: 2, Time: 1}
+	e2 := Edge{ID: 2, From: 20, To: 30, FromLabel: 2, ToLabel: 3, Time: 2}
+	s.Add(e1)
+	s.Add(e1) // idempotent
+	s.Add(e2)
+	if s.NumEdges() != 2 || s.NumVertices() != 3 {
+		t.Fatalf("want 2 edges / 3 vertices, got %d/%d", s.NumEdges(), s.NumVertices())
+	}
+	if got := s.Out(20); len(got) != 1 {
+		t.Errorf("Out(20): want 1, got %d", len(got))
+	}
+	if got := s.In(20); len(got) != 1 {
+		t.Errorf("In(20): want 1, got %d", len(got))
+	}
+	s.Remove(e1)
+	if s.NumVertices() != 2 {
+		t.Errorf("vertex 10 must drop when isolated, got %d vertices", s.NumVertices())
+	}
+	if l, ok := s.VertexLabel(10); ok {
+		t.Errorf("vertex 10 should be gone, has label %d", l)
+	}
+	if got := s.VerticesWithLabel(2); len(got) != 1 || got[0] != 20 {
+		t.Errorf("label index must track removals: %v", got)
+	}
+	s.Remove(e2)
+	if s.NumEdges() != 0 || s.NumVertices() != 0 {
+		t.Error("snapshot must be empty after removing both edges")
+	}
+}
+
+func TestSnapshotNeighborhood(t *testing.T) {
+	// Path: 1 → 2 → 3 → 4 → 5
+	s := NewSnapshot()
+	for i := 1; i < 5; i++ {
+		s.Add(Edge{ID: EdgeID(i), From: VertexID(i), To: VertexID(i + 1)})
+	}
+	n0 := s.Neighborhood([]VertexID{3}, 0)
+	if len(n0) != 1 || !n0[3] {
+		t.Errorf("0-hop: want {3}, got %v", n0)
+	}
+	n1 := s.Neighborhood([]VertexID{3}, 1)
+	if len(n1) != 3 || !n1[2] || !n1[4] {
+		t.Errorf("1-hop: want {2,3,4}, got %v", n1)
+	}
+	n2 := s.Neighborhood([]VertexID{3}, 2)
+	if len(n2) != 5 {
+		t.Errorf("2-hop: want all 5 vertices, got %v", n2)
+	}
+	// Unknown seed yields empty.
+	if got := s.Neighborhood([]VertexID{99}, 3); len(got) != 0 {
+		t.Errorf("unknown seed: want empty, got %v", got)
+	}
+}
+
+func TestSnapshotInduced(t *testing.T) {
+	s := NewSnapshot()
+	s.Add(Edge{ID: 1, From: 1, To: 2})
+	s.Add(Edge{ID: 2, From: 2, To: 3})
+	s.Add(Edge{ID: 3, From: 3, To: 1})
+	sub := s.Induced(map[VertexID]bool{1: true, 2: true})
+	if sub.NumEdges() != 1 {
+		t.Fatalf("induced {1,2}: want 1 edge, got %d", sub.NumEdges())
+	}
+	if _, ok := sub.Edge(1); !ok {
+		t.Error("induced subgraph must contain edge 1")
+	}
+}
+
+// TestSnapshotRandomOps property-checks adjacency consistency against a
+// naive reference implementation.
+func TestSnapshotRandomOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := NewSnapshot()
+	live := map[EdgeID]Edge{}
+	for op := 0; op < 2000; op++ {
+		if rng.Intn(3) != 0 || len(live) == 0 {
+			e := Edge{
+				ID:   EdgeID(op),
+				From: VertexID(rng.Intn(20)), To: VertexID(rng.Intn(20)),
+				FromLabel: Label(rng.Intn(3)), ToLabel: Label(rng.Intn(3)),
+			}
+			// Align labels for shared vertices with the reference.
+			consistent := true
+			for _, x := range live {
+				if x.From == e.From && x.FromLabel != e.FromLabel ||
+					x.To == e.From && x.ToLabel != e.FromLabel ||
+					x.From == e.To && x.FromLabel != e.ToLabel ||
+					x.To == e.To && x.ToLabel != e.ToLabel {
+					consistent = false
+					break
+				}
+			}
+			if !consistent {
+				continue
+			}
+			s.Add(e)
+			live[e.ID] = e
+		} else {
+			for id, e := range live {
+				s.Remove(e)
+				delete(live, id)
+				break
+			}
+		}
+		if s.NumEdges() != len(live) {
+			t.Fatalf("op %d: edge count drifted: snapshot %d, ref %d", op, s.NumEdges(), len(live))
+		}
+		// Degree spot check.
+		outDeg := map[VertexID]int{}
+		for _, e := range live {
+			outDeg[e.From]++
+		}
+		for v, d := range outDeg {
+			if len(s.Out(v)) != d {
+				t.Fatalf("op %d: out-degree of %d drifted", op, v)
+			}
+		}
+	}
+}
+
+func TestEdgeHelpers(t *testing.T) {
+	e := Edge{ID: 7, From: 1, To: 2, FromLabel: 10, ToLabel: 20, Time: 5}
+	if !e.Touches(1) || !e.Touches(2) || e.Touches(3) {
+		t.Error("Touches misreports endpoints")
+	}
+	if e.LabelOf(1) != 10 || e.LabelOf(2) != 20 {
+		t.Error("LabelOf misreports labels")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("LabelOf of a non-endpoint must panic")
+		}
+	}()
+	e.LabelOf(99)
+}

@@ -1,0 +1,211 @@
+package graph
+
+// Snapshot is the graph G_t induced by the edges inside the current
+// window (Definition 2), with adjacency indexes. It exists for baseline
+// algorithms (IncMat + static isomorphism) that must search the window
+// contents; the Timing engine never materializes snapshots.
+type Snapshot struct {
+	edges    map[EdgeID]Edge
+	out      map[VertexID][]EdgeID
+	in       map[VertexID][]EdgeID
+	labels   map[VertexID]Label
+	byVLabel map[Label][]VertexID
+}
+
+// NewSnapshot returns an empty snapshot.
+func NewSnapshot() *Snapshot {
+	return &Snapshot{
+		edges:    make(map[EdgeID]Edge),
+		out:      make(map[VertexID][]EdgeID),
+		in:       make(map[VertexID][]EdgeID),
+		labels:   make(map[VertexID]Label),
+		byVLabel: make(map[Label][]VertexID),
+	}
+}
+
+// SnapshotOf builds a snapshot from a set of edges.
+func SnapshotOf(edges []Edge) *Snapshot {
+	s := NewSnapshot()
+	for _, e := range edges {
+		s.Add(e)
+	}
+	return s
+}
+
+// Add inserts edge e. Adding an edge twice is a no-op.
+func (s *Snapshot) Add(e Edge) {
+	if _, ok := s.edges[e.ID]; ok {
+		return
+	}
+	s.edges[e.ID] = e
+	s.out[e.From] = append(s.out[e.From], e.ID)
+	s.in[e.To] = append(s.in[e.To], e.ID)
+	s.addVertex(e.From, e.FromLabel)
+	s.addVertex(e.To, e.ToLabel)
+}
+
+func (s *Snapshot) addVertex(v VertexID, l Label) {
+	if _, ok := s.labels[v]; ok {
+		return
+	}
+	s.labels[v] = l
+	s.byVLabel[l] = append(s.byVLabel[l], v)
+}
+
+// Remove deletes edge e. Vertices that become isolated are removed from
+// the vertex set, matching Definition 2 (V_t is the set of endpoints of
+// in-window edges).
+func (s *Snapshot) Remove(e Edge) {
+	if _, ok := s.edges[e.ID]; !ok {
+		return
+	}
+	delete(s.edges, e.ID)
+	s.out[e.From] = removeID(s.out[e.From], e.ID)
+	s.in[e.To] = removeID(s.in[e.To], e.ID)
+	s.maybeDropVertex(e.From)
+	s.maybeDropVertex(e.To)
+}
+
+func (s *Snapshot) maybeDropVertex(v VertexID) {
+	if len(s.out[v]) > 0 || len(s.in[v]) > 0 {
+		return
+	}
+	delete(s.out, v)
+	delete(s.in, v)
+	l, ok := s.labels[v]
+	if !ok {
+		return
+	}
+	delete(s.labels, v)
+	s.byVLabel[l] = removeVertex(s.byVLabel[l], v)
+}
+
+func removeID(ids []EdgeID, id EdgeID) []EdgeID {
+	for i, x := range ids {
+		if x == id {
+			ids[i] = ids[len(ids)-1]
+			return ids[:len(ids)-1]
+		}
+	}
+	return ids
+}
+
+func removeVertex(vs []VertexID, v VertexID) []VertexID {
+	for i, x := range vs {
+		if x == v {
+			vs[i] = vs[len(vs)-1]
+			return vs[:len(vs)-1]
+		}
+	}
+	return vs
+}
+
+// NumEdges returns the number of edges in the snapshot.
+func (s *Snapshot) NumEdges() int { return len(s.edges) }
+
+// NumVertices returns the number of non-isolated vertices.
+func (s *Snapshot) NumVertices() int { return len(s.labels) }
+
+// Edge returns the edge with the given ID.
+func (s *Snapshot) Edge(id EdgeID) (Edge, bool) {
+	e, ok := s.edges[id]
+	return e, ok
+}
+
+// Out returns the IDs of edges leaving v.
+func (s *Snapshot) Out(v VertexID) []EdgeID { return s.out[v] }
+
+// In returns the IDs of edges entering v.
+func (s *Snapshot) In(v VertexID) []EdgeID { return s.in[v] }
+
+// VertexLabel returns the label of v and whether v is present.
+func (s *Snapshot) VertexLabel(v VertexID) (Label, bool) {
+	l, ok := s.labels[v]
+	return l, ok
+}
+
+// VerticesWithLabel returns the vertices carrying label l.
+func (s *Snapshot) VerticesWithLabel(l Label) []VertexID { return s.byVLabel[l] }
+
+// Vertices calls fn for every vertex until fn returns false.
+func (s *Snapshot) Vertices(fn func(VertexID, Label) bool) {
+	for v, l := range s.labels {
+		if !fn(v, l) {
+			return
+		}
+	}
+}
+
+// Edges calls fn for every edge until fn returns false.
+func (s *Snapshot) Edges(fn func(Edge) bool) {
+	for _, e := range s.edges {
+		if !fn(e) {
+			return
+		}
+	}
+}
+
+// Neighborhood returns the set of vertices within d hops of seed,
+// ignoring direction. It is the "affected area" primitive used by the
+// IncMat baseline (Fan et al.): an update touching an edge can only
+// change matches whose vertices lie within query-diameter hops of the
+// edge's endpoints.
+func (s *Snapshot) Neighborhood(seeds []VertexID, d int) map[VertexID]bool {
+	seen := make(map[VertexID]bool, len(seeds))
+	frontier := make([]VertexID, 0, len(seeds))
+	for _, v := range seeds {
+		if _, ok := s.labels[v]; ok && !seen[v] {
+			seen[v] = true
+			frontier = append(frontier, v)
+		}
+	}
+	for hop := 0; hop < d && len(frontier) > 0; hop++ {
+		var next []VertexID
+		for _, v := range frontier {
+			for _, id := range s.out[v] {
+				if e, ok := s.edges[id]; ok && !seen[e.To] {
+					seen[e.To] = true
+					next = append(next, e.To)
+				}
+			}
+			for _, id := range s.in[v] {
+				if e, ok := s.edges[id]; ok && !seen[e.From] {
+					seen[e.From] = true
+					next = append(next, e.From)
+				}
+			}
+		}
+		frontier = next
+	}
+	return seen
+}
+
+// Induced returns the snapshot induced by keeping only edges whose both
+// endpoints are in keep.
+func (s *Snapshot) Induced(keep map[VertexID]bool) *Snapshot {
+	out := NewSnapshot()
+	for _, e := range s.edges {
+		if keep[e.From] && keep[e.To] {
+			out.Add(e)
+		}
+	}
+	return out
+}
+
+// SpaceBytes estimates the resident size of the snapshot's adjacency
+// structures, used for the space experiments (Figs. 17-18): baselines
+// must keep the window's graph structure, the Timing engine does not.
+func (s *Snapshot) SpaceBytes() int64 {
+	const edgeSz = 56 // Edge struct
+	const idSz = 8
+	var n int64
+	n += int64(len(s.edges)) * (edgeSz + 16)
+	for _, ids := range s.out {
+		n += int64(len(ids))*idSz + 16
+	}
+	for _, ids := range s.in {
+		n += int64(len(ids))*idSz + 16
+	}
+	n += int64(len(s.labels)) * 24
+	return n
+}

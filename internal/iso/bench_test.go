@@ -1,0 +1,62 @@
+package iso
+
+import (
+	"testing"
+
+	"timingsubg/internal/datagen"
+	"timingsubg/internal/graph"
+	"timingsubg/internal/match"
+	"timingsubg/internal/query"
+	"timingsubg/internal/querygen"
+)
+
+// benchSetup builds a snapshot and a query for static-search benchmarks.
+func benchSetup(b *testing.B, size int) (*graph.Snapshot, *query.Query) {
+	b.Helper()
+	labels := graph.NewLabels()
+	gen := datagen.New(datagen.WikiTalk, labels, datagen.Config{Vertices: 400, Seed: 11})
+	edges := gen.Take(1500)
+	q, _, err := querygen.Generate(edges, querygen.Config{Size: size, Order: querygen.EmptyOrder, Seed: 3})
+	if err != nil {
+		b.Skipf("query generation: %v", err)
+	}
+	return graph.SnapshotOf(edges), q
+}
+
+// BenchmarkFindAll compares the three search-plan strategies on one
+// snapshot (the static engines inside the IncMat baseline).
+func BenchmarkFindAll(b *testing.B) {
+	snap, q := benchSetup(b, 4)
+	for _, alg := range []Algorithm{QuickSI, TurboISO, BoostISO} {
+		b.Run(alg.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				n := 0
+				FindAll(snap, q, alg, Options{}, func(*match.Match) bool {
+					n++
+					return true
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkFindRequired measures the IncMat delta search: matches
+// restricted to contain one specific edge.
+func BenchmarkFindRequired(b *testing.B) {
+	snap, q := benchSetup(b, 4)
+	var req graph.Edge
+	snap.Edges(func(e graph.Edge) bool {
+		if len(q.MatchingEdges(e)) > 0 {
+			req = e
+			return false
+		}
+		return true
+	})
+	if req.ID == 0 && req.From == 0 && req.To == 0 {
+		b.Skip("no matching edge")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FindAll(snap, q, QuickSI, Options{Required: &req}, func(*match.Match) bool { return true })
+	}
+}

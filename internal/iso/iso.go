@@ -1,0 +1,346 @@
+// Package iso implements static subgraph isomorphism search over window
+// snapshots. It provides a shared edge-at-a-time backtracking core and
+// three search-plan strategies reproducing the orderings and prunings of
+// QuickSI (Shang et al.), TurboISO (Han et al.) and BoostISO (Ren &
+// Wang), simplified as documented in DESIGN.md §5. The paper uses these
+// as the static algorithms inside the IncMat baseline (Section VII-C).
+//
+// iso searches structure and labels only; timing-order constraints are a
+// post-filter applied by callers, matching how the paper evaluates the
+// baselines.
+package iso
+
+import (
+	"sort"
+
+	"timingsubg/internal/graph"
+	"timingsubg/internal/match"
+	"timingsubg/internal/query"
+)
+
+// Algorithm selects the search-plan strategy.
+type Algorithm int
+
+// Algorithms.
+const (
+	// QuickSI orders query edges infrequent-label-first along a spanning
+	// sequence (the QI-sequence).
+	QuickSI Algorithm = iota
+	// TurboISO picks the start vertex by label-frequency/degree ranking
+	// and explores BFS candidate regions from it.
+	TurboISO
+	// BoostISO uses the QuickSI ordering plus degree-based candidate
+	// filtering derived from data-vertex relationships.
+	BoostISO
+)
+
+// String names the algorithm as in the paper's figures.
+func (a Algorithm) String() string {
+	switch a {
+	case QuickSI:
+		return "QuickSI"
+	case TurboISO:
+		return "TurboISO"
+	case BoostISO:
+		return "BoostISO"
+	}
+	return "iso?"
+}
+
+// Options tunes a search.
+type Options struct {
+	// Required, when non-nil, restricts results to matches that include
+	// this data edge (the IncMat delta search: only matches created by
+	// the newly arrived edge are new).
+	Required *graph.Edge
+}
+
+// FindAll enumerates every structural match of q in g, invoking yield for
+// each; search stops when yield returns false. The Match passed to yield
+// is scratch — clone to retain.
+func FindAll(g *graph.Snapshot, q *query.Query, alg Algorithm, opt Options, yield func(*match.Match) bool) {
+	s := &searcher{g: g, q: q, alg: alg, yield: yield}
+	if opt.Required != nil {
+		req := *opt.Required
+		// Force the required edge into every result: try it at each query
+		// edge it can match, ordering the remaining edges from there.
+		for _, qe := range q.MatchingEdges(req) {
+			m := match.New(q)
+			if !m.CanBindStructural(q, qe, req) {
+				continue
+			}
+			m.Bind(q, qe, req)
+			order := s.planFrom(qe)
+			if s.run(m, order, 0) {
+				return
+			}
+		}
+		return
+	}
+	order := s.plan()
+	m := match.New(q)
+	s.run(m, order, 0)
+}
+
+// Count returns the number of structural matches (convenience for tests).
+func Count(g *graph.Snapshot, q *query.Query, alg Algorithm, opt Options) int {
+	n := 0
+	FindAll(g, q, alg, opt, func(*match.Match) bool {
+		n++
+		return true
+	})
+	return n
+}
+
+type searcher struct {
+	g     *graph.Snapshot
+	q     *query.Query
+	alg   Algorithm
+	yield func(*match.Match) bool
+	stop  bool
+}
+
+// edgeTermFreq counts snapshot edges per (fromLabel, toLabel, edgeLabel)
+// term, the selectivity signal QuickSI's QI-sequence uses.
+func (s *searcher) edgeTermFreq() map[[3]int32]int {
+	freq := make(map[[3]int32]int)
+	s.g.Edges(func(e graph.Edge) bool {
+		freq[[3]int32{int32(e.FromLabel), int32(e.ToLabel), int32(e.EdgeLabel)}]++
+		return true
+	})
+	return freq
+}
+
+func (s *searcher) termOf(qe query.EdgeID) [3]int32 {
+	e := s.q.Edge(qe)
+	return [3]int32{int32(s.q.VertexLabel(e.From)), int32(s.q.VertexLabel(e.To)), int32(e.Label)}
+}
+
+// plan produces a connected query-edge ordering according to the
+// algorithm's strategy.
+func (s *searcher) plan() []query.EdgeID {
+	switch s.alg {
+	case TurboISO:
+		return s.planTurbo()
+	default: // QuickSI and BoostISO share the QI-sequence ordering.
+		return s.planQuickSI()
+	}
+}
+
+// planQuickSI starts from the rarest edge term and greedily appends the
+// rarest adjacent edge, yielding a connected spanning sequence.
+func (s *searcher) planQuickSI() []query.EdgeID {
+	freq := s.edgeTermFreq()
+	m := s.q.NumEdges()
+	best := query.EdgeID(0)
+	bestF := int(^uint(0) >> 1)
+	for i := 0; i < m; i++ {
+		if f := freq[s.termOf(query.EdgeID(i))]; f < bestF {
+			bestF, best = f, query.EdgeID(i)
+		}
+	}
+	return s.greedyOrder(best, func(c query.EdgeID) int { return freq[s.termOf(c)] })
+}
+
+// planTurbo ranks start vertices by label frequency divided by degree and
+// BFS-orders edges outward from the best start vertex.
+func (s *searcher) planTurbo() []query.EdgeID {
+	// Label frequency over data vertices.
+	vfreq := make(map[graph.Label]int)
+	s.g.Vertices(func(_ graph.VertexID, l graph.Label) bool {
+		vfreq[l]++
+		return true
+	})
+	deg := make([]int, s.q.NumVertices())
+	for v := range deg {
+		deg[v] = len(s.q.Touching(query.VertexID(v)))
+	}
+	bestV := query.VertexID(0)
+	bestScore := 1e18
+	for v := 0; v < s.q.NumVertices(); v++ {
+		score := float64(vfreq[s.q.VertexLabel(query.VertexID(v))]+1) / float64(deg[v]+1)
+		if score < bestScore {
+			bestScore, bestV = score, query.VertexID(v)
+		}
+	}
+	// BFS over edges from bestV.
+	var order []query.EdgeID
+	used := make([]bool, s.q.NumEdges())
+	frontier := []query.VertexID{bestV}
+	inFront := make([]bool, s.q.NumVertices())
+	inFront[bestV] = true
+	for len(frontier) > 0 {
+		var next []query.VertexID
+		for _, v := range frontier {
+			touching := append([]query.EdgeID(nil), s.q.Touching(v)...)
+			sort.Slice(touching, func(i, j int) bool { return touching[i] < touching[j] })
+			for _, eid := range touching {
+				if used[eid] {
+					continue
+				}
+				used[eid] = true
+				order = append(order, eid)
+				e := s.q.Edge(eid)
+				for _, w := range []query.VertexID{e.From, e.To} {
+					if !inFront[w] {
+						inFront[w] = true
+						next = append(next, w)
+					}
+				}
+			}
+		}
+		frontier = next
+	}
+	return order
+}
+
+// planFrom produces a connected ordering beginning at seed (the query
+// edge bound to the required data edge), preferring rare terms next.
+func (s *searcher) planFrom(seed query.EdgeID) []query.EdgeID {
+	freq := s.edgeTermFreq()
+	full := s.greedyOrder(seed, func(c query.EdgeID) int { return freq[s.termOf(c)] })
+	return full[1:] // seed is pre-bound
+}
+
+// greedyOrder grows a connected edge sequence from start, choosing at
+// each step the adjacent unused edge minimizing cost.
+func (s *searcher) greedyOrder(start query.EdgeID, cost func(query.EdgeID) int) []query.EdgeID {
+	m := s.q.NumEdges()
+	order := []query.EdgeID{start}
+	used := make([]bool, m)
+	used[start] = true
+	for len(order) < m {
+		best := query.EdgeID(-1)
+		bestC := int(^uint(0) >> 1)
+		for c := 0; c < m; c++ {
+			if used[c] {
+				continue
+			}
+			adj := false
+			for _, o := range order {
+				if s.q.EdgesAdjacent(query.EdgeID(c), o) {
+					adj = true
+					break
+				}
+			}
+			if !adj {
+				continue
+			}
+			if cc := cost(query.EdgeID(c)); cc < bestC {
+				bestC, best = cc, query.EdgeID(c)
+			}
+		}
+		if best < 0 {
+			// Disconnected remainder cannot happen for connected queries;
+			// append the smallest unused edge as a safety valve.
+			for c := 0; c < m; c++ {
+				if !used[c] {
+					best = query.EdgeID(c)
+					break
+				}
+			}
+		}
+		used[best] = true
+		order = append(order, best)
+	}
+	return order
+}
+
+// run backtracks over order starting at position pos; returns true when
+// the search should stop.
+func (s *searcher) run(m *match.Match, order []query.EdgeID, pos int) bool {
+	if s.stop {
+		return true
+	}
+	if pos == len(order) {
+		if !s.yield(m) {
+			s.stop = true
+		}
+		return s.stop
+	}
+	qe := order[pos]
+	e := s.q.Edge(qe)
+	bf := m.Vtx[e.From]
+	bt := m.Vtx[e.To]
+	try := func(d graph.Edge) bool {
+		if !s.candidateOK(qe, d) {
+			return false
+		}
+		if !m.CanBindStructural(s.q, qe, d) {
+			return false
+		}
+		m.Bind(s.q, qe, d)
+		stopped := s.run(m, order, pos+1)
+		m.Unbind(s.q, qe)
+		return stopped
+	}
+	switch {
+	case bf != match.Unbound:
+		for _, id := range s.g.Out(graph.VertexID(bf)) {
+			if d, ok := s.g.Edge(id); ok {
+				if try(d) {
+					return true
+				}
+			}
+		}
+	case bt != match.Unbound:
+		for _, id := range s.g.In(graph.VertexID(bt)) {
+			if d, ok := s.g.Edge(id); ok {
+				if try(d) {
+					return true
+				}
+			}
+		}
+	default:
+		// First edge of the order: seed from vertices carrying the query
+		// source label.
+		for _, v := range s.g.VerticesWithLabel(s.q.VertexLabel(e.From)) {
+			for _, id := range s.g.Out(v) {
+				if d, ok := s.g.Edge(id); ok {
+					if try(d) {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return s.stop
+}
+
+// candidateOK applies the per-algorithm candidate filter. BoostISO adds
+// the degree-containment rule derived from its vertex relationships: a
+// data vertex can host a query vertex only if its in/out degrees dominate
+// the query vertex's.
+func (s *searcher) candidateOK(qe query.EdgeID, d graph.Edge) bool {
+	if s.alg != BoostISO {
+		return true
+	}
+	e := s.q.Edge(qe)
+	if len(s.g.Out(d.From)) < s.outDeg(e.From) || len(s.g.In(d.From)) < s.inDeg(e.From) {
+		return false
+	}
+	if len(s.g.Out(d.To)) < s.outDeg(e.To) || len(s.g.In(d.To)) < s.inDeg(e.To) {
+		return false
+	}
+	return true
+}
+
+func (s *searcher) outDeg(v query.VertexID) int {
+	n := 0
+	for _, eid := range s.q.Touching(v) {
+		if s.q.Edge(eid).From == v {
+			n++
+		}
+	}
+	return n
+}
+
+func (s *searcher) inDeg(v query.VertexID) int {
+	n := 0
+	for _, eid := range s.q.Touching(v) {
+		if s.q.Edge(eid).To == v {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,206 @@
+package iso
+
+import (
+	"fmt"
+	"testing"
+
+	"timingsubg/internal/datagen"
+	"timingsubg/internal/graph"
+	"timingsubg/internal/match"
+	"timingsubg/internal/query"
+)
+
+func algorithms() []Algorithm { return []Algorithm{QuickSI, TurboISO, BoostISO} }
+
+// triangleQuery builds A→B→C→A.
+func triangleQuery(t *testing.T, labels *graph.Labels) *query.Query {
+	t.Helper()
+	la, lb, lc := labels.Intern("A"), labels.Intern("B"), labels.Intern("C")
+	b := query.NewBuilder()
+	va, vb, vc := b.AddVertex(la), b.AddVertex(lb), b.AddVertex(lc)
+	b.AddEdge(va, vb)
+	b.AddEdge(vb, vc)
+	b.AddEdge(vc, va)
+	q, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func TestTriangleCount(t *testing.T) {
+	labels := graph.NewLabels()
+	q := triangleQuery(t, labels)
+	la, lb, lc := labels.Intern("A"), labels.Intern("B"), labels.Intern("C")
+
+	// Two disjoint triangles plus a decoy path.
+	s := graph.NewSnapshot()
+	add := func(id, f, to int64, fl, tl graph.Label) {
+		s.Add(graph.Edge{ID: graph.EdgeID(id), From: graph.VertexID(f), To: graph.VertexID(to),
+			FromLabel: fl, ToLabel: tl, Time: graph.Timestamp(id)})
+	}
+	add(1, 1, 2, la, lb)
+	add(2, 2, 3, lb, lc)
+	add(3, 3, 1, lc, la)
+	add(4, 11, 12, la, lb)
+	add(5, 12, 13, lb, lc)
+	add(6, 13, 11, lc, la)
+	add(7, 1, 13, la, lc) // decoy, wrong direction for the triangle
+
+	for _, alg := range algorithms() {
+		if got := Count(s, q, alg, Options{}); got != 2 {
+			t.Errorf("%s: want 2 triangles, got %d", alg, got)
+		}
+	}
+}
+
+func TestRequiredEdgeRestriction(t *testing.T) {
+	labels := graph.NewLabels()
+	q := triangleQuery(t, labels)
+	la, lb, lc := labels.Intern("A"), labels.Intern("B"), labels.Intern("C")
+	s := graph.NewSnapshot()
+	mk := func(id, f, to int64, fl, tl graph.Label) graph.Edge {
+		e := graph.Edge{ID: graph.EdgeID(id), From: graph.VertexID(f), To: graph.VertexID(to),
+			FromLabel: fl, ToLabel: tl}
+		s.Add(e)
+		return e
+	}
+	mk(1, 1, 2, la, lb)
+	mk(2, 2, 3, lb, lc)
+	mk(3, 3, 1, lc, la)
+	mk(4, 11, 12, la, lb)
+	mk(5, 12, 13, lb, lc)
+	req := mk(6, 13, 11, lc, la)
+
+	for _, alg := range algorithms() {
+		n := 0
+		FindAll(s, q, alg, Options{Required: &req}, func(m *match.Match) bool {
+			if !m.HasDataEdge(req.ID) {
+				t.Errorf("%s: match without the required edge", alg)
+			}
+			n++
+			return true
+		})
+		if n != 1 {
+			t.Errorf("%s: want exactly the second triangle, got %d", alg, n)
+		}
+	}
+}
+
+func TestYieldStopsSearch(t *testing.T) {
+	labels := graph.NewLabels()
+	la, lb := labels.Intern("A"), labels.Intern("B")
+	b := query.NewBuilder()
+	va, vb := b.AddVertex(la), b.AddVertex(lb)
+	b.AddEdge(va, vb)
+	q, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := graph.NewSnapshot()
+	for i := int64(0); i < 10; i++ {
+		s.Add(graph.Edge{ID: graph.EdgeID(i), From: graph.VertexID(i), To: graph.VertexID(100 + i),
+			FromLabel: la, ToLabel: lb})
+	}
+	for _, alg := range algorithms() {
+		n := 0
+		FindAll(s, q, alg, Options{}, func(*match.Match) bool {
+			n++
+			return false
+		})
+		if n != 1 {
+			t.Errorf("%s: yield=false must stop after the first match, got %d", alg, n)
+		}
+	}
+}
+
+// TestAlgorithmsAgree compares the three strategies' match sets on random
+// snapshots — the orderings differ but the result sets must not.
+func TestAlgorithmsAgree(t *testing.T) {
+	for trial := 0; trial < 5; trial++ {
+		labels := graph.NewLabels()
+		gen := datagen.New(datagen.WikiTalk, labels, datagen.Config{Vertices: 40, Seed: int64(trial + 1)})
+		edges := gen.Take(250)
+		snap := graph.SnapshotOf(edges)
+
+		// A 3-edge path query over the letter alphabet.
+		b := query.NewBuilder()
+		v0 := b.AddVertex(edges[0].FromLabel)
+		v1 := b.AddVertex(edges[0].ToLabel)
+		v2 := b.AddVertex(edges[1].FromLabel)
+		b.AddEdge(v0, v1)
+		b.AddEdge(v2, v1)
+		q, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		counts := map[Algorithm]map[string]bool{}
+		for _, alg := range algorithms() {
+			set := map[string]bool{}
+			FindAll(snap, q, alg, Options{}, func(m *match.Match) bool {
+				set[m.Key()] = true
+				return true
+			})
+			counts[alg] = set
+		}
+		for _, alg := range algorithms()[1:] {
+			if len(counts[alg]) != len(counts[QuickSI]) {
+				t.Errorf("trial %d: %s found %d matches, QuickSI %d",
+					trial, alg, len(counts[alg]), len(counts[QuickSI]))
+				continue
+			}
+			for k := range counts[QuickSI] {
+				if !counts[alg][k] {
+					t.Errorf("trial %d: %s missing %s", trial, alg, k)
+				}
+			}
+		}
+	}
+}
+
+// TestNoDuplicateResults verifies the backtracker enumerates each
+// assignment exactly once even with parallel data edges (multigraph).
+func TestNoDuplicateResults(t *testing.T) {
+	labels := graph.NewLabels()
+	la, lb := labels.Intern("A"), labels.Intern("B")
+	b := query.NewBuilder()
+	va, vb := b.AddVertex(la), b.AddVertex(lb)
+	b.AddEdge(va, vb)
+	q, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := graph.NewSnapshot()
+	// Three parallel data edges 1→2.
+	for i := int64(0); i < 3; i++ {
+		s.Add(graph.Edge{ID: graph.EdgeID(i), From: 1, To: 2, FromLabel: la, ToLabel: lb,
+			Time: graph.Timestamp(i)})
+	}
+	for _, alg := range algorithms() {
+		seen := map[string]int{}
+		FindAll(s, q, alg, Options{}, func(m *match.Match) bool {
+			seen[m.Key()]++
+			return true
+		})
+		if len(seen) != 3 {
+			t.Errorf("%s: want 3 distinct matches, got %d", alg, len(seen))
+		}
+		for k, n := range seen {
+			if n != 1 {
+				t.Errorf("%s: match %s enumerated %d times", alg, k, n)
+			}
+		}
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	for _, alg := range algorithms() {
+		if alg.String() == "iso?" {
+			t.Errorf("missing name for %d", alg)
+		}
+	}
+	if fmt.Sprint(Algorithm(99)) != "iso?" {
+		t.Error("unknown algorithm should format safely")
+	}
+}

@@ -1,0 +1,59 @@
+package lock
+
+import (
+	"sync"
+	"testing"
+)
+
+// BenchmarkUncontendedAcquire measures the fine-grained lock fast path:
+// dispatch + acquire + release with no contention (the per-item overhead
+// every transaction operation pays).
+func BenchmarkUncontendedAcquire(b *testing.B) {
+	mgr := NewManager()
+	id := ItemID{List: 1, Level: 1}
+	for i := 0; i < b.N; i++ {
+		txn := NewFineTxn(mgr, int64(i), []Request{{Item: id, Mode: X}})
+		txn.Acquire(id, X)
+		txn.Release(id, X)
+		txn.Finish()
+	}
+}
+
+// BenchmarkContendedPipeline measures wait-list throughput with many
+// transactions racing over one item, the worst-case schedule.
+func BenchmarkContendedPipeline(b *testing.B) {
+	mgr := NewManager()
+	id := ItemID{List: 1, Level: 1}
+	const lanes = 8
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	txns := make(chan *FineTxn, lanes)
+	for w := 0; w < lanes; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for txn := range txns {
+				txn.Acquire(id, X)
+				txn.Release(id, X)
+				txn.Finish()
+			}
+		}()
+	}
+	for i := 0; i < b.N; i++ {
+		txns <- NewFineTxn(mgr, int64(i), []Request{{Item: id, Mode: X}})
+	}
+	close(txns)
+	wg.Wait()
+}
+
+// BenchmarkSharedReaders measures concurrent S-lock admission.
+func BenchmarkSharedReaders(b *testing.B) {
+	mgr := NewManager()
+	id := ItemID{List: 1, Level: 1}
+	for i := 0; i < b.N; i++ {
+		txn := NewFineTxn(mgr, int64(i), []Request{{Item: id, Mode: S}})
+		txn.Acquire(id, S)
+		txn.Release(id, S)
+		txn.Finish()
+	}
+}

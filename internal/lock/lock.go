@@ -1,0 +1,157 @@
+// Package lock implements the paper's concurrency management (Section V):
+// every edge insertion/deletion runs as a transaction; expansion-list
+// items are lockable resources with per-item FIFO wait-lists ordered by
+// transaction timestamp; a transaction holds at most one item lock at a
+// time (fine-grained mode), which together with wait-list ordering yields
+// deadlock freedom and streaming consistency (Theorem 4).
+//
+// The package also provides the paper's comparison scheme "All-locks",
+// which acquires every item a transaction may touch before it starts.
+package lock
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Mode is a lock mode.
+type Mode int8
+
+// Lock modes: shared for READ, exclusive for INSERT/DELETE.
+const (
+	S Mode = iota // shared
+	X             // exclusive
+)
+
+func (m Mode) String() string {
+	if m == S {
+		return "S"
+	}
+	return "X"
+}
+
+// ItemID names an expansion-list item: List 0 is the global list L₀,
+// lists 1..k are the TC-subquery lists; Level is the 1-based item index
+// within the list. The aliasing of L₀¹ to the first sub-list's last item
+// is resolved by callers before locking, so ItemID{0, 1} never appears.
+type ItemID struct {
+	List  int
+	Level int
+}
+
+func (id ItemID) String() string { return fmt.Sprintf("L%d^%d", id.List, id.Level) }
+
+// Request is one pending lock request in an item's wait-list.
+type Request struct {
+	TxnID int64
+	Mode  Mode
+	Item  ItemID
+}
+
+// item is one lockable resource.
+type item struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []Request // FIFO wait-list, ordered by dispatch (= txn timestamp)
+	sharers int       // number of S holders
+	excl    bool      // X held
+}
+
+func newItem() *item {
+	it := &item{}
+	it.cond = sync.NewCond(&it.mu)
+	return it
+}
+
+// Manager owns the items and dispatches transactions. Dispatch must be
+// performed by a single thread (the paper's main thread, Algorithm 3):
+// Dispatch appends all of a transaction's requests to the wait-lists
+// atomically with respect to later transactions, which is what keeps
+// every wait-list in chronological order.
+type Manager struct {
+	mu    sync.Mutex
+	items map[ItemID]*item
+}
+
+// NewManager returns a Manager with no items; items are created lazily.
+func NewManager() *Manager {
+	return &Manager{items: make(map[ItemID]*item)}
+}
+
+func (m *Manager) item(id ItemID) *item {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	it, ok := m.items[id]
+	if !ok {
+		it = newItem()
+		m.items[id] = it
+	}
+	return it
+}
+
+// Dispatch enqueues all requests of transaction txnID. It must be called
+// from the single dispatcher thread, before the transaction's goroutine
+// is launched.
+func (m *Manager) Dispatch(txnID int64, reqs []Request) {
+	for _, r := range reqs {
+		it := m.item(r.Item)
+		it.mu.Lock()
+		it.queue = append(it.queue, Request{TxnID: txnID, Mode: r.Mode, Item: r.Item})
+		it.mu.Unlock()
+	}
+}
+
+// Acquire blocks until the transaction's front request for id is at the
+// head of the wait-list and the lock status is compatible (Algorithm 4),
+// then takes the lock and pops the request.
+func (m *Manager) Acquire(txnID int64, id ItemID, mode Mode) {
+	it := m.item(id)
+	it.mu.Lock()
+	defer it.mu.Unlock()
+	for {
+		if len(it.queue) == 0 {
+			panic(fmt.Sprintf("lock: txn %d acquiring %s %v with empty wait-list (request was never dispatched)", txnID, mode, id))
+		}
+		head := it.queue[0]
+		if head.TxnID == txnID {
+			if head.Mode != mode {
+				panic(fmt.Sprintf("lock: txn %d acquiring %s %v but dispatched %s (plan/execution skew)", txnID, mode, id, head.Mode))
+			}
+			if mode == X && !it.excl && it.sharers == 0 {
+				it.excl = true
+				it.queue = it.queue[1:]
+				it.cond.Broadcast()
+				return
+			}
+			if mode == S && !it.excl {
+				it.sharers++
+				it.queue = it.queue[1:]
+				it.cond.Broadcast()
+				return
+			}
+		}
+		it.cond.Wait()
+	}
+}
+
+// Release drops the lock held by the transaction on id and wakes waiters
+// (Algorithm 4).
+func (m *Manager) Release(_ int64, id ItemID, mode Mode) {
+	it := m.item(id)
+	it.mu.Lock()
+	defer it.mu.Unlock()
+	if mode == X {
+		it.excl = false
+	} else {
+		it.sharers--
+	}
+	it.cond.Broadcast()
+}
+
+// QueueLen reports the wait-list length of an item, for tests.
+func (m *Manager) QueueLen(id ItemID) int {
+	it := m.item(id)
+	it.mu.Lock()
+	defer it.mu.Unlock()
+	return len(it.queue)
+}

@@ -1,0 +1,218 @@
+package lock
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func req(list, lvl int, m Mode) Request {
+	return Request{Item: ItemID{List: list, Level: lvl}, Mode: m}
+}
+
+// TestFIFOOrdering verifies that an earlier transaction's exclusive
+// request blocks a later one until released, regardless of arrival order
+// at the lock.
+func TestFIFOOrdering(t *testing.T) {
+	mgr := NewManager()
+	item := ItemID{List: 1, Level: 1}
+	t1 := NewFineTxn(mgr, 1, []Request{req(1, 1, X)})
+	t2 := NewFineTxn(mgr, 2, []Request{req(1, 1, X)})
+
+	var order []int64
+	var mu sync.Mutex
+	record := func(id int64) {
+		mu.Lock()
+		order = append(order, id)
+		mu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	// Launch t2 first: it must still wait behind t1's queued request.
+	go func() {
+		defer wg.Done()
+		t2.Acquire(item, X)
+		record(2)
+		t2.Release(item, X)
+		t2.Finish()
+	}()
+	time.Sleep(20 * time.Millisecond)
+	go func() {
+		defer wg.Done()
+		t1.Acquire(item, X)
+		record(1)
+		t1.Release(item, X)
+		t1.Finish()
+	}()
+	wg.Wait()
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("want chronological order [1 2], got %v", order)
+	}
+}
+
+// TestSharedLocksOverlap verifies multiple S holders coexist while an X
+// waits.
+func TestSharedLocksOverlap(t *testing.T) {
+	mgr := NewManager()
+	item := ItemID{List: 1, Level: 1}
+	s1 := NewFineTxn(mgr, 1, []Request{req(1, 1, S)})
+	s2 := NewFineTxn(mgr, 2, []Request{req(1, 1, S)})
+	x3 := NewFineTxn(mgr, 3, []Request{req(1, 1, X)})
+
+	var concurrent atomic.Int32
+	var peak atomic.Int32
+	var xHeld atomic.Bool
+	var wg sync.WaitGroup
+	hold := func(txn *FineTxn, mode Mode) {
+		defer wg.Done()
+		txn.Acquire(item, mode)
+		if mode == S {
+			if xHeld.Load() {
+				t.Error("S granted while X held")
+			}
+			v := concurrent.Add(1)
+			for {
+				p := peak.Load()
+				if v <= p || peak.CompareAndSwap(p, v) {
+					break
+				}
+			}
+			time.Sleep(30 * time.Millisecond)
+			concurrent.Add(-1)
+		} else {
+			if concurrent.Load() != 0 {
+				t.Error("X granted while S held")
+			}
+			xHeld.Store(true)
+			time.Sleep(5 * time.Millisecond)
+			xHeld.Store(false)
+		}
+		txn.Release(item, mode)
+		txn.Finish()
+	}
+	wg.Add(3)
+	go hold(s1, S)
+	go hold(s2, S)
+	go hold(x3, X)
+	wg.Wait()
+	if peak.Load() != 2 {
+		t.Errorf("both S holders should overlap, peak=%d", peak.Load())
+	}
+}
+
+// TestPlanSkewPanics verifies the plan/execution assertion trips.
+func TestPlanSkewPanics(t *testing.T) {
+	mgr := NewManager()
+	txn := NewFineTxn(mgr, 1, []Request{req(1, 1, S)})
+	defer func() {
+		if recover() == nil {
+			t.Error("acquiring an unplanned item must panic")
+		}
+	}()
+	txn.Acquire(ItemID{List: 2, Level: 2}, S)
+}
+
+// TestFinishAssertsCompletion verifies leftover requests are caught.
+func TestFinishAssertsCompletion(t *testing.T) {
+	mgr := NewManager()
+	txn := NewFineTxn(mgr, 1, []Request{req(1, 1, S), req(1, 2, X)})
+	txn.Acquire(ItemID{List: 1, Level: 1}, S)
+	txn.Release(ItemID{List: 1, Level: 1}, S)
+	defer func() {
+		if recover() == nil {
+			t.Error("Finish with pending requests must panic")
+		}
+	}()
+	txn.Finish()
+}
+
+// TestAllTxnDedup verifies duplicate items collapse to the strongest
+// mode so a transaction never self-deadlocks.
+func TestAllTxnDedup(t *testing.T) {
+	mgr := NewManager()
+	txn := NewAllTxn(mgr, 1, []Request{
+		req(1, 1, S), req(1, 2, X), req(1, 1, X), req(1, 2, S),
+	})
+	done := make(chan bool)
+	go func() {
+		txn.Start() // would deadlock without dedup
+		txn.Finish()
+		done <- true
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("AllTxn.Start deadlocked on duplicate items")
+	}
+}
+
+// TestManyTransactionsProgress floods one item with interleaved S/X
+// transactions and requires global completion (deadlock freedom).
+func TestManyTransactionsProgress(t *testing.T) {
+	mgr := NewManager()
+	const n = 200
+	var wg sync.WaitGroup
+	txns := make([]*FineTxn, n)
+	for i := 0; i < n; i++ {
+		mode := S
+		if i%3 == 0 {
+			mode = X
+		}
+		txns[i] = NewFineTxn(mgr, int64(i), []Request{req(1, 1, mode), req(1, 2, X)})
+	}
+	for i := 0; i < n; i++ {
+		i := i
+		mode := S
+		if i%3 == 0 {
+			mode = X
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			txns[i].Acquire(ItemID{1, 1}, mode)
+			txns[i].Release(ItemID{1, 1}, mode)
+			txns[i].Acquire(ItemID{1, 2}, X)
+			txns[i].Release(ItemID{1, 2}, X)
+			txns[i].Finish()
+		}()
+	}
+	done := make(chan bool)
+	go func() { wg.Wait(); done <- true }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("transactions did not all complete (deadlock?)")
+	}
+	if mgr.QueueLen(ItemID{1, 1}) != 0 || mgr.QueueLen(ItemID{1, 2}) != 0 {
+		t.Error("wait-lists must drain")
+	}
+}
+
+// TestXExcludesX verifies two exclusive holders never overlap.
+func TestXExcludesX(t *testing.T) {
+	mgr := NewManager()
+	const n = 50
+	var inside atomic.Int32
+	var wg sync.WaitGroup
+	txns := make([]*FineTxn, n)
+	for i := range txns {
+		txns[i] = NewFineTxn(mgr, int64(i), []Request{req(1, 1, X)})
+	}
+	for i := range txns {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			txns[i].Acquire(ItemID{1, 1}, X)
+			if inside.Add(1) != 1 {
+				t.Error("two X holders overlap")
+			}
+			inside.Add(-1)
+			txns[i].Release(ItemID{1, 1}, X)
+			txns[i].Finish()
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,120 @@
+package lock
+
+// Locker is the hook the engine calls around each expansion-list item
+// access. Implementations decide whether anything actually blocks:
+// the serial engine uses NopLocker, the concurrent engine uses FineTxn
+// (the paper's fine-grained scheme) or AllTxn (the All-locks baseline).
+type Locker interface {
+	// Acquire takes the lock for one planned access. Engines call
+	// Acquire/Release in exactly the order the access plan was dispatched.
+	Acquire(id ItemID, mode Mode)
+	// Release drops the lock taken by the matching Acquire.
+	Release(id ItemID, mode Mode)
+}
+
+// NopLocker is the no-op Locker used by the serial engine.
+type NopLocker struct{}
+
+// Acquire implements Locker.
+func (NopLocker) Acquire(ItemID, Mode) {}
+
+// Release implements Locker.
+func (NopLocker) Release(ItemID, Mode) {}
+
+// FineTxn is a transaction using the paper's fine-grained locking: each
+// access acquires just its item and releases it when the computation on
+// that item finishes, so a transaction holds at most one lock at a time.
+type FineTxn struct {
+	ID   int64
+	mgr  *Manager
+	plan []Request
+	next int
+}
+
+// NewFineTxn dispatches the plan's requests under the transaction's
+// timestamp ID and returns the transaction. Must be called from the
+// single dispatcher thread.
+func NewFineTxn(mgr *Manager, id int64, plan []Request) *FineTxn {
+	mgr.Dispatch(id, plan)
+	return &FineTxn{ID: id, mgr: mgr, plan: plan}
+}
+
+// Acquire implements Locker, asserting the access follows the dispatched
+// plan (any divergence would corrupt every wait-list behind it).
+func (t *FineTxn) Acquire(id ItemID, mode Mode) {
+	if t.next >= len(t.plan) {
+		panic("lock: transaction exceeded its dispatched plan")
+	}
+	want := t.plan[t.next]
+	if want.Item != id || want.Mode != mode {
+		panic("lock: access order diverged from dispatched plan: want " +
+			want.Mode.String() + want.Item.String() + " got " + mode.String() + id.String())
+	}
+	t.next++
+	t.mgr.Acquire(t.ID, id, mode)
+}
+
+// Release implements Locker.
+func (t *FineTxn) Release(id ItemID, mode Mode) {
+	t.mgr.Release(t.ID, id, mode)
+}
+
+// Finish verifies the whole plan was consumed. Engines call it when the
+// transaction's work is done; a leftover request would stall every later
+// transaction queued behind it.
+func (t *FineTxn) Finish() {
+	if t.next != len(t.plan) {
+		panic("lock: transaction finished with pending lock requests")
+	}
+}
+
+// AllTxn is a transaction using the All-locks scheme: every planned lock
+// is taken up front and held for the whole transaction (the paper's
+// comparison baseline, Section VII-D). Per-access hooks are no-ops.
+type AllTxn struct {
+	ID   int64
+	mgr  *Manager
+	plan []Request
+}
+
+// NewAllTxn dispatches the plan from the dispatcher thread. Repeated
+// accesses to one item are collapsed into a single lock of the strongest
+// mode, since the transaction holds everything for its whole lifetime.
+func NewAllTxn(mgr *Manager, id int64, plan []Request) *AllTxn {
+	seen := make(map[ItemID]int, len(plan))
+	dedup := make([]Request, 0, len(plan))
+	for _, r := range plan {
+		if i, ok := seen[r.Item]; ok {
+			if r.Mode == X {
+				dedup[i].Mode = X
+			}
+			continue
+		}
+		seen[r.Item] = len(dedup)
+		dedup = append(dedup, r)
+	}
+	mgr.Dispatch(id, dedup)
+	return &AllTxn{ID: id, mgr: mgr, plan: dedup}
+}
+
+// Start blocks until every planned lock is held, in plan order. Called
+// from the transaction goroutine.
+func (t *AllTxn) Start() {
+	for _, r := range t.plan {
+		t.mgr.Acquire(t.ID, r.Item, r.Mode)
+	}
+}
+
+// Acquire implements Locker as a no-op: locks are already held.
+func (t *AllTxn) Acquire(ItemID, Mode) {}
+
+// Release implements Locker as a no-op.
+func (t *AllTxn) Release(ItemID, Mode) {}
+
+// Finish releases every lock.
+func (t *AllTxn) Finish() {
+	for i := len(t.plan) - 1; i >= 0; i-- {
+		r := t.plan[i]
+		t.mgr.Release(t.ID, r.Item, r.Mode)
+	}
+}

@@ -1,0 +1,356 @@
+// Package match represents (partial) time-constrained matches and
+// implements the compatibility join ⋈ᵀ from Section III-A: two partial
+// matches can be combined iff their vertex bindings agree, the combined
+// binding is injective, no data edge is reused for two query edges, and
+// every timing-order constraint between bound edges holds.
+package match
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"timingsubg/internal/graph"
+	"timingsubg/internal/query"
+)
+
+// Unbound marks a query vertex with no data vertex assigned yet.
+const Unbound graph.VertexID = -1 << 62
+
+// NoEdge marks a query edge with no data edge assigned yet.
+const NoEdge graph.EdgeID = -1
+
+// Match is a partial (or complete) match of a query: an assignment of
+// data vertices to query vertices and data edges to query edges.
+type Match struct {
+	// Vtx[qv] is the data vertex bound to query vertex qv, or Unbound.
+	Vtx []graph.VertexID
+	// Edges[qe] is the data edge bound to query edge qe; Edges[qe].ID ==
+	// NoEdge when unbound.
+	Edges []graph.Edge
+	// EdgeMask has bit qe set iff query edge qe is bound.
+	EdgeMask uint64
+}
+
+// New returns an empty match for query q.
+func New(q *query.Query) *Match {
+	m := &Match{
+		Vtx:   make([]graph.VertexID, q.NumVertices()),
+		Edges: make([]graph.Edge, q.NumEdges()),
+	}
+	for i := range m.Vtx {
+		m.Vtx[i] = Unbound
+	}
+	for i := range m.Edges {
+		m.Edges[i].ID = NoEdge
+	}
+	return m
+}
+
+// Clone returns a deep copy of m.
+func (m *Match) Clone() *Match {
+	return &Match{
+		Vtx:      append([]graph.VertexID(nil), m.Vtx...),
+		Edges:    append([]graph.Edge(nil), m.Edges...),
+		EdgeMask: m.EdgeMask,
+	}
+}
+
+// NumBoundEdges returns how many query edges are bound.
+func (m *Match) NumBoundEdges() int {
+	n := 0
+	for mask := m.EdgeMask; mask != 0; mask &= mask - 1 {
+		n++
+	}
+	return n
+}
+
+// HasDataEdge reports whether data edge id is already used by the match.
+func (m *Match) HasDataEdge(id graph.EdgeID) bool {
+	for i := range m.Edges {
+		if m.Edges[i].ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// hasDataVertex reports whether data vertex v is in the binding image,
+// excluding query vertices listed in except.
+func (m *Match) hasDataVertex(v graph.VertexID, except ...query.VertexID) bool {
+	for qv, dv := range m.Vtx {
+		if dv != v {
+			continue
+		}
+		skip := false
+		for _, ex := range except {
+			if query.VertexID(qv) == ex {
+				skip = true
+				break
+			}
+		}
+		if !skip {
+			return true
+		}
+	}
+	return false
+}
+
+// CanBind reports whether data edge d can be bound to query edge qe in m:
+// label match, consistent vertex bindings, injectivity of the extended
+// binding, no reuse of d, and all timing constraints between qe and
+// already-bound edges.
+func (m *Match) CanBind(q *query.Query, qe query.EdgeID, d graph.Edge) bool {
+	return m.canBind(q, qe, d, true)
+}
+
+// CanBindStructural is CanBind without the timing-order check. Static
+// isomorphism baselines use it and verify timing as a post-filter, the
+// way the paper runs SJ-tree and IncMat (Section VII-C).
+func (m *Match) CanBindStructural(q *query.Query, qe query.EdgeID, d graph.Edge) bool {
+	return m.canBind(q, qe, d, false)
+}
+
+func (m *Match) canBind(q *query.Query, qe query.EdgeID, d graph.Edge, timing bool) bool {
+	if !q.MatchesData(qe, d) {
+		return false
+	}
+	e := q.Edge(qe)
+	if m.EdgeMask&(1<<uint(qe)) != 0 {
+		return false // already bound
+	}
+	bf, bt := m.Vtx[e.From], m.Vtx[e.To]
+	// Self-loop consistency: query self-loop requires data self-loop.
+	if e.From == e.To && d.From != d.To {
+		return false
+	}
+	if bf != Unbound && bf != d.From {
+		return false
+	}
+	if bt != Unbound && bt != d.To {
+		return false
+	}
+	// Injectivity for newly bound vertices.
+	if bf == Unbound && m.hasDataVertex(d.From) {
+		return false
+	}
+	if bt == Unbound && e.From != e.To {
+		if d.From == d.To && bf == Unbound {
+			// Distinct query vertices must map to distinct data vertices.
+			return false
+		}
+		if m.hasDataVertex(d.To) {
+			return false
+		}
+	}
+	if e.From != e.To && bf == Unbound && bt == Unbound && d.From == d.To {
+		return false
+	}
+	if m.HasDataEdge(d.ID) {
+		return false
+	}
+	if !timing {
+		return true
+	}
+	// Timing constraints against every bound edge.
+	for other := 0; other < q.NumEdges(); other++ {
+		if m.EdgeMask&(1<<uint(other)) == 0 {
+			continue
+		}
+		oe := m.Edges[other]
+		if q.Precedes(query.EdgeID(other), qe) && oe.Time >= d.Time {
+			return false
+		}
+		if q.Precedes(qe, query.EdgeID(other)) && d.Time >= oe.Time {
+			return false
+		}
+	}
+	return true
+}
+
+// Bind assigns data edge d to query edge qe. Callers must have verified
+// CanBind; Bind performs no checks.
+func (m *Match) Bind(q *query.Query, qe query.EdgeID, d graph.Edge) {
+	e := q.Edge(qe)
+	m.Vtx[e.From] = d.From
+	m.Vtx[e.To] = d.To
+	m.Edges[qe] = d
+	m.EdgeMask |= 1 << uint(qe)
+}
+
+// Unbind removes the assignment of query edge qe, clearing vertex
+// bindings that no other bound edge supports. It is used by backtracking
+// searchers.
+func (m *Match) Unbind(q *query.Query, qe query.EdgeID) {
+	e := q.Edge(qe)
+	m.Edges[qe].ID = NoEdge
+	m.EdgeMask &^= 1 << uint(qe)
+	if !m.vertexSupported(q, e.From) {
+		m.Vtx[e.From] = Unbound
+	}
+	if !m.vertexSupported(q, e.To) {
+		m.Vtx[e.To] = Unbound
+	}
+}
+
+func (m *Match) vertexSupported(q *query.Query, v query.VertexID) bool {
+	for _, eid := range q.Touching(v) {
+		if m.EdgeMask&(1<<uint(eid)) != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Compatible reports whether m and other can be merged (the g1 ∼ g2
+// relation of Section III-A): disjoint bound edge sets, agreeing vertex
+// bindings, injective union, no shared data edges, and all cross timing
+// constraints satisfied.
+func (m *Match) Compatible(q *query.Query, other *Match) bool {
+	if m.EdgeMask&other.EdgeMask != 0 {
+		return false
+	}
+	// Vertex binding agreement and injectivity of the union.
+	for qv := range m.Vtx {
+		a, b := m.Vtx[qv], other.Vtx[qv]
+		if a != Unbound && b != Unbound && a != b {
+			return false
+		}
+	}
+	for qv := range m.Vtx {
+		av := m.Vtx[qv]
+		bv := other.Vtx[qv]
+		v := av
+		if v == Unbound {
+			v = bv
+		}
+		if v == Unbound {
+			continue
+		}
+		// v must not appear under a different query vertex in either side.
+		for qw := qv + 1; qw < len(m.Vtx); qw++ {
+			wa, wb := m.Vtx[qw], other.Vtx[qw]
+			if wa == v || wb == v {
+				return false
+			}
+		}
+	}
+	// Data edge reuse across sides.
+	for i := range m.Edges {
+		if m.Edges[i].ID == NoEdge {
+			continue
+		}
+		if other.HasDataEdge(m.Edges[i].ID) {
+			return false
+		}
+	}
+	// Cross timing constraints.
+	for a := 0; a < q.NumEdges(); a++ {
+		if m.EdgeMask&(1<<uint(a)) == 0 {
+			continue
+		}
+		for b := 0; b < q.NumEdges(); b++ {
+			if other.EdgeMask&(1<<uint(b)) == 0 {
+				continue
+			}
+			ta, tb := m.Edges[a].Time, other.Edges[b].Time
+			if q.Precedes(query.EdgeID(a), query.EdgeID(b)) && ta >= tb {
+				return false
+			}
+			if q.Precedes(query.EdgeID(b), query.EdgeID(a)) && tb >= ta {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Merge returns the union of m and other. Callers must have verified
+// Compatible.
+func (m *Match) Merge(other *Match) *Match {
+	out := m.Clone()
+	out.MergeInPlace(other)
+	return out
+}
+
+// MergeInPlace folds other into m without allocating.
+func (m *Match) MergeInPlace(other *Match) {
+	for qv := range m.Vtx {
+		if m.Vtx[qv] == Unbound {
+			m.Vtx[qv] = other.Vtx[qv]
+		}
+	}
+	for qe := range m.Edges {
+		if m.Edges[qe].ID == NoEdge && other.Edges[qe].ID != NoEdge {
+			m.Edges[qe] = other.Edges[qe]
+		}
+	}
+	m.EdgeMask |= other.EdgeMask
+}
+
+// Complete reports whether every query edge is bound.
+func (m *Match) Complete(q *query.Query) bool {
+	return m.EdgeMask == uint64(1)<<uint(q.NumEdges())-1
+}
+
+// Verify re-checks the full Definition 4 semantics for a complete match;
+// it is the independent verifier used by tests and never by engines.
+func (m *Match) Verify(q *query.Query) error {
+	if !m.Complete(q) {
+		return fmt.Errorf("match: incomplete (mask %b)", m.EdgeMask)
+	}
+	seenV := make(map[graph.VertexID]query.VertexID)
+	for qv, dv := range m.Vtx {
+		if dv == Unbound {
+			return fmt.Errorf("match: vertex %d unbound", qv)
+		}
+		if prev, dup := seenV[dv]; dup {
+			return fmt.Errorf("match: vertices %d and %d both map to %d", prev, qv, dv)
+		}
+		seenV[dv] = query.VertexID(qv)
+	}
+	seenE := make(map[graph.EdgeID]bool)
+	for qe := range m.Edges {
+		d := m.Edges[qe]
+		e := q.Edge(query.EdgeID(qe))
+		if seenE[d.ID] {
+			return fmt.Errorf("match: data edge %d reused", d.ID)
+		}
+		seenE[d.ID] = true
+		if m.Vtx[e.From] != d.From || m.Vtx[e.To] != d.To {
+			return fmt.Errorf("match: edge %d endpoints inconsistent", qe)
+		}
+		if !q.MatchesData(query.EdgeID(qe), d) {
+			return fmt.Errorf("match: edge %d label mismatch", qe)
+		}
+	}
+	for _, p := range q.OrderPairs() {
+		if m.Edges[p[0]].Time >= m.Edges[p[1]].Time {
+			return fmt.Errorf("match: timing %d ≺ %d violated (%d ≥ %d)",
+				p[0], p[1], m.Edges[p[0]].Time, m.Edges[p[1]].Time)
+		}
+	}
+	return nil
+}
+
+// Key returns a canonical string identifying the match by its data edge
+// assignment, usable for set comparison in tests.
+func (m *Match) Key() string {
+	parts := make([]string, 0, len(m.Edges))
+	for qe := range m.Edges {
+		if m.Edges[qe].ID != NoEdge {
+			parts = append(parts, fmt.Sprintf("%d=%d", qe, m.Edges[qe].ID))
+		}
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+// String renders the match for diagnostics.
+func (m *Match) String() string { return "{" + m.Key() + "}" }
+
+// SpaceBytes estimates the resident size of an independently stored
+// match, used by the Timing-IND space accounting.
+func (m *Match) SpaceBytes() int64 {
+	return int64(len(m.Vtx)*8 + len(m.Edges)*56 + 16)
+}

@@ -1,0 +1,285 @@
+package match
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"timingsubg/internal/graph"
+	"timingsubg/internal/query"
+)
+
+// twoEdgePath builds the query a→b→c with (a→b) ≺ (b→c).
+func twoEdgePath(t *testing.T) (*query.Query, graph.Label, graph.Label, graph.Label) {
+	t.Helper()
+	labels := graph.NewLabels()
+	la, lb, lc := labels.Intern("a"), labels.Intern("b"), labels.Intern("c")
+	b := query.NewBuilder()
+	va, vb, vc := b.AddVertex(la), b.AddVertex(lb), b.AddVertex(lc)
+	e1 := b.AddEdge(va, vb)
+	e2 := b.AddEdge(vb, vc)
+	b.Before(e1, e2)
+	q, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q, la, lb, lc
+}
+
+func TestBindAndComplete(t *testing.T) {
+	q, la, lb, lc := twoEdgePath(t)
+	m := New(q)
+	d1 := graph.Edge{ID: 1, From: 10, To: 20, FromLabel: la, ToLabel: lb, Time: 1}
+	d2 := graph.Edge{ID: 2, From: 20, To: 30, FromLabel: lb, ToLabel: lc, Time: 2}
+
+	if m.Complete(q) {
+		t.Fatal("empty match must not be complete")
+	}
+	if !m.CanBind(q, 0, d1) {
+		t.Fatal("d1 must bind to ε0")
+	}
+	m.Bind(q, 0, d1)
+	if m.NumBoundEdges() != 1 {
+		t.Errorf("want 1 bound edge, got %d", m.NumBoundEdges())
+	}
+	if !m.CanBind(q, 1, d2) {
+		t.Fatal("d2 must bind to ε1")
+	}
+	m.Bind(q, 1, d2)
+	if !m.Complete(q) {
+		t.Fatal("match must be complete")
+	}
+	if err := m.Verify(q); err != nil {
+		t.Fatalf("valid match failed verify: %v", err)
+	}
+}
+
+func TestCanBindRejections(t *testing.T) {
+	q, la, lb, lc := twoEdgePath(t)
+	base := func() *Match {
+		m := New(q)
+		m.Bind(q, 0, graph.Edge{ID: 1, From: 10, To: 20, FromLabel: la, ToLabel: lb, Time: 5})
+		return m
+	}
+
+	t.Run("label mismatch", func(t *testing.T) {
+		m := New(q)
+		if m.CanBind(q, 0, graph.Edge{ID: 9, From: 1, To: 2, FromLabel: lb, ToLabel: la}) {
+			t.Error("wrong labels must not bind")
+		}
+	})
+	t.Run("vertex inconsistency", func(t *testing.T) {
+		m := base()
+		// ε1 must start at the bound b-vertex 20.
+		if m.CanBind(q, 1, graph.Edge{ID: 2, From: 21, To: 30, FromLabel: lb, ToLabel: lc, Time: 6}) {
+			t.Error("must reject edge from an unbound b vertex")
+		}
+	})
+	t.Run("injectivity", func(t *testing.T) {
+		m := base()
+		// c would map to data vertex 10, already the image of a.
+		if m.CanBind(q, 1, graph.Edge{ID: 2, From: 20, To: 10, FromLabel: lb, ToLabel: lc, Time: 6}) {
+			t.Error("must reject non-injective binding")
+		}
+	})
+	t.Run("duplicate data edge", func(t *testing.T) {
+		m := base()
+		if m.CanBind(q, 0, graph.Edge{ID: 1, From: 10, To: 20, FromLabel: la, ToLabel: lb, Time: 5}) {
+			t.Error("edge already bound at ε0")
+		}
+	})
+	t.Run("timing violation", func(t *testing.T) {
+		m := base()
+		// ε0 ≺ ε1 but candidate is older than the bound ε0 edge.
+		if m.CanBind(q, 1, graph.Edge{ID: 2, From: 20, To: 30, FromLabel: lb, ToLabel: lc, Time: 4}) {
+			t.Error("must reject timing violation")
+		}
+		// Structural variant accepts it.
+		if !m.CanBindStructural(q, 1, graph.Edge{ID: 2, From: 20, To: 30, FromLabel: lb, ToLabel: lc, Time: 4}) {
+			t.Error("structural bind must ignore timing")
+		}
+	})
+	t.Run("equal timestamps violate strict order", func(t *testing.T) {
+		m := base()
+		if m.CanBind(q, 1, graph.Edge{ID: 2, From: 20, To: 30, FromLabel: lb, ToLabel: lc, Time: 5}) {
+			t.Error("equal timestamps must violate ≺")
+		}
+	})
+}
+
+func TestSelfLoopHandling(t *testing.T) {
+	labels := graph.NewLabels()
+	la := labels.Intern("a")
+	b := query.NewBuilder()
+	va := b.AddVertex(la)
+	vb := b.AddVertex(la)
+	b.AddEdge(va, va) // self loop
+	b.AddEdge(va, vb)
+	q, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(q)
+	if m.CanBind(q, 0, graph.Edge{ID: 1, From: 1, To: 2, FromLabel: la, ToLabel: la}) {
+		t.Error("query self-loop requires a data self-loop")
+	}
+	if !m.CanBind(q, 0, graph.Edge{ID: 1, From: 1, To: 1, FromLabel: la, ToLabel: la}) {
+		t.Error("data self-loop must bind a query self-loop")
+	}
+	// Non-loop query edge must reject a data self-loop (injectivity).
+	if m.CanBind(q, 1, graph.Edge{ID: 2, From: 3, To: 3, FromLabel: la, ToLabel: la}) {
+		t.Error("distinct query vertices cannot share a data vertex")
+	}
+}
+
+func TestUnbindRestoresState(t *testing.T) {
+	q, la, lb, lc := twoEdgePath(t)
+	m := New(q)
+	d1 := graph.Edge{ID: 1, From: 10, To: 20, FromLabel: la, ToLabel: lb, Time: 1}
+	d2 := graph.Edge{ID: 2, From: 20, To: 30, FromLabel: lb, ToLabel: lc, Time: 2}
+	m.Bind(q, 0, d1)
+	m.Bind(q, 1, d2)
+	m.Unbind(q, 1)
+	if m.Vtx[2] != Unbound {
+		t.Error("c must be unbound after removing ε1")
+	}
+	if m.Vtx[1] == Unbound {
+		t.Error("b is still supported by ε0 and must stay bound")
+	}
+	m.Unbind(q, 0)
+	for _, v := range m.Vtx {
+		if v != Unbound {
+			t.Error("all vertices must be unbound")
+		}
+	}
+	if m.EdgeMask != 0 {
+		t.Error("edge mask must be empty")
+	}
+}
+
+func TestCompatibleAndMerge(t *testing.T) {
+	q, la, lb, lc := twoEdgePath(t)
+	left := New(q)
+	left.Bind(q, 0, graph.Edge{ID: 1, From: 10, To: 20, FromLabel: la, ToLabel: lb, Time: 1})
+	right := New(q)
+	right.Bind(q, 1, graph.Edge{ID: 2, From: 20, To: 30, FromLabel: lb, ToLabel: lc, Time: 2})
+
+	if !left.Compatible(q, right) {
+		t.Fatal("compatible halves rejected")
+	}
+	merged := left.Merge(right)
+	if !merged.Complete(q) {
+		t.Fatal("merge must complete the match")
+	}
+	if err := merged.Verify(q); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("overlapping edge sets", func(t *testing.T) {
+		other := New(q)
+		other.Bind(q, 0, graph.Edge{ID: 3, From: 11, To: 21, FromLabel: la, ToLabel: lb, Time: 1})
+		if left.Compatible(q, other) {
+			t.Error("same query edge bound on both sides must conflict")
+		}
+	})
+	t.Run("vertex disagreement", func(t *testing.T) {
+		other := New(q)
+		other.Bind(q, 1, graph.Edge{ID: 3, From: 21, To: 30, FromLabel: lb, ToLabel: lc, Time: 2})
+		if left.Compatible(q, other) {
+			t.Error("b bound to 20 vs 21 must conflict")
+		}
+	})
+	t.Run("cross timing violation", func(t *testing.T) {
+		other := New(q)
+		other.Bind(q, 1, graph.Edge{ID: 3, From: 20, To: 30, FromLabel: lb, ToLabel: lc, Time: 1})
+		if left.Compatible(q, other) {
+			t.Error("ε0@1 ≺ ε1@1 must fail the strict order")
+		}
+	})
+	t.Run("injectivity across sides", func(t *testing.T) {
+		other := New(q)
+		// c maps to 10 = image of a on the left side.
+		other.Bind(q, 1, graph.Edge{ID: 3, From: 20, To: 10, FromLabel: lb, ToLabel: lc, Time: 2})
+		if left.Compatible(q, other) {
+			t.Error("cross-side injectivity must be enforced")
+		}
+	})
+	t.Run("shared data edge", func(t *testing.T) {
+		// Query with two parallel a→b edges, no order.
+		labels := graph.NewLabels()
+		xa, xb := labels.Intern("a"), labels.Intern("b")
+		bb := query.NewBuilder()
+		u, v := bb.AddVertex(xa), bb.AddVertex(xb)
+		bb.AddEdge(u, v)
+		bb.AddEdge(u, v)
+		pq, err := bb.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := graph.Edge{ID: 5, From: 1, To: 2, FromLabel: xa, ToLabel: xb, Time: 1}
+		l := New(pq)
+		l.Bind(pq, 0, d)
+		r := New(pq)
+		r.Bind(pq, 1, d)
+		if l.Compatible(pq, r) {
+			t.Error("one data edge cannot serve two query edges")
+		}
+	})
+}
+
+func TestVerifyCatchesCorruption(t *testing.T) {
+	q, la, lb, lc := twoEdgePath(t)
+	m := New(q)
+	m.Bind(q, 0, graph.Edge{ID: 1, From: 10, To: 20, FromLabel: la, ToLabel: lb, Time: 5})
+	m.Bind(q, 1, graph.Edge{ID: 2, From: 20, To: 30, FromLabel: lb, ToLabel: lc, Time: 6})
+	if err := m.Verify(q); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the timing.
+	m.Edges[1].Time = 4
+	if err := m.Verify(q); err == nil || !strings.Contains(err.Error(), "timing") {
+		t.Errorf("verify must catch timing violations, got %v", err)
+	}
+	m.Edges[1].Time = 6
+	// Corrupt injectivity.
+	m.Vtx[2] = 10
+	if err := m.Verify(q); err == nil {
+		t.Error("verify must catch duplicate vertex images")
+	}
+}
+
+func TestKeyDeterministic(t *testing.T) {
+	q, la, lb, lc := twoEdgePath(t)
+	m1 := New(q)
+	m1.Bind(q, 0, graph.Edge{ID: 1, From: 10, To: 20, FromLabel: la, ToLabel: lb, Time: 1})
+	m1.Bind(q, 1, graph.Edge{ID: 2, From: 20, To: 30, FromLabel: lb, ToLabel: lc, Time: 2})
+	m2 := New(q)
+	m2.Bind(q, 1, graph.Edge{ID: 2, From: 20, To: 30, FromLabel: lb, ToLabel: lc, Time: 2})
+	m2.Bind(q, 0, graph.Edge{ID: 1, From: 10, To: 20, FromLabel: la, ToLabel: lb, Time: 1})
+	if m1.Key() != m2.Key() {
+		t.Errorf("key must not depend on bind order: %s vs %s", m1.Key(), m2.Key())
+	}
+	if m1.String() != "{"+m1.Key()+"}" {
+		t.Error("String must wrap Key")
+	}
+}
+
+// TestCloneIndependence property-checks that mutating a clone never
+// affects the original.
+func TestCloneIndependence(t *testing.T) {
+	q, la, lb, lc := twoEdgePath(t)
+	f := func(fromRaw, toRaw uint8, timeRaw uint16) bool {
+		m := New(q)
+		d1 := graph.Edge{ID: 1, From: graph.VertexID(fromRaw), To: graph.VertexID(toRaw) + 300,
+			FromLabel: la, ToLabel: lb, Time: graph.Timestamp(timeRaw)}
+		m.Bind(q, 0, d1)
+		c := m.Clone()
+		c.Bind(q, 1, graph.Edge{ID: 2, From: d1.To, To: 999, FromLabel: lb, ToLabel: lc,
+			Time: d1.Time + 1})
+		return m.NumBoundEdges() == 1 && c.NumBoundEdges() == 2 &&
+			m.Vtx[2] == Unbound && c.Vtx[2] == 999
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,157 @@
+package monitor
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRegisterAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	var n atomic.Int64
+	if err := r.Register("edges", func() any { return n.Load() }); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register("name", func() any { return "q1" }); err != nil {
+		t.Fatal(err)
+	}
+	n.Store(7)
+	snap := r.Snapshot()
+	if snap["edges"] != int64(7) || snap["name"] != "q1" {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	n.Store(9)
+	if v, ok := r.Sample("edges"); !ok || v != int64(9) {
+		t.Fatalf("sample = %v %v (values must be live)", v, ok)
+	}
+}
+
+func TestRegisterErrors(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register("", func() any { return 1 }); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := r.Register("x", nil); err == nil {
+		t.Fatal("nil sampler accepted")
+	}
+	if err := r.Register("x", func() any { return 1 }); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register("x", func() any { return 2 }); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	r := NewRegistry()
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		r.MustRegister(n, func() any { return 0 })
+	}
+	got := r.Names()
+	want := []string{"alpha", "mid", "zeta"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names = %v", got)
+	}
+}
+
+func TestHandlerAllMetrics(t *testing.T) {
+	r := NewRegistry()
+	r.MustRegister("matches", func() any { return 42 })
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var got map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got["matches"] != float64(42) {
+		t.Fatalf("body = %v", got)
+	}
+}
+
+func TestHandlerSingleMetric(t *testing.T) {
+	r := NewRegistry()
+	r.MustRegister("a", func() any { return 1 })
+	r.MustRegister("b", func() any { return 2 })
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/?metric=b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got["b"] != float64(2) {
+		t.Fatalf("body = %v", got)
+	}
+}
+
+func TestHandlerUnknownMetric404(t *testing.T) {
+	r := NewRegistry()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/?metric=nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestHandlerMethodNotAllowed(t *testing.T) {
+	r := NewRegistry()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := http.Post(srv.URL, "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestConcurrentRegisterAndSample exercises the registry under the race
+// detector.
+func TestConcurrentRegisterAndSample(t *testing.T) {
+	r := NewRegistry()
+	r.MustRegister("base", func() any { return 0 })
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(2)
+		i := i
+		go func() {
+			defer wg.Done()
+			r.Register(string(rune('a'+i)), func() any { return i })
+		}()
+		go func() {
+			defer wg.Done()
+			r.Snapshot()
+			r.Sample("base")
+			r.Names()
+		}()
+	}
+	wg.Wait()
+}

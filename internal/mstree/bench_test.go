@@ -1,0 +1,81 @@
+package mstree
+
+import (
+	"testing"
+
+	"timingsubg/internal/graph"
+)
+
+// BenchmarkInsert measures the O(1) insert claim (Section IV-B): cost
+// must not grow with tree size.
+func BenchmarkInsert(b *testing.B) {
+	tr := New(3)
+	parent := tr.InsertEdge(1, nil, edge(0))
+	mid := tr.InsertEdge(2, parent, edge(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.InsertEdge(3, mid, edge(int64(i+2)))
+	}
+}
+
+// BenchmarkEach measures per-match read cost at a level (linear in
+// matches enumerated, Section IV-B).
+func BenchmarkEach(b *testing.B) {
+	tr := New(2)
+	p := tr.InsertEdge(1, nil, edge(0))
+	for i := 0; i < 1024; i++ {
+		tr.InsertEdge(2, p, edge(int64(i+1)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		tr.Each(2, func(*Node) bool {
+			n++
+			return true
+		})
+		if n != 1024 {
+			b.Fatal("tree drifted")
+		}
+	}
+}
+
+// BenchmarkPathEdges measures match materialization (backtracking).
+func BenchmarkPathEdges(b *testing.B) {
+	tr := New(8)
+	var n *Node
+	for lvl := 1; lvl <= 8; lvl++ {
+		n = tr.InsertEdge(lvl, n, edge(int64(lvl)))
+	}
+	var buf []graph.Edge
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = n.PathEdges(buf)
+	}
+}
+
+// BenchmarkDeleteExpired measures expiry cost: linear in deleted
+// matches, independent of survivors (the claim behind Fig. 15's
+// maintenance advantage).
+func BenchmarkDeleteExpired(b *testing.B) {
+	b.ReportAllocs()
+	const victimID = 1 << 30
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		tr := New(2)
+		victim := tr.InsertEdge(1, nil, edge(victimID))
+		for j := 0; j < 64; j++ {
+			tr.InsertEdge(2, victim, edge(int64(j)))
+		}
+		// Survivors that expiry must not touch.
+		keep := tr.InsertEdge(1, nil, edge(victimID+1))
+		for j := 0; j < 4096; j++ {
+			tr.InsertEdge(2, keep, edge(int64(1000+j)))
+		}
+		b.StartTimer()
+		cas := tr.DeleteLevel(1, graph.EdgeID(victimID), nil, nil)
+		dead := tr.DeleteLevel(2, graph.EdgeID(victimID), cas, nil)
+		if len(cas) != 1 || len(dead) != 64 {
+			b.Fatalf("expiry drifted: %d/%d", len(cas), len(dead))
+		}
+	}
+}

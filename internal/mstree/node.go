@@ -1,0 +1,81 @@
+// Package mstree implements the match-store tree (Section IV): a trie
+// variant that stores the partial matches of an expansion list. Each node
+// holds one data edge (sub-trees) or a pointer to a complete submatch in
+// another tree (the global L₀ tree); the root-to-node path is a partial
+// match. Nodes of the same depth are linked in a doubly linked list so a
+// level can be enumerated without touching the rest of the tree, and every
+// node keeps its parent pointer so a match can be reconstructed by
+// backtracking (Section IV-B).
+//
+// Deletion supports the paper's two-phase "partial removal" (Fig. 14):
+// unlink from the level list and detach from the parent's child list while
+// keeping the upward parent pointer and payload intact, so concurrent
+// earlier readers backtracking through the node stay safe (Theorem 6).
+//
+// Locking discipline (Section V-C): the tree holds no locks itself. Every
+// structure owned by level ℓ — the level list, the level's edge/dep
+// indexes, sibling links of level-ℓ nodes, and the firstChild pointers of
+// level ℓ−1 nodes — is only touched by operations that hold the
+// expansion-list item lock for level ℓ. Payload fields (Parent, Edge,
+// Sub, Level) are immutable after insertion and may be read lock-free by
+// backtracking readers; the dead flag is atomic because an earlier
+// inserter at level ℓ+1 may inspect a parent while a later deleter at
+// level ℓ marks it.
+package mstree
+
+import (
+	"sync/atomic"
+
+	"timingsubg/internal/graph"
+)
+
+// Node is one match-store tree node.
+type Node struct {
+	// Parent is the node one level up, or nil for level-1 nodes whose
+	// logical parent is the root. For global-tree level-2 nodes the
+	// parent belongs to another tree (L₀¹ aliases the first sub-list's
+	// last item, Section V-A).
+	Parent *Node
+
+	// Edge is the data edge this node contributes (sub-trees).
+	Edge graph.Edge
+
+	// Sub points to a complete-submatch leaf in another tree when this
+	// node belongs to a global (L₀) tree; nil in sub-trees.
+	Sub *Node
+
+	// Level is the 1-based depth of the node within its own tree.
+	Level int
+
+	// level list links (all nodes of the same depth).
+	nextLvl, prevLvl *Node
+
+	// child links: firstChild heads the list of children; siblings chain
+	// through nextSib/prevSib.
+	firstChild       *Node
+	nextSib, prevSib *Node
+
+	// dead marks a partially removed node (Fig. 14): gone from its level
+	// list and its parent's child list, but Parent/Edge/Sub remain valid
+	// for in-flight earlier readers.
+	dead atomic.Bool
+}
+
+// Dead reports whether the node has been (partially) removed.
+func (n *Node) Dead() bool { return n.dead.Load() }
+
+// PathEdges fills buf (reallocating if needed) with the data edges along
+// n's path from the root, index 0 being the level-1 edge, and returns the
+// slice. It is only meaningful for sub-tree nodes, whose parent chains
+// stay within one tree.
+func (n *Node) PathEdges(buf []graph.Edge) []graph.Edge {
+	depth := n.Level
+	if cap(buf) < depth {
+		buf = make([]graph.Edge, depth)
+	}
+	buf = buf[:depth]
+	for cur := n; cur != nil; cur = cur.Parent {
+		buf[cur.Level-1] = cur.Edge
+	}
+	return buf
+}

@@ -1,0 +1,212 @@
+package mstree
+
+import "timingsubg/internal/graph"
+
+// Tree is a match-store tree over a fixed number of levels. A Tree backs
+// one expansion list: level j stores the partial matches of the list's
+// j-th item. The same structure backs both sub-trees (nodes carry data
+// edges) and global L₀ trees (nodes carry Sub pointers into sub-trees).
+//
+// All per-level state is segregated so that concurrent transactions
+// holding different item locks never touch shared memory (see the package
+// comment for the full locking discipline).
+type Tree struct {
+	levels []level
+}
+
+type level struct {
+	head, tail *Node
+	count      int
+	// edgeIdx maps a data edge ID to this level's nodes carrying that
+	// edge. Dead nodes are skipped and entries dropped when the edge is
+	// deleted, so the index is cleaned lazily as the window slides.
+	edgeIdx map[graph.EdgeID][]*Node
+	// depIdx maps a foreign submatch leaf to this level's nodes whose Sub
+	// points at it (global trees only).
+	depIdx map[*Node][]*Node
+}
+
+// New returns a tree with the given number of levels (≥ 1).
+func New(depth int) *Tree {
+	t := &Tree{levels: make([]level, depth)}
+	for i := range t.levels {
+		t.levels[i].edgeIdx = make(map[graph.EdgeID][]*Node)
+		t.levels[i].depIdx = make(map[*Node][]*Node)
+	}
+	return t
+}
+
+// Depth returns the number of levels.
+func (t *Tree) Depth() int { return len(t.levels) }
+
+// Count returns the number of live nodes (= partial matches) at level
+// lvl (1-based).
+func (t *Tree) Count(lvl int) int { return t.levels[lvl-1].count }
+
+// Nodes returns the total number of live nodes. It must only be called
+// while the tree is quiescent (no in-flight transactions).
+func (t *Tree) Nodes() int64 {
+	var n int64
+	for i := range t.levels {
+		n += int64(t.levels[i].count)
+	}
+	return n
+}
+
+// InsertEdge adds a node carrying data edge e at level lvl under parent
+// (nil for level 1).
+//
+// The parent may already be partially removed: that only happens when a
+// LATER-timestamped deletion overtook this transaction between its read
+// of level lvl−1 and this insert (wait-list ordering makes an earlier
+// deletion impossible — it would have unlinked the parent before the
+// read). In serial order the insert precedes that deletion, so the child
+// must be created (and reported if it completes a match); the deleter's
+// pending cascade at this level will then remove it via the parent's
+// child list. This is exactly why partial removal (Fig. 14) keeps dead
+// nodes intact.
+func (t *Tree) InsertEdge(lvl int, parent *Node, e graph.Edge) *Node {
+	n := &Node{Parent: parent, Edge: e, Level: lvl}
+	t.attach(n, parent)
+	lv := &t.levels[lvl-1]
+	lv.edgeIdx[e.ID] = append(lv.edgeIdx[e.ID], n)
+	return n
+}
+
+// InsertSub adds a global-tree node at level lvl pointing at submatch
+// leaf sub, under parent (which belongs to another tree when lvl == 2,
+// because the first global item aliases the first sub-list's last item).
+// As with InsertEdge, a dead parent or sub means a later-timestamped
+// deleter overtook this transaction; the insert proceeds and that
+// deleter's pending cascade removes the node.
+func (t *Tree) InsertSub(lvl int, parent, sub *Node) *Node {
+	n := &Node{Parent: parent, Sub: sub, Level: lvl}
+	t.attach(n, parent)
+	lv := &t.levels[lvl-1]
+	lv.depIdx[sub] = append(lv.depIdx[sub], n)
+	return n
+}
+
+func (t *Tree) attach(n *Node, parent *Node) {
+	lv := &t.levels[n.Level-1]
+	if lv.tail == nil {
+		lv.head, lv.tail = n, n
+	} else {
+		lv.tail.nextLvl = n
+		n.prevLvl = lv.tail
+		lv.tail = n
+	}
+	lv.count++
+	if parent != nil {
+		n.nextSib = parent.firstChild
+		if parent.firstChild != nil {
+			parent.firstChild.prevSib = n
+		}
+		parent.firstChild = n
+	}
+}
+
+// Each calls fn for every live node at level lvl until fn returns false.
+func (t *Tree) Each(lvl int, fn func(*Node) bool) {
+	for n := t.levels[lvl-1].head; n != nil; n = n.nextLvl {
+		if !fn(n) {
+			return
+		}
+	}
+}
+
+// DeleteLevel partially removes, at level lvl, every node that carries
+// data edge edgeID (pass a negative ID to skip), every child of the nodes
+// in parentCasualties, and every node whose Sub is in deadSubs. It
+// returns the nodes removed at this level so the caller can cascade to
+// the next level. This mirrors Algorithm 2's level-by-level scan with
+// the Fig. 14 partial-removal protocol.
+func (t *Tree) DeleteLevel(lvl int, edgeID graph.EdgeID, parentCasualties, deadSubs []*Node) []*Node {
+	lv := &t.levels[lvl-1]
+	var dead []*Node
+	if edgeID >= 0 {
+		if nodes, ok := lv.edgeIdx[edgeID]; ok {
+			for _, n := range nodes {
+				if !n.Dead() {
+					t.partialRemove(n)
+					dead = append(dead, n)
+				}
+			}
+			delete(lv.edgeIdx, edgeID)
+		}
+	}
+	for _, p := range parentCasualties {
+		for c := p.firstChild; c != nil; c = c.nextSib {
+			if !c.Dead() {
+				t.partialRemoveKeepSib(c)
+				dead = append(dead, c)
+			}
+		}
+	}
+	for _, s := range deadSubs {
+		if nodes, ok := lv.depIdx[s]; ok {
+			for _, n := range nodes {
+				if !n.Dead() {
+					t.partialRemove(n)
+					dead = append(dead, n)
+				}
+			}
+			delete(lv.depIdx, s)
+		}
+	}
+	return dead
+}
+
+// partialRemove unlinks n from its level list and its parent's child
+// list, and marks it dead. Parent pointer and payload stay intact
+// (Fig. 14).
+func (t *Tree) partialRemove(n *Node) {
+	t.unlinkSiblings(n)
+	t.partialRemoveKeepSib(n)
+}
+
+// partialRemoveKeepSib removes n from the level list and marks it dead,
+// but leaves the sibling chain intact — used while iterating a dead
+// parent's child list, which must stay traversable mid-iteration. The
+// dead parent's child list is consumed exactly once, so the stale links
+// are never observed again.
+func (t *Tree) partialRemoveKeepSib(n *Node) {
+	lv := &t.levels[n.Level-1]
+	if n.prevLvl != nil {
+		n.prevLvl.nextLvl = n.nextLvl
+	} else if lv.head == n {
+		lv.head = n.nextLvl
+	}
+	if n.nextLvl != nil {
+		n.nextLvl.prevLvl = n.prevLvl
+	} else if lv.tail == n {
+		lv.tail = n.prevLvl
+	}
+	n.nextLvl, n.prevLvl = nil, nil
+	n.dead.Store(true)
+	lv.count--
+}
+
+func (t *Tree) unlinkSiblings(n *Node) {
+	if n.prevSib != nil {
+		n.prevSib.nextSib = n.nextSib
+	} else if n.Parent != nil && n.Parent.firstChild == n {
+		n.Parent.firstChild = n.nextSib
+	}
+	if n.nextSib != nil {
+		n.nextSib.prevSib = n.prevSib
+	}
+}
+
+// SpaceBytes estimates resident size: nodes plus index overhead. Like
+// Nodes, it must be called while quiescent.
+func (t *Tree) SpaceBytes() int64 {
+	const nodeSz = 144 // Node struct incl. embedded Edge
+	var b int64
+	for i := range t.levels {
+		b += int64(t.levels[i].count) * nodeSz
+		b += int64(len(t.levels[i].edgeIdx)) * 48
+		b += int64(len(t.levels[i].depIdx)) * 48
+	}
+	return b
+}

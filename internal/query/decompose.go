@@ -1,0 +1,380 @@
+package query
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Decomposition is a TC decomposition of a query (Section III-B): a set
+// of TC-subqueries that partition E(Q), arranged in a prefix-connected
+// join order (each prefix of Subqueries induces a weakly connected
+// subquery).
+type Decomposition struct {
+	Subqueries []*TCSubquery
+}
+
+// K returns the decomposition size (number of TC-subqueries).
+func (d *Decomposition) K() int { return len(d.Subqueries) }
+
+// CoversExactly reports whether the subqueries exactly partition the
+// edges of q: pairwise disjoint and their union is E(Q).
+func (d *Decomposition) CoversExactly(q *Query) bool {
+	var union uint64
+	for _, s := range d.Subqueries {
+		if union&s.Mask != 0 {
+			return false
+		}
+		union |= s.Mask
+	}
+	want := uint64(1)<<uint(q.NumEdges()) - 1
+	return union == want
+}
+
+// Locate returns the subquery index and position within its timing
+// sequence for query edge e, or (-1, -1) if e is not covered.
+func (d *Decomposition) Locate(e EdgeID) (sub, pos int) {
+	for i, s := range d.Subqueries {
+		if p := s.Pos(e); p >= 0 {
+			return i, p
+		}
+	}
+	return -1, -1
+}
+
+// Decompose computes the paper's cost-model-guided decomposition: greedily
+// pick the largest remaining TC-subquery from TCsub(Q) that is edge-
+// disjoint from those already picked, until Q is covered (Algorithm 6),
+// then arrange the pick into a joint-number-maximizing prefix-connected
+// join order (Section VI-C).
+func Decompose(q *Query) *Decomposition {
+	return orderDecomposition(q, greedyPick(q, TCSub(q)), nil)
+}
+
+// DecomposeWithin is Decompose but reuses a precomputed TCsub(Q).
+func DecomposeWithin(q *Query, tcsub []*TCSubquery) *Decomposition {
+	return orderDecomposition(q, greedyPick(q, tcsub), nil)
+}
+
+// DecomposeRandom returns a random TC decomposition (the paper's
+// Timing-RD alternative): it repeatedly picks a uniformly random
+// remaining TC-subquery disjoint from previous picks. If orderRandom is
+// non-nil the join order is also randomized (Timing-RDJ); otherwise the
+// joint-number order is used.
+func DecomposeRandom(q *Query, pickRNG, orderRNG *rand.Rand) *Decomposition {
+	tcsub := TCSub(q)
+	var picked []*TCSubquery
+	var covered uint64
+	want := uint64(1)<<uint(q.NumEdges()) - 1
+	avail := append([]*TCSubquery(nil), tcsub...)
+	for covered != want {
+		// Keep only candidates disjoint from the current cover.
+		n := 0
+		for _, s := range avail {
+			if s.Mask&covered == 0 {
+				avail[n] = s
+				n++
+			}
+		}
+		avail = avail[:n]
+		s := avail[pickRNG.Intn(len(avail))]
+		picked = append(picked, s)
+		covered |= s.Mask
+	}
+	return orderDecomposition(q, picked, orderRNG)
+}
+
+// DecomposeOrdered computes the greedy decomposition but applies a random
+// prefix-connected join order (the paper's Timing-RJ alternative).
+func DecomposeOrdered(q *Query, orderRNG *rand.Rand) *Decomposition {
+	return orderDecomposition(q, greedyPick(q, TCSub(q)), orderRNG)
+}
+
+// greedyPick implements Algorithm 6: largest-first disjoint cover.
+// tcsub must be sorted size-descending (TCSub guarantees this). Singleton
+// subqueries are always present, so the greedy loop always covers Q.
+func greedyPick(q *Query, tcsub []*TCSubquery) []*TCSubquery {
+	var picked []*TCSubquery
+	var covered uint64
+	want := uint64(1)<<uint(q.NumEdges()) - 1
+	for _, s := range tcsub {
+		if covered == want {
+			break
+		}
+		if s.Mask&covered == 0 {
+			picked = append(picked, s)
+			covered |= s.Mask
+		}
+	}
+	return picked
+}
+
+// orderDecomposition arranges picked subqueries into a prefix-connected
+// permutation. With rng == nil it maximizes the joint number (Definition
+// 12) at each step; with rng != nil it picks uniformly among connected
+// candidates (Timing-RJ / Timing-RDJ).
+func orderDecomposition(q *Query, picked []*TCSubquery, rng *rand.Rand) *Decomposition {
+	if len(picked) <= 1 {
+		return &Decomposition{Subqueries: picked}
+	}
+	rest := append([]*TCSubquery(nil), picked...)
+	var ordered []*TCSubquery
+	var unionMask uint64
+
+	take := func(i int) {
+		ordered = append(ordered, rest[i])
+		unionMask |= rest[i].Mask
+		rest = append(rest[:i], rest[i+1:]...)
+	}
+
+	if rng == nil {
+		// Seed with the connected pair of maximum joint number.
+		bi, bj, best := -1, -1, -1
+		for i := range rest {
+			for j := i + 1; j < len(rest); j++ {
+				if !masksConnected(q, rest[i].Mask, rest[j].Mask) {
+					continue
+				}
+				if jn := JointNumber(q, rest[i].Mask, rest[j].Mask); jn > best {
+					best, bi, bj = jn, i, j
+				}
+			}
+		}
+		if bi < 0 {
+			// Q is connected, so some connected pair exists; fall back to
+			// the first connected pair for safety.
+			bi, bj = firstConnectedPair(q, rest)
+		}
+		take(bj) // take larger index first so bi stays valid
+		take(bi)
+	} else {
+		i, j := randomConnectedPair(q, rest, rng)
+		take(j)
+		take(i)
+	}
+
+	for len(rest) > 0 {
+		bi, best := -1, -1
+		var candidates []int
+		for i, s := range rest {
+			if !masksConnected(q, unionMask, s.Mask) {
+				continue
+			}
+			if rng != nil {
+				candidates = append(candidates, i)
+				continue
+			}
+			if jn := JointNumber(q, unionMask, s.Mask); jn > best {
+				best, bi = jn, i
+			}
+		}
+		switch {
+		case rng != nil && len(candidates) > 0:
+			take(candidates[rng.Intn(len(candidates))])
+		case rng == nil && bi >= 0:
+			take(bi)
+		default:
+			// Should be unreachable for connected queries; take any to
+			// guarantee termination.
+			take(0)
+		}
+	}
+	return &Decomposition{Subqueries: ordered}
+}
+
+func firstConnectedPair(q *Query, subs []*TCSubquery) (int, int) {
+	for i := range subs {
+		for j := i + 1; j < len(subs); j++ {
+			if masksConnected(q, subs[i].Mask, subs[j].Mask) {
+				return i, j
+			}
+		}
+	}
+	return 0, 1
+}
+
+func randomConnectedPair(q *Query, subs []*TCSubquery, rng *rand.Rand) (int, int) {
+	var pairs [][2]int
+	for i := range subs {
+		for j := i + 1; j < len(subs); j++ {
+			if masksConnected(q, subs[i].Mask, subs[j].Mask) {
+				pairs = append(pairs, [2]int{i, j})
+			}
+		}
+	}
+	if len(pairs) == 0 {
+		return 0, 1
+	}
+	p := pairs[rng.Intn(len(pairs))]
+	return p[0], p[1]
+}
+
+// masksConnected reports whether the subqueries induced by masks a and b
+// share at least one vertex.
+func masksConnected(q *Query, a, b uint64) bool {
+	va := maskVertices(q, a)
+	for _, v := range maskVertexList(q, b) {
+		if va[v] {
+			return true
+		}
+	}
+	return false
+}
+
+func maskVertices(q *Query, mask uint64) map[VertexID]bool {
+	out := make(map[VertexID]bool)
+	for e := 0; mask != 0; e++ {
+		if mask&1 != 0 {
+			qe := q.Edge(EdgeID(e))
+			out[qe.From] = true
+			out[qe.To] = true
+		}
+		mask >>= 1
+	}
+	return out
+}
+
+func maskVertexList(q *Query, mask uint64) []VertexID {
+	set := maskVertices(q, mask)
+	out := make([]VertexID, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// JointNumber computes JN between the subqueries induced by masks a and b
+// (Definition 12): the number of common vertices plus the number of edge
+// pairs across a×b related by the timing order (in either direction).
+func JointNumber(q *Query, a, b uint64) int {
+	va := maskVertices(q, a)
+	nv := 0
+	for v := range maskVertices(q, b) {
+		if va[v] {
+			nv++
+		}
+	}
+	nt := 0
+	for i := 0; i < q.NumEdges(); i++ {
+		if a&(1<<uint(i)) == 0 {
+			continue
+		}
+		for j := 0; j < q.NumEdges(); j++ {
+			if b&(1<<uint(j)) == 0 {
+				continue
+			}
+			if q.Precedes(EdgeID(i), EdgeID(j)) || q.Precedes(EdgeID(j), EdgeID(i)) {
+				nt++
+			}
+		}
+	}
+	return nv + nt
+}
+
+// DistinctEdgeTerms returns d, the number of distinct "term edge labels"
+// in q: the combination of edge label and endpoint labels (Section VI-A).
+func DistinctEdgeTerms(q *Query) int {
+	type term struct {
+		f, t, l int32
+	}
+	set := make(map[term]bool)
+	for _, e := range q.Edges() {
+		set[term{int32(q.VertexLabel(e.From)), int32(q.VertexLabel(e.To)), int32(e.Label)}] = true
+	}
+	return len(set)
+}
+
+// ExpectedJoinOps evaluates the paper's cost model (Theorem 7): the
+// expected number of join operations for one incoming edge when q is
+// decomposed into k TC-subqueries, N = (1/d)·(|E(Q)|−1 + k(k−1)/2).
+func ExpectedJoinOps(q *Query, k int) float64 {
+	d := float64(DistinctEdgeTerms(q))
+	m := float64(q.NumEdges())
+	kk := float64(k)
+	return (m - 1 + kk*(kk-1)/2) / d
+}
+
+// OrderByCost arranges picked into a prefix-connected join order that
+// greedily minimizes estimated intermediate result sizes, where card
+// supplies an (observed or estimated) match cardinality per subquery.
+// It seeds with the connected pair of minimum cardinality product, then
+// repeatedly appends the connected subquery of minimum cardinality —
+// the runtime analogue of Section VI-C's joint-number heuristic, used
+// by the adaptive reoptimizer where live statistics replace the static
+// proxy. The paper notes selectivity estimation is infeasible a priori
+// on streams; feeding back *observed* cardinalities is the natural
+// extension it leaves open.
+func OrderByCost(q *Query, picked []*TCSubquery, card func(*TCSubquery) float64) *Decomposition {
+	if len(picked) <= 1 {
+		return &Decomposition{Subqueries: append([]*TCSubquery(nil), picked...)}
+	}
+	rest := append([]*TCSubquery(nil), picked...)
+	var ordered []*TCSubquery
+	var unionMask uint64
+	take := func(i int) {
+		ordered = append(ordered, rest[i])
+		unionMask |= rest[i].Mask
+		rest = append(rest[:i], rest[i+1:]...)
+	}
+
+	bi, bj, best := -1, -1, 0.0
+	for i := range rest {
+		for j := i + 1; j < len(rest); j++ {
+			if !masksConnected(q, rest[i].Mask, rest[j].Mask) {
+				continue
+			}
+			c := card(rest[i]) * card(rest[j])
+			if bi < 0 || c < best {
+				best, bi, bj = c, i, j
+			}
+		}
+	}
+	if bi < 0 {
+		bi, bj = firstConnectedPair(q, rest)
+	}
+	// Within the seed pair, put the smaller subquery first (it anchors
+	// L0's first item).
+	if card(rest[bi]) > card(rest[bj]) {
+		bi, bj = bj, bi
+	}
+	if bi > bj {
+		take(bi)
+		take(bj)
+	} else {
+		take(bj) // take larger index first so the smaller index stays valid
+		take(bi)
+		ordered[0], ordered[1] = ordered[1], ordered[0]
+	}
+
+	for len(rest) > 0 {
+		pick, bc := -1, 0.0
+		for i, s := range rest {
+			if !masksConnected(q, unionMask, s.Mask) {
+				continue
+			}
+			if c := card(s); pick < 0 || c < bc {
+				bc, pick = c, i
+			}
+		}
+		if pick < 0 {
+			pick = 0 // unreachable for connected queries; guarantee progress
+		}
+		take(pick)
+	}
+	return &Decomposition{Subqueries: ordered}
+}
+
+// EstimateOrderCost scores a join order under independence: the sum of
+// estimated intermediate result sizes Π_{j≤i} card(Q_j) for each proper
+// prefix i ∈ [2, k). Lower is better. Used to decide whether switching
+// orders is worth an engine rebuild.
+func EstimateOrderCost(d *Decomposition, card func(*TCSubquery) float64) float64 {
+	cost, prod := 0.0, 1.0
+	for i, s := range d.Subqueries {
+		prod *= card(s)
+		if i >= 1 && i < len(d.Subqueries)-1 {
+			cost += prod
+		}
+	}
+	return cost
+}

@@ -1,0 +1,68 @@
+package query
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"timingsubg/internal/graph"
+)
+
+// Explain writes a human-readable description of a query and its TC
+// decomposition: vertices, edges, the direct timing order, each
+// TC-subquery's timing sequence with its expansion-list items, and the
+// Theorem 7 cost-model value for the chosen k.
+func Explain(w io.Writer, labels *graph.Labels, q *Query, dec *Decomposition) {
+	fmt.Fprintf(w, "query: %d vertices, %d edges, diameter %d\n",
+		q.NumVertices(), q.NumEdges(), q.Diameter())
+	for v := 0; v < q.NumVertices(); v++ {
+		fmt.Fprintf(w, "  v%d  label=%s\n", v, labelStr(labels, q.VertexLabel(VertexID(v))))
+	}
+	for _, e := range q.Edges() {
+		lbl := ""
+		if e.Label != graph.NoLabel {
+			lbl = " [" + labelStr(labels, e.Label) + "]"
+		}
+		fmt.Fprintf(w, "  ε%d  v%d→v%d%s\n", e.ID, e.From, e.To, lbl)
+	}
+	if pairs := q.DirectOrders(); len(pairs) > 0 {
+		parts := make([]string, len(pairs))
+		for i, p := range pairs {
+			parts[i] = fmt.Sprintf("ε%d ≺ ε%d", p[0], p[1])
+		}
+		fmt.Fprintf(w, "timing order: %s\n", strings.Join(parts, ", "))
+	} else {
+		fmt.Fprintln(w, "timing order: (none)")
+	}
+
+	fmt.Fprintf(w, "decomposition: k=%d (expected joins/edge per Theorem 7: %.3f)\n",
+		dec.K(), ExpectedJoinOps(q, dec.K()))
+	for i, sub := range dec.Subqueries {
+		seq := make([]string, len(sub.Seq))
+		for j, e := range sub.Seq {
+			seq[j] = fmt.Sprintf("ε%d", e)
+		}
+		fmt.Fprintf(w, "  Q%d: timing sequence %s\n", i+1, strings.Join(seq, " ≺ "))
+		for j := range sub.Seq {
+			items := make([]string, j+1)
+			for x := 0; x <= j; x++ {
+				items[x] = fmt.Sprintf("ε%d", sub.Seq[x])
+			}
+			fmt.Fprintf(w, "    L%d^%d stores Ω({%s})\n", i+1, j+1, strings.Join(items, ","))
+		}
+	}
+	if dec.K() > 1 {
+		fmt.Fprintln(w, "  L0: global expansion list over the join order above")
+		fmt.Fprintf(w, "    L0^1 aliases L1^%d\n", dec.Subqueries[0].Len())
+		for i := 2; i <= dec.K(); i++ {
+			fmt.Fprintf(w, "    L0^%d stores Ω(Q1∪…∪Q%d)\n", i, i)
+		}
+	}
+}
+
+func labelStr(labels *graph.Labels, l graph.Label) string {
+	if labels == nil {
+		return fmt.Sprintf("#%d", int32(l))
+	}
+	return labels.String(l)
+}

@@ -1,0 +1,42 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"timingsubg/internal/graph"
+)
+
+// FuzzParse hardens the query text parser: arbitrary input must either
+// parse into a valid query or return an error — never panic — and a
+// successful parse must round-trip through Write.
+func FuzzParse(f *testing.F) {
+	f.Add("v 0 a\nv 1 b\ne 0 1\n")
+	f.Add("v 0 a\nv 1 b\ne 0 1 lbl\ne 1 0\no 0 < 1\n")
+	f.Add("# comment\n\nv 0 x\n")
+	f.Add("e 0 0\n")
+	f.Add("o 0 < 0\n")
+	f.Add("v 0 a\nv 9999999999 b\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		labels := graph.NewLabels()
+		q, err := Parse(strings.NewReader(input), labels)
+		if err != nil {
+			return
+		}
+		// A parsed query must be internally consistent.
+		if q.NumEdges() == 0 {
+			t.Fatal("parser returned an empty query without error")
+		}
+		var sb strings.Builder
+		if err := Write(&sb, labels, q); err != nil {
+			t.Fatalf("write of parsed query failed: %v", err)
+		}
+		q2, err := Parse(strings.NewReader(sb.String()), labels)
+		if err != nil {
+			t.Fatalf("round trip failed: %v\n%s", err, sb.String())
+		}
+		if q2.NumEdges() != q.NumEdges() || q2.NumVertices() != q.NumVertices() {
+			t.Fatal("round trip changed the query")
+		}
+	})
+}

@@ -1,0 +1,119 @@
+package query
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"timingsubg/internal/graph"
+)
+
+// The query text format, one declaration per line:
+//
+//	v <id> <label>            vertex (ids must be dense, 0-based, in order)
+//	e <from> <to> [label]     directed edge (edge ids assigned in order)
+//	o <a> < <b>               timing order: edge a before edge b
+//	# ...                     comment
+//
+// Example (the cyber-attack pattern of Fig. 1):
+//
+//	v 0 IP
+//	v 1 IP
+//	v 2 IP
+//	e 0 1 http
+//	e 1 0 http
+//	e 0 2 tcp
+//	e 2 0 tcp
+//	e 0 2 large-msg
+//	o 0 < 1
+//	o 1 < 2
+//	o 2 < 3
+//	o 3 < 4
+
+// Write serializes q in the text format, resolving labels through the
+// given table.
+func Write(w io.Writer, labels *graph.Labels, q *Query) error {
+	bw := bufio.NewWriter(w)
+	for v := 0; v < q.NumVertices(); v++ {
+		if _, err := fmt.Fprintf(bw, "v %d %s\n", v, labels.String(q.VertexLabel(VertexID(v)))); err != nil {
+			return err
+		}
+	}
+	for _, e := range q.Edges() {
+		if e.Label == graph.NoLabel {
+			if _, err := fmt.Fprintf(bw, "e %d %d\n", e.From, e.To); err != nil {
+				return err
+			}
+		} else {
+			if _, err := fmt.Fprintf(bw, "e %d %d %s\n", e.From, e.To, labels.String(e.Label)); err != nil {
+				return err
+			}
+		}
+	}
+	for _, p := range q.DirectOrders() {
+		if _, err := fmt.Fprintf(bw, "o %d < %d\n", p[0], p[1]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Parse reads the text format and builds the query, interning labels.
+func Parse(r io.Reader, labels *graph.Labels) (*Query, error) {
+	b := NewBuilder()
+	sc := bufio.NewScanner(r)
+	line := 0
+	nv := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "v":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("query: line %d: want 'v <id> <label>'", line)
+			}
+			id, err := strconv.Atoi(fields[1])
+			if err != nil || id != nv {
+				return nil, fmt.Errorf("query: line %d: vertex ids must be dense and in order (want %d)", line, nv)
+			}
+			b.AddVertex(labels.Intern(fields[2]))
+			nv++
+		case "e":
+			if len(fields) != 3 && len(fields) != 4 {
+				return nil, fmt.Errorf("query: line %d: want 'e <from> <to> [label]'", line)
+			}
+			from, err1 := strconv.Atoi(fields[1])
+			to, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("query: line %d: bad edge endpoints", line)
+			}
+			lbl := graph.NoLabel
+			if len(fields) == 4 {
+				lbl = labels.Intern(fields[3])
+			}
+			b.AddLabeledEdge(VertexID(from), VertexID(to), lbl)
+		case "o":
+			if len(fields) != 4 || fields[2] != "<" {
+				return nil, fmt.Errorf("query: line %d: want 'o <a> < <b>'", line)
+			}
+			a, err1 := strconv.Atoi(fields[1])
+			c, err2 := strconv.Atoi(fields[3])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("query: line %d: bad order edge ids", line)
+			}
+			b.Before(EdgeID(a), EdgeID(c))
+		default:
+			return nil, fmt.Errorf("query: line %d: unknown declaration %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b.Build()
+}

@@ -1,0 +1,334 @@
+// Package query models continuous query graphs with timing-order
+// constraints (Definition 3) and implements the paper's query-compilation
+// machinery: prefix-connected sequences (Definition 7), TC-subquery
+// enumeration (Algorithm 5), cost-model-guided TC decomposition
+// (Algorithm 6, Theorem 7) and joint-number join ordering (Definition 12).
+package query
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"timingsubg/internal/graph"
+)
+
+// VertexID identifies a query vertex; vertices are densely numbered
+// 0..NumVertices-1 in creation order.
+type VertexID int
+
+// EdgeID identifies a query edge; edges are densely numbered
+// 0..NumEdges-1 in creation order.
+type EdgeID int
+
+// Edge is a directed query edge From→To with an optional edge label.
+type Edge struct {
+	ID       EdgeID
+	From, To VertexID
+	Label    graph.Label
+}
+
+// Query is a continuous query graph: vertices with labels, directed
+// edges, and a strict partial order ≺ over edges (the timing order).
+// Build one with NewBuilder; a built Query is immutable and safe for
+// concurrent use.
+type Query struct {
+	vlabels []graph.Label
+	edges   []Edge
+	// prec[i][j] == true means εi ≺ εj in the transitive closure.
+	prec [][]bool
+	// direct holds the user-specified (non-closed) order pairs.
+	direct [][2]EdgeID
+	// adjacency between edges: edgeAdj[i][j] == true iff εi and εj share
+	// an endpoint. Used heavily by the TC machinery.
+	edgeAdj [][]bool
+	// touching[v] lists edges adjacent to vertex v.
+	touching [][]EdgeID
+	diameter int
+}
+
+// Builder assembles a Query. Zero value is not usable; use NewBuilder.
+type Builder struct {
+	vlabels []graph.Label
+	edges   []Edge
+	orders  [][2]EdgeID
+}
+
+// NewBuilder returns an empty query builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// AddVertex adds a vertex with the given label and returns its ID.
+func (b *Builder) AddVertex(label graph.Label) VertexID {
+	b.vlabels = append(b.vlabels, label)
+	return VertexID(len(b.vlabels) - 1)
+}
+
+// AddEdge adds a directed edge u→v with no edge label and returns its ID.
+func (b *Builder) AddEdge(u, v VertexID) EdgeID {
+	return b.AddLabeledEdge(u, v, graph.NoLabel)
+}
+
+// AddLabeledEdge adds a directed edge u→v carrying an edge label.
+func (b *Builder) AddLabeledEdge(u, v VertexID, label graph.Label) EdgeID {
+	id := EdgeID(len(b.edges))
+	b.edges = append(b.edges, Edge{ID: id, From: u, To: v, Label: label})
+	return id
+}
+
+// Before records the timing constraint a ≺ b: in any match, the data edge
+// matching a must arrive before the data edge matching b.
+func (b *Builder) Before(a, bID EdgeID) {
+	b.orders = append(b.orders, [2]EdgeID{a, bID})
+}
+
+// Errors returned by Build.
+var (
+	ErrEmptyQuery      = errors.New("query: query has no edges")
+	ErrBadVertex       = errors.New("query: edge references unknown vertex")
+	ErrBadEdge         = errors.New("query: timing order references unknown edge")
+	ErrOrderCycle      = errors.New("query: timing order contains a cycle")
+	ErrDisconnected    = errors.New("query: query graph must be weakly connected")
+	ErrSelfOrder       = errors.New("query: edge cannot precede itself")
+	ErrDuplicateVertex = errors.New("query: duplicate endpoints on an edge pair require distinct data edges; parallel identical edges are not supported")
+)
+
+// Build validates the query and computes derived structures (transitive
+// closure of ≺, edge adjacency, diameter). The query graph must be weakly
+// connected and ≺ must be acyclic.
+func (b *Builder) Build() (*Query, error) {
+	if len(b.edges) == 0 {
+		return nil, ErrEmptyQuery
+	}
+	n := len(b.vlabels)
+	m := len(b.edges)
+	for _, e := range b.edges {
+		if int(e.From) >= n || int(e.To) >= n || e.From < 0 || e.To < 0 {
+			return nil, fmt.Errorf("%w: edge %d (%d→%d)", ErrBadVertex, e.ID, e.From, e.To)
+		}
+	}
+	for _, p := range b.orders {
+		if int(p[0]) >= m || int(p[1]) >= m || p[0] < 0 || p[1] < 0 {
+			return nil, fmt.Errorf("%w: %d ≺ %d", ErrBadEdge, p[0], p[1])
+		}
+		if p[0] == p[1] {
+			return nil, fmt.Errorf("%w: edge %d", ErrSelfOrder, p[0])
+		}
+	}
+	q := &Query{
+		vlabels: append([]graph.Label(nil), b.vlabels...),
+		edges:   append([]Edge(nil), b.edges...),
+		direct:  append([][2]EdgeID(nil), b.orders...),
+	}
+	if err := q.closeOrder(); err != nil {
+		return nil, err
+	}
+	q.buildAdjacency()
+	if !q.weaklyConnected() {
+		return nil, ErrDisconnected
+	}
+	q.diameter = q.computeDiameter()
+	return q, nil
+}
+
+// closeOrder computes the transitive closure of the timing order and
+// rejects cycles.
+func (q *Query) closeOrder() error {
+	m := len(q.edges)
+	q.prec = make([][]bool, m)
+	for i := range q.prec {
+		q.prec[i] = make([]bool, m)
+	}
+	for _, p := range q.direct {
+		q.prec[p[0]][p[1]] = true
+	}
+	// Floyd-Warshall style closure; m ≤ ~21 in all workloads.
+	for k := 0; k < m; k++ {
+		for i := 0; i < m; i++ {
+			if !q.prec[i][k] {
+				continue
+			}
+			for j := 0; j < m; j++ {
+				if q.prec[k][j] {
+					q.prec[i][j] = true
+				}
+			}
+		}
+	}
+	for i := 0; i < m; i++ {
+		if q.prec[i][i] {
+			return ErrOrderCycle
+		}
+	}
+	return nil
+}
+
+func (q *Query) buildAdjacency() {
+	m := len(q.edges)
+	q.edgeAdj = make([][]bool, m)
+	for i := range q.edgeAdj {
+		q.edgeAdj[i] = make([]bool, m)
+	}
+	q.touching = make([][]EdgeID, len(q.vlabels))
+	for _, e := range q.edges {
+		q.touching[e.From] = append(q.touching[e.From], e.ID)
+		if e.To != e.From {
+			q.touching[e.To] = append(q.touching[e.To], e.ID)
+		}
+	}
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			if q.sharesVertex(EdgeID(i), EdgeID(j)) {
+				q.edgeAdj[i][j] = true
+				q.edgeAdj[j][i] = true
+			}
+		}
+	}
+}
+
+func (q *Query) sharesVertex(a, b EdgeID) bool {
+	ea, eb := q.edges[a], q.edges[b]
+	return ea.From == eb.From || ea.From == eb.To || ea.To == eb.From || ea.To == eb.To
+}
+
+func (q *Query) weaklyConnected() bool {
+	if len(q.edges) == 0 {
+		return false
+	}
+	seen := make([]bool, len(q.edges))
+	stack := []EdgeID{0}
+	seen[0] = true
+	cnt := 1
+	for len(stack) > 0 {
+		e := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for j := 0; j < len(q.edges); j++ {
+			if !seen[j] && q.edgeAdj[e][j] {
+				seen[j] = true
+				cnt++
+				stack = append(stack, EdgeID(j))
+			}
+		}
+	}
+	return cnt == len(q.edges)
+}
+
+// computeDiameter returns the diameter of the query graph viewed as an
+// undirected graph over vertices (longest shortest path). IncMat uses it
+// to bound the affected area of an update.
+func (q *Query) computeDiameter() int {
+	n := len(q.vlabels)
+	const inf = 1 << 30
+	dist := make([][]int, n)
+	for i := range dist {
+		dist[i] = make([]int, n)
+		for j := range dist[i] {
+			if i != j {
+				dist[i][j] = inf
+			}
+		}
+	}
+	for _, e := range q.edges {
+		dist[e.From][e.To] = 1
+		dist[e.To][e.From] = 1
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if dist[i][k]+dist[k][j] < dist[i][j] {
+					dist[i][j] = dist[i][k] + dist[k][j]
+				}
+			}
+		}
+	}
+	d := 0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if dist[i][j] < inf && dist[i][j] > d {
+				d = dist[i][j]
+			}
+		}
+	}
+	return d
+}
+
+// NumVertices returns the number of query vertices.
+func (q *Query) NumVertices() int { return len(q.vlabels) }
+
+// NumEdges returns the number of query edges.
+func (q *Query) NumEdges() int { return len(q.edges) }
+
+// VertexLabel returns the label of query vertex v.
+func (q *Query) VertexLabel(v VertexID) graph.Label { return q.vlabels[v] }
+
+// Edge returns the query edge with the given ID.
+func (q *Query) Edge(id EdgeID) Edge { return q.edges[id] }
+
+// Edges returns all query edges in ID order. The returned slice is shared;
+// callers must not modify it.
+func (q *Query) Edges() []Edge { return q.edges }
+
+// Precedes reports whether a ≺ b holds in the transitive closure.
+func (q *Query) Precedes(a, b EdgeID) bool { return q.prec[a][b] }
+
+// DirectOrders returns the user-specified order pairs (not the closure).
+func (q *Query) DirectOrders() [][2]EdgeID { return q.direct }
+
+// OrderPairs returns every pair (a, b) with a ≺ b in the closure, in a
+// deterministic order.
+func (q *Query) OrderPairs() [][2]EdgeID {
+	var out [][2]EdgeID
+	for i := range q.prec {
+		for j := range q.prec[i] {
+			if q.prec[i][j] {
+				out = append(out, [2]EdgeID{EdgeID(i), EdgeID(j)})
+			}
+		}
+	}
+	return out
+}
+
+// EdgesAdjacent reports whether query edges a and b share an endpoint.
+func (q *Query) EdgesAdjacent(a, b EdgeID) bool { return q.edgeAdj[a][b] }
+
+// Touching returns the edges adjacent to query vertex v.
+func (q *Query) Touching(v VertexID) []EdgeID { return q.touching[v] }
+
+// Diameter returns the undirected diameter of the query graph.
+func (q *Query) Diameter() int { return q.diameter }
+
+// Preq returns Preq(ε): the prerequisite edge set {ε' : ε' ≺ ε} ∪ {ε}
+// (Definition 6), sorted by edge ID.
+func (q *Query) Preq(e EdgeID) []EdgeID {
+	out := []EdgeID{e}
+	for i := 0; i < len(q.edges); i++ {
+		if q.prec[i][e] {
+			out = append(out, EdgeID(i))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// MatchesData reports whether data edge d can match query edge id:
+// endpoint labels and (when the query edge is labelled) edge labels must
+// agree. Unlabelled query edges match any data edge label, which lets
+// vertex-labelled-only workloads ignore edge labels entirely.
+func (q *Query) MatchesData(id EdgeID, d graph.Edge) bool {
+	e := q.edges[id]
+	if q.vlabels[e.From] != d.FromLabel || q.vlabels[e.To] != d.ToLabel {
+		return false
+	}
+	return e.Label == graph.NoLabel || e.Label == d.EdgeLabel
+}
+
+// MatchingEdges returns the query edges that data edge d can match, in ID
+// order.
+func (q *Query) MatchingEdges(d graph.Edge) []EdgeID {
+	var out []EdgeID
+	for i := range q.edges {
+		if q.MatchesData(EdgeID(i), d) {
+			out = append(out, EdgeID(i))
+		}
+	}
+	return out
+}

@@ -1,0 +1,507 @@
+package query
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"timingsubg/internal/graph"
+)
+
+// buildPaperQuery constructs the running example of Fig. 5.
+func buildPaperQuery(t *testing.T) (*Query, *graph.Labels) {
+	t.Helper()
+	labels := graph.NewLabels()
+	b := NewBuilder()
+	va := b.AddVertex(labels.Intern("a"))
+	vb := b.AddVertex(labels.Intern("b"))
+	vc := b.AddVertex(labels.Intern("c"))
+	vd := b.AddVertex(labels.Intern("d"))
+	ve := b.AddVertex(labels.Intern("e"))
+	vf := b.AddVertex(labels.Intern("f"))
+	e1 := b.AddEdge(va, vb) // ε1
+	b.AddEdge(vb, vc)       // ε2
+	e3 := b.AddEdge(vd, vb) // ε3
+	e4 := b.AddEdge(vd, vc) // ε4
+	e5 := b.AddEdge(vc, ve) // ε5
+	e6 := b.AddEdge(ve, vf) // ε6
+	b.Before(e6, e3)
+	b.Before(e3, e1)
+	b.Before(e6, e5)
+	b.Before(e5, e4)
+	q, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q, labels
+}
+
+func TestBuildValidation(t *testing.T) {
+	labels := graph.NewLabels()
+	l := labels.Intern("x")
+
+	t.Run("empty", func(t *testing.T) {
+		_, err := NewBuilder().Build()
+		if !errors.Is(err, ErrEmptyQuery) {
+			t.Errorf("want ErrEmptyQuery, got %v", err)
+		}
+	})
+	t.Run("bad vertex", func(t *testing.T) {
+		b := NewBuilder()
+		b.AddVertex(l)
+		b.AddEdge(0, 5)
+		if _, err := b.Build(); !errors.Is(err, ErrBadVertex) {
+			t.Errorf("want ErrBadVertex, got %v", err)
+		}
+	})
+	t.Run("bad order edge", func(t *testing.T) {
+		b := NewBuilder()
+		u, v := b.AddVertex(l), b.AddVertex(l)
+		b.AddEdge(u, v)
+		b.Before(0, 7)
+		if _, err := b.Build(); !errors.Is(err, ErrBadEdge) {
+			t.Errorf("want ErrBadEdge, got %v", err)
+		}
+	})
+	t.Run("self order", func(t *testing.T) {
+		b := NewBuilder()
+		u, v := b.AddVertex(l), b.AddVertex(l)
+		e := b.AddEdge(u, v)
+		b.Before(e, e)
+		if _, err := b.Build(); !errors.Is(err, ErrSelfOrder) {
+			t.Errorf("want ErrSelfOrder, got %v", err)
+		}
+	})
+	t.Run("order cycle", func(t *testing.T) {
+		b := NewBuilder()
+		u, v, w := b.AddVertex(l), b.AddVertex(l), b.AddVertex(l)
+		e1 := b.AddEdge(u, v)
+		e2 := b.AddEdge(v, w)
+		e3 := b.AddEdge(w, u)
+		b.Before(e1, e2)
+		b.Before(e2, e3)
+		b.Before(e3, e1)
+		if _, err := b.Build(); !errors.Is(err, ErrOrderCycle) {
+			t.Errorf("want ErrOrderCycle, got %v", err)
+		}
+	})
+	t.Run("disconnected", func(t *testing.T) {
+		b := NewBuilder()
+		a, bb, c, d := b.AddVertex(l), b.AddVertex(l), b.AddVertex(l), b.AddVertex(l)
+		b.AddEdge(a, bb)
+		b.AddEdge(c, d)
+		if _, err := b.Build(); !errors.Is(err, ErrDisconnected) {
+			t.Errorf("want ErrDisconnected, got %v", err)
+		}
+	})
+}
+
+func TestTransitiveClosure(t *testing.T) {
+	q, _ := buildPaperQuery(t)
+	// Direct: 5≺2, 2≺0, 5≺4, 4≺3 (ids: ε1=0, ε3=2, ε4=3, ε5=4, ε6=5).
+	if !q.Precedes(5, 0) {
+		t.Error("ε6 ≺ ε1 must hold by transitivity")
+	}
+	if !q.Precedes(5, 3) {
+		t.Error("ε6 ≺ ε4 must hold by transitivity")
+	}
+	if q.Precedes(0, 5) {
+		t.Error("closure must not invert pairs")
+	}
+	if q.Precedes(2, 4) || q.Precedes(4, 2) {
+		t.Error("ε3 and ε5 are unordered")
+	}
+	if got := len(q.OrderPairs()); got != 8 {
+		// 5≺2, 5≺0, 2≺0, 5≺4, 5≺3, 4≺3 plus... count: direct 4 pairs,
+		// closure adds 5≺0 and 5≺3 → 6; plus nothing else. Recount below.
+		t.Logf("order pairs: %v", q.OrderPairs())
+		if got != 6 {
+			t.Errorf("want 6 closed pairs, got %d", got)
+		}
+	}
+}
+
+func TestPreq(t *testing.T) {
+	q, _ := buildPaperQuery(t)
+	// Preq(ε1) = {ε1, ε3, ε6} = ids {0, 2, 5} (Fig. 6a).
+	got := q.Preq(0)
+	want := []EdgeID{0, 2, 5}
+	if len(got) != len(want) {
+		t.Fatalf("Preq(ε1): want %v, got %v", want, got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Preq(ε1): want %v, got %v", want, got)
+		}
+	}
+	// Preq(ε4) = {ε4, ε5, ε6} = ids {3, 4, 5} (Fig. 6b).
+	got = q.Preq(3)
+	want = []EdgeID{3, 4, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Preq(ε4): want %v, got %v", want, got)
+		}
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	labels := graph.NewLabels()
+	l := labels.Intern("x")
+	// Path of 4 vertices: diameter 3.
+	b := NewBuilder()
+	v := []VertexID{b.AddVertex(l), b.AddVertex(l), b.AddVertex(l), b.AddVertex(l)}
+	b.AddEdge(v[0], v[1])
+	b.AddEdge(v[1], v[2])
+	b.AddEdge(v[2], v[3])
+	q, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Diameter() != 3 {
+		t.Errorf("path diameter: want 3, got %d", q.Diameter())
+	}
+}
+
+func TestMatchesData(t *testing.T) {
+	labels := graph.NewLabels()
+	la, lb := labels.Intern("a"), labels.Intern("b")
+	lx := labels.Intern("edge-x")
+	b := NewBuilder()
+	u, v := b.AddVertex(la), b.AddVertex(lb)
+	plain := b.AddEdge(u, v)
+	tagged := b.AddLabeledEdge(v, u, lx)
+	q, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := graph.Edge{FromLabel: la, ToLabel: lb}
+	if !q.MatchesData(plain, d) {
+		t.Error("unlabelled query edge must match by vertex labels")
+	}
+	if q.MatchesData(plain, graph.Edge{FromLabel: lb, ToLabel: la}) {
+		t.Error("vertex labels must be direction sensitive")
+	}
+	rd := graph.Edge{FromLabel: lb, ToLabel: la, EdgeLabel: lx}
+	if !q.MatchesData(tagged, rd) {
+		t.Error("labelled query edge must match when edge label agrees")
+	}
+	rd.EdgeLabel = labels.Intern("other")
+	if q.MatchesData(tagged, rd) {
+		t.Error("labelled query edge must reject wrong edge labels")
+	}
+	// Unlabelled query edges ignore data edge labels.
+	d.EdgeLabel = lx
+	if !q.MatchesData(plain, d) {
+		t.Error("unlabelled query edge must ignore data edge labels")
+	}
+}
+
+func TestTCSubPaper(t *testing.T) {
+	q, _ := buildPaperQuery(t)
+	tcsub := TCSub(q)
+	// The paper lists 10 TC-subqueries for the running example
+	// (Section VI-B): {6,5,4}, {3,1}, {5,4}, {6,5}, {6,3}... — it lists
+	// exactly: {6,5,4}, {3,1}, {5,4}, {6,5}, {1}..{6} singles. Also
+	// {6,3}, {6,5,4}... The printed list has 10 entries; ours must
+	// include all of them and every entry must verify as TC.
+	masks := map[uint64]bool{}
+	for _, s := range tcsub {
+		if !IsTCSequence(q, s.Seq) {
+			t.Errorf("enumerated non-TC sequence %v", s.Seq)
+		}
+		if masks[s.Mask] {
+			t.Errorf("duplicate edge set %b", s.Mask)
+		}
+		masks[s.Mask] = true
+	}
+	mustHave := func(ids ...EdgeID) {
+		var m uint64
+		for _, id := range ids {
+			m |= 1 << uint(id)
+		}
+		if !masks[m] {
+			t.Errorf("TCsub must contain %v", ids)
+		}
+	}
+	// Paper ids: ε1=0, ε2=1, ε3=2, ε4=3, ε5=4, ε6=5.
+	mustHave(5, 4, 3) // {6,5,4}
+	mustHave(2, 0)    // {3,1}
+	mustHave(4, 3)    // {5,4}
+	mustHave(5, 4)    // {6,5}
+	for i := 0; i < 6; i++ {
+		mustHave(EdgeID(i))
+	}
+}
+
+func TestDecomposePaper(t *testing.T) {
+	q, _ := buildPaperQuery(t)
+	dec := Decompose(q)
+	if !dec.CoversExactly(q) {
+		t.Fatal("decomposition must exactly partition E(Q)")
+	}
+	if dec.K() != 3 {
+		t.Fatalf("paper decomposition has k=3, got %d", dec.K())
+	}
+	// The greedy pick is {6,5,4}, {3,1}, {2} (Section VI-B).
+	sizes := []int{}
+	for _, s := range dec.Subqueries {
+		sizes = append(sizes, s.Len())
+	}
+	total := 0
+	has3, has2, has1 := false, false, false
+	for _, s := range sizes {
+		total += s
+		switch s {
+		case 3:
+			has3 = true
+		case 2:
+			has2 = true
+		case 1:
+			has1 = true
+		}
+	}
+	if total != 6 || !has3 || !has2 || !has1 {
+		t.Errorf("want subquery sizes {3,2,1}, got %v", sizes)
+	}
+}
+
+func TestDecomposeFullAndEmptyOrder(t *testing.T) {
+	labels := graph.NewLabels()
+	l := labels.Intern("x")
+	// Path a→b→c→d with full order in path direction: k=1.
+	b := NewBuilder()
+	v := []VertexID{b.AddVertex(l), b.AddVertex(l), b.AddVertex(l), b.AddVertex(l)}
+	e1 := b.AddEdge(v[0], v[1])
+	e2 := b.AddEdge(v[1], v[2])
+	e3 := b.AddEdge(v[2], v[3])
+	b.Before(e1, e2)
+	b.Before(e2, e3)
+	q, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k := Decompose(q).K(); k != 1 {
+		t.Errorf("full path order: want k=1, got %d", k)
+	}
+
+	// Same path, empty order: k = |E|.
+	b = NewBuilder()
+	v = []VertexID{b.AddVertex(l), b.AddVertex(l), b.AddVertex(l), b.AddVertex(l)}
+	b.AddEdge(v[0], v[1])
+	b.AddEdge(v[1], v[2])
+	b.AddEdge(v[2], v[3])
+	q, err = b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k := Decompose(q).K(); k != 3 {
+		t.Errorf("empty order: want k=3, got %d", k)
+	}
+}
+
+func TestDecomposeRandomValid(t *testing.T) {
+	q, _ := buildPaperQuery(t)
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		dec := DecomposeRandom(q, rng, rng)
+		if !dec.CoversExactly(q) {
+			t.Fatalf("seed %d: random decomposition must partition E(Q)", seed)
+		}
+		for _, s := range dec.Subqueries {
+			if !IsTCSequence(q, s.Seq) {
+				t.Fatalf("seed %d: non-TC subquery %v", seed, s.Seq)
+			}
+		}
+		assertPrefixConnected(t, q, dec)
+	}
+}
+
+func TestDecomposeOrderedPrefixConnected(t *testing.T) {
+	q, _ := buildPaperQuery(t)
+	for seed := int64(0); seed < 10; seed++ {
+		dec := DecomposeOrdered(q, rand.New(rand.NewSource(seed)))
+		assertPrefixConnected(t, q, dec)
+	}
+	assertPrefixConnected(t, q, Decompose(q))
+}
+
+// assertPrefixConnected verifies the join-order invariant: every prefix
+// of the decomposition induces a weakly connected subquery.
+func assertPrefixConnected(t *testing.T, q *Query, dec *Decomposition) {
+	t.Helper()
+	var union uint64
+	for i, s := range dec.Subqueries {
+		if i > 0 && !masksConnected(q, union, s.Mask) {
+			t.Fatalf("prefix %d is disconnected from subquery %d", i, i+1)
+		}
+		union |= s.Mask
+	}
+}
+
+func TestJointNumber(t *testing.T) {
+	q, _ := buildPaperQuery(t)
+	dec := Decompose(q)
+	// Joint number is symmetric.
+	for i := range dec.Subqueries {
+		for j := range dec.Subqueries {
+			a := JointNumber(q, dec.Subqueries[i].Mask, dec.Subqueries[j].Mask)
+			b := JointNumber(q, dec.Subqueries[j].Mask, dec.Subqueries[i].Mask)
+			if a != b {
+				t.Fatalf("JN must be symmetric: %d vs %d", a, b)
+			}
+		}
+	}
+}
+
+func TestExpectedJoinOpsMonotone(t *testing.T) {
+	q, _ := buildPaperQuery(t)
+	prev := -1.0
+	for k := 1; k <= q.NumEdges(); k++ {
+		n := ExpectedJoinOps(q, k)
+		if n <= prev {
+			t.Fatalf("Theorem 7 cost must increase with k: N(%d)=%f, N(k-1)=%f", k, n, prev)
+		}
+		prev = n
+	}
+}
+
+func TestLocate(t *testing.T) {
+	q, _ := buildPaperQuery(t)
+	dec := Decompose(q)
+	seen := map[EdgeID]bool{}
+	for e := 0; e < q.NumEdges(); e++ {
+		s, p := dec.Locate(EdgeID(e))
+		if s < 0 {
+			t.Fatalf("edge %d not located", e)
+		}
+		if dec.Subqueries[s].Seq[p] != EdgeID(e) {
+			t.Fatalf("Locate(%d) returned wrong position", e)
+		}
+		seen[EdgeID(e)] = true
+	}
+	if s, p := dec.Locate(EdgeID(99)); s != -1 || p != -1 {
+		t.Error("Locate of unknown edge must return -1,-1")
+	}
+}
+
+func TestParseWriteRoundTrip(t *testing.T) {
+	q, labels := buildPaperQuery(t)
+	var sb strings.Builder
+	if err := Write(&sb, labels, q); err != nil {
+		t.Fatal(err)
+	}
+	q2, err := Parse(strings.NewReader(sb.String()), labels)
+	if err != nil {
+		t.Fatalf("parse of written query: %v\n%s", err, sb.String())
+	}
+	if q2.NumVertices() != q.NumVertices() || q2.NumEdges() != q.NumEdges() {
+		t.Fatal("round trip changed the query shape")
+	}
+	for i := 0; i < q.NumEdges(); i++ {
+		for j := 0; j < q.NumEdges(); j++ {
+			if q.Precedes(EdgeID(i), EdgeID(j)) != q2.Precedes(EdgeID(i), EdgeID(j)) {
+				t.Fatalf("round trip changed the timing order at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	labels := graph.NewLabels()
+	cases := []string{
+		"v 1 a",          // non-dense vertex id
+		"v 0",            // missing label
+		"e 0",            // missing endpoint
+		"o 0 > 1",        // wrong operator
+		"x whatever",     // unknown decl
+		"e zero one",     // non-numeric
+		"v 0 a\ne 0 1\n", // dangling endpoint (build error)
+	}
+	for _, c := range cases {
+		if _, err := Parse(strings.NewReader(c), labels); err == nil {
+			t.Errorf("Parse(%q) should fail", c)
+		}
+	}
+}
+
+func TestReducedOrder(t *testing.T) {
+	labels := graph.NewLabels()
+	l := labels.Intern("x")
+	b := NewBuilder()
+	v := []VertexID{b.AddVertex(l), b.AddVertex(l), b.AddVertex(l), b.AddVertex(l)}
+	e1 := b.AddEdge(v[0], v[1])
+	e2 := b.AddEdge(v[1], v[2])
+	e3 := b.AddEdge(v[2], v[3])
+	// Full closure given explicitly: reduction must recover the chain.
+	b.Before(e1, e2)
+	b.Before(e2, e3)
+	b.Before(e1, e3) // redundant
+	q, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	red := q.ReducedOrder()
+	if len(red) != 2 {
+		t.Fatalf("chain reduction: want 2 pairs, got %v", red)
+	}
+	for _, p := range red {
+		if p == [2]EdgeID{e1, e3} {
+			t.Error("transitive pair must be dropped")
+		}
+	}
+	// Reduction closure equals the original closure.
+	b2 := NewBuilder()
+	v2 := []VertexID{b2.AddVertex(l), b2.AddVertex(l), b2.AddVertex(l), b2.AddVertex(l)}
+	b2.AddEdge(v2[0], v2[1])
+	b2.AddEdge(v2[1], v2[2])
+	b2.AddEdge(v2[2], v2[3])
+	for _, p := range red {
+		b2.Before(p[0], p[1])
+	}
+	q2, err := b2.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < q.NumEdges(); a++ {
+		for c := 0; c < q.NumEdges(); c++ {
+			if q.Precedes(EdgeID(a), EdgeID(c)) != q2.Precedes(EdgeID(a), EdgeID(c)) {
+				t.Fatalf("reduction changed the closure at (%d,%d)", a, c)
+			}
+		}
+	}
+}
+
+func TestOrderDensity(t *testing.T) {
+	q, _ := buildPaperQuery(t)
+	d := q.OrderDensity()
+	if d <= 0 || d > 1 {
+		t.Fatalf("density out of range: %f", d)
+	}
+	// Full order density is 1; empty is 0.
+	labels := graph.NewLabels()
+	l := labels.Intern("x")
+	b := NewBuilder()
+	u, v, w := b.AddVertex(l), b.AddVertex(l), b.AddVertex(l)
+	e1 := b.AddEdge(u, v)
+	e2 := b.AddEdge(v, w)
+	b.Before(e1, e2)
+	qq, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qq.OrderDensity() != 1 {
+		t.Errorf("two chained edges: density 1, got %f", qq.OrderDensity())
+	}
+	b = NewBuilder()
+	u, v, w = b.AddVertex(l), b.AddVertex(l), b.AddVertex(l)
+	b.AddEdge(u, v)
+	b.AddEdge(v, w)
+	qq, err = b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qq.OrderDensity() != 0 {
+		t.Errorf("no order: density 0, got %f", qq.OrderDensity())
+	}
+}

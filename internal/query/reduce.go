@@ -1,0 +1,47 @@
+package query
+
+// ReducedOrder returns the transitive reduction of the timing order: the
+// minimal set of pairs whose closure equals ≺. Explain output and query
+// files stay readable when generators emit the full closure (the paper's
+// Section VII-B generator produces O(m²) pairs whose reduction is much
+// smaller).
+func (q *Query) ReducedOrder() [][2]EdgeID {
+	m := q.NumEdges()
+	var out [][2]EdgeID
+	for a := 0; a < m; a++ {
+		for b := 0; b < m; b++ {
+			if !q.prec[a][b] {
+				continue
+			}
+			// (a, b) is redundant if some c with a ≺ c ≺ b exists.
+			redundant := false
+			for c := 0; c < m && !redundant; c++ {
+				if c != a && c != b && q.prec[a][c] && q.prec[c][b] {
+					redundant = true
+				}
+			}
+			if !redundant {
+				out = append(out, [2]EdgeID{EdgeID(a), EdgeID(b)})
+			}
+		}
+	}
+	return out
+}
+
+// OrderDensity reports |≺| (closure pairs) over the maximum m(m−1)/2,
+// the paper's informal spectrum from empty order (0) to full order (1).
+func (q *Query) OrderDensity() float64 {
+	m := q.NumEdges()
+	if m < 2 {
+		return 0
+	}
+	n := 0
+	for a := 0; a < m; a++ {
+		for b := 0; b < m; b++ {
+			if q.prec[a][b] {
+				n++
+			}
+		}
+	}
+	return float64(n) / float64(m*(m-1)/2)
+}

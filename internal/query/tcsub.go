@@ -1,0 +1,195 @@
+package query
+
+import (
+	"math/bits"
+	"sort"
+)
+
+// TCSubquery is a timing-connected subquery of a query Q (Definition 8):
+// a sequence of query edges ε1,...,εk such that εj ≺ εj+1 for consecutive
+// edges and every prefix is weakly connected. Seq is the timing sequence;
+// Mask is the bitmask of member edge IDs.
+type TCSubquery struct {
+	Seq  []EdgeID
+	Mask uint64
+}
+
+// Len returns the number of edges in the subquery.
+func (t *TCSubquery) Len() int { return len(t.Seq) }
+
+// Contains reports whether the subquery contains edge e.
+func (t *TCSubquery) Contains(e EdgeID) bool { return t.Mask&(1<<uint(e)) != 0 }
+
+// Pos returns the 0-based position of e in the timing sequence, or -1.
+func (t *TCSubquery) Pos(e EdgeID) int {
+	for i, x := range t.Seq {
+		if x == e {
+			return i
+		}
+	}
+	return -1
+}
+
+// MaxQueryEdges bounds the number of edges a query may have for the TC
+// machinery, which uses 64-bit edge masks.
+const MaxQueryEdges = 64
+
+// TCSub enumerates TCsub(Q), the set of all TC-subqueries of q
+// (Algorithm 5). Rather than materializing every timing sequence — which
+// explodes when ≺ is close to a total order — it runs the same expansion
+// over (edge-set, feasible-last-edges) states, which is equivalent for
+// decomposition purposes, and reconstructs one witness sequence per edge
+// set. The result is sorted by size descending, then by mask for
+// determinism.
+func TCSub(q *Query) []*TCSubquery {
+	m := q.NumEdges()
+	if m > MaxQueryEdges {
+		panic("query: too many edges for TC enumeration")
+	}
+	// lasts[mask] = bitmask of edges that can appear last in some timing
+	// sequence realizing this edge set.
+	lasts := make(map[uint64]uint64, 2*m)
+	queue := make([]uint64, 0, 2*m)
+	for e := 0; e < m; e++ {
+		mask := uint64(1) << uint(e)
+		lasts[mask] = mask
+		queue = append(queue, mask)
+	}
+	for len(queue) > 0 {
+		mask := queue[0]
+		queue = queue[1:]
+		last := lasts[mask]
+		for x := 0; x < m; x++ {
+			xb := uint64(1) << uint(x)
+			if mask&xb != 0 {
+				continue
+			}
+			if !adjacentToMask(q, EdgeID(x), mask) {
+				continue
+			}
+			// Some feasible last t must satisfy t ≺ x.
+			ok := false
+			for t := 0; t < m && !ok; t++ {
+				if last&(1<<uint(t)) != 0 && q.Precedes(EdgeID(t), EdgeID(x)) {
+					ok = true
+				}
+			}
+			if !ok {
+				continue
+			}
+			nm := mask | xb
+			prev, seen := lasts[nm]
+			if prev&xb != 0 {
+				continue // x already known feasible as last for nm
+			}
+			lasts[nm] = prev | xb
+			if !seen {
+				queue = append(queue, nm)
+			} else {
+				// New feasible last for an existing set: re-expand so
+				// extensions enabled only by x are discovered.
+				queue = append(queue, nm)
+			}
+		}
+	}
+	out := make([]*TCSubquery, 0, len(lasts))
+	for mask := range lasts {
+		out = append(out, &TCSubquery{Seq: reconstructSeq(q, lasts, mask), Mask: mask})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := bits.OnesCount64(out[i].Mask), bits.OnesCount64(out[j].Mask)
+		if pi != pj {
+			return pi > pj
+		}
+		return out[i].Mask < out[j].Mask
+	})
+	return out
+}
+
+// adjacentToMask reports whether edge x shares a vertex with any edge in
+// mask.
+func adjacentToMask(q *Query, x EdgeID, mask uint64) bool {
+	for e := 0; mask != 0; e++ {
+		if mask&1 != 0 && q.EdgesAdjacent(x, EdgeID(e)) {
+			return true
+		}
+		mask >>= 1
+	}
+	return false
+}
+
+// reconstructSeq rebuilds one valid timing sequence for the edge set mask
+// using the feasible-last table. It peels edges from the back: an edge x
+// can be last if it is feasible-last for mask and mask\{x} retains a
+// feasible last t with t ≺ x (and stays valid in the table).
+func reconstructSeq(q *Query, lasts map[uint64]uint64, mask uint64) []EdgeID {
+	k := bits.OnesCount64(mask)
+	seq := make([]EdgeID, k)
+	cur := mask
+	for i := k - 1; i >= 0; i-- {
+		feas := lasts[cur]
+		placed := false
+		for x := 0; x < MaxQueryEdges && !placed; x++ {
+			xb := uint64(1) << uint(x)
+			if feas&xb == 0 {
+				continue
+			}
+			if i == 0 {
+				seq[0] = EdgeID(x)
+				placed = true
+				break
+			}
+			rest := cur &^ xb
+			restLast, ok := lasts[rest]
+			if !ok {
+				continue
+			}
+			// x must be preceded by some feasible last of rest, and x must
+			// attach to rest structurally.
+			if !adjacentToMask(q, EdgeID(x), rest) {
+				continue
+			}
+			for t := 0; t < MaxQueryEdges; t++ {
+				if restLast&(1<<uint(t)) != 0 && q.Precedes(EdgeID(t), EdgeID(x)) {
+					seq[i] = EdgeID(x)
+					cur = rest
+					placed = true
+					break
+				}
+			}
+		}
+		if !placed {
+			// The table guarantees a witness exists; reaching here would
+			// indicate a bug in the DP.
+			panic("query: failed to reconstruct TC sequence")
+		}
+	}
+	return seq
+}
+
+// IsTCSequence verifies that seq is a valid timing sequence over q:
+// consecutive edges ordered by ≺ and every prefix weakly connected. It is
+// the independent checker used by tests.
+func IsTCSequence(q *Query, seq []EdgeID) bool {
+	if len(seq) == 0 {
+		return false
+	}
+	seen := make(map[EdgeID]bool, len(seq))
+	var mask uint64
+	for i, e := range seq {
+		if seen[e] {
+			return false
+		}
+		seen[e] = true
+		if i > 0 {
+			if !q.Precedes(seq[i-1], e) {
+				return false
+			}
+			if !adjacentToMask(q, e, mask) {
+				return false
+			}
+		}
+		mask |= 1 << uint(e)
+	}
+	return true
+}

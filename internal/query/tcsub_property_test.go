@@ -1,0 +1,172 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"timingsubg/internal/graph"
+)
+
+// randomQuery builds a random weakly connected query with m edges over a
+// small label alphabet and a random acyclic timing order.
+func randomQuery(rng *rand.Rand, m int) *Query {
+	labels := []graph.Label{1, 2, 3}
+	b := NewBuilder()
+	n := 2 + rng.Intn(m) // vertices
+	for i := 0; i < n; i++ {
+		b.AddVertex(labels[rng.Intn(len(labels))])
+	}
+	// First, a random spanning path over vertices to force connectivity,
+	// then random extra edges.
+	perm := rng.Perm(n)
+	added := 0
+	for i := 0; i+1 < n && added < m; i++ {
+		b.AddEdge(VertexID(perm[i]), VertexID(perm[i+1]))
+		added++
+	}
+	for added < m {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		b.AddEdge(VertexID(u), VertexID(v))
+		added++
+	}
+	// Random order pairs respecting a random topological permutation so
+	// ≺ stays acyclic.
+	topo := rng.Perm(m)
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			if rng.Intn(3) == 0 {
+				b.Before(EdgeID(topo[i]), EdgeID(topo[j]))
+			}
+		}
+	}
+	q, err := b.Build()
+	if err != nil {
+		return nil
+	}
+	return q
+}
+
+// bruteTCMasks enumerates all TC-subquery edge sets by brute force over
+// all permutations of all subsets — an independent oracle for TCSub's
+// dynamic program (only feasible for small m).
+func bruteTCMasks(q *Query) map[uint64]bool {
+	m := q.NumEdges()
+	out := make(map[uint64]bool)
+	var edges []EdgeID
+	for i := 0; i < m; i++ {
+		edges = append(edges, EdgeID(i))
+	}
+	var permute func(seq []EdgeID, rest []EdgeID)
+	permute = func(seq, rest []EdgeID) {
+		if len(seq) > 0 && IsTCSequence(q, seq) {
+			var mask uint64
+			for _, e := range seq {
+				mask |= 1 << uint(e)
+			}
+			out[mask] = true
+		}
+		// Prefixes of TC sequences are TC sequences, so pruning on
+		// failure is sound; but keep it simple and only extend valid
+		// prefixes.
+		if len(seq) > 0 && !IsTCSequence(q, seq) {
+			return
+		}
+		for i, e := range rest {
+			next := append(append([]EdgeID{}, seq...), e)
+			remaining := append(append([]EdgeID{}, rest[:i]...), rest[i+1:]...)
+			permute(next, remaining)
+		}
+	}
+	permute(nil, edges)
+	return out
+}
+
+// TestTCSubMatchesBruteForce cross-checks the DP enumeration against the
+// brute-force oracle on random queries.
+func TestTCSubMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 60; trial++ {
+		m := 2 + rng.Intn(4) // 2..5 edges: brute force stays cheap
+		q := randomQuery(rng, m)
+		if q == nil {
+			continue
+		}
+		want := bruteTCMasks(q)
+		got := map[uint64]bool{}
+		for _, s := range TCSub(q) {
+			if !IsTCSequence(q, s.Seq) {
+				t.Fatalf("trial %d: TCSub emitted invalid sequence %v", trial, s.Seq)
+			}
+			got[s.Mask] = true
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d (m=%d): DP found %d edge sets, brute force %d\norders: %v",
+				trial, m, len(got), len(want), q.OrderPairs())
+		}
+		for mask := range want {
+			if !got[mask] {
+				t.Fatalf("trial %d: DP missed edge set %b", trial, mask)
+			}
+		}
+	}
+}
+
+// TestDecomposePropertyRandomQueries property-checks that every
+// decomposition variant partitions E(Q) into valid TC-subqueries with a
+// prefix-connected join order.
+func TestDecomposePropertyRandomQueries(t *testing.T) {
+	f := func(seed int64, mRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 2 + int(mRaw%5)
+		q := randomQuery(rng, m)
+		if q == nil {
+			return true // builder rejected (e.g. disconnected); fine
+		}
+		for _, dec := range []*Decomposition{
+			Decompose(q),
+			DecomposeRandom(q, rng, rng),
+			DecomposeOrdered(q, rng),
+		} {
+			if !dec.CoversExactly(q) {
+				return false
+			}
+			var union uint64
+			for i, s := range dec.Subqueries {
+				if !IsTCSequence(q, s.Seq) {
+					return false
+				}
+				if i > 0 && !masksConnected(q, union, s.Mask) {
+					return false
+				}
+				union |= s.Mask
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGreedyNeverWorseThanRandom verifies the cost-model preference:
+// Algorithm 6's greedy decomposition is never larger than a random one.
+func TestGreedyNeverWorseThanRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 40; trial++ {
+		q := randomQuery(rng, 3+rng.Intn(4))
+		if q == nil {
+			continue
+		}
+		greedy := Decompose(q).K()
+		for r := 0; r < 5; r++ {
+			random := DecomposeRandom(q, rng, nil).K()
+			if greedy > random {
+				t.Fatalf("trial %d: greedy k=%d worse than random k=%d", trial, greedy, random)
+			}
+		}
+	}
+}

@@ -1,0 +1,270 @@
+// Package querygen generates benchmark queries the way the paper does
+// (Section VII-B): a random walk over the data graph extracts a connected
+// subgraph g with timestamps; a random permutation of g's edges then
+// induces a timing order — εi ≺ εj iff εi precedes εj in the permutation
+// AND εi's timestamp is smaller — so the order is random yet guaranteed
+// satisfiable by g itself, i.e. the generated query always has at least
+// one time-constrained embedding in the data.
+package querygen
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"timingsubg/internal/graph"
+	"timingsubg/internal/query"
+)
+
+// OrderKind selects how the timing order is derived (the paper generates
+// five orders per query graph: one full, one empty, three random).
+type OrderKind int
+
+// Order kinds.
+const (
+	// RandomOrder derives ≺ from a random permutation (the default).
+	RandomOrder OrderKind = iota
+	// FullOrder totally orders the edges by their data timestamps.
+	FullOrder
+	// EmptyOrder imposes no timing constraints.
+	EmptyOrder
+)
+
+// Config tunes query generation.
+type Config struct {
+	// Size is the number of query edges (the paper uses 6..21).
+	Size int
+	// Order selects the timing-order style.
+	Order OrderKind
+	// Seed drives the random walk and permutation.
+	Seed int64
+	// MaxAttempts bounds walk restarts (default 100).
+	MaxAttempts int
+}
+
+// ErrNoWalk is returned when no connected subgraph of the requested size
+// could be extracted from the supplied edges.
+var ErrNoWalk = errors.New("querygen: could not extract a connected subgraph of the requested size")
+
+// Generate extracts a query of cfg.Size edges from the data stream edges.
+// It returns the query and the witness data edges (aligned with query
+// edge IDs) that embed it.
+func Generate(edges []graph.Edge, cfg Config) (*query.Query, []graph.Edge, error) {
+	if cfg.Size <= 0 {
+		return nil, nil, fmt.Errorf("querygen: size must be positive, got %d", cfg.Size)
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 100
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for attempt := 0; attempt < cfg.MaxAttempts; attempt++ {
+		sub := randomWalk(edges, cfg.Size, rng)
+		if sub == nil {
+			continue
+		}
+		q, err := buildQuery(sub, cfg.Order, rng)
+		if err != nil {
+			continue
+		}
+		return q, sub, nil
+	}
+	return nil, nil, ErrNoWalk
+}
+
+// GenerateWithK generates queries until the cost-model decomposition has
+// exactly k TC-subqueries (Section VII-G): the walk subgraph is kept and
+// the permutation re-drawn. k == 1 uses the full order; k == size uses
+// the empty order, as the paper notes.
+func GenerateWithK(edges []graph.Edge, size, k int, seed int64) (*query.Query, []graph.Edge, error) {
+	if k < 1 || k > size {
+		return nil, nil, fmt.Errorf("querygen: k must be in [1, %d], got %d", size, k)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for attempt := 0; attempt < 400; attempt++ {
+		var sub []graph.Edge
+		if k == 1 {
+			// A decomposition of size 1 needs the full timing order to be
+			// prefix-connected, which a time-increasing walk guarantees.
+			sub = timeIncreasingWalk(edges, size, rng)
+		} else {
+			sub = randomWalk(edges, size, rng)
+		}
+		if sub == nil {
+			continue
+		}
+		var kinds []OrderKind
+		switch k {
+		case 1:
+			kinds = []OrderKind{FullOrder}
+		case size:
+			kinds = []OrderKind{EmptyOrder}
+		default:
+			kinds = []OrderKind{RandomOrder}
+		}
+		for _, kind := range kinds {
+			for tries := 0; tries < 60; tries++ {
+				q, err := buildQuery(sub, kind, rng)
+				if err != nil {
+					break
+				}
+				if query.Decompose(q).K() == k {
+					return q, sub, nil
+				}
+				if kind != RandomOrder {
+					break // deterministic kinds will not change
+				}
+			}
+		}
+	}
+	return nil, nil, fmt.Errorf("querygen: no query of size %d with decomposition size %d found", size, k)
+}
+
+// randomWalk extracts a connected subgraph with exactly size distinct
+// edges by growing from a random seed edge.
+func randomWalk(edges []graph.Edge, size int, rng *rand.Rand) []graph.Edge {
+	if len(edges) == 0 {
+		return nil
+	}
+	snap := graph.SnapshotOf(edges)
+	seed := edges[rng.Intn(len(edges))]
+	chosen := []graph.Edge{seed}
+	chosenIDs := map[graph.EdgeID]bool{seed.ID: true}
+	verts := map[graph.VertexID]bool{}
+	var vertList []graph.VertexID // insertion order, for determinism
+	addVert := func(v graph.VertexID) {
+		if !verts[v] {
+			verts[v] = true
+			vertList = append(vertList, v)
+		}
+	}
+	addVert(seed.From)
+	addVert(seed.To)
+	for len(chosen) < size {
+		// Gather frontier candidates: edges touching the chosen vertex
+		// set, not yet chosen. Iterate vertices in insertion order so the
+		// walk is a pure function of the seed.
+		var cands []graph.Edge
+		for _, v := range vertList {
+			for _, id := range snap.Out(v) {
+				if e, ok := snap.Edge(id); ok && !chosenIDs[e.ID] {
+					cands = append(cands, e)
+				}
+			}
+			for _, id := range snap.In(v) {
+				if e, ok := snap.Edge(id); ok && !chosenIDs[e.ID] {
+					cands = append(cands, e)
+				}
+			}
+		}
+		if len(cands) == 0 {
+			return nil
+		}
+		next := cands[rng.Intn(len(cands))]
+		chosen = append(chosen, next)
+		chosenIDs[next.ID] = true
+		addVert(next.From)
+		addVert(next.To)
+	}
+	return chosen
+}
+
+// timeIncreasingWalk grows a connected subgraph whose walk order is also
+// strictly increasing in timestamps, so the full timing order over it is
+// prefix-connected (decomposition size 1).
+func timeIncreasingWalk(edges []graph.Edge, size int, rng *rand.Rand) []graph.Edge {
+	if len(edges) == 0 {
+		return nil
+	}
+	snap := graph.SnapshotOf(edges)
+	seed := edges[rng.Intn(len(edges))]
+	chosen := []graph.Edge{seed}
+	chosenIDs := map[graph.EdgeID]bool{seed.ID: true}
+	verts := map[graph.VertexID]bool{}
+	var vertList []graph.VertexID
+	addVert := func(v graph.VertexID) {
+		if !verts[v] {
+			verts[v] = true
+			vertList = append(vertList, v)
+		}
+	}
+	addVert(seed.From)
+	addVert(seed.To)
+	last := seed.Time
+	for len(chosen) < size {
+		var cands []graph.Edge
+		for _, v := range vertList {
+			for _, id := range snap.Out(v) {
+				if e, ok := snap.Edge(id); ok && !chosenIDs[e.ID] && e.Time > last {
+					cands = append(cands, e)
+				}
+			}
+			for _, id := range snap.In(v) {
+				if e, ok := snap.Edge(id); ok && !chosenIDs[e.ID] && e.Time > last {
+					cands = append(cands, e)
+				}
+			}
+		}
+		if len(cands) == 0 {
+			return nil
+		}
+		next := cands[rng.Intn(len(cands))]
+		chosen = append(chosen, next)
+		chosenIDs[next.ID] = true
+		addVert(next.From)
+		addVert(next.To)
+		last = next.Time
+	}
+	return chosen
+}
+
+// buildQuery converts the walked subgraph into a query with the requested
+// timing-order style. The witness alignment is: query edge i corresponds
+// to sub[i].
+func buildQuery(sub []graph.Edge, kind OrderKind, rng *rand.Rand) (*query.Query, error) {
+	b := query.NewBuilder()
+	vmap := make(map[graph.VertexID]query.VertexID)
+	vertex := func(v graph.VertexID, l graph.Label) query.VertexID {
+		if qv, ok := vmap[v]; ok {
+			return qv
+		}
+		qv := b.AddVertex(l)
+		vmap[v] = qv
+		return qv
+	}
+	for _, e := range sub {
+		b.AddLabeledEdge(vertex(e.From, e.FromLabel), vertex(e.To, e.ToLabel), e.EdgeLabel)
+	}
+	switch kind {
+	case EmptyOrder:
+		// no constraints
+	case FullOrder:
+		// Chain edges in data-timestamp order.
+		idx := make([]int, len(sub))
+		for i := range idx {
+			idx[i] = i
+		}
+		sortByTime(idx, sub)
+		for i := 0; i+1 < len(idx); i++ {
+			b.Before(query.EdgeID(idx[i]), query.EdgeID(idx[i+1]))
+		}
+	default: // RandomOrder: permutation position AND timestamp order agree.
+		perm := rng.Perm(len(sub))
+		for a := 0; a < len(perm); a++ {
+			for bq := a + 1; bq < len(perm); bq++ {
+				i, j := perm[a], perm[bq]
+				if sub[i].Time < sub[j].Time {
+					b.Before(query.EdgeID(i), query.EdgeID(j))
+				}
+			}
+		}
+	}
+	return b.Build()
+}
+
+func sortByTime(idx []int, sub []graph.Edge) {
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && sub[idx[j]].Time < sub[idx[j-1]].Time; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+}

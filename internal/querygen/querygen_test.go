@@ -1,0 +1,117 @@
+package querygen
+
+import (
+	"testing"
+
+	"timingsubg/internal/datagen"
+	"timingsubg/internal/graph"
+	"timingsubg/internal/match"
+	"timingsubg/internal/query"
+)
+
+func sampleEdges(t *testing.T, ds datagen.Dataset, n int, seed int64) []graph.Edge {
+	t.Helper()
+	return datagen.New(ds, graph.NewLabels(), datagen.Config{Vertices: 80, Seed: seed}).Take(n)
+}
+
+// TestWitnessEmbeds verifies the paper's generation guarantee (Section
+// VII-B): the walked subgraph is itself a time-constrained embedding of
+// the generated query.
+func TestWitnessEmbeds(t *testing.T) {
+	for _, ds := range datagen.Datasets() {
+		for _, kind := range []OrderKind{RandomOrder, FullOrder, EmptyOrder} {
+			for seed := int64(0); seed < 5; seed++ {
+				edges := sampleEdges(t, ds, 800, seed+1)
+				q, witness, err := Generate(edges, Config{Size: 5, Order: kind, Seed: seed})
+				if err != nil {
+					t.Fatalf("%s/%d/%d: %v", ds, kind, seed, err)
+				}
+				if q.NumEdges() != 5 || len(witness) != 5 {
+					t.Fatalf("want 5 edges, got %d/%d", q.NumEdges(), len(witness))
+				}
+				m := match.New(q)
+				for i, d := range witness {
+					if !m.CanBind(q, query.EdgeID(i), d) {
+						t.Fatalf("%s/%d/%d: witness edge %d does not bind: %v / query edge %v",
+							ds, kind, seed, i, d, q.Edge(query.EdgeID(i)))
+					}
+					m.Bind(q, query.EdgeID(i), d)
+				}
+				if err := m.Verify(q); err != nil {
+					t.Fatalf("%s/%d/%d: witness is not a valid match: %v", ds, kind, seed, err)
+				}
+			}
+		}
+	}
+}
+
+func TestOrderKinds(t *testing.T) {
+	edges := sampleEdges(t, datagen.WikiTalk, 600, 3)
+
+	qFull, _, err := Generate(edges, Config{Size: 4, Order: FullOrder, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full order: every pair is ordered one way or the other.
+	m := qFull.NumEdges()
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			if !qFull.Precedes(query.EdgeID(i), query.EdgeID(j)) && !qFull.Precedes(query.EdgeID(j), query.EdgeID(i)) {
+				t.Errorf("full order must relate every pair (%d,%d)", i, j)
+			}
+		}
+	}
+
+	qEmpty, _, err := Generate(edges, Config{Size: 4, Order: EmptyOrder, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qEmpty.OrderPairs()) != 0 {
+		t.Error("empty order must have no pairs")
+	}
+}
+
+func TestGenerateWithK(t *testing.T) {
+	edges := sampleEdges(t, datagen.WikiTalk, 1500, 5)
+	for _, k := range []int{1, 2, 3, 6} {
+		q, _, err := GenerateWithK(edges, 6, k, 11)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if got := query.Decompose(q).K(); got != k {
+			t.Errorf("k=%d: decomposition has %d subqueries", k, got)
+		}
+	}
+	if _, _, err := GenerateWithK(edges, 6, 0, 1); err == nil {
+		t.Error("k=0 must be rejected")
+	}
+	if _, _, err := GenerateWithK(edges, 6, 7, 1); err == nil {
+		t.Error("k>size must be rejected")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, _, err := Generate(nil, Config{Size: 3}); err == nil {
+		t.Error("no edges must fail")
+	}
+	if _, _, err := Generate(sampleEdges(t, datagen.WikiTalk, 100, 1), Config{Size: 0}); err == nil {
+		t.Error("size 0 must fail")
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	edges := sampleEdges(t, datagen.SocialStream, 700, 9)
+	q1, w1, err1 := Generate(edges, Config{Size: 5, Seed: 21})
+	q2, w2, err2 := Generate(edges, Config{Size: 5, Seed: 21})
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if q1.NumVertices() != q2.NumVertices() {
+		t.Error("same seed must reproduce the query")
+	}
+	for i := range w1 {
+		if w1[i].ID != w2[i].ID {
+			t.Error("same seed must reproduce the witness")
+		}
+	}
+}

@@ -1,0 +1,94 @@
+// Package reify implements the paper's edge-label transformation
+// (Section II): "since vertex labels and edge labels are from two
+// different label sets, we can introduce an imaginary vertex to
+// represent an edge of interest and assign the edge label to the new
+// imaginary vertex." A labelled edge u →ℓ→ v becomes u → x_ℓ → v where
+// x_ℓ is a fresh vertex carrying ℓ.
+//
+// The engine supports edge labels natively, so reification is not needed
+// for functionality; it exists to demonstrate the equivalence claim
+// executably (reified streams + reified queries yield exactly the
+// matches of the native representation — see the package tests) and to
+// interoperate with vertex-labelled-only tooling.
+package reify
+
+import (
+	"timingsubg/internal/graph"
+	"timingsubg/internal/query"
+)
+
+// vertexSpace partitions reified vertex IDs away from original ones:
+// imaginary vertices occupy the negative range below reifyBase.
+const reifyBase graph.VertexID = -1 << 40
+
+// Stream rewrites a stream of (possibly edge-labelled) edges into a
+// vertex-labelled-only stream: each labelled edge σ = u →ℓ→ v at time t
+// becomes two edges u → x and x → v, where x is a fresh imaginary vertex
+// labelled ℓ. The two half-edges receive consecutive timestamps, so a
+// window of w original units must be scaled by the caller (Stream
+// reports the scale factor: output timestamps are 2× input).
+//
+// Unlabelled edges are passed through (their timestamps doubled to stay
+// aligned).
+func Stream(labels *graph.Labels, edges []graph.Edge) []graph.Edge {
+	out := make([]graph.Edge, 0, 2*len(edges))
+	next := reifyBase
+	for _, e := range edges {
+		if e.EdgeLabel == graph.NoLabel {
+			e2 := e
+			e2.Time = e.Time * 2
+			out = append(out, e2)
+			continue
+		}
+		x := next
+		next--
+		out = append(out, graph.Edge{
+			From: e.From, To: x,
+			FromLabel: e.FromLabel, ToLabel: e.EdgeLabel,
+			Time: e.Time*2 - 1,
+		})
+		out = append(out, graph.Edge{
+			From: x, To: e.To,
+			FromLabel: e.EdgeLabel, ToLabel: e.ToLabel,
+			Time: e.Time * 2,
+		})
+	}
+	return out
+}
+
+// Query rewrites a query the same way: every labelled query edge u →ℓ→ v
+// becomes u → x_ℓ → v with both halves ordered (first ≺ second), and
+// every timing constraint a ≺ b is carried over to the reified halves
+// (last half of a ≺ first half of b). The mapping from original edge IDs
+// to reified (first, last) IDs is returned for result translation.
+func Query(q *query.Query) (*query.Query, map[query.EdgeID][2]query.EdgeID, error) {
+	b := query.NewBuilder()
+	for v := 0; v < q.NumVertices(); v++ {
+		b.AddVertex(q.VertexLabel(query.VertexID(v)))
+	}
+	halves := make(map[query.EdgeID][2]query.EdgeID, q.NumEdges())
+	for _, e := range q.Edges() {
+		if e.Label == graph.NoLabel {
+			id := b.AddEdge(e.From, e.To)
+			halves[e.ID] = [2]query.EdgeID{id, id}
+			continue
+		}
+		x := b.AddVertex(e.Label)
+		first := b.AddEdge(e.From, x)
+		second := b.AddEdge(x, e.To)
+		b.Before(first, second)
+		halves[e.ID] = [2]query.EdgeID{first, second}
+	}
+	for _, p := range q.DirectOrders() {
+		b.Before(halves[p[0]][1], halves[p[1]][0])
+	}
+	rq, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return rq, halves, nil
+}
+
+// WindowScale is the factor by which a window duration must be
+// multiplied when moving to the reified stream (timestamps double).
+const WindowScale = 2

@@ -1,0 +1,139 @@
+package reify
+
+import (
+	"testing"
+
+	"timingsubg/internal/core"
+	"timingsubg/internal/datagen"
+	"timingsubg/internal/graph"
+	qry "timingsubg/internal/query"
+	"timingsubg/internal/querygen"
+)
+
+// TestReifiedEquivalence is the executable form of the paper's Section
+// II remark: on fully edge-labelled workloads, reifying both the stream
+// and the query (with a doubled window) yields exactly as many matches
+// as the native edge-labelled execution.
+func TestReifiedEquivalence(t *testing.T) {
+	for trial := 0; trial < 6; trial++ {
+		ds := datagen.NetworkFlow
+		if trial%2 == 1 {
+			ds = datagen.SocialStream
+		}
+		labels := graph.NewLabels()
+		gen := datagen.New(ds, labels, datagen.Config{Vertices: 400, Seed: int64(trial + 2)})
+		edges := gen.Take(700)
+		q, _, err := querygen.Generate(edges[:300], querygen.Config{
+			Size: 3 + trial%3, Order: querygen.OrderKind(trial % 3), Seed: int64(trial)})
+		if err != nil {
+			t.Skipf("trial %d: %v", trial, err)
+		}
+
+		const window = 250
+		native := core.New(q, core.Config{})
+		st := graph.NewStream(window)
+		for _, e := range edges {
+			stored, expired, err := st.Push(e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			native.Process(stored, expired)
+		}
+
+		rq, halves, err := Query(q)
+		if err != nil {
+			t.Fatalf("trial %d: reify query: %v", trial, err)
+		}
+		if len(halves) != q.NumEdges() {
+			t.Fatalf("trial %d: halves map incomplete", trial)
+		}
+		reified := core.New(rq, core.Config{})
+		rst := graph.NewStream(window * WindowScale)
+		for _, e := range Stream(labels, edges) {
+			stored, expired, err := rst.Push(e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reified.Process(stored, expired)
+		}
+
+		n1 := native.Stats().Matches.Load()
+		n2 := reified.Stats().Matches.Load()
+		if n1 != n2 {
+			t.Errorf("trial %d (%s, size %d): native found %d matches, reified %d",
+				trial, ds, q.NumEdges(), n1, n2)
+		}
+	}
+}
+
+func TestStreamReificationShape(t *testing.T) {
+	labels := graph.NewLabels()
+	ip := labels.Intern("IP")
+	tcp := labels.Intern("tcp")
+	in := []graph.Edge{
+		{From: 1, To: 2, FromLabel: ip, ToLabel: ip, EdgeLabel: tcp, Time: 5},
+		{From: 2, To: 3, FromLabel: ip, ToLabel: ip, Time: 6}, // unlabelled
+	}
+	out := Stream(labels, in)
+	if len(out) != 3 {
+		t.Fatalf("want 3 reified edges, got %d", len(out))
+	}
+	// Labelled edge became u→x, x→v with the edge label on x.
+	if out[0].To != out[1].From {
+		t.Error("halves must share the imaginary vertex")
+	}
+	if out[0].ToLabel != tcp || out[1].FromLabel != tcp {
+		t.Error("imaginary vertex must carry the edge label")
+	}
+	if out[0].Time != 9 || out[1].Time != 10 {
+		t.Errorf("halves must land at 2t-1, 2t; got %d, %d", out[0].Time, out[1].Time)
+	}
+	if out[0].EdgeLabel != graph.NoLabel || out[1].EdgeLabel != graph.NoLabel {
+		t.Error("reified edges must be unlabelled")
+	}
+	// Unlabelled edge passes through at doubled time.
+	if out[2].From != 2 || out[2].To != 3 || out[2].Time != 12 {
+		t.Errorf("unlabelled passthrough wrong: %+v", out[2])
+	}
+	// Distinct labelled edges get distinct imaginary vertices.
+	out2 := Stream(labels, []graph.Edge{in[0], {From: 4, To: 5, FromLabel: ip, ToLabel: ip, EdgeLabel: tcp, Time: 7}})
+	if out2[0].To == out2[2].To {
+		t.Error("each labelled edge needs a fresh imaginary vertex")
+	}
+}
+
+func TestQueryReificationShape(t *testing.T) {
+	labels := graph.NewLabels()
+	ip := labels.Intern("IP")
+	tcp := labels.Intern("tcp")
+	b := qry.NewBuilder()
+	v1 := b.AddVertex(ip)
+	v2 := b.AddVertex(ip)
+	e1 := b.AddLabeledEdge(v1, v2, tcp)
+	e2 := b.AddEdge(v2, v1) // unlabelled
+	b.Before(e1, e2)
+	q, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rq, halves, err := Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rq.NumEdges() != 3 {
+		t.Fatalf("1 labelled + 1 plain edge must reify to 3, got %d", rq.NumEdges())
+	}
+	if rq.NumVertices() != 3 {
+		t.Fatalf("one imaginary vertex expected, got %d vertices", rq.NumVertices())
+	}
+	h1 := halves[e1]
+	// Halves of the labelled edge are chained.
+	if !rq.Precedes(h1[0], h1[1]) {
+		t.Error("gadget halves must be ordered")
+	}
+	// Original constraint e1 ≺ e2 carries to last-half ≺ e2's edge.
+	h2 := halves[e2]
+	if !rq.Precedes(h1[1], h2[0]) {
+		t.Error("cross constraints must carry over")
+	}
+}

@@ -1,0 +1,112 @@
+// Package router indexes a fleet of continuous queries by the label
+// signatures of their query edges, so that each arriving data edge is
+// dispatched only to the queries that could possibly match it.
+//
+// Naive multi-query monitoring feeds every edge to every engine: cost
+// O(#queries) per edge even when almost all queries ignore the edge.
+// With the paper's motivating deployments in mind (Verizon's ten attack
+// patterns, a fraud-rule catalogue), the router reduces dispatch to
+// O(#interested queries) by an inverted index on the
+// ⟨from-label, to-label, edge-label⟩ triple, with a second bucket for
+// query edges whose edge label is the wildcard (graph.NoLabel matches
+// any data edge label, mirroring query.MatchesData).
+package router
+
+import (
+	"timingsubg/internal/graph"
+	"timingsubg/internal/query"
+)
+
+// key identifies an exactly-labelled query edge signature.
+type key struct {
+	from, to, edge graph.Label
+}
+
+// vkey identifies a wildcard-edge-label signature (vertex labels only).
+type vkey struct {
+	from, to graph.Label
+}
+
+// Router dispatches data edges to interested queries. Register queries
+// with Add, then call Route per edge. Route is read-only and cheap; Add
+// is not safe to interleave with Route.
+type Router struct {
+	exact map[key][]int
+	wild  map[vkey][]int
+
+	// epoch stamps deduplicate a query that matches an edge through
+	// several of its query edges without per-call allocation.
+	lastSeen []int64
+	epoch    int64
+	queries  int
+}
+
+// New returns an empty router.
+func New() *Router {
+	return &Router{exact: make(map[key][]int), wild: make(map[vkey][]int)}
+}
+
+// Add registers q under the dense handle id (0-based; use the slice
+// index of the query in the caller's fleet). Handles must be unique.
+func (r *Router) Add(id int, q *query.Query) {
+	for _, qe := range q.Edges() {
+		from := q.VertexLabel(qe.From)
+		to := q.VertexLabel(qe.To)
+		if qe.Label == graph.NoLabel {
+			k := vkey{from, to}
+			r.wild[k] = appendUnique(r.wild[k], id)
+		} else {
+			k := key{from, to, qe.Label}
+			r.exact[k] = appendUnique(r.exact[k], id)
+		}
+	}
+	if id >= r.queries {
+		r.queries = id + 1
+	}
+	if len(r.lastSeen) < r.queries {
+		grown := make([]int64, r.queries)
+		copy(grown, r.lastSeen)
+		r.lastSeen = grown
+	}
+}
+
+// Queries returns how many handles have been registered.
+func (r *Router) Queries() int { return r.queries }
+
+// Route invokes fn once for every registered query that has at least
+// one query edge matching d (same predicate as query.MatchesData).
+// Handles are delivered in ascending order within each bucket but the
+// two buckets are concatenated; callers needing global order should
+// collect and sort.
+func (r *Router) Route(d graph.Edge, fn func(id int)) {
+	r.epoch++
+	for _, id := range r.exact[key{d.FromLabel, d.ToLabel, d.EdgeLabel}] {
+		if r.lastSeen[id] != r.epoch {
+			r.lastSeen[id] = r.epoch
+			fn(id)
+		}
+	}
+	for _, id := range r.wild[vkey{d.FromLabel, d.ToLabel}] {
+		if r.lastSeen[id] != r.epoch {
+			r.lastSeen[id] = r.epoch
+			fn(id)
+		}
+	}
+}
+
+// RouteSet returns the interested handles as a fresh slice (testing and
+// diagnostics convenience; hot paths should prefer Route).
+func (r *Router) RouteSet(d graph.Edge) []int {
+	var out []int
+	r.Route(d, func(id int) { out = append(out, id) })
+	return out
+}
+
+func appendUnique(s []int, id int) []int {
+	for _, v := range s {
+		if v == id {
+			return s
+		}
+	}
+	return append(s, id)
+}

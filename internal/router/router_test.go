@@ -1,0 +1,173 @@
+package router
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"timingsubg/internal/graph"
+	"timingsubg/internal/query"
+)
+
+// buildQuery makes a small random connected query over nl vertex labels
+// and el edge labels (0 = wildcard allowed).
+func buildQuery(t testing.TB, rng *rand.Rand, nl, el int) *query.Query {
+	t.Helper()
+	b := query.NewBuilder()
+	n := 2 + rng.Intn(3)
+	var vs []query.VertexID
+	for i := 0; i < n; i++ {
+		vs = append(vs, b.AddVertex(graph.Label(1+rng.Intn(nl))))
+	}
+	// A connected chain plus maybe one extra edge.
+	prev := vs[0]
+	for i := 1; i < n; i++ {
+		if el > 0 && rng.Intn(2) == 0 {
+			b.AddLabeledEdge(prev, vs[i], graph.Label(1+rng.Intn(el)))
+		} else {
+			b.AddEdge(prev, vs[i])
+		}
+		prev = vs[i]
+	}
+	q, err := b.Build()
+	if err != nil {
+		t.Fatalf("build query: %v", err)
+	}
+	return q
+}
+
+func randomEdge(rng *rand.Rand, nl, el int) graph.Edge {
+	e := graph.Edge{
+		From:      graph.VertexID(rng.Intn(10)),
+		To:        graph.VertexID(10 + rng.Intn(10)),
+		FromLabel: graph.Label(1 + rng.Intn(nl)),
+		ToLabel:   graph.Label(1 + rng.Intn(nl)),
+		Time:      graph.Timestamp(rng.Int63n(1 << 40)),
+	}
+	if el > 0 && rng.Intn(2) == 0 {
+		e.EdgeLabel = graph.Label(1 + rng.Intn(el))
+	}
+	return e
+}
+
+// TestRouteMatchesBruteForce is the router's defining property: for
+// random fleets and random edges, Route returns exactly the queries
+// whose MatchingEdges set is non-empty.
+func TestRouteMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		r := New()
+		var fleet []*query.Query
+		for i := 0; i < 1+rng.Intn(20); i++ {
+			q := buildQuery(t, rng, 4, 3)
+			fleet = append(fleet, q)
+			r.Add(i, q)
+		}
+		for probe := 0; probe < 50; probe++ {
+			d := randomEdge(rng, 4, 3)
+			got := r.RouteSet(d)
+			sort.Ints(got)
+			var want []int
+			for i, q := range fleet {
+				if len(q.MatchingEdges(d)) > 0 {
+					want = append(want, i)
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("trial %d: routed %v, brute force %v (edge %+v)", trial, got, want, d)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d: routed %v, brute force %v", trial, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestRouteDeduplicates: a query with several edges matching the same
+// data edge is reported exactly once.
+func TestRouteDeduplicates(t *testing.T) {
+	b := query.NewBuilder()
+	va := b.AddVertex(1)
+	vb := b.AddVertex(2)
+	vc := b.AddVertex(1)
+	b.AddEdge(va, vb) // 1→2
+	b.AddEdge(vc, vb) // 1→2 again (different query vertices)
+	q, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New()
+	r.Add(0, q)
+	d := graph.Edge{From: 7, To: 8, FromLabel: 1, ToLabel: 2}
+	if got := r.RouteSet(d); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("RouteSet = %v, want [0]", got)
+	}
+}
+
+// TestWildcardEdgeLabel: an unlabelled query edge must receive edges of
+// any edge label; a labelled one only its own.
+func TestWildcardEdgeLabel(t *testing.T) {
+	mk := func(edgeLabel graph.Label) *query.Query {
+		b := query.NewBuilder()
+		va := b.AddVertex(1)
+		vb := b.AddVertex(2)
+		if edgeLabel != graph.NoLabel {
+			b.AddLabeledEdge(va, vb, edgeLabel)
+		} else {
+			b.AddEdge(va, vb)
+		}
+		q, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return q
+	}
+	r := New()
+	r.Add(0, mk(graph.NoLabel)) // wildcard
+	r.Add(1, mk(9))             // label 9 only
+
+	any := graph.Edge{FromLabel: 1, ToLabel: 2, EdgeLabel: 5}
+	if got := r.RouteSet(any); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("label-5 edge routed to %v, want [0]", got)
+	}
+	nine := graph.Edge{FromLabel: 1, ToLabel: 2, EdgeLabel: 9}
+	got := r.RouteSet(nine)
+	sort.Ints(got)
+	if len(got) != 2 {
+		t.Fatalf("label-9 edge routed to %v, want both", got)
+	}
+	none := graph.Edge{FromLabel: 2, ToLabel: 1}
+	if got := r.RouteSet(none); len(got) != 0 {
+		t.Fatalf("reversed-label edge routed to %v, want none", got)
+	}
+}
+
+func TestEmptyRouter(t *testing.T) {
+	r := New()
+	if got := r.RouteSet(graph.Edge{FromLabel: 1, ToLabel: 2}); len(got) != 0 {
+		t.Fatalf("empty router routed %v", got)
+	}
+	if r.Queries() != 0 {
+		t.Fatalf("Queries = %d", r.Queries())
+	}
+}
+
+func BenchmarkRouteFleet100(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	r := New()
+	for i := 0; i < 100; i++ {
+		r.Add(i, buildQuery(b, rng, 8, 4))
+	}
+	edges := make([]graph.Edge, 1024)
+	for i := range edges {
+		edges[i] = randomEdge(rng, 8, 4)
+	}
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		r.Route(edges[i%len(edges)], func(id int) { sink += id })
+	}
+	_ = sink
+}

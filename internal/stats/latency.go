@@ -1,0 +1,129 @@
+// Package stats provides the small observability primitives the runner
+// CLIs report: a fixed-memory latency histogram with percentile queries
+// and a throughput meter. Streaming systems live and die by their tail
+// latency; tsrun reports p50/p99/p999 per-edge processing latency from
+// these.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Histogram is a log-bucketed latency histogram: 1ns..~17m in buckets of
+// ~9% relative width. The zero value is ready to use. Not safe for
+// concurrent use; callers aggregate per goroutine and Merge.
+type Histogram struct {
+	counts [256]uint64
+	total  uint64
+	sum    time.Duration
+	max    time.Duration
+}
+
+// bucketFor maps a duration to a bucket index (log scale, 8 sub-buckets
+// per octave).
+func bucketFor(d time.Duration) int {
+	ns := d.Nanoseconds()
+	if ns < 1 {
+		ns = 1
+	}
+	lg := math.Log2(float64(ns))
+	idx := int(lg * 8)
+	if idx >= len((&Histogram{}).counts) {
+		idx = len((&Histogram{}).counts) - 1
+	}
+	return idx
+}
+
+// bucketLow returns the lower bound of bucket idx.
+func bucketLow(idx int) time.Duration {
+	return time.Duration(math.Exp2(float64(idx) / 8))
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	h.counts[bucketFor(d)]++
+	h.total++
+	h.sum += d
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Mean returns the average latency.
+func (h *Histogram) Mean() time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.total)
+}
+
+// Max returns the largest sample.
+func (h *Histogram) Max() time.Duration { return h.max }
+
+// Quantile returns an estimate of the q-quantile (0 < q ≤ 1): the lower
+// bound of the bucket containing the q·total-th sample.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	want := uint64(q * float64(h.total))
+	if want >= h.total {
+		want = h.total - 1
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen > want {
+			return bucketLow(i)
+		}
+	}
+	return h.max
+}
+
+// Merge folds other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.total += other.total
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// String summarizes the distribution.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v p999=%v max=%v",
+		h.total, h.Mean().Round(time.Nanosecond),
+		h.Quantile(0.50), h.Quantile(0.99), h.Quantile(0.999), h.max)
+}
+
+// Meter measures throughput over a run.
+type Meter struct {
+	start time.Time
+	n     int64
+}
+
+// NewMeter starts a meter.
+func NewMeter() *Meter { return &Meter{start: time.Now()} }
+
+// Add records n processed items.
+func (m *Meter) Add(n int64) { m.n += n }
+
+// Rate returns items per second since the meter started.
+func (m *Meter) Rate() float64 {
+	el := time.Since(m.start).Seconds()
+	if el <= 0 {
+		return 0
+	}
+	return float64(m.n) / el
+}
+
+// Count returns items recorded.
+func (m *Meter) Count() int64 { return m.n }

@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("zero histogram must report zeros")
+	}
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count: want 100, got %d", h.Count())
+	}
+	if h.Max() != 100*time.Microsecond {
+		t.Fatalf("max: want 100µs, got %v", h.Max())
+	}
+	mean := h.Mean()
+	if mean < 40*time.Microsecond || mean > 60*time.Microsecond {
+		t.Fatalf("mean of 1..100µs should be ~50µs, got %v", mean)
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 25*time.Microsecond || p50 > 75*time.Microsecond {
+		t.Fatalf("p50 out of range: %v", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < p50 {
+		t.Fatal("p99 must be ≥ p50")
+	}
+	if !strings.Contains(h.String(), "n=100") {
+		t.Errorf("String: %s", h.String())
+	}
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	f := func(samplesRaw []uint16) bool {
+		var h Histogram
+		for _, s := range samplesRaw {
+			h.Observe(time.Duration(s+1) * time.Nanosecond)
+		}
+		if h.Count() == 0 {
+			return true
+		}
+		prev := time.Duration(0)
+		for _, q := range []float64{0.1, 0.5, 0.9, 0.99, 1.0} {
+			v := h.Quantile(q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return h.Quantile(1.0) <= h.Max()*2 // bucket lower-bound estimate
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for i := 0; i < 50; i++ {
+		a.Observe(time.Microsecond)
+		b.Observe(time.Millisecond)
+	}
+	a.Merge(&b)
+	if a.Count() != 100 {
+		t.Fatalf("merged count: want 100, got %d", a.Count())
+	}
+	if a.Max() != time.Millisecond {
+		t.Fatalf("merged max: want 1ms, got %v", a.Max())
+	}
+	if p99 := a.Quantile(0.99); p99 < 100*time.Microsecond {
+		t.Fatalf("p99 must reflect the slow half, got %v", p99)
+	}
+}
+
+func TestHistogramExtremes(t *testing.T) {
+	var h Histogram
+	h.Observe(0)                // clamps to 1ns
+	h.Observe(20 * time.Minute) // clamps to the last bucket
+	if h.Count() != 2 {
+		t.Fatal("both samples must register")
+	}
+	if h.Quantile(0.01) > time.Microsecond {
+		t.Error("low quantile should land in the first buckets")
+	}
+}
+
+func TestMeter(t *testing.T) {
+	m := NewMeter()
+	m.Add(500)
+	m.Add(500)
+	if m.Count() != 1000 {
+		t.Fatalf("count: want 1000, got %d", m.Count())
+	}
+	if m.Rate() <= 0 {
+		t.Error("rate must be positive")
+	}
+}

@@ -1,0 +1,73 @@
+package wal
+
+import (
+	"testing"
+
+	"timingsubg/internal/graph"
+)
+
+// BenchmarkAppend measures the no-fsync append path — the per-edge
+// durability overhead a PersistentSearcher adds in its default
+// configuration.
+func BenchmarkAppend(b *testing.B) {
+	l, err := Open(b.TempDir(), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	e := graph.Edge{From: 12345, To: 67890, FromLabel: 3, ToLabel: 7, EdgeLabel: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Time = graph.Timestamp(i + 1)
+		if _, err := l.Append(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAppendSynced measures per-record fsync durability (the
+// SyncEvery=1 configuration) for contrast.
+func BenchmarkAppendSynced(b *testing.B) {
+	l, err := Open(b.TempDir(), Options{SyncEvery: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	e := graph.Edge{From: 12345, To: 67890, FromLabel: 3, ToLabel: 7, EdgeLabel: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Time = graph.Timestamp(i + 1)
+		if _, err := l.Append(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReplay measures recovery replay speed over a 100k-record log.
+func BenchmarkReplay(b *testing.B) {
+	dir := b.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := graph.Edge{From: 1, To: 2, FromLabel: 3, ToLabel: 4}
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		e.Time = graph.Timestamp(i + 1)
+		if _, err := l.Append(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+	l.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cnt := 0
+		if _, err := Replay(dir, 0, func(int64, graph.Edge) error { cnt++; return nil }); err != nil {
+			b.Fatal(err)
+		}
+		if cnt != n {
+			b.Fatalf("replayed %d, want %d", cnt, n)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package wal
+
+import (
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"timingsubg/internal/graph"
+)
+
+// FuzzReplaySegment writes arbitrary bytes as a segment file and checks
+// that Replay either errors cleanly or yields decodable records — never
+// panics — and that any records it does yield survive a re-encode.
+func FuzzReplaySegment(f *testing.F) {
+	// Seed with a valid 3-record segment.
+	seed := []byte(magic)
+	for i := int64(0); i < 3; i++ {
+		payload := appendEdge(nil, testEdge(i))
+		seed = appendUvarint(seed, uint64(len(payload)))
+		seed = append(seed, payload...)
+		seed = appendCRC(seed, payload)
+	}
+	f.Add(seed)
+	f.Add([]byte(magic))
+	f.Add([]byte("garbage"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, segName(0)), data, 0o644); err != nil {
+			t.Skip()
+		}
+		_, _ = Replay(dir, 0, func(seq int64, e graph.Edge) error {
+			// The codec excludes the ID (replay assigns it), so compare
+			// the ID-less projection.
+			e.ID = 0
+			if got, err := decodeEdge(appendEdge(nil, e)); err != nil || got != e {
+				t.Fatalf("yielded edge does not round-trip: %+v", e)
+			}
+			return nil
+		})
+	})
+}
+
+func appendUvarint(b []byte, v uint64) []byte {
+	for v >= 0x80 {
+		b = append(b, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(b, byte(v))
+}
+
+func appendCRC(b, payload []byte) []byte {
+	crc := crc32.Checksum(payload, crcTable)
+	return append(b, byte(crc), byte(crc>>8), byte(crc>>16), byte(crc>>24))
+}

@@ -1,0 +1,464 @@
+// Package wal implements a segmented, checksummed write-ahead log of
+// streaming-graph edges. It is the durability substrate for the
+// PersistentSearcher: every edge is appended (and optionally fsynced)
+// before it reaches the matching engine, so that after a crash the
+// engine's state — which is a pure function of the in-window edge
+// suffix — can be rebuilt by replay.
+//
+// # Format
+//
+// A log is a directory of segment files named wal-<firstseq>.seg, where
+// <firstseq> is the zero-padded sequence number of the segment's first
+// record. Each segment starts with an 8-byte magic ("TSWAL001") followed
+// by records:
+//
+//	record := uvarint(len(payload)) payload crc32c(payload)
+//	payload := varint fields of the edge (From, To, FromLabel, ToLabel,
+//	           EdgeLabel, Time)
+//
+// The CRC lets the reader detect a torn tail (a record cut short by a
+// crash) and stop cleanly at the last intact record instead of
+// propagating garbage, which is the standard recovery contract of
+// database logs.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"timingsubg/internal/graph"
+)
+
+const (
+	magic       = "TSWAL001"
+	segPrefix   = "wal-"
+	segSuffix   = ".seg"
+	maxRecBytes = 1 << 20 // sanity bound on a single record
+)
+
+// ErrCorrupt reports a record whose checksum or framing is invalid in a
+// position other than the log tail (tail corruption is silently
+// truncated, interior corruption is an error).
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Options tunes a Log.
+type Options struct {
+	// SegmentBytes rotates to a new segment file once the current one
+	// exceeds this size. Zero means 4 MiB.
+	SegmentBytes int64
+	// SyncEvery fsyncs after every n appends. Zero disables fsync (the
+	// OS page cache still persists on clean shutdown); 1 gives
+	// per-record durability.
+	SyncEvery int
+}
+
+func (o *Options) norm() {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	if o.SyncEvery < 0 {
+		o.SyncEvery = 0
+	}
+}
+
+// Log is an append-only edge log. It is not safe for concurrent use; the
+// PersistentSearcher serializes access, matching the paper's
+// single-main-thread dispatch model.
+type Log struct {
+	dir     string
+	opts    Options
+	f       *os.File
+	fileLen int64
+	seq     int64 // next sequence number to be assigned
+	first   int64 // first sequence number of the open segment
+	pending int   // appends since last fsync
+	buf     []byte
+	closed  bool
+}
+
+// Open opens (or creates) the log directory for appending. Existing
+// segments are scanned; a torn tail record in the newest segment is
+// truncated away. The returned log continues at the next sequence
+// number.
+func Open(dir string, opts Options) (*Log, error) {
+	opts.norm()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: open %s: %w", dir, err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{dir: dir, opts: opts}
+	if len(segs) == 0 {
+		if err := l.rotate(0); err != nil {
+			return nil, err
+		}
+		return l, nil
+	}
+	// Verify the newest segment and truncate any torn tail, counting
+	// intact records to find the next sequence number.
+	last := segs[len(segs)-1]
+	n, end, err := scanSegment(filepath.Join(dir, last.name))
+	if err != nil {
+		return nil, err
+	}
+	path := filepath.Join(dir, last.name)
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, fmt.Errorf("wal: reopen %s: %w", path, err)
+	}
+	if err := f.Truncate(end); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: truncate torn tail of %s: %w", path, err)
+	}
+	if _, err := f.Seek(end, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: seek %s: %w", path, err)
+	}
+	l.f, l.fileLen, l.first = f, end, last.firstSeq
+	l.seq = last.firstSeq + n
+	return l, nil
+}
+
+// Seq returns the sequence number the next appended record will get,
+// which equals the number of records ever appended.
+func (l *Log) Seq() int64 { return l.seq }
+
+// Dir returns the log directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Append logs one edge and returns its sequence number.
+func (l *Log) Append(e graph.Edge) (int64, error) {
+	if l.closed {
+		return 0, errors.New("wal: append to closed log")
+	}
+	// Rotate when the segment is full, but never into an empty segment
+	// of the same first sequence (that would collide with the open
+	// file's name).
+	if l.fileLen >= l.opts.SegmentBytes && l.seq > l.first {
+		if err := l.rotate(l.seq); err != nil {
+			return 0, err
+		}
+	}
+	l.buf = l.buf[:0]
+	payload := appendEdge(nil, e)
+	l.buf = binary.AppendUvarint(l.buf, uint64(len(payload)))
+	l.buf = append(l.buf, payload...)
+	l.buf = binary.LittleEndian.AppendUint32(l.buf, crc32.Checksum(payload, crcTable))
+	if _, err := l.f.Write(l.buf); err != nil {
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	l.fileLen += int64(len(l.buf))
+	seq := l.seq
+	l.seq++
+	l.pending++
+	if l.opts.SyncEvery > 0 && l.pending >= l.opts.SyncEvery {
+		if err := l.Sync(); err != nil {
+			return 0, err
+		}
+	}
+	return seq, nil
+}
+
+// SkipTo advances the log's sequence counter to seq, starting a fresh
+// segment there. It is used when a checkpoint is newer than the log
+// tail (possible when fsync is disabled and the tail was lost in a
+// crash): the checkpoint already covers the lost records, and appends
+// must continue at the checkpoint's cursor so edge IDs stay aligned.
+// SkipTo is a no-op when the log is already at or past seq.
+func (l *Log) SkipTo(seq int64) error {
+	if seq <= l.seq {
+		return nil
+	}
+	if err := l.rotate(seq); err != nil {
+		return err
+	}
+	l.seq = seq
+	return l.TruncateFront(seq)
+}
+
+// Sync flushes the current segment to stable storage.
+func (l *Log) Sync() error {
+	l.pending = 0
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	return nil
+}
+
+// Close flushes and closes the log.
+func (l *Log) Close() error {
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if err := l.f.Sync(); err != nil {
+		l.f.Close()
+		return fmt.Errorf("wal: close: %w", err)
+	}
+	return l.f.Close()
+}
+
+// TruncateFront removes whole segments all of whose records have
+// sequence number < keep. Records >= keep are never removed; the cut is
+// conservative (segment granularity), which is all checkpoint GC needs.
+func (l *Log) TruncateFront(keep int64) error {
+	segs, err := listSegments(l.dir)
+	if err != nil {
+		return err
+	}
+	for i, s := range segs {
+		// A segment is removable when the next segment starts at or
+		// below keep (so every record here is < keep). The open segment
+		// is never removed.
+		if i+1 >= len(segs) || segs[i+1].firstSeq > keep {
+			break
+		}
+		if s.firstSeq == l.first {
+			break
+		}
+		if err := os.Remove(filepath.Join(l.dir, s.name)); err != nil {
+			return fmt.Errorf("wal: truncate front: %w", err)
+		}
+	}
+	return nil
+}
+
+func (l *Log) rotate(firstSeq int64) error {
+	if l.f != nil {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: rotate sync: %w", err)
+		}
+		if err := l.f.Close(); err != nil {
+			return fmt.Errorf("wal: rotate close: %w", err)
+		}
+	}
+	name := segName(firstSeq)
+	f, err := os.OpenFile(filepath.Join(l.dir, name), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: rotate: %w", err)
+	}
+	if _, err := f.WriteString(magic); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: rotate header: %w", err)
+	}
+	l.f, l.fileLen, l.first = f, int64(len(magic)), firstSeq
+	return nil
+}
+
+func segName(firstSeq int64) string {
+	return fmt.Sprintf("%s%016d%s", segPrefix, firstSeq, segSuffix)
+}
+
+type segInfo struct {
+	name     string
+	firstSeq int64
+}
+
+func listSegments(dir string) ([]segInfo, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: list %s: %w", dir, err)
+	}
+	var segs []segInfo
+	for _, ent := range entries {
+		name := ent.Name()
+		if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		numStr := strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix)
+		n, err := strconv.ParseInt(numStr, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("wal: bad segment name %q: %w", name, err)
+		}
+		segs = append(segs, segInfo{name: name, firstSeq: n})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].firstSeq < segs[j].firstSeq })
+	return segs, nil
+}
+
+// scanSegment counts intact records in a segment and returns the count
+// and the byte offset just past the last intact record (where a torn
+// tail, if any, begins).
+func scanSegment(path string) (n int64, end int64, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, 0, fmt.Errorf("wal: scan %s: %w", path, err)
+	}
+	if len(data) < len(magic) || string(data[:len(magic)]) != magic {
+		return 0, 0, fmt.Errorf("%w: %s: bad segment header", ErrCorrupt, path)
+	}
+	off := int64(len(magic))
+	for {
+		rec, next, ok := nextRecord(data, off)
+		if !ok {
+			return n, off, nil
+		}
+		_ = rec
+		off = next
+		n++
+	}
+}
+
+// nextRecord decodes the record framing at data[off:]. ok is false when
+// the bytes from off do not form a complete, checksummed record — the
+// caller treats that as the (possibly torn) end of the segment.
+func nextRecord(data []byte, off int64) (payload []byte, next int64, ok bool) {
+	rest := data[off:]
+	sz, n := binary.Uvarint(rest)
+	if n <= 0 || sz > maxRecBytes {
+		return nil, 0, false
+	}
+	body := rest[n:]
+	if uint64(len(body)) < sz+4 {
+		return nil, 0, false
+	}
+	payload = body[:sz]
+	crc := binary.LittleEndian.Uint32(body[sz : sz+4])
+	if crc32.Checksum(payload, crcTable) != crc {
+		return nil, 0, false
+	}
+	return payload, off + int64(n) + int64(sz) + 4, true
+}
+
+// appendEdge encodes the replayable fields of an edge. The edge ID is
+// deliberately excluded: IDs are assigned deterministically by the
+// stream in arrival order, so replay regenerates them.
+func appendEdge(b []byte, e graph.Edge) []byte {
+	b = binary.AppendVarint(b, int64(e.From))
+	b = binary.AppendVarint(b, int64(e.To))
+	b = binary.AppendVarint(b, int64(e.FromLabel))
+	b = binary.AppendVarint(b, int64(e.ToLabel))
+	b = binary.AppendVarint(b, int64(e.EdgeLabel))
+	b = binary.AppendVarint(b, int64(e.Time))
+	return b
+}
+
+func decodeEdge(payload []byte) (graph.Edge, error) {
+	var e graph.Edge
+	rd := payload
+	get := func() (int64, error) {
+		v, n := binary.Varint(rd)
+		if n <= 0 {
+			return 0, fmt.Errorf("%w: short edge payload", ErrCorrupt)
+		}
+		rd = rd[n:]
+		return v, nil
+	}
+	var err error
+	var v int64
+	if v, err = get(); err != nil {
+		return e, err
+	}
+	e.From = graph.VertexID(v)
+	if v, err = get(); err != nil {
+		return e, err
+	}
+	e.To = graph.VertexID(v)
+	if v, err = get(); err != nil {
+		return e, err
+	}
+	e.FromLabel = graph.Label(v)
+	if v, err = get(); err != nil {
+		return e, err
+	}
+	e.ToLabel = graph.Label(v)
+	if v, err = get(); err != nil {
+		return e, err
+	}
+	e.EdgeLabel = graph.Label(v)
+	if v, err = get(); err != nil {
+		return e, err
+	}
+	e.Time = graph.Timestamp(v)
+	if len(rd) != 0 {
+		return e, fmt.Errorf("%w: trailing bytes in edge payload", ErrCorrupt)
+	}
+	return e, nil
+}
+
+// FirstSeq returns the sequence number of the oldest record still
+// retained in dir (0 for an empty or missing log). Front truncation
+// advances it; consumers joining an existing log start here.
+func FirstSeq(dir string) (int64, error) {
+	segs, err := listSegments(dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	if len(segs) == 0 {
+		return 0, nil
+	}
+	return segs[0].firstSeq, nil
+}
+
+// Replay streams records with sequence number >= from, in order, to fn.
+// It returns the next sequence number after the last delivered record
+// (i.e. the log's logical length). A torn tail in the newest segment
+// ends replay cleanly; interior corruption returns ErrCorrupt. fn may
+// stop replay early by returning an error, which Replay propagates.
+func Replay(dir string, from int64, fn func(seq int64, e graph.Edge) error) (int64, error) {
+	segs, err := listSegments(dir)
+	if err != nil {
+		return 0, err
+	}
+	seq := int64(0)
+	if len(segs) > 0 {
+		seq = segs[0].firstSeq
+	}
+	if from > seq {
+		// Skip whole segments below from.
+		for len(segs) > 1 && segs[1].firstSeq <= from {
+			segs = segs[1:]
+		}
+		seq = segs[0].firstSeq
+	}
+	for si, s := range segs {
+		data, err := os.ReadFile(filepath.Join(dir, s.name))
+		if err != nil {
+			return seq, fmt.Errorf("wal: replay: %w", err)
+		}
+		if len(data) < len(magic) || string(data[:len(magic)]) != magic {
+			return seq, fmt.Errorf("%w: %s: bad segment header", ErrCorrupt, s.name)
+		}
+		if seq != s.firstSeq {
+			return seq, fmt.Errorf("%w: segment %s starts at %d, want %d (gap)", ErrCorrupt, s.name, s.firstSeq, seq)
+		}
+		off := int64(len(magic))
+		for {
+			payload, next, ok := nextRecord(data, off)
+			if !ok {
+				if off != int64(len(data)) && si != len(segs)-1 {
+					return seq, fmt.Errorf("%w: %s at offset %d", ErrCorrupt, s.name, off)
+				}
+				break
+			}
+			if seq >= from {
+				e, err := decodeEdge(payload)
+				if err != nil {
+					return seq, fmt.Errorf("%s seq %d: %w", s.name, seq, err)
+				}
+				e.ID = graph.EdgeID(seq)
+				if err := fn(seq, e); err != nil {
+					return seq, err
+				}
+			}
+			seq++
+			off = next
+		}
+	}
+	return seq, nil
+}

@@ -1,0 +1,116 @@
+package timingsubg
+
+import (
+	"net/http"
+
+	"timingsubg/internal/monitor"
+)
+
+// MetricsRegistry collects named live metrics and serves them over
+// HTTP as JSON. See NewMetricsRegistry.
+type MetricsRegistry = monitor.Registry
+
+// NewMetricsRegistry returns an empty metrics registry. Register
+// searchers into it and mount its Handler:
+//
+//	reg := timingsubg.NewMetricsRegistry()
+//	s.RegisterMetrics(reg, "cc_attack")
+//	http.Handle("/metrics", reg.Handler())
+//
+// GET /metrics returns every metric; GET /metrics?metric=<name> one.
+func NewMetricsRegistry() *MetricsRegistry { return monitor.NewRegistry() }
+
+// MetricsHandler is a convenience for a registry-backed http.Handler.
+func MetricsHandler(r *MetricsRegistry) http.Handler { return r.Handler() }
+
+// RegisterMetrics registers this searcher's live counters under
+// prefix.<metric>. Counter reads are atomic, so sampling is safe while
+// edges are being fed (concurrent mode included).
+func (s *Searcher) RegisterMetrics(r *MetricsRegistry, prefix string) error {
+	metrics := map[string]func() any{
+		"matches":         func() any { return s.MatchCount() },
+		"discarded":       func() any { return s.Discarded() },
+		"partial_matches": func() any { return s.PartialMatches() },
+		"space_bytes":     func() any { return s.SpaceBytes() },
+		"window_edges":    func() any { return s.InWindow() },
+		"decomposition_k": func() any { return s.K() },
+	}
+	for name, fn := range metrics {
+		if err := r.Register(prefix+"."+name, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RegisterMetrics registers per-query counters for every query in the
+// fleet (prefix.<query-name>.<metric>) plus fleet-level aggregates.
+func (ms *MultiSearcher) RegisterMetrics(r *MetricsRegistry, prefix string) error {
+	for i, s := range ms.searchers {
+		if err := s.RegisterMetrics(r, prefix+"."+ms.names[i]); err != nil {
+			return err
+		}
+	}
+	if err := r.Register(prefix+".space_bytes_total", func() any { return ms.SpaceBytes() }); err != nil {
+		return err
+	}
+	return r.Register(prefix+".routed_fraction", func() any { return ms.RoutedFraction() })
+}
+
+// RegisterMetrics registers the durable searcher's counters, including
+// recovery and checkpoint state.
+func (ps *PersistentSearcher) RegisterMetrics(r *MetricsRegistry, prefix string) error {
+	metrics := map[string]func() any{
+		"matches":         func() any { return ps.MatchCount() },
+		"discarded":       func() any { return ps.Discarded() },
+		"partial_matches": func() any { return ps.PartialMatches() },
+		"space_bytes":     func() any { return ps.SpaceBytes() },
+		"window_edges":    func() any { return ps.InWindow() },
+		"wal_seq":         func() any { return ps.log.Seq() },
+		"replayed":        func() any { return ps.Replayed() },
+	}
+	for name, fn := range metrics {
+		if err := r.Register(prefix+"."+name, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RegisterMetrics registers the durable fleet's counters: per-query
+// match totals plus the shared WAL cursor and replay count.
+func (pm *PersistentMultiSearcher) RegisterMetrics(r *MetricsRegistry, prefix string) error {
+	for i := range pm.searchers {
+		i := i
+		if err := r.Register(prefix+"."+pm.names[i]+".matches", func() any { return pm.matchCount(i) }); err != nil {
+			return err
+		}
+	}
+	if err := r.Register(prefix+".wal_seq", func() any { return pm.WALSeq() }); err != nil {
+		return err
+	}
+	if err := r.Register(prefix+".replayed", func() any { return pm.Replayed() }); err != nil {
+		return err
+	}
+	return r.Register(prefix+".space_bytes_total", func() any { return pm.SpaceBytes() })
+}
+
+// RegisterMetrics registers the adaptive searcher's counters, including
+// the reoptimization count.
+func (a *AdaptiveSearcher) RegisterMetrics(r *MetricsRegistry, prefix string) error {
+	metrics := map[string]func() any{
+		"matches":         func() any { return a.MatchCount() },
+		"discarded":       func() any { return a.Discarded() },
+		"partial_matches": func() any { return a.PartialMatches() },
+		"space_bytes":     func() any { return a.SpaceBytes() },
+		"window_edges":    func() any { return a.InWindow() },
+		"decomposition_k": func() any { return a.K() },
+		"reoptimizations": func() any { return a.Reoptimizations() },
+	}
+	for name, fn := range metrics {
+		if err := r.Register(prefix+"."+name, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,167 @@
+package timingsubg
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func fetchMetrics(t *testing.T, reg *MetricsRegistry) map[string]any {
+	t.Helper()
+	srv := httptest.NewServer(MetricsHandler(reg))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestSearcherMetrics(t *testing.T) {
+	labels := NewLabels()
+	q := persistTestQuery(t, labels)
+	s, err := NewSearcher(q, Options{Window: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewMetricsRegistry()
+	if err := s.RegisterMetrics(reg, "q"); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range persistTestStream(labels, 200, 31) {
+		if _, err := s.Feed(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	got := fetchMetrics(t, reg)
+	if got["q.matches"] == nil || got["q.window_edges"] == nil {
+		t.Fatalf("missing metrics: %v", got)
+	}
+	if got["q.matches"].(float64) != float64(s.MatchCount()) {
+		t.Fatalf("matches metric %v != %d", got["q.matches"], s.MatchCount())
+	}
+	if got["q.decomposition_k"].(float64) < 1 {
+		t.Fatalf("bad k: %v", got["q.decomposition_k"])
+	}
+}
+
+func TestMultiSearcherMetrics(t *testing.T) {
+	labels := NewLabels()
+	specs := []QuerySpec{
+		{Name: "chain", Query: persistTestQuery(t, labels), Options: Options{Window: 40}},
+	}
+	ms, err := NewRoutedMultiSearcher(specs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewMetricsRegistry()
+	if err := ms.RegisterMetrics(reg, "fleet"); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range persistTestStream(labels, 100, 32) {
+		if err := ms.Feed(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ms.Close()
+	got := fetchMetrics(t, reg)
+	if got["fleet.chain.matches"] == nil {
+		t.Fatalf("missing per-query metric: %v", got)
+	}
+	if got["fleet.routed_fraction"] == nil {
+		t.Fatalf("missing fleet metric: %v", got)
+	}
+}
+
+func TestPersistentSearcherMetrics(t *testing.T) {
+	labels := NewLabels()
+	q := persistTestQuery(t, labels)
+	ps, err := OpenPersistent(q, PersistentOptions{Options: Options{Window: 40}, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewMetricsRegistry()
+	if err := ps.RegisterMetrics(reg, "durable"); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range persistTestStream(labels, 50, 33) {
+		if _, err := ps.Feed(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := fetchMetrics(t, reg)
+	if got["durable.wal_seq"].(float64) != 50 {
+		t.Fatalf("wal_seq = %v, want 50", got["durable.wal_seq"])
+	}
+	if err := ps.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdaptiveSearcherMetrics(t *testing.T) {
+	q := starQuery(t)
+	a, err := NewAdaptiveSearcher(q, AdaptiveOptions{Options: Options{Window: 100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewMetricsRegistry()
+	if err := a.RegisterMetrics(reg, "adaptive"); err != nil {
+		t.Fatal(err)
+	}
+	got := fetchMetrics(t, reg)
+	if got["adaptive.reoptimizations"].(float64) != 0 {
+		t.Fatalf("reoptimizations = %v", got["adaptive.reoptimizations"])
+	}
+}
+
+func TestDuplicatePrefixRejected(t *testing.T) {
+	labels := NewLabels()
+	q := persistTestQuery(t, labels)
+	s, err := NewSearcher(q, Options{Window: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewMetricsRegistry()
+	if err := s.RegisterMetrics(reg, "q"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RegisterMetrics(reg, "q"); err == nil {
+		t.Fatal("duplicate prefix accepted")
+	}
+}
+
+func TestPersistentMultiMetrics(t *testing.T) {
+	labels := NewLabels()
+	specs := fleetSpecs(t, labels, 40)
+	pm, err := OpenPersistentMulti(specs, PersistentMultiOptions{Dir: t.TempDir()}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewMetricsRegistry()
+	if err := pm.RegisterMetrics(reg, "fleet"); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range persistTestStream(labels, 80, 81) {
+		if err := pm.Feed(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := fetchMetrics(t, reg)
+	if got["fleet.wal_seq"].(float64) != 80 {
+		t.Fatalf("wal_seq = %v, want 80", got["fleet.wal_seq"])
+	}
+	if got["fleet.chain3.matches"] == nil {
+		t.Fatalf("missing per-query metric: %v", got)
+	}
+	if err := pm.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,151 @@
+package timingsubg
+
+import (
+	"fmt"
+
+	"timingsubg/internal/router"
+)
+
+// MultiSearcher runs several continuous queries over one shared stream —
+// the deployment shape of the paper's motivating scenarios, where all
+// of, e.g., Verizon's ten attack patterns are monitored at once. Each
+// query keeps its own engine and window state; an edge is fed once and
+// fanned out to every query.
+type MultiSearcher struct {
+	searchers []*Searcher
+	names     []string
+	route     *router.Router
+	routed    int64 // engine feeds actually performed (routed mode)
+	fed       int64 // edges offered
+}
+
+// QuerySpec names a query for multi-query monitoring.
+type QuerySpec struct {
+	// Name tags matches in the callback.
+	Name string
+	// Query is the pattern to monitor.
+	Query *Query
+	// Options configures this query's engine. The OnMatch field is
+	// ignored; use NewMultiSearcher's callback instead.
+	Options Options
+}
+
+// NewMultiSearcher builds a fan-out searcher. onMatch receives the query
+// name along with each match; it is serialized per query engine.
+func NewMultiSearcher(specs []QuerySpec, onMatch func(name string, m *Match)) (*MultiSearcher, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("timingsubg: no queries: %w", ErrBadOptions)
+	}
+	ms := &MultiSearcher{}
+	for _, spec := range specs {
+		spec := spec
+		opts := spec.Options
+		if onMatch != nil {
+			opts.OnMatch = func(m *Match) { onMatch(spec.Name, m) }
+		} else {
+			opts.OnMatch = nil
+		}
+		s, err := NewSearcher(spec.Query, opts)
+		if err != nil {
+			return nil, fmt.Errorf("timingsubg: query %q: %w", spec.Name, err)
+		}
+		ms.searchers = append(ms.searchers, s)
+		ms.names = append(ms.names, spec.Name)
+	}
+	return ms, nil
+}
+
+// NewRoutedMultiSearcher is NewMultiSearcher with label-based routing:
+// each edge is dispatched only to the queries that have a query edge
+// with a compatible ⟨from-label, to-label, edge-label⟩ signature, so
+// per-edge cost is proportional to the number of *interested* queries
+// rather than the fleet size.
+//
+// Semantics are identical to the unrouted fan-out: an engine that is
+// skipped for an edge could neither extend nor start any partial match
+// with it, and its window catches up (expiring old edges) on its next
+// interesting edge. The only observable difference is that edge IDs are
+// per-engine arrival indices, so the same data edge may carry different
+// IDs in matches of different queries.
+//
+// Routing requires time-based windows: a count window is defined over
+// the edges *fed* to the engine, so skipping uninterested edges would
+// silently widen each query's horizon to its last N relevant edges.
+// Count-window specs are rejected.
+func NewRoutedMultiSearcher(specs []QuerySpec, onMatch func(name string, m *Match)) (*MultiSearcher, error) {
+	for _, spec := range specs {
+		if spec.Options.CountWindow > 0 {
+			return nil, fmt.Errorf("timingsubg: query %q: routing requires time-based windows (count windows measure fed edges): %w",
+				spec.Name, ErrBadOptions)
+		}
+	}
+	ms, err := NewMultiSearcher(specs, onMatch)
+	if err != nil {
+		return nil, err
+	}
+	ms.route = router.New()
+	for i, spec := range specs {
+		ms.route.Add(i, spec.Query)
+	}
+	return ms, nil
+}
+
+// Feed pushes one edge to every query (or, in routed mode, to every
+// interested query).
+func (ms *MultiSearcher) Feed(e Edge) error {
+	ms.fed++
+	if ms.route != nil {
+		var ferr error
+		ms.route.Route(e, func(i int) {
+			if ferr != nil {
+				return
+			}
+			ms.routed++
+			if _, err := ms.searchers[i].Feed(e); err != nil {
+				ferr = fmt.Errorf("timingsubg: query %q: %w", ms.names[i], err)
+			}
+		})
+		return ferr
+	}
+	for i, s := range ms.searchers {
+		if _, err := s.Feed(e); err != nil {
+			return fmt.Errorf("timingsubg: query %q: %w", ms.names[i], err)
+		}
+	}
+	return nil
+}
+
+// RoutedFraction reports, in routed mode, the ratio of engine feeds
+// performed to (edges offered × fleet size) — the dispatch work saved
+// by routing. It returns 1 in unrouted mode.
+func (ms *MultiSearcher) RoutedFraction() float64 {
+	if ms.route == nil || ms.fed == 0 {
+		return 1
+	}
+	return float64(ms.routed) / float64(ms.fed*int64(len(ms.searchers)))
+}
+
+// Close drains all engines.
+func (ms *MultiSearcher) Close() {
+	for _, s := range ms.searchers {
+		s.Close()
+	}
+}
+
+// MatchCounts returns per-query match counts, keyed by query name.
+func (ms *MultiSearcher) MatchCounts() map[string]int64 {
+	out := make(map[string]int64, len(ms.searchers))
+	for i, s := range ms.searchers {
+		out[ms.names[i]] += s.MatchCount()
+	}
+	return out
+}
+
+// SpaceBytes sums the space of all engines.
+func (ms *MultiSearcher) SpaceBytes() int64 {
+	var b int64
+	for _, s := range ms.searchers {
+		b += s.SpaceBytes()
+	}
+	return b
+}

@@ -1,0 +1,276 @@
+package timingsubg
+
+import (
+	"errors"
+	"fmt"
+
+	"timingsubg/internal/checkpoint"
+	"timingsubg/internal/core"
+	"timingsubg/internal/graph"
+	"timingsubg/internal/wal"
+)
+
+// PersistentOptions configures a PersistentSearcher.
+type PersistentOptions struct {
+	// Options configures the wrapped searcher. Workers must be <= 1:
+	// durability requires the engine state at a checkpoint to be exactly
+	// the state after a prefix of the edge sequence, which concurrent
+	// in-flight transactions would blur.
+	Options
+	// Dir is the durability directory (WAL segments + checkpoints).
+	Dir string
+	// CheckpointEvery writes a checkpoint after every n fed edges.
+	// Zero means 4096. Checkpoints bound recovery replay length and
+	// let old WAL segments be reclaimed.
+	CheckpointEvery int
+	// SyncEvery fsyncs the WAL after every n appends; zero disables
+	// fsync (see wal.Options). With fsync disabled a crash may lose the
+	// most recent edges; recovery is still consistent, just shorter.
+	SyncEvery int
+	// SegmentBytes sets the WAL segment rotation size (default 4 MiB).
+	SegmentBytes int64
+}
+
+// PersistentSearcher is a Searcher with write-ahead logging and
+// checkpoint-based crash recovery. Every fed edge is logged before it
+// is matched; OpenPersistent rebuilds the exact engine state after a
+// crash or restart and resumes.
+//
+// Delivery contract: matches wholly contained in a checkpoint are never
+// re-reported on recovery; matches completed by edges after the last
+// checkpoint may be reported again (at-least-once). Deduplicate
+// downstream with the match's edge-ID tuple if exactly-once delivery
+// matters.
+type PersistentSearcher struct {
+	s      *Searcher
+	log    *wal.Log
+	dir    string
+	every  int
+	window Timestamp
+
+	// counter baselines translate engine counters (which restart from
+	// zero on recovery) into durable totals.
+	baseMatches   int64
+	baseDiscarded int64
+	engMatches0   int64
+	engDiscarded0 int64
+
+	recovering bool
+	replayed   int64
+	sinceCkpt  int
+	closed     bool
+}
+
+// OpenPersistent opens (or creates) a durable searcher in opts.Dir.
+// If the directory holds a previous run's WAL and checkpoints, the
+// engine state is recovered: the newest checkpoint's window is
+// rebuilt silently, then the WAL suffix is replayed live (reporting
+// matches to OnMatch).
+func OpenPersistent(q *Query, opts PersistentOptions) (*PersistentSearcher, error) {
+	if opts.Workers > 1 {
+		return nil, errors.Join(ErrBadOptions, errors.New("persistent mode requires Workers <= 1"))
+	}
+	if opts.Dir == "" {
+		return nil, errors.Join(ErrBadOptions, errors.New("persistent mode requires Dir"))
+	}
+	if opts.Window <= 0 {
+		return nil, errors.Join(ErrBadOptions, errors.New("window must be positive"))
+	}
+	if opts.CountWindow > 0 {
+		return nil, errors.Join(ErrBadOptions, errors.New("persistent mode supports time-based windows only"))
+	}
+	if opts.CheckpointEvery <= 0 {
+		opts.CheckpointEvery = 4096
+	}
+
+	log, err := wal.Open(opts.Dir, wal.Options{
+		SegmentBytes: opts.SegmentBytes,
+		SyncEvery:    opts.SyncEvery,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ck, haveCk, err := checkpoint.Load(opts.Dir)
+	if err != nil {
+		log.Close()
+		return nil, err
+	}
+	if haveCk && ck.Window != opts.Window {
+		log.Close()
+		return nil, fmt.Errorf("timingsubg: checkpoint window %d != configured window %d: %w",
+			ck.Window, opts.Window, ErrBadOptions)
+	}
+
+	ps := &PersistentSearcher{log: log, dir: opts.Dir, every: opts.CheckpointEvery, window: opts.Window}
+
+	// The user's callback is suppressed while rebuilding checkpointed
+	// state: those matches were durably reported before the checkpoint.
+	userOnMatch := opts.OnMatch
+	inner := opts.Options
+	if userOnMatch != nil {
+		inner.OnMatch = func(m *Match) {
+			if !ps.recovering {
+				userOnMatch(m)
+			}
+		}
+	}
+
+	eng := core.New(q, core.Config{
+		Storage:       inner.Storage,
+		Decomposition: inner.Decomposition,
+		OnMatch:       inner.OnMatch,
+	})
+	var stream *graph.Stream
+	if haveCk {
+		stream = graph.RestoreStream(opts.Window, ck.Edges, graph.EdgeID(ck.NextSeq))
+		ps.baseMatches = ck.Matches
+		ps.baseDiscarded = ck.Discarded
+	} else {
+		stream = graph.NewStream(opts.Window)
+	}
+	ps.s = &Searcher{stream: stream, eng: eng}
+
+	if haveCk {
+		// Rebuild derived engine state from the checkpointed window,
+		// silently: re-insert each in-window edge without expiry (the
+		// checkpoint holds only live edges).
+		ps.recovering = true
+		for _, e := range ck.Edges {
+			eng.Process(e, nil)
+		}
+		ps.recovering = false
+		ps.engMatches0 = eng.Stats().Matches.Load()
+		ps.engDiscarded0 = eng.Stats().Discarded.Load()
+		// If fsync was off and the WAL tail was lost in the crash, the
+		// checkpoint may be ahead of the log; fast-forward the log so
+		// future sequence numbers continue at the checkpoint cursor.
+		if err := log.SkipTo(ck.NextSeq); err != nil {
+			log.Close()
+			return nil, err
+		}
+	}
+
+	// Replay the WAL suffix after the checkpoint, live.
+	from := int64(0)
+	if haveCk {
+		from = ck.NextSeq
+	}
+	end, err := wal.Replay(opts.Dir, from, func(seq int64, e graph.Edge) error {
+		id, err := ps.s.Feed(graph.Edge{
+			From: e.From, To: e.To,
+			FromLabel: e.FromLabel, ToLabel: e.ToLabel, EdgeLabel: e.EdgeLabel,
+			Time: e.Time,
+		})
+		if err != nil {
+			return err
+		}
+		if int64(id) != seq {
+			return fmt.Errorf("timingsubg: recovery drift: edge seq %d got ID %d", seq, id)
+		}
+		ps.replayed++
+		return nil
+	})
+	if err != nil {
+		log.Close()
+		return nil, fmt.Errorf("timingsubg: recovery replay: %w", err)
+	}
+	if end != log.Seq() {
+		log.Close()
+		return nil, fmt.Errorf("timingsubg: recovery replay ended at %d, log at %d", end, log.Seq())
+	}
+	return ps, nil
+}
+
+// Feed durably logs one edge and then matches it. The returned ID
+// equals the edge's WAL sequence number.
+func (ps *PersistentSearcher) Feed(e Edge) (EdgeID, error) {
+	if ps.closed {
+		return 0, errors.New("timingsubg: feed to closed persistent searcher")
+	}
+	if _, err := ps.log.Append(e); err != nil {
+		return 0, err
+	}
+	id, err := ps.s.Feed(e)
+	if err != nil {
+		return 0, err
+	}
+	ps.sinceCkpt++
+	if ps.sinceCkpt >= ps.every {
+		if err := ps.Checkpoint(); err != nil {
+			return id, err
+		}
+	}
+	return id, nil
+}
+
+// Checkpoint forces a checkpoint now: the WAL is synced, the in-window
+// state and counters are written atomically, old checkpoints and WAL
+// segments are reclaimed.
+func (ps *PersistentSearcher) Checkpoint() error {
+	ps.sinceCkpt = 0
+	if err := ps.log.Sync(); err != nil {
+		return err
+	}
+	ck := checkpoint.Checkpoint{
+		NextSeq:   ps.log.Seq(),
+		Window:    ps.window,
+		Matches:   ps.MatchCount(),
+		Discarded: ps.Discarded(),
+		Edges:     ps.s.stream.InWindow(),
+	}
+	if err := checkpoint.Save(ps.dir, ck); err != nil {
+		return err
+	}
+	if err := checkpoint.GC(ps.dir, 2); err != nil {
+		return err
+	}
+	return ps.log.TruncateFront(ck.NextSeq)
+}
+
+// Close checkpoints and closes the WAL. The searcher must not be used
+// after Close.
+func (ps *PersistentSearcher) Close() error {
+	if ps.closed {
+		return nil
+	}
+	ps.closed = true
+	ps.s.Close()
+	if err := ps.Checkpoint(); err != nil {
+		ps.log.Close()
+		return err
+	}
+	return ps.log.Close()
+}
+
+// MatchCount returns the total matches reported across all runs
+// (durable baseline + this process).
+func (ps *PersistentSearcher) MatchCount() int64 {
+	return ps.baseMatches + ps.s.MatchCount() - ps.engMatches0
+}
+
+// Discarded returns the total discardable edges filtered across runs.
+func (ps *PersistentSearcher) Discarded() int64 {
+	return ps.baseDiscarded + ps.s.Discarded() - ps.engDiscarded0
+}
+
+// Replayed returns how many WAL-suffix edges were replayed during the
+// most recent OpenPersistent (0 on a cold start).
+func (ps *PersistentSearcher) Replayed() int64 { return ps.replayed }
+
+// InWindow returns the number of edges currently inside the window.
+func (ps *PersistentSearcher) InWindow() int { return ps.s.InWindow() }
+
+// K returns the size of the TC decomposition in use.
+func (ps *PersistentSearcher) K() int { return ps.s.K() }
+
+// PartialMatches returns the number of stored partial matches.
+func (ps *PersistentSearcher) PartialMatches() int64 { return ps.s.PartialMatches() }
+
+// SpaceBytes estimates resident bytes of maintained partial matches.
+func (ps *PersistentSearcher) SpaceBytes() int64 { return ps.s.SpaceBytes() }
+
+// CurrentMatches enumerates the matches standing in the current window.
+func (ps *PersistentSearcher) CurrentMatches(fn func(*Match) bool) { ps.s.CurrentMatches(fn) }
+
+// CurrentMatchCount returns the number of standing matches.
+func (ps *PersistentSearcher) CurrentMatchCount() int { return ps.s.CurrentMatchCount() }

@@ -1,0 +1,99 @@
+package timingsubg
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestWALDoesNotGrowUnboundedly: with periodic checkpoints, old WAL
+// segments must be reclaimed, so the durability directory's size is
+// bounded by (window state + checkpoint cadence), not stream length.
+func TestWALDoesNotGrowUnboundedly(t *testing.T) {
+	labels := NewLabels()
+	q := persistTestQuery(t, labels)
+	dir := t.TempDir()
+	ps, err := OpenPersistent(q, PersistentOptions{
+		Options:         Options{Window: 30},
+		Dir:             dir,
+		CheckpointEvery: 200,
+		SegmentBytes:    2048, // small segments so GC has something to reclaim
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dirBytes := func() int64 {
+		var total int64
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ent := range entries {
+			info, err := ent.Info()
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += info.Size()
+		}
+		return total
+	}
+	segCount := func() int {
+		m, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+		return len(m)
+	}
+
+	var after2k, after10k int64
+	for i, e := range persistTestStream(labels, 10000, 61) {
+		if _, err := ps.Feed(e); err != nil {
+			t.Fatal(err)
+		}
+		if i == 1999 {
+			after2k = dirBytes()
+		}
+	}
+	after10k = dirBytes()
+	if err := ps.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// 5× more edges must not mean 5× more disk: allow generous slack
+	// (checkpoint files, one open segment) but catch unbounded growth.
+	if after10k > 3*after2k {
+		t.Fatalf("durability dir grew from %d to %d bytes (unbounded growth?)", after2k, after10k)
+	}
+	if n := segCount(); n > 4 {
+		t.Fatalf("%d WAL segments retained after checkpointing; GC not working", n)
+	}
+}
+
+// TestCheckpointGCKeepsTwo: after many checkpoints only the newest two
+// checkpoint files remain (save-then-GC crash fallback contract).
+func TestCheckpointGCKeepsTwo(t *testing.T) {
+	labels := NewLabels()
+	q := persistTestQuery(t, labels)
+	dir := t.TempDir()
+	ps, err := OpenPersistent(q, PersistentOptions{
+		Options:         Options{Window: 30},
+		Dir:             dir,
+		CheckpointEvery: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range persistTestStream(labels, 500, 62) {
+		if _, err := ps.Feed(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ps.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := filepath.Glob(filepath.Join(dir, "checkpoint-*.ckpt"))
+	if len(m) > 2 {
+		t.Fatalf("%d checkpoint files retained, want <= 2", len(m))
+	}
+	if len(m) == 0 {
+		t.Fatal("no checkpoint written")
+	}
+}

@@ -1,0 +1,377 @@
+package timingsubg
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// persistTestQuery builds a small 3-edge TC query over labels a,b,c,d:
+// a→b (ε1), b→c (ε2), c→d (ε3) with ε1 ≺ ε2 ≺ ε3.
+func persistTestQuery(t testing.TB, labels *Labels) *Query {
+	t.Helper()
+	b := NewQueryBuilder()
+	va := b.AddVertex(labels.Intern("a"))
+	vb := b.AddVertex(labels.Intern("b"))
+	vc := b.AddVertex(labels.Intern("c"))
+	vd := b.AddVertex(labels.Intern("d"))
+	e1 := b.AddEdge(va, vb)
+	e2 := b.AddEdge(vb, vc)
+	e3 := b.AddEdge(vc, vd)
+	b.Before(e1, e2)
+	b.Before(e2, e3)
+	q, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+// persistTestStream generates a deterministic random stream that
+// produces a healthy mix of matches, partial matches, and discardable
+// edges for the 3-edge chain query.
+func persistTestStream(labels *Labels, n int, seed int64) []Edge {
+	rng := rand.New(rand.NewSource(seed))
+	lab := []Label{labels.Intern("a"), labels.Intern("b"), labels.Intern("c"), labels.Intern("d")}
+	// Each vertex has a fixed label determined by its ID (paper model:
+	// vertex labels are properties of the vertex).
+	labelOf := func(v VertexID) Label { return lab[int(v)%4] }
+	var out []Edge
+	for i := 0; i < n; i++ {
+		from := VertexID(rng.Intn(12))
+		to := VertexID(rng.Intn(12))
+		if to == from {
+			to = (to + 1) % 12
+		}
+		out = append(out, Edge{
+			From:      from,
+			To:        to,
+			FromLabel: labelOf(from),
+			ToLabel:   labelOf(to),
+			Time:      Timestamp(i + 1),
+		})
+	}
+	return out
+}
+
+// matchKey canonically identifies a match by its sorted edge-ID set.
+func matchKey(m *Match) string {
+	ids := make([]int64, 0, 8)
+	for _, e := range m.Edges {
+		ids = append(ids, int64(e.ID))
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return fmt.Sprint(ids)
+}
+
+// runPlain runs a non-durable searcher over edges and returns the set
+// of reported match keys.
+func runPlain(t testing.TB, q *Query, window Timestamp, edges []Edge) map[string]bool {
+	t.Helper()
+	got := map[string]bool{}
+	s, err := NewSearcher(q, Options{Window: window, OnMatch: func(m *Match) { got[matchKey(m)] = true }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range edges {
+		if _, err := s.Feed(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	return got
+}
+
+func TestPersistentColdStartMatchesPlain(t *testing.T) {
+	labels := NewLabels()
+	q := persistTestQuery(t, labels)
+	edges := persistTestStream(labels, 400, 1)
+	want := runPlain(t, q, 50, edges)
+	if len(want) == 0 {
+		t.Fatal("reference run found no matches; test stream too sparse")
+	}
+
+	got := map[string]bool{}
+	ps, err := OpenPersistent(q, PersistentOptions{
+		Options: Options{Window: 50, OnMatch: func(m *Match) { got[matchKey(m)] = true }},
+		Dir:     t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range edges {
+		if _, err := ps.Feed(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ps.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("persistent found %d matches, plain found %d", len(got), len(want))
+	}
+	for k := range want {
+		if !got[k] {
+			t.Fatalf("missing match %s", k)
+		}
+	}
+}
+
+// TestCrashRecoveryEquivalence is the central durability property: for
+// random crash points, (run prefix; crash; recover; run suffix) reports
+// the same total match set as one uninterrupted run, and never
+// re-reports a checkpointed match.
+func TestCrashRecoveryEquivalence(t *testing.T) {
+	labels := NewLabels()
+	q := persistTestQuery(t, labels)
+	const n = 300
+	edges := persistTestStream(labels, n, 2)
+	want := runPlain(t, q, 40, edges)
+
+	for _, cut := range []int{0, 1, 37, 150, 299, 300} {
+		t.Run(fmt.Sprintf("cut=%d", cut), func(t *testing.T) {
+			dir := t.TempDir()
+			got := map[string]bool{}
+			dups := 0
+			onMatch := func(m *Match) {
+				k := matchKey(m)
+				if got[k] {
+					dups++
+				}
+				got[k] = true
+			}
+
+			ps, err := OpenPersistent(q, PersistentOptions{
+				Options:         Options{Window: 40, OnMatch: onMatch},
+				Dir:             dir,
+				CheckpointEvery: 64,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range edges[:cut] {
+				if _, err := ps.Feed(e); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Simulate a crash: abandon ps without Close (the WAL file
+			// is still OS-buffered but this process wrote it, so the
+			// bytes are visible to the reopened log).
+			preCrash := ps.MatchCount()
+			ps.log.Close()
+
+			ps2, err := OpenPersistent(q, PersistentOptions{
+				Options:         Options{Window: 40, OnMatch: onMatch},
+				Dir:             dir,
+				CheckpointEvery: 64,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ps2.MatchCount() != preCrash {
+				t.Fatalf("recovered MatchCount %d, want %d", ps2.MatchCount(), preCrash)
+			}
+			for _, e := range edges[cut:] {
+				if _, err := ps2.Feed(e); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := ps2.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			if len(got) != len(want) {
+				t.Fatalf("crash at %d: got %d distinct matches, want %d", cut, len(got), len(want))
+			}
+			for k := range want {
+				if !got[k] {
+					t.Fatalf("crash at %d: missing match %s", cut, k)
+				}
+			}
+			// Matches inside a checkpoint must not be re-reported; only
+			// the replayed suffix may duplicate.
+			if int64(dups) > ps2.Replayed() {
+				t.Fatalf("crash at %d: %d duplicate reports exceed %d replayed edges", cut, dups, ps2.Replayed())
+			}
+		})
+	}
+}
+
+// TestRecoveryRepeatedRestarts opens/feeds/closes the same directory
+// several times; counters and match totals must accumulate across runs
+// exactly as an uninterrupted run would produce.
+func TestRecoveryRepeatedRestarts(t *testing.T) {
+	labels := NewLabels()
+	q := persistTestQuery(t, labels)
+	const n = 400
+	edges := persistTestStream(labels, n, 3)
+	want := runPlain(t, q, 60, edges)
+
+	dir := t.TempDir()
+	got := map[string]bool{}
+	chunk := n / 5
+	var final int64
+	for run := 0; run < 5; run++ {
+		ps, err := OpenPersistent(q, PersistentOptions{
+			Options:         Options{Window: 60, OnMatch: func(m *Match) { got[matchKey(m)] = true }},
+			Dir:             dir,
+			CheckpointEvery: 50,
+		})
+		if err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		for _, e := range edges[run*chunk : (run+1)*chunk] {
+			if _, err := ps.Feed(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		final = ps.MatchCount()
+		if err := ps.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d distinct matches, want %d", len(got), len(want))
+	}
+	if final != int64(len(want)) {
+		t.Fatalf("durable MatchCount %d, want %d", final, len(want))
+	}
+}
+
+func TestPersistentRejectsBadOptions(t *testing.T) {
+	labels := NewLabels()
+	q := persistTestQuery(t, labels)
+	cases := []PersistentOptions{
+		{Options: Options{Window: 10, Workers: 2}, Dir: t.TempDir()},
+		{Options: Options{Window: 10}},                  // no dir
+		{Options: Options{Window: 0}, Dir: t.TempDir()}, // no window
+	}
+	for i, opts := range cases {
+		if _, err := OpenPersistent(q, opts); err == nil {
+			t.Fatalf("case %d: bad options accepted", i)
+		}
+	}
+}
+
+func TestPersistentWindowMismatchRejected(t *testing.T) {
+	labels := NewLabels()
+	q := persistTestQuery(t, labels)
+	dir := t.TempDir()
+	ps, err := OpenPersistent(q, PersistentOptions{Options: Options{Window: 10}, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range persistTestStream(labels, 20, 4) {
+		_ = i
+		if _, err := ps.Feed(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ps.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenPersistent(q, PersistentOptions{Options: Options{Window: 20}, Dir: dir}); err == nil {
+		t.Fatal("window mismatch accepted")
+	}
+}
+
+// TestRecoveryWithLostWALTail simulates fsync-disabled data loss: the
+// checkpoint is ahead of a truncated WAL. Recovery must still come up
+// consistently at the checkpoint cursor and accept new edges.
+func TestRecoveryWithLostWALTail(t *testing.T) {
+	labels := NewLabels()
+	q := persistTestQuery(t, labels)
+	edges := persistTestStream(labels, 200, 5)
+	dir := t.TempDir()
+
+	ps, err := OpenPersistent(q, PersistentOptions{
+		Options:         Options{Window: 40},
+		Dir:             dir,
+		CheckpointEvery: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range edges {
+		if _, err := ps.Feed(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Force a checkpoint, then chop the WAL back hard (lose everything
+	// after the last full segment header — simulate lost tail).
+	if err := ps.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	ps.log.Close()
+	// Remove all WAL segments entirely: the checkpoint alone must carry
+	// recovery.
+	matches, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	for _, m := range matches {
+		os.Remove(m)
+	}
+
+	ps2, err := OpenPersistent(q, PersistentOptions{
+		Options:         Options{Window: 40},
+		Dir:             dir,
+		CheckpointEvery: 64,
+	})
+	if err != nil {
+		t.Fatalf("recovery with lost WAL: %v", err)
+	}
+	if ps2.InWindow() == 0 {
+		t.Fatal("recovered window is empty")
+	}
+	// Feeding must continue with aligned IDs.
+	next := edges[len(edges)-1]
+	next.Time++
+	id, err := ps2.Feed(next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(id) != 200 {
+		t.Fatalf("post-recovery edge ID %d, want 200", id)
+	}
+	if err := ps2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPersistentStateAccessors(t *testing.T) {
+	labels := NewLabels()
+	q := persistTestQuery(t, labels)
+	ps, err := OpenPersistent(q, PersistentOptions{
+		Options: Options{Window: 30},
+		Dir:     t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range persistTestStream(labels, 100, 6) {
+		if _, err := ps.Feed(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ps.InWindow() == 0 {
+		t.Fatal("InWindow = 0")
+	}
+	if ps.SpaceBytes() < 0 {
+		t.Fatal("negative space")
+	}
+	if ps.PartialMatches() < 0 {
+		t.Fatal("negative partials")
+	}
+	n := 0
+	ps.CurrentMatches(func(*Match) bool { n++; return true })
+	if n != ps.CurrentMatchCount() {
+		t.Fatalf("CurrentMatches enumerated %d, count says %d", n, ps.CurrentMatchCount())
+	}
+	if err := ps.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ps.Feed(Edge{Time: 1000}); err == nil {
+		t.Fatal("feed after close accepted")
+	}
+}

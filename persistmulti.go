@@ -1,0 +1,304 @@
+package timingsubg
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"strings"
+
+	"timingsubg/internal/checkpoint"
+	"timingsubg/internal/core"
+	"timingsubg/internal/graph"
+	"timingsubg/internal/wal"
+)
+
+// PersistentMultiOptions configures a PersistentMultiSearcher.
+type PersistentMultiOptions struct {
+	// Dir is the durability directory. The edge log is shared by all
+	// queries (one WAL append per edge, not per query); each query
+	// keeps its own checkpoints under Dir/ck/<name>/.
+	Dir string
+	// CheckpointEvery writes per-query checkpoints after every n fed
+	// edges. Zero means 4096.
+	CheckpointEvery int
+	// SyncEvery fsyncs the WAL after every n appends (zero disables).
+	SyncEvery int
+	// SegmentBytes sets the WAL segment rotation size (default 4 MiB).
+	SegmentBytes int64
+}
+
+// PersistentMultiSearcher is a durable fleet: several continuous
+// queries over one shared write-ahead log. This is the deployment shape
+// of the paper's motivating scenarios (a catalogue of attack patterns
+// monitored together) with crash recovery: the stream is logged once,
+// and each query recovers independently from its own checkpoint plus
+// the shared log suffix.
+//
+// Queries added to an existing directory (a name with no checkpoint)
+// join from the oldest retained log record: history reclaimed by
+// earlier checkpoints is gone, exactly as a newly deployed pattern
+// cannot see traffic that predates its deployment.
+//
+// Delivery is at-least-once for post-checkpoint matches, per query
+// (wrap the callback with a MatchDeduper per query for exactly-once).
+type PersistentMultiSearcher struct {
+	names     []string
+	searchers []*Searcher
+	windows   []Timestamp
+	log       *wal.Log
+	dir       string
+	every     int
+
+	baseMatches []int64
+	engMatches0 []int64
+
+	recovering []bool
+	replayed   int64
+	sinceCkpt  int
+	closed     bool
+}
+
+// OpenPersistentMulti opens (or creates) a durable fleet in opts.Dir.
+// Spec options must use time-based windows and Workers <= 1; OnMatch
+// fields in specs are ignored — use the fleet-level onMatch.
+func OpenPersistentMulti(specs []QuerySpec, opts PersistentMultiOptions, onMatch func(name string, m *Match)) (*PersistentMultiSearcher, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("timingsubg: no queries: %w", ErrBadOptions)
+	}
+	if opts.Dir == "" {
+		return nil, errors.Join(ErrBadOptions, errors.New("persistent mode requires Dir"))
+	}
+	if opts.CheckpointEvery <= 0 {
+		opts.CheckpointEvery = 4096
+	}
+	seen := map[string]bool{}
+	for _, spec := range specs {
+		switch {
+		case spec.Name == "" || strings.ContainsAny(spec.Name, "/\\"):
+			return nil, fmt.Errorf("timingsubg: query name %q must be non-empty and path-safe: %w", spec.Name, ErrBadOptions)
+		case seen[spec.Name]:
+			return nil, fmt.Errorf("timingsubg: duplicate query name %q: %w", spec.Name, ErrBadOptions)
+		case spec.Options.Workers > 1:
+			return nil, fmt.Errorf("timingsubg: query %q: persistent mode requires Workers <= 1: %w", spec.Name, ErrBadOptions)
+		case spec.Options.Window <= 0 || spec.Options.CountWindow > 0:
+			return nil, fmt.Errorf("timingsubg: query %q: persistent mode supports time-based windows only: %w", spec.Name, ErrBadOptions)
+		}
+		seen[spec.Name] = true
+	}
+
+	log, err := wal.Open(opts.Dir, wal.Options{SegmentBytes: opts.SegmentBytes, SyncEvery: opts.SyncEvery})
+	if err != nil {
+		return nil, err
+	}
+	pm := &PersistentMultiSearcher{
+		log:         log,
+		dir:         opts.Dir,
+		every:       opts.CheckpointEvery,
+		baseMatches: make([]int64, len(specs)),
+		engMatches0: make([]int64, len(specs)),
+		recovering:  make([]bool, len(specs)),
+	}
+	fail := func(err error) (*PersistentMultiSearcher, error) {
+		log.Close()
+		return nil, err
+	}
+
+	logStart, err := wal.FirstSeq(opts.Dir)
+	if err != nil {
+		return fail(err)
+	}
+
+	// Per-query recovery state.
+	froms := make([]int64, len(specs))
+	var maxNext int64
+	for i, spec := range specs {
+		i, spec := i, spec
+		ck, haveCk, err := checkpoint.Load(pm.ckDir(spec.Name))
+		if err != nil {
+			return fail(err)
+		}
+		if haveCk && ck.Window != spec.Options.Window {
+			return fail(fmt.Errorf("timingsubg: query %q: checkpoint window %d != configured window %d: %w",
+				spec.Name, ck.Window, spec.Options.Window, ErrBadOptions))
+		}
+
+		var wrapped func(*Match)
+		if onMatch != nil {
+			wrapped = func(m *Match) {
+				if !pm.recovering[i] {
+					onMatch(spec.Name, m)
+				}
+			}
+		}
+		eng := core.New(spec.Query, core.Config{
+			Storage:       spec.Options.Storage,
+			Decomposition: spec.Options.Decomposition,
+			OnMatch:       wrapped,
+		})
+		var stream *graph.Stream
+		switch {
+		case haveCk:
+			stream = graph.RestoreStream(spec.Options.Window, ck.Edges, graph.EdgeID(ck.NextSeq))
+			froms[i] = ck.NextSeq
+			pm.baseMatches[i] = ck.Matches
+		default:
+			// A new query joins at the retained log horizon.
+			stream = graph.RestoreStream(spec.Options.Window, nil, graph.EdgeID(logStart))
+			froms[i] = logStart
+		}
+		s := &Searcher{stream: stream, eng: eng}
+		pm.searchers = append(pm.searchers, s)
+		pm.names = append(pm.names, spec.Name)
+		pm.windows = append(pm.windows, spec.Options.Window)
+
+		if haveCk {
+			pm.recovering[i] = true
+			for _, e := range ck.Edges {
+				eng.Process(e, nil)
+			}
+			pm.recovering[i] = false
+			pm.engMatches0[i] = eng.Stats().Matches.Load()
+			if ck.NextSeq > maxNext {
+				maxNext = ck.NextSeq
+			}
+		}
+	}
+	if err := log.SkipTo(maxNext); err != nil {
+		return fail(err)
+	}
+
+	// One replay pass over the shared log: each record goes to every
+	// query whose cursor has reached it.
+	minFrom := froms[0]
+	for _, f := range froms[1:] {
+		if f < minFrom {
+			minFrom = f
+		}
+	}
+	end, err := wal.Replay(opts.Dir, minFrom, func(seq int64, e graph.Edge) error {
+		clean := graph.Edge{
+			From: e.From, To: e.To,
+			FromLabel: e.FromLabel, ToLabel: e.ToLabel, EdgeLabel: e.EdgeLabel,
+			Time: e.Time,
+		}
+		for i, s := range pm.searchers {
+			if seq < froms[i] {
+				continue
+			}
+			id, err := s.Feed(clean)
+			if err != nil {
+				return fmt.Errorf("query %q: %w", pm.names[i], err)
+			}
+			if int64(id) != seq {
+				return fmt.Errorf("query %q: recovery drift: edge seq %d got ID %d", pm.names[i], seq, id)
+			}
+		}
+		pm.replayed++
+		return nil
+	})
+	if err != nil {
+		return fail(fmt.Errorf("timingsubg: recovery replay: %w", err))
+	}
+	if end != log.Seq() {
+		return fail(fmt.Errorf("timingsubg: recovery replay ended at %d, log at %d", end, log.Seq()))
+	}
+	return pm, nil
+}
+
+func (pm *PersistentMultiSearcher) ckDir(name string) string {
+	return filepath.Join(pm.dir, "ck", name)
+}
+
+// Feed durably logs one edge and feeds it to every query.
+func (pm *PersistentMultiSearcher) Feed(e Edge) error {
+	if pm.closed {
+		return errors.New("timingsubg: feed to closed persistent fleet")
+	}
+	if _, err := pm.log.Append(e); err != nil {
+		return err
+	}
+	for i, s := range pm.searchers {
+		if _, err := s.Feed(e); err != nil {
+			return fmt.Errorf("timingsubg: query %q: %w", pm.names[i], err)
+		}
+	}
+	pm.sinceCkpt++
+	if pm.sinceCkpt >= pm.every {
+		return pm.Checkpoint()
+	}
+	return nil
+}
+
+// Checkpoint forces per-query checkpoints now and reclaims WAL
+// segments no query needs anymore.
+func (pm *PersistentMultiSearcher) Checkpoint() error {
+	pm.sinceCkpt = 0
+	if err := pm.log.Sync(); err != nil {
+		return err
+	}
+	next := pm.log.Seq()
+	for i, s := range pm.searchers {
+		st, ok := s.stream.(*graph.Stream)
+		if !ok {
+			return fmt.Errorf("timingsubg: query %q: not a time-window stream", pm.names[i])
+		}
+		ck := checkpoint.Checkpoint{
+			NextSeq:   next,
+			Window:    pm.windows[i],
+			Matches:   pm.matchCount(i),
+			Discarded: s.Discarded(),
+			Edges:     st.InWindow(),
+		}
+		dir := pm.ckDir(pm.names[i])
+		if err := checkpoint.Save(dir, ck); err != nil {
+			return err
+		}
+		if err := checkpoint.GC(dir, 2); err != nil {
+			return err
+		}
+	}
+	return pm.log.TruncateFront(next)
+}
+
+// Close checkpoints every query and closes the WAL.
+func (pm *PersistentMultiSearcher) Close() error {
+	if pm.closed {
+		return nil
+	}
+	pm.closed = true
+	if err := pm.Checkpoint(); err != nil {
+		pm.log.Close()
+		return err
+	}
+	return pm.log.Close()
+}
+
+func (pm *PersistentMultiSearcher) matchCount(i int) int64 {
+	return pm.baseMatches[i] + pm.searchers[i].MatchCount() - pm.engMatches0[i]
+}
+
+// MatchCounts returns durable per-query match totals, keyed by name.
+func (pm *PersistentMultiSearcher) MatchCounts() map[string]int64 {
+	out := make(map[string]int64, len(pm.searchers))
+	for i := range pm.searchers {
+		out[pm.names[i]] = pm.matchCount(i)
+	}
+	return out
+}
+
+// Replayed returns how many shared-log edges were replayed during the
+// most recent OpenPersistentMulti.
+func (pm *PersistentMultiSearcher) Replayed() int64 { return pm.replayed }
+
+// SpaceBytes sums the partial-match space of all engines.
+func (pm *PersistentMultiSearcher) SpaceBytes() int64 {
+	var b int64
+	for _, s := range pm.searchers {
+		b += s.SpaceBytes()
+	}
+	return b
+}
+
+// WALSeq returns the shared log's next sequence number (= edges logged
+// across all runs).
+func (pm *PersistentMultiSearcher) WALSeq() int64 { return pm.log.Seq() }

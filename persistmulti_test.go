@@ -1,0 +1,271 @@
+package timingsubg
+
+import (
+	"fmt"
+	"testing"
+)
+
+// fleetSpecs builds a 3-query fleet over the shared a/b/c/d label
+// alphabet of persistTestStream: a 3-edge chain, a 2-edge chain, and a
+// single-edge pattern, so per-edge interest and match rates differ.
+func fleetSpecs(t testing.TB, labels *Labels, window Timestamp) []QuerySpec {
+	t.Helper()
+	chain2 := func(x, y, z string) *Query {
+		b := NewQueryBuilder()
+		vx := b.AddVertex(labels.Intern(x))
+		vy := b.AddVertex(labels.Intern(y))
+		vz := b.AddVertex(labels.Intern(z))
+		e1 := b.AddEdge(vx, vy)
+		e2 := b.AddEdge(vy, vz)
+		b.Before(e1, e2)
+		q, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return q
+	}
+	single := func(x, y string) *Query {
+		b := NewQueryBuilder()
+		vx := b.AddVertex(labels.Intern(x))
+		vy := b.AddVertex(labels.Intern(y))
+		b.AddEdge(vx, vy)
+		q, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return q
+	}
+	return []QuerySpec{
+		{Name: "chain3", Query: persistTestQuery(t, labels), Options: Options{Window: window}},
+		{Name: "chain2", Query: chain2("b", "c", "d"), Options: Options{Window: window}},
+		{Name: "single", Query: single("d", "a"), Options: Options{Window: window}},
+	}
+}
+
+// runFleetPlain is the non-durable reference: per-query match-key sets.
+func runFleetPlain(t testing.TB, specs []QuerySpec, edges []Edge) map[string]map[string]bool {
+	t.Helper()
+	got := map[string]map[string]bool{}
+	for _, spec := range specs {
+		got[spec.Name] = map[string]bool{}
+	}
+	ms, err := NewMultiSearcher(specs, func(name string, m *Match) { got[name][matchKey(m)] = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range edges {
+		if err := ms.Feed(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ms.Close()
+	return got
+}
+
+func TestPersistentMultiColdStart(t *testing.T) {
+	labels := NewLabels()
+	specs := fleetSpecs(t, labels, 40)
+	edges := persistTestStream(labels, 500, 71)
+	want := runFleetPlain(t, specs, edges)
+
+	got := map[string]map[string]bool{}
+	for _, spec := range specs {
+		got[spec.Name] = map[string]bool{}
+	}
+	pm, err := OpenPersistentMulti(specs, PersistentMultiOptions{Dir: t.TempDir()},
+		func(name string, m *Match) { got[name][matchKey(m)] = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range edges {
+		if err := pm.Feed(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pm.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	total := 0
+	for name, w := range want {
+		total += len(w)
+		if len(got[name]) != len(w) {
+			t.Fatalf("query %s: durable %d matches, plain %d", name, len(got[name]), len(w))
+		}
+	}
+	if total == 0 {
+		t.Fatal("fleet found no matches; test stream too sparse")
+	}
+	counts := pm.MatchCounts()
+	for name, w := range want {
+		if counts[name] != int64(len(w)) {
+			t.Fatalf("query %s: MatchCounts %d, want %d", name, counts[name], len(w))
+		}
+	}
+}
+
+// TestPersistentMultiCrashRecovery: crash the fleet at assorted points;
+// distinct per-query match sets must equal the uninterrupted run.
+func TestPersistentMultiCrashRecovery(t *testing.T) {
+	labels := NewLabels()
+	specs := fleetSpecs(t, labels, 40)
+	const n = 400
+	edges := persistTestStream(labels, n, 72)
+	want := runFleetPlain(t, specs, edges)
+
+	for _, cut := range []int{0, 55, 200, 399} {
+		t.Run(fmt.Sprintf("cut=%d", cut), func(t *testing.T) {
+			dir := t.TempDir()
+			got := map[string]map[string]bool{}
+			for _, spec := range specs {
+				got[spec.Name] = map[string]bool{}
+			}
+			onMatch := func(name string, m *Match) { got[name][matchKey(m)] = true }
+
+			pm, err := OpenPersistentMulti(specs, PersistentMultiOptions{Dir: dir, CheckpointEvery: 64}, onMatch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range edges[:cut] {
+				if err := pm.Feed(e); err != nil {
+					t.Fatal(err)
+				}
+			}
+			pre := pm.MatchCounts()
+			pm.log.Close() // crash without Close
+
+			pm2, err := OpenPersistentMulti(specs, PersistentMultiOptions{Dir: dir, CheckpointEvery: 64}, onMatch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			post := pm2.MatchCounts()
+			for name, v := range pre {
+				if post[name] != v {
+					t.Fatalf("query %s: recovered count %d, want %d", name, post[name], v)
+				}
+			}
+			for _, e := range edges[cut:] {
+				if err := pm2.Feed(e); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := pm2.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			for name, w := range want {
+				if len(got[name]) != len(w) {
+					t.Fatalf("query %s: %d distinct matches, want %d", name, len(got[name]), len(w))
+				}
+				for k := range w {
+					if !got[name][k] {
+						t.Fatalf("query %s: missing match %s", name, k)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPersistentMultiLateJoiner: a query added to an existing directory
+// joins from the retained log horizon and sees subsequent traffic.
+func TestPersistentMultiLateJoiner(t *testing.T) {
+	labels := NewLabels()
+	base := fleetSpecs(t, labels, 40)[:1] // chain3 only
+	edges := persistTestStream(labels, 300, 73)
+	dir := t.TempDir()
+
+	pm, err := OpenPersistentMulti(base, PersistentMultiOptions{Dir: dir, CheckpointEvery: 50}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range edges[:150] {
+		if err := pm.Feed(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pm.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen with an extra query.
+	full := fleetSpecs(t, labels, 40)
+	joinerMatches := 0
+	pm2, err := OpenPersistentMulti(full, PersistentMultiOptions{Dir: dir, CheckpointEvery: 50},
+		func(name string, m *Match) {
+			if name == "single" {
+				joinerMatches++
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range edges[150:] {
+		if err := pm2.Feed(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if joinerMatches == 0 {
+		t.Fatal("late joiner saw no matches")
+	}
+	if err := pm2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A third open must recover all three cleanly.
+	pm3, err := OpenPersistentMulti(full, PersistentMultiOptions{Dir: dir}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pm3.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPersistentMultiRejectsBadSpecs(t *testing.T) {
+	labels := NewLabels()
+	ok := fleetSpecs(t, labels, 40)
+	cases := []struct {
+		name  string
+		specs []QuerySpec
+		opts  PersistentMultiOptions
+	}{
+		{"no queries", nil, PersistentMultiOptions{Dir: t.TempDir()}},
+		{"no dir", ok, PersistentMultiOptions{}},
+		{"bad name", []QuerySpec{{Name: "a/b", Query: ok[0].Query, Options: Options{Window: 10}}}, PersistentMultiOptions{Dir: t.TempDir()}},
+		{"dup name", []QuerySpec{
+			{Name: "x", Query: ok[0].Query, Options: Options{Window: 10}},
+			{Name: "x", Query: ok[1].Query, Options: Options{Window: 10}},
+		}, PersistentMultiOptions{Dir: t.TempDir()}},
+		{"count window", []QuerySpec{{Name: "x", Query: ok[0].Query, Options: Options{CountWindow: 10}}}, PersistentMultiOptions{Dir: t.TempDir()}},
+		{"workers", []QuerySpec{{Name: "x", Query: ok[0].Query, Options: Options{Window: 10, Workers: 3}}}, PersistentMultiOptions{Dir: t.TempDir()}},
+	}
+	for _, tc := range cases {
+		if _, err := OpenPersistentMulti(tc.specs, tc.opts, nil); err == nil {
+			t.Fatalf("%s: accepted", tc.name)
+		}
+	}
+}
+
+// TestPersistentMultiSharedWALIsLoggedOnce: the log grows by one record
+// per edge regardless of fleet size.
+func TestPersistentMultiSharedWALIsLoggedOnce(t *testing.T) {
+	labels := NewLabels()
+	specs := fleetSpecs(t, labels, 40)
+	pm, err := OpenPersistentMulti(specs, PersistentMultiOptions{Dir: t.TempDir()}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := persistTestStream(labels, 120, 74)
+	for _, e := range edges {
+		if err := pm.Feed(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if pm.WALSeq() != 120 {
+		t.Fatalf("WAL seq %d after 120 edges in a 3-query fleet, want 120", pm.WALSeq())
+	}
+	if err := pm.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,53 @@
+package timingsubg
+
+import (
+	"context"
+	"fmt"
+)
+
+// Run consumes edges from a channel until it closes or ctx is cancelled,
+// feeding them through the Searcher. It returns the number of edges
+// processed and the first error encountered (a context error, or an
+// out-of-order edge). Run drains in-flight concurrent transactions
+// before returning, so counters are final.
+//
+// Run is a convenience for pipeline integration; interactive callers can
+// keep using Feed directly.
+func (s *Searcher) Run(ctx context.Context, edges <-chan Edge) (int64, error) {
+	defer s.Close()
+	var n int64
+	for {
+		select {
+		case <-ctx.Done():
+			return n, ctx.Err()
+		case e, ok := <-edges:
+			if !ok {
+				return n, nil
+			}
+			if _, err := s.Feed(e); err != nil {
+				return n, fmt.Errorf("timingsubg: edge %d: %w", n, err)
+			}
+			n++
+		}
+	}
+}
+
+// Run is the MultiSearcher analogue of Searcher.Run.
+func (ms *MultiSearcher) Run(ctx context.Context, edges <-chan Edge) (int64, error) {
+	defer ms.Close()
+	var n int64
+	for {
+		select {
+		case <-ctx.Done():
+			return n, ctx.Err()
+		case e, ok := <-edges:
+			if !ok {
+				return n, nil
+			}
+			if err := ms.Feed(e); err != nil {
+				return n, err
+			}
+			n++
+		}
+	}
+}

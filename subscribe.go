@@ -1,0 +1,108 @@
+package timingsubg
+
+import "sync"
+
+// MatchChannel adapts the callback-based OnMatch delivery to a channel,
+// for consumers structured around select loops or pipelines:
+//
+//	onMatch, matches, done := timingsubg.MatchChannel(256)
+//	s, _ := timingsubg.NewSearcher(q, timingsubg.Options{Window: w, OnMatch: onMatch})
+//	go func() {
+//		for m := range matches {
+//			handle(m)
+//		}
+//	}()
+//	feed(s)
+//	s.Close()
+//	done() // closes matches after the last Feed returns
+//
+// The returned callback applies backpressure: when the buffer is full it
+// blocks the engine until the consumer catches up, so no match is ever
+// dropped. Call done exactly once, after the final Feed (and Close, in
+// concurrent mode); calling the callback after done panics, as sending
+// on a closed channel does.
+func MatchChannel(buffer int) (onMatch func(*Match), matches <-chan *Match, done func()) {
+	if buffer < 0 {
+		buffer = 0
+	}
+	ch := make(chan *Match, buffer)
+	var once sync.Once
+	return func(m *Match) { ch <- m },
+		ch,
+		func() { once.Do(func() { close(ch) }) }
+}
+
+// MatchDeduper suppresses duplicate match reports. A PersistentSearcher
+// delivers at-least-once across a crash: matches completed after the
+// last checkpoint may be re-reported during recovery replay. Wrapping
+// the consumer with a deduper restores exactly-once delivery for the
+// retained horizon:
+//
+//	dedup := timingsubg.NewMatchDeduper(1 << 16)
+//	opts.OnMatch = func(m *timingsubg.Match) {
+//		if dedup.Seen(m) {
+//			return
+//		}
+//		alert(m)
+//	}
+//
+// The deduper remembers the most recent `capacity` distinct matches
+// (FIFO eviction). Capacity must exceed the number of matches a
+// recovery replay can re-deliver — matches completed since the last
+// checkpoint — which CheckpointEvery bounds.
+//
+// Identity is the vector of data-edge IDs bound to the query edges.
+// Edge IDs are WAL sequence numbers in persistent mode, so identity is
+// stable across restarts. A MatchDeduper serves one query; matches of
+// different queries must use separate dedupers.
+type MatchDeduper struct {
+	capacity int
+	seen     map[string]struct{}
+	order    []string
+	head     int
+}
+
+// NewMatchDeduper returns a deduper remembering up to capacity matches.
+func NewMatchDeduper(capacity int) *MatchDeduper {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &MatchDeduper{
+		capacity: capacity,
+		seen:     make(map[string]struct{}, capacity),
+		order:    make([]string, 0, capacity),
+	}
+}
+
+// Seen records m and reports whether it was already recorded. Not safe
+// for concurrent use; call from the (serialized) OnMatch callback.
+func (d *MatchDeduper) Seen(m *Match) bool {
+	key := matchIdentity(m)
+	if _, dup := d.seen[key]; dup {
+		return true
+	}
+	if len(d.order) < d.capacity {
+		d.order = append(d.order, key)
+	} else {
+		delete(d.seen, d.order[d.head])
+		d.order[d.head] = key
+		d.head = (d.head + 1) % d.capacity
+	}
+	d.seen[key] = struct{}{}
+	return false
+}
+
+// Len returns how many distinct matches are currently remembered.
+func (d *MatchDeduper) Len() int { return len(d.order) }
+
+// matchIdentity encodes the bound edge-ID vector. The query-edge order
+// of Match.Edges is fixed per query, so no sorting is needed.
+func matchIdentity(m *Match) string {
+	b := make([]byte, 0, 8*len(m.Edges))
+	for _, e := range m.Edges {
+		id := uint64(e.ID)
+		b = append(b, byte(id), byte(id>>8), byte(id>>16), byte(id>>24),
+			byte(id>>32), byte(id>>40), byte(id>>48), byte(id>>56))
+	}
+	return string(b)
+}

@@ -1,0 +1,154 @@
+package timingsubg
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestMatchChannelDeliversAll(t *testing.T) {
+	labels := NewLabels()
+	q := persistTestQuery(t, labels)
+	edges := persistTestStream(labels, 400, 41)
+	want := runPlain(t, q, 50, edges)
+	if len(want) == 0 {
+		t.Fatal("reference run found no matches")
+	}
+
+	onMatch, matches, done := MatchChannel(4) // small buffer to exercise backpressure
+	s, err := NewSearcher(q, Options{Window: 50, OnMatch: onMatch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for m := range matches {
+			got[matchKey(m)] = true
+		}
+	}()
+	for _, e := range edges {
+		if _, err := s.Feed(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	done()
+	wg.Wait()
+
+	if len(got) != len(want) {
+		t.Fatalf("channel delivered %d matches, want %d", len(got), len(want))
+	}
+	for k := range want {
+		if !got[k] {
+			t.Fatalf("missing match %s", k)
+		}
+	}
+}
+
+func TestMatchChannelDoneIdempotent(t *testing.T) {
+	_, _, done := MatchChannel(1)
+	done()
+	done() // second call must not panic
+}
+
+func TestMatchDeduperBasics(t *testing.T) {
+	d := NewMatchDeduper(8)
+	m1 := &Match{Edges: []Edge{{ID: 1}, {ID: 2}}}
+	m2 := &Match{Edges: []Edge{{ID: 1}, {ID: 3}}}
+	if d.Seen(m1) {
+		t.Fatal("fresh match reported as seen")
+	}
+	if !d.Seen(m1) {
+		t.Fatal("duplicate not detected")
+	}
+	if d.Seen(m2) {
+		t.Fatal("distinct match reported as seen")
+	}
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+}
+
+func TestMatchDeduperEviction(t *testing.T) {
+	d := NewMatchDeduper(3)
+	mk := func(id int64) *Match { return &Match{Edges: []Edge{{ID: EdgeID(id)}}} }
+	for i := int64(1); i <= 4; i++ {
+		if d.Seen(mk(i)) {
+			t.Fatalf("match %d fresh but seen", i)
+		}
+	}
+	// 1 was evicted (capacity 3), so it reads as fresh again.
+	if d.Seen(mk(1)) {
+		t.Fatal("evicted match still remembered")
+	}
+	// 3 and 4 are still inside the horizon.
+	if !d.Seen(mk(4)) {
+		t.Fatal("in-horizon match forgotten")
+	}
+	if d.Len() != 3 {
+		t.Fatalf("Len = %d, want capacity", d.Len())
+	}
+}
+
+// TestDeduperRestoresExactlyOnceAcrossCrash replays the crash-recovery
+// scenario and checks that a deduper-wrapped consumer sees every match
+// exactly once.
+func TestDeduperRestoresExactlyOnceAcrossCrash(t *testing.T) {
+	labels := NewLabels()
+	q := persistTestQuery(t, labels)
+	edges := persistTestStream(labels, 300, 42)
+	want := runPlain(t, q, 40, edges)
+	if len(want) == 0 {
+		t.Fatal("reference run found no matches")
+	}
+
+	dir := t.TempDir()
+	dedup := NewMatchDeduper(1 << 12)
+	delivered := map[string]int{}
+	onMatch := func(m *Match) {
+		if dedup.Seen(m) {
+			return
+		}
+		delivered[matchKey(m)]++
+	}
+	open := func() *PersistentSearcher {
+		ps, err := OpenPersistent(q, PersistentOptions{
+			Options:         Options{Window: 40, OnMatch: onMatch},
+			Dir:             dir,
+			CheckpointEvery: 64,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ps
+	}
+
+	ps := open()
+	for _, e := range edges[:170] {
+		if _, err := ps.Feed(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ps.log.Close() // crash without checkpoint
+
+	ps2 := open() // recovery may re-report post-checkpoint matches
+	for _, e := range edges[170:] {
+		if _, err := ps2.Feed(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ps2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(delivered) != len(want) {
+		t.Fatalf("delivered %d distinct matches, want %d", len(delivered), len(want))
+	}
+	for k, n := range delivered {
+		if n != 1 {
+			t.Fatalf("match %s delivered %d times", k, n)
+		}
+	}
+}
