@@ -61,6 +61,9 @@ type (
 	Labels = graph.Labels
 )
 
+// NoLabel is the zero Label, used for unlabelled edges.
+const NoLabel = graph.NoLabel
+
 // NewLabels returns an empty label intern table.
 func NewLabels() *Labels { return graph.NewLabels() }
 

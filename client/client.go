@@ -1,0 +1,261 @@
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+)
+
+// Client talks to one tsserved server.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New returns a client for the server at baseURL (e.g.
+// "http://127.0.0.1:8080"). hc may be nil to use http.DefaultClient;
+// pass a dedicated client to tune timeouts or transports. Note that a
+// client-level timeout also cuts off Subscribe streams — use per-call
+// contexts for deadlines instead when subscribing.
+func New(baseURL string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), hc: hc}
+}
+
+// apiError turns a non-2xx response into an error carrying the status
+// and the server's message body.
+func apiError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	msg := strings.TrimSpace(string(body))
+	if msg == "" {
+		msg = resp.Status
+	}
+	return fmt.Errorf("client: %s: %s", resp.Status, msg)
+}
+
+func (c *Client) doJSON(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("client: encode request: %w", err)
+		}
+		body = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return apiError(resp)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// AddQuery registers a continuous query. The server starts matching it
+// against all subsequently ingested edges.
+func (c *Client) AddQuery(ctx context.Context, q QueryRequest) error {
+	return c.doJSON(ctx, http.MethodPost, "/queries", q, nil)
+}
+
+// RemoveQuery retires the named query; its subscribers' streams end.
+func (c *Client) RemoveQuery(ctx context.Context, name string) error {
+	return c.doJSON(ctx, http.MethodDelete, "/queries/"+url.PathEscape(name), nil, nil)
+}
+
+// Queries lists the live queries.
+func (c *Client) Queries(ctx context.Context) (QueryList, error) {
+	var out QueryList
+	err := c.doJSON(ctx, http.MethodGet, "/queries", nil, &out)
+	return out, err
+}
+
+// Ingest feeds a batch of edges, encoded as NDJSON. The batch lands
+// atomically in arrival order; individually bad edges are rejected and
+// reported in the result without failing the rest of the batch.
+func (c *Client) Ingest(ctx context.Context, edges []Edge) (IngestResult, error) {
+	var out IngestResult
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, e := range edges {
+		if err := enc.Encode(e); err != nil {
+			return out, fmt.Errorf("client: encode edge: %w", err)
+		}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/ingest", &buf)
+	if err != nil {
+		return out, err
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return out, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return out, apiError(resp)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&out)
+	return out, err
+}
+
+// Stats samples the server's live metrics.
+func (c *Client) Stats(ctx context.Context) (map[string]any, error) {
+	var out map[string]any
+	err := c.doJSON(ctx, http.MethodGet, "/stats", nil, &out)
+	return out, err
+}
+
+// Health probes the server's liveness endpoint.
+func (c *Client) Health(ctx context.Context) error {
+	var h Health
+	if err := c.doJSON(ctx, http.MethodGet, "/healthz", nil, &h); err != nil {
+		return err
+	}
+	if h.Status != "ok" {
+		return fmt.Errorf("client: unhealthy: %q", h.Status)
+	}
+	return nil
+}
+
+// Subscription is a live SSE match stream for one query. Receive from
+// Events until it closes; then Err reports why the stream ended (nil
+// after a server-side close, e.g. the query was removed).
+type Subscription struct {
+	// Events delivers matches in the order the server reported them.
+	Events <-chan MatchEvent
+
+	cancel context.CancelFunc
+	mu     sync.Mutex
+	err    error
+	done   chan struct{}
+}
+
+// Err returns the terminal error of the stream, if any. Valid after
+// Events closes.
+func (s *Subscription) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Close terminates the subscription and releases its connection. It is
+// safe to call more than once.
+func (s *Subscription) Close() {
+	s.cancel()
+	<-s.done
+}
+
+// Subscribe opens an SSE stream of matches for the named query. The
+// stream ends when ctx is cancelled, Close is called, the query is
+// removed on the server, or the connection drops.
+func (c *Client) Subscribe(ctx context.Context, query string) (*Subscription, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+"/subscribe?query="+url.QueryEscape(query), nil)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		err := apiError(resp)
+		resp.Body.Close()
+		cancel()
+		return nil, err
+	}
+	events := make(chan MatchEvent, 64)
+	sub := &Subscription{Events: events, cancel: cancel, done: make(chan struct{})}
+	go func() {
+		defer close(sub.done)
+		defer close(events)
+		defer resp.Body.Close()
+		err := readSSE(resp.Body, func(event string, data []byte) error {
+			if event != "match" {
+				return nil // ignore heartbeats and unknown event types
+			}
+			var m MatchEvent
+			if err := json.Unmarshal(data, &m); err != nil {
+				return fmt.Errorf("client: bad match event: %w", err)
+			}
+			select {
+			case events <- m:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		})
+		if err != nil && ctx.Err() == nil {
+			sub.mu.Lock()
+			sub.err = err
+			sub.mu.Unlock()
+		}
+	}()
+	return sub, nil
+}
+
+// readSSE parses a Server-Sent-Events stream, invoking fn per event. A
+// clean EOF returns nil.
+func readSSE(r io.Reader, fn func(event string, data []byte) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	event := ""
+	var data []byte
+	flush := func() error {
+		if len(data) == 0 {
+			event = ""
+			return nil
+		}
+		err := fn(event, data)
+		event, data = "", nil
+		return err
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if err := flush(); err != nil {
+				return err
+			}
+		case strings.HasPrefix(line, ":"):
+			// comment / heartbeat
+		case strings.HasPrefix(line, "event:"):
+			event = strings.TrimSpace(strings.TrimPrefix(line, "event:"))
+		case strings.HasPrefix(line, "data:"):
+			if len(data) > 0 {
+				data = append(data, '\n')
+			}
+			data = append(data, strings.TrimPrefix(strings.TrimPrefix(line, "data:"), " ")...)
+		}
+	}
+	if err := sc.Err(); err != nil && err != io.ErrUnexpectedEOF {
+		return err
+	}
+	return flush()
+}

@@ -1,0 +1,103 @@
+// Package client is the Go client for a tsserved server (cmd/tsserved):
+// the network serving layer of timingsubg. It also defines the wire
+// types of the HTTP protocol, which the server side (internal/server)
+// shares, so the JSON contract lives in exactly one place.
+//
+// The protocol is plain HTTP + JSON:
+//
+//	POST   /queries          register a continuous query   (QueryRequest)
+//	GET    /queries          list live queries             (QueryList)
+//	DELETE /queries/{name}   retire a query
+//	POST   /ingest           feed a batch of edges         (NDJSON of Edge → IngestResult)
+//	GET    /subscribe?query= stream matches                (SSE of MatchEvent)
+//	GET    /stats            sample live metrics           (JSON object)
+//	GET    /healthz          liveness probe
+package client
+
+// QueryRequest registers a continuous query with the server.
+type QueryRequest struct {
+	// Name identifies the query in match events, stats and DELETE.
+	Name string `json:"name"`
+	// Text is the query graph in the timingsubg text format, one
+	// declaration per line:
+	//
+	//	v <id> <label>            vertex (dense 0-based ids, in order)
+	//	e <from> <to> [label]     directed edge (edge ids assigned in order)
+	//	o <a> < <b>               timing order: edge a before edge b
+	//	# ...                     comment
+	Text string `json:"text"`
+	// Window is the time-based sliding-window duration, in stream time
+	// units. Must be positive; the serving layer routes by labels, so
+	// count-based windows are not accepted over the wire.
+	Window int64 `json:"window"`
+}
+
+// QueryInfo describes one live query.
+type QueryInfo struct {
+	Name   string `json:"name"`
+	Window int64  `json:"window"`
+}
+
+// QueryList is the response of GET /queries.
+type QueryList struct {
+	Queries []QueryInfo `json:"queries"`
+}
+
+// Edge is one streaming-graph edge in an ingest batch. Labels travel as
+// strings; the server interns them.
+type Edge struct {
+	From      int64  `json:"from"`
+	To        int64  `json:"to"`
+	FromLabel string `json:"from_label"`
+	ToLabel   string `json:"to_label"`
+	// Label is the optional edge label.
+	Label string `json:"label,omitempty"`
+	// Time is the edge's arrival timestamp; timestamps must be strictly
+	// increasing across the whole stream. Zero (or omitted) asks the
+	// server to assign the next tick, which is the common mode for
+	// firehose producers that don't carry their own clock.
+	Time int64 `json:"time,omitempty"`
+}
+
+// IngestError locates one rejected line of an ingest batch.
+type IngestError struct {
+	// Line is the 1-based NDJSON line number within the batch.
+	Line int `json:"line"`
+	// Message says why the edge was rejected.
+	Message string `json:"error"`
+}
+
+// IngestResult reports per-request ingest accounting. A batch is
+// processed line by line: bad lines are rejected individually and the
+// rest of the batch still lands.
+type IngestResult struct {
+	Accepted int           `json:"accepted"`
+	Rejected int           `json:"rejected"`
+	Errors   []IngestError `json:"errors,omitempty"`
+}
+
+// MatchEdge is one bound data edge of a match, in query-edge order.
+type MatchEdge struct {
+	// ID is the data edge's stream ID (per-engine arrival index; WAL
+	// sequence number in durable mode).
+	ID   int64 `json:"id"`
+	From int64 `json:"from"`
+	To   int64 `json:"to"`
+	// Label is the edge label, if any.
+	Label string `json:"label,omitempty"`
+	Time  int64  `json:"time"`
+}
+
+// MatchEvent is one complete time-constrained match, delivered on the
+// SSE subscription stream.
+type MatchEvent struct {
+	// Query names the continuous query that matched.
+	Query string `json:"query"`
+	// Edges holds the bound data edges, indexed by query edge.
+	Edges []MatchEdge `json:"edges"`
+}
+
+// Health is the response of GET /healthz.
+type Health struct {
+	Status string `json:"status"`
+}

@@ -1,0 +1,117 @@
+// Command tsserved serves a dynamic fleet of continuous time-constrained
+// subgraph queries over HTTP — the timingsubg library as a standalone
+// service. Producers POST timestamped edges, operators register and
+// retire queries at runtime, and consumers stream matches over SSE.
+//
+// Usage:
+//
+//	tsserved -listen :8080
+//	tsserved -listen :8080 -routed
+//	tsserved -listen :8080 -wal ./state -sync-every 64
+//
+// Endpoints (wire contract in timingsubg/client):
+//
+//	POST   /queries          register a query  {"name","text","window"}
+//	GET    /queries          list live queries
+//	DELETE /queries/{name}   retire a query
+//	POST   /ingest           NDJSON edge batch → per-line accounting
+//	GET    /subscribe?query= SSE match stream
+//	GET    /stats            live metrics (optionally ?metric=name)
+//	GET    /healthz          liveness
+//
+// With -wal, every ingested edge is journaled through the write-ahead
+// log and each query's window is checkpointed, so a killed and
+// restarted tsserved recovers its query fleet and window state, then
+// continues matching (delivery across the restart is at-least-once).
+// Without -wal the state is in-memory only.
+//
+// On SIGINT/SIGTERM the daemon stops accepting requests, drains
+// in-flight operations, checkpoints (durable mode) and exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"timingsubg"
+	"timingsubg/internal/server"
+)
+
+func main() {
+	listen := flag.String("listen", ":8080", "HTTP listen address")
+	routed := flag.Bool("routed", false, "label-based routing: dispatch each edge only to interested queries (in-memory mode)")
+	walDir := flag.String("wal", "", "durability directory: WAL + checkpoints + query registry; empty = in-memory only")
+	ckEvery := flag.Int("checkpoint-every", 4096, "durable mode: checkpoint after every n ingested edges")
+	syncEvery := flag.Int("sync-every", 0, "durable mode: fsync the WAL after every n appends (0 disables)")
+	segBytes := flag.Int64("segment-bytes", 0, "durable mode: WAL segment rotation size (0 = 4 MiB)")
+	subBuffer := flag.Int("subscriber-buffer", 256, "per-subscriber SSE event buffer before load shedding")
+	queueDepth := flag.Int("queue-depth", 128, "bounded work queue: max outstanding serialized operations")
+	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown deadline")
+	flag.Parse()
+
+	cfg := server.Config{
+		Routed:           *routed,
+		SubscriberBuffer: *subBuffer,
+		QueueDepth:       *queueDepth,
+	}
+	var srv *server.Server
+	var err error
+	if *walDir != "" {
+		srv, err = server.NewDurable(cfg, timingsubg.PersistentMultiOptions{
+			Dir:             *walDir,
+			CheckpointEvery: *ckEvery,
+			SyncEvery:       *syncEvery,
+			SegmentBytes:    *segBytes,
+		})
+		if err != nil {
+			log.Fatalf("tsserved: open durable state: %v", err)
+		}
+		log.Printf("tsserved: durable state in %s", *walDir)
+	} else {
+		srv = server.New(cfg)
+		log.Printf("tsserved: in-memory state (no -wal)")
+	}
+
+	httpSrv := &http.Server{Addr: *listen, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("tsserved: listening on %s", *listen)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("tsserved: serve: %v", err)
+		}
+	case <-ctx.Done():
+		log.Printf("tsserved: shutting down")
+		// Close the serving core first: it drains admitted operations,
+		// checkpoints (durable mode) and ends SSE subscriptions, so the
+		// HTTP drain below isn't held hostage by long-lived streams.
+		if err := srv.Close(); err != nil {
+			log.Printf("tsserved: close: %v", err)
+		}
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("tsserved: drain: %v", err)
+		}
+	}
+	if err := srv.Close(); err != nil {
+		log.Printf("tsserved: close: %v", err)
+		os.Exit(1)
+	}
+	fmt.Println("tsserved: bye")
+}

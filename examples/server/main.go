@@ -1,0 +1,118 @@
+// Command server demonstrates the network serving layer end-to-end in
+// one process: it starts a tsserved-style server on a loopback port,
+// registers the exfiltration pattern over HTTP, streams traffic through
+// POST /ingest, receives the alert on the SSE subscription, retires the
+// query at runtime, and shuts down cleanly — the lifecycle a real
+// deployment drives from separate machines.
+package main
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"time"
+
+	"timingsubg/client"
+	"timingsubg/internal/server"
+)
+
+// exfilText is the exfiltration pattern (register at C&C, receive
+// command, exfiltrate — strictly ordered) in the wire query format.
+const exfilText = `
+v 0 IP
+v 1 IP
+e 0 1 tcp
+e 1 0 tcp
+e 0 1 large-msg
+o 0 < 1
+o 1 < 2
+`
+
+func main() {
+	// Serve on an ephemeral loopback port.
+	srv := server.New(server.Config{Routed: true})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	fmt.Println("serving on", base)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	c := client.New(base, nil)
+	if err := c.Health(ctx); err != nil {
+		panic(err)
+	}
+
+	// Register the pattern and subscribe to its matches.
+	if err := c.AddQuery(ctx, client.QueryRequest{Name: "exfiltration", Text: exfilText, Window: 40}); err != nil {
+		panic(err)
+	}
+	sub, err := c.Subscribe(ctx, "exfiltration")
+	if err != nil {
+		panic(err)
+	}
+	alerts := make(chan struct{})
+	go func() {
+		defer close(alerts)
+		for m := range sub.Events {
+			fmt.Printf("!! %s:", m.Query)
+			for _, e := range m.Edges {
+				fmt.Printf("  %d→%d %s@%d", e.From, e.To, e.Label, e.Time)
+			}
+			fmt.Println()
+		}
+	}()
+
+	// Stream noise with the attack planted in the middle. Timestamps are
+	// server-assigned (Time omitted).
+	rng := rand.New(rand.NewSource(23))
+	edge := func(from, to int64, label string) client.Edge {
+		return client.Edge{From: from, To: to, FromLabel: "IP", ToLabel: "IP", Label: label}
+	}
+	var batch []client.Edge
+	noise := func(n int) {
+		for i := 0; i < n; i++ {
+			a, b := rng.Int63n(300), rng.Int63n(300)
+			if a == b {
+				b = (b + 1) % 300
+			}
+			batch = append(batch, edge(a, b, "tcp"))
+		}
+	}
+	noise(150)
+	batch = append(batch, edge(7001, 7002, "tcp")) // register at C&C
+	noise(4)
+	batch = append(batch, edge(7002, 7001, "tcp")) // command
+	noise(4)
+	batch = append(batch, edge(7001, 7002, "large-msg")) // exfiltration
+	noise(150)
+
+	res, err := c.Ingest(ctx, batch)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("ingested %d edges (%d rejected)\n", res.Accepted, res.Rejected)
+
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("fleet.matches = %v, routed_fraction = %v\n",
+		stats["fleet.matches"], stats["fleet.routed_fraction"])
+
+	// Retire the query at runtime: the subscription stream ends.
+	if err := c.RemoveQuery(ctx, "exfiltration"); err != nil {
+		panic(err)
+	}
+	<-alerts
+	fmt.Println("query retired, subscription closed")
+
+	httpSrv.Shutdown(ctx)
+	srv.Close()
+}

@@ -1,0 +1,3 @@
+module timingsubg
+
+go 1.24

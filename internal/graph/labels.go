@@ -75,6 +75,17 @@ func (l *Labels) String(id Label) string {
 	return fmt.Sprintf("label#%d", int32(id))
 }
 
+// Strings returns every interned label in ID order (index i is the
+// string of Label i, starting with the reserved empty label). Interning
+// the returned slice in order into a fresh table reproduces the same
+// IDs — the durability contract serving layers rely on, since logs and
+// checkpoints store IDs, not strings.
+func (l *Labels) Strings() []string {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return append([]string(nil), l.byID...)
+}
+
 // Len reports how many labels have been interned (including the reserved
 // empty label).
 func (l *Labels) Len() int {

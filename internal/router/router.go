@@ -70,6 +70,27 @@ func (r *Router) Add(id int, q *query.Query) {
 	}
 }
 
+// Remove unregisters handle id from every bucket, so Route never
+// delivers it again. The handle may be reused by a later Add (the
+// dynamic-fleet slot-recycling pattern). Removing an unknown handle is a
+// no-op. Like Add, Remove is not safe to interleave with Route.
+func (r *Router) Remove(id int) {
+	for k, s := range r.exact {
+		if trimmed := removeID(s, id); len(trimmed) == 0 {
+			delete(r.exact, k)
+		} else {
+			r.exact[k] = trimmed
+		}
+	}
+	for k, s := range r.wild {
+		if trimmed := removeID(s, id); len(trimmed) == 0 {
+			delete(r.wild, k)
+		} else {
+			r.wild[k] = trimmed
+		}
+	}
+}
+
 // Queries returns how many handles have been registered.
 func (r *Router) Queries() int { return r.queries }
 
@@ -99,6 +120,16 @@ func (r *Router) Route(d graph.Edge, fn func(id int)) {
 func (r *Router) RouteSet(d graph.Edge) []int {
 	var out []int
 	r.Route(d, func(id int) { out = append(out, id) })
+	return out
+}
+
+func removeID(s []int, id int) []int {
+	out := s[:0]
+	for _, v := range s {
+		if v != id {
+			out = append(out, v)
+		}
+	}
 	return out
 }
 

@@ -171,3 +171,47 @@ func BenchmarkRouteFleet100(b *testing.B) {
 	}
 	_ = sink
 }
+
+func TestRouterRemove(t *testing.T) {
+	labels := []graph.Label{1, 2}
+	mk := func(edgeLabel graph.Label) *query.Query {
+		b := query.NewBuilder()
+		u, v := b.AddVertex(labels[0]), b.AddVertex(labels[1])
+		if edgeLabel == graph.NoLabel {
+			b.AddEdge(u, v)
+		} else {
+			b.AddLabeledEdge(u, v, edgeLabel)
+		}
+		q, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return q
+	}
+	r := New()
+	r.Add(0, mk(5))             // exact bucket
+	r.Add(1, mk(graph.NoLabel)) // wildcard bucket
+	r.Add(2, mk(5))
+
+	e := graph.Edge{FromLabel: 1, ToLabel: 2, EdgeLabel: 5}
+	if got := r.RouteSet(e); len(got) != 3 {
+		t.Fatalf("before remove: want 3 handles, got %v", got)
+	}
+	r.Remove(0)
+	r.Remove(1)
+	got := r.RouteSet(e)
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("after remove: want [2], got %v", got)
+	}
+	r.Remove(99) // unknown handle: no-op
+	if got := r.RouteSet(e); len(got) != 1 {
+		t.Fatalf("after no-op remove: got %v", got)
+	}
+	// A removed handle's slot can be recycled for a new query.
+	r.Add(0, mk(graph.NoLabel))
+	got = r.RouteSet(e)
+	sort.Ints(got)
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("after re-add: want [0 2], got %v", got)
+	}
+}

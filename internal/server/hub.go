@@ -1,0 +1,117 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// subscriber is one live SSE consumer. Events arrive pre-serialized, so
+// a match published to many subscribers is marshalled once.
+type subscriber struct {
+	ch chan []byte
+}
+
+// hub fans matches out to the subscribers of each query. Publishing
+// never blocks the matching engine: a subscriber whose buffer is full
+// has the event dropped (and counted) rather than stalling ingest for
+// the whole fleet — the load-shedding contract of a serving layer, as
+// opposed to the in-process MatchChannel adapter, which prefers
+// backpressure over loss because it blocks only its own pipeline.
+type hub struct {
+	mu        sync.Mutex
+	subs      map[string]map[*subscriber]struct{}
+	closed    bool
+	delivered atomic.Int64
+	dropped   atomic.Int64
+}
+
+func newHub() *hub {
+	return &hub{subs: make(map[string]map[*subscriber]struct{})}
+}
+
+// subscribe registers a consumer for the named query. It returns nil if
+// the hub is already closed.
+func (h *hub) subscribe(query string, buffer int) *subscriber {
+	if buffer < 1 {
+		buffer = 1
+	}
+	sub := &subscriber{ch: make(chan []byte, buffer)}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil
+	}
+	set := h.subs[query]
+	if set == nil {
+		set = make(map[*subscriber]struct{})
+		h.subs[query] = set
+	}
+	set[sub] = struct{}{}
+	return sub
+}
+
+// unsubscribe detaches a consumer. It is a no-op if the subscriber was
+// already detached (e.g. its query was removed).
+func (h *hub) unsubscribe(query string, sub *subscriber) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if set, ok := h.subs[query]; ok {
+		delete(set, sub)
+		if len(set) == 0 {
+			delete(h.subs, query)
+		}
+	}
+}
+
+// publish delivers one serialized event to every subscriber of query,
+// dropping (and counting) events for subscribers that can't keep up.
+func (h *hub) publish(query string, data []byte) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for sub := range h.subs[query] {
+		select {
+		case sub.ch <- data:
+			h.delivered.Add(1)
+		default:
+			h.dropped.Add(1)
+		}
+	}
+}
+
+// closeQuery ends every subscription of query: their channels close,
+// which terminates the SSE handlers cleanly.
+func (h *hub) closeQuery(query string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for sub := range h.subs[query] {
+		close(sub.ch)
+	}
+	delete(h.subs, query)
+}
+
+// closeAll ends every subscription and rejects future subscribes.
+func (h *hub) closeAll() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for query, set := range h.subs {
+		for sub := range set {
+			close(sub.ch)
+		}
+		delete(h.subs, query)
+	}
+}
+
+// subscribers returns the number of live subscriptions.
+func (h *hub) subscribers() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := 0
+	for _, set := range h.subs {
+		n += len(set)
+	}
+	return n
+}

@@ -1,0 +1,178 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"timingsubg"
+	"timingsubg/client"
+	"timingsubg/internal/query"
+)
+
+// ParseQueryRequest compiles a wire query registration into an engine
+// spec, interning labels into the server's shared table.
+func ParseQueryRequest(req client.QueryRequest, labels *timingsubg.Labels) (timingsubg.QuerySpec, error) {
+	var spec timingsubg.QuerySpec
+	switch {
+	case req.Name == "" || strings.ContainsAny(req.Name, "/\\") || req.Name == "." || req.Name == "..":
+		return spec, fmt.Errorf("query name %q must be non-empty and path-safe", req.Name)
+	case req.Window <= 0:
+		return spec, fmt.Errorf("query %q: window must be positive, got %d", req.Name, req.Window)
+	}
+	q, err := query.Parse(strings.NewReader(req.Text), labels)
+	if err != nil {
+		return spec, fmt.Errorf("query %q: %w", req.Name, err)
+	}
+	return timingsubg.QuerySpec{
+		Name:    req.Name,
+		Query:   q,
+		Options: timingsubg.Options{Window: timingsubg.Timestamp(req.Window)},
+	}, nil
+}
+
+// Query registrations are durable alongside the WAL: each one is a JSON
+// file <dir>/<name>.json holding the wire-format QueryRequest, so a
+// restarted server re-registers the fleet before replaying the log.
+
+const queryFileSuffix = ".json"
+
+// LoadQueries reads every persisted query registration in dir, sorted
+// by name. A missing directory is an empty registry, not an error.
+func LoadQueries(dir string) ([]client.QueryRequest, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("server: read query registry %s: %w", dir, err)
+	}
+	var out []client.QueryRequest
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasSuffix(name, queryFileSuffix) {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("server: read query file %s: %w", name, err)
+		}
+		var req client.QueryRequest
+		if err := json.Unmarshal(data, &req); err != nil {
+			return nil, fmt.Errorf("server: parse query file %s: %w", name, err)
+		}
+		out = append(out, req)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// saveQueryFile atomically persists one registration.
+func saveQueryFile(dir string, req client.QueryRequest) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("server: query registry mkdir: %w", err)
+	}
+	data, err := json.MarshalIndent(req, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, "query-*.tmp")
+	if err != nil {
+		return fmt.Errorf("server: query file temp: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("server: query file write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("server: query file sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("server: query file close: %w", err)
+	}
+	if err := os.Rename(tmpName, filepath.Join(dir, req.Name+queryFileSuffix)); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("server: query file rename: %w", err)
+	}
+	return nil
+}
+
+// The label intern table is durable too: WAL records and checkpoints
+// store label IDs, not strings, so a restarted server must reproduce
+// the exact string→ID assignment of the previous run before it replays
+// anything. The table is snapshotted (atomically, full contents in ID
+// order) whenever it has grown, always *before* the first WAL append
+// that could reference a new ID.
+
+const labelsFile = "labels.json"
+
+// loadLabels restores a persisted intern table into labels by interning
+// the saved strings in ID order. A missing file is a cold start.
+func loadLabels(dir string, labels *timingsubg.Labels) error {
+	data, err := os.ReadFile(filepath.Join(dir, labelsFile))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("server: read label table: %w", err)
+	}
+	var strs []string
+	if err := json.Unmarshal(data, &strs); err != nil {
+		return fmt.Errorf("server: parse label table: %w", err)
+	}
+	for i, s := range strs {
+		if id := labels.Intern(s); int(id) != i {
+			return fmt.Errorf("server: label table corrupt: %q interned as %d, want %d", s, id, i)
+		}
+	}
+	return nil
+}
+
+// saveLabels atomically snapshots the intern table.
+func saveLabels(dir string, labels *timingsubg.Labels) error {
+	data, err := json.Marshal(labels.Strings())
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, "labels-*.tmp")
+	if err != nil {
+		return fmt.Errorf("server: label table temp: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("server: label table write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("server: label table sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("server: label table close: %w", err)
+	}
+	if err := os.Rename(tmpName, filepath.Join(dir, labelsFile)); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("server: label table rename: %w", err)
+	}
+	return nil
+}
+
+// removeQueryFile drops one registration; a missing file is fine.
+func removeQueryFile(dir, name string) error {
+	err := os.Remove(filepath.Join(dir, name+queryFileSuffix))
+	if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("server: remove query file: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,664 @@
+// Package server is the network serving layer of timingsubg: it hosts a
+// dynamic fleet of continuous time-constrained subgraph queries behind
+// an HTTP API, turning the library into a standalone service
+// (cmd/tsserved). Producers POST batches of timestamped edges, operators
+// register and retire queries at runtime without restarting the stream,
+// and consumers subscribe to per-query match feeds over SSE.
+//
+// # Concurrency model
+//
+// The matching engines follow the paper's single-main-thread dispatch
+// model: one edge transaction at a time, in timestamp order. The server
+// preserves that by funnelling every mutating operation — ingest
+// batches, query registration, query retirement, stat snapshots that
+// touch engine internals — through one bounded work queue drained by a
+// single loop goroutine. The queue bound is the backpressure mechanism:
+// when producers outrun the engine, their requests block in line (and
+// eventually time out via their contexts) instead of growing unbounded
+// buffers. Pure reads (healthz, subscription fan-out, query listing)
+// never enter the queue.
+//
+// Match delivery is push-based: the engine callback serializes each
+// match once and hands it to a hub that fans it out to subscribers,
+// dropping events for consumers that cannot keep up rather than
+// stalling ingest (see hub).
+//
+// The wire types live in timingsubg/client, which is also the Go client
+// for this API.
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"timingsubg"
+	"timingsubg/client"
+	"timingsubg/internal/monitor"
+)
+
+// fleet is the dynamic multi-query surface the server drives; both
+// timingsubg.MultiSearcher and timingsubg.PersistentMultiSearcher
+// implement it.
+type fleet interface {
+	Feed(e timingsubg.Edge) error
+	AddQuery(spec timingsubg.QuerySpec) error
+	RemoveQuery(name string) error
+	HasQuery(name string) bool
+	Names() []string
+	MatchCounts() map[string]int64
+	SpaceBytes() int64
+}
+
+// Config tunes a Server.
+type Config struct {
+	// Labels is the shared label intern table. Nil means a fresh table;
+	// pass one to share interning with in-process producers.
+	Labels *timingsubg.Labels
+	// Routed enables label-based routing for the in-memory fleet (New),
+	// so per-edge dispatch cost is proportional to the number of
+	// interested queries. NewDurable ignores it: the durable fleet fans
+	// out to every query so recovery replay stays deterministic.
+	Routed bool
+	// SubscriberBuffer is the per-subscriber SSE event buffer (default
+	// 256). A subscriber that falls further behind than this loses
+	// events (counted in server.dropped_events).
+	SubscriberBuffer int
+	// QueueDepth bounds the serialized work queue (default 128
+	// outstanding operations). Producers beyond the bound block — the
+	// backpressure contract.
+	QueueDepth int
+}
+
+func (c *Config) norm() {
+	if c.Labels == nil {
+		c.Labels = timingsubg.NewLabels()
+	}
+	if c.SubscriberBuffer <= 0 {
+		c.SubscriberBuffer = 256
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 128
+	}
+}
+
+// op is one serialized unit of work. ctx is the submitting request's
+// context: if it is already dead when the op reaches the front of the
+// queue, the op is skipped — the caller was told it failed, so running
+// it anyway would make retries double-apply (duplicate ingest batches).
+type op struct {
+	ctx  context.Context
+	fn   func()
+	done chan struct{}
+}
+
+// Server hosts one query fleet behind the HTTP API. Create with New or
+// NewDurable, mount Handler, and Close on shutdown.
+type Server struct {
+	cfg      Config
+	labels   *timingsubg.Labels
+	fl       fleet
+	hub      *hub
+	reg      *monitor.Registry
+	ops      chan op
+	stopped  chan struct{}
+	loopDone chan struct{}
+	closer   sync.Once
+	closeErr error
+
+	qmu     sync.RWMutex
+	windows map[string]int64 // live query name → window (wire units)
+
+	queryDir string // query registration directory; "" when not durable
+	stateDir string // durability root (label table home); "" when not durable
+	// persistedLabels is the intern-table size already snapshotted to
+	// disk; loop-owned once the server runs.
+	persistedLabels int
+	lastTime        int64 // stream clock; loop-owned once the server runs
+	ingested        atomic.Int64
+	mux             http.Handler
+}
+
+// New returns a server over a fresh in-memory dynamic fleet. Matching
+// state lives and dies with the process; see NewDurable for the
+// WAL-backed variant.
+func New(cfg Config) *Server {
+	cfg.norm()
+	s := newServer(cfg)
+	s.fl = timingsubg.NewDynamicMultiSearcher(cfg.Routed, s.deliver)
+	s.finish()
+	return s
+}
+
+// NewDurable returns a server whose fleet journals every ingested edge
+// through the write-ahead log in opts.Dir and checkpoints each query's
+// window, so a killed and restarted server recovers its queries (from
+// the registry under Dir/queries), its window state and its stream
+// clock, then continues matching. Delivery across a restart is
+// at-least-once.
+func NewDurable(cfg Config, opts timingsubg.PersistentMultiOptions) (*Server, error) {
+	cfg.norm()
+	s := newServer(cfg)
+	s.queryDir = filepath.Join(opts.Dir, "queries")
+	s.stateDir = opts.Dir
+
+	// Restore the label intern table before anything re-interns: WAL
+	// records and checkpoints reference label IDs, so the string→ID
+	// assignment must match the previous run exactly.
+	if err := loadLabels(s.stateDir, s.labels); err != nil {
+		return nil, err
+	}
+	s.persistedLabels = s.labels.Len()
+
+	reqs, err := LoadQueries(s.queryDir)
+	if err != nil {
+		return nil, err
+	}
+	specs := make([]timingsubg.QuerySpec, 0, len(reqs))
+	for _, req := range reqs {
+		spec, err := ParseQueryRequest(req, s.labels)
+		if err != nil {
+			return nil, fmt.Errorf("server: persisted %w", err)
+		}
+		specs = append(specs, spec)
+		s.windows[req.Name] = req.Window
+	}
+	pm, err := timingsubg.OpenDynamicPersistentMulti(specs, opts, s.deliver)
+	if err != nil {
+		return nil, err
+	}
+	s.fl = pm
+	if lt := pm.LastTime(); lt > 0 {
+		s.lastTime = int64(lt)
+	}
+	s.finish()
+	return s, nil
+}
+
+func newServer(cfg Config) *Server {
+	return &Server{
+		cfg:      cfg,
+		labels:   cfg.Labels,
+		hub:      newHub(),
+		reg:      monitor.NewRegistry(),
+		ops:      make(chan op, cfg.QueueDepth),
+		stopped:  make(chan struct{}),
+		loopDone: make(chan struct{}),
+		windows:  make(map[string]int64),
+	}
+}
+
+// finish wires metrics and routes once the fleet exists, then starts
+// the work loop.
+func (s *Server) finish() {
+	s.reg.MustRegister("server.ingested", func() any { return s.ingested.Load() })
+	s.reg.MustRegister("server.last_time", func() any { return s.lastTime })
+	s.reg.MustRegister("server.queries", func() any { return len(s.fl.Names()) })
+	s.reg.MustRegister("server.subscribers", func() any { return s.hub.subscribers() })
+	s.reg.MustRegister("server.delivered_events", func() any { return s.hub.delivered.Load() })
+	s.reg.MustRegister("server.dropped_events", func() any { return s.hub.dropped.Load() })
+	s.reg.MustRegister("server.queue_depth", func() any { return len(s.ops) })
+	s.reg.MustRegister("fleet.matches", func() any { return s.fl.MatchCounts() })
+	s.reg.MustRegister("fleet.space_bytes", func() any { return s.fl.SpaceBytes() })
+	if ms, ok := s.fl.(*timingsubg.MultiSearcher); ok && s.cfg.Routed {
+		s.reg.MustRegister("fleet.routed_fraction", func() any { return ms.RoutedFraction() })
+	}
+	if pm, ok := s.fl.(*timingsubg.PersistentMultiSearcher); ok {
+		s.reg.MustRegister("fleet.wal_seq", func() any { return pm.WALSeq() })
+		s.reg.MustRegister("fleet.replayed", func() any { return pm.Replayed() })
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /queries", s.handleAddQuery)
+	mux.HandleFunc("GET /queries", s.handleListQueries)
+	mux.HandleFunc("DELETE /queries/{name}", s.handleRemoveQuery)
+	mux.HandleFunc("POST /ingest", s.handleIngest)
+	mux.HandleFunc("GET /subscribe", s.handleSubscribe)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux = mux
+
+	go s.run()
+}
+
+// Handler returns the server's HTTP API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// run drains the work queue; it is the single goroutine that touches
+// engine state.
+func (s *Server) run() {
+	defer close(s.loopDone)
+	exec := func(o op) {
+		if o.ctx.Err() == nil {
+			o.fn()
+		}
+		close(o.done)
+	}
+	for {
+		select {
+		case o := <-s.ops:
+			exec(o)
+		case <-s.stopped:
+			// Finish operations already admitted to the queue so their
+			// callers unblock, then stop.
+			for {
+				select {
+				case o := <-s.ops:
+					exec(o)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// errClosed reports an operation submitted after Close.
+var errClosed = errors.New("server: closed")
+
+// do runs fn on the work loop and waits for it. Submission blocks while
+// the bounded queue is full — that is the backpressure path — and gives
+// up when ctx expires.
+func (s *Server) do(ctx context.Context, fn func()) error {
+	o := op{ctx: ctx, fn: fn, done: make(chan struct{})}
+	select {
+	case s.ops <- o:
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-s.stopped:
+		return errClosed
+	}
+	select {
+	case <-o.done:
+		return nil
+	case <-ctx.Done():
+		// The loop sees the dead ctx and skips the op when it reaches
+		// the front of the queue.
+		return ctx.Err()
+	case <-s.stopped:
+		// The loop's final drain may already have passed when this op
+		// was buffered, in which case done will never close. Once the
+		// loop has fully exited, "did it run" has a definitive answer.
+		<-s.loopDone
+		select {
+		case <-o.done:
+			return nil
+		default:
+			return errClosed
+		}
+	}
+}
+
+// Close stops the work loop, terminates every subscription and shuts
+// the fleet down (checkpointing it, in durable mode). It is safe to
+// call more than once.
+func (s *Server) Close() error {
+	s.closer.Do(func() {
+		close(s.stopped)
+		<-s.loopDone
+		s.hub.closeAll()
+		switch fl := s.fl.(type) {
+		case *timingsubg.PersistentMultiSearcher:
+			s.closeErr = fl.Close()
+		case *timingsubg.MultiSearcher:
+			fl.Close()
+		}
+	})
+	return s.closeErr
+}
+
+// persistLabels snapshots the intern table if it has grown since the
+// last snapshot. Durable-mode ops call it before the first WAL append
+// or query-file write that could reference a newly interned ID. Only
+// the work loop calls it.
+func (s *Server) persistLabels() error {
+	if s.stateDir == "" {
+		return nil
+	}
+	n := s.labels.Len()
+	if n == s.persistedLabels {
+		return nil
+	}
+	if err := saveLabels(s.stateDir, s.labels); err != nil {
+		return err
+	}
+	s.persistedLabels = n
+	return nil
+}
+
+// deliver is the fleet-level match callback: serialize once, fan out.
+func (s *Server) deliver(name string, m *timingsubg.Match) {
+	ev := client.MatchEvent{Query: name, Edges: make([]client.MatchEdge, len(m.Edges))}
+	for i, e := range m.Edges {
+		ev.Edges[i] = client.MatchEdge{
+			ID:   int64(e.ID),
+			From: int64(e.From),
+			To:   int64(e.To),
+			Time: int64(e.Time),
+		}
+		if e.EdgeLabel != timingsubg.NoLabel {
+			ev.Edges[i].Label = s.labels.String(e.EdgeLabel)
+		}
+	}
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return // unreachable: MatchEvent is marshal-safe by construction
+	}
+	s.hub.publish(name, data)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	http.Error(w, fmt.Sprintf(format, args...), code)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (s *Server) handleAddQuery(w http.ResponseWriter, r *http.Request) {
+	var req client.QueryRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad query request: %v", err)
+		return
+	}
+	spec, err := ParseQueryRequest(req, s.labels)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	var opErr error
+	status := http.StatusCreated
+	err = s.do(r.Context(), func() {
+		if s.fl.HasQuery(req.Name) {
+			status = http.StatusConflict
+			opErr = fmt.Errorf("query %q already registered", req.Name)
+			return
+		}
+		// Labels the query text interned must hit disk before any state
+		// that references their IDs (query file, checkpoints).
+		if opErr = s.persistLabels(); opErr != nil {
+			status = http.StatusInternalServerError
+			return
+		}
+		if opErr = s.fl.AddQuery(spec); opErr != nil {
+			status = http.StatusBadRequest
+			return
+		}
+		if s.queryDir != "" {
+			if err := saveQueryFile(s.queryDir, req); err != nil {
+				// The query is live but would not survive a restart;
+				// surface that as a server error and roll it back.
+				s.fl.RemoveQuery(req.Name)
+				status = http.StatusInternalServerError
+				opErr = err
+				return
+			}
+		}
+		s.qmu.Lock()
+		s.windows[req.Name] = req.Window
+		s.qmu.Unlock()
+	})
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	if opErr != nil {
+		httpError(w, status, "%v", opErr)
+		return
+	}
+	writeJSON(w, status, client.QueryInfo{Name: req.Name, Window: req.Window})
+}
+
+func (s *Server) handleRemoveQuery(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var opErr error
+	status := http.StatusNoContent
+	err := s.do(r.Context(), func() {
+		if !s.fl.HasQuery(name) {
+			status = http.StatusNotFound
+			opErr = fmt.Errorf("unknown query %q", name)
+			return
+		}
+		if opErr = s.fl.RemoveQuery(name); opErr != nil {
+			status = http.StatusInternalServerError
+			return
+		}
+		if s.queryDir != "" {
+			if err := removeQueryFile(s.queryDir, name); err != nil {
+				status = http.StatusInternalServerError
+				opErr = err
+				return
+			}
+		}
+		s.qmu.Lock()
+		delete(s.windows, name)
+		s.qmu.Unlock()
+		// End the subscriptions after the engine is gone, so no further
+		// deliveries can race the close.
+		s.hub.closeQuery(name)
+	})
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	if opErr != nil {
+		httpError(w, status, "%v", opErr)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleListQueries(w http.ResponseWriter, r *http.Request) {
+	names := s.fl.Names()
+	s.qmu.RLock()
+	list := client.QueryList{Queries: make([]client.QueryInfo, 0, len(names))}
+	for _, n := range names {
+		list.Queries = append(list.Queries, client.QueryInfo{Name: n, Window: s.windows[n]})
+	}
+	s.qmu.RUnlock()
+	writeJSON(w, http.StatusOK, list)
+}
+
+// ingestLine is one decoded NDJSON line with labels already interned —
+// decode and interning run off the work loop (the intern table is
+// concurrency-safe), so the serialized section does only engine work.
+type ingestLine struct {
+	line     int
+	edge     timingsubg.Edge
+	autoTime bool
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var res client.IngestResult
+	var batch []ingestLine
+	sc := bufio.NewScanner(http.MaxBytesReader(w, r.Body, 64<<20))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var e client.Edge
+		if err := json.Unmarshal(raw, &e); err != nil {
+			res.Rejected++
+			res.Errors = append(res.Errors, client.IngestError{Line: line, Message: err.Error()})
+			continue
+		}
+		if e.Time < 0 {
+			res.Rejected++
+			res.Errors = append(res.Errors, client.IngestError{Line: line, Message: "time must be non-negative"})
+			continue
+		}
+		batch = append(batch, ingestLine{
+			line: line,
+			edge: timingsubg.Edge{
+				From:      timingsubg.VertexID(e.From),
+				To:        timingsubg.VertexID(e.To),
+				FromLabel: s.labels.Intern(e.FromLabel),
+				ToLabel:   s.labels.Intern(e.ToLabel),
+				EdgeLabel: s.labels.Intern(e.Label),
+				Time:      timingsubg.Timestamp(e.Time),
+			},
+			autoTime: e.Time == 0,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		httpError(w, http.StatusBadRequest, "read ingest body: %v", err)
+		return
+	}
+
+	var opErr error
+	err := s.do(r.Context(), func() {
+		// Any label this batch interned must hit disk before the first
+		// WAL append that references its ID.
+		if opErr = s.persistLabels(); opErr != nil {
+			return
+		}
+		for _, item := range batch {
+			e := item.edge
+			if item.autoTime {
+				e.Time = timingsubg.Timestamp(s.lastTime + 1) // server-assigned tick
+			} else if int64(e.Time) <= s.lastTime {
+				res.Rejected++
+				res.Errors = append(res.Errors, client.IngestError{
+					Line:    item.line,
+					Message: fmt.Sprintf("out of order: time %d after %d (timestamps must be strictly increasing)", e.Time, s.lastTime),
+				})
+				continue
+			}
+			if err := s.fl.Feed(e); err != nil {
+				res.Rejected++
+				res.Errors = append(res.Errors, client.IngestError{Line: item.line, Message: err.Error()})
+				continue
+			}
+			s.lastTime = int64(e.Time)
+			res.Accepted++
+			s.ingested.Add(1)
+		}
+	})
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	if opErr != nil {
+		httpError(w, http.StatusInternalServerError, "%v", opErr)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("query")
+	if name == "" {
+		httpError(w, http.StatusBadRequest, "missing ?query= parameter")
+		return
+	}
+	if !s.fl.HasQuery(name) {
+		httpError(w, http.StatusNotFound, "unknown query %q", name)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported by connection")
+		return
+	}
+	sub := s.hub.subscribe(name, s.cfg.SubscriberBuffer)
+	if sub == nil {
+		httpError(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	}
+	defer s.hub.unsubscribe(name, sub)
+	// Re-check after subscribing: a concurrent DELETE that ran its
+	// closeQuery between our existence check and the subscribe above
+	// would otherwise leave this subscriber attached to a dead name —
+	// an endless silent stream, or worse, a feed of a future query that
+	// reuses the name.
+	if !s.fl.HasQuery(name) {
+		httpError(w, http.StatusNotFound, "unknown query %q", name)
+		return
+	}
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintf(w, ": subscribed query=%s\n\n", name)
+	flusher.Flush()
+
+	for {
+		select {
+		case data, ok := <-sub.ch:
+			if !ok {
+				return // query removed or server closing
+			}
+			if _, err := fmt.Fprintf(w, "event: match\ndata: %s\n\n", data); err != nil {
+				return
+			}
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		case <-s.stopped:
+			// Long-lived streams must not hold up graceful shutdown:
+			// http.Server.Shutdown waits for every handler to return.
+			return
+		}
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	// Sampling runs on the work loop so engine-internal gauges (space
+	// bytes, partial-match walks) never race an in-flight edge
+	// transaction; the registry supplies the metric set.
+	var payload map[string]any
+	var status int
+	var msg string
+	err := s.do(r.Context(), func() {
+		if m := r.URL.Query().Get("metric"); m != "" {
+			v, ok := s.reg.Sample(m)
+			if !ok {
+				status, msg = http.StatusNotFound, fmt.Sprintf("unknown metric %q", m)
+				return
+			}
+			payload = map[string]any{m: v}
+			return
+		}
+		payload = s.reg.Snapshot()
+	})
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	if status != 0 {
+		httpError(w, status, "%s", msg)
+		return
+	}
+	writeJSON(w, http.StatusOK, payload)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, client.Health{Status: "ok"})
+}
+
+// LastTime returns the server's stream clock (for tests and embedding).
+func (s *Server) LastTime() timingsubg.Timestamp {
+	return timingsubg.Timestamp(s.lastTime)
+}
+
+// Compile-time interface checks for the fleet implementations.
+var (
+	_ fleet = (*timingsubg.MultiSearcher)(nil)
+	_ fleet = (*timingsubg.PersistentMultiSearcher)(nil)
+)

@@ -1,0 +1,293 @@
+package server_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"timingsubg"
+	"timingsubg/client"
+	"timingsubg/internal/server"
+)
+
+// pingPong is a two-edge pattern A→B then B→A, strictly ordered, so a
+// match needs window state spanning both edges.
+const pingPong = `
+v 0 N
+v 1 N
+e 0 1 ping
+e 1 0 pong
+o 0 < 1
+`
+
+func testCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// edge builds a wire edge with server-assigned time.
+func edge(from, to int64, label string) client.Edge {
+	return client.Edge{From: from, To: to, FromLabel: "N", ToLabel: "N", Label: label}
+}
+
+// recvMatch waits for one match event or fails.
+func recvMatch(t *testing.T, sub *client.Subscription) client.MatchEvent {
+	t.Helper()
+	select {
+	case m, ok := <-sub.Events:
+		if !ok {
+			t.Fatalf("subscription closed early (err: %v)", sub.Err())
+		}
+		return m
+	case <-time.After(10 * time.Second):
+		t.Fatal("timed out waiting for a match event")
+	}
+	panic("unreachable")
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	srv := server.New(server.Config{Routed: true})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := client.New(ts.URL, nil)
+	ctx := testCtx(t)
+
+	if err := c.Health(ctx); err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+
+	// Registration validation.
+	if err := c.AddQuery(ctx, client.QueryRequest{Name: "bad", Text: "nonsense", Window: 10}); err == nil {
+		t.Fatal("registering an unparsable query must fail")
+	}
+	if err := c.AddQuery(ctx, client.QueryRequest{Name: "bad", Text: pingPong, Window: 0}); err == nil {
+		t.Fatal("registering with a non-positive window must fail")
+	}
+	if err := c.AddQuery(ctx, client.QueryRequest{Name: "pp", Text: pingPong, Window: 100}); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	if err := c.AddQuery(ctx, client.QueryRequest{Name: "pp", Text: pingPong, Window: 100}); err == nil {
+		t.Fatal("duplicate registration must fail")
+	} else if !strings.Contains(err.Error(), "409") {
+		t.Fatalf("duplicate registration: want 409, got %v", err)
+	}
+	list, err := c.Queries(ctx)
+	if err != nil {
+		t.Fatalf("list queries: %v", err)
+	}
+	if len(list.Queries) != 1 || list.Queries[0].Name != "pp" || list.Queries[0].Window != 100 {
+		t.Fatalf("query list = %+v", list)
+	}
+
+	// Subscribing to an unknown query 404s.
+	if _, err := c.Subscribe(ctx, "nope"); err == nil {
+		t.Fatal("subscribing to an unknown query must fail")
+	}
+	sub, err := c.Subscribe(ctx, "pp")
+	if err != nil {
+		t.Fatalf("subscribe: %v", err)
+	}
+	defer sub.Close()
+
+	// Ingest: a bad JSON line and an out-of-order line are rejected
+	// individually; the rest of the batch lands and completes a match.
+	res, err := c.Ingest(ctx, []client.Edge{
+		edge(1, 2, "ping"),  // t=1
+		edge(7, 8, "other"), // t=2, noise
+		{From: 9, To: 10, FromLabel: "N", ToLabel: "N", Label: "x", Time: 1}, // out of order
+		edge(2, 1, "pong"), // t=3, completes the match
+	})
+	if err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	if res.Accepted != 3 || res.Rejected != 1 || len(res.Errors) != 1 || res.Errors[0].Line != 3 {
+		t.Fatalf("ingest result = %+v", res)
+	}
+	m := recvMatch(t, sub)
+	if m.Query != "pp" || len(m.Edges) != 2 {
+		t.Fatalf("match event = %+v", m)
+	}
+	if m.Edges[0].Label != "ping" || m.Edges[1].Label != "pong" {
+		t.Fatalf("match labels = %+v", m.Edges)
+	}
+	if m.Edges[0].Time != 1 || m.Edges[1].Time != 3 {
+		t.Fatalf("match times = %+v", m.Edges)
+	}
+
+	// Stats come from the monitor layer, sampled on the work loop.
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if got := stats["server.ingested"].(float64); got != 3 {
+		t.Fatalf("server.ingested = %v, want 3", got)
+	}
+	matches := stats["fleet.matches"].(map[string]any)
+	if got := matches["pp"].(float64); got != 1 {
+		t.Fatalf("fleet.matches[pp] = %v, want 1", got)
+	}
+
+	// Runtime retirement: the stream must end and deliver nothing more.
+	if err := c.RemoveQuery(ctx, "pp"); err != nil {
+		t.Fatalf("remove: %v", err)
+	}
+	if err := c.RemoveQuery(ctx, "pp"); err == nil {
+		t.Fatal("removing an unknown query must fail")
+	}
+	select {
+	case m, ok := <-sub.Events:
+		if ok {
+			t.Fatalf("unexpected delivery after removal: %+v", m)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("subscription did not close after query removal")
+	}
+	if err := sub.Err(); err != nil {
+		t.Fatalf("subscription ended with error: %v", err)
+	}
+
+	// The stream is still live without a restart: a fresh query over the
+	// same connection-less server keeps matching new traffic.
+	if err := c.AddQuery(ctx, client.QueryRequest{Name: "pp2", Text: pingPong, Window: 100}); err != nil {
+		t.Fatalf("re-register: %v", err)
+	}
+	sub2, err := c.Subscribe(ctx, "pp2")
+	if err != nil {
+		t.Fatalf("subscribe pp2: %v", err)
+	}
+	defer sub2.Close()
+	if _, err := c.Ingest(ctx, []client.Edge{edge(5, 6, "ping"), edge(6, 5, "pong")}); err != nil {
+		t.Fatalf("ingest 2: %v", err)
+	}
+	if m := recvMatch(t, sub2); m.Query != "pp2" {
+		t.Fatalf("second-generation match = %+v", m)
+	}
+}
+
+// TestServerDurableRestart proves the acceptance path: with the WAL
+// enabled, a server that dies mid-window comes back with its query
+// fleet, label table and window state intact, and an edge ingested
+// after the restart completes a match whose first half predates it.
+func TestServerDurableRestart(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "state")
+	ctx := testCtx(t)
+	popts := timingsubg.PersistentMultiOptions{Dir: dir, SyncEvery: 1}
+
+	srv1, err := server.NewDurable(server.Config{}, popts)
+	if err != nil {
+		t.Fatalf("open durable: %v", err)
+	}
+	ts1 := httptest.NewServer(srv1.Handler())
+	c1 := client.New(ts1.URL, nil)
+	if err := c1.AddQuery(ctx, client.QueryRequest{Name: "pp", Text: pingPong, Window: 1000}); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	// First half of the pattern, plus noise, lands before the "crash".
+	if _, err := c1.Ingest(ctx, []client.Edge{
+		edge(1, 2, "ping"),
+		edge(30, 31, "other"),
+	}); err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	// Kill the process without a clean Close: the HTTP front dies and
+	// the fleet is simply abandoned (its WAL was fsynced per append).
+	ts1.Close()
+
+	srv2, err := server.NewDurable(server.Config{}, popts)
+	if err != nil {
+		t.Fatalf("reopen durable: %v", err)
+	}
+	defer srv2.Close()
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	c2 := client.New(ts2.URL, nil)
+
+	// The query registry survived.
+	list, err := c2.Queries(ctx)
+	if err != nil {
+		t.Fatalf("list after restart: %v", err)
+	}
+	if len(list.Queries) != 1 || list.Queries[0].Name != "pp" || list.Queries[0].Window != 1000 {
+		t.Fatalf("query list after restart = %+v", list)
+	}
+	stats, err := c2.Stats(ctx)
+	if err != nil {
+		t.Fatalf("stats after restart: %v", err)
+	}
+	if got := stats["fleet.replayed"].(float64); got != 2 {
+		t.Fatalf("fleet.replayed = %v, want 2", got)
+	}
+	if got := stats["server.last_time"].(float64); got != 2 {
+		t.Fatalf("server.last_time = %v, want 2 (stream clock must survive)", got)
+	}
+
+	// The second half of the pattern completes against replayed state.
+	sub, err := c2.Subscribe(ctx, "pp")
+	if err != nil {
+		t.Fatalf("subscribe after restart: %v", err)
+	}
+	defer sub.Close()
+	if _, err := c2.Ingest(ctx, []client.Edge{edge(2, 1, "pong")}); err != nil {
+		t.Fatalf("ingest after restart: %v", err)
+	}
+	m := recvMatch(t, sub)
+	if len(m.Edges) != 2 || m.Edges[0].Label != "ping" || m.Edges[0].Time != 1 || m.Edges[1].Time != 3 {
+		t.Fatalf("post-restart match = %+v", m.Edges)
+	}
+	// Durable edge IDs are WAL sequence numbers: ping was record 0,
+	// pong record 2.
+	if m.Edges[0].ID != 0 || m.Edges[1].ID != 2 {
+		t.Fatalf("post-restart match IDs = %+v, want WAL seqs 0 and 2", m.Edges)
+	}
+
+	// A clean close checkpoints; a third open replays nothing new and
+	// still answers.
+	if err := srv2.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	srv3, err := server.NewDurable(server.Config{}, popts)
+	if err != nil {
+		t.Fatalf("third open: %v", err)
+	}
+	defer srv3.Close()
+	ts3 := httptest.NewServer(srv3.Handler())
+	defer ts3.Close()
+	c3 := client.New(ts3.URL, nil)
+	stats, err = c3.Stats(ctx)
+	if err != nil {
+		t.Fatalf("third stats: %v", err)
+	}
+	matches := stats["fleet.matches"].(map[string]any)
+	if got := matches["pp"].(float64); got != 1 {
+		t.Fatalf("durable match count after two restarts = %v, want 1", got)
+	}
+}
+
+// TestServerBackpressure checks that the bounded work queue sheds or
+// delays work instead of buffering without limit: a request whose
+// context is already cancelled must not be admitted.
+func TestServerBackpressure(t *testing.T) {
+	srv := server.New(server.Config{QueueDepth: 1})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := client.New(ts.URL, nil)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Ingest(ctx, []client.Edge{edge(1, 2, "x")}); err == nil {
+		t.Fatal("ingest with a dead context must fail")
+	}
+
+	// And the server still works afterwards.
+	ctx2 := testCtx(t)
+	if _, err := c.Ingest(ctx2, []client.Edge{edge(1, 2, "x")}); err != nil {
+		t.Fatalf("ingest after cancelled request: %v", err)
+	}
+}

@@ -43,12 +43,27 @@ func (s *Searcher) RegisterMetrics(r *MetricsRegistry, prefix string) error {
 	return nil
 }
 
-// RegisterMetrics registers per-query counters for every query in the
-// fleet (prefix.<query-name>.<metric>) plus fleet-level aggregates.
+// RegisterMetrics registers per-query counters for every query
+// currently in the fleet (prefix.<query-name>.<metric>) plus
+// fleet-level aggregates. Gauges resolve the query by name at sample
+// time, so one that is retired reports zero (and its engine is not
+// pinned); queries added after registration are not picked up — a
+// dynamic serving layer should sample MatchCounts instead.
 func (ms *MultiSearcher) RegisterMetrics(r *MetricsRegistry, prefix string) error {
-	for i, s := range ms.searchers {
-		if err := s.RegisterMetrics(r, prefix+"."+ms.names[i]); err != nil {
-			return err
+	metrics := map[string]func(*Searcher) any{
+		"matches":         func(s *Searcher) any { return s.MatchCount() },
+		"discarded":       func(s *Searcher) any { return s.Discarded() },
+		"partial_matches": func(s *Searcher) any { return s.PartialMatches() },
+		"space_bytes":     func(s *Searcher) any { return s.SpaceBytes() },
+		"window_edges":    func(s *Searcher) any { return s.InWindow() },
+		"decomposition_k": func(s *Searcher) any { return s.K() },
+	}
+	for _, name := range ms.Names() {
+		for metric, f := range metrics {
+			name, f := name, f
+			if err := r.Register(prefix+"."+name+"."+metric, func() any { return ms.sample(name, f) }); err != nil {
+				return err
+			}
 		}
 	}
 	if err := r.Register(prefix+".space_bytes_total", func() any { return ms.SpaceBytes() }); err != nil {
@@ -80,9 +95,12 @@ func (ps *PersistentSearcher) RegisterMetrics(r *MetricsRegistry, prefix string)
 // RegisterMetrics registers the durable fleet's counters: per-query
 // match totals plus the shared WAL cursor and replay count.
 func (pm *PersistentMultiSearcher) RegisterMetrics(r *MetricsRegistry, prefix string) error {
-	for i := range pm.searchers {
-		i := i
-		if err := r.Register(prefix+"."+pm.names[i]+".matches", func() any { return pm.matchCount(i) }); err != nil {
+	// Gauges are keyed by name, not slot, and sample through the locked
+	// accessor: slots may be retired and recycled under a dynamic fleet
+	// while the registry samples concurrently.
+	for _, name := range pm.Names() {
+		name := name
+		if err := r.Register(prefix+"."+name+".matches", func() any { return pm.MatchCount(name) }); err != nil {
 			return err
 		}
 	}

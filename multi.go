@@ -2,6 +2,8 @@ package timingsubg
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"timingsubg/internal/router"
 )
@@ -11,12 +13,24 @@ import (
 // of, e.g., Verizon's ten attack patterns are monitored at once. Each
 // query keeps its own engine and window state; an edge is fed once and
 // fanned out to every query.
+//
+// The fleet is dynamic: AddQuery and RemoveQuery register and retire
+// queries while the stream is live, without disturbing the window state
+// of the other queries. Feed, AddQuery and RemoveQuery mutate engine
+// state and must be serialized by the caller (one feeder goroutine, or
+// an external lock); the read accessors (MatchCounts, Names, HasQuery,
+// RoutedFraction, SpaceBytes) may be called concurrently with them —
+// this is what lets a serving layer sample stats while ingest runs.
 type MultiSearcher struct {
-	searchers []*Searcher
-	names     []string
+	mu        sync.RWMutex
+	searchers []*Searcher // nil entries are retired slots, reusable by AddQuery
+	names     []string    // "" for retired slots
+	onMatch   func(name string, m *Match)
 	route     *router.Router
-	routed    int64 // engine feeds actually performed (routed mode)
-	fed       int64 // edges offered
+	routed    atomic.Int64 // engine feeds actually performed (routed mode)
+	possible  atomic.Int64 // Σ per-edge live fleet size (routed mode denominator)
+	fed       atomic.Int64 // edges offered
+	live      int          // number of non-nil searchers
 }
 
 // QuerySpec names a query for multi-query monitoring.
@@ -36,21 +50,11 @@ func NewMultiSearcher(specs []QuerySpec, onMatch func(name string, m *Match)) (*
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("timingsubg: no queries: %w", ErrBadOptions)
 	}
-	ms := &MultiSearcher{}
+	ms := NewDynamicMultiSearcher(false, onMatch)
 	for _, spec := range specs {
-		spec := spec
-		opts := spec.Options
-		if onMatch != nil {
-			opts.OnMatch = func(m *Match) { onMatch(spec.Name, m) }
-		} else {
-			opts.OnMatch = nil
+		if err := ms.addQuery(spec, false); err != nil {
+			return nil, err
 		}
-		s, err := NewSearcher(spec.Query, opts)
-		if err != nil {
-			return nil, fmt.Errorf("timingsubg: query %q: %w", spec.Name, err)
-		}
-		ms.searchers = append(ms.searchers, s)
-		ms.names = append(ms.names, spec.Name)
 	}
 	return ms, nil
 }
@@ -73,34 +77,167 @@ func NewMultiSearcher(specs []QuerySpec, onMatch func(name string, m *Match)) (*
 // silently widen each query's horizon to its last N relevant edges.
 // Count-window specs are rejected.
 func NewRoutedMultiSearcher(specs []QuerySpec, onMatch func(name string, m *Match)) (*MultiSearcher, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("timingsubg: no queries: %w", ErrBadOptions)
+	}
+	ms := NewDynamicMultiSearcher(true, onMatch)
 	for _, spec := range specs {
-		if spec.Options.CountWindow > 0 {
-			return nil, fmt.Errorf("timingsubg: query %q: routing requires time-based windows (count windows measure fed edges): %w",
-				spec.Name, ErrBadOptions)
+		if err := ms.addQuery(spec, false); err != nil {
+			return nil, err
 		}
 	}
-	ms, err := NewMultiSearcher(specs, onMatch)
-	if err != nil {
-		return nil, err
-	}
-	ms.route = router.New()
-	for i, spec := range specs {
-		ms.route.Add(i, spec.Query)
-	}
 	return ms, nil
+}
+
+// NewDynamicMultiSearcher returns an empty fleet ready for AddQuery and
+// RemoveQuery — the serving-layer shape, where queries come and go over
+// the life of the stream and the fleet may be momentarily empty. routed
+// enables label-based routing (see NewRoutedMultiSearcher).
+func NewDynamicMultiSearcher(routed bool, onMatch func(name string, m *Match)) *MultiSearcher {
+	ms := &MultiSearcher{onMatch: onMatch}
+	if routed {
+		ms.route = router.New()
+	}
+	return ms
+}
+
+// AddQuery registers one more query on the live fleet. The new query's
+// window starts empty: it sees only edges fed after it joins, exactly as
+// a newly deployed pattern cannot see traffic that predates its
+// deployment. Names must be non-empty and unique among live queries.
+// AddQuery must be serialized with Feed by the caller.
+func (ms *MultiSearcher) AddQuery(spec QuerySpec) error {
+	return ms.addQuery(spec, true)
+}
+
+func (ms *MultiSearcher) addQuery(spec QuerySpec, unique bool) error {
+	if spec.Name == "" {
+		return fmt.Errorf("timingsubg: query name must be non-empty: %w", ErrBadOptions)
+	}
+	if ms.route != nil && spec.Options.CountWindow > 0 {
+		return fmt.Errorf("timingsubg: query %q: routing requires time-based windows (count windows measure fed edges): %w",
+			spec.Name, ErrBadOptions)
+	}
+	opts := spec.Options
+	if ms.onMatch != nil {
+		name := spec.Name
+		onMatch := ms.onMatch
+		opts.OnMatch = func(m *Match) { onMatch(name, m) }
+	} else {
+		opts.OnMatch = nil
+	}
+	s, err := NewSearcher(spec.Query, opts)
+	if err != nil {
+		return fmt.Errorf("timingsubg: query %q: %w", spec.Name, err)
+	}
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	if unique && ms.indexLocked(spec.Name) >= 0 {
+		return fmt.Errorf("timingsubg: duplicate query name %q: %w", spec.Name, ErrBadOptions)
+	}
+	slot := -1
+	for i, sr := range ms.searchers {
+		if sr == nil {
+			slot = i
+			break
+		}
+	}
+	if slot < 0 {
+		slot = len(ms.searchers)
+		ms.searchers = append(ms.searchers, nil)
+		ms.names = append(ms.names, "")
+	}
+	ms.searchers[slot] = s
+	ms.names[slot] = spec.Name
+	ms.live++
+	if ms.route != nil {
+		ms.route.Add(slot, spec.Query)
+	}
+	return nil
+}
+
+// RemoveQuery retires the named query: its engine is drained and its
+// slot freed for reuse; no match for it is delivered after RemoveQuery
+// returns. Removing an unknown name is an error. RemoveQuery must be
+// serialized with Feed by the caller.
+func (ms *MultiSearcher) RemoveQuery(name string) error {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	i := ms.indexLocked(name)
+	if i < 0 {
+		return fmt.Errorf("timingsubg: unknown query %q: %w", name, ErrBadOptions)
+	}
+	ms.searchers[i].Close()
+	ms.searchers[i] = nil
+	ms.names[i] = ""
+	ms.live--
+	if ms.route != nil {
+		ms.route.Remove(i)
+	}
+	return nil
+}
+
+// indexLocked returns the slot of the live query named name, or -1.
+func (ms *MultiSearcher) indexLocked(name string) int {
+	for i, n := range ms.names {
+		if n == name && ms.searchers[i] != nil {
+			return i
+		}
+	}
+	return -1
+}
+
+// sample runs f on the live searcher registered under name, or returns
+// zero if the query has been retired — the lookup-by-name indirection
+// metrics gauges need so they never pin a closed engine or report a
+// retired query's counters under a recycled name.
+func (ms *MultiSearcher) sample(name string, f func(*Searcher) any) any {
+	ms.mu.RLock()
+	defer ms.mu.RUnlock()
+	i := ms.indexLocked(name)
+	if i < 0 {
+		return int64(0)
+	}
+	return f(ms.searchers[i])
+}
+
+// HasQuery reports whether a live query is registered under name.
+func (ms *MultiSearcher) HasQuery(name string) bool {
+	ms.mu.RLock()
+	defer ms.mu.RUnlock()
+	return ms.indexLocked(name) >= 0
+}
+
+// Names returns the live query names, in registration-slot order.
+func (ms *MultiSearcher) Names() []string {
+	ms.mu.RLock()
+	defer ms.mu.RUnlock()
+	out := make([]string, 0, ms.live)
+	for i, n := range ms.names {
+		if ms.searchers[i] != nil {
+			out = append(out, n)
+		}
+	}
+	return out
 }
 
 // Feed pushes one edge to every query (or, in routed mode, to every
 // interested query).
 func (ms *MultiSearcher) Feed(e Edge) error {
-	ms.fed++
+	ms.mu.RLock()
+	defer ms.mu.RUnlock()
+	ms.fed.Add(1)
 	if ms.route != nil {
+		// The saved-work denominator accrues the fleet size *as of this
+		// edge* — queries come and go, so a cumulative counter is the
+		// only way the ratio stays meaningful.
+		ms.possible.Add(int64(ms.live))
 		var ferr error
 		ms.route.Route(e, func(i int) {
-			if ferr != nil {
+			if ferr != nil || ms.searchers[i] == nil {
 				return
 			}
-			ms.routed++
+			ms.routed.Add(1)
 			if _, err := ms.searchers[i].Feed(e); err != nil {
 				ferr = fmt.Errorf("timingsubg: query %q: %w", ms.names[i], err)
 			}
@@ -108,6 +245,9 @@ func (ms *MultiSearcher) Feed(e Edge) error {
 		return ferr
 	}
 	for i, s := range ms.searchers {
+		if s == nil {
+			continue
+		}
 		if _, err := s.Feed(e); err != nil {
 			return fmt.Errorf("timingsubg: query %q: %w", ms.names[i], err)
 		}
@@ -116,36 +256,57 @@ func (ms *MultiSearcher) Feed(e Edge) error {
 }
 
 // RoutedFraction reports, in routed mode, the ratio of engine feeds
-// performed to (edges offered × fleet size) — the dispatch work saved
-// by routing. It returns 1 in unrouted mode.
+// performed to engine feeds a naive fan-out would have performed
+// (summing the live fleet size at each edge, so the ratio stays exact
+// across AddQuery/RemoveQuery) — the dispatch work saved by routing.
+// It returns 1 in unrouted mode. Safe to call while edges are being
+// fed.
 func (ms *MultiSearcher) RoutedFraction() float64 {
-	if ms.route == nil || ms.fed == 0 {
+	possible := ms.possible.Load()
+	if ms.route == nil || possible == 0 {
 		return 1
 	}
-	return float64(ms.routed) / float64(ms.fed*int64(len(ms.searchers)))
+	return float64(ms.routed.Load()) / float64(possible)
 }
+
+// Fed returns how many edges have been offered to the fleet. Safe to
+// call while edges are being fed.
+func (ms *MultiSearcher) Fed() int64 { return ms.fed.Load() }
 
 // Close drains all engines.
 func (ms *MultiSearcher) Close() {
+	ms.mu.RLock()
+	defer ms.mu.RUnlock()
 	for _, s := range ms.searchers {
-		s.Close()
+		if s != nil {
+			s.Close()
+		}
 	}
 }
 
 // MatchCounts returns per-query match counts, keyed by query name.
 func (ms *MultiSearcher) MatchCounts() map[string]int64 {
-	out := make(map[string]int64, len(ms.searchers))
+	ms.mu.RLock()
+	defer ms.mu.RUnlock()
+	out := make(map[string]int64, ms.live)
 	for i, s := range ms.searchers {
-		out[ms.names[i]] += s.MatchCount()
+		if s != nil {
+			out[ms.names[i]] += s.MatchCount()
+		}
 	}
 	return out
 }
 
-// SpaceBytes sums the space of all engines.
+// SpaceBytes sums the space of all engines. Call while no Feed is in
+// flight.
 func (ms *MultiSearcher) SpaceBytes() int64 {
+	ms.mu.RLock()
+	defer ms.mu.RUnlock()
 	var b int64
 	for _, s := range ms.searchers {
-		b += s.SpaceBytes()
+		if s != nil {
+			b += s.SpaceBytes()
+		}
 	}
 	return b
 }
