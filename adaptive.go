@@ -1,14 +1,8 @@
 package timingsubg
 
-import (
-	"errors"
-
-	"timingsubg/internal/core"
-	"timingsubg/internal/graph"
-	"timingsubg/internal/query"
-)
-
 // AdaptiveOptions configures an AdaptiveSearcher.
+//
+// Deprecated: set Config.Adaptive and call Open.
 type AdaptiveOptions struct {
 	// Options configures the wrapped searcher. Workers must be <= 1
 	// (a rebuild needs a quiescent engine). The Decomposition override
@@ -24,202 +18,74 @@ type AdaptiveOptions struct {
 }
 
 // AdaptiveSearcher is a Searcher whose TC-decomposition join order
-// adapts to the observed stream. The paper selects the join order once,
-// from the static joint-number heuristic (Section VI-C), noting that a
-// priori selectivity estimation is infeasible on streams; the adaptive
-// searcher closes that loop with feedback: it samples the observed
-// per-subquery match cardinalities, re-scores candidate orders, and
-// when another prefix-connected order is estimated to be MinGain×
-// cheaper it rebuilds the engine from the in-window edges under the new
-// order. Standing matches are not re-reported by a rebuild.
+// adapts to the observed stream; see Adaptivity for the mechanism.
 //
-// Adaptation changes performance, never results: the engine state after
-// a rebuild is the same pure function of the window contents, just
-// materialized under a different join order.
+// Deprecated: AdaptiveSearcher is a thin shim over the unified engine.
+// Use Open with Config{Query: q, Adaptive: &Adaptivity{...}} — which
+// also composes with durability and fleet membership, combinations this
+// façade cannot express.
 type AdaptiveSearcher struct {
-	q      *Query
-	opts   AdaptiveOptions
-	stream graph.Windower
-	eng    *core.Engine
-	picked []*query.TCSubquery
-
-	// Counter baselines accumulate across rebuilds.
-	baseMatches   int64
-	baseDiscarded int64
-	engMatches0   int64
-	engDiscarded0 int64
-
-	rebuilding bool
-	sinceCheck int
-	rebuilds   int
+	en *single
 }
 
 // NewAdaptiveSearcher builds an adaptive searcher for q.
+//
+// Deprecated: use Open.
 func NewAdaptiveSearcher(q *Query, opts AdaptiveOptions) (*AdaptiveSearcher, error) {
-	if opts.Workers > 1 {
-		return nil, errors.Join(ErrBadOptions, errors.New("adaptive mode requires Workers <= 1"))
+	adapt := &Adaptivity{ReoptimizeEvery: opts.ReoptimizeEvery, MinGain: opts.MinGain}
+	en, err := newSingle(q, opts.Options, adapt, opts.OnMatch)
+	if err != nil {
+		return nil, err
 	}
-	switch {
-	case opts.Window > 0 && opts.CountWindow > 0:
-		return nil, errors.Join(ErrBadOptions, errors.New("set only one of Window and CountWindow"))
-	case opts.Window <= 0 && opts.CountWindow <= 0:
-		return nil, errors.Join(ErrBadOptions, errors.New("one of Window and CountWindow must be positive"))
-	}
-	if opts.ReoptimizeEvery <= 0 {
-		opts.ReoptimizeEvery = 1024
-	}
-	if opts.MinGain <= 0 {
-		opts.MinGain = 2.0
-	}
-	a := &AdaptiveSearcher{q: q, opts: opts}
-	dec := opts.Decomposition
-	if dec == nil {
-		dec = query.Decompose(q)
-	}
-	a.picked = append([]*query.TCSubquery(nil), dec.Subqueries...)
-	a.eng = a.newEngine(dec)
-	if opts.CountWindow > 0 {
-		a.stream = graph.NewCountStream(opts.CountWindow)
-	} else {
-		a.stream = graph.NewStream(opts.Window)
-	}
-	return a, nil
-}
-
-func (a *AdaptiveSearcher) newEngine(dec *Decomposition) *core.Engine {
-	onMatch := a.opts.OnMatch
-	wrapped := onMatch
-	if onMatch != nil {
-		wrapped = func(m *Match) {
-			if !a.rebuilding {
-				onMatch(m)
-			}
-		}
-	}
-	return core.New(a.q, core.Config{
-		Storage:       a.opts.Storage,
-		Decomposition: dec,
-		OnMatch:       wrapped,
-	})
+	return &AdaptiveSearcher{en: en}, nil
 }
 
 // Feed pushes one edge; see Searcher.Feed.
-func (a *AdaptiveSearcher) Feed(e Edge) (EdgeID, error) {
-	stored, expired, err := a.stream.Push(e)
-	if err != nil {
-		return 0, err
-	}
-	a.eng.Process(stored, expired)
-	a.sinceCheck++
-	if a.sinceCheck >= a.opts.ReoptimizeEvery {
-		a.sinceCheck = 0
-		a.maybeReoptimize()
-	}
-	return stored.ID, nil
-}
+func (a *AdaptiveSearcher) Feed(e Edge) (EdgeID, error) { return a.en.Feed(e) }
 
-// maybeReoptimize re-scores the join order under observed cardinalities
-// and rebuilds when the estimated gain clears MinGain.
-func (a *AdaptiveSearcher) maybeReoptimize() {
-	if len(a.picked) <= 2 {
-		// With k ≤ 2 there is only one join shape; order can only swap
-		// the seed pair, which EstimateOrderCost scores identically.
-		return
-	}
-	obs := a.eng.SubCardinalities()
-	byMask := make(map[uint64]float64, len(obs))
-	for i, sub := range a.eng.Decomposition().Subqueries {
-		byMask[sub.Mask] = float64(obs[i]) + 1 // +1 smoothing
-	}
-	card := func(s *query.TCSubquery) float64 { return byMask[s.Mask] }
-
-	current := query.EstimateOrderCost(a.eng.Decomposition(), card)
-	best := query.OrderByCost(a.q, a.picked, card)
-	bestCost := query.EstimateOrderCost(best, card)
-	if bestCost <= 0 || current/bestCost < a.opts.MinGain {
-		return
-	}
-	if sameOrder(best, a.eng.Decomposition()) {
-		return
-	}
-	a.rebuild(best)
-}
-
-func sameOrder(x, y *Decomposition) bool {
-	if len(x.Subqueries) != len(y.Subqueries) {
-		return false
-	}
-	for i := range x.Subqueries {
-		if x.Subqueries[i].Mask != y.Subqueries[i].Mask {
-			return false
-		}
-	}
-	return true
-}
-
-// rebuild replaces the engine with one using dec, re-feeding the
-// in-window edges with match reporting muted.
-func (a *AdaptiveSearcher) rebuild(dec *Decomposition) {
-	a.baseMatches = a.MatchCount()
-	a.baseDiscarded = a.Discarded()
-	a.eng = a.newEngine(dec)
-	a.rebuilding = true
-	for _, e := range a.stream.InWindow() {
-		a.eng.Process(e, nil)
-	}
-	a.rebuilding = false
-	a.engMatches0 = a.eng.Stats().Matches.Load()
-	a.engDiscarded0 = a.eng.Stats().Discarded.Load()
-	a.rebuilds++
-}
+// FeedBatch pushes a batch of edges; see Engine.FeedBatch.
+func (a *AdaptiveSearcher) FeedBatch(batch []Edge) (int, error) { return a.en.FeedBatch(batch) }
 
 // Close finalizes counters. The searcher must not be fed after Close.
-func (a *AdaptiveSearcher) Close() {}
+func (a *AdaptiveSearcher) Close() { a.en.Close() }
+
+// Stats returns the unified counter snapshot.
+func (a *AdaptiveSearcher) Stats() Stats { return a.en.Stats() }
 
 // Reoptimizations returns how many engine rebuilds the reoptimizer has
 // performed.
-func (a *AdaptiveSearcher) Reoptimizations() int { return a.rebuilds }
+func (a *AdaptiveSearcher) Reoptimizations() int { return a.en.rebuilds }
 
 // JoinOrder returns the masks of the TC-subqueries in the current join
 // order (diagnostics).
-func (a *AdaptiveSearcher) JoinOrder() []uint64 {
-	out := make([]uint64, 0, a.eng.K())
-	for _, s := range a.eng.Decomposition().Subqueries {
-		out = append(out, s.Mask)
-	}
-	return out
-}
+func (a *AdaptiveSearcher) JoinOrder() []uint64 { return a.en.joinOrder() }
 
 // MatchCount returns the number of matches reported so far.
-func (a *AdaptiveSearcher) MatchCount() int64 {
-	return a.baseMatches + a.eng.Stats().Matches.Load() - a.engMatches0
-}
+func (a *AdaptiveSearcher) MatchCount() int64 { return a.en.matches() }
 
 // Discarded returns how many fed edges were filtered as discardable.
-func (a *AdaptiveSearcher) Discarded() int64 {
-	return a.baseDiscarded + a.eng.Stats().Discarded.Load() - a.engDiscarded0
-}
+func (a *AdaptiveSearcher) Discarded() int64 { return a.en.discarded() }
 
 // K returns the decomposition size.
-func (a *AdaptiveSearcher) K() int { return a.eng.K() }
+func (a *AdaptiveSearcher) K() int { return a.en.eng.K() }
 
 // InWindow returns the number of edges currently inside the window.
-func (a *AdaptiveSearcher) InWindow() int { return a.stream.Len() }
+func (a *AdaptiveSearcher) InWindow() int { return a.en.stream.Len() }
 
 // SpaceBytes estimates resident bytes of maintained partial matches.
-func (a *AdaptiveSearcher) SpaceBytes() int64 { return a.eng.SpaceBytes() }
+func (a *AdaptiveSearcher) SpaceBytes() int64 { return a.en.eng.SpaceBytes() }
 
 // PartialMatches returns the number of stored partial matches.
-func (a *AdaptiveSearcher) PartialMatches() int64 { return a.eng.PartialMatchCount() }
+func (a *AdaptiveSearcher) PartialMatches() int64 { return a.en.eng.PartialMatchCount() }
 
 // CurrentMatches enumerates the matches standing in the current window
 // (reported and not yet expired). The Match passed to fn is scratch —
 // Clone to retain. Call while no Feed is in flight.
-func (a *AdaptiveSearcher) CurrentMatches(fn func(*Match) bool) { a.eng.CurrentMatches(fn) }
+func (a *AdaptiveSearcher) CurrentMatches(fn func(*Match) bool) { a.en.CurrentMatches(fn) }
 
 // CurrentMatchCount returns the number of standing matches.
-func (a *AdaptiveSearcher) CurrentMatchCount() int { return a.eng.CurrentMatchCount() }
+func (a *AdaptiveSearcher) CurrentMatchCount() int { return a.en.currentMatchCount() }
 
 // SubCardinalities returns the observed per-subquery match counts in
 // the current join order — the statistics driving reoptimization.
-func (a *AdaptiveSearcher) SubCardinalities() []int { return a.eng.SubCardinalities() }
+func (a *AdaptiveSearcher) SubCardinalities() []int { return a.en.eng.SubCardinalities() }

@@ -4,7 +4,10 @@
 // snapshot that is isomorphic to a query graph and whose edge timestamps
 // respect the query's timing-order constraints.
 //
-// The public API is a thin façade over the internal engine:
+// The public API is one composable entry point, Open, which builds an
+// Engine from a Config; durability, adaptivity, multi-query fleets,
+// window kind, storage backend and worker parallelism are orthogonal
+// options of that one call:
 //
 //	labels := timingsubg.NewLabels()
 //	b := timingsubg.NewQueryBuilder()
@@ -15,14 +18,19 @@
 //	b.Before(reg, cmd) // registration precedes command
 //	q, _ := b.Build()
 //
-//	s, _ := timingsubg.NewSearcher(q, timingsubg.Options{
-//		Window:  30,
-//		OnMatch: func(m *timingsubg.Match) { fmt.Println(m) },
+//	eng, _ := timingsubg.Open(timingsubg.Config{
+//		Query:  q,
+//		Window: 30,
+//		OnMatch: func(_ string, m *timingsubg.Match) { fmt.Println(m) },
 //	})
 //	for _, e := range edges {
-//		s.Feed(e)
+//		eng.Feed(e)
 //	}
-//	s.Close()
+//	eng.Close()
+//
+// The former per-capability façades (Searcher, AdaptiveSearcher,
+// PersistentSearcher, MultiSearcher, PersistentMultiSearcher) remain as
+// deprecated shims over the same core.
 //
 // See examples/ for runnable scenarios and DESIGN.md for architecture.
 package timingsubg
@@ -95,7 +103,9 @@ const (
 	AllLocks = core.AllLocks
 )
 
-// Options configures a Searcher.
+// Options configures a Searcher (and, embedded in QuerySpec, one fleet
+// member). New code should set the equivalent fields on Config and call
+// Open.
 type Options struct {
 	// Window is the time-based sliding-window duration |W| (the
 	// paper's model). Exactly one of Window and CountWindow must be
@@ -120,101 +130,84 @@ type Options struct {
 	Decomposition *Decomposition
 }
 
+// ErrBadOptions reports an invalid configuration.
+var ErrBadOptions = errors.New("timingsubg: invalid options")
+
+// ErrOutOfOrder reports an edge pushed with a timestamp not strictly
+// greater than the previous edge's (the paper's model, Definition 1,
+// requires strictly increasing timestamps). It is the only per-edge
+// feed error; any other Feed/FeedBatch error is environmental (e.g. a
+// WAL write failure).
+var ErrOutOfOrder = graph.ErrOutOfOrder
+
 // Searcher is a continuous time-constrained subgraph searcher over one
 // query and one sliding window. Feed edges in timestamp order; matches
 // are delivered to OnMatch as they complete.
+//
+// Deprecated: Searcher is a thin shim over the unified engine. Use
+// Open with Config{Query: q, ...}, which exposes the same engine with
+// composable durability, adaptivity and fleet options.
 type Searcher struct {
-	stream graph.Windower
-	eng    *core.Engine
-	par    *core.Parallel
+	en *single
 }
 
-// ErrBadOptions reports invalid Searcher options.
-var ErrBadOptions = errors.New("timingsubg: invalid options")
-
 // NewSearcher builds a Searcher for q.
+//
+// Deprecated: use Open.
 func NewSearcher(q *Query, opts Options) (*Searcher, error) {
-	switch {
-	case opts.Window > 0 && opts.CountWindow > 0:
-		return nil, errors.Join(ErrBadOptions, errors.New("set only one of Window and CountWindow"))
-	case opts.Window <= 0 && opts.CountWindow <= 0:
-		return nil, errors.Join(ErrBadOptions, errors.New("one of Window and CountWindow must be positive"))
+	en, err := newSingle(q, opts, nil, opts.OnMatch)
+	if err != nil {
+		return nil, err
 	}
-	if opts.Workers > 1 && opts.Storage == Independent {
-		return nil, errors.Join(ErrBadOptions, errors.New("concurrent execution requires the MSTree backend"))
-	}
-	eng := core.New(q, core.Config{
-		Storage:       opts.Storage,
-		Decomposition: opts.Decomposition,
-		OnMatch:       opts.OnMatch,
-	})
-	var w graph.Windower
-	if opts.CountWindow > 0 {
-		w = graph.NewCountStream(opts.CountWindow)
-	} else {
-		w = graph.NewStream(opts.Window)
-	}
-	s := &Searcher{stream: w, eng: eng}
-	if opts.Workers > 1 {
-		s.par = core.NewParallel(eng, opts.LockScheme, opts.Workers)
-	}
-	return s, nil
+	return &Searcher{en: en}, nil
 }
 
 // Feed pushes one edge into the stream. The edge's Time must exceed the
 // previous edge's; its ID is assigned by the stream and returned. Expired
 // edges are retired and the new edge is matched before Feed returns (in
 // concurrent mode, before the transaction completes asynchronously).
-func (s *Searcher) Feed(e Edge) (EdgeID, error) {
-	stored, expired, err := s.stream.Push(e)
-	if err != nil {
-		return 0, err
-	}
-	if s.par != nil {
-		s.par.Process(stored, expired)
-	} else {
-		s.eng.Process(stored, expired)
-	}
-	return stored.ID, nil
-}
+// After Close, Feed returns ErrClosed.
+func (s *Searcher) Feed(e Edge) (EdgeID, error) { return s.en.Feed(e) }
+
+// FeedBatch pushes a batch of edges; see Engine.FeedBatch.
+func (s *Searcher) FeedBatch(batch []Edge) (int, error) { return s.en.FeedBatch(batch) }
 
 // Close drains in-flight work (concurrent mode) and finalizes counters.
 // The Searcher must not be fed after Close.
-func (s *Searcher) Close() {
-	if s.par != nil {
-		s.par.Wait()
-	}
-}
+func (s *Searcher) Close() { s.en.Close() }
+
+// Stats returns the unified counter snapshot.
+func (s *Searcher) Stats() Stats { return s.en.Stats() }
 
 // MatchCount returns the number of matches reported so far. In concurrent
 // mode call Close (or accept a lower bound) before reading.
-func (s *Searcher) MatchCount() int64 { return s.eng.Stats().Matches.Load() }
+func (s *Searcher) MatchCount() int64 { return s.en.matches() }
 
 // Discarded returns how many fed edges were filtered as discardable
 // (matched a query edge label but could never complete a match).
-func (s *Searcher) Discarded() int64 { return s.eng.Stats().Discarded.Load() }
+func (s *Searcher) Discarded() int64 { return s.en.discarded() }
 
 // SpaceBytes estimates resident bytes of maintained partial matches.
 // Call while no Feed is in flight.
-func (s *Searcher) SpaceBytes() int64 { return s.eng.SpaceBytes() }
+func (s *Searcher) SpaceBytes() int64 { return s.en.eng.SpaceBytes() }
 
 // PartialMatches returns the number of stored partial matches.
-func (s *Searcher) PartialMatches() int64 { return s.eng.PartialMatchCount() }
+func (s *Searcher) PartialMatches() int64 { return s.en.eng.PartialMatchCount() }
 
 // K returns the size of the TC decomposition in use.
-func (s *Searcher) K() int { return s.eng.K() }
+func (s *Searcher) K() int { return s.en.eng.K() }
 
 // InWindow returns the number of edges currently inside the window.
-func (s *Searcher) InWindow() int { return s.stream.Len() }
+func (s *Searcher) InWindow() int { return s.en.stream.Len() }
 
 // WriteState dumps the engine's live expansion-list populations and
 // counters for diagnostics. Call while no Feed is in flight.
-func (s *Searcher) WriteState(w io.Writer) { s.eng.WriteState(w) }
+func (s *Searcher) WriteState(w io.Writer) { s.en.writeState(w) }
 
 // CurrentMatches enumerates the matches standing in the current window
 // (reported and not yet expired). The Match passed to fn is scratch —
 // Clone to retain. Call while no Feed is in flight.
-func (s *Searcher) CurrentMatches(fn func(*Match) bool) { s.eng.CurrentMatches(fn) }
+func (s *Searcher) CurrentMatches(fn func(*Match) bool) { s.en.CurrentMatches(fn) }
 
 // CurrentMatchCount returns the number of standing matches.
-func (s *Searcher) CurrentMatchCount() int { return s.eng.CurrentMatchCount() }
+func (s *Searcher) CurrentMatchCount() int { return s.en.currentMatchCount() }

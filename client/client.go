@@ -127,6 +127,16 @@ func (c *Client) Stats(ctx context.Context) (map[string]any, error) {
 	return out, err
 }
 
+// EngineStats samples the unified engine snapshot — the typed form of
+// the "fleet.stats" metric, with per-query snapshots under Queries.
+func (c *Client) EngineStats(ctx context.Context) (EngineStats, error) {
+	var out map[string]EngineStats
+	if err := c.doJSON(ctx, http.MethodGet, "/stats?metric=fleet.stats", nil, &out); err != nil {
+		return EngineStats{}, err
+	}
+	return out["fleet.stats"], nil
+}
+
 // Health probes the server's liveness endpoint.
 func (c *Client) Health(ctx context.Context) error {
 	var h Health

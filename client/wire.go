@@ -101,3 +101,29 @@ type MatchEvent struct {
 type Health struct {
 	Status string `json:"status"`
 }
+
+// EngineStats is the wire form of the engine's unified Stats snapshot,
+// served under the "fleet.stats" key of GET /stats. Fields a given
+// composition does not use stay zero; the adaptive/durable/fleet flags
+// say which sections apply. Per-query snapshots (never themselves
+// fleets) sit under Queries.
+type EngineStats struct {
+	Matches         int64   `json:"matches"`
+	Discarded       int64   `json:"discarded"`
+	Fed             int64   `json:"fed"`
+	InWindow        int     `json:"in_window"`
+	PartialMatches  int64   `json:"partial_matches"`
+	SpaceBytes      int64   `json:"space_bytes"`
+	LastTime        int64   `json:"last_time"`
+	K               int     `json:"k,omitempty"`
+	Reoptimizations int     `json:"reoptimizations,omitempty"`
+	WALSeq          int64   `json:"wal_seq,omitempty"`
+	Replayed        int64   `json:"replayed,omitempty"`
+	RoutedFraction  float64 `json:"routed_fraction,omitempty"`
+
+	Queries map[string]EngineStats `json:"queries,omitempty"`
+
+	Adaptive bool `json:"adaptive,omitempty"`
+	Durable  bool `json:"durable,omitempty"`
+	Fleet    bool `json:"fleet,omitempty"`
+}

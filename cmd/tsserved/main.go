@@ -8,6 +8,7 @@
 //	tsserved -listen :8080
 //	tsserved -listen :8080 -routed
 //	tsserved -listen :8080 -wal ./state -sync-every 64
+//	tsserved -listen :8080 -adaptive -wal ./state   # adaptive + durable compose
 //
 // Endpoints (wire contract in timingsubg/client):
 //
@@ -48,6 +49,9 @@ import (
 func main() {
 	listen := flag.String("listen", ":8080", "HTTP listen address")
 	routed := flag.Bool("routed", false, "label-based routing: dispatch each edge only to interested queries (in-memory mode)")
+	adaptive := flag.Bool("adaptive", false, "adaptive join orders: reoptimize each query's TC decomposition from observed stream statistics (composable with -wal)")
+	reoptEvery := flag.Int("reoptimize-every", 0, "adaptive mode: check join orders after every n ingested edges (0 = 1024)")
+	minGain := flag.Float64("min-gain", 0, "adaptive mode: estimated cost ratio required before a rebuild (0 = 2.0)")
 	walDir := flag.String("wal", "", "durability directory: WAL + checkpoints + query registry; empty = in-memory only")
 	ckEvery := flag.Int("checkpoint-every", 4096, "durable mode: checkpoint after every n ingested edges")
 	syncEvery := flag.Int("sync-every", 0, "durable mode: fsync the WAL after every n appends (0 disables)")
@@ -61,6 +65,12 @@ func main() {
 		Routed:           *routed,
 		SubscriberBuffer: *subBuffer,
 		QueueDepth:       *queueDepth,
+	}
+	if *adaptive {
+		cfg.Adaptive = &timingsubg.Adaptivity{
+			ReoptimizeEvery: *reoptEvery,
+			MinGain:         *minGain,
+		}
 	}
 	var srv *server.Server
 	var err error

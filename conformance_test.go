@@ -1,0 +1,652 @@
+package timingsubg
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"timingsubg/internal/graph"
+)
+
+// The cross-façade conformance suite: every option combination Open can
+// express is driven through the same scripted stream and must report
+// the same counters as the plain single-query engine — composition
+// changes capabilities and performance, never results. This includes
+// the combinations the old per-capability façades could not express at
+// all: adaptive+durable, and adaptive members inside a (durable) fleet.
+
+// confSnap is the result-determining slice of a Stats snapshot. Fields
+// like Fed, WALSeq or Replayed legitimately differ across compositions;
+// these three must not.
+type confSnap struct {
+	Matches   int64
+	Discarded int64
+	InWindow  int
+}
+
+func snap(st Stats) confSnap {
+	return confSnap{Matches: st.Matches, Discarded: st.Discarded, InWindow: st.InWindow}
+}
+
+// feedEach drives edges one Feed at a time.
+func feedEach(t *testing.T, eng Engine, edges []Edge) {
+	t.Helper()
+	for i, e := range edges {
+		if _, err := eng.Feed(e); err != nil {
+			t.Fatalf("feed edge %d: %v", i, err)
+		}
+	}
+}
+
+// feedChunks drives edges through FeedBatch in uneven chunks.
+func feedChunks(t *testing.T, eng Engine, edges []Edge, chunk int) {
+	t.Helper()
+	for off := 0; off < len(edges); off += chunk {
+		end := off + chunk
+		if end > len(edges) {
+			end = len(edges)
+		}
+		n, err := eng.FeedBatch(edges[off:end])
+		if err != nil {
+			t.Fatalf("feed batch at %d: %v", off, err)
+		}
+		if n != end-off {
+			t.Fatalf("feed batch at %d: fed %d of %d", off, n, end-off)
+		}
+	}
+}
+
+func TestConformanceSingleCombinations(t *testing.T) {
+	labels := NewLabels()
+	q := persistTestQuery(t, labels)
+	edges := persistTestStream(labels, 2500, 91)
+	const window = 60
+
+	open := func(t *testing.T, cfg Config) Engine {
+		t.Helper()
+		cfg.Query, cfg.Window = q, window
+		eng, err := Open(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
+
+	base := open(t, Config{})
+	feedEach(t, base, edges)
+	base.Close()
+	want := snap(base.Stats())
+	if want.Matches == 0 || want.Discarded == 0 {
+		t.Fatalf("degenerate baseline: %+v", want)
+	}
+
+	cases := []struct {
+		name  string
+		cfg   Config
+		batch int // 0 = per-edge Feed
+	}{
+		{name: "feedbatch", batch: 97},
+		{name: "independent-storage", cfg: Config{Storage: Independent}},
+		{name: "workers-4", cfg: Config{Workers: 4}},
+		{name: "workers-4-alllocks", cfg: Config{Workers: 4, LockScheme: AllLocks}},
+		{name: "adaptive", cfg: Config{Adaptive: &Adaptivity{ReoptimizeEvery: 128, MinGain: 1.05}}},
+		{name: "durable", cfg: Config{Durable: &Durability{CheckpointEvery: 300}}},
+		{name: "durable-batch", cfg: Config{Durable: &Durability{CheckpointEvery: 300}}, batch: 113},
+		{name: "adaptive-durable", cfg: Config{
+			Adaptive: &Adaptivity{ReoptimizeEvery: 128, MinGain: 1.05},
+			Durable:  &Durability{CheckpointEvery: 300},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.cfg.Durable != nil {
+				tc.cfg.Durable.Dir = t.TempDir()
+			}
+			eng := open(t, tc.cfg)
+			if tc.batch > 0 {
+				feedChunks(t, eng, edges, tc.batch)
+			} else {
+				feedEach(t, eng, edges)
+			}
+			eng.Close() // drain workers so counters are final
+			if got := snap(eng.Stats()); got != want {
+				t.Fatalf("stats diverge from plain engine: got %+v, want %+v", got, want)
+			}
+		})
+	}
+}
+
+func TestConformanceCountWindow(t *testing.T) {
+	labels := NewLabels()
+	q := persistTestQuery(t, labels)
+	edges := persistTestStream(labels, 1500, 17)
+
+	base, err := Open(Config{Query: q, CountWindow: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedEach(t, base, edges)
+	base.Close()
+	want := snap(base.Stats())
+	if want.Matches == 0 {
+		t.Fatalf("degenerate count-window baseline: %+v", want)
+	}
+
+	batch, err := Open(Config{Query: q, CountWindow: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedChunks(t, batch, edges, 89)
+	batch.Close()
+	if got := snap(batch.Stats()); got != want {
+		t.Fatalf("count-window batch diverges: got %+v, want %+v", got, want)
+	}
+
+	// Count-window fleet members: each member must equal the standalone
+	// count-window engine.
+	fl, err := OpenFleet(Config{
+		Queries:     []QuerySpec{{Name: "q1", Query: q}, {Name: "q2", Query: q}},
+		CountWindow: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedEach(t, fl, edges)
+	fl.Close()
+	for name, qs := range fl.Stats().Queries {
+		if got := snap(qs); got != want {
+			t.Fatalf("count-window fleet member %s diverges: got %+v, want %+v", name, got, want)
+		}
+	}
+}
+
+// TestConformanceAdaptiveDurable proves the previously-impossible
+// adaptive+durable composition end to end: the join order demonstrably
+// adapts, a crash loses nothing, and the durable total equals the plain
+// uninterrupted run.
+func TestConformanceAdaptiveDurable(t *testing.T) {
+	q := starQuery(t)
+	edges := skewedStream(1600, 5, 0)
+	edges = append(edges, skewedStreamFrom(1600, 1600, 6, 2)...)
+	const window = 300
+
+	base, err := Open(Config{Query: q, Window: window})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedEach(t, base, edges)
+	base.Close()
+	want := snap(base.Stats())
+	if want.Matches == 0 {
+		t.Fatal("degenerate baseline: no matches")
+	}
+
+	adapt := &Adaptivity{ReoptimizeEvery: 150, MinGain: 1.05}
+	dir := t.TempDir()
+	cfg := Config{Query: q, Window: window, Adaptive: adapt,
+		Durable: &Durability{Dir: dir, CheckpointEvery: 500}}
+
+	// Run 1: feed 60% of the stream, then crash (no Close).
+	eng1, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := len(edges) * 6 / 10
+	feedEach(t, eng1, edges[:cut])
+	if eng1.Stats().Reoptimizations == 0 {
+		t.Fatal("adaptive+durable engine never reoptimized — combination not exercised")
+	}
+	// Abandon without Close: recovery must rebuild from WAL+checkpoint.
+
+	eng2, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := eng2.Stats()
+	if st.Matches != eng1.Stats().Matches {
+		t.Fatalf("recovered matches %d != pre-crash %d", st.Matches, eng1.Stats().Matches)
+	}
+	feedEach(t, eng2, edges[cut:])
+	if err := eng2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := snap(eng2.Stats()); got != want {
+		t.Fatalf("adaptive+durable across crash diverges: got %+v, want %+v", got, want)
+	}
+}
+
+// skewedStreamFrom is skewedStream with a timestamp offset, for
+// multi-phase streams.
+func skewedStreamFrom(start, n int, seed int64, hot int) []Edge {
+	out := skewedStream(n, seed, hot)
+	for i := range out {
+		out[i].Time += Timestamp(start)
+	}
+	return out
+}
+
+func TestConformanceFleetCombinations(t *testing.T) {
+	labels := NewLabels()
+	q := persistTestQuery(t, labels)
+	star := starQuery(t)
+	edges := persistTestStream(labels, 2000, 33)
+	const window = 80
+
+	// Standalone baselines, one per member query, over the same stream.
+	baseline := func(t *testing.T, q *Query) confSnap {
+		t.Helper()
+		eng, err := Open(Config{Query: q, Window: window})
+		if err != nil {
+			t.Fatal(err)
+		}
+		feedEach(t, eng, edges)
+		eng.Close()
+		return snap(eng.Stats())
+	}
+	wantChain := baseline(t, q)
+	wantStar := baseline(t, star)
+	if wantChain.Matches == 0 {
+		t.Fatalf("degenerate chain baseline: %+v", wantChain)
+	}
+
+	specs := []QuerySpec{
+		{Name: "chain", Query: q},
+		{Name: "star", Query: star},
+	}
+	adapt := &Adaptivity{ReoptimizeEvery: 100, MinGain: 1.05}
+
+	cases := []struct {
+		name       string
+		cfg        Config
+		routed     bool // routed members may hold fewer edges in-window
+		wantAdapts bool
+	}{
+		{name: "broadcast", cfg: Config{Queries: specs, Window: window}},
+		{name: "broadcast-batch", cfg: Config{Queries: specs, Window: window}},
+		{name: "routed", cfg: Config{Queries: specs, Window: window, Routed: true}, routed: true},
+		{name: "adaptive-members", cfg: Config{Queries: specs, Window: window, Adaptive: adapt}},
+		{name: "durable", cfg: Config{Queries: specs, Window: window, Durable: &Durability{CheckpointEvery: 300}}},
+		{name: "durable-adaptive-members", cfg: Config{
+			Queries: specs, Window: window, Adaptive: adapt,
+			Durable: &Durability{CheckpointEvery: 300},
+		}},
+		{name: "spec-level-adaptive", cfg: Config{
+			Queries: []QuerySpec{
+				{Name: "chain", Query: q},
+				{Name: "star", Query: star, Adaptive: adapt},
+			},
+			Window: window,
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.cfg.Durable != nil {
+				tc.cfg.Durable.Dir = t.TempDir()
+			}
+			fl, err := OpenFleet(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.name == "broadcast-batch" {
+				feedChunks(t, fl, edges, 101)
+			} else {
+				feedEach(t, fl, edges)
+			}
+			fl.Close()
+			st := fl.Stats()
+			for name, want := range map[string]confSnap{"chain": wantChain, "star": wantStar} {
+				got := snap(st.Queries[name])
+				if tc.routed {
+					// A routed member sees only compatible edges: its
+					// window holds a subset and edges the full engine
+					// would count as discardable are filtered before it.
+					// The result set — Matches — must still agree.
+					got.InWindow, got.Discarded = want.InWindow, want.Discarded
+				}
+				if got != want {
+					t.Fatalf("fleet member %s diverges: got %+v, want %+v", name, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestConformanceAdaptiveInFleet pins the second previously-impossible
+// combination with a stream that demonstrably triggers reoptimization
+// inside a fleet member, then checks the member against the standalone
+// adaptive and plain engines.
+func TestConformanceAdaptiveInFleet(t *testing.T) {
+	star := starQuery(t)
+	edges := skewedStream(1500, 21, 0)
+	edges = append(edges, skewedStreamFrom(1500, 1500, 22, 2)...)
+	const window = 250
+
+	plain, err := Open(Config{Query: star, Window: window})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedEach(t, plain, edges)
+	plain.Close()
+	want := snap(plain.Stats())
+
+	adapt := &Adaptivity{ReoptimizeEvery: 120, MinGain: 1.05}
+	fl, err := OpenFleet(Config{
+		Queries: []QuerySpec{{Name: "star", Query: star, Adaptive: adapt}},
+		Window:  window,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedEach(t, fl, edges)
+	fl.Close()
+	st := fl.Stats()
+	if st.Queries["star"].Reoptimizations == 0 {
+		t.Fatal("fleet member never reoptimized — adaptive-in-fleet not exercised")
+	}
+	if got := snap(st.Queries["star"]); got != want {
+		t.Fatalf("adaptive fleet member diverges: got %+v, want %+v", got, want)
+	}
+}
+
+// TestFleetStatsConcurrentWithAdaptiveFeed exercises the fleet
+// contract that read accessors may run concurrently with Feed, in the
+// presence of an adaptive member whose engine rebuilds mid-stream (the
+// dispatch lock upgrades to exclusive for that). Run under -race.
+func TestFleetStatsConcurrentWithAdaptiveFeed(t *testing.T) {
+	run := func(t *testing.T, durable bool) {
+		star := starQuery(t)
+		edges := skewedStream(1200, 9, 0)
+		edges = append(edges, skewedStreamFrom(1200, 1200, 10, 2)...)
+		cfg := Config{
+			Queries: []QuerySpec{{Name: "star", Query: star}},
+			Window:  200,
+			Adaptive: &Adaptivity{
+				ReoptimizeEvery: 100,
+				MinGain:         1.05,
+			},
+		}
+		if durable {
+			cfg.Durable = &Durability{Dir: t.TempDir(), CheckpointEvery: 300}
+		}
+		fl, err := OpenFleet(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = fl.Stats()
+					_ = fl.Names()
+					_ = fl.HasQuery("star")
+				}
+			}
+		}()
+		feedEach(t, fl, edges)
+		close(stop)
+		wg.Wait()
+		if fl.Stats().Queries["star"].Reoptimizations == 0 {
+			t.Fatal("no rebuild happened — test exercises nothing")
+		}
+		fl.Close()
+	}
+	t.Run("in-memory", func(t *testing.T) { run(t, false) })
+	t.Run("durable", func(t *testing.T) { run(t, true) })
+}
+
+// TestRunWrapsErrorsIdentically pins the shared Run loop contract:
+// every engine shape (and façade) wraps a feed error with the
+// offending edge's stream index the same way. MultiSearcher.Run used
+// to return the error bare.
+func TestRunWrapsErrorsIdentically(t *testing.T) {
+	labels := NewLabels()
+	q := persistTestQuery(t, labels)
+	badStream := func() chan Edge {
+		ch := make(chan Edge, 2)
+		ch <- Edge{From: 0, To: 1, FromLabel: labels.Intern("a"), ToLabel: labels.Intern("b"), Time: 5}
+		ch <- Edge{From: 1, To: 2, FromLabel: labels.Intern("b"), ToLabel: labels.Intern("c"), Time: 5} // out of order
+		close(ch)
+		return ch
+	}
+	check := func(t *testing.T, n int64, err error) {
+		t.Helper()
+		if n != 1 {
+			t.Fatalf("processed %d edges, want 1", n)
+		}
+		if !errors.Is(err, graph.ErrOutOfOrder) {
+			t.Fatalf("err = %v, want ErrOutOfOrder", err)
+		}
+		if want := "timingsubg: edge 1: "; err == nil || len(err.Error()) < len(want) || err.Error()[:len(want)] != want {
+			t.Fatalf("err %q does not wrap the edge index like %q", err, want)
+		}
+	}
+	t.Run("engine", func(t *testing.T) {
+		eng, err := Open(Config{Query: q, Window: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := eng.Run(t.Context(), badStream())
+		check(t, n, err)
+	})
+	t.Run("fleet", func(t *testing.T) {
+		fl, err := OpenFleet(Config{Queries: []QuerySpec{{Name: "q", Query: q}}, Window: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := fl.Run(t.Context(), badStream())
+		check(t, n, err)
+	})
+	t.Run("searcher-shim", func(t *testing.T) {
+		s, err := NewSearcher(q, Options{Window: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := s.Run(t.Context(), badStream())
+		check(t, n, err)
+	})
+	t.Run("multi-shim", func(t *testing.T) {
+		ms, err := NewMultiSearcher([]QuerySpec{{Name: "q", Query: q, Options: Options{Window: 10}}}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := ms.Run(t.Context(), badStream())
+		check(t, n, err)
+	})
+}
+
+func TestFeedBatchStopsAtBadEdge(t *testing.T) {
+	labels := NewLabels()
+	q := persistTestQuery(t, labels)
+	edges := persistTestStream(labels, 20, 3)
+	edges[10].Time = edges[9].Time // out of order mid-batch
+
+	eng, err := Open(Config{Query: q, Window: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := eng.FeedBatch(edges)
+	if n != 10 {
+		t.Fatalf("fed %d edges before the bad one, want 10", n)
+	}
+	if !errors.Is(err, graph.ErrOutOfOrder) {
+		t.Fatalf("err = %v, want ErrOutOfOrder", err)
+	}
+	// The engine stays usable past the bad edge.
+	if _, err := eng.FeedBatch(edges[11:]); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Stats().Fed; got != 19 {
+		t.Fatalf("fed total %d, want 19", got)
+	}
+}
+
+// TestFeedBatchCannotPoisonWAL checks the durable batch path validates
+// timestamps before logging: after rejecting a bad edge, a reopen of
+// the directory must succeed (a poisoned log would fail recovery).
+func TestFeedBatchCannotPoisonWAL(t *testing.T) {
+	labels := NewLabels()
+	q := persistTestQuery(t, labels)
+	edges := persistTestStream(labels, 30, 4)
+	edges[20].Time = edges[19].Time
+
+	dir := t.TempDir()
+	cfg := Config{Query: q, Window: 50, Durable: &Durability{Dir: dir}}
+	eng, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := eng.FeedBatch(edges)
+	if n != 20 || !errors.Is(err, graph.ErrOutOfOrder) {
+		t.Fatalf("FeedBatch = (%d, %v), want (20, ErrOutOfOrder)", n, err)
+	}
+	// Same for the single-edge durable path (previously the bad edge hit
+	// the WAL first and recovery would fail).
+	if _, err := eng.Feed(edges[20]); !errors.Is(err, graph.ErrOutOfOrder) {
+		t.Fatalf("Feed = %v, want ErrOutOfOrder", err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	eng2, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("reopen after rejected batch: %v", err)
+	}
+	if got := eng2.Stats().WALSeq; got != 20 {
+		t.Fatalf("WALSeq = %d, want 20 (only valid edges logged)", got)
+	}
+	eng2.Close()
+}
+
+func TestErrClosed(t *testing.T) {
+	labels := NewLabels()
+	q := persistTestQuery(t, labels)
+	e := Edge{From: 0, To: 1, FromLabel: labels.Intern("a"), ToLabel: labels.Intern("b"), Time: 1}
+
+	t.Run("single", func(t *testing.T) {
+		eng, err := Open(Config{Query: q, Window: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Close(); err != nil {
+			t.Fatalf("second Close: %v", err)
+		}
+		if _, err := eng.Feed(e); !errors.Is(err, ErrClosed) {
+			t.Fatalf("Feed after Close = %v, want ErrClosed", err)
+		}
+		if _, err := eng.FeedBatch([]Edge{e}); !errors.Is(err, ErrClosed) {
+			t.Fatalf("FeedBatch after Close = %v, want ErrClosed", err)
+		}
+	})
+	t.Run("durable", func(t *testing.T) {
+		eng, err := Open(Config{Query: q, Window: 10, Durable: &Durability{Dir: t.TempDir()}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.Close()
+		if _, err := eng.Feed(e); !errors.Is(err, ErrClosed) {
+			t.Fatalf("Feed after Close = %v, want ErrClosed", err)
+		}
+	})
+	t.Run("fleet", func(t *testing.T) {
+		fl, err := OpenFleet(Config{Queries: []QuerySpec{{Name: "q", Query: q}}, Window: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fl.Close()
+		if _, err := fl.Feed(e); !errors.Is(err, ErrClosed) {
+			t.Fatalf("Feed after Close = %v, want ErrClosed", err)
+		}
+		if _, err := fl.FeedBatch([]Edge{e}); !errors.Is(err, ErrClosed) {
+			t.Fatalf("FeedBatch after Close = %v, want ErrClosed", err)
+		}
+		if err := fl.AddQuery(QuerySpec{Name: "late", Query: q}); !errors.Is(err, ErrClosed) {
+			t.Fatalf("AddQuery after Close = %v, want ErrClosed", err)
+		}
+	})
+	t.Run("deprecated-shims", func(t *testing.T) {
+		s, err := NewSearcher(q, Options{Window: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Close()
+		if _, err := s.Feed(e); !errors.Is(err, ErrClosed) {
+			t.Fatalf("Searcher.Feed after Close = %v, want ErrClosed", err)
+		}
+	})
+}
+
+func TestOpenValidation(t *testing.T) {
+	labels := NewLabels()
+	q := persistTestQuery(t, labels)
+	spec := QuerySpec{Name: "q", Query: q}
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"no-query", Config{Window: 10}},
+		{"query-and-queries", Config{Query: q, Queries: []QuerySpec{spec}, Window: 10}},
+		{"query-and-dynamic", Config{Query: q, Dynamic: true, Window: 10}},
+		{"both-windows", Config{Query: q, Window: 10, CountWindow: 10}},
+		{"no-window", Config{Query: q}},
+		{"adaptive-workers", Config{Query: q, Window: 10, Workers: 4, Adaptive: &Adaptivity{}}},
+		{"durable-workers", Config{Query: q, Window: 10, Workers: 4, Durable: &Durability{Dir: "x"}}},
+		{"durable-no-dir", Config{Query: q, Window: 10, Durable: &Durability{}}},
+		{"durable-count-window", Config{Query: q, CountWindow: 10, Durable: &Durability{Dir: "x"}}},
+		{"workers-independent", Config{Query: q, Window: 10, Workers: 4, Storage: Independent}},
+		{"routed-count-window", Config{Queries: []QuerySpec{spec}, CountWindow: 10, Routed: true}},
+		{"routed-durable", Config{Queries: []QuerySpec{spec}, Window: 10, Routed: true, Durable: &Durability{Dir: "x"}}},
+		{"routed-single", Config{Query: q, Window: 10, Routed: true}},
+		{"empty-fleet", Config{Queries: []QuerySpec{}}},
+		{"unnamed-member", Config{Queries: []QuerySpec{{Query: q}}, Window: 10}},
+		{"duplicate-member", Config{Queries: []QuerySpec{spec, spec}, Window: 10}},
+		{"durable-path-unsafe-name", Config{
+			Queries: []QuerySpec{{Name: "a/b", Query: q}}, Window: 10,
+			Durable: &Durability{Dir: "x"},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Open(tc.cfg); !errors.Is(err, ErrBadOptions) {
+				t.Fatalf("Open = %v, want ErrBadOptions", err)
+			}
+		})
+	}
+}
+
+// TestFleetDefaultsInherited checks Config-level defaults flow into
+// members that leave them unset, while spec-level settings win.
+func TestFleetDefaultsInherited(t *testing.T) {
+	labels := NewLabels()
+	q := persistTestQuery(t, labels)
+	fl, err := OpenFleet(Config{
+		Queries: []QuerySpec{
+			{Name: "default", Query: q},
+			{Name: "custom", Query: q, Options: Options{Window: 25}},
+		},
+		Window: 80,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := persistTestStream(labels, 300, 44)
+	feedEach(t, fl, edges)
+	st := fl.Stats()
+	fl.Close()
+	// The 25-tick window must hold no more edges than the 80-tick one.
+	if d, c := st.Queries["default"].InWindow, st.Queries["custom"].InWindow; c > d {
+		t.Fatalf("custom window (25) holds %d edges, default (80) holds %d", c, d)
+	}
+	if st.Queries["default"].InWindow == st.Queries["custom"].InWindow {
+		t.Fatalf("windows did not differ: spec override ineffective")
+	}
+}

@@ -1,0 +1,299 @@
+package timingsubg
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrClosed is returned by Feed, FeedBatch and the fleet mutators when
+// the engine has been closed. Feeding a closed engine was previously
+// documented-forbidden but unchecked; it is now a checked error.
+var ErrClosed = errors.New("timingsubg: engine is closed")
+
+// Engine is the one contract every engine composition satisfies: a
+// continuous time-constrained subgraph search engine over a sliding
+// window, fed edges in timestamp order. Open builds an Engine from a
+// Config; durability, adaptivity, fleet fan-out, window kind, storage
+// backend and worker parallelism are all orthogonal options of that one
+// entry point, not separate types.
+//
+// Unless stated otherwise an Engine is not safe for concurrent feeding:
+// Feed, FeedBatch, Run and Close must be serialized by the caller (one
+// feeder goroutine, or an external lock). Fleets serialize Stats and
+// the other read accessors against feeds internally, so sampling them
+// while ingest runs is always safe. For single engines the match and
+// discard counters are atomic; the window fields (InWindow, LastTime),
+// the walking fields (SpaceBytes, PartialMatches) and CurrentMatches
+// should be read while no feed is in flight.
+type Engine interface {
+	// Feed pushes one edge. The edge's Time must exceed the previous
+	// edge's; the returned ID is the engine's stream sequence for the
+	// edge (the WAL sequence number in durable mode). After Close, Feed
+	// returns ErrClosed.
+	Feed(e Edge) (EdgeID, error)
+	// FeedBatch pushes a batch of edges in order — the amortized fast
+	// path: the closed-check, WAL write/sync, fleet lock acquisition and
+	// maintenance cadences are paid once per batch rather than once per
+	// edge. It returns how many leading edges were fed; on error, edges
+	// from the failing one on were not fed. In durable mode the batch is
+	// validated for timestamp monotonicity before anything is logged, so
+	// a bad edge can never poison the WAL.
+	FeedBatch(batch []Edge) (int, error)
+	// Run consumes edges from a channel until it closes or ctx is
+	// cancelled, then closes the engine. It returns the number of edges
+	// processed and the first error, wrapped with the offending edge's
+	// stream index.
+	Run(ctx context.Context, edges <-chan Edge) (int64, error)
+	// Close drains in-flight work, finalizes counters and, in durable
+	// mode, checkpoints and closes the WAL. Close is idempotent.
+	Close() error
+	// Stats returns the unified counter snapshot.
+	Stats() Stats
+	// CurrentMatches enumerates the matches standing in the current
+	// window (reported and not yet expired); fleets enumerate every
+	// query's standing matches. The Match passed to fn is scratch —
+	// Clone to retain. Call while no feed is in flight.
+	CurrentMatches(fn func(*Match) bool)
+}
+
+// Fleet is the multi-query extension of Engine: a dynamic set of named
+// queries over one shared stream. Open returns a Fleet when Config
+// selects fleet mode (Queries and/or Dynamic); OpenFleet asserts that.
+// AddQuery and RemoveQuery must be serialized with feeding by the
+// caller; HasQuery and Names may run concurrently.
+type Fleet interface {
+	Engine
+	// AddQuery registers one more query on the live fleet. Its window
+	// starts empty: it sees only edges fed after it joins.
+	AddQuery(spec QuerySpec) error
+	// RemoveQuery retires the named query; no match for it is delivered
+	// after RemoveQuery returns.
+	RemoveQuery(name string) error
+	// HasQuery reports whether a live query is registered under name.
+	HasQuery(name string) bool
+	// Names returns the live query names, in registration-slot order.
+	Names() []string
+}
+
+// Stats is the unified live-counter snapshot of any Engine — one struct
+// replacing the per-type accessor sets of the deprecated façades. Fields
+// that a composition does not use stay at their zero value; the
+// Adaptive, Durable and Fleet flags say which sections apply.
+type Stats struct {
+	// Matches is the number of complete matches reported so far, durable
+	// across restarts and engine rebuilds.
+	Matches int64 `json:"matches"`
+	// Discarded counts fed edges filtered as discardable (matched a
+	// query edge label but could never complete a match).
+	Discarded int64 `json:"discarded"`
+	// Fed counts edges pushed through this engine in this process
+	// (including recovery replay; fleets count edges offered, not the
+	// per-member fan-out).
+	Fed int64 `json:"fed"`
+	// InWindow is the number of edges currently inside the window
+	// (summed over members, for fleets).
+	InWindow int `json:"in_window"`
+	// PartialMatches is the number of stored partial matches.
+	PartialMatches int64 `json:"partial_matches"`
+	// SpaceBytes estimates resident bytes of maintained partial matches.
+	SpaceBytes int64 `json:"space_bytes"`
+	// LastTime is the timestamp of the most recent edge seen (across
+	// restarts, in durable mode), or 0 before any edge.
+	LastTime Timestamp `json:"last_time"`
+
+	// K is the size of the TC decomposition in use (0 for fleets; see
+	// Queries for the per-member value).
+	K int `json:"k,omitempty"`
+	// Reoptimizations counts adaptive engine rebuilds.
+	Reoptimizations int `json:"reoptimizations,omitempty"`
+	// WALSeq is the write-ahead log's next sequence number (= edges
+	// logged across all runs).
+	WALSeq int64 `json:"wal_seq,omitempty"`
+	// Replayed is how many WAL edges were replayed by the most recent
+	// Open (0 on a cold start).
+	Replayed int64 `json:"replayed,omitempty"`
+	// RoutedFraction is the ratio of engine feeds performed to feeds a
+	// naive fan-out would have performed (1 when routing is off).
+	RoutedFraction float64 `json:"routed_fraction,omitempty"`
+	// Queries holds per-member snapshots, keyed by query name (fleets
+	// only).
+	Queries map[string]Stats `json:"queries,omitempty"`
+
+	// Adaptive, Durable and Fleet report which composable capabilities
+	// this engine was opened with, making the snapshot self-describing.
+	Adaptive bool `json:"adaptive,omitempty"`
+	Durable  bool `json:"durable,omitempty"`
+	Fleet    bool `json:"fleet,omitempty"`
+}
+
+// Adaptivity composes the feedback join-order reoptimizer onto an
+// engine. The paper selects the join order once, from the static
+// joint-number heuristic (Section VI-C); adaptivity closes that loop
+// with feedback from observed per-subquery cardinalities, rebuilding the
+// engine under a cheaper order when the estimated gain clears MinGain.
+// Adaptation changes performance, never results.
+type Adaptivity struct {
+	// ReoptimizeEvery checks the join order after every n fed edges.
+	// Zero means 1024.
+	ReoptimizeEvery int
+	// MinGain is the estimated cost ratio (current order / best order)
+	// required before paying for a rebuild. Zero means 2.0; values
+	// closer to 1 reoptimize more eagerly.
+	MinGain float64
+}
+
+// Durability composes write-ahead logging and checkpoint-based crash
+// recovery onto an engine. Every fed edge is logged before it is
+// matched; Open rebuilds the exact engine state after a crash or
+// restart and resumes. Delivery across a restart is at-least-once for
+// matches completed after the last checkpoint (see MatchDeduper).
+type Durability struct {
+	// Dir is the durability directory (WAL segments + checkpoints). In
+	// fleet mode the edge log is shared by all queries; each query keeps
+	// its own checkpoints under Dir/ck/<name>/.
+	Dir string
+	// CheckpointEvery writes a checkpoint after every n fed edges. Zero
+	// means 4096.
+	CheckpointEvery int
+	// SyncEvery fsyncs the WAL after every n appends; zero disables
+	// fsync. A FeedBatch is one durability unit: it syncs at most once,
+	// after the batch.
+	SyncEvery int
+	// SegmentBytes sets the WAL segment rotation size (default 4 MiB).
+	SegmentBytes int64
+}
+
+// Config configures Open. Exactly one of Query (single-query mode) and
+// Queries/Dynamic (fleet mode) selects the engine shape; every other
+// option is orthogonal and composable — including combinations the old
+// façades could not express, such as adaptive+durable engines and
+// adaptive members inside a fleet.
+type Config struct {
+	// Query selects single-query mode.
+	Query *Query
+	// Queries selects fleet mode: several named queries over one shared
+	// stream. Each spec's Options override the Config-level defaults
+	// below where set.
+	Queries []QuerySpec
+	// Dynamic selects fleet mode with a dynamic roster: Queries may be
+	// empty and AddQuery/RemoveQuery reshape the fleet while the stream
+	// is live.
+	Dynamic bool
+	// Routed enables label-based routing in fleet mode: each edge is
+	// dispatched only to the queries with a compatible
+	// ⟨from-label, to-label, edge-label⟩ signature. Requires time-based
+	// windows (a count window is defined over the edges fed to the
+	// engine, so skipping would silently widen it).
+	Routed bool
+
+	// Window is the time-based sliding-window duration |W|. Exactly one
+	// of Window and CountWindow must be positive (in fleet mode, for
+	// each member after spec overrides).
+	Window Timestamp
+	// CountWindow, when positive, uses a count-based window holding the
+	// most recent CountWindow edges.
+	CountWindow int
+	// Storage selects the partial-match backend (default MSTree).
+	Storage Storage
+	// Workers > 1 enables concurrent execution with that many in-flight
+	// edge transactions (requires MSTree storage; incompatible with
+	// Adaptive and Durable, which need a quiescent engine).
+	Workers int
+	// LockScheme selects the concurrency control when Workers > 1.
+	LockScheme LockScheme
+	// Decomposition overrides the automatic TC decomposition (single
+	// mode; the initial order only, when Adaptive is set).
+	Decomposition *Decomposition
+
+	// Adaptive composes the feedback join-order reoptimizer (fleet mode:
+	// onto every member that does not carry its own QuerySpec.Adaptive).
+	Adaptive *Adaptivity
+	// Durable composes write-ahead logging and checkpointed recovery.
+	Durable *Durability
+
+	// OnMatch receives every complete match with the name of the query
+	// that matched ("" in single-query mode); it may be nil when only
+	// counters are needed. The callback is serialized per query engine.
+	OnMatch func(query string, m *Match)
+}
+
+// Open builds an Engine from cfg — the single entry point replacing
+// NewSearcher, NewAdaptiveSearcher, OpenPersistent, NewMultiSearcher,
+// NewRoutedMultiSearcher, NewDynamicMultiSearcher, OpenPersistentMulti
+// and OpenDynamicPersistentMulti. In fleet mode the returned Engine is
+// a Fleet. In durable mode, if Durable.Dir holds a previous run's WAL
+// and checkpoints, the engine state is recovered before Open returns.
+func Open(cfg Config) (Engine, error) {
+	fleetMode := len(cfg.Queries) > 0 || cfg.Dynamic
+	switch {
+	case cfg.Query != nil && fleetMode:
+		return nil, errors.Join(ErrBadOptions, errors.New("set only one of Query and Queries/Dynamic"))
+	case cfg.Query == nil && !fleetMode:
+		return nil, errors.Join(ErrBadOptions, errors.New("one of Query and Queries/Dynamic must be set"))
+	case cfg.Query != nil && cfg.Routed:
+		return nil, errors.Join(ErrBadOptions, errors.New("Routed is a fleet option (set Queries or Dynamic)"))
+	}
+	if fleetMode {
+		return openFleet(cfg)
+	}
+	opts := Options{
+		Window:        cfg.Window,
+		CountWindow:   cfg.CountWindow,
+		Storage:       cfg.Storage,
+		Workers:       cfg.Workers,
+		LockScheme:    cfg.LockScheme,
+		Decomposition: cfg.Decomposition,
+	}
+	var onMatch func(*Match)
+	if cfg.OnMatch != nil {
+		cb := cfg.OnMatch
+		onMatch = func(m *Match) { cb("", m) }
+	}
+	if cfg.Durable != nil {
+		return openDurableSingle(cfg.Query, opts, cfg.Adaptive, *cfg.Durable, onMatch)
+	}
+	return newSingle(cfg.Query, opts, cfg.Adaptive, onMatch)
+}
+
+// OpenFleet is Open for fleet configurations, returning the Fleet
+// interface directly.
+func OpenFleet(cfg Config) (Fleet, error) {
+	eng, err := Open(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fl, ok := eng.(Fleet)
+	if !ok {
+		eng.Close()
+		return nil, errors.Join(ErrBadOptions, errors.New("config does not select fleet mode (set Queries or Dynamic)"))
+	}
+	return fl, nil
+}
+
+// runLoop is the one Run implementation behind every engine and façade:
+// consume until the channel closes or ctx is cancelled, close the
+// engine, and wrap any feed error with the offending edge's stream
+// index. A Close failure (e.g. the final durable checkpoint) surfaces
+// when the loop itself finished cleanly — it must not be swallowed.
+func runLoop(ctx context.Context, edges <-chan Edge, feed func(Edge) error, closeEng func() error) (n int64, err error) {
+	defer func() {
+		if cerr := closeEng(); err == nil {
+			err = cerr
+		}
+	}()
+	for {
+		select {
+		case <-ctx.Done():
+			return n, ctx.Err()
+		case e, ok := <-edges:
+			if !ok {
+				return n, nil
+			}
+			if err := feed(e); err != nil {
+				return n, fmt.Errorf("timingsubg: edge %d: %w", n, err)
+			}
+			n++
+		}
+	}
+}

@@ -2,10 +2,11 @@
 // drift. A k=3 query (three independent edge patterns around a shared
 // hub) runs over a stream whose dominant traffic shape flips halfway:
 // first "registration" edges flood, then "command" edges. The paper
-// picks one join order statically (Section VI-C); the AdaptiveSearcher
-// watches observed subquery cardinalities and reorders on the fly.
+// picks one join order statically (Section VI-C); an engine opened with
+// Config.Adaptive watches observed subquery cardinalities and reorders
+// on the fly.
 //
-// The demo prints the observed cardinalities and join order before and
+// The demo prints the match and reoptimization counters before and
 // after the flip, then cross-checks the adaptive run's match count
 // against a plain static-order run on the same stream — adaptation must
 // change performance only, never results.
@@ -79,22 +80,21 @@ func main() {
 	edges := phase(rng, 0, phaseEdges, 0)                           // victim-registration flood
 	edges = append(edges, phase(rng, phaseEdges, phaseEdges, 2)...) // C&C flood
 
-	var adaptiveMatches int64
-	a, err := timingsubg.NewAdaptiveSearcher(q, timingsubg.AdaptiveOptions{
-		Options: timingsubg.Options{
-			Window:  400,
-			OnMatch: func(*timingsubg.Match) { adaptiveMatches++ },
-		},
-		ReoptimizeEvery: 250,
-		MinGain:         1.2,
+	// The adaptive engine is plain Open with an Adaptivity option — the
+	// same knob composes with durability (Config.Durable) and fleet
+	// membership (QuerySpec.Adaptive).
+	a, err := timingsubg.Open(timingsubg.Config{
+		Query:    q,
+		Window:   400,
+		Adaptive: &timingsubg.Adaptivity{ReoptimizeEvery: 250, MinGain: 1.2},
 	})
 	if err != nil {
 		panic(err)
 	}
 
 	report := func(tag string) {
-		fmt.Printf("%s: subquery cardinalities %v, join order (edge masks) %v, reoptimizations so far %d\n",
-			tag, a.SubCardinalities(), a.JoinOrder(), a.Reoptimizations())
+		st := a.Stats()
+		fmt.Printf("%s: matches %d, reoptimizations so far %d\n", tag, st.Matches, st.Reoptimizations)
 	}
 	for i, e := range edges {
 		if _, err := a.Feed(e); err != nil {
@@ -107,22 +107,19 @@ func main() {
 			report("end of phase 2 (C&C flood)      ")
 		}
 	}
+	adaptiveMatches := a.Stats().Matches
 	a.Close()
 
-	// Reference: static order on the same stream.
-	var staticMatches int64
-	s, err := timingsubg.NewSearcher(q, timingsubg.Options{
-		Window:  400,
-		OnMatch: func(*timingsubg.Match) { staticMatches++ },
-	})
+	// Reference: static order on the same stream, via the batch fast
+	// path (one call for the whole stream).
+	s, err := timingsubg.Open(timingsubg.Config{Query: q, Window: 400})
 	if err != nil {
 		panic(err)
 	}
-	for _, e := range edges {
-		if _, err := s.Feed(e); err != nil {
-			panic(err)
-		}
+	if _, err := s.FeedBatch(edges); err != nil {
+		panic(err)
 	}
+	staticMatches := s.Stats().Matches
 	s.Close()
 
 	fmt.Printf("matches: adaptive %d, static %d\n", adaptiveMatches, staticMatches)

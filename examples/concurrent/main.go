@@ -31,11 +31,12 @@ func main() {
 	run := func(workers int, scheme timingsubg.LockScheme, name string) []string {
 		var mu sync.Mutex
 		var keys []string
-		s, err := timingsubg.NewSearcher(q, timingsubg.Options{
+		s, err := timingsubg.Open(timingsubg.Config{
+			Query:      q,
 			Window:     4000,
 			Workers:    workers,
 			LockScheme: scheme,
-			OnMatch: func(m *timingsubg.Match) {
+			OnMatch: func(_ string, m *timingsubg.Match) {
 				mu.Lock()
 				keys = append(keys, m.Key())
 				mu.Unlock()
@@ -45,13 +46,12 @@ func main() {
 			panic(err)
 		}
 		start := time.Now()
-		for _, e := range edges {
-			if _, err := s.Feed(e); err != nil {
-				panic(err)
-			}
+		if _, err := s.FeedBatch(edges); err != nil {
+			panic(err)
 		}
-		s.Close()
-		fmt.Printf("%-14s matches=%-5d elapsed=%v\n", name, s.MatchCount(), time.Since(start).Round(time.Millisecond))
+		s.Close() // drain in-flight transactions so counters are final
+		st := s.Stats()
+		fmt.Printf("%-14s matches=%-5d elapsed=%v\n", name, st.Matches, time.Since(start).Round(time.Millisecond))
 		sort.Strings(keys)
 		return keys
 	}

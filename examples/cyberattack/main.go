@@ -51,9 +51,10 @@ func main() {
 	fmt.Printf("monitoring the exfiltration pattern (5 edges, full timing order), k=%d\n",
 		timingsubg.Decompose(q).K())
 
-	s, err := timingsubg.NewSearcher(q, timingsubg.Options{
+	s, err := timingsubg.Open(timingsubg.Config{
+		Query:  q,
 		Window: 30, // the paper's 30-second case-study window
-		OnMatch: func(m *timingsubg.Match) {
+		OnMatch: func(_ string, m *timingsubg.Match) {
 			fmt.Printf("!! ALERT: exfiltration pattern detected: %s\n", m)
 			fmt.Printf("   victim=%d web=%d c&c=%d, command at t=%d, exfil at t=%d\n",
 				m.Vtx[v], m.Vtx[w], m.Vtx[c], m.Edges[t4].Time, m.Edges[t5].Time)
@@ -103,11 +104,12 @@ func main() {
 	background(2)
 	feed(victimID, ccID, big) // t5: exfiltration
 	background(400)
+	st := s.Stats()
 	s.Close()
 
 	fmt.Printf("\nstream done: %d alerts, %d discardable edges filtered, %d partial matches held\n",
-		s.MatchCount(), s.Discarded(), s.PartialMatches())
-	if s.MatchCount() == 0 {
+		st.Matches, st.Discarded, st.PartialMatches)
+	if st.Matches == 0 {
 		fmt.Println("expected the planted incident to be detected — investigate!")
 	}
 }

@@ -41,9 +41,10 @@ func main() {
 	}
 
 	var alerts int
-	s, err := timingsubg.NewSearcher(q, timingsubg.Options{
+	s, err := timingsubg.Open(timingsubg.Config{
+		Query:  q,
 		Window: 500, // transactions must cash out within the window
-		OnMatch: func(mt *timingsubg.Match) {
+		OnMatch: func(_ string, mt *timingsubg.Match) {
 			alerts++
 			fmt.Printf("!! FRAUD RING: criminal=%d merchant=%d middleman=%d (credit t=%d, cash-out t=%d)\n",
 				mt.Vtx[c], mt.Vtx[m], mt.Vtx[a], mt.Edges[t1].Time, mt.Edges[t4].Time)
@@ -98,9 +99,10 @@ func main() {
 	noise(200)
 	plant(9101, 9102, 9103, 35)
 	noise(300)
+	st := s.Stats()
 	s.Close()
 
 	fmt.Printf("\nprocessed %d transactions: %d fraud alerts, %d discardable filtered, %d partials held\n",
-		t, s.MatchCount(), s.Discarded(), s.PartialMatches())
+		t, st.Matches, st.Discarded, st.PartialMatches)
 	_ = alerts
 }

@@ -42,15 +42,19 @@ func main() {
 		{Name: "lateral", Query: pattern2(labels, "host", "host", "host"), Options: timingsubg.Options{Window: 200}},
 	}
 	alerts := map[string]int{}
-	ms, err := timingsubg.NewRoutedMultiSearcher(specs, func(name string, m *timingsubg.Match) {
-		alerts[name]++
+	ms, err := timingsubg.OpenFleet(timingsubg.Config{
+		Queries: specs,
+		Routed:  true,
+		OnMatch: func(name string, m *timingsubg.Match) {
+			alerts[name]++
+		},
 	})
 	if err != nil {
 		panic(err)
 	}
 
 	reg := timingsubg.NewMetricsRegistry()
-	if err := ms.RegisterMetrics(reg, "fleet"); err != nil {
+	if err := timingsubg.RegisterMetrics(reg, "fleet", ms); err != nil {
 		panic(err)
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -96,7 +100,7 @@ func main() {
 		if from == to {
 			to = (to + 1) % 60
 		}
-		if err := ms.Feed(timingsubg.Edge{
+		if _, err := ms.Feed(timingsubg.Edge{
 			From: from, To: to,
 			FromLabel: vertexLabel(from), ToLabel: vertexLabel(to),
 			Time: timingsubg.Timestamp(i + 1),
@@ -107,6 +111,7 @@ func main() {
 			scrape("mid-run")
 		}
 	}
+	st := ms.Stats()
 	ms.Close()
 	scrape("final")
 
@@ -114,5 +119,5 @@ func main() {
 	for _, spec := range specs {
 		fmt.Printf("  %-14s %d\n", spec.Name, alerts[spec.Name])
 	}
-	fmt.Printf("routed dispatch fraction: %.3f (1.0 would be naive fan-out)\n", ms.RoutedFraction())
+	fmt.Printf("routed dispatch fraction: %.3f (1.0 would be naive fan-out)\n", st.RoutedFraction)
 }

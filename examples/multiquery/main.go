@@ -53,11 +53,17 @@ func main() {
 		return q
 	}()
 
-	ms, err := timingsubg.NewMultiSearcher([]timingsubg.QuerySpec{
-		{Name: "exfiltration", Query: exfil, Options: timingsubg.Options{Window: 40}},
-		{Name: "drive-by", Query: driveby, Options: timingsubg.Options{Window: 40}},
-	}, func(name string, m *timingsubg.Match) {
-		fmt.Printf("!! %s: %s\n", name, m)
+	// One Open call hosts the whole fleet; Window is a fleet-wide
+	// default every spec inherits.
+	ms, err := timingsubg.OpenFleet(timingsubg.Config{
+		Queries: []timingsubg.QuerySpec{
+			{Name: "exfiltration", Query: exfil},
+			{Name: "drive-by", Query: driveby},
+		},
+		Window: 40,
+		OnMatch: func(name string, m *timingsubg.Match) {
+			fmt.Printf("!! %s: %s\n", name, m)
+		},
 	})
 	if err != nil {
 		panic(err)
@@ -67,7 +73,7 @@ func main() {
 	t := timingsubg.Timestamp(0)
 	feed := func(from, to int64, lbl timingsubg.Label) {
 		t++
-		if err := ms.Feed(timingsubg.Edge{
+		if _, err := ms.Feed(timingsubg.Edge{
 			From: timingsubg.VertexID(from), To: timingsubg.VertexID(to),
 			FromLabel: ip, ToLabel: ip, EdgeLabel: lbl, Time: t,
 		}); err != nil {
@@ -103,10 +109,11 @@ func main() {
 	noise(3)
 	feed(8002, 8001, big)
 	noise(200)
+	st := ms.Stats()
 	ms.Close()
 
 	fmt.Println("\nper-pattern alert counts:")
-	for name, n := range ms.MatchCounts() {
-		fmt.Printf("  %-14s %d\n", name, n)
+	for name, qs := range st.Queries {
+		fmt.Printf("  %-14s %d\n", name, qs.Matches)
 	}
 }

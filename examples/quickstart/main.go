@@ -43,9 +43,10 @@ func main() {
 		fmt.Printf("  Q%d timing sequence: %v\n", i+1, sub.Seq)
 	}
 
-	s, err := timingsubg.NewSearcher(q, timingsubg.Options{
+	eng, err := timingsubg.Open(timingsubg.Config{
+		Query:  q,
 		Window: 9,
-		OnMatch: func(m *timingsubg.Match) {
+		OnMatch: func(_ string, m *timingsubg.Match) {
 			fmt.Printf("  >> MATCH %s\n", m)
 		},
 	})
@@ -69,12 +70,13 @@ func main() {
 	for i, e := range stream {
 		fmt.Printf("t=%-2d σ%-2d %d→%d (%s→%s)\n", e.Time, i+1, e.From, e.To,
 			labels.String(e.FromLabel), labels.String(e.ToLabel))
-		if _, err := s.Feed(e); err != nil {
+		if _, err := eng.Feed(e); err != nil {
 			panic(err)
 		}
 	}
-	s.Close()
+	st := eng.Stats()
+	eng.Close()
 
 	fmt.Printf("\nmatches: %d, discardable edges filtered: %d, partial matches stored: %d\n",
-		s.MatchCount(), s.Discarded(), s.PartialMatches())
+		st.Matches, st.Discarded, st.PartialMatches)
 }

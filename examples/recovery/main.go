@@ -1,13 +1,17 @@
-// Command recovery demonstrates durable continuous search: a
-// PersistentSearcher write-ahead-logs every edge and checkpoints its
-// window state, so a crashed monitor restarts exactly where it left
-// off. The demo runs a fraud-style chain query over a synthetic
-// transaction stream, "crashes" halfway (abandoning the searcher
-// without Close), reopens the same directory, and shows that
+// Command recovery demonstrates durable continuous search: an engine
+// opened with Config.Durable write-ahead-logs every edge and
+// checkpoints its window state, so a crashed monitor restarts exactly
+// where it left off. The demo runs a fraud-style chain query over a
+// synthetic transaction stream, "crashes" halfway (abandoning the
+// engine without Close), reopens the same directory, and shows that
 //
 //   - the recovered engine resumes with the same window and counters,
 //   - no checkpointed match is re-reported,
 //   - the total match set equals an uninterrupted run.
+//
+// The durable engine also composes Adaptivity — a combination the old
+// per-capability façades could not express — and the totals still agree
+// with the plain run.
 package main
 
 import (
@@ -72,77 +76,73 @@ func main() {
 	edges := stream(labels, 600)
 	const window = 80
 
-	opts := func(tag string, count *int) timingsubg.PersistentOptions {
-		return timingsubg.PersistentOptions{
-			Options: timingsubg.Options{
-				Window: window,
-				OnMatch: func(m *timingsubg.Match) {
-					*count++
-					if *count <= 3 {
-						fmt.Printf("  [%s] match: %s\n", tag, m)
-					}
-				},
+	cfg := func(tag string, count *int) timingsubg.Config {
+		return timingsubg.Config{
+			Query:  q,
+			Window: window,
+			OnMatch: func(_ string, m *timingsubg.Match) {
+				*count++
+				if *count <= 3 {
+					fmt.Printf("  [%s] match: %s\n", tag, m)
+				}
 			},
-			Dir:             dir,
-			CheckpointEvery: 100,
+			// Adaptive + durable: orthogonal options of the same Open.
+			Adaptive: &timingsubg.Adaptivity{ReoptimizeEvery: 64, MinGain: 1.1},
+			Durable:  &timingsubg.Durability{Dir: dir, CheckpointEvery: 100},
 		}
 	}
 
 	// Phase 1: run the first half, then crash (no Close, no final
 	// checkpoint).
 	var live1 int
-	ps, err := timingsubg.OpenPersistent(q, opts("run1", &live1))
+	eng, err := timingsubg.Open(cfg("run1", &live1))
 	if err != nil {
 		panic(err)
 	}
 	for _, e := range edges[:310] {
-		if _, err := ps.Feed(e); err != nil {
+		if _, err := eng.Feed(e); err != nil {
 			panic(err)
 		}
 	}
+	st1 := eng.Stats()
 	fmt.Printf("run 1: fed 310 edges, %d matches reported, window holds %d edges\n",
-		ps.MatchCount(), ps.InWindow())
+		st1.Matches, st1.InWindow)
 	fmt.Println("  ... simulated crash (no clean shutdown) ...")
-	// Deliberately skip ps.Close(): state survives only through the WAL
+	// Deliberately skip eng.Close(): state survives only through the WAL
 	// and the checkpoints already written.
 
 	// Phase 2: reopen the same directory. Recovery rebuilds the
 	// checkpointed window silently and replays the WAL suffix.
 	var live2 int
-	ps2, err := timingsubg.OpenPersistent(q, opts("run2", &live2))
+	eng2, err := timingsubg.Open(cfg("run2", &live2))
 	if err != nil {
 		panic(err)
 	}
+	st2 := eng2.Stats()
 	fmt.Printf("run 2: recovered — replayed %d WAL edges, window holds %d edges, durable matches %d\n",
-		ps2.Replayed(), ps2.InWindow(), ps2.MatchCount())
-	for _, e := range edges[310:] {
-		if _, err := ps2.Feed(e); err != nil {
-			panic(err)
-		}
+		st2.Replayed, st2.InWindow, st2.Matches)
+	// The second half rides the batch fast path: one WAL write + sync.
+	if _, err := eng2.FeedBatch(edges[310:]); err != nil {
+		panic(err)
 	}
-	total := ps2.MatchCount()
-	if err := ps2.Close(); err != nil {
+	total := eng2.Stats().Matches
+	if err := eng2.Close(); err != nil {
 		panic(err)
 	}
 
-	// Reference: one uninterrupted, non-durable run.
-	var ref int
-	s, err := timingsubg.NewSearcher(q, timingsubg.Options{
-		Window:  window,
-		OnMatch: func(*timingsubg.Match) { ref++ },
-	})
+	// Reference: one uninterrupted, in-memory, non-adaptive run.
+	s, err := timingsubg.Open(timingsubg.Config{Query: q, Window: window})
 	if err != nil {
 		panic(err)
 	}
-	for _, e := range edges {
-		if _, err := s.Feed(e); err != nil {
-			panic(err)
-		}
+	if _, err := s.FeedBatch(edges); err != nil {
+		panic(err)
 	}
+	ref := s.Stats().Matches
 	s.Close()
 
 	fmt.Printf("durable total across crash: %d matches; uninterrupted run: %d matches\n", total, ref)
-	if total == int64(ref) {
+	if total == ref {
 		fmt.Println("recovery is exact: totals agree")
 	} else {
 		fmt.Println("MISMATCH — recovery bug")

@@ -99,12 +99,17 @@ func main() {
 	}
 	fmt.Printf("ingested %d edges (%d rejected)\n", res.Accepted, res.Rejected)
 
-	stats, err := c.Stats(ctx)
+	// The unified engine snapshot: one typed struct for the whole fleet,
+	// with per-query snapshots under Queries.
+	st, err := c.EngineStats(ctx)
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("fleet.matches = %v, routed_fraction = %v\n",
-		stats["fleet.matches"], stats["fleet.routed_fraction"])
+	fmt.Printf("fleet: %d matches over %d queries, routed_fraction = %.3f\n",
+		st.Matches, len(st.Queries), st.RoutedFraction)
+	for name, qs := range st.Queries {
+		fmt.Printf("  %-14s matches=%d in_window=%d\n", name, qs.Matches, qs.InWindow)
+	}
 
 	// Retire the query at runtime: the subscription stream ends.
 	if err := c.RemoveQuery(ctx, "exfiltration"); err != nil {

@@ -1,0 +1,801 @@
+package timingsubg
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"timingsubg/internal/checkpoint"
+	"timingsubg/internal/graph"
+	"timingsubg/internal/router"
+	"timingsubg/internal/wal"
+)
+
+// fleetEngine is the one multi-query engine implementation behind Open:
+// several named member engines over one shared stream — the deployment
+// shape of the paper's motivating scenarios, where all of, e.g.,
+// Verizon's ten attack patterns are monitored at once. Routing,
+// dynamics, durability and per-member adaptivity are orthogonal options
+// of this one type; the deprecated MultiSearcher and
+// PersistentMultiSearcher façades delegate here.
+//
+// Feed, FeedBatch, AddQuery, RemoveQuery, Checkpoint and Close mutate
+// engine state and must be serialized by the caller; the read accessors
+// (Stats counter fields, Names, HasQuery) may run concurrently with
+// them — this is what lets a serving layer sample stats while ingest
+// runs.
+type fleetEngine struct {
+	mu      sync.RWMutex
+	members []*single // nil entries are retired slots, reusable by AddQuery
+	names   []string  // "" for retired slots
+	live    int       // number of non-nil members
+	onMatch func(name string, m *Match)
+	route   *router.Router
+
+	fedN     atomic.Int64 // edges offered to the fleet
+	routed   atomic.Int64 // engine feeds actually performed (routed mode)
+	possible atomic.Int64 // Σ per-edge live fleet size (routed mode denominator)
+
+	// anyAdaptive records whether any member composes the reoptimizer
+	// (drives the Stats.Adaptive capability flag).
+	anyAdaptive bool
+
+	// Config-level defaults inherited by specs that leave them zero.
+	defaults Config
+
+	// Durability state (shared WAL, per-query checkpoints).
+	dur       *Durability
+	log       *wal.Log
+	lastTime  Timestamp
+	replayed  int64
+	sinceCkpt int
+
+	closed bool
+}
+
+// memberOptions merges the fleet defaults under a spec's own Options.
+func (fl *fleetEngine) memberOptions(spec QuerySpec) Options {
+	o := spec.Options
+	o.OnMatch = nil // fleet members report through the fleet callback
+	if o.Window == 0 && o.CountWindow == 0 {
+		o.Window, o.CountWindow = fl.defaults.Window, fl.defaults.CountWindow
+	}
+	if o.Storage == MSTree {
+		o.Storage = fl.defaults.Storage
+	}
+	if o.Workers == 0 {
+		o.Workers = fl.defaults.Workers
+	}
+	if o.LockScheme == FineGrained {
+		o.LockScheme = fl.defaults.LockScheme
+	}
+	return o
+}
+
+// memberAdaptivity resolves a spec's adaptivity: its own setting, else
+// the fleet-wide default.
+func (fl *fleetEngine) memberAdaptivity(spec QuerySpec) *Adaptivity {
+	if spec.Adaptive != nil {
+		return spec.Adaptive
+	}
+	return fl.defaults.Adaptive
+}
+
+// memberCallback binds the fleet callback to one query name.
+func (fl *fleetEngine) memberCallback(name string) func(*Match) {
+	if fl.onMatch == nil {
+		return nil
+	}
+	cb := fl.onMatch
+	return func(m *Match) { cb(name, m) }
+}
+
+// validateFleetSpec checks the per-query constraints of fleet
+// membership under the fleet's own options.
+func (fl *fleetEngine) validateFleetSpec(spec QuerySpec) error {
+	o := fl.memberOptions(spec)
+	if spec.Name == "" {
+		return fmt.Errorf("timingsubg: query name must be non-empty: %w", ErrBadOptions)
+	}
+	if fl.route != nil && o.CountWindow > 0 {
+		return fmt.Errorf("timingsubg: query %q: routing requires time-based windows (count windows measure fed edges): %w",
+			spec.Name, ErrBadOptions)
+	}
+	if fl.dur != nil {
+		switch {
+		case spec.Name == "." || spec.Name == ".." || strings.ContainsAny(spec.Name, "/\\"):
+			// Names become directory components under Dir/ck/; "." and ".."
+			// would alias (and on removal, destroy) other state.
+			return fmt.Errorf("timingsubg: query name %q must be non-empty and path-safe: %w", spec.Name, ErrBadOptions)
+		case o.Workers > 1:
+			return fmt.Errorf("timingsubg: query %q: persistent mode requires Workers <= 1: %w", spec.Name, ErrBadOptions)
+		case o.Window <= 0 || o.CountWindow > 0:
+			return fmt.Errorf("timingsubg: query %q: persistent mode supports time-based windows only: %w", spec.Name, ErrBadOptions)
+		}
+	}
+	return nil
+}
+
+// openFleet builds a fleet engine from cfg; see Open.
+func openFleet(cfg Config) (*fleetEngine, error) {
+	if len(cfg.Queries) == 0 && !cfg.Dynamic {
+		return nil, fmt.Errorf("timingsubg: no queries: %w", ErrBadOptions)
+	}
+	fl := &fleetEngine{
+		onMatch:  cfg.OnMatch,
+		defaults: cfg,
+		lastTime: minTimestamp,
+	}
+	if cfg.Routed {
+		fl.route = router.New()
+	}
+	if cfg.Durable != nil {
+		if cfg.Routed {
+			// Recovery replay fans every logged record to every member
+			// (and a routed member's per-engine edge IDs would drift
+			// from the WAL sequence), so a routed fleet cannot recover
+			// deterministically. The durable fleet broadcasts.
+			return nil, errors.Join(ErrBadOptions, errors.New("durable fleets broadcast: Routed does not compose with Durable"))
+		}
+		dur := *cfg.Durable
+		if dur.Dir == "" {
+			return nil, errors.Join(ErrBadOptions, errors.New("persistent mode requires Dir"))
+		}
+		if dur.CheckpointEvery <= 0 {
+			dur.CheckpointEvery = 4096
+		}
+		fl.dur = &dur
+		if err := fl.openDurable(cfg.Queries); err != nil {
+			return nil, err
+		}
+		return fl, nil
+	}
+	seen := map[string]bool{}
+	for _, spec := range cfg.Queries {
+		if seen[spec.Name] {
+			return nil, fmt.Errorf("timingsubg: duplicate query name %q: %w", spec.Name, ErrBadOptions)
+		}
+		seen[spec.Name] = true
+		if err := fl.addMember(spec); err != nil {
+			return nil, err
+		}
+	}
+	return fl, nil
+}
+
+// addMember builds and registers one member engine (in-memory join; the
+// durable join point is pinned by AddQuery's initial checkpoint).
+func (fl *fleetEngine) addMember(spec QuerySpec) error {
+	if err := fl.validateFleetSpec(spec); err != nil {
+		return err
+	}
+	en, err := newSingle(spec.Query, fl.memberOptions(spec), fl.memberAdaptivity(spec), fl.memberCallback(spec.Name))
+	if err != nil {
+		return fmt.Errorf("timingsubg: query %q: %w", spec.Name, err)
+	}
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	fl.installLocked(spec, en)
+	return nil
+}
+
+// installLocked places en in a free slot (or a new one).
+func (fl *fleetEngine) installLocked(spec QuerySpec, en *single) int {
+	slot := -1
+	for i, m := range fl.members {
+		if m == nil {
+			slot = i
+			break
+		}
+	}
+	if slot < 0 {
+		slot = len(fl.members)
+		fl.members = append(fl.members, nil)
+		fl.names = append(fl.names, "")
+	}
+	fl.members[slot] = en
+	fl.names[slot] = spec.Name
+	fl.live++
+	if en.adapt != nil {
+		fl.anyAdaptive = true
+	}
+	if fl.route != nil {
+		fl.route.Add(slot, spec.Query)
+	}
+	return slot
+}
+
+// ckDir returns the named query's checkpoint directory.
+func (fl *fleetEngine) ckDir(name string) string {
+	return filepath.Join(fl.dur.Dir, "ck", name)
+}
+
+// openDurable opens the shared WAL and recovers every spec'd query:
+// each from its own checkpoint, then one replay pass over the shared
+// log suffix. Queries with no checkpoint join from the oldest retained
+// log record: history reclaimed by earlier checkpoints is gone, exactly
+// as a newly deployed pattern cannot see traffic that predates its
+// deployment.
+func (fl *fleetEngine) openDurable(specs []QuerySpec) error {
+	seen := map[string]bool{}
+	for _, spec := range specs {
+		if err := fl.validateFleetSpec(spec); err != nil {
+			return err
+		}
+		if seen[spec.Name] {
+			return fmt.Errorf("timingsubg: duplicate query name %q: %w", spec.Name, ErrBadOptions)
+		}
+		seen[spec.Name] = true
+	}
+	log, err := wal.Open(fl.dur.Dir, wal.Options{SegmentBytes: fl.dur.SegmentBytes, SyncEvery: fl.dur.SyncEvery})
+	if err != nil {
+		return err
+	}
+	fl.log = log
+	fail := func(err error) error {
+		log.Close()
+		return err
+	}
+	logStart, err := wal.FirstSeq(fl.dur.Dir)
+	if err != nil {
+		return fail(err)
+	}
+
+	// Per-query recovery state: each member's replay cursor.
+	froms := make([]int64, len(specs))
+	var maxNext int64
+	for i, spec := range specs {
+		o := fl.memberOptions(spec)
+		ck, haveCk, err := checkpoint.Load(fl.ckDir(spec.Name))
+		if err != nil {
+			return fail(err)
+		}
+		if haveCk && ck.Window != o.Window {
+			return fail(fmt.Errorf("timingsubg: query %q: checkpoint window %d != configured window %d: %w",
+				spec.Name, ck.Window, o.Window, ErrBadOptions))
+		}
+		en, err := newSingle(spec.Query, o, fl.memberAdaptivity(spec), fl.memberCallback(spec.Name))
+		if err != nil {
+			return fail(fmt.Errorf("timingsubg: query %q: %w", spec.Name, err))
+		}
+		if haveCk {
+			en.restoreCheckpoint(ck)
+			froms[i] = ck.NextSeq
+			if ck.NextSeq > maxNext {
+				maxNext = ck.NextSeq
+			}
+		} else {
+			// A new query joins at the retained log horizon.
+			en.stream = graph.RestoreStream(o.Window, nil, graph.EdgeID(logStart))
+			froms[i] = logStart
+		}
+		fl.installLocked(spec, en)
+		// The stream clock resumes from the newest checkpointed edge;
+		// WAL replay below advances it further if a suffix exists.
+		if lt := en.stream.LastTime(); lt > fl.lastTime {
+			fl.lastTime = lt
+		}
+	}
+	if err := log.SkipTo(maxNext); err != nil {
+		return fail(err)
+	}
+
+	// One replay pass over the whole retained log: each record goes to
+	// every member whose cursor has reached it. The walk starts at the
+	// retained horizon — not at the oldest query cursor — because the
+	// stream clock (lastTime) must recover from every record, including
+	// ones no current query needs; otherwise a post-restart ingest could
+	// reuse a timestamp already in the log and break its monotonicity.
+	end, err := wal.Replay(fl.dur.Dir, logStart, func(seq int64, e graph.Edge) error {
+		clean := graph.Edge{
+			From: e.From, To: e.To,
+			FromLabel: e.FromLabel, ToLabel: e.ToLabel, EdgeLabel: e.EdgeLabel,
+			Time: e.Time,
+		}
+		for i, m := range fl.members {
+			if seq < froms[i] {
+				continue
+			}
+			if err := m.replayRecord(seq, clean); err != nil {
+				return fmt.Errorf("query %q: %w", fl.names[i], err)
+			}
+			m.replayed-- // the fleet counts replay once, below
+		}
+		if e.Time > fl.lastTime {
+			fl.lastTime = e.Time
+		}
+		fl.replayed++
+		return nil
+	})
+	if err != nil {
+		return fail(fmt.Errorf("timingsubg: recovery replay: %w", err))
+	}
+	if end != log.Seq() {
+		return fail(fmt.Errorf("timingsubg: recovery replay ended at %d, log at %d", end, log.Seq()))
+	}
+	return nil
+}
+
+// AddQuery implements Fleet. The new query's window starts empty: it
+// sees only edges fed after it joins. In durable mode the join point is
+// pinned with an initial checkpoint, and any stale checkpoint left
+// under the name by a previously removed query is discarded.
+func (fl *fleetEngine) AddQuery(spec QuerySpec) error {
+	if fl.closed {
+		return ErrClosed
+	}
+	if err := fl.validateFleetSpec(spec); err != nil {
+		return err
+	}
+	if fl.dur == nil {
+		fl.mu.Lock()
+		dup := fl.indexLocked(spec.Name) >= 0
+		fl.mu.Unlock()
+		if dup {
+			return fmt.Errorf("timingsubg: duplicate query name %q: %w", spec.Name, ErrBadOptions)
+		}
+		return fl.addMember(spec)
+	}
+
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	if fl.indexLocked(spec.Name) >= 0 {
+		return fmt.Errorf("timingsubg: duplicate query name %q: %w", spec.Name, ErrBadOptions)
+	}
+	// A checkpoint under this name can only be stale (from a removed or
+	// never-reopened query); joining at the tail supersedes it.
+	if err := os.RemoveAll(fl.ckDir(spec.Name)); err != nil {
+		return fmt.Errorf("timingsubg: query %q: discard stale checkpoint: %w", spec.Name, err)
+	}
+	o := fl.memberOptions(spec)
+	en, err := newSingle(spec.Query, o, fl.memberAdaptivity(spec), fl.memberCallback(spec.Name))
+	if err != nil {
+		return fmt.Errorf("timingsubg: query %q: %w", spec.Name, err)
+	}
+	en.stream = graph.RestoreStream(o.Window, nil, graph.EdgeID(fl.log.Seq()))
+	// An initial checkpoint pins the join point durably: without it, a
+	// crash before the first periodic checkpoint would make recovery
+	// treat this query as brand new and replay it from the retained log
+	// horizon — pre-join traffic it must never see.
+	if err := checkpoint.Save(fl.ckDir(spec.Name), checkpoint.Checkpoint{
+		NextSeq: fl.log.Seq(),
+		Window:  o.Window,
+	}); err != nil {
+		return fmt.Errorf("timingsubg: query %q: initial checkpoint: %w", spec.Name, err)
+	}
+	fl.installLocked(spec, en)
+	return nil
+}
+
+// RemoveQuery implements Fleet: the member is drained and its slot
+// freed for reuse; in durable mode its checkpoints are deleted (the
+// shared log is untouched — other queries may still need it).
+func (fl *fleetEngine) RemoveQuery(name string) error {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	i := fl.indexLocked(name)
+	if i < 0 {
+		return fmt.Errorf("timingsubg: unknown query %q: %w", name, ErrBadOptions)
+	}
+	fl.members[i].Close()
+	fl.members[i] = nil
+	fl.names[i] = ""
+	fl.live--
+	if fl.route != nil {
+		fl.route.Remove(i)
+	}
+	if fl.dur != nil {
+		return os.RemoveAll(fl.ckDir(name))
+	}
+	return nil
+}
+
+// indexLocked returns the slot of the live query named name, or -1.
+func (fl *fleetEngine) indexLocked(name string) int {
+	for i, n := range fl.names {
+		if n == name && fl.members[i] != nil {
+			return i
+		}
+	}
+	return -1
+}
+
+// HasQuery implements Fleet.
+func (fl *fleetEngine) HasQuery(name string) bool {
+	fl.mu.RLock()
+	defer fl.mu.RUnlock()
+	return fl.indexLocked(name) >= 0
+}
+
+// Names implements Fleet.
+func (fl *fleetEngine) Names() []string {
+	fl.mu.RLock()
+	defer fl.mu.RUnlock()
+	out := make([]string, 0, fl.live)
+	for i, n := range fl.names {
+		if fl.members[i] != nil {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// feedLock acquires the dispatch lock, exclusively: a feed mutates
+// member window state (and an adaptive member may rebuild its engine
+// mid-feed), while the fleet contract lets Stats/Names/HasQuery sample
+// concurrently under the read lock — exclusion is what makes that
+// contract race-free. Uncontended, Lock costs the same as RLock; the
+// caller serializes feeds anyway.
+func (fl *fleetEngine) feedLock()   { fl.mu.Lock() }
+func (fl *fleetEngine) feedUnlock() { fl.mu.Unlock() }
+
+// dispatchLocked fans one edge out to the members (or, in routed mode,
+// to the interested members). Caller holds the feed lock.
+func (fl *fleetEngine) dispatchLocked(e Edge) error {
+	if fl.route != nil {
+		// The saved-work denominator accrues the fleet size *as of this
+		// edge* — queries come and go, so a cumulative counter is the
+		// only way the ratio stays meaningful.
+		fl.possible.Add(int64(fl.live))
+		var ferr error
+		fl.route.Route(e, func(i int) {
+			if ferr != nil || fl.members[i] == nil {
+				return
+			}
+			fl.routed.Add(1)
+			if err := fl.members[i].memberFeed(e); err != nil {
+				ferr = fmt.Errorf("timingsubg: query %q: %w", fl.names[i], err)
+			}
+		})
+		return ferr
+	}
+	for i, m := range fl.members {
+		if m == nil {
+			continue
+		}
+		if err := m.memberFeed(e); err != nil {
+			return fmt.Errorf("timingsubg: query %q: %w", fl.names[i], err)
+		}
+	}
+	return nil
+}
+
+// memberFeed is the fleet fan-out feed step of one member: push plus
+// adaptivity cadence, with no WAL and no closed-check (the fleet owns
+// both).
+func (en *single) memberFeed(e Edge) error {
+	if _, err := en.push(e); err != nil {
+		return err
+	}
+	en.tickAdaptive(1)
+	return nil
+}
+
+// Feed implements Engine. In durable mode the returned ID is the WAL
+// sequence number; otherwise it is the fleet-level arrival index. (In
+// routed mode member engines assign their own per-engine IDs, so the
+// same data edge may carry different IDs in matches of different
+// queries.)
+func (fl *fleetEngine) Feed(e Edge) (EdgeID, error) {
+	if fl.closed {
+		return 0, ErrClosed
+	}
+	// The whole mutation — WAL append, fan-out, clock — runs under the
+	// feed lock, so concurrent Stats sampling (which reads the log
+	// cursor and member windows under RLock) never races it.
+	fl.feedLock()
+	id := EdgeID(fl.fedN.Load())
+	if fl.log != nil {
+		// The monotonicity check runs before the WAL append, so an
+		// out-of-order edge can never poison the log (replay requires a
+		// monotone record sequence).
+		if e.Time <= fl.lastTime {
+			fl.feedUnlock()
+			return 0, fmt.Errorf("timingsubg: %w: got %d after %d", graph.ErrOutOfOrder, e.Time, fl.lastTime)
+		}
+		seq, err := fl.log.Append(e)
+		if err != nil {
+			fl.feedUnlock()
+			return 0, err
+		}
+		id = EdgeID(seq)
+	}
+	err := fl.dispatchLocked(e)
+	if err == nil && fl.log != nil {
+		fl.lastTime = e.Time
+	}
+	fl.feedUnlock()
+	if err != nil {
+		return 0, err
+	}
+	fl.fedN.Add(1)
+	return id, fl.tick(1)
+}
+
+// FeedBatch implements Engine: one closed-check, one WAL write and at
+// most one sync, one lock acquisition and one maintenance tick for the
+// whole batch.
+func (fl *fleetEngine) FeedBatch(batch []Edge) (int, error) {
+	if fl.closed {
+		return 0, ErrClosed
+	}
+	n := len(batch)
+	var batchErr error
+	fl.feedLock()
+	if fl.log != nil {
+		n, batchErr = monotonePrefix(batch, fl.lastTime)
+		// On a WAL failure, dispatch exactly the records that were
+		// durably appended — fleet state must never diverge from the
+		// shared log (see single.FeedBatch).
+		if _, appended, werr := fl.log.AppendBatch(batch[:n]); werr != nil {
+			n, batchErr = appended, werr
+		}
+	}
+	i := 0
+	for ; i < n; i++ {
+		if err := fl.dispatchLocked(batch[i]); err != nil {
+			batchErr = fmt.Errorf("timingsubg: edge %d: %w", i, err)
+			break
+		}
+		if fl.log != nil {
+			fl.lastTime = batch[i].Time
+		}
+	}
+	fl.feedUnlock()
+	fl.fedN.Add(int64(i))
+	if err := fl.tick(i); err != nil {
+		return i, err
+	}
+	return i, batchErr
+}
+
+// tick advances the checkpoint cadence by n fed edges.
+func (fl *fleetEngine) tick(n int) error {
+	if fl.dur == nil || n == 0 {
+		return nil
+	}
+	fl.sinceCkpt += n
+	if fl.sinceCkpt >= fl.dur.CheckpointEvery {
+		return fl.Checkpoint()
+	}
+	return nil
+}
+
+// Checkpoint forces per-query checkpoints now and reclaims WAL segments
+// no query needs anymore. It is a no-op for in-memory fleets.
+func (fl *fleetEngine) Checkpoint() error {
+	if fl.dur == nil {
+		return nil
+	}
+	// Exclusive: Sync/TruncateFront mutate the log that concurrent
+	// Stats sampling reads (Seq), and the member walk must not observe
+	// a half-applied feed.
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	fl.sinceCkpt = 0
+	if err := fl.log.Sync(); err != nil {
+		return err
+	}
+	next := fl.log.Seq()
+	for i, m := range fl.members {
+		if m == nil {
+			continue
+		}
+		st, ok := m.stream.(*graph.Stream)
+		if !ok {
+			return fmt.Errorf("timingsubg: query %q: not a time-window stream", fl.names[i])
+		}
+		ck := checkpoint.Checkpoint{
+			NextSeq:   next,
+			Window:    m.opts.Window,
+			Matches:   m.matches(),
+			Discarded: m.discarded(),
+			Edges:     st.InWindow(),
+		}
+		dir := fl.ckDir(fl.names[i])
+		if err := checkpoint.Save(dir, ck); err != nil {
+			return err
+		}
+		if err := checkpoint.GC(dir, 2); err != nil {
+			return err
+		}
+	}
+	return fl.log.TruncateFront(next)
+}
+
+// Run implements Engine.
+func (fl *fleetEngine) Run(ctx context.Context, edges <-chan Edge) (int64, error) {
+	return runLoop(ctx, edges, func(e Edge) error {
+		_, err := fl.Feed(e)
+		return err
+	}, fl.Close)
+}
+
+// Close implements Engine: drain every member and, in durable mode,
+// checkpoint and close the shared WAL. Idempotent.
+func (fl *fleetEngine) Close() error {
+	if fl.closed {
+		return nil
+	}
+	fl.closed = true
+	fl.mu.RLock()
+	for _, m := range fl.members {
+		if m != nil {
+			m.Close()
+		}
+	}
+	fl.mu.RUnlock()
+	if fl.log == nil {
+		return nil
+	}
+	if err := fl.Checkpoint(); err != nil {
+		fl.log.Close()
+		return err
+	}
+	return fl.log.Close()
+}
+
+// routedFraction reports, in routed mode, the ratio of engine feeds
+// performed to engine feeds a naive fan-out would have performed
+// (summing the live fleet size at each edge, so the ratio stays exact
+// across AddQuery/RemoveQuery) — the dispatch work saved by routing.
+// It returns 1 in unrouted mode.
+func (fl *fleetEngine) routedFraction() float64 {
+	possible := fl.possible.Load()
+	if fl.route == nil || possible == 0 {
+		return 1
+	}
+	return float64(fl.routed.Load()) / float64(possible)
+}
+
+// fleetLastTime returns the fleet stream clock: the durable clock when
+// journaling, else the newest member edge.
+func (fl *fleetEngine) fleetLastTimeLocked() Timestamp {
+	lt := fl.lastTime
+	if fl.log == nil {
+		for _, m := range fl.members {
+			if m == nil {
+				continue
+			}
+			if mt := m.stream.LastTime(); mt > lt {
+				lt = mt
+			}
+		}
+	}
+	if lt <= minTimestamp {
+		return 0
+	}
+	return lt
+}
+
+// stats aggregates member snapshots; memberStats selects the cheap or
+// walking per-member sampler, and withQueries controls whether the
+// per-member map is materialized (scalar gauges don't need it).
+func (fl *fleetEngine) stats(memberStats func(*single) Stats, withQueries bool) Stats {
+	fl.mu.RLock()
+	defer fl.mu.RUnlock()
+	st := Stats{
+		Fed:            fl.fedN.Load(),
+		Replayed:       fl.replayed,
+		RoutedFraction: fl.routedFraction(),
+		LastTime:       fl.fleetLastTimeLocked(),
+		Adaptive:       fl.anyAdaptive,
+		Durable:        fl.log != nil,
+		Fleet:          true,
+	}
+	if withQueries {
+		st.Queries = make(map[string]Stats, fl.live)
+	}
+	if fl.log != nil {
+		st.WALSeq = fl.log.Seq()
+	}
+	for i, m := range fl.members {
+		if m == nil {
+			continue
+		}
+		ms := memberStats(m)
+		st.Matches += ms.Matches
+		st.Discarded += ms.Discarded
+		st.InWindow += ms.InWindow
+		st.PartialMatches += ms.PartialMatches
+		st.SpaceBytes += ms.SpaceBytes
+		st.Reoptimizations += ms.Reoptimizations
+		if withQueries {
+			st.Queries[fl.names[i]] = ms
+		}
+	}
+	return st
+}
+
+// Stats implements Engine: the fleet aggregate plus one per-member
+// snapshot per live query.
+func (fl *fleetEngine) Stats() Stats {
+	return fl.stats((*single).Stats, true)
+}
+
+// statsFast is the counter-only snapshot (no partial-match walks).
+func (fl *fleetEngine) statsFast() Stats {
+	return fl.stats((*single).statsFast, true)
+}
+
+// statsScalar is statsFast without materializing the Queries map — the
+// sampler for fleet-level scalar gauges.
+func (fl *fleetEngine) statsScalar() Stats {
+	return fl.stats((*single).statsFast, false)
+}
+
+// queryStats returns the live named member's snapshot, or false if the
+// query has been retired — the lookup-by-name indirection metric gauges
+// need so they never pin a closed engine or report a retired query's
+// counters under a recycled name. fast selects the counter-only
+// snapshot.
+func (fl *fleetEngine) queryStats(name string, fast bool) (Stats, bool) {
+	fl.mu.RLock()
+	defer fl.mu.RUnlock()
+	i := fl.indexLocked(name)
+	if i < 0 {
+		return Stats{}, false
+	}
+	if fast {
+		return fl.members[i].statsFast(), true
+	}
+	return fl.members[i].Stats(), true
+}
+
+// CurrentMatches implements Engine: every live member's standing
+// matches, in registration-slot order.
+func (fl *fleetEngine) CurrentMatches(fn func(*Match) bool) {
+	fl.mu.RLock()
+	defer fl.mu.RUnlock()
+	stop := false
+	for _, m := range fl.members {
+		if m == nil || stop {
+			continue
+		}
+		m.CurrentMatches(func(mm *Match) bool {
+			if !fn(mm) {
+				stop = true
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// matchCounts returns per-query match counts, keyed by query name.
+func (fl *fleetEngine) matchCounts() map[string]int64 {
+	fl.mu.RLock()
+	defer fl.mu.RUnlock()
+	out := make(map[string]int64, fl.live)
+	for i, m := range fl.members {
+		if m != nil {
+			out[fl.names[i]] += m.matches()
+		}
+	}
+	return out
+}
+
+// spaceBytes sums the partial-match space of all members.
+func (fl *fleetEngine) spaceBytes() int64 {
+	fl.mu.RLock()
+	defer fl.mu.RUnlock()
+	var b int64
+	for _, m := range fl.members {
+		if m != nil {
+			b += m.eng.SpaceBytes()
+		}
+	}
+	return b
+}
+
+// Compile-time interface checks.
+var (
+	_ Engine = (*single)(nil)
+	_ Engine = (*fleetEngine)(nil)
+	_ Fleet  = (*fleetEngine)(nil)
+)

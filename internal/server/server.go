@@ -43,19 +43,6 @@ import (
 	"timingsubg/internal/monitor"
 )
 
-// fleet is the dynamic multi-query surface the server drives; both
-// timingsubg.MultiSearcher and timingsubg.PersistentMultiSearcher
-// implement it.
-type fleet interface {
-	Feed(e timingsubg.Edge) error
-	AddQuery(spec timingsubg.QuerySpec) error
-	RemoveQuery(name string) error
-	HasQuery(name string) bool
-	Names() []string
-	MatchCounts() map[string]int64
-	SpaceBytes() int64
-}
-
 // Config tunes a Server.
 type Config struct {
 	// Labels is the shared label intern table. Nil means a fresh table;
@@ -66,6 +53,10 @@ type Config struct {
 	// interested queries. NewDurable ignores it: the durable fleet fans
 	// out to every query so recovery replay stays deterministic.
 	Routed bool
+	// Adaptive composes the feedback join-order reoptimizer onto every
+	// hosted query engine (see timingsubg.Adaptivity). Composable with
+	// both the in-memory and the durable fleet.
+	Adaptive *timingsubg.Adaptivity
 	// SubscriberBuffer is the per-subscriber SSE event buffer (default
 	// 256). A subscriber that falls further behind than this loses
 	// events (counted in server.dropped_events).
@@ -103,7 +94,7 @@ type op struct {
 type Server struct {
 	cfg      Config
 	labels   *timingsubg.Labels
-	fl       fleet
+	fl       timingsubg.Fleet
 	hub      *hub
 	reg      *monitor.Registry
 	ops      chan op
@@ -131,7 +122,17 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg.norm()
 	s := newServer(cfg)
-	s.fl = timingsubg.NewDynamicMultiSearcher(cfg.Routed, s.deliver)
+	fl, err := timingsubg.OpenFleet(timingsubg.Config{
+		Dynamic:  true,
+		Routed:   cfg.Routed,
+		Adaptive: cfg.Adaptive,
+		OnMatch:  s.deliver,
+	})
+	if err != nil {
+		// Unreachable: an empty dynamic in-memory config cannot fail.
+		panic(err)
+	}
+	s.fl = fl
 	s.finish()
 	return s
 }
@@ -169,12 +170,23 @@ func NewDurable(cfg Config, opts timingsubg.PersistentMultiOptions) (*Server, er
 		specs = append(specs, spec)
 		s.windows[req.Name] = req.Window
 	}
-	pm, err := timingsubg.OpenDynamicPersistentMulti(specs, opts, s.deliver)
+	fl, err := timingsubg.OpenFleet(timingsubg.Config{
+		Queries:  specs,
+		Dynamic:  true,
+		Adaptive: cfg.Adaptive,
+		Durable: &timingsubg.Durability{
+			Dir:             opts.Dir,
+			CheckpointEvery: opts.CheckpointEvery,
+			SyncEvery:       opts.SyncEvery,
+			SegmentBytes:    opts.SegmentBytes,
+		},
+		OnMatch: s.deliver,
+	})
 	if err != nil {
 		return nil, err
 	}
-	s.fl = pm
-	if lt := pm.LastTime(); lt > 0 {
+	s.fl = fl
+	if lt := fl.Stats().LastTime; lt > 0 {
 		s.lastTime = int64(lt)
 	}
 	s.finish()
@@ -204,14 +216,32 @@ func (s *Server) finish() {
 	s.reg.MustRegister("server.delivered_events", func() any { return s.hub.delivered.Load() })
 	s.reg.MustRegister("server.dropped_events", func() any { return s.hub.dropped.Load() })
 	s.reg.MustRegister("server.queue_depth", func() any { return len(s.ops) })
-	s.reg.MustRegister("fleet.matches", func() any { return s.fl.MatchCounts() })
-	s.reg.MustRegister("fleet.space_bytes", func() any { return s.fl.SpaceBytes() })
-	if ms, ok := s.fl.(*timingsubg.MultiSearcher); ok && s.cfg.Routed {
-		s.reg.MustRegister("fleet.routed_fraction", func() any { return ms.RoutedFraction() })
+	// Fleet gauges derive generically from the unified Stats snapshot —
+	// no per-façade wiring. "fleet.stats" is the whole snapshot (the
+	// primary contract, self-describing and dynamic-roster-safe); the
+	// scalar gauges are kept for scrapers that want flat metrics and
+	// sample the counter-only FastStats so a scrape doesn't walk
+	// partial-match state once per gauge on the op loop.
+	s.reg.MustRegister("fleet.stats", func() any { return clientStats(s.fl.Stats()) })
+	s.reg.MustRegister("fleet.matches", func() any {
+		st := timingsubg.FastStats(s.fl)
+		out := make(map[string]int64, len(st.Queries))
+		for name, qs := range st.Queries {
+			out[name] = qs.Matches
+		}
+		return out
+	})
+	// No flat space gauge: partial-match walks run exactly once per
+	// scrape, inside "fleet.stats" (which carries space_bytes).
+	probe := timingsubg.FastStats(s.fl)
+	if s.cfg.Routed && !probe.Durable {
+		// The durable fleet broadcasts (NewDurable ignores Routed), so
+		// a routed-fraction gauge there would report a misleading 1.
+		s.reg.MustRegister("fleet.routed_fraction", func() any { return timingsubg.FastStats(s.fl).RoutedFraction })
 	}
-	if pm, ok := s.fl.(*timingsubg.PersistentMultiSearcher); ok {
-		s.reg.MustRegister("fleet.wal_seq", func() any { return pm.WALSeq() })
-		s.reg.MustRegister("fleet.replayed", func() any { return pm.Replayed() })
+	if probe.Durable {
+		s.reg.MustRegister("fleet.wal_seq", func() any { return timingsubg.FastStats(s.fl).WALSeq })
+		s.reg.MustRegister("fleet.replayed", func() any { return timingsubg.FastStats(s.fl).Replayed })
 	}
 
 	mux := http.NewServeMux()
@@ -303,12 +333,7 @@ func (s *Server) Close() error {
 		close(s.stopped)
 		<-s.loopDone
 		s.hub.closeAll()
-		switch fl := s.fl.(type) {
-		case *timingsubg.PersistentMultiSearcher:
-			s.closeErr = fl.Close()
-		case *timingsubg.MultiSearcher:
-			fl.Close()
-		}
+		s.closeErr = s.fl.Close()
 	})
 	return s.closeErr
 }
@@ -330,6 +355,34 @@ func (s *Server) persistLabels() error {
 	}
 	s.persistedLabels = n
 	return nil
+}
+
+// clientStats converts the engine's unified snapshot to its wire form.
+func clientStats(st timingsubg.Stats) client.EngineStats {
+	out := client.EngineStats{
+		Matches:         st.Matches,
+		Discarded:       st.Discarded,
+		Fed:             st.Fed,
+		InWindow:        st.InWindow,
+		PartialMatches:  st.PartialMatches,
+		SpaceBytes:      st.SpaceBytes,
+		LastTime:        int64(st.LastTime),
+		K:               st.K,
+		Reoptimizations: st.Reoptimizations,
+		WALSeq:          st.WALSeq,
+		Replayed:        st.Replayed,
+		RoutedFraction:  st.RoutedFraction,
+		Adaptive:        st.Adaptive,
+		Durable:         st.Durable,
+		Fleet:           st.Fleet,
+	}
+	if len(st.Queries) > 0 {
+		out.Queries = make(map[string]client.EngineStats, len(st.Queries))
+		for name, qs := range st.Queries {
+			out.Queries[name] = clientStats(qs)
+		}
+	}
+	return out
 }
 
 // deliver is the fleet-level match callback: serialize once, fan out.
@@ -526,26 +579,52 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		if opErr = s.persistLabels(); opErr != nil {
 			return
 		}
+		// Resolve timestamps against the stream clock first, so the
+		// whole batch can ride the engine's FeedBatch fast path (one
+		// WAL write and sync, one fleet lock) instead of per-edge Feed.
+		edges := make([]timingsubg.Edge, 0, len(batch))
+		lines := make([]int, 0, len(batch))
+		clock := s.lastTime
 		for _, item := range batch {
 			e := item.edge
 			if item.autoTime {
-				e.Time = timingsubg.Timestamp(s.lastTime + 1) // server-assigned tick
-			} else if int64(e.Time) <= s.lastTime {
+				e.Time = timingsubg.Timestamp(clock + 1) // server-assigned tick
+			} else if int64(e.Time) <= clock {
 				res.Rejected++
 				res.Errors = append(res.Errors, client.IngestError{
 					Line:    item.line,
-					Message: fmt.Sprintf("out of order: time %d after %d (timestamps must be strictly increasing)", e.Time, s.lastTime),
+					Message: fmt.Sprintf("out of order: time %d after %d (timestamps must be strictly increasing)", e.Time, clock),
 				})
 				continue
 			}
-			if err := s.fl.Feed(e); err != nil {
-				res.Rejected++
-				res.Errors = append(res.Errors, client.IngestError{Line: item.line, Message: err.Error()})
-				continue
+			clock = int64(e.Time)
+			edges = append(edges, e)
+			lines = append(lines, item.line)
+		}
+		// FeedBatch stops at the first failing edge; reject that line
+		// and resume with the rest so one bad edge cannot shadow the
+		// batch's tail (the per-line accounting contract). Only
+		// ErrOutOfOrder is a per-edge fault; anything else (WAL write
+		// failure, checkpoint failure) is a server-side error — it must
+		// surface as a 5xx, not masquerade as a bad line.
+		off := 0
+		for off < len(edges) {
+			n, ferr := s.fl.FeedBatch(edges[off:])
+			if n > 0 {
+				s.lastTime = int64(edges[off+n-1].Time)
+				res.Accepted += n
+				s.ingested.Add(int64(n))
 			}
-			s.lastTime = int64(e.Time)
-			res.Accepted++
-			s.ingested.Add(1)
+			if ferr == nil {
+				break
+			}
+			if off+n >= len(edges) || !errors.Is(ferr, timingsubg.ErrOutOfOrder) {
+				opErr = ferr
+				return
+			}
+			res.Rejected++
+			res.Errors = append(res.Errors, client.IngestError{Line: lines[off+n], Message: ferr.Error()})
+			off += n + 1
 		}
 	})
 	if err != nil {
@@ -656,9 +735,3 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) LastTime() timingsubg.Timestamp {
 	return timingsubg.Timestamp(s.lastTime)
 }
-
-// Compile-time interface checks for the fleet implementations.
-var (
-	_ fleet = (*timingsubg.MultiSearcher)(nil)
-	_ fleet = (*timingsubg.PersistentMultiSearcher)(nil)
-)

@@ -171,6 +171,60 @@ func (l *Log) Append(e graph.Edge) (int64, error) {
 	return seq, nil
 }
 
+// AppendBatch logs a batch of edges and returns the sequence number of
+// the first plus how many were durably appended. It is the amortized
+// fast path behind Engine.FeedBatch: records are encoded into one
+// buffer and written with one syscall per segment chunk (Append pays
+// one write per record), and the fsync cadence is charged once for the
+// whole batch — the batch is one durability unit, syncing at most
+// once, after the last record. On error, appended reports the records
+// that landed before the failure; the log's cursor reflects exactly
+// those (seq/pending are committed only after each successful write),
+// so the caller can keep engine state consistent with the log.
+func (l *Log) AppendBatch(edges []graph.Edge) (first int64, appended int, err error) {
+	if l.closed {
+		return 0, 0, errors.New("wal: append to closed log")
+	}
+	first = l.seq
+	var payload []byte
+	for appended < len(edges) {
+		if l.fileLen >= l.opts.SegmentBytes && l.seq > l.first {
+			if err := l.rotate(l.seq); err != nil {
+				return first, appended, err
+			}
+		}
+		// Fill one buffer up to the segment bound (always taking at
+		// least one record so rotation makes progress).
+		l.buf = l.buf[:0]
+		chunkLen := l.fileLen
+		count := 0
+		for appended+count < len(edges) {
+			if len(l.buf) > 0 && chunkLen >= l.opts.SegmentBytes {
+				break
+			}
+			payload = appendEdge(payload[:0], edges[appended+count])
+			l.buf = binary.AppendUvarint(l.buf, uint64(len(payload)))
+			l.buf = append(l.buf, payload...)
+			l.buf = binary.LittleEndian.AppendUint32(l.buf, crc32.Checksum(payload, crcTable))
+			chunkLen = l.fileLen + int64(len(l.buf))
+			count++
+		}
+		if _, err := l.f.Write(l.buf); err != nil {
+			return first, appended, fmt.Errorf("wal: append batch: %w", err)
+		}
+		l.fileLen = chunkLen
+		l.seq += int64(count)
+		l.pending += count
+		appended += count
+	}
+	if l.opts.SyncEvery > 0 && l.pending >= l.opts.SyncEvery {
+		if err := l.Sync(); err != nil {
+			return first, appended, err
+		}
+	}
+	return first, appended, nil
+}
+
 // SkipTo advances the log's sequence counter to seq, starting a fresh
 // segment there. It is used when a checkpoint is newer than the log
 // tail (possible when fsync is disabled and the tail was lost in a

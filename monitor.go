@@ -11,10 +11,10 @@ import (
 type MetricsRegistry = monitor.Registry
 
 // NewMetricsRegistry returns an empty metrics registry. Register
-// searchers into it and mount its Handler:
+// engines into it and mount its Handler:
 //
 //	reg := timingsubg.NewMetricsRegistry()
-//	s.RegisterMetrics(reg, "cc_attack")
+//	timingsubg.RegisterMetrics(reg, "cc_attack", eng)
 //	http.Handle("/metrics", reg.Handler())
 //
 // GET /metrics returns every metric; GET /metrics?metric=<name> one.
@@ -23,112 +23,179 @@ func NewMetricsRegistry() *MetricsRegistry { return monitor.NewRegistry() }
 // MetricsHandler is a convenience for a registry-backed http.Handler.
 func MetricsHandler(r *MetricsRegistry) http.Handler { return r.Handler() }
 
-// RegisterMetrics registers this searcher's live counters under
-// prefix.<metric>. Counter reads are atomic, so sampling is safe while
-// edges are being fed (concurrent mode included).
-func (s *Searcher) RegisterMetrics(r *MetricsRegistry, prefix string) error {
-	metrics := map[string]func() any{
-		"matches":         func() any { return s.MatchCount() },
-		"discarded":       func() any { return s.Discarded() },
-		"partial_matches": func() any { return s.PartialMatches() },
-		"space_bytes":     func() any { return s.SpaceBytes() },
-		"window_edges":    func() any { return s.InWindow() },
-		"decomposition_k": func() any { return s.K() },
+// statsSource lets gauges sample a fleet member by name, so a gauge
+// never pins a retired engine or reports a recycled name's counters.
+// fast selects the counter-only snapshot.
+type statsSource interface {
+	queryStats(name string, fast bool) (Stats, bool)
+}
+
+// fastStatser is the counter-only snapshot fast path: everything in
+// Stats except the fields that walk partial-match state.
+type fastStatser interface {
+	statsFast() Stats
+}
+
+// FastStats returns eng's counter-only snapshot: Stats with the fields
+// that walk partial-match state (PartialMatches, SpaceBytes) left
+// zero. It is the cheap sampler for frequently-scraped gauges; engines
+// that do not implement the fast path fall back to the full Stats.
+func FastStats(eng Engine) Stats {
+	if fs, ok := eng.(fastStatser); ok {
+		return fs.statsFast()
 	}
-	for name, fn := range metrics {
-		if err := r.Register(prefix+"."+name, fn); err != nil {
+	return eng.Stats()
+}
+
+// scalarStatser is the cheapest sampler: FastStats without
+// materializing the per-member Queries map.
+type scalarStatser interface {
+	statsScalar() Stats
+}
+
+// scalarStats samples one scalar-gauge snapshot as cheaply as eng
+// allows.
+func scalarStats(eng Engine) Stats {
+	if ss, ok := eng.(scalarStatser); ok {
+		return ss.statsScalar()
+	}
+	return FastStats(eng)
+}
+
+// cheapGauges maps metric names to counter-only Stats fields — safe to
+// sample per gauge, per scrape. Every engine gets the base set;
+// composition-specific gauges are added by capability, read off the
+// self-describing snapshot.
+func cheapGauges(st Stats) map[string]func(Stats) any {
+	gauges := map[string]func(Stats) any{
+		"matches":      func(s Stats) any { return s.Matches },
+		"discarded":    func(s Stats) any { return s.Discarded },
+		"window_edges": func(s Stats) any { return s.InWindow },
+	}
+	if !st.Fleet {
+		gauges["decomposition_k"] = func(s Stats) any { return s.K }
+	}
+	if st.Adaptive {
+		gauges["reoptimizations"] = func(s Stats) any { return s.Reoptimizations }
+	}
+	if st.Durable {
+		gauges["wal_seq"] = func(s Stats) any { return s.WALSeq }
+		gauges["replayed"] = func(s Stats) any { return s.Replayed }
+	}
+	return gauges
+}
+
+// walkGauges maps metric names to the Stats fields that walk
+// partial-match state (one walk per sample — keep these few).
+func walkGauges() map[string]func(Stats) any {
+	return map[string]func(Stats) any{
+		"partial_matches": func(s Stats) any { return s.PartialMatches },
+		"space_bytes":     func(s Stats) any { return s.SpaceBytes },
+	}
+}
+
+// RegisterMetrics registers eng's live counters under prefix.<metric>,
+// generically from its unified Stats snapshot — one registration path
+// for every engine composition. Fleets additionally get
+// prefix.<query-name>.<metric> per query live at registration time
+// (gauges resolve the query by name at sample time, so a retired query
+// reports zero; queries added after registration are not picked up — a
+// dynamic serving layer should sample Stats directly) plus
+// prefix.routed_fraction and prefix.space_bytes_total aggregates.
+// Counter gauges are safe to sample while edges are being fed.
+func RegisterMetrics(r *MetricsRegistry, prefix string, eng Engine) error {
+	fast := func() Stats { return scalarStats(eng) }
+	st := fast()
+	for name, field := range cheapGauges(st) {
+		field := field
+		if err := r.Register(prefix+"."+name, func() any { return field(fast()) }); err != nil {
 			return err
 		}
 	}
-	return nil
-}
-
-// RegisterMetrics registers per-query counters for every query
-// currently in the fleet (prefix.<query-name>.<metric>) plus
-// fleet-level aggregates. Gauges resolve the query by name at sample
-// time, so one that is retired reports zero (and its engine is not
-// pinned); queries added after registration are not picked up — a
-// dynamic serving layer should sample MatchCounts instead.
-func (ms *MultiSearcher) RegisterMetrics(r *MetricsRegistry, prefix string) error {
-	metrics := map[string]func(*Searcher) any{
-		"matches":         func(s *Searcher) any { return s.MatchCount() },
-		"discarded":       func(s *Searcher) any { return s.Discarded() },
-		"partial_matches": func(s *Searcher) any { return s.PartialMatches() },
-		"space_bytes":     func(s *Searcher) any { return s.SpaceBytes() },
-		"window_edges":    func(s *Searcher) any { return s.InWindow() },
-		"decomposition_k": func(s *Searcher) any { return s.K() },
+	if !st.Fleet {
+		// Fleets get per-member walk gauges plus a space_bytes_total
+		// aggregate below; a fleet-level copy of each walking gauge
+		// would double the partial-match walks per scrape.
+		for name, field := range walkGauges() {
+			field := field
+			if err := r.Register(prefix+"."+name, func() any { return field(eng.Stats()) }); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
-	for _, name := range ms.Names() {
-		for metric, f := range metrics {
-			name, f := name, f
-			if err := r.Register(prefix+"."+name+"."+metric, func() any { return ms.sample(name, f) }); err != nil {
+	fl, ok := eng.(Fleet)
+	if !ok {
+		return nil
+	}
+	src, _ := eng.(statsSource)
+	for _, name := range fl.Names() {
+		name := name
+		sample := func(fastSample bool) Stats {
+			if src == nil {
+				return eng.Stats().Queries[name]
+			}
+			qs, _ := src.queryStats(name, fastSample)
+			return qs
+		}
+		// Per-member snapshots are never fleets, so probe with a
+		// non-fleet snapshot to get the single-engine gauge set.
+		probe := sample(true)
+		for metric, field := range cheapGauges(probe) {
+			field := field
+			if err := r.Register(prefix+"."+name+"."+metric, func() any { return field(sample(true)) }); err != nil {
+				return err
+			}
+		}
+		for metric, field := range walkGauges() {
+			field := field
+			if err := r.Register(prefix+"."+name+"."+metric, func() any { return field(sample(false)) }); err != nil {
 				return err
 			}
 		}
 	}
-	if err := r.Register(prefix+".space_bytes_total", func() any { return ms.SpaceBytes() }); err != nil {
+	if err := r.Register(prefix+".space_bytes_total", func() any { return eng.Stats().SpaceBytes }); err != nil {
 		return err
 	}
-	return r.Register(prefix+".routed_fraction", func() any { return ms.RoutedFraction() })
+	return r.Register(prefix+".routed_fraction", func() any { return fast().RoutedFraction })
+}
+
+// RegisterMetrics registers this searcher's live counters under
+// prefix.<metric>.
+//
+// Deprecated: use the package-level RegisterMetrics.
+func (s *Searcher) RegisterMetrics(r *MetricsRegistry, prefix string) error {
+	return RegisterMetrics(r, prefix, s.en)
+}
+
+// RegisterMetrics registers per-query counters for every query
+// currently in the fleet plus fleet-level aggregates.
+//
+// Deprecated: use the package-level RegisterMetrics.
+func (ms *MultiSearcher) RegisterMetrics(r *MetricsRegistry, prefix string) error {
+	return RegisterMetrics(r, prefix, ms.fl)
 }
 
 // RegisterMetrics registers the durable searcher's counters, including
 // recovery and checkpoint state.
+//
+// Deprecated: use the package-level RegisterMetrics.
 func (ps *PersistentSearcher) RegisterMetrics(r *MetricsRegistry, prefix string) error {
-	metrics := map[string]func() any{
-		"matches":         func() any { return ps.MatchCount() },
-		"discarded":       func() any { return ps.Discarded() },
-		"partial_matches": func() any { return ps.PartialMatches() },
-		"space_bytes":     func() any { return ps.SpaceBytes() },
-		"window_edges":    func() any { return ps.InWindow() },
-		"wal_seq":         func() any { return ps.log.Seq() },
-		"replayed":        func() any { return ps.Replayed() },
-	}
-	for name, fn := range metrics {
-		if err := r.Register(prefix+"."+name, fn); err != nil {
-			return err
-		}
-	}
-	return nil
+	return RegisterMetrics(r, prefix, ps.en)
 }
 
 // RegisterMetrics registers the durable fleet's counters: per-query
-// match totals plus the shared WAL cursor and replay count.
+// gauges plus the shared WAL cursor and replay count.
+//
+// Deprecated: use the package-level RegisterMetrics.
 func (pm *PersistentMultiSearcher) RegisterMetrics(r *MetricsRegistry, prefix string) error {
-	// Gauges are keyed by name, not slot, and sample through the locked
-	// accessor: slots may be retired and recycled under a dynamic fleet
-	// while the registry samples concurrently.
-	for _, name := range pm.Names() {
-		name := name
-		if err := r.Register(prefix+"."+name+".matches", func() any { return pm.MatchCount(name) }); err != nil {
-			return err
-		}
-	}
-	if err := r.Register(prefix+".wal_seq", func() any { return pm.WALSeq() }); err != nil {
-		return err
-	}
-	if err := r.Register(prefix+".replayed", func() any { return pm.Replayed() }); err != nil {
-		return err
-	}
-	return r.Register(prefix+".space_bytes_total", func() any { return pm.SpaceBytes() })
+	return RegisterMetrics(r, prefix, pm.fl)
 }
 
 // RegisterMetrics registers the adaptive searcher's counters, including
 // the reoptimization count.
+//
+// Deprecated: use the package-level RegisterMetrics.
 func (a *AdaptiveSearcher) RegisterMetrics(r *MetricsRegistry, prefix string) error {
-	metrics := map[string]func() any{
-		"matches":         func() any { return a.MatchCount() },
-		"discarded":       func() any { return a.Discarded() },
-		"partial_matches": func() any { return a.PartialMatches() },
-		"space_bytes":     func() any { return a.SpaceBytes() },
-		"window_edges":    func() any { return a.InWindow() },
-		"decomposition_k": func() any { return a.K() },
-		"reoptimizations": func() any { return a.Reoptimizations() },
-	}
-	for name, fn := range metrics {
-		if err := r.Register(prefix+"."+name, fn); err != nil {
-			return err
-		}
-	}
-	return nil
+	return RegisterMetrics(r, prefix, a.en)
 }

@@ -1,62 +1,45 @@
 package timingsubg
 
-import (
-	"fmt"
-	"sync"
-	"sync/atomic"
-
-	"timingsubg/internal/router"
-)
-
-// MultiSearcher runs several continuous queries over one shared stream —
-// the deployment shape of the paper's motivating scenarios, where all
-// of, e.g., Verizon's ten attack patterns are monitored at once. Each
-// query keeps its own engine and window state; an edge is fed once and
-// fanned out to every query.
-//
-// The fleet is dynamic: AddQuery and RemoveQuery register and retire
-// queries while the stream is live, without disturbing the window state
-// of the other queries. Feed, AddQuery and RemoveQuery mutate engine
-// state and must be serialized by the caller (one feeder goroutine, or
-// an external lock); the read accessors (MatchCounts, Names, HasQuery,
-// RoutedFraction, SpaceBytes) may be called concurrently with them —
-// this is what lets a serving layer sample stats while ingest runs.
-type MultiSearcher struct {
-	mu        sync.RWMutex
-	searchers []*Searcher // nil entries are retired slots, reusable by AddQuery
-	names     []string    // "" for retired slots
-	onMatch   func(name string, m *Match)
-	route     *router.Router
-	routed    atomic.Int64 // engine feeds actually performed (routed mode)
-	possible  atomic.Int64 // Σ per-edge live fleet size (routed mode denominator)
-	fed       atomic.Int64 // edges offered
-	live      int          // number of non-nil searchers
-}
-
-// QuerySpec names a query for multi-query monitoring.
+// QuerySpec names a query for multi-query (fleet) monitoring.
 type QuerySpec struct {
 	// Name tags matches in the callback.
 	Name string
 	// Query is the pattern to monitor.
 	Query *Query
-	// Options configures this query's engine. The OnMatch field is
-	// ignored; use NewMultiSearcher's callback instead.
+	// Options configures this query's engine. Fields left zero inherit
+	// the fleet Config's defaults. The OnMatch field is ignored; use the
+	// fleet-level callback instead.
 	Options Options
+	// Adaptive composes the feedback join-order reoptimizer onto this
+	// member. Nil inherits the fleet Config's Adaptive setting.
+	Adaptive *Adaptivity
+}
+
+// MultiSearcher runs several continuous queries over one shared stream.
+// The fleet is dynamic: AddQuery and RemoveQuery register and retire
+// queries while the stream is live. Feed, AddQuery and RemoveQuery must
+// be serialized by the caller; the read accessors (MatchCounts, Names,
+// HasQuery, RoutedFraction, SpaceBytes) may be called concurrently with
+// them.
+//
+// Deprecated: MultiSearcher is a thin shim over the unified fleet
+// engine. Use Open with Config{Queries: specs, ...} (or Dynamic: true),
+// which exposes the same fleet with composable routing, durability and
+// per-member adaptivity.
+type MultiSearcher struct {
+	fl *fleetEngine
 }
 
 // NewMultiSearcher builds a fan-out searcher. onMatch receives the query
 // name along with each match; it is serialized per query engine.
+//
+// Deprecated: use Open.
 func NewMultiSearcher(specs []QuerySpec, onMatch func(name string, m *Match)) (*MultiSearcher, error) {
-	if len(specs) == 0 {
-		return nil, fmt.Errorf("timingsubg: no queries: %w", ErrBadOptions)
+	fl, err := openFleet(Config{Queries: specs, OnMatch: onMatch})
+	if err != nil {
+		return nil, err
 	}
-	ms := NewDynamicMultiSearcher(false, onMatch)
-	for _, spec := range specs {
-		if err := ms.addQuery(spec, false); err != nil {
-			return nil, err
-		}
-	}
-	return ms, nil
+	return &MultiSearcher{fl: fl}, nil
 }
 
 // NewRoutedMultiSearcher is NewMultiSearcher with label-based routing:
@@ -76,29 +59,29 @@ func NewMultiSearcher(specs []QuerySpec, onMatch func(name string, m *Match)) (*
 // the edges *fed* to the engine, so skipping uninterested edges would
 // silently widen each query's horizon to its last N relevant edges.
 // Count-window specs are rejected.
+//
+// Deprecated: use Open with Config{Routed: true}.
 func NewRoutedMultiSearcher(specs []QuerySpec, onMatch func(name string, m *Match)) (*MultiSearcher, error) {
-	if len(specs) == 0 {
-		return nil, fmt.Errorf("timingsubg: no queries: %w", ErrBadOptions)
+	fl, err := openFleet(Config{Queries: specs, Routed: true, OnMatch: onMatch})
+	if err != nil {
+		return nil, err
 	}
-	ms := NewDynamicMultiSearcher(true, onMatch)
-	for _, spec := range specs {
-		if err := ms.addQuery(spec, false); err != nil {
-			return nil, err
-		}
-	}
-	return ms, nil
+	return &MultiSearcher{fl: fl}, nil
 }
 
 // NewDynamicMultiSearcher returns an empty fleet ready for AddQuery and
 // RemoveQuery — the serving-layer shape, where queries come and go over
 // the life of the stream and the fleet may be momentarily empty. routed
 // enables label-based routing (see NewRoutedMultiSearcher).
+//
+// Deprecated: use Open with Config{Dynamic: true}.
 func NewDynamicMultiSearcher(routed bool, onMatch func(name string, m *Match)) *MultiSearcher {
-	ms := &MultiSearcher{onMatch: onMatch}
-	if routed {
-		ms.route = router.New()
+	fl, err := openFleet(Config{Dynamic: true, Routed: routed, OnMatch: onMatch})
+	if err != nil {
+		// Unreachable: an empty dynamic in-memory config cannot fail.
+		panic(err)
 	}
-	return ms
+	return &MultiSearcher{fl: fl}
 }
 
 // AddQuery registers one more query on the live fleet. The new query's
@@ -106,154 +89,33 @@ func NewDynamicMultiSearcher(routed bool, onMatch func(name string, m *Match)) *
 // a newly deployed pattern cannot see traffic that predates its
 // deployment. Names must be non-empty and unique among live queries.
 // AddQuery must be serialized with Feed by the caller.
-func (ms *MultiSearcher) AddQuery(spec QuerySpec) error {
-	return ms.addQuery(spec, true)
-}
-
-func (ms *MultiSearcher) addQuery(spec QuerySpec, unique bool) error {
-	if spec.Name == "" {
-		return fmt.Errorf("timingsubg: query name must be non-empty: %w", ErrBadOptions)
-	}
-	if ms.route != nil && spec.Options.CountWindow > 0 {
-		return fmt.Errorf("timingsubg: query %q: routing requires time-based windows (count windows measure fed edges): %w",
-			spec.Name, ErrBadOptions)
-	}
-	opts := spec.Options
-	if ms.onMatch != nil {
-		name := spec.Name
-		onMatch := ms.onMatch
-		opts.OnMatch = func(m *Match) { onMatch(name, m) }
-	} else {
-		opts.OnMatch = nil
-	}
-	s, err := NewSearcher(spec.Query, opts)
-	if err != nil {
-		return fmt.Errorf("timingsubg: query %q: %w", spec.Name, err)
-	}
-	ms.mu.Lock()
-	defer ms.mu.Unlock()
-	if unique && ms.indexLocked(spec.Name) >= 0 {
-		return fmt.Errorf("timingsubg: duplicate query name %q: %w", spec.Name, ErrBadOptions)
-	}
-	slot := -1
-	for i, sr := range ms.searchers {
-		if sr == nil {
-			slot = i
-			break
-		}
-	}
-	if slot < 0 {
-		slot = len(ms.searchers)
-		ms.searchers = append(ms.searchers, nil)
-		ms.names = append(ms.names, "")
-	}
-	ms.searchers[slot] = s
-	ms.names[slot] = spec.Name
-	ms.live++
-	if ms.route != nil {
-		ms.route.Add(slot, spec.Query)
-	}
-	return nil
-}
+func (ms *MultiSearcher) AddQuery(spec QuerySpec) error { return ms.fl.AddQuery(spec) }
 
 // RemoveQuery retires the named query: its engine is drained and its
 // slot freed for reuse; no match for it is delivered after RemoveQuery
 // returns. Removing an unknown name is an error. RemoveQuery must be
 // serialized with Feed by the caller.
-func (ms *MultiSearcher) RemoveQuery(name string) error {
-	ms.mu.Lock()
-	defer ms.mu.Unlock()
-	i := ms.indexLocked(name)
-	if i < 0 {
-		return fmt.Errorf("timingsubg: unknown query %q: %w", name, ErrBadOptions)
-	}
-	ms.searchers[i].Close()
-	ms.searchers[i] = nil
-	ms.names[i] = ""
-	ms.live--
-	if ms.route != nil {
-		ms.route.Remove(i)
-	}
-	return nil
-}
-
-// indexLocked returns the slot of the live query named name, or -1.
-func (ms *MultiSearcher) indexLocked(name string) int {
-	for i, n := range ms.names {
-		if n == name && ms.searchers[i] != nil {
-			return i
-		}
-	}
-	return -1
-}
-
-// sample runs f on the live searcher registered under name, or returns
-// zero if the query has been retired — the lookup-by-name indirection
-// metrics gauges need so they never pin a closed engine or report a
-// retired query's counters under a recycled name.
-func (ms *MultiSearcher) sample(name string, f func(*Searcher) any) any {
-	ms.mu.RLock()
-	defer ms.mu.RUnlock()
-	i := ms.indexLocked(name)
-	if i < 0 {
-		return int64(0)
-	}
-	return f(ms.searchers[i])
-}
+func (ms *MultiSearcher) RemoveQuery(name string) error { return ms.fl.RemoveQuery(name) }
 
 // HasQuery reports whether a live query is registered under name.
-func (ms *MultiSearcher) HasQuery(name string) bool {
-	ms.mu.RLock()
-	defer ms.mu.RUnlock()
-	return ms.indexLocked(name) >= 0
-}
+func (ms *MultiSearcher) HasQuery(name string) bool { return ms.fl.HasQuery(name) }
 
 // Names returns the live query names, in registration-slot order.
-func (ms *MultiSearcher) Names() []string {
-	ms.mu.RLock()
-	defer ms.mu.RUnlock()
-	out := make([]string, 0, ms.live)
-	for i, n := range ms.names {
-		if ms.searchers[i] != nil {
-			out = append(out, n)
-		}
-	}
-	return out
-}
+func (ms *MultiSearcher) Names() []string { return ms.fl.Names() }
 
 // Feed pushes one edge to every query (or, in routed mode, to every
 // interested query).
 func (ms *MultiSearcher) Feed(e Edge) error {
-	ms.mu.RLock()
-	defer ms.mu.RUnlock()
-	ms.fed.Add(1)
-	if ms.route != nil {
-		// The saved-work denominator accrues the fleet size *as of this
-		// edge* — queries come and go, so a cumulative counter is the
-		// only way the ratio stays meaningful.
-		ms.possible.Add(int64(ms.live))
-		var ferr error
-		ms.route.Route(e, func(i int) {
-			if ferr != nil || ms.searchers[i] == nil {
-				return
-			}
-			ms.routed.Add(1)
-			if _, err := ms.searchers[i].Feed(e); err != nil {
-				ferr = fmt.Errorf("timingsubg: query %q: %w", ms.names[i], err)
-			}
-		})
-		return ferr
-	}
-	for i, s := range ms.searchers {
-		if s == nil {
-			continue
-		}
-		if _, err := s.Feed(e); err != nil {
-			return fmt.Errorf("timingsubg: query %q: %w", ms.names[i], err)
-		}
-	}
-	return nil
+	_, err := ms.fl.Feed(e)
+	return err
 }
+
+// FeedBatch pushes a batch of edges; see Engine.FeedBatch.
+func (ms *MultiSearcher) FeedBatch(batch []Edge) (int, error) { return ms.fl.FeedBatch(batch) }
+
+// Stats returns the unified fleet snapshot (per-query snapshots under
+// Stats.Queries).
+func (ms *MultiSearcher) Stats() Stats { return ms.fl.Stats() }
 
 // RoutedFraction reports, in routed mode, the ratio of engine feeds
 // performed to engine feeds a naive fan-out would have performed
@@ -261,52 +123,18 @@ func (ms *MultiSearcher) Feed(e Edge) error {
 // across AddQuery/RemoveQuery) — the dispatch work saved by routing.
 // It returns 1 in unrouted mode. Safe to call while edges are being
 // fed.
-func (ms *MultiSearcher) RoutedFraction() float64 {
-	possible := ms.possible.Load()
-	if ms.route == nil || possible == 0 {
-		return 1
-	}
-	return float64(ms.routed.Load()) / float64(possible)
-}
+func (ms *MultiSearcher) RoutedFraction() float64 { return ms.fl.routedFraction() }
 
 // Fed returns how many edges have been offered to the fleet. Safe to
 // call while edges are being fed.
-func (ms *MultiSearcher) Fed() int64 { return ms.fed.Load() }
+func (ms *MultiSearcher) Fed() int64 { return ms.fl.fedN.Load() }
 
 // Close drains all engines.
-func (ms *MultiSearcher) Close() {
-	ms.mu.RLock()
-	defer ms.mu.RUnlock()
-	for _, s := range ms.searchers {
-		if s != nil {
-			s.Close()
-		}
-	}
-}
+func (ms *MultiSearcher) Close() { ms.fl.Close() }
 
 // MatchCounts returns per-query match counts, keyed by query name.
-func (ms *MultiSearcher) MatchCounts() map[string]int64 {
-	ms.mu.RLock()
-	defer ms.mu.RUnlock()
-	out := make(map[string]int64, ms.live)
-	for i, s := range ms.searchers {
-		if s != nil {
-			out[ms.names[i]] += s.MatchCount()
-		}
-	}
-	return out
-}
+func (ms *MultiSearcher) MatchCounts() map[string]int64 { return ms.fl.matchCounts() }
 
 // SpaceBytes sums the space of all engines. Call while no Feed is in
 // flight.
-func (ms *MultiSearcher) SpaceBytes() int64 {
-	ms.mu.RLock()
-	defer ms.mu.RUnlock()
-	var b int64
-	for _, s := range ms.searchers {
-		if s != nil {
-			b += s.SpaceBytes()
-		}
-	}
-	return b
-}
+func (ms *MultiSearcher) SpaceBytes() int64 { return ms.fl.spaceBytes() }

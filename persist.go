@@ -1,16 +1,12 @@
 package timingsubg
 
 import (
-	"errors"
-	"fmt"
-
-	"timingsubg/internal/checkpoint"
-	"timingsubg/internal/core"
-	"timingsubg/internal/graph"
 	"timingsubg/internal/wal"
 )
 
 // PersistentOptions configures a PersistentSearcher.
+//
+// Deprecated: set Config.Durable and call Open.
 type PersistentOptions struct {
 	// Options configures the wrapped searcher. Workers must be <= 1:
 	// durability requires the engine state at a checkpoint to be exactly
@@ -41,24 +37,14 @@ type PersistentOptions struct {
 // checkpoint may be reported again (at-least-once). Deduplicate
 // downstream with the match's edge-ID tuple if exactly-once delivery
 // matters.
+//
+// Deprecated: PersistentSearcher is a thin shim over the unified
+// engine. Use Open with Config{Query: q, Durable: &Durability{...}} —
+// which also composes with adaptivity, a combination this façade cannot
+// express.
 type PersistentSearcher struct {
-	s      *Searcher
-	log    *wal.Log
-	dir    string
-	every  int
-	window Timestamp
-
-	// counter baselines translate engine counters (which restart from
-	// zero on recovery) into durable totals.
-	baseMatches   int64
-	baseDiscarded int64
-	engMatches0   int64
-	engDiscarded0 int64
-
-	recovering bool
-	replayed   int64
-	sinceCkpt  int
-	closed     bool
+	en  *single
+	log *wal.Log // kept for test/diagnostic access to the live WAL
 }
 
 // OpenPersistent opens (or creates) a durable searcher in opts.Dir.
@@ -66,211 +52,67 @@ type PersistentSearcher struct {
 // engine state is recovered: the newest checkpoint's window is
 // rebuilt silently, then the WAL suffix is replayed live (reporting
 // matches to OnMatch).
+//
+// Deprecated: use Open.
 func OpenPersistent(q *Query, opts PersistentOptions) (*PersistentSearcher, error) {
-	if opts.Workers > 1 {
-		return nil, errors.Join(ErrBadOptions, errors.New("persistent mode requires Workers <= 1"))
-	}
-	if opts.Dir == "" {
-		return nil, errors.Join(ErrBadOptions, errors.New("persistent mode requires Dir"))
-	}
-	if opts.Window <= 0 {
-		return nil, errors.Join(ErrBadOptions, errors.New("window must be positive"))
-	}
-	if opts.CountWindow > 0 {
-		return nil, errors.Join(ErrBadOptions, errors.New("persistent mode supports time-based windows only"))
-	}
-	if opts.CheckpointEvery <= 0 {
-		opts.CheckpointEvery = 4096
-	}
-
-	log, err := wal.Open(opts.Dir, wal.Options{
-		SegmentBytes: opts.SegmentBytes,
-		SyncEvery:    opts.SyncEvery,
-	})
+	en, err := openDurableSingle(q, opts.Options, nil, Durability{
+		Dir:             opts.Dir,
+		CheckpointEvery: opts.CheckpointEvery,
+		SyncEvery:       opts.SyncEvery,
+		SegmentBytes:    opts.SegmentBytes,
+	}, opts.OnMatch)
 	if err != nil {
 		return nil, err
 	}
-	ck, haveCk, err := checkpoint.Load(opts.Dir)
-	if err != nil {
-		log.Close()
-		return nil, err
-	}
-	if haveCk && ck.Window != opts.Window {
-		log.Close()
-		return nil, fmt.Errorf("timingsubg: checkpoint window %d != configured window %d: %w",
-			ck.Window, opts.Window, ErrBadOptions)
-	}
-
-	ps := &PersistentSearcher{log: log, dir: opts.Dir, every: opts.CheckpointEvery, window: opts.Window}
-
-	// The user's callback is suppressed while rebuilding checkpointed
-	// state: those matches were durably reported before the checkpoint.
-	userOnMatch := opts.OnMatch
-	inner := opts.Options
-	if userOnMatch != nil {
-		inner.OnMatch = func(m *Match) {
-			if !ps.recovering {
-				userOnMatch(m)
-			}
-		}
-	}
-
-	eng := core.New(q, core.Config{
-		Storage:       inner.Storage,
-		Decomposition: inner.Decomposition,
-		OnMatch:       inner.OnMatch,
-	})
-	var stream *graph.Stream
-	if haveCk {
-		stream = graph.RestoreStream(opts.Window, ck.Edges, graph.EdgeID(ck.NextSeq))
-		ps.baseMatches = ck.Matches
-		ps.baseDiscarded = ck.Discarded
-	} else {
-		stream = graph.NewStream(opts.Window)
-	}
-	ps.s = &Searcher{stream: stream, eng: eng}
-
-	if haveCk {
-		// Rebuild derived engine state from the checkpointed window,
-		// silently: re-insert each in-window edge without expiry (the
-		// checkpoint holds only live edges).
-		ps.recovering = true
-		for _, e := range ck.Edges {
-			eng.Process(e, nil)
-		}
-		ps.recovering = false
-		ps.engMatches0 = eng.Stats().Matches.Load()
-		ps.engDiscarded0 = eng.Stats().Discarded.Load()
-		// If fsync was off and the WAL tail was lost in the crash, the
-		// checkpoint may be ahead of the log; fast-forward the log so
-		// future sequence numbers continue at the checkpoint cursor.
-		if err := log.SkipTo(ck.NextSeq); err != nil {
-			log.Close()
-			return nil, err
-		}
-	}
-
-	// Replay the WAL suffix after the checkpoint, live.
-	from := int64(0)
-	if haveCk {
-		from = ck.NextSeq
-	}
-	end, err := wal.Replay(opts.Dir, from, func(seq int64, e graph.Edge) error {
-		id, err := ps.s.Feed(graph.Edge{
-			From: e.From, To: e.To,
-			FromLabel: e.FromLabel, ToLabel: e.ToLabel, EdgeLabel: e.EdgeLabel,
-			Time: e.Time,
-		})
-		if err != nil {
-			return err
-		}
-		if int64(id) != seq {
-			return fmt.Errorf("timingsubg: recovery drift: edge seq %d got ID %d", seq, id)
-		}
-		ps.replayed++
-		return nil
-	})
-	if err != nil {
-		log.Close()
-		return nil, fmt.Errorf("timingsubg: recovery replay: %w", err)
-	}
-	if end != log.Seq() {
-		log.Close()
-		return nil, fmt.Errorf("timingsubg: recovery replay ended at %d, log at %d", end, log.Seq())
-	}
-	return ps, nil
+	return &PersistentSearcher{en: en, log: en.log}, nil
 }
 
 // Feed durably logs one edge and then matches it. The returned ID
-// equals the edge's WAL sequence number.
-func (ps *PersistentSearcher) Feed(e Edge) (EdgeID, error) {
-	if ps.closed {
-		return 0, errors.New("timingsubg: feed to closed persistent searcher")
-	}
-	if _, err := ps.log.Append(e); err != nil {
-		return 0, err
-	}
-	id, err := ps.s.Feed(e)
-	if err != nil {
-		return 0, err
-	}
-	ps.sinceCkpt++
-	if ps.sinceCkpt >= ps.every {
-		if err := ps.Checkpoint(); err != nil {
-			return id, err
-		}
-	}
-	return id, nil
-}
+// equals the edge's WAL sequence number. After Close, Feed returns
+// ErrClosed.
+func (ps *PersistentSearcher) Feed(e Edge) (EdgeID, error) { return ps.en.Feed(e) }
+
+// FeedBatch durably logs and matches a batch of edges; see
+// Engine.FeedBatch.
+func (ps *PersistentSearcher) FeedBatch(batch []Edge) (int, error) { return ps.en.FeedBatch(batch) }
 
 // Checkpoint forces a checkpoint now: the WAL is synced, the in-window
 // state and counters are written atomically, old checkpoints and WAL
 // segments are reclaimed.
-func (ps *PersistentSearcher) Checkpoint() error {
-	ps.sinceCkpt = 0
-	if err := ps.log.Sync(); err != nil {
-		return err
-	}
-	ck := checkpoint.Checkpoint{
-		NextSeq:   ps.log.Seq(),
-		Window:    ps.window,
-		Matches:   ps.MatchCount(),
-		Discarded: ps.Discarded(),
-		Edges:     ps.s.stream.InWindow(),
-	}
-	if err := checkpoint.Save(ps.dir, ck); err != nil {
-		return err
-	}
-	if err := checkpoint.GC(ps.dir, 2); err != nil {
-		return err
-	}
-	return ps.log.TruncateFront(ck.NextSeq)
-}
+func (ps *PersistentSearcher) Checkpoint() error { return ps.en.checkpointNow() }
 
 // Close checkpoints and closes the WAL. The searcher must not be used
 // after Close.
-func (ps *PersistentSearcher) Close() error {
-	if ps.closed {
-		return nil
-	}
-	ps.closed = true
-	ps.s.Close()
-	if err := ps.Checkpoint(); err != nil {
-		ps.log.Close()
-		return err
-	}
-	return ps.log.Close()
-}
+func (ps *PersistentSearcher) Close() error { return ps.en.Close() }
+
+// Stats returns the unified counter snapshot.
+func (ps *PersistentSearcher) Stats() Stats { return ps.en.Stats() }
 
 // MatchCount returns the total matches reported across all runs
 // (durable baseline + this process).
-func (ps *PersistentSearcher) MatchCount() int64 {
-	return ps.baseMatches + ps.s.MatchCount() - ps.engMatches0
-}
+func (ps *PersistentSearcher) MatchCount() int64 { return ps.en.matches() }
 
 // Discarded returns the total discardable edges filtered across runs.
-func (ps *PersistentSearcher) Discarded() int64 {
-	return ps.baseDiscarded + ps.s.Discarded() - ps.engDiscarded0
-}
+func (ps *PersistentSearcher) Discarded() int64 { return ps.en.discarded() }
 
 // Replayed returns how many WAL-suffix edges were replayed during the
 // most recent OpenPersistent (0 on a cold start).
-func (ps *PersistentSearcher) Replayed() int64 { return ps.replayed }
+func (ps *PersistentSearcher) Replayed() int64 { return ps.en.replayed }
 
 // InWindow returns the number of edges currently inside the window.
-func (ps *PersistentSearcher) InWindow() int { return ps.s.InWindow() }
+func (ps *PersistentSearcher) InWindow() int { return ps.en.stream.Len() }
 
 // K returns the size of the TC decomposition in use.
-func (ps *PersistentSearcher) K() int { return ps.s.K() }
+func (ps *PersistentSearcher) K() int { return ps.en.eng.K() }
 
 // PartialMatches returns the number of stored partial matches.
-func (ps *PersistentSearcher) PartialMatches() int64 { return ps.s.PartialMatches() }
+func (ps *PersistentSearcher) PartialMatches() int64 { return ps.en.eng.PartialMatchCount() }
 
 // SpaceBytes estimates resident bytes of maintained partial matches.
-func (ps *PersistentSearcher) SpaceBytes() int64 { return ps.s.SpaceBytes() }
+func (ps *PersistentSearcher) SpaceBytes() int64 { return ps.en.eng.SpaceBytes() }
 
 // CurrentMatches enumerates the matches standing in the current window.
-func (ps *PersistentSearcher) CurrentMatches(fn func(*Match) bool) { ps.s.CurrentMatches(fn) }
+func (ps *PersistentSearcher) CurrentMatches(fn func(*Match) bool) { ps.en.CurrentMatches(fn) }
 
 // CurrentMatchCount returns the number of standing matches.
-func (ps *PersistentSearcher) CurrentMatchCount() int { return ps.s.CurrentMatchCount() }
+func (ps *PersistentSearcher) CurrentMatchCount() int { return ps.en.currentMatchCount() }

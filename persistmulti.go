@@ -1,20 +1,12 @@
 package timingsubg
 
 import (
-	"errors"
-	"fmt"
-	"os"
-	"path/filepath"
-	"strings"
-	"sync"
-
-	"timingsubg/internal/checkpoint"
-	"timingsubg/internal/core"
-	"timingsubg/internal/graph"
 	"timingsubg/internal/wal"
 )
 
 // PersistentMultiOptions configures a PersistentMultiSearcher.
+//
+// Deprecated: set Config.Durable and call Open.
 type PersistentMultiOptions struct {
 	// Dir is the durability directory. The edge log is shared by all
 	// queries (one WAL append per edge, not per query); each query
@@ -29,54 +21,47 @@ type PersistentMultiOptions struct {
 	SegmentBytes int64
 }
 
+func (o PersistentMultiOptions) durability() *Durability {
+	return &Durability{
+		Dir:             o.Dir,
+		CheckpointEvery: o.CheckpointEvery,
+		SyncEvery:       o.SyncEvery,
+		SegmentBytes:    o.SegmentBytes,
+	}
+}
+
 // PersistentMultiSearcher is a durable fleet: several continuous
-// queries over one shared write-ahead log. This is the deployment shape
-// of the paper's motivating scenarios (a catalogue of attack patterns
-// monitored together) with crash recovery: the stream is logged once,
-// and each query recovers independently from its own checkpoint plus
-// the shared log suffix.
+// queries over one shared write-ahead log, each recovering
+// independently from its own checkpoint plus the shared log suffix.
 //
 // Queries added to an existing directory (a name with no checkpoint)
 // join from the oldest retained log record: history reclaimed by
 // earlier checkpoints is gone, exactly as a newly deployed pattern
 // cannot see traffic that predates its deployment.
 //
-// The fleet is dynamic: AddQuery and RemoveQuery register and retire
-// queries while the log is live (see their docs for the join
-// semantics). Feed, AddQuery, RemoveQuery, Checkpoint and Close must be
-// serialized by the caller; the read accessors (MatchCounts, Names,
-// HasQuery, SpaceBytes) may run concurrently with them.
+// Feed, AddQuery, RemoveQuery, Checkpoint and Close must be serialized
+// by the caller; the read accessors (MatchCounts, Names, HasQuery,
+// SpaceBytes) may run concurrently with them.
 //
 // Delivery is at-least-once for post-checkpoint matches, per query
 // (wrap the callback with a MatchDeduper per query for exactly-once).
+//
+// Deprecated: PersistentMultiSearcher is a thin shim over the unified
+// fleet engine. Use Open with Config{Queries: specs, Durable:
+// &Durability{...}} — which also composes with routing and per-member
+// adaptivity, combinations this façade cannot express.
 type PersistentMultiSearcher struct {
-	mu        sync.RWMutex
-	names     []string    // "" for retired slots
-	searchers []*Searcher // nil entries are retired slots, reusable by AddQuery
-	windows   []Timestamp
-	onMatch   func(name string, m *Match)
-	log       *wal.Log
-	dir       string
-	every     int
-
-	baseMatches []int64
-	engMatches0 []int64
-
-	recovering []bool
-	replayed   int64
-	lastTime   Timestamp
-	sinceCkpt  int
-	closed     bool
+	fl  *fleetEngine
+	log *wal.Log // kept for test/diagnostic access to the live WAL
 }
 
 // OpenPersistentMulti opens (or creates) a durable fleet in opts.Dir.
 // Spec options must use time-based windows and Workers <= 1; OnMatch
 // fields in specs are ignored — use the fleet-level onMatch.
+//
+// Deprecated: use Open.
 func OpenPersistentMulti(specs []QuerySpec, opts PersistentMultiOptions, onMatch func(name string, m *Match)) (*PersistentMultiSearcher, error) {
-	if len(specs) == 0 {
-		return nil, fmt.Errorf("timingsubg: no queries: %w", ErrBadOptions)
-	}
-	return openPersistentMulti(specs, opts, onMatch)
+	return openPersistentMultiShim(specs, opts, onMatch, false)
 }
 
 // OpenDynamicPersistentMulti is OpenPersistentMulti for a dynamic
@@ -84,178 +69,23 @@ func OpenPersistentMulti(specs []QuerySpec, opts PersistentMultiOptions, onMatch
 // later through AddQuery. Passing the queries that were live before a
 // restart as specs lets them recover their window state from the
 // checkpoint/WAL machinery before new traffic is accepted.
+//
+// Deprecated: use Open with Config{Dynamic: true}.
 func OpenDynamicPersistentMulti(specs []QuerySpec, opts PersistentMultiOptions, onMatch func(name string, m *Match)) (*PersistentMultiSearcher, error) {
-	return openPersistentMulti(specs, opts, onMatch)
+	return openPersistentMultiShim(specs, opts, onMatch, true)
 }
 
-// validatePersistentSpec checks the per-query constraints of durable
-// operation.
-func validatePersistentSpec(spec QuerySpec) error {
-	switch {
-	case spec.Name == "" || spec.Name == "." || spec.Name == ".." || strings.ContainsAny(spec.Name, "/\\"):
-		// Names become directory components under Dir/ck/; "." and ".."
-		// would alias (and on removal, destroy) other state.
-		return fmt.Errorf("timingsubg: query name %q must be non-empty and path-safe: %w", spec.Name, ErrBadOptions)
-	case spec.Options.Workers > 1:
-		return fmt.Errorf("timingsubg: query %q: persistent mode requires Workers <= 1: %w", spec.Name, ErrBadOptions)
-	case spec.Options.Window <= 0 || spec.Options.CountWindow > 0:
-		return fmt.Errorf("timingsubg: query %q: persistent mode supports time-based windows only: %w", spec.Name, ErrBadOptions)
-	}
-	return nil
-}
-
-func openPersistentMulti(specs []QuerySpec, opts PersistentMultiOptions, onMatch func(name string, m *Match)) (*PersistentMultiSearcher, error) {
-	if opts.Dir == "" {
-		return nil, errors.Join(ErrBadOptions, errors.New("persistent mode requires Dir"))
-	}
-	if opts.CheckpointEvery <= 0 {
-		opts.CheckpointEvery = 4096
-	}
-	seen := map[string]bool{}
-	for _, spec := range specs {
-		if err := validatePersistentSpec(spec); err != nil {
-			return nil, err
-		}
-		if seen[spec.Name] {
-			return nil, fmt.Errorf("timingsubg: duplicate query name %q: %w", spec.Name, ErrBadOptions)
-		}
-		seen[spec.Name] = true
-	}
-
-	log, err := wal.Open(opts.Dir, wal.Options{SegmentBytes: opts.SegmentBytes, SyncEvery: opts.SyncEvery})
-	if err != nil {
-		return nil, err
-	}
-	pm := &PersistentMultiSearcher{
-		log:         log,
-		dir:         opts.Dir,
-		every:       opts.CheckpointEvery,
-		onMatch:     onMatch,
-		lastTime:    minTimestamp,
-		baseMatches: make([]int64, len(specs)),
-		engMatches0: make([]int64, len(specs)),
-		recovering:  make([]bool, len(specs)),
-	}
-	fail := func(err error) (*PersistentMultiSearcher, error) {
-		log.Close()
-		return nil, err
-	}
-
-	logStart, err := wal.FirstSeq(opts.Dir)
-	if err != nil {
-		return fail(err)
-	}
-
-	// Per-query recovery state.
-	froms := make([]int64, len(specs))
-	var maxNext int64
-	for i, spec := range specs {
-		i, spec := i, spec
-		ck, haveCk, err := checkpoint.Load(pm.ckDir(spec.Name))
-		if err != nil {
-			return fail(err)
-		}
-		if haveCk && ck.Window != spec.Options.Window {
-			return fail(fmt.Errorf("timingsubg: query %q: checkpoint window %d != configured window %d: %w",
-				spec.Name, ck.Window, spec.Options.Window, ErrBadOptions))
-		}
-
-		eng := core.New(spec.Query, core.Config{
-			Storage:       spec.Options.Storage,
-			Decomposition: spec.Options.Decomposition,
-			OnMatch:       pm.wrapOnMatch(i, spec.Name),
-		})
-		var stream *graph.Stream
-		switch {
-		case haveCk:
-			stream = graph.RestoreStream(spec.Options.Window, ck.Edges, graph.EdgeID(ck.NextSeq))
-			froms[i] = ck.NextSeq
-			pm.baseMatches[i] = ck.Matches
-		default:
-			// A new query joins at the retained log horizon.
-			stream = graph.RestoreStream(spec.Options.Window, nil, graph.EdgeID(logStart))
-			froms[i] = logStart
-		}
-		s := &Searcher{stream: stream, eng: eng}
-		pm.searchers = append(pm.searchers, s)
-		pm.names = append(pm.names, spec.Name)
-		pm.windows = append(pm.windows, spec.Options.Window)
-		// The stream clock resumes from the newest checkpointed edge;
-		// WAL replay below advances it further if a suffix exists.
-		if lt := stream.LastTime(); lt > pm.lastTime {
-			pm.lastTime = lt
-		}
-
-		if haveCk {
-			pm.recovering[i] = true
-			for _, e := range ck.Edges {
-				eng.Process(e, nil)
-			}
-			pm.recovering[i] = false
-			pm.engMatches0[i] = eng.Stats().Matches.Load()
-			if ck.NextSeq > maxNext {
-				maxNext = ck.NextSeq
-			}
-		}
-	}
-	if err := log.SkipTo(maxNext); err != nil {
-		return fail(err)
-	}
-
-	// One replay pass over the whole retained log: each record goes to
-	// every query whose cursor has reached it. The walk starts at the
-	// retained horizon — not at the oldest query cursor — because the
-	// stream clock (lastTime) must recover from every record, including
-	// ones no current query needs; otherwise a post-restart ingest could
-	// reuse a timestamp already in the log and break its monotonicity.
-	end, err := wal.Replay(opts.Dir, logStart, func(seq int64, e graph.Edge) error {
-		clean := graph.Edge{
-			From: e.From, To: e.To,
-			FromLabel: e.FromLabel, ToLabel: e.ToLabel, EdgeLabel: e.EdgeLabel,
-			Time: e.Time,
-		}
-		for i, s := range pm.searchers {
-			if seq < froms[i] {
-				continue
-			}
-			id, err := s.Feed(clean)
-			if err != nil {
-				return fmt.Errorf("query %q: %w", pm.names[i], err)
-			}
-			if int64(id) != seq {
-				return fmt.Errorf("query %q: recovery drift: edge seq %d got ID %d", pm.names[i], seq, id)
-			}
-		}
-		if e.Time > pm.lastTime {
-			pm.lastTime = e.Time
-		}
-		pm.replayed++
-		return nil
+func openPersistentMultiShim(specs []QuerySpec, opts PersistentMultiOptions, onMatch func(name string, m *Match), dynamic bool) (*PersistentMultiSearcher, error) {
+	fl, err := openFleet(Config{
+		Queries: specs,
+		Dynamic: dynamic,
+		Durable: opts.durability(),
+		OnMatch: onMatch,
 	})
 	if err != nil {
-		return fail(fmt.Errorf("timingsubg: recovery replay: %w", err))
+		return nil, err
 	}
-	if end != log.Seq() {
-		return fail(fmt.Errorf("timingsubg: recovery replay ended at %d, log at %d", end, log.Seq()))
-	}
-	return pm, nil
-}
-
-// wrapOnMatch adapts the fleet callback for slot i, suppressing delivery
-// while that slot replays checkpointed state.
-func (pm *PersistentMultiSearcher) wrapOnMatch(i int, name string) func(*Match) {
-	if pm.onMatch == nil {
-		return nil
-	}
-	return func(m *Match) {
-		if !pm.recovering[i] {
-			pm.onMatch(name, m)
-		}
-	}
-}
-
-func (pm *PersistentMultiSearcher) ckDir(name string) string {
-	return filepath.Join(pm.dir, "ck", name)
+	return &PersistentMultiSearcher{fl: fl, log: fl.log}, nil
 }
 
 // AddQuery registers one more query on the live durable fleet. The new
@@ -264,252 +94,72 @@ func (pm *PersistentMultiSearcher) ckDir(name string) string {
 // name by a previously removed query is discarded. To instead recover a
 // query's pre-restart window state, pass it to OpenDynamicPersistentMulti
 // as an initial spec. AddQuery must be serialized with Feed.
-func (pm *PersistentMultiSearcher) AddQuery(spec QuerySpec) error {
-	if pm.closed {
-		return errors.New("timingsubg: add query to closed persistent fleet")
-	}
-	if err := validatePersistentSpec(spec); err != nil {
-		return err
-	}
-	pm.mu.Lock()
-	defer pm.mu.Unlock()
-	if pm.indexLocked(spec.Name) >= 0 {
-		return fmt.Errorf("timingsubg: duplicate query name %q: %w", spec.Name, ErrBadOptions)
-	}
-	// A checkpoint under this name can only be stale (from a removed or
-	// never-reopened query); joining at the tail supersedes it.
-	if err := os.RemoveAll(pm.ckDir(spec.Name)); err != nil {
-		return fmt.Errorf("timingsubg: query %q: discard stale checkpoint: %w", spec.Name, err)
-	}
-	slot := -1
-	for i, s := range pm.searchers {
-		if s == nil {
-			slot = i
-			break
-		}
-	}
-	if slot < 0 {
-		slot = len(pm.searchers)
-		pm.searchers = append(pm.searchers, nil)
-		pm.names = append(pm.names, "")
-		pm.windows = append(pm.windows, 0)
-		pm.baseMatches = append(pm.baseMatches, 0)
-		pm.engMatches0 = append(pm.engMatches0, 0)
-		pm.recovering = append(pm.recovering, false)
-	}
-	eng := core.New(spec.Query, core.Config{
-		Storage:       spec.Options.Storage,
-		Decomposition: spec.Options.Decomposition,
-		OnMatch:       pm.wrapOnMatch(slot, spec.Name),
-	})
-	stream := graph.RestoreStream(spec.Options.Window, nil, graph.EdgeID(pm.log.Seq()))
-	// An initial checkpoint pins the join point durably: without it, a
-	// crash before the first periodic checkpoint would make recovery
-	// treat this query as brand new and replay it from the retained log
-	// horizon — pre-join traffic it must never see.
-	if err := checkpoint.Save(pm.ckDir(spec.Name), checkpoint.Checkpoint{
-		NextSeq: pm.log.Seq(),
-		Window:  spec.Options.Window,
-	}); err != nil {
-		return fmt.Errorf("timingsubg: query %q: initial checkpoint: %w", spec.Name, err)
-	}
-	pm.searchers[slot] = &Searcher{stream: stream, eng: eng}
-	pm.names[slot] = spec.Name
-	pm.windows[slot] = spec.Options.Window
-	pm.baseMatches[slot] = 0
-	pm.engMatches0[slot] = 0
-	pm.recovering[slot] = false
-	return nil
-}
+func (pm *PersistentMultiSearcher) AddQuery(spec QuerySpec) error { return pm.fl.AddQuery(spec) }
 
 // RemoveQuery retires the named query and deletes its checkpoints; its
 // slot is freed for reuse and no match for it is delivered after
 // RemoveQuery returns. The shared log is untouched (other queries may
 // still need it). RemoveQuery must be serialized with Feed.
-func (pm *PersistentMultiSearcher) RemoveQuery(name string) error {
-	pm.mu.Lock()
-	defer pm.mu.Unlock()
-	i := pm.indexLocked(name)
-	if i < 0 {
-		return fmt.Errorf("timingsubg: unknown query %q: %w", name, ErrBadOptions)
-	}
-	pm.searchers[i].Close()
-	pm.searchers[i] = nil
-	pm.names[i] = ""
-	return os.RemoveAll(pm.ckDir(name))
-}
-
-// indexLocked returns the slot of the live query named name, or -1.
-func (pm *PersistentMultiSearcher) indexLocked(name string) int {
-	for i, n := range pm.names {
-		if n == name && pm.searchers[i] != nil {
-			return i
-		}
-	}
-	return -1
-}
+func (pm *PersistentMultiSearcher) RemoveQuery(name string) error { return pm.fl.RemoveQuery(name) }
 
 // HasQuery reports whether a live query is registered under name.
-func (pm *PersistentMultiSearcher) HasQuery(name string) bool {
-	pm.mu.RLock()
-	defer pm.mu.RUnlock()
-	return pm.indexLocked(name) >= 0
-}
+func (pm *PersistentMultiSearcher) HasQuery(name string) bool { return pm.fl.HasQuery(name) }
 
 // Names returns the live query names, in registration-slot order.
-func (pm *PersistentMultiSearcher) Names() []string {
-	pm.mu.RLock()
-	defer pm.mu.RUnlock()
-	out := make([]string, 0, len(pm.names))
-	for i, n := range pm.names {
-		if pm.searchers[i] != nil {
-			out = append(out, n)
-		}
-	}
-	return out
-}
-
-// minTimestamp mirrors the graph.Stream "nothing seen yet" sentinel.
-const minTimestamp Timestamp = -1 << 62
+func (pm *PersistentMultiSearcher) Names() []string { return pm.fl.Names() }
 
 // LastTime returns the timestamp of the most recent edge the fleet has
 // seen, across restarts (recovered from checkpoints and log replay), or
 // a very small value if the log is empty. Feeding must continue with
 // strictly greater timestamps.
-func (pm *PersistentMultiSearcher) LastTime() Timestamp { return pm.lastTime }
+func (pm *PersistentMultiSearcher) LastTime() Timestamp { return pm.fl.lastTime }
 
 // Feed durably logs one edge and feeds it to every query. The edge's
-// timestamp must exceed every previously fed edge's — enforced here,
-// before the WAL append, so an out-of-order edge can never poison the
-// log (replay requires a monotone record sequence).
+// timestamp must exceed every previously fed edge's — enforced before
+// the WAL append, so an out-of-order edge can never poison the log.
+// After Close, Feed returns ErrClosed.
 func (pm *PersistentMultiSearcher) Feed(e Edge) error {
-	if pm.closed {
-		return errors.New("timingsubg: feed to closed persistent fleet")
-	}
-	if e.Time <= pm.lastTime {
-		return fmt.Errorf("timingsubg: %w: got %d after %d", graph.ErrOutOfOrder, e.Time, pm.lastTime)
-	}
-	if _, err := pm.log.Append(e); err != nil {
-		return err
-	}
-	pm.mu.RLock()
-	for i, s := range pm.searchers {
-		if s == nil {
-			continue
-		}
-		if _, err := s.Feed(e); err != nil {
-			pm.mu.RUnlock()
-			return fmt.Errorf("timingsubg: query %q: %w", pm.names[i], err)
-		}
-	}
-	pm.mu.RUnlock()
-	pm.lastTime = e.Time
-	pm.sinceCkpt++
-	if pm.sinceCkpt >= pm.every {
-		return pm.Checkpoint()
-	}
-	return nil
+	_, err := pm.fl.Feed(e)
+	return err
 }
+
+// FeedBatch durably logs and fans out a batch of edges; see
+// Engine.FeedBatch.
+func (pm *PersistentMultiSearcher) FeedBatch(batch []Edge) (int, error) {
+	return pm.fl.FeedBatch(batch)
+}
+
+// Stats returns the unified fleet snapshot (per-query snapshots under
+// Stats.Queries).
+func (pm *PersistentMultiSearcher) Stats() Stats { return pm.fl.Stats() }
 
 // Checkpoint forces per-query checkpoints now and reclaims WAL
 // segments no query needs anymore.
-func (pm *PersistentMultiSearcher) Checkpoint() error {
-	pm.sinceCkpt = 0
-	if err := pm.log.Sync(); err != nil {
-		return err
-	}
-	next := pm.log.Seq()
-	pm.mu.RLock()
-	defer pm.mu.RUnlock()
-	for i, s := range pm.searchers {
-		if s == nil {
-			continue
-		}
-		st, ok := s.stream.(*graph.Stream)
-		if !ok {
-			return fmt.Errorf("timingsubg: query %q: not a time-window stream", pm.names[i])
-		}
-		ck := checkpoint.Checkpoint{
-			NextSeq:   next,
-			Window:    pm.windows[i],
-			Matches:   pm.matchCount(i),
-			Discarded: s.Discarded(),
-			Edges:     st.InWindow(),
-		}
-		dir := pm.ckDir(pm.names[i])
-		if err := checkpoint.Save(dir, ck); err != nil {
-			return err
-		}
-		if err := checkpoint.GC(dir, 2); err != nil {
-			return err
-		}
-	}
-	return pm.log.TruncateFront(next)
-}
+func (pm *PersistentMultiSearcher) Checkpoint() error { return pm.fl.Checkpoint() }
 
 // Close checkpoints every query and closes the WAL.
-func (pm *PersistentMultiSearcher) Close() error {
-	if pm.closed {
-		return nil
-	}
-	pm.closed = true
-	if err := pm.Checkpoint(); err != nil {
-		pm.log.Close()
-		return err
-	}
-	return pm.log.Close()
-}
-
-func (pm *PersistentMultiSearcher) matchCount(i int) int64 {
-	if pm.searchers[i] == nil {
-		return 0
-	}
-	return pm.baseMatches[i] + pm.searchers[i].MatchCount() - pm.engMatches0[i]
-}
+func (pm *PersistentMultiSearcher) Close() error { return pm.fl.Close() }
 
 // MatchCount returns the durable match total of the named query, or 0
 // if no live query is registered under name.
 func (pm *PersistentMultiSearcher) MatchCount(name string) int64 {
-	pm.mu.RLock()
-	defer pm.mu.RUnlock()
-	i := pm.indexLocked(name)
-	if i < 0 {
+	st, ok := pm.fl.queryStats(name, true)
+	if !ok {
 		return 0
 	}
-	return pm.matchCount(i)
+	return st.Matches
 }
 
 // MatchCounts returns durable per-query match totals, keyed by name.
-func (pm *PersistentMultiSearcher) MatchCounts() map[string]int64 {
-	pm.mu.RLock()
-	defer pm.mu.RUnlock()
-	out := make(map[string]int64, len(pm.searchers))
-	for i := range pm.searchers {
-		if pm.searchers[i] == nil {
-			continue
-		}
-		out[pm.names[i]] = pm.matchCount(i)
-	}
-	return out
-}
+func (pm *PersistentMultiSearcher) MatchCounts() map[string]int64 { return pm.fl.matchCounts() }
 
 // Replayed returns how many shared-log edges were replayed during the
 // most recent OpenPersistentMulti.
-func (pm *PersistentMultiSearcher) Replayed() int64 { return pm.replayed }
+func (pm *PersistentMultiSearcher) Replayed() int64 { return pm.fl.replayed }
 
 // SpaceBytes sums the partial-match space of all engines.
-func (pm *PersistentMultiSearcher) SpaceBytes() int64 {
-	pm.mu.RLock()
-	defer pm.mu.RUnlock()
-	var b int64
-	for _, s := range pm.searchers {
-		if s != nil {
-			b += s.SpaceBytes()
-		}
-	}
-	return b
-}
+func (pm *PersistentMultiSearcher) SpaceBytes() int64 { return pm.fl.spaceBytes() }
 
 // WALSeq returns the shared log's next sequence number (= edges logged
 // across all runs).
-func (pm *PersistentMultiSearcher) WALSeq() int64 { return pm.log.Seq() }
+func (pm *PersistentMultiSearcher) WALSeq() int64 { return pm.fl.log.Seq() }

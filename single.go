@@ -1,0 +1,532 @@
+package timingsubg
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"timingsubg/internal/checkpoint"
+	"timingsubg/internal/core"
+	"timingsubg/internal/graph"
+	"timingsubg/internal/query"
+	"timingsubg/internal/wal"
+)
+
+// single is the one single-query engine implementation behind Open (and
+// behind each fleet member): a core matching engine plus a window, with
+// adaptivity and durability composed on as orthogonal options rather
+// than distinct wrapper types. All five deprecated façades delegate
+// here.
+type single struct {
+	q     *Query
+	opts  Options     // normalized; OnMatch field unused (see onMatch)
+	adapt *Adaptivity // nil = adaptivity off; normalized copy otherwise
+	dur   *Durability // nil = no owned WAL (fleet members stay nil even in durable fleets)
+
+	stream  graph.Windower
+	eng     *core.Engine
+	par     *core.Parallel
+	onMatch func(*Match)
+	// muted suppresses the user callback while derived state is rebuilt
+	// from edges whose matches were already reported (checkpoint
+	// recovery, adaptive rebuilds).
+	muted bool
+
+	// Adaptivity state.
+	picked     []*query.TCSubquery
+	sinceCheck int
+	rebuilds   int
+
+	// Durability state.
+	log       *wal.Log
+	sinceCkpt int
+	replayed  int64
+
+	// Counter baselines translate engine counters — which restart from
+	// zero on recovery and on adaptive rebuilds — into durable totals:
+	// total = base + engine - engine0.
+	baseMatches   int64
+	baseDiscarded int64
+	engMatches0   int64
+	engDiscarded0 int64
+
+	fed    atomic.Int64
+	closed bool
+}
+
+// validateSingle checks one engine's option combination.
+func validateSingle(q *Query, o Options, adapt *Adaptivity, dur *Durability) error {
+	switch {
+	case q == nil:
+		return errors.Join(ErrBadOptions, errors.New("query must be non-nil"))
+	case o.Window > 0 && o.CountWindow > 0:
+		return errors.Join(ErrBadOptions, errors.New("set only one of Window and CountWindow"))
+	case o.Window <= 0 && o.CountWindow <= 0:
+		return errors.Join(ErrBadOptions, errors.New("one of Window and CountWindow must be positive"))
+	case o.Workers > 1 && o.Storage == Independent:
+		return errors.Join(ErrBadOptions, errors.New("concurrent execution requires the MSTree backend"))
+	case o.Workers > 1 && adapt != nil:
+		return errors.Join(ErrBadOptions, errors.New("adaptive mode requires Workers <= 1"))
+	}
+	if dur != nil {
+		switch {
+		case o.Workers > 1:
+			return errors.Join(ErrBadOptions, errors.New("persistent mode requires Workers <= 1"))
+		case dur.Dir == "":
+			return errors.Join(ErrBadOptions, errors.New("persistent mode requires Dir"))
+		case o.Window <= 0 || o.CountWindow > 0:
+			return errors.Join(ErrBadOptions, errors.New("persistent mode supports time-based windows only"))
+		}
+	}
+	return nil
+}
+
+// normAdaptivity returns a defaulted copy, or nil when a is nil.
+func normAdaptivity(a *Adaptivity) *Adaptivity {
+	if a == nil {
+		return nil
+	}
+	n := *a
+	if n.ReoptimizeEvery <= 0 {
+		n.ReoptimizeEvery = 1024
+	}
+	if n.MinGain <= 0 {
+		n.MinGain = 2.0
+	}
+	return &n
+}
+
+// newSingle builds a non-durable engine (or the in-memory core of a
+// fleet member; durable fleets restore the member's stream afterwards).
+func newSingle(q *Query, o Options, adapt *Adaptivity, onMatch func(*Match)) (*single, error) {
+	if err := validateSingle(q, o, adapt, nil); err != nil {
+		return nil, err
+	}
+	en := &single{q: q, opts: o, adapt: normAdaptivity(adapt), onMatch: onMatch}
+	dec := o.Decomposition
+	if dec == nil {
+		dec = query.Decompose(q)
+	}
+	if en.adapt != nil {
+		en.picked = append([]*query.TCSubquery(nil), dec.Subqueries...)
+	}
+	en.eng = en.newCoreEngine(dec)
+	if o.CountWindow > 0 {
+		en.stream = graph.NewCountStream(o.CountWindow)
+	} else {
+		en.stream = graph.NewStream(o.Window)
+	}
+	if o.Workers > 1 {
+		en.par = core.NewParallel(en.eng, o.LockScheme, o.Workers)
+	}
+	return en, nil
+}
+
+// openDurableSingle opens (or creates) a durable engine in dur.Dir,
+// recovering the previous run's state when present: the newest
+// checkpoint's window is rebuilt silently, then the WAL suffix is
+// replayed live.
+func openDurableSingle(q *Query, o Options, adapt *Adaptivity, dur Durability, onMatch func(*Match)) (*single, error) {
+	if err := validateSingle(q, o, adapt, &dur); err != nil {
+		return nil, err
+	}
+	if dur.CheckpointEvery <= 0 {
+		dur.CheckpointEvery = 4096
+	}
+	log, err := wal.Open(dur.Dir, wal.Options{SegmentBytes: dur.SegmentBytes, SyncEvery: dur.SyncEvery})
+	if err != nil {
+		return nil, err
+	}
+	ck, haveCk, err := checkpoint.Load(dur.Dir)
+	if err != nil {
+		log.Close()
+		return nil, err
+	}
+	if haveCk && ck.Window != o.Window {
+		log.Close()
+		return nil, fmt.Errorf("timingsubg: checkpoint window %d != configured window %d: %w",
+			ck.Window, o.Window, ErrBadOptions)
+	}
+	en, err := newSingle(q, o, adapt, onMatch)
+	if err != nil {
+		log.Close()
+		return nil, err
+	}
+	en.dur, en.log = &dur, log
+	if haveCk {
+		en.restoreCheckpoint(ck)
+		// If fsync was off and the WAL tail was lost in the crash, the
+		// checkpoint may be ahead of the log; fast-forward the log so
+		// future sequence numbers continue at the checkpoint cursor.
+		if err := log.SkipTo(ck.NextSeq); err != nil {
+			log.Close()
+			return nil, err
+		}
+	}
+	from := int64(0)
+	if haveCk {
+		from = ck.NextSeq
+	}
+	end, err := wal.Replay(dur.Dir, from, en.replayRecord)
+	if err != nil {
+		log.Close()
+		return nil, fmt.Errorf("timingsubg: recovery replay: %w", err)
+	}
+	if end != log.Seq() {
+		log.Close()
+		return nil, fmt.Errorf("timingsubg: recovery replay ended at %d, log at %d", end, log.Seq())
+	}
+	return en, nil
+}
+
+// restoreCheckpoint rebuilds derived engine state from a checkpointed
+// window, silently: those matches were durably reported before the
+// checkpoint.
+func (en *single) restoreCheckpoint(ck checkpoint.Checkpoint) {
+	en.stream = graph.RestoreStream(en.opts.Window, ck.Edges, graph.EdgeID(ck.NextSeq))
+	en.baseMatches = ck.Matches
+	en.baseDiscarded = ck.Discarded
+	en.muted = true
+	for _, e := range ck.Edges {
+		en.eng.Process(e, nil)
+	}
+	en.muted = false
+	en.engMatches0 = en.eng.Stats().Matches.Load()
+	en.engDiscarded0 = en.eng.Stats().Discarded.Load()
+}
+
+// replayRecord feeds one WAL-suffix record during recovery, live
+// (reporting matches), and verifies the stream reassigns the sequence
+// number the record had before the crash.
+func (en *single) replayRecord(seq int64, e graph.Edge) error {
+	id, err := en.push(graph.Edge{
+		From: e.From, To: e.To,
+		FromLabel: e.FromLabel, ToLabel: e.ToLabel, EdgeLabel: e.EdgeLabel,
+		Time: e.Time,
+	})
+	if err != nil {
+		return err
+	}
+	if int64(id) != seq {
+		return fmt.Errorf("timingsubg: recovery drift: edge seq %d got ID %d", seq, id)
+	}
+	en.tickAdaptive(1)
+	en.replayed++
+	return nil
+}
+
+// newCoreEngine builds the core matching engine under dec, wiring the
+// mute-aware callback.
+func (en *single) newCoreEngine(dec *Decomposition) *core.Engine {
+	var wrapped func(*Match)
+	if cb := en.onMatch; cb != nil {
+		wrapped = func(m *Match) {
+			if !en.muted {
+				cb(m)
+			}
+		}
+	}
+	return core.New(en.q, core.Config{
+		Storage:       en.opts.Storage,
+		Decomposition: dec,
+		OnMatch:       wrapped,
+	})
+}
+
+// push advances the window and processes one edge transaction. It is
+// the innermost feed step, shared by Feed, FeedBatch, fleet fan-out and
+// recovery replay.
+func (en *single) push(e Edge) (EdgeID, error) {
+	stored, expired, err := en.stream.Push(e)
+	if err != nil {
+		return 0, err
+	}
+	if en.par != nil {
+		en.par.Process(stored, expired)
+	} else {
+		en.eng.Process(stored, expired)
+	}
+	en.fed.Add(1)
+	return stored.ID, nil
+}
+
+// feedOne logs (in durable mode) and pushes one edge, without cadence
+// work. The monotonicity check runs before the WAL append so an
+// out-of-order edge can never poison the log.
+func (en *single) feedOne(e Edge) (EdgeID, error) {
+	if en.log != nil {
+		if e.Time <= en.stream.LastTime() {
+			return 0, fmt.Errorf("timingsubg: %w: got %d after %d", graph.ErrOutOfOrder, e.Time, en.stream.LastTime())
+		}
+		if _, err := en.log.Append(e); err != nil {
+			return 0, err
+		}
+	}
+	return en.push(e)
+}
+
+// tickAdaptive advances the reoptimization cadence by n fed edges.
+func (en *single) tickAdaptive(n int) {
+	if en.adapt == nil {
+		return
+	}
+	en.sinceCheck += n
+	if en.sinceCheck >= en.adapt.ReoptimizeEvery {
+		en.sinceCheck = 0
+		en.maybeReoptimize()
+	}
+}
+
+// tick advances both maintenance cadences after n successfully fed
+// edges, returning any checkpoint error.
+func (en *single) tick(n int) error {
+	en.tickAdaptive(n)
+	if en.dur == nil {
+		return nil
+	}
+	en.sinceCkpt += n
+	if en.sinceCkpt >= en.dur.CheckpointEvery {
+		return en.checkpointNow()
+	}
+	return nil
+}
+
+// Feed implements Engine.
+func (en *single) Feed(e Edge) (EdgeID, error) {
+	if en.closed {
+		return 0, ErrClosed
+	}
+	id, err := en.feedOne(e)
+	if err != nil {
+		return 0, err
+	}
+	return id, en.tick(1)
+}
+
+// FeedBatch implements Engine. The WAL write and sync, the adaptivity
+// check and the checkpoint cadence are amortized across the batch.
+func (en *single) FeedBatch(batch []Edge) (int, error) {
+	if en.closed {
+		return 0, ErrClosed
+	}
+	n := len(batch)
+	var batchErr error
+	if en.log != nil {
+		n, batchErr = monotonePrefix(batch, en.stream.LastTime())
+		// On a WAL failure, feed exactly the records that were durably
+		// appended — engine state must never diverge from the log (a
+		// logged-but-unfed edge would leave LastTime behind the log
+		// tail and let a later feed append non-monotonically).
+		if _, appended, werr := en.log.AppendBatch(batch[:n]); werr != nil {
+			n, batchErr = appended, werr
+		}
+	}
+	for i := 0; i < n; i++ {
+		if _, err := en.push(batch[i]); err != nil {
+			en.tick(i)
+			return i, fmt.Errorf("timingsubg: edge %d: %w", i, err)
+		}
+	}
+	if err := en.tick(n); err != nil {
+		return n, err
+	}
+	return n, batchErr
+}
+
+// monotonePrefix returns the length of the longest strictly-increasing
+// timestamp prefix of batch after last, and an error describing the
+// first violation (nil when the whole batch is monotone).
+func monotonePrefix(batch []Edge, last Timestamp) (int, error) {
+	for i, e := range batch {
+		if e.Time <= last {
+			return i, fmt.Errorf("timingsubg: edge %d: %w: got %d after %d", i, graph.ErrOutOfOrder, e.Time, last)
+		}
+		last = e.Time
+	}
+	return len(batch), nil
+}
+
+// Run implements Engine.
+func (en *single) Run(ctx context.Context, edges <-chan Edge) (int64, error) {
+	return runLoop(ctx, edges, func(e Edge) error {
+		_, err := en.Feed(e)
+		return err
+	}, en.Close)
+}
+
+// Close implements Engine: drain in-flight work, checkpoint (durable
+// mode) and close the WAL. Idempotent.
+func (en *single) Close() error {
+	if en.closed {
+		return nil
+	}
+	en.closed = true
+	if en.par != nil {
+		en.par.Wait()
+	}
+	if en.log == nil {
+		return nil
+	}
+	if err := en.checkpointNow(); err != nil {
+		en.log.Close()
+		return err
+	}
+	return en.log.Close()
+}
+
+// checkpointNow forces a checkpoint: the WAL is synced, the in-window
+// state and counters are written atomically, old checkpoints and WAL
+// segments are reclaimed.
+func (en *single) checkpointNow() error {
+	en.sinceCkpt = 0
+	if err := en.log.Sync(); err != nil {
+		return err
+	}
+	st, ok := en.stream.(*graph.Stream)
+	if !ok {
+		return errors.New("timingsubg: checkpoint requires a time-window stream")
+	}
+	ck := checkpoint.Checkpoint{
+		NextSeq:   en.log.Seq(),
+		Window:    en.opts.Window,
+		Matches:   en.matches(),
+		Discarded: en.discarded(),
+		Edges:     st.InWindow(),
+	}
+	if err := checkpoint.Save(en.dur.Dir, ck); err != nil {
+		return err
+	}
+	if err := checkpoint.GC(en.dur.Dir, 2); err != nil {
+		return err
+	}
+	return en.log.TruncateFront(ck.NextSeq)
+}
+
+// maybeReoptimize re-scores the join order under observed cardinalities
+// and rebuilds when the estimated gain clears MinGain.
+func (en *single) maybeReoptimize() {
+	if len(en.picked) <= 2 {
+		// With k ≤ 2 there is only one join shape; order can only swap
+		// the seed pair, which EstimateOrderCost scores identically.
+		return
+	}
+	obs := en.eng.SubCardinalities()
+	byMask := make(map[uint64]float64, len(obs))
+	for i, sub := range en.eng.Decomposition().Subqueries {
+		byMask[sub.Mask] = float64(obs[i]) + 1 // +1 smoothing
+	}
+	card := func(s *query.TCSubquery) float64 { return byMask[s.Mask] }
+
+	current := query.EstimateOrderCost(en.eng.Decomposition(), card)
+	best := query.OrderByCost(en.q, en.picked, card)
+	bestCost := query.EstimateOrderCost(best, card)
+	if bestCost <= 0 || current/bestCost < en.adapt.MinGain {
+		return
+	}
+	if sameOrder(best, en.eng.Decomposition()) {
+		return
+	}
+	en.rebuild(best)
+}
+
+func sameOrder(x, y *Decomposition) bool {
+	if len(x.Subqueries) != len(y.Subqueries) {
+		return false
+	}
+	for i := range x.Subqueries {
+		if x.Subqueries[i].Mask != y.Subqueries[i].Mask {
+			return false
+		}
+	}
+	return true
+}
+
+// rebuild replaces the engine with one using dec, re-feeding the
+// in-window edges with match reporting muted. Counter baselines absorb
+// the restart so totals keep accumulating.
+func (en *single) rebuild(dec *Decomposition) {
+	en.baseMatches = en.matches()
+	en.baseDiscarded = en.discarded()
+	en.eng = en.newCoreEngine(dec)
+	en.muted = true
+	for _, e := range en.stream.InWindow() {
+		en.eng.Process(e, nil)
+	}
+	en.muted = false
+	en.engMatches0 = en.eng.Stats().Matches.Load()
+	en.engDiscarded0 = en.eng.Stats().Discarded.Load()
+	en.rebuilds++
+}
+
+// matches and discarded fold the counter baselines into durable totals.
+func (en *single) matches() int64 {
+	return en.baseMatches + en.eng.Stats().Matches.Load() - en.engMatches0
+}
+
+func (en *single) discarded() int64 {
+	return en.baseDiscarded + en.eng.Stats().Discarded.Load() - en.engDiscarded0
+}
+
+// minTimestamp mirrors the graph stream "nothing seen yet" sentinel.
+const minTimestamp Timestamp = -1 << 62
+
+// lastTime normalizes the stream's "nothing seen yet" sentinel to 0.
+func (en *single) lastTime() Timestamp {
+	if lt := en.stream.LastTime(); lt > minTimestamp {
+		return lt
+	}
+	return 0
+}
+
+// statsFast is the snapshot without the walking fields
+// (PartialMatches, SpaceBytes stay zero) — counter-only reads, cheap
+// enough for per-gauge metric sampling.
+func (en *single) statsFast() Stats {
+	st := Stats{
+		Matches:         en.matches(),
+		Discarded:       en.discarded(),
+		Fed:             en.fed.Load(),
+		InWindow:        en.stream.Len(),
+		LastTime:        en.lastTime(),
+		K:               en.eng.K(),
+		Reoptimizations: en.rebuilds,
+		Replayed:        en.replayed,
+		RoutedFraction:  1,
+		Adaptive:        en.adapt != nil,
+		Durable:         en.log != nil,
+	}
+	if en.log != nil {
+		st.WALSeq = en.log.Seq()
+	}
+	return st
+}
+
+// Stats implements Engine.
+func (en *single) Stats() Stats {
+	st := en.statsFast()
+	st.PartialMatches = en.eng.PartialMatchCount()
+	st.SpaceBytes = en.eng.SpaceBytes()
+	return st
+}
+
+// CurrentMatches implements Engine.
+func (en *single) CurrentMatches(fn func(*Match) bool) { en.eng.CurrentMatches(fn) }
+
+// currentMatchCount returns the number of standing matches.
+func (en *single) currentMatchCount() int { return en.eng.CurrentMatchCount() }
+
+// writeState dumps the engine's live expansion-list populations and
+// counters for diagnostics.
+func (en *single) writeState(w io.Writer) { en.eng.WriteState(w) }
+
+// joinOrder returns the masks of the TC-subqueries in the current join
+// order (adaptive diagnostics).
+func (en *single) joinOrder() []uint64 {
+	out := make([]uint64, 0, en.eng.K())
+	for _, s := range en.eng.Decomposition().Subqueries {
+		out = append(out, s.Mask)
+	}
+	return out
+}

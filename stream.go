@@ -2,52 +2,40 @@ package timingsubg
 
 import (
 	"context"
-	"fmt"
 )
 
 // Run consumes edges from a channel until it closes or ctx is cancelled,
 // feeding them through the Searcher. It returns the number of edges
 // processed and the first error encountered (a context error, or an
-// out-of-order edge). Run drains in-flight concurrent transactions
-// before returning, so counters are final.
+// out-of-order edge) wrapped with the offending edge's stream index. Run
+// drains in-flight concurrent transactions before returning, so counters
+// are final.
 //
 // Run is a convenience for pipeline integration; interactive callers can
 // keep using Feed directly.
 func (s *Searcher) Run(ctx context.Context, edges <-chan Edge) (int64, error) {
-	defer s.Close()
-	var n int64
-	for {
-		select {
-		case <-ctx.Done():
-			return n, ctx.Err()
-		case e, ok := <-edges:
-			if !ok {
-				return n, nil
-			}
-			if _, err := s.Feed(e); err != nil {
-				return n, fmt.Errorf("timingsubg: edge %d: %w", n, err)
-			}
-			n++
-		}
-	}
+	return s.en.Run(ctx, edges)
 }
 
-// Run is the MultiSearcher analogue of Searcher.Run.
+// Run is the MultiSearcher analogue of Searcher.Run, with the same
+// error wrapping.
 func (ms *MultiSearcher) Run(ctx context.Context, edges <-chan Edge) (int64, error) {
-	defer ms.Close()
-	var n int64
-	for {
-		select {
-		case <-ctx.Done():
-			return n, ctx.Err()
-		case e, ok := <-edges:
-			if !ok {
-				return n, nil
-			}
-			if err := ms.Feed(e); err != nil {
-				return n, err
-			}
-			n++
-		}
-	}
+	return ms.fl.Run(ctx, edges)
+}
+
+// Run is the AdaptiveSearcher analogue of Searcher.Run.
+func (a *AdaptiveSearcher) Run(ctx context.Context, edges <-chan Edge) (int64, error) {
+	return a.en.Run(ctx, edges)
+}
+
+// Run is the PersistentSearcher analogue of Searcher.Run. The deferred
+// Close checkpoints and closes the WAL.
+func (ps *PersistentSearcher) Run(ctx context.Context, edges <-chan Edge) (int64, error) {
+	return ps.en.Run(ctx, edges)
+}
+
+// Run is the PersistentMultiSearcher analogue of Searcher.Run. The
+// deferred Close checkpoints every query and closes the WAL.
+func (pm *PersistentMultiSearcher) Run(ctx context.Context, edges <-chan Edge) (int64, error) {
+	return pm.fl.Run(ctx, edges)
 }
