@@ -54,7 +54,7 @@ func (a *AdaptiveSearcher) Stats() Stats { return a.en.Stats() }
 
 // Reoptimizations returns how many engine rebuilds the reoptimizer has
 // performed.
-func (a *AdaptiveSearcher) Reoptimizations() int { return a.en.rebuilds }
+func (a *AdaptiveSearcher) Reoptimizations() int { return int(a.en.rebuilds.Load()) }
 
 // JoinOrder returns the masks of the TC-subqueries in the current join
 // order (diagnostics).

@@ -5,9 +5,10 @@
 // respect the query's timing-order constraints.
 //
 // The public API is one composable entry point, Open, which builds an
-// Engine from a Config; durability, adaptivity, multi-query fleets,
-// window kind, storage backend and worker parallelism are orthogonal
-// options of that one call:
+// Engine from a Config; durability, adaptivity, multi-query fleets
+// (with optional sharded evaluation across a worker pool —
+// Config.FleetWorkers), window kind, storage backend and worker
+// parallelism are orthogonal options of that one call:
 //
 //	labels := timingsubg.NewLabels()
 //	b := timingsubg.NewQueryBuilder()

@@ -120,6 +120,12 @@ type EngineStats struct {
 	WALSeq          int64   `json:"wal_seq,omitempty"`
 	Replayed        int64   `json:"replayed,omitempty"`
 	RoutedFraction  float64 `json:"routed_fraction,omitempty"`
+	// FleetWorkers is the number of evaluation shards of a sharded
+	// fleet (0 when evaluation is sequential); ShardMembers is the live
+	// member count per shard — together the shape of the server's
+	// parallel fan-out (tsserved -fleet-workers).
+	FleetWorkers int   `json:"fleet_workers,omitempty"`
+	ShardMembers []int `json:"shard_members,omitempty"`
 
 	Queries map[string]EngineStats `json:"queries,omitempty"`
 

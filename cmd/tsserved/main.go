@@ -9,6 +9,7 @@
 //	tsserved -listen :8080 -routed
 //	tsserved -listen :8080 -wal ./state -sync-every 64
 //	tsserved -listen :8080 -adaptive -wal ./state   # adaptive + durable compose
+//	tsserved -listen :8080 -fleet-workers 4         # shard evaluation across 4 workers
 //
 // Endpoints (wire contract in timingsubg/client):
 //
@@ -49,6 +50,7 @@ import (
 func main() {
 	listen := flag.String("listen", ":8080", "HTTP listen address")
 	routed := flag.Bool("routed", false, "label-based routing: dispatch each edge only to interested queries (in-memory mode)")
+	fleetWorkers := flag.Int("fleet-workers", 0, "shard query evaluation across this many workers (0 or 1 = sequential; composable with -routed, -adaptive, -wal)")
 	adaptive := flag.Bool("adaptive", false, "adaptive join orders: reoptimize each query's TC decomposition from observed stream statistics (composable with -wal)")
 	reoptEvery := flag.Int("reoptimize-every", 0, "adaptive mode: check join orders after every n ingested edges (0 = 1024)")
 	minGain := flag.Float64("min-gain", 0, "adaptive mode: estimated cost ratio required before a rebuild (0 = 2.0)")
@@ -60,9 +62,13 @@ func main() {
 	queueDepth := flag.Int("queue-depth", 128, "bounded work queue: max outstanding serialized operations")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown deadline")
 	flag.Parse()
+	if *fleetWorkers < 0 {
+		log.Fatalf("tsserved: -fleet-workers must be non-negative, got %d", *fleetWorkers)
+	}
 
 	cfg := server.Config{
 		Routed:           *routed,
+		FleetWorkers:     *fleetWorkers,
 		SubscriberBuffer: *subBuffer,
 		QueueDepth:       *queueDepth,
 	}

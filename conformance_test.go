@@ -2,6 +2,8 @@ package timingsubg
 
 import (
 	"errors"
+	"fmt"
+	"strings"
 	"sync"
 	"testing"
 
@@ -143,19 +145,24 @@ func TestConformanceCountWindow(t *testing.T) {
 	}
 
 	// Count-window fleet members: each member must equal the standalone
-	// count-window engine.
-	fl, err := OpenFleet(Config{
-		Queries:     []QuerySpec{{Name: "q1", Query: q}, {Name: "q2", Query: q}},
-		CountWindow: 64,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	feedEach(t, fl, edges)
-	fl.Close()
-	for name, qs := range fl.Stats().Queries {
-		if got := snap(qs); got != want {
-			t.Fatalf("count-window fleet member %s diverges: got %+v, want %+v", name, got, want)
+	// count-window engine, with sequential and sharded execution alike
+	// (count windows measure fed edges, so the shard fan-out must feed
+	// every member exactly once per edge).
+	for _, workers := range []int{1, 4} {
+		fl, err := OpenFleet(Config{
+			Queries:      []QuerySpec{{Name: "q1", Query: q}, {Name: "q2", Query: q}},
+			CountWindow:  64,
+			FleetWorkers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		feedEach(t, fl, edges)
+		fl.Close()
+		for name, qs := range fl.Stats().Queries {
+			if got := snap(qs); got != want {
+				t.Fatalf("count-window fleet member %s (workers=%d) diverges: got %+v, want %+v", name, workers, got, want)
+			}
 		}
 	}
 }
@@ -225,6 +232,67 @@ func skewedStreamFrom(start, n int, seed int64, hot int) []Edge {
 	return out
 }
 
+// streamMatchKey canonically identifies a match by the stream content
+// of its bound edges. Unlike edge IDs — which are per-engine arrival
+// indices in routed mode and WAL sequence numbers in durable mode — the
+// ⟨from, to, time⟩ triple of an edge is invariant across every fleet
+// composition, so match *sets* are comparable between any two engines
+// fed the same stream.
+func streamMatchKey(m *Match) string {
+	var b strings.Builder
+	for _, e := range m.Edges {
+		fmt.Fprintf(&b, "%d>%d@%d;", e.From, e.To, e.Time)
+	}
+	return b.String()
+}
+
+// matchSetCollector accumulates per-query match multisets. It locks
+// because a sharded fleet delivers matches from concurrent shard
+// workers (serialized per query engine, not across them).
+type matchSetCollector struct {
+	mu   sync.Mutex
+	sets map[string]map[string]int
+}
+
+func newMatchSetCollector() *matchSetCollector {
+	return &matchSetCollector{sets: make(map[string]map[string]int)}
+}
+
+func (c *matchSetCollector) add(name string, m *Match) {
+	key := streamMatchKey(m)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.sets[name] == nil {
+		c.sets[name] = make(map[string]int)
+	}
+	c.sets[name][key]++
+}
+
+func (c *matchSetCollector) get(name string) map[string]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sets[name]
+}
+
+func sameMatchSet(got, want map[string]int) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for k, n := range want {
+		if got[k] != n {
+			return false
+		}
+	}
+	return true
+}
+
+// TestConformanceFleetCombinations drives every fleet composition —
+// broadcast/routed, dynamic roster, durable, adaptive members, with
+// sequential and sharded execution (FleetWorkers 1 vs 4) — through the
+// same scripted stream and asserts each member reports the *identical
+// per-query match set* (not just equal counts) and the same stats
+// totals as the standalone engine. Sharding changes performance, never
+// results.
 func TestConformanceFleetCombinations(t *testing.T) {
 	labels := NewLabels()
 	q := persistTestQuery(t, labels)
@@ -233,9 +301,11 @@ func TestConformanceFleetCombinations(t *testing.T) {
 	const window = 80
 
 	// Standalone baselines, one per member query, over the same stream.
-	baseline := func(t *testing.T, q *Query) confSnap {
+	baseCollector := newMatchSetCollector()
+	baseline := func(t *testing.T, name string, q *Query) confSnap {
 		t.Helper()
-		eng, err := Open(Config{Query: q, Window: window})
+		eng, err := Open(Config{Query: q, Window: window,
+			OnMatch: func(_ string, m *Match) { baseCollector.add(name, m) }})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -243,8 +313,8 @@ func TestConformanceFleetCombinations(t *testing.T) {
 		eng.Close()
 		return snap(eng.Stats())
 	}
-	wantChain := baseline(t, q)
-	wantStar := baseline(t, star)
+	wantChain := baseline(t, "chain", q)
+	wantStar := baseline(t, "star", star)
 	if wantChain.Matches == 0 {
 		t.Fatalf("degenerate chain baseline: %+v", wantChain)
 	}
@@ -256,16 +326,20 @@ func TestConformanceFleetCombinations(t *testing.T) {
 	adapt := &Adaptivity{ReoptimizeEvery: 100, MinGain: 1.05}
 
 	cases := []struct {
-		name       string
-		cfg        Config
-		routed     bool // routed members may hold fewer edges in-window
-		wantAdapts bool
+		name    string
+		cfg     Config
+		routed  bool // routed members may hold fewer edges in-window
+		dynamic bool // register the specs via AddQuery before feeding
+		batch   int  // 0 = per-edge Feed
 	}{
 		{name: "broadcast", cfg: Config{Queries: specs, Window: window}},
-		{name: "broadcast-batch", cfg: Config{Queries: specs, Window: window}},
+		{name: "broadcast-batch", cfg: Config{Queries: specs, Window: window}, batch: 101},
 		{name: "routed", cfg: Config{Queries: specs, Window: window, Routed: true}, routed: true},
+		{name: "routed-batch", cfg: Config{Queries: specs, Window: window, Routed: true}, routed: true, batch: 89},
+		{name: "dynamic", cfg: Config{Dynamic: true, Window: window}, dynamic: true, batch: 97},
 		{name: "adaptive-members", cfg: Config{Queries: specs, Window: window, Adaptive: adapt}},
 		{name: "durable", cfg: Config{Queries: specs, Window: window, Durable: &Durability{CheckpointEvery: 300}}},
+		{name: "durable-batch", cfg: Config{Queries: specs, Window: window, Durable: &Durability{CheckpointEvery: 300}}, batch: 113},
 		{name: "durable-adaptive-members", cfg: Config{
 			Queries: specs, Window: window, Adaptive: adapt,
 			Durable: &Durability{CheckpointEvery: 300},
@@ -279,35 +353,65 @@ func TestConformanceFleetCombinations(t *testing.T) {
 		}},
 	}
 	for _, tc := range cases {
-		t.Run(tc.name, func(t *testing.T) {
-			if tc.cfg.Durable != nil {
-				tc.cfg.Durable.Dir = t.TempDir()
-			}
-			fl, err := OpenFleet(tc.cfg)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if tc.name == "broadcast-batch" {
-				feedChunks(t, fl, edges, 101)
-			} else {
-				feedEach(t, fl, edges)
-			}
-			fl.Close()
-			st := fl.Stats()
-			for name, want := range map[string]confSnap{"chain": wantChain, "star": wantStar} {
-				got := snap(st.Queries[name])
-				if tc.routed {
-					// A routed member sees only compatible edges: its
-					// window holds a subset and edges the full engine
-					// would count as discardable are filtered before it.
-					// The result set — Matches — must still agree.
-					got.InWindow, got.Discarded = want.InWindow, want.Discarded
+		for _, workers := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%s/workers-%d", tc.name, workers), func(t *testing.T) {
+				cfg := tc.cfg
+				cfg.FleetWorkers = workers
+				if cfg.Durable != nil {
+					d := *cfg.Durable
+					d.Dir = t.TempDir()
+					cfg.Durable = &d
 				}
-				if got != want {
-					t.Fatalf("fleet member %s diverges: got %+v, want %+v", name, got, want)
+				got := newMatchSetCollector()
+				cfg.OnMatch = got.add
+				fl, err := OpenFleet(cfg)
+				if err != nil {
+					t.Fatal(err)
 				}
-			}
-		})
+				if tc.dynamic {
+					for _, spec := range specs {
+						if err := fl.AddQuery(spec); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+				if tc.batch > 0 {
+					feedChunks(t, fl, edges, tc.batch)
+				} else {
+					feedEach(t, fl, edges)
+				}
+				fl.Close()
+				st := fl.Stats()
+				if workers > 1 {
+					if st.FleetWorkers != workers || len(st.ShardMembers) != workers {
+						t.Fatalf("sharded stats missing shard section: workers=%d shards=%v",
+							st.FleetWorkers, st.ShardMembers)
+					}
+				}
+				var memberSum int64
+				for name, want := range map[string]confSnap{"chain": wantChain, "star": wantStar} {
+					gotSnap := snap(st.Queries[name])
+					memberSum += gotSnap.Matches
+					if tc.routed {
+						// A routed member sees only compatible edges: its
+						// window holds a subset and edges the full engine
+						// would count as discardable are filtered before it.
+						// The result set — Matches — must still agree.
+						gotSnap.InWindow, gotSnap.Discarded = want.InWindow, want.Discarded
+					}
+					if gotSnap != want {
+						t.Fatalf("fleet member %s diverges: got %+v, want %+v", name, gotSnap, want)
+					}
+					if !sameMatchSet(got.get(name), baseCollector.get(name)) {
+						t.Fatalf("fleet member %s match set diverges from standalone engine (%d vs %d distinct matches)",
+							name, len(got.get(name)), len(baseCollector.get(name)))
+					}
+				}
+				if st.Matches != memberSum {
+					t.Fatalf("fleet aggregate %d != member sum %d", st.Matches, memberSum)
+				}
+			})
+		}
 	}
 }
 
@@ -606,6 +710,8 @@ func TestOpenValidation(t *testing.T) {
 		{"routed-count-window", Config{Queries: []QuerySpec{spec}, CountWindow: 10, Routed: true}},
 		{"routed-durable", Config{Queries: []QuerySpec{spec}, Window: 10, Routed: true, Durable: &Durability{Dir: "x"}}},
 		{"routed-single", Config{Query: q, Window: 10, Routed: true}},
+		{"fleetworkers-single", Config{Query: q, Window: 10, FleetWorkers: 4}},
+		{"fleetworkers-negative", Config{Queries: []QuerySpec{spec}, Window: 10, FleetWorkers: -1}},
 		{"empty-fleet", Config{Queries: []QuerySpec{}}},
 		{"unnamed-member", Config{Queries: []QuerySpec{{Query: q}}, Window: 10}},
 		{"duplicate-member", Config{Queries: []QuerySpec{spec, spec}, Window: 10}},

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+
+	"timingsubg/internal/wal"
 )
 
 // ErrClosed is returned by Feed, FeedBatch and the fleet mutators when
@@ -22,9 +24,12 @@ var ErrClosed = errors.New("timingsubg: engine is closed")
 // Feed, FeedBatch, Run and Close must be serialized by the caller (one
 // feeder goroutine, or an external lock). Fleets serialize Stats and
 // the other read accessors against feeds internally, so sampling them
-// while ingest runs is always safe. For single engines the match and
-// discard counters are atomic; the window fields (InWindow, LastTime),
-// the walking fields (SpaceBytes, PartialMatches) and CurrentMatches
+// while ingest runs is always safe; a sharded fleet (FleetWorkers > 1)
+// additionally serializes AddQuery, RemoveQuery and Close against
+// feeds, so the whole Fleet surface except the feed methods themselves
+// is concurrency-safe there. For single engines the match and discard
+// counters are atomic; the window fields (InWindow, LastTime), the
+// walking fields (SpaceBytes, PartialMatches) and CurrentMatches
 // should be read while no feed is in flight.
 type Engine interface {
 	// Feed pushes one edge. The edge's Time must exceed the previous
@@ -61,7 +66,9 @@ type Engine interface {
 // queries over one shared stream. Open returns a Fleet when Config
 // selects fleet mode (Queries and/or Dynamic); OpenFleet asserts that.
 // AddQuery and RemoveQuery must be serialized with feeding by the
-// caller; HasQuery and Names may run concurrently.
+// caller, except on a sharded fleet (FleetWorkers > 1), which
+// serializes them internally; HasQuery and Names may always run
+// concurrently.
 type Fleet interface {
 	Engine
 	// AddQuery registers one more query on the live fleet. Its window
@@ -116,6 +123,12 @@ type Stats struct {
 	// RoutedFraction is the ratio of engine feeds performed to feeds a
 	// naive fan-out would have performed (1 when routing is off).
 	RoutedFraction float64 `json:"routed_fraction,omitempty"`
+	// FleetWorkers is the number of evaluation shards of a sharded
+	// fleet (0 when the fleet evaluates sequentially; fleets only).
+	FleetWorkers int `json:"fleet_workers,omitempty"`
+	// ShardMembers is the number of live members assigned to each
+	// evaluation shard (sharded fleets only).
+	ShardMembers []int `json:"shard_members,omitempty"`
 	// Queries holds per-member snapshots, keyed by query name (fleets
 	// only).
 	Queries map[string]Stats `json:"queries,omitempty"`
@@ -162,6 +175,11 @@ type Durability struct {
 	SyncEvery int
 	// SegmentBytes sets the WAL segment rotation size (default 4 MiB).
 	SegmentBytes int64
+
+	// openFile, when non-nil, replaces os.OpenFile for WAL segment
+	// writes — the fault-injection seam the torn-write crash tests use
+	// to kill an append mid-batch. Production code leaves it nil.
+	openFile wal.OpenFileFunc
 }
 
 // Config configures Open. Exactly one of Query (single-query mode) and
@@ -186,6 +204,17 @@ type Config struct {
 	// windows (a count window is defined over the edges fed to the
 	// engine, so skipping would silently widen it).
 	Routed bool
+	// FleetWorkers > 1 shards fleet evaluation: members are partitioned
+	// across that many shards, each with its own lock and worker, and
+	// Feed/FeedBatch fan out to the shards concurrently with a barrier
+	// per call — per-member edge order is unchanged, and results are
+	// identical to the sequential fleet. A sharded fleet enforces
+	// timestamp monotonicity at the fleet boundary (an out-of-order
+	// edge is rejected before any member sees it) and serializes
+	// AddQuery/RemoveQuery/Close against feeds internally. Distinct
+	// from Workers, which parallelizes edge transactions *inside* one
+	// member engine. 0 or 1 means sequential evaluation.
+	FleetWorkers int
 
 	// Window is the time-based sliding-window duration |W|. Exactly one
 	// of Window and CountWindow must be positive (in fleet mode, for
@@ -233,6 +262,10 @@ func Open(cfg Config) (Engine, error) {
 		return nil, errors.Join(ErrBadOptions, errors.New("one of Query and Queries/Dynamic must be set"))
 	case cfg.Query != nil && cfg.Routed:
 		return nil, errors.Join(ErrBadOptions, errors.New("Routed is a fleet option (set Queries or Dynamic)"))
+	case cfg.Query != nil && cfg.FleetWorkers > 1:
+		return nil, errors.Join(ErrBadOptions, errors.New("FleetWorkers is a fleet option (set Queries or Dynamic); Workers parallelizes a single engine"))
+	case cfg.FleetWorkers < 0:
+		return nil, errors.Join(ErrBadOptions, errors.New("FleetWorkers must be non-negative"))
 	}
 	if fleetMode {
 		return openFleet(cfg)

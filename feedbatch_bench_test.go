@@ -1,6 +1,7 @@
 package timingsubg
 
 import (
+	"fmt"
 	"testing"
 )
 
@@ -118,4 +119,44 @@ func BenchmarkFleetFeedBatch(b *testing.B) {
 	persistTestQuery(b, labels)
 	edges := persistTestStream(labels, benchStreamLen, 7)
 	feedBench(b, func(b *testing.B) Engine { return benchFleet(b) }, edges, 1024)
+}
+
+// BenchmarkFleetFan is the fleet-scaling regression harness: 64
+// standing queries over one stream, broadcast and routed, with the
+// fan-out evaluated sequentially (workers-1) and sharded (workers-2/4).
+// The workers-4/workers-1 ratio on a multi-core runner is the headline
+// number the sharded fleet exists for; scripts/bench_fleet.sh emits it
+// as BENCH_fleet.json so the perf trajectory has data points.
+func BenchmarkFleetFan(b *testing.B) {
+	const fanQueries = 64
+	const fanStreamLen = 20_000
+	labels := NewLabels()
+	q := persistTestQuery(b, labels)
+	edges := persistTestStream(labels, fanStreamLen, 7)
+	specs := make([]QuerySpec, 0, fanQueries)
+	for i := 0; i < fanQueries; i++ {
+		specs = append(specs, QuerySpec{Name: fmt.Sprintf("q%02d", i), Query: q})
+	}
+	for _, routed := range []bool{false, true} {
+		mode := "broadcast"
+		if routed {
+			mode = "routed"
+		}
+		for _, workers := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("%s/workers-%d", mode, workers), func(b *testing.B) {
+				feedBench(b, func(b *testing.B) Engine {
+					fl, err := OpenFleet(Config{
+						Queries:      specs,
+						Window:       50,
+						Routed:       routed,
+						FleetWorkers: workers,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					return fl
+				}, edges, 1024)
+			})
+		}
+	}
 }

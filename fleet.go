@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 
 	"timingsubg/internal/checkpoint"
+	"timingsubg/internal/fleetpool"
 	"timingsubg/internal/graph"
 	"timingsubg/internal/router"
 	"timingsubg/internal/wal"
@@ -20,15 +21,31 @@ import (
 // several named member engines over one shared stream — the deployment
 // shape of the paper's motivating scenarios, where all of, e.g.,
 // Verizon's ten attack patterns are monitored at once. Routing,
-// dynamics, durability and per-member adaptivity are orthogonal options
-// of this one type; the deprecated MultiSearcher and
+// dynamics, durability, per-member adaptivity and sharded execution are
+// orthogonal options of this one type; the deprecated MultiSearcher and
 // PersistentMultiSearcher façades delegate here.
 //
-// Feed, FeedBatch, AddQuery, RemoveQuery, Checkpoint and Close mutate
-// engine state and must be serialized by the caller; the read accessors
-// (Stats counter fields, Names, HasQuery) may run concurrently with
-// them — this is what lets a serving layer sample stats while ingest
-// runs.
+// # Concurrency
+//
+// Sequential mode (FleetWorkers <= 1): Feed, FeedBatch, Checkpoint and
+// Close mutate engine state under the exclusive roster lock and must be
+// serialized by the caller; the read accessors (Stats, Names, HasQuery,
+// CurrentMatches) may run concurrently with them under the read lock.
+//
+// Sharded mode (FleetWorkers > 1): members are partitioned across N
+// shards by fl.pool, each shard guarded by its own shardMu and
+// evaluated by a pinned worker. The protocol:
+//
+//   - Feeds hold mu.RLock (roster + WAL stability) and the shard
+//     workers take their shard's lock; a barrier per call preserves the
+//     contract that a feed's effects are complete when it returns.
+//   - Samplers (Stats, CurrentMatches, queryStats, …) hold mu.RLock
+//     plus one shard lock at a time, so sampling never stops ingest on
+//     the other shards.
+//   - Roster mutators (AddQuery, RemoveQuery, Checkpoint, Close) hold
+//     mu.Lock, which excludes all shard activity because every shard
+//     mutation happens inside a feed's read-critical section. They are
+//     therefore safe to call concurrently with feeding — no quiescing.
 type fleetEngine struct {
 	mu      sync.RWMutex
 	members []*single // nil entries are retired slots, reusable by AddQuery
@@ -37,9 +54,21 @@ type fleetEngine struct {
 	onMatch func(name string, m *Match)
 	route   *router.Router
 
+	// Sharded execution state (nil/empty in sequential mode).
+	pool      *fleetpool.Pool
+	shardMu   []sync.Mutex
+	allShards []int
+	// Feeder-owned dispatch scratch — Feed/FeedBatch are serialized by
+	// the Engine contract, so one set of buffers suffices.
+	shardErr   []error
+	routeWork  [][]routedItem
+	workShards []int
+
 	fedN     atomic.Int64 // edges offered to the fleet
 	routed   atomic.Int64 // engine feeds actually performed (routed mode)
 	possible atomic.Int64 // Σ per-edge live fleet size (routed mode denominator)
+	walSeq   atomic.Int64 // mirror of log.Seq() so Stats never touches the log
+	lastTime atomic.Int64 // fleet stream clock (durable and sharded modes)
 
 	// anyAdaptive records whether any member composes the reoptimizer
 	// (drives the Stats.Adaptive capability flag).
@@ -51,11 +80,16 @@ type fleetEngine struct {
 	// Durability state (shared WAL, per-query checkpoints).
 	dur       *Durability
 	log       *wal.Log
-	lastTime  Timestamp
 	replayed  int64
-	sinceCkpt int
+	sinceCkpt atomic.Int64
 
-	closed bool
+	closed atomic.Bool
+}
+
+// routedItem is one (edge, member) evaluation in a shard's work list.
+type routedItem struct {
+	edge int // index into the batch
+	slot int // member slot
 }
 
 // memberOptions merges the fleet defaults under a spec's own Options.
@@ -129,10 +163,27 @@ func openFleet(cfg Config) (*fleetEngine, error) {
 	fl := &fleetEngine{
 		onMatch:  cfg.OnMatch,
 		defaults: cfg,
-		lastTime: minTimestamp,
 	}
+	fl.lastTime.Store(int64(minTimestamp))
 	if cfg.Routed {
 		fl.route = router.New()
+	}
+	if cfg.FleetWorkers > 1 {
+		fl.pool = fleetpool.New(cfg.FleetWorkers)
+		fl.shardMu = make([]sync.Mutex, cfg.FleetWorkers)
+		fl.allShards = make([]int, cfg.FleetWorkers)
+		for s := range fl.allShards {
+			fl.allShards[s] = s
+		}
+		fl.shardErr = make([]error, cfg.FleetWorkers)
+		fl.routeWork = make([][]routedItem, cfg.FleetWorkers)
+		fl.workShards = make([]int, 0, cfg.FleetWorkers)
+	}
+	fail := func(err error) (*fleetEngine, error) {
+		if fl.pool != nil {
+			fl.pool.Close()
+		}
+		return nil, err
 	}
 	if cfg.Durable != nil {
 		if cfg.Routed {
@@ -140,36 +191,37 @@ func openFleet(cfg Config) (*fleetEngine, error) {
 			// (and a routed member's per-engine edge IDs would drift
 			// from the WAL sequence), so a routed fleet cannot recover
 			// deterministically. The durable fleet broadcasts.
-			return nil, errors.Join(ErrBadOptions, errors.New("durable fleets broadcast: Routed does not compose with Durable"))
+			return fail(errors.Join(ErrBadOptions, errors.New("durable fleets broadcast: Routed does not compose with Durable")))
 		}
 		dur := *cfg.Durable
 		if dur.Dir == "" {
-			return nil, errors.Join(ErrBadOptions, errors.New("persistent mode requires Dir"))
+			return fail(errors.Join(ErrBadOptions, errors.New("persistent mode requires Dir")))
 		}
 		if dur.CheckpointEvery <= 0 {
 			dur.CheckpointEvery = 4096
 		}
 		fl.dur = &dur
 		if err := fl.openDurable(cfg.Queries); err != nil {
-			return nil, err
+			return fail(err)
 		}
 		return fl, nil
 	}
 	seen := map[string]bool{}
 	for _, spec := range cfg.Queries {
 		if seen[spec.Name] {
-			return nil, fmt.Errorf("timingsubg: duplicate query name %q: %w", spec.Name, ErrBadOptions)
+			return fail(fmt.Errorf("timingsubg: duplicate query name %q: %w", spec.Name, ErrBadOptions))
 		}
 		seen[spec.Name] = true
 		if err := fl.addMember(spec); err != nil {
-			return nil, err
+			return fail(err)
 		}
 	}
 	return fl, nil
 }
 
-// addMember builds and registers one member engine (in-memory join; the
-// durable join point is pinned by AddQuery's initial checkpoint).
+// addMember builds and registers one member engine at open time (the
+// in-memory join; the durable join point is pinned by AddQuery's
+// initial checkpoint).
 func (fl *fleetEngine) addMember(spec QuerySpec) error {
 	if err := fl.validateFleetSpec(spec); err != nil {
 		return err
@@ -184,7 +236,8 @@ func (fl *fleetEngine) addMember(spec QuerySpec) error {
 	return nil
 }
 
-// installLocked places en in a free slot (or a new one).
+// installLocked places en in a free slot (or a new one) and, in sharded
+// mode, assigns the slot to the least-loaded shard.
 func (fl *fleetEngine) installLocked(spec QuerySpec, en *single) int {
 	slot := -1
 	for i, m := range fl.members {
@@ -206,6 +259,9 @@ func (fl *fleetEngine) installLocked(spec QuerySpec, en *single) int {
 	}
 	if fl.route != nil {
 		fl.route.Add(slot, spec.Query)
+	}
+	if fl.pool != nil {
+		fl.pool.Assign(slot)
 	}
 	return slot
 }
@@ -232,7 +288,7 @@ func (fl *fleetEngine) openDurable(specs []QuerySpec) error {
 		}
 		seen[spec.Name] = true
 	}
-	log, err := wal.Open(fl.dur.Dir, wal.Options{SegmentBytes: fl.dur.SegmentBytes, SyncEvery: fl.dur.SyncEvery})
+	log, err := wal.Open(fl.dur.Dir, wal.Options{SegmentBytes: fl.dur.SegmentBytes, SyncEvery: fl.dur.SyncEvery, OpenFile: fl.dur.openFile})
 	if err != nil {
 		return err
 	}
@@ -248,6 +304,7 @@ func (fl *fleetEngine) openDurable(specs []QuerySpec) error {
 
 	// Per-query recovery state: each member's replay cursor.
 	froms := make([]int64, len(specs))
+	lastT := minTimestamp
 	var maxNext int64
 	for i, spec := range specs {
 		o := fl.memberOptions(spec)
@@ -277,8 +334,8 @@ func (fl *fleetEngine) openDurable(specs []QuerySpec) error {
 		fl.installLocked(spec, en)
 		// The stream clock resumes from the newest checkpointed edge;
 		// WAL replay below advances it further if a suffix exists.
-		if lt := en.stream.LastTime(); lt > fl.lastTime {
-			fl.lastTime = lt
+		if lt := en.stream.LastTime(); lt > lastT {
+			lastT = lt
 		}
 	}
 	if err := log.SkipTo(maxNext); err != nil {
@@ -306,8 +363,8 @@ func (fl *fleetEngine) openDurable(specs []QuerySpec) error {
 			}
 			m.replayed-- // the fleet counts replay once, below
 		}
-		if e.Time > fl.lastTime {
-			fl.lastTime = e.Time
+		if e.Time > lastT {
+			lastT = e.Time
 		}
 		fl.replayed++
 		return nil
@@ -318,55 +375,54 @@ func (fl *fleetEngine) openDurable(specs []QuerySpec) error {
 	if end != log.Seq() {
 		return fail(fmt.Errorf("timingsubg: recovery replay ended at %d, log at %d", end, log.Seq()))
 	}
+	fl.lastTime.Store(int64(lastT))
+	fl.walSeq.Store(log.Seq())
 	return nil
 }
 
 // AddQuery implements Fleet. The new query's window starts empty: it
 // sees only edges fed after it joins. In durable mode the join point is
 // pinned with an initial checkpoint, and any stale checkpoint left
-// under the name by a previously removed query is discarded.
+// under the name by a previously removed query is discarded. On a
+// sharded fleet the new member lands on the least-loaded shard, and the
+// call is safe to make while the stream is being fed.
 func (fl *fleetEngine) AddQuery(spec QuerySpec) error {
-	if fl.closed {
-		return ErrClosed
-	}
 	if err := fl.validateFleetSpec(spec); err != nil {
 		return err
 	}
-	if fl.dur == nil {
-		fl.mu.Lock()
-		dup := fl.indexLocked(spec.Name) >= 0
-		fl.mu.Unlock()
-		if dup {
-			return fmt.Errorf("timingsubg: duplicate query name %q: %w", spec.Name, ErrBadOptions)
-		}
-		return fl.addMember(spec)
-	}
-
-	fl.mu.Lock()
-	defer fl.mu.Unlock()
-	if fl.indexLocked(spec.Name) >= 0 {
-		return fmt.Errorf("timingsubg: duplicate query name %q: %w", spec.Name, ErrBadOptions)
-	}
-	// A checkpoint under this name can only be stale (from a removed or
-	// never-reopened query); joining at the tail supersedes it.
-	if err := os.RemoveAll(fl.ckDir(spec.Name)); err != nil {
-		return fmt.Errorf("timingsubg: query %q: discard stale checkpoint: %w", spec.Name, err)
-	}
 	o := fl.memberOptions(spec)
+	// Engine construction (decomposition, cost model) is the expensive
+	// part and needs no fleet state — do it before taking the roster
+	// lock so a concurrent stream stalls as briefly as possible.
 	en, err := newSingle(spec.Query, o, fl.memberAdaptivity(spec), fl.memberCallback(spec.Name))
 	if err != nil {
 		return fmt.Errorf("timingsubg: query %q: %w", spec.Name, err)
 	}
-	en.stream = graph.RestoreStream(o.Window, nil, graph.EdgeID(fl.log.Seq()))
-	// An initial checkpoint pins the join point durably: without it, a
-	// crash before the first periodic checkpoint would make recovery
-	// treat this query as brand new and replay it from the retained log
-	// horizon — pre-join traffic it must never see.
-	if err := checkpoint.Save(fl.ckDir(spec.Name), checkpoint.Checkpoint{
-		NextSeq: fl.log.Seq(),
-		Window:  o.Window,
-	}); err != nil {
-		return fmt.Errorf("timingsubg: query %q: initial checkpoint: %w", spec.Name, err)
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	if fl.closed.Load() {
+		return ErrClosed
+	}
+	if fl.indexLocked(spec.Name) >= 0 {
+		return fmt.Errorf("timingsubg: duplicate query name %q: %w", spec.Name, ErrBadOptions)
+	}
+	if fl.dur != nil {
+		// A checkpoint under this name can only be stale (from a removed
+		// or never-reopened query); joining at the tail supersedes it.
+		if err := os.RemoveAll(fl.ckDir(spec.Name)); err != nil {
+			return fmt.Errorf("timingsubg: query %q: discard stale checkpoint: %w", spec.Name, err)
+		}
+		en.stream = graph.RestoreStream(o.Window, nil, graph.EdgeID(fl.log.Seq()))
+		// An initial checkpoint pins the join point durably: without it, a
+		// crash before the first periodic checkpoint would make recovery
+		// treat this query as brand new and replay it from the retained
+		// log horizon — pre-join traffic it must never see.
+		if err := checkpoint.Save(fl.ckDir(spec.Name), checkpoint.Checkpoint{
+			NextSeq: fl.log.Seq(),
+			Window:  o.Window,
+		}); err != nil {
+			return fmt.Errorf("timingsubg: query %q: initial checkpoint: %w", spec.Name, err)
+		}
 	}
 	fl.installLocked(spec, en)
 	return nil
@@ -374,10 +430,15 @@ func (fl *fleetEngine) AddQuery(spec QuerySpec) error {
 
 // RemoveQuery implements Fleet: the member is drained and its slot
 // freed for reuse; in durable mode its checkpoints are deleted (the
-// shared log is untouched — other queries may still need it).
+// shared log is untouched — other queries may still need it). On a
+// sharded fleet the member's shard sheds its load, making it the
+// preferred target of the next AddQuery.
 func (fl *fleetEngine) RemoveQuery(name string) error {
 	fl.mu.Lock()
 	defer fl.mu.Unlock()
+	if fl.closed.Load() {
+		return ErrClosed
+	}
 	i := fl.indexLocked(name)
 	if i < 0 {
 		return fmt.Errorf("timingsubg: unknown query %q: %w", name, ErrBadOptions)
@@ -388,6 +449,9 @@ func (fl *fleetEngine) RemoveQuery(name string) error {
 	fl.live--
 	if fl.route != nil {
 		fl.route.Remove(i)
+	}
+	if fl.pool != nil {
+		fl.pool.Release(i)
 	}
 	if fl.dur != nil {
 		return os.RemoveAll(fl.ckDir(name))
@@ -425,17 +489,9 @@ func (fl *fleetEngine) Names() []string {
 	return out
 }
 
-// feedLock acquires the dispatch lock, exclusively: a feed mutates
-// member window state (and an adaptive member may rebuild its engine
-// mid-feed), while the fleet contract lets Stats/Names/HasQuery sample
-// concurrently under the read lock — exclusion is what makes that
-// contract race-free. Uncontended, Lock costs the same as RLock; the
-// caller serializes feeds anyway.
-func (fl *fleetEngine) feedLock()   { fl.mu.Lock() }
-func (fl *fleetEngine) feedUnlock() { fl.mu.Unlock() }
-
-// dispatchLocked fans one edge out to the members (or, in routed mode,
-// to the interested members). Caller holds the feed lock.
+// dispatchLocked fans one edge out to the members sequentially (or, in
+// routed mode, to the interested members). Caller holds the exclusive
+// roster lock (sequential mode only).
 func (fl *fleetEngine) dispatchLocked(e Edge) error {
 	if fl.route != nil {
 		// The saved-work denominator accrues the fleet size *as of this
@@ -465,6 +521,83 @@ func (fl *fleetEngine) dispatchLocked(e Edge) error {
 	return nil
 }
 
+// fanOutLocked fans a monotone-validated batch out to the shards and
+// waits for all of them — the per-call barrier. Caller holds the roster
+// read lock (sharded mode only). Each member sees its edges in batch
+// order because a member lives on exactly one shard and a shard
+// evaluates its work list sequentially. Member feed errors are
+// structurally unreachable here — monotonicity was already enforced at
+// the fleet boundary, and ErrOutOfOrder is the only per-edge feed
+// error — but are still collected and surfaced defensively.
+func (fl *fleetEngine) fanOutLocked(batch []Edge) error {
+	for s := range fl.shardErr {
+		fl.shardErr[s] = nil
+	}
+	if fl.route == nil {
+		fl.pool.Run(fl.allShards, func(s int) {
+			fl.shardMu[s].Lock()
+			defer fl.shardMu[s].Unlock()
+			for i := range batch {
+				for _, slot := range fl.pool.Handles(s) {
+					m := fl.members[slot]
+					if m == nil {
+						continue
+					}
+					if err := m.memberFeed(batch[i]); err != nil {
+						fl.shardErr[s] = fmt.Errorf("timingsubg: edge %d: query %q: %w", i, fl.names[slot], err)
+						return
+					}
+				}
+			}
+		})
+	} else {
+		// Route on the feeder goroutine (Route mutates router
+		// bookkeeping and the saved-work counters), building each
+		// shard's work list in edge order.
+		work := fl.routeWork
+		for s := range work {
+			work[s] = work[s][:0]
+		}
+		for i := range batch {
+			fl.possible.Add(int64(fl.live))
+			fl.route.Route(batch[i], func(slot int) {
+				if fl.members[slot] == nil {
+					return
+				}
+				s, ok := fl.pool.ShardOf(slot)
+				if !ok {
+					return
+				}
+				fl.routed.Add(1)
+				work[s] = append(work[s], routedItem{edge: i, slot: slot})
+			})
+		}
+		shards := fl.workShards[:0]
+		for s := range work {
+			if len(work[s]) > 0 {
+				shards = append(shards, s)
+			}
+		}
+		fl.workShards = shards
+		fl.pool.Run(shards, func(s int) {
+			fl.shardMu[s].Lock()
+			defer fl.shardMu[s].Unlock()
+			for _, it := range work[s] {
+				if err := fl.members[it.slot].memberFeed(batch[it.edge]); err != nil {
+					fl.shardErr[s] = fmt.Errorf("timingsubg: edge %d: query %q: %w", it.edge, fl.names[it.slot], err)
+					return
+				}
+			}
+		})
+	}
+	for _, err := range fl.shardErr {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // memberFeed is the fleet fan-out feed step of one member: push plus
 // adaptivity cadence, with no WAL and no closed-check (the fleet owns
 // both).
@@ -482,34 +615,80 @@ func (en *single) memberFeed(e Edge) error {
 // same data edge may carry different IDs in matches of different
 // queries.)
 func (fl *fleetEngine) Feed(e Edge) (EdgeID, error) {
-	if fl.closed {
+	if fl.closed.Load() {
 		return 0, ErrClosed
 	}
+	if fl.pool != nil {
+		return fl.feedSharded(e)
+	}
 	// The whole mutation — WAL append, fan-out, clock — runs under the
-	// feed lock, so concurrent Stats sampling (which reads the log
-	// cursor and member windows under RLock) never races it.
-	fl.feedLock()
+	// exclusive roster lock, so concurrent Stats sampling (which reads
+	// member windows under RLock) never races it.
+	fl.mu.Lock()
+	if fl.closed.Load() {
+		fl.mu.Unlock()
+		return 0, ErrClosed
+	}
 	id := EdgeID(fl.fedN.Load())
 	if fl.log != nil {
 		// The monotonicity check runs before the WAL append, so an
 		// out-of-order edge can never poison the log (replay requires a
 		// monotone record sequence).
-		if e.Time <= fl.lastTime {
-			fl.feedUnlock()
-			return 0, fmt.Errorf("timingsubg: %w: got %d after %d", graph.ErrOutOfOrder, e.Time, fl.lastTime)
+		if last := Timestamp(fl.lastTime.Load()); e.Time <= last {
+			fl.mu.Unlock()
+			return 0, fmt.Errorf("timingsubg: %w: got %d after %d", graph.ErrOutOfOrder, e.Time, last)
 		}
 		seq, err := fl.log.Append(e)
 		if err != nil {
-			fl.feedUnlock()
+			fl.mu.Unlock()
 			return 0, err
 		}
+		fl.walSeq.Store(fl.log.Seq())
 		id = EdgeID(seq)
 	}
 	err := fl.dispatchLocked(e)
 	if err == nil && fl.log != nil {
-		fl.lastTime = e.Time
+		fl.lastTime.Store(int64(e.Time))
 	}
-	fl.feedUnlock()
+	fl.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	fl.fedN.Add(1)
+	return id, fl.tick(1)
+}
+
+// feedSharded is the sharded Feed path: monotonicity enforced at the
+// fleet boundary, WAL append (durable mode), then concurrent fan-out
+// with a barrier before the call returns.
+func (fl *fleetEngine) feedSharded(e Edge) (EdgeID, error) {
+	fl.mu.RLock()
+	if fl.closed.Load() {
+		fl.mu.RUnlock()
+		return 0, ErrClosed
+	}
+	// A sharded fleet rejects an out-of-order edge before any member
+	// sees it: shards advance concurrently, so a per-member rejection
+	// could not keep the members aligned.
+	if last := Timestamp(fl.lastTime.Load()); e.Time <= last {
+		fl.mu.RUnlock()
+		return 0, fmt.Errorf("timingsubg: %w: got %d after %d", graph.ErrOutOfOrder, e.Time, last)
+	}
+	id := EdgeID(fl.fedN.Load())
+	if fl.log != nil {
+		seq, err := fl.log.Append(e)
+		if err != nil {
+			fl.mu.RUnlock()
+			return 0, err
+		}
+		fl.walSeq.Store(fl.log.Seq())
+		id = EdgeID(seq)
+	}
+	err := fl.fanOutLocked([]Edge{e})
+	if err == nil {
+		fl.lastTime.Store(int64(e.Time))
+	}
+	fl.mu.RUnlock()
 	if err != nil {
 		return 0, err
 	}
@@ -519,22 +698,31 @@ func (fl *fleetEngine) Feed(e Edge) (EdgeID, error) {
 
 // FeedBatch implements Engine: one closed-check, one WAL write and at
 // most one sync, one lock acquisition and one maintenance tick for the
-// whole batch.
+// whole batch. On a sharded fleet the batch is validated and logged
+// once up front, then fanned out to all shards concurrently.
 func (fl *fleetEngine) FeedBatch(batch []Edge) (int, error) {
-	if fl.closed {
+	if fl.closed.Load() {
 		return 0, ErrClosed
+	}
+	if fl.pool != nil {
+		return fl.feedBatchSharded(batch)
 	}
 	n := len(batch)
 	var batchErr error
-	fl.feedLock()
+	fl.mu.Lock()
+	if fl.closed.Load() {
+		fl.mu.Unlock()
+		return 0, ErrClosed
+	}
 	if fl.log != nil {
-		n, batchErr = monotonePrefix(batch, fl.lastTime)
+		n, batchErr = monotonePrefix(batch, Timestamp(fl.lastTime.Load()))
 		// On a WAL failure, dispatch exactly the records that were
 		// durably appended — fleet state must never diverge from the
 		// shared log (see single.FeedBatch).
 		if _, appended, werr := fl.log.AppendBatch(batch[:n]); werr != nil {
 			n, batchErr = appended, werr
 		}
+		fl.walSeq.Store(fl.log.Seq())
 	}
 	i := 0
 	for ; i < n; i++ {
@@ -543,10 +731,10 @@ func (fl *fleetEngine) FeedBatch(batch []Edge) (int, error) {
 			break
 		}
 		if fl.log != nil {
-			fl.lastTime = batch[i].Time
+			fl.lastTime.Store(int64(batch[i].Time))
 		}
 	}
-	fl.feedUnlock()
+	fl.mu.Unlock()
 	fl.fedN.Add(int64(i))
 	if err := fl.tick(i); err != nil {
 		return i, err
@@ -554,30 +742,72 @@ func (fl *fleetEngine) FeedBatch(batch []Edge) (int, error) {
 	return i, batchErr
 }
 
+// feedBatchSharded is the sharded FeedBatch path: the whole batch is
+// validated against the fleet clock and (in durable mode) appended to
+// the WAL exactly once before fan-out, so shards only ever see edges
+// the log already holds — the WAL/engine no-divergence invariant.
+func (fl *fleetEngine) feedBatchSharded(batch []Edge) (int, error) {
+	fl.mu.RLock()
+	if fl.closed.Load() {
+		fl.mu.RUnlock()
+		return 0, ErrClosed
+	}
+	// Validation must precede dispatch entirely: shards advance
+	// concurrently, so "stop at the bad edge" can only be enforced
+	// before fan-out, not during it.
+	n, batchErr := monotonePrefix(batch, Timestamp(fl.lastTime.Load()))
+	if fl.log != nil && n > 0 {
+		if _, appended, werr := fl.log.AppendBatch(batch[:n]); werr != nil {
+			n, batchErr = appended, werr
+		}
+		fl.walSeq.Store(fl.log.Seq())
+	}
+	if n > 0 {
+		if err := fl.fanOutLocked(batch[:n]); err != nil && batchErr == nil {
+			batchErr = err
+		}
+		fl.lastTime.Store(int64(batch[n-1].Time))
+	}
+	fl.mu.RUnlock()
+	fl.fedN.Add(int64(n))
+	if err := fl.tick(n); err != nil {
+		return n, err
+	}
+	return n, batchErr
+}
+
 // tick advances the checkpoint cadence by n fed edges.
 func (fl *fleetEngine) tick(n int) error {
 	if fl.dur == nil || n == 0 {
 		return nil
 	}
-	fl.sinceCkpt += n
-	if fl.sinceCkpt >= fl.dur.CheckpointEvery {
+	if fl.sinceCkpt.Add(int64(n)) >= int64(fl.dur.CheckpointEvery) {
 		return fl.Checkpoint()
 	}
 	return nil
 }
 
 // Checkpoint forces per-query checkpoints now and reclaims WAL segments
-// no query needs anymore. It is a no-op for in-memory fleets.
+// no query needs anymore. It is a no-op for in-memory fleets, and for
+// closed fleets (Close wrote the final checkpoint; nothing newer can
+// exist).
 func (fl *fleetEngine) Checkpoint() error {
 	if fl.dur == nil {
 		return nil
 	}
-	// Exclusive: Sync/TruncateFront mutate the log that concurrent
-	// Stats sampling reads (Seq), and the member walk must not observe
-	// a half-applied feed.
+	// Exclusive: Sync/TruncateFront mutate the log, and the member walk
+	// must not observe a half-applied feed (shard mutations all happen
+	// inside a feed's read-critical section).
 	fl.mu.Lock()
 	defer fl.mu.Unlock()
-	fl.sinceCkpt = 0
+	if fl.closed.Load() {
+		return nil
+	}
+	return fl.checkpointLocked()
+}
+
+func (fl *fleetEngine) checkpointLocked() error {
+	fl.sinceCkpt.Store(0)
 	if err := fl.log.Sync(); err != nil {
 		return err
 	}
@@ -616,24 +846,29 @@ func (fl *fleetEngine) Run(ctx context.Context, edges <-chan Edge) (int64, error
 	}, fl.Close)
 }
 
-// Close implements Engine: drain every member and, in durable mode,
-// checkpoint and close the shared WAL. Idempotent.
+// Close implements Engine: drain every member, stop the shard workers
+// and, in durable mode, checkpoint and close the shared WAL. Idempotent,
+// and on a sharded fleet safe to call concurrently with feeding (feeds
+// racing Close either complete first or return ErrClosed).
 func (fl *fleetEngine) Close() error {
-	if fl.closed {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	if fl.closed.Load() {
 		return nil
 	}
-	fl.closed = true
-	fl.mu.RLock()
+	fl.closed.Store(true)
 	for _, m := range fl.members {
 		if m != nil {
 			m.Close()
 		}
 	}
-	fl.mu.RUnlock()
+	if fl.pool != nil {
+		fl.pool.Close()
+	}
 	if fl.log == nil {
 		return nil
 	}
-	if err := fl.Checkpoint(); err != nil {
+	if err := fl.checkpointLocked(); err != nil {
 		fl.log.Close()
 		return err
 	}
@@ -653,11 +888,11 @@ func (fl *fleetEngine) routedFraction() float64 {
 	return float64(fl.routed.Load()) / float64(possible)
 }
 
-// fleetLastTime returns the fleet stream clock: the durable clock when
-// journaling, else the newest member edge.
+// fleetLastTimeLocked returns the fleet stream clock: the maintained
+// clock when journaling or sharded, else the newest member edge.
 func (fl *fleetEngine) fleetLastTimeLocked() Timestamp {
-	lt := fl.lastTime
-	if fl.log == nil {
+	lt := Timestamp(fl.lastTime.Load())
+	if fl.log == nil && fl.pool == nil {
 		for _, m := range fl.members {
 			if m == nil {
 				continue
@@ -673,9 +908,25 @@ func (fl *fleetEngine) fleetLastTimeLocked() Timestamp {
 	return lt
 }
 
+// withMemberLocked runs fn with slot's member evaluation state stable:
+// under the member's shard lock in sharded mode (the caller already
+// holds the roster read lock, which pins the roster itself).
+func (fl *fleetEngine) withMemberLocked(slot int, fn func()) {
+	if fl.pool != nil {
+		if s, ok := fl.pool.ShardOf(slot); ok {
+			fl.shardMu[s].Lock()
+			defer fl.shardMu[s].Unlock()
+		}
+	}
+	fn()
+}
+
 // stats aggregates member snapshots; memberStats selects the cheap or
 // walking per-member sampler, and withQueries controls whether the
-// per-member map is materialized (scalar gauges don't need it).
+// per-member map is materialized (scalar gauges don't need it). On a
+// sharded fleet, members are sampled one shard at a time — sampling
+// shard s waits only for shard s's in-flight evaluation, so ingest on
+// the other shards continues.
 func (fl *fleetEngine) stats(memberStats func(*single) Stats, withQueries bool) Stats {
 	fl.mu.RLock()
 	defer fl.mu.RUnlock()
@@ -692,12 +943,9 @@ func (fl *fleetEngine) stats(memberStats func(*single) Stats, withQueries bool) 
 		st.Queries = make(map[string]Stats, fl.live)
 	}
 	if fl.log != nil {
-		st.WALSeq = fl.log.Seq()
+		st.WALSeq = fl.walSeq.Load()
 	}
-	for i, m := range fl.members {
-		if m == nil {
-			continue
-		}
+	add := func(slot int, m *single) {
 		ms := memberStats(m)
 		st.Matches += ms.Matches
 		st.Discarded += ms.Discarded
@@ -706,8 +954,28 @@ func (fl *fleetEngine) stats(memberStats func(*single) Stats, withQueries bool) 
 		st.SpaceBytes += ms.SpaceBytes
 		st.Reoptimizations += ms.Reoptimizations
 		if withQueries {
-			st.Queries[fl.names[i]] = ms
+			st.Queries[fl.names[slot]] = ms
 		}
+	}
+	if fl.pool == nil {
+		for i, m := range fl.members {
+			if m == nil {
+				continue
+			}
+			add(i, m)
+		}
+		return st
+	}
+	st.FleetWorkers = fl.pool.Workers()
+	st.ShardMembers = fl.pool.Load()
+	for s := range fl.shardMu {
+		fl.shardMu[s].Lock()
+		for _, slot := range fl.pool.Handles(s) {
+			if m := fl.members[slot]; m != nil {
+				add(slot, m)
+			}
+		}
+		fl.shardMu[s].Unlock()
 	}
 	return st
 }
@@ -741,10 +1009,15 @@ func (fl *fleetEngine) queryStats(name string, fast bool) (Stats, bool) {
 	if i < 0 {
 		return Stats{}, false
 	}
-	if fast {
-		return fl.members[i].statsFast(), true
-	}
-	return fl.members[i].Stats(), true
+	var st Stats
+	fl.withMemberLocked(i, func() {
+		if fast {
+			st = fl.members[i].statsFast()
+		} else {
+			st = fl.members[i].Stats()
+		}
+	})
+	return st, true
 }
 
 // CurrentMatches implements Engine: every live member's standing
@@ -753,16 +1026,18 @@ func (fl *fleetEngine) CurrentMatches(fn func(*Match) bool) {
 	fl.mu.RLock()
 	defer fl.mu.RUnlock()
 	stop := false
-	for _, m := range fl.members {
+	for slot, m := range fl.members {
 		if m == nil || stop {
 			continue
 		}
-		m.CurrentMatches(func(mm *Match) bool {
-			if !fn(mm) {
-				stop = true
-				return false
-			}
-			return true
+		fl.withMemberLocked(slot, func() {
+			m.CurrentMatches(func(mm *Match) bool {
+				if !fn(mm) {
+					stop = true
+					return false
+				}
+				return true
+			})
 		})
 	}
 }
@@ -774,7 +1049,7 @@ func (fl *fleetEngine) matchCounts() map[string]int64 {
 	out := make(map[string]int64, fl.live)
 	for i, m := range fl.members {
 		if m != nil {
-			out[fl.names[i]] += m.matches()
+			fl.withMemberLocked(i, func() { out[fl.names[i]] += m.matches() })
 		}
 	}
 	return out
@@ -785,9 +1060,9 @@ func (fl *fleetEngine) spaceBytes() int64 {
 	fl.mu.RLock()
 	defer fl.mu.RUnlock()
 	var b int64
-	for _, m := range fl.members {
+	for i, m := range fl.members {
 		if m != nil {
-			b += m.eng.SpaceBytes()
+			fl.withMemberLocked(i, func() { b += m.eng.SpaceBytes() })
 		}
 	}
 	return b

@@ -1,0 +1,94 @@
+package fleetpool
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestAssignBalancesLeastLoaded(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	for h := 0; h < 8; h++ {
+		p.Assign(h)
+	}
+	for s, n := range p.Load() {
+		if n != 2 {
+			t.Fatalf("shard %d has %d handles, want 2 (load %v)", s, n, p.Load())
+		}
+	}
+	// Releasing two handles from one shard makes it the next target.
+	h0 := p.Handles(0)
+	p.Release(h0[0])
+	p.Release(h0[0]) // slice shifted; release the new first too
+	if s := p.Assign(100); s != 0 {
+		t.Fatalf("Assign after Release picked shard %d, want the drained shard 0", s)
+	}
+	if s, ok := p.ShardOf(100); !ok || s != 0 {
+		t.Fatalf("ShardOf(100) = %d,%v", s, ok)
+	}
+}
+
+func TestReleaseUnknownIsNoop(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	p.Release(42)
+	if got := p.Load(); got[0] != 0 || got[1] != 0 {
+		t.Fatalf("load after no-op release: %v", got)
+	}
+}
+
+func TestRunBarrierAndPinning(t *testing.T) {
+	p := New(3)
+	defer p.Close()
+	var ran [3]atomic.Int64
+	for round := 0; round < 100; round++ {
+		p.Run([]int{0, 1, 2}, func(shard int) {
+			ran[shard].Add(1)
+		})
+		// The barrier guarantees all three increments are visible here.
+		for s := range ran {
+			if got := ran[s].Load(); got != int64(round+1) {
+				t.Fatalf("round %d: shard %d ran %d times", round, s, got)
+			}
+		}
+	}
+	// Subset dispatch leaves the others untouched.
+	p.Run([]int{1}, func(shard int) { ran[shard].Add(1) })
+	if ran[0].Load() != 100 || ran[1].Load() != 101 || ran[2].Load() != 100 {
+		t.Fatalf("subset run counts: %d %d %d", ran[0].Load(), ran[1].Load(), ran[2].Load())
+	}
+}
+
+func TestRunEmptyAndCloseIdleWorkers(t *testing.T) {
+	p := New(2)
+	p.Run(nil, func(int) { t.Fatal("fn called for empty shard list") })
+	p.Close() // must not hang on idle workers
+}
+
+// TestShardSequentialWithinRun pins the ordering guarantee the fleet
+// relies on: work dispatched to one shard in one Run never interleaves
+// with itself (a shard is one worker), even while other shards run
+// concurrently.
+func TestShardSequentialWithinRun(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	var mu sync.Mutex
+	seen := make(map[int][]int)
+	for round := 0; round < 50; round++ {
+		p.Run([]int{0, 1, 2, 3}, func(shard int) {
+			for i := 0; i < 10; i++ {
+				mu.Lock()
+				seen[shard] = append(seen[shard], round*10+i)
+				mu.Unlock()
+			}
+		})
+	}
+	for shard, order := range seen {
+		for i := 1; i < len(order); i++ {
+			if order[i] != order[i-1]+1 {
+				t.Fatalf("shard %d work interleaved at %d: %v -> %v", shard, i, order[i-1], order[i])
+			}
+		}
+	}
+}

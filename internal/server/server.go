@@ -57,6 +57,12 @@ type Config struct {
 	// hosted query engine (see timingsubg.Adaptivity). Composable with
 	// both the in-memory and the durable fleet.
 	Adaptive *timingsubg.Adaptivity
+	// FleetWorkers > 1 shards fleet evaluation across that many workers
+	// (see timingsubg.Config.FleetWorkers): each ingest batch is fanned
+	// out to the shards concurrently, which is what lets one server
+	// host many standing queries at multi-core speed. Composable with
+	// every other option; 0 or 1 evaluates sequentially.
+	FleetWorkers int
 	// SubscriberBuffer is the per-subscriber SSE event buffer (default
 	// 256). A subscriber that falls further behind than this loses
 	// events (counted in server.dropped_events).
@@ -70,6 +76,11 @@ type Config struct {
 func (c *Config) norm() {
 	if c.Labels == nil {
 		c.Labels = timingsubg.NewLabels()
+	}
+	if c.FleetWorkers < 0 {
+		// Negative worker counts are rejected by the engine; treat them
+		// as "sequential" here so New's no-error contract holds.
+		c.FleetWorkers = 0
 	}
 	if c.SubscriberBuffer <= 0 {
 		c.SubscriberBuffer = 256
@@ -123,10 +134,11 @@ func New(cfg Config) *Server {
 	cfg.norm()
 	s := newServer(cfg)
 	fl, err := timingsubg.OpenFleet(timingsubg.Config{
-		Dynamic:  true,
-		Routed:   cfg.Routed,
-		Adaptive: cfg.Adaptive,
-		OnMatch:  s.deliver,
+		Dynamic:      true,
+		Routed:       cfg.Routed,
+		Adaptive:     cfg.Adaptive,
+		FleetWorkers: cfg.FleetWorkers,
+		OnMatch:      s.deliver,
 	})
 	if err != nil {
 		// Unreachable: an empty dynamic in-memory config cannot fail.
@@ -171,9 +183,10 @@ func NewDurable(cfg Config, opts timingsubg.PersistentMultiOptions) (*Server, er
 		s.windows[req.Name] = req.Window
 	}
 	fl, err := timingsubg.OpenFleet(timingsubg.Config{
-		Queries:  specs,
-		Dynamic:  true,
-		Adaptive: cfg.Adaptive,
+		Queries:      specs,
+		Dynamic:      true,
+		Adaptive:     cfg.Adaptive,
+		FleetWorkers: cfg.FleetWorkers,
 		Durable: &timingsubg.Durability{
 			Dir:             opts.Dir,
 			CheckpointEvery: opts.CheckpointEvery,
@@ -372,6 +385,8 @@ func clientStats(st timingsubg.Stats) client.EngineStats {
 		WALSeq:          st.WALSeq,
 		Replayed:        st.Replayed,
 		RoutedFraction:  st.RoutedFraction,
+		FleetWorkers:    st.FleetWorkers,
+		ShardMembers:    st.ShardMembers,
 		Adaptive:        st.Adaptive,
 		Durable:         st.Durable,
 		Fleet:           st.Fleet,

@@ -269,6 +269,54 @@ func TestServerDurableRestart(t *testing.T) {
 	}
 }
 
+// TestServerShardedFleet runs the serving layer over a sharded fleet
+// (the tsserved -fleet-workers path): registration, ingest, match
+// delivery and the shard section of the stats snapshot all work, and
+// the shard counts reflect the live roster.
+func TestServerShardedFleet(t *testing.T) {
+	srv := server.New(server.Config{FleetWorkers: 4})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := client.New(ts.URL, nil)
+	ctx := testCtx(t)
+
+	for _, name := range []string{"pp1", "pp2", "pp3"} {
+		if err := c.AddQuery(ctx, client.QueryRequest{Name: name, Text: pingPong, Window: 100}); err != nil {
+			t.Fatalf("register %s: %v", name, err)
+		}
+	}
+	sub, err := c.Subscribe(ctx, "pp2")
+	if err != nil {
+		t.Fatalf("subscribe: %v", err)
+	}
+	defer sub.Close()
+	if _, err := c.Ingest(ctx, []client.Edge{edge(1, 2, "ping"), edge(2, 1, "pong")}); err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	if m := recvMatch(t, sub); m.Query != "pp2" || len(m.Edges) != 2 {
+		t.Fatalf("sharded match event = %+v", m)
+	}
+
+	es, err := c.EngineStats(ctx)
+	if err != nil {
+		t.Fatalf("engine stats: %v", err)
+	}
+	if es.FleetWorkers != 4 || len(es.ShardMembers) != 4 {
+		t.Fatalf("stats shard section = workers %d, shards %v", es.FleetWorkers, es.ShardMembers)
+	}
+	total := 0
+	for _, n := range es.ShardMembers {
+		total += n
+	}
+	if total != 3 {
+		t.Fatalf("shard member counts %v sum to %d, want the 3 live queries", es.ShardMembers, total)
+	}
+	if es.Queries["pp1"].Matches != 1 || es.Queries["pp3"].Matches != 1 {
+		t.Fatalf("broadcast members diverge: %+v", es.Queries)
+	}
+}
+
 // TestServerBackpressure checks that the bounded work queue sheds or
 // delays work instead of buffering without limit: a request whose
 // context is already cancelled must not be admitted.

@@ -51,6 +51,25 @@ var ErrCorrupt = errors.New("wal: corrupt record")
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
+// File is the writable handle a Log appends through. *os.File satisfies
+// it; tests substitute failing implementations to exercise torn and
+// failed writes (the fault-injection seam of the durability test suite).
+type File interface {
+	io.Writer
+	io.Seeker
+	Sync() error
+	Close() error
+	Truncate(size int64) error
+}
+
+// OpenFileFunc opens a segment file for writing. It mirrors os.OpenFile,
+// which is the default.
+type OpenFileFunc func(name string, flag int, perm os.FileMode) (File, error)
+
+func osOpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
 // Options tunes a Log.
 type Options struct {
 	// SegmentBytes rotates to a new segment file once the current one
@@ -60,6 +79,11 @@ type Options struct {
 	// OS page cache still persists on clean shutdown); 1 gives
 	// per-record durability.
 	SyncEvery int
+	// OpenFile replaces os.OpenFile for segment writes. Nil means
+	// os.OpenFile; non-nil is the fault-injection seam — crash tests
+	// wrap the real file to fail or tear a write mid-batch. Reads
+	// (scan, replay) always go through the real filesystem.
+	OpenFile OpenFileFunc
 }
 
 func (o *Options) norm() {
@@ -69,6 +93,9 @@ func (o *Options) norm() {
 	if o.SyncEvery < 0 {
 		o.SyncEvery = 0
 	}
+	if o.OpenFile == nil {
+		o.OpenFile = osOpenFile
+	}
 }
 
 // Log is an append-only edge log. It is not safe for concurrent use; the
@@ -77,7 +104,7 @@ func (o *Options) norm() {
 type Log struct {
 	dir     string
 	opts    Options
-	f       *os.File
+	f       File
 	fileLen int64
 	seq     int64 // next sequence number to be assigned
 	first   int64 // first sequence number of the open segment
@@ -114,7 +141,7 @@ func Open(dir string, opts Options) (*Log, error) {
 		return nil, err
 	}
 	path := filepath.Join(dir, last.name)
-	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	f, err := opts.OpenFile(path, os.O_RDWR, 0)
 	if err != nil {
 		return nil, fmt.Errorf("wal: reopen %s: %w", path, err)
 	}
@@ -299,11 +326,11 @@ func (l *Log) rotate(firstSeq int64) error {
 		}
 	}
 	name := segName(firstSeq)
-	f, err := os.OpenFile(filepath.Join(l.dir, name), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	f, err := l.opts.OpenFile(filepath.Join(l.dir, name), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: rotate: %w", err)
 	}
-	if _, err := f.WriteString(magic); err != nil {
+	if _, err := f.Write([]byte(magic)); err != nil {
 		f.Close()
 		return fmt.Errorf("wal: rotate header: %w", err)
 	}

@@ -1,0 +1,37 @@
+#!/usr/bin/env sh
+# bench_fleet.sh — run the fleet fan-out scaling benchmark and emit the
+# results as BENCH_fleet.json, so CI (and anyone tracking the perf
+# trajectory) has machine-readable data points for the sharded fleet.
+#
+# Usage: scripts/bench_fleet.sh [output.json]
+#   BENCHTIME=2s scripts/bench_fleet.sh   # longer, more stable runs
+set -eu
+
+out="${1:-BENCH_fleet.json}"
+benchtime="${BENCHTIME:-1x}"
+
+# Run first, convert second: plain sh has no pipefail, and a benchmark
+# failure must fail this script rather than emit an empty-but-green
+# artifact.
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+go test -run '^$' -bench '^BenchmarkFleetFan$' -benchtime "$benchtime" . > "$raw"
+
+awk -v cores="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 0)" '
+    /^BenchmarkFleetFan\// {
+      # BenchmarkFleetFan/<mode>/workers-<n>-<procs>  iters  ns/op  edges/s ...
+      name = $1; iters = $2
+      ns = ""; eps = ""
+      for (i = 3; i < NF; i++) {
+        if ($(i + 1) == "ns/op")   ns = $i
+        if ($(i + 1) == "edges/s") eps = $i
+      }
+      if (n++) printf ",\n"
+      printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"edges_per_s\": %s}", name, iters, ns, eps
+    }
+    BEGIN { if (cores == "") cores = 0; printf "{\n\"cores\": " cores ",\n\"benchmarks\": [\n" }
+    END   { printf "\n]\n}\n" }
+  ' "$raw" > "$out"
+
+echo "wrote $out:"
+cat "$out"

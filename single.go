@@ -37,7 +37,7 @@ type single struct {
 	// Adaptivity state.
 	picked     []*query.TCSubquery
 	sinceCheck int
-	rebuilds   int
+	rebuilds   atomic.Int64
 
 	// Durability state.
 	log       *wal.Log
@@ -46,11 +46,14 @@ type single struct {
 
 	// Counter baselines translate engine counters — which restart from
 	// zero on recovery and on adaptive rebuilds — into durable totals:
-	// total = base + engine - engine0.
-	baseMatches   int64
-	baseDiscarded int64
-	engMatches0   int64
-	engDiscarded0 int64
+	// total = base + engine - engine0. They are atomics so a fleet
+	// stats sampler on one shard never races an adaptive rebuild of a
+	// member on another (the sharded fleet samples counters without a
+	// global stop-the-world lock).
+	baseMatches   atomic.Int64
+	baseDiscarded atomic.Int64
+	engMatches0   atomic.Int64
+	engDiscarded0 atomic.Int64
 
 	fed    atomic.Int64
 	closed bool
@@ -135,7 +138,7 @@ func openDurableSingle(q *Query, o Options, adapt *Adaptivity, dur Durability, o
 	if dur.CheckpointEvery <= 0 {
 		dur.CheckpointEvery = 4096
 	}
-	log, err := wal.Open(dur.Dir, wal.Options{SegmentBytes: dur.SegmentBytes, SyncEvery: dur.SyncEvery})
+	log, err := wal.Open(dur.Dir, wal.Options{SegmentBytes: dur.SegmentBytes, SyncEvery: dur.SyncEvery, OpenFile: dur.openFile})
 	if err != nil {
 		return nil, err
 	}
@@ -186,15 +189,15 @@ func openDurableSingle(q *Query, o Options, adapt *Adaptivity, dur Durability, o
 // checkpoint.
 func (en *single) restoreCheckpoint(ck checkpoint.Checkpoint) {
 	en.stream = graph.RestoreStream(en.opts.Window, ck.Edges, graph.EdgeID(ck.NextSeq))
-	en.baseMatches = ck.Matches
-	en.baseDiscarded = ck.Discarded
+	en.baseMatches.Store(ck.Matches)
+	en.baseDiscarded.Store(ck.Discarded)
 	en.muted = true
 	for _, e := range ck.Edges {
 		en.eng.Process(e, nil)
 	}
 	en.muted = false
-	en.engMatches0 = en.eng.Stats().Matches.Load()
-	en.engDiscarded0 = en.eng.Stats().Discarded.Load()
+	en.engMatches0.Store(en.eng.Stats().Matches.Load())
+	en.engDiscarded0.Store(en.eng.Stats().Discarded.Load())
 }
 
 // replayRecord feeds one WAL-suffix record during recovery, live
@@ -447,26 +450,26 @@ func sameOrder(x, y *Decomposition) bool {
 // in-window edges with match reporting muted. Counter baselines absorb
 // the restart so totals keep accumulating.
 func (en *single) rebuild(dec *Decomposition) {
-	en.baseMatches = en.matches()
-	en.baseDiscarded = en.discarded()
+	en.baseMatches.Store(en.matches())
+	en.baseDiscarded.Store(en.discarded())
 	en.eng = en.newCoreEngine(dec)
 	en.muted = true
 	for _, e := range en.stream.InWindow() {
 		en.eng.Process(e, nil)
 	}
 	en.muted = false
-	en.engMatches0 = en.eng.Stats().Matches.Load()
-	en.engDiscarded0 = en.eng.Stats().Discarded.Load()
-	en.rebuilds++
+	en.engMatches0.Store(en.eng.Stats().Matches.Load())
+	en.engDiscarded0.Store(en.eng.Stats().Discarded.Load())
+	en.rebuilds.Add(1)
 }
 
 // matches and discarded fold the counter baselines into durable totals.
 func (en *single) matches() int64 {
-	return en.baseMatches + en.eng.Stats().Matches.Load() - en.engMatches0
+	return en.baseMatches.Load() + en.eng.Stats().Matches.Load() - en.engMatches0.Load()
 }
 
 func (en *single) discarded() int64 {
-	return en.baseDiscarded + en.eng.Stats().Discarded.Load() - en.engDiscarded0
+	return en.baseDiscarded.Load() + en.eng.Stats().Discarded.Load() - en.engDiscarded0.Load()
 }
 
 // minTimestamp mirrors the graph stream "nothing seen yet" sentinel.
@@ -491,7 +494,7 @@ func (en *single) statsFast() Stats {
 		InWindow:        en.stream.Len(),
 		LastTime:        en.lastTime(),
 		K:               en.eng.K(),
-		Reoptimizations: en.rebuilds,
+		Reoptimizations: int(en.rebuilds.Load()),
 		Replayed:        en.replayed,
 		RoutedFraction:  1,
 		Adaptive:        en.adapt != nil,
