@@ -33,7 +33,7 @@ type AdaptiveSearcher struct {
 // Deprecated: use Open.
 func NewAdaptiveSearcher(q *Query, opts AdaptiveOptions) (*AdaptiveSearcher, error) {
 	adapt := &Adaptivity{ReoptimizeEvery: opts.ReoptimizeEvery, MinGain: opts.MinGain}
-	en, err := newSingle(q, opts.Options, adapt, opts.OnMatch)
+	en, err := newSingle(q, opts.Options, adapt, matchSink(opts.OnMatch))
 	if err != nil {
 		return nil, err
 	}

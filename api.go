@@ -19,17 +19,23 @@
 //	b.Before(reg, cmd) // registration precedes command
 //	q, _ := b.Build()
 //
-//	eng, _ := timingsubg.Open(timingsubg.Config{
-//		Query:  q,
-//		Window: 30,
-//		OnMatch: func(_ string, m *timingsubg.Match) { fmt.Println(m) },
-//	})
+//	eng, _ := timingsubg.Open(timingsubg.Config{Query: q, Window: 30})
+//	sub, _ := eng.Subscribe(timingsubg.SubscribeOptions{})
+//	go func() {
+//		for _, m := range sub.Matches() {
+//			fmt.Println(m)
+//		}
+//	}()
 //	for _, e := range edges {
 //		eng.Feed(e)
 //	}
 //	eng.Close()
 //
-// The former per-capability façades (Searcher, AdaptiveSearcher,
+// Results are consumed through the subscription plane: Subscribe
+// attaches any number of consumers at runtime, each with its own
+// query-name filter, buffer and overflow policy (see SubscribeOptions);
+// Config.OnMatch remains as a synchronous shim fixed at Open. The
+// former per-capability façades (Searcher, AdaptiveSearcher,
 // PersistentSearcher, MultiSearcher, PersistentMultiSearcher) remain as
 // deprecated shims over the same core.
 //
@@ -156,7 +162,7 @@ type Searcher struct {
 //
 // Deprecated: use Open.
 func NewSearcher(q *Query, opts Options) (*Searcher, error) {
-	en, err := newSingle(q, opts, nil, opts.OnMatch)
+	en, err := newSingle(q, opts, nil, matchSink(opts.OnMatch))
 	if err != nil {
 		return nil, err
 	}

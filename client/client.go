@@ -5,12 +5,14 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Client talks to one tsserved server.
@@ -31,15 +33,29 @@ func New(baseURL string, hc *http.Client) *Client {
 	return &Client{base: strings.TrimRight(baseURL, "/"), hc: hc}
 }
 
-// apiError turns a non-2xx response into an error carrying the status
-// and the server's message body.
+// APIError is a non-2xx server response: the HTTP status code plus
+// the server's message body. The reconnect logic treats it as
+// terminal (the server answered; retrying won't change its mind),
+// unlike transport errors, which are retried.
+type APIError struct {
+	StatusCode int
+	Status     string
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("client: %s: %s", e.Status, e.Message)
+}
+
+// apiError turns a non-2xx response into an *APIError carrying the
+// status and the server's message body.
 func apiError(resp *http.Response) error {
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 	msg := strings.TrimSpace(string(body))
 	if msg == "" {
 		msg = resp.Status
 	}
-	return fmt.Errorf("client: %s: %s", resp.Status, msg)
+	return &APIError{StatusCode: resp.StatusCode, Status: resp.Status, Message: msg}
 }
 
 func (c *Client) doJSON(ctx context.Context, method, path string, in, out any) error {
@@ -149,9 +165,27 @@ func (c *Client) Health(ctx context.Context) error {
 	return nil
 }
 
-// Subscription is a live SSE match stream for one query. Receive from
-// Events until it closes; then Err reports why the stream ended (nil
-// after a server-side close, e.g. the query was removed).
+// SubscribeOptions configures Client.SubscribeOpts.
+type SubscribeOptions struct {
+	// Queries filters the stream by query name. Empty subscribes to
+	// every query, including queries registered after the stream opens.
+	Queries []string
+	// LastEventID resumes delivery after a previous stream's final
+	// event id (see Subscription.LastEventID): events the server still
+	// retains are re-sent, already-seen ones are skipped by sequence
+	// number.
+	LastEventID string
+	// Reconnect re-establishes the stream automatically when the
+	// connection drops or the server restarts, resuming from the last
+	// event id seen, with capped exponential backoff. The stream then
+	// ends only on ctx cancellation, Close, or a definitive server
+	// answer (e.g. 404 after the queries were removed).
+	Reconnect bool
+}
+
+// Subscription is a live SSE match stream. Receive from Events until
+// it closes; then Err reports why the stream ended (nil after a
+// server-side close, e.g. the query was removed).
 type Subscription struct {
 	// Events delivers matches in the order the server reported them.
 	Events <-chan MatchEvent
@@ -159,6 +193,7 @@ type Subscription struct {
 	cancel context.CancelFunc
 	mu     sync.Mutex
 	err    error
+	lastID string
 	done   chan struct{}
 }
 
@@ -170,6 +205,27 @@ func (s *Subscription) Err() error {
 	return s.err
 }
 
+// LastEventID returns the most recent event id received — a complete
+// resume token: pass it as SubscribeOptions.LastEventID on a later
+// subscribe to skip everything this stream already delivered.
+func (s *Subscription) LastEventID() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastID
+}
+
+func (s *Subscription) setLastID(id string) {
+	s.mu.Lock()
+	s.lastID = id
+	s.mu.Unlock()
+}
+
+func (s *Subscription) setErr(err error) {
+	s.mu.Lock()
+	s.err = err
+	s.mu.Unlock()
+}
+
 // Close terminates the subscription and releases its connection. It is
 // safe to call more than once.
 func (s *Subscription) Close() {
@@ -179,70 +235,147 @@ func (s *Subscription) Close() {
 
 // Subscribe opens an SSE stream of matches for the named query. The
 // stream ends when ctx is cancelled, Close is called, the query is
-// removed on the server, or the connection drops.
+// removed on the server, or the connection drops. See SubscribeOpts
+// for multi-query filters, resumption and automatic reconnect.
 func (c *Client) Subscribe(ctx context.Context, query string) (*Subscription, error) {
+	return c.SubscribeOpts(ctx, SubscribeOptions{Queries: []string{query}})
+}
+
+// SubscribeOpts opens an SSE stream of matches for the queries
+// selected by opts. The initial connection is made synchronously (an
+// unknown query fails here with a 404 *APIError); with Reconnect set,
+// later drops are re-established automatically, resuming from the
+// last event id seen.
+func (c *Client) SubscribeOpts(ctx context.Context, opts SubscribeOptions) (*Subscription, error) {
 	ctx, cancel := context.WithCancel(ctx)
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		c.base+"/subscribe?query="+url.QueryEscape(query), nil)
+	resp, err := c.openStream(ctx, opts.Queries, opts.LastEventID)
 	if err != nil {
-		cancel()
-		return nil, err
-	}
-	req.Header.Set("Accept", "text/event-stream")
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		cancel()
-		return nil, err
-	}
-	if resp.StatusCode/100 != 2 {
-		err := apiError(resp)
-		resp.Body.Close()
 		cancel()
 		return nil, err
 	}
 	events := make(chan MatchEvent, 64)
-	sub := &Subscription{Events: events, cancel: cancel, done: make(chan struct{})}
+	sub := &Subscription{Events: events, cancel: cancel, lastID: opts.LastEventID, done: make(chan struct{})}
 	go func() {
 		defer close(sub.done)
 		defer close(events)
-		defer resp.Body.Close()
-		err := readSSE(resp.Body, func(event string, data []byte) error {
-			if event != "match" {
-				return nil // ignore heartbeats and unknown event types
+		for {
+			err := sub.consume(ctx, resp.Body, events)
+			resp.Body.Close()
+			if ctx.Err() != nil {
+				return // cancelled: a clean end, whatever the stream said
 			}
-			var m MatchEvent
-			if err := json.Unmarshal(data, &m); err != nil {
-				return fmt.Errorf("client: bad match event: %w", err)
+			if !opts.Reconnect {
+				if err != nil {
+					sub.setErr(err)
+				}
+				return
 			}
-			select {
-			case events <- m:
-				return nil
-			case <-ctx.Done():
-				return ctx.Err()
+			// Reconnect-and-resume: transport errors and clean
+			// server-side closes are retried with backoff; a definitive
+			// HTTP error (the server answered) is terminal.
+			backoff := 50 * time.Millisecond
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(backoff):
+				}
+				next, rerr := c.openStream(ctx, opts.Queries, sub.LastEventID())
+				if rerr == nil {
+					resp = next
+					break
+				}
+				if ctx.Err() != nil {
+					return
+				}
+				var apiErr *APIError
+				if errors.As(rerr, &apiErr) {
+					sub.setErr(rerr)
+					return
+				}
+				if backoff *= 2; backoff > time.Second {
+					backoff = time.Second
+				}
 			}
-		})
-		if err != nil && ctx.Err() == nil {
-			sub.mu.Lock()
-			sub.err = err
-			sub.mu.Unlock()
 		}
 	}()
 	return sub, nil
 }
 
-// readSSE parses a Server-Sent-Events stream, invoking fn per event. A
+// openStream performs one GET /subscribe, returning the live response
+// or the error that definitively ended the attempt. Names travel as
+// repeated verbatim ?query= parameters (not the comma-separated
+// ?queries= convenience), so a query name containing a comma is never
+// mis-split server-side.
+func (c *Client) openStream(ctx context.Context, queries []string, lastID string) (*http.Response, error) {
+	u := c.base + "/subscribe"
+	if len(queries) > 0 {
+		vals := url.Values{"query": queries}
+		u += "?" + vals.Encode()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	if lastID != "" {
+		req.Header.Set("Last-Event-ID", lastID)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		err := apiError(resp)
+		resp.Body.Close()
+		return nil, err
+	}
+	return resp, nil
+}
+
+// consume parses one SSE connection, forwarding match events and
+// tracking the resume cursor. A clean server-side EOF returns nil.
+func (s *Subscription) consume(ctx context.Context, body io.Reader, events chan<- MatchEvent) error {
+	err := readSSE(body, func(id, event string, data []byte) error {
+		if event != "match" {
+			return nil // ignore heartbeats and unknown event types
+		}
+		var m MatchEvent
+		if err := json.Unmarshal(data, &m); err != nil {
+			return fmt.Errorf("client: bad match event: %w", err)
+		}
+		select {
+		case events <- m:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		if id != "" {
+			// Advance the cursor only after the event is handed over, so
+			// a resume never skips an event the consumer hasn't seen.
+			s.setLastID(id)
+		}
+		return nil
+	})
+	if err != nil && ctx.Err() != nil {
+		return nil
+	}
+	return err
+}
+
+// readSSE parses a Server-Sent-Events stream, invoking fn per event
+// with the event's id (the last id: line seen, per the SSE spec). A
 // clean EOF returns nil.
-func readSSE(r io.Reader, fn func(event string, data []byte) error) error {
+func readSSE(r io.Reader, fn func(id, event string, data []byte) error) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	event := ""
+	id, event := "", ""
 	var data []byte
 	flush := func() error {
 		if len(data) == 0 {
 			event = ""
 			return nil
 		}
-		err := fn(event, data)
+		err := fn(id, event, data)
 		event, data = "", nil
 		return err
 	}
@@ -255,6 +388,8 @@ func readSSE(r io.Reader, fn func(event string, data []byte) error) error {
 			}
 		case strings.HasPrefix(line, ":"):
 			// comment / heartbeat
+		case strings.HasPrefix(line, "id:"):
+			id = strings.TrimSpace(strings.TrimPrefix(line, "id:"))
 		case strings.HasPrefix(line, "event:"):
 			event = strings.TrimSpace(strings.TrimPrefix(line, "event:"))
 		case strings.HasPrefix(line, "data:"):

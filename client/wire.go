@@ -9,7 +9,19 @@
 //	GET    /queries          list live queries             (QueryList)
 //	DELETE /queries/{name}   retire a query
 //	POST   /ingest           feed a batch of edges         (NDJSON of Edge → IngestResult)
-//	GET    /subscribe?query= stream matches                (SSE of MatchEvent)
+//	GET    /subscribe        stream matches                (SSE of MatchEvent)
+//
+// GET /subscribe filters by query name with repeated verbatim ?query=
+// parameters (machine-safe: names may contain commas) or the
+// comma-separated ?queries=a,b convenience — no filter streams every
+// query, current and future. A plain subscribe starts from now; each
+// SSE event's id line is a complete resume token (the subscriber's
+// per-query delivery cursors, URL-encoded), and a reconnecting client
+// sends it back as the Last-Event-ID header: the server replays
+// retained events newer than the cursors and skips everything already
+// seen. MatchEvent.Seq is the engine's per-query delivery sequence
+// number, stable across durable server restarts.
+//
 //	GET    /stats            sample live metrics           (JSON object)
 //	GET    /healthz          liveness probe
 package client
@@ -93,6 +105,12 @@ type MatchEdge struct {
 type MatchEvent struct {
 	// Query names the continuous query that matched.
 	Query string `json:"query"`
+	// Seq is the engine's per-query delivery sequence number, from 1.
+	// It is stable across durable server restarts (recovery replay
+	// re-assigns the same numbers), so consumers that persist their
+	// per-query high-water mark can discard duplicates by comparing
+	// integers.
+	Seq int64 `json:"seq,omitempty"`
 	// Edges holds the bound data edges, indexed by query edge.
 	Edges []MatchEdge `json:"edges"`
 }
@@ -126,6 +144,13 @@ type EngineStats struct {
 	// parallel fan-out (tsserved -fleet-workers).
 	FleetWorkers int   `json:"fleet_workers,omitempty"`
 	ShardMembers []int `json:"shard_members,omitempty"`
+
+	// Subscriptions is the number of live match subscriptions (one per
+	// SSE consumer); SubscriptionDelivered/SubscriptionDropped are the
+	// results-plane delivery and load-shedding ledgers.
+	Subscriptions         int   `json:"subscriptions,omitempty"`
+	SubscriptionDelivered int64 `json:"subscription_delivered,omitempty"`
+	SubscriptionDropped   int64 `json:"subscription_dropped,omitempty"`
 
 	Queries map[string]EngineStats `json:"queries,omitempty"`
 

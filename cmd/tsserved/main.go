@@ -17,15 +17,25 @@
 //	GET    /queries          list live queries
 //	DELETE /queries/{name}   retire a query
 //	POST   /ingest           NDJSON edge batch → per-line accounting
-//	GET    /subscribe?query= SSE match stream
+//	GET    /subscribe        SSE match stream (?queries=a,b filters;
+//	                         no filter streams every query)
 //	GET    /stats            live metrics (optionally ?metric=name)
 //	GET    /healthz          liveness
+//
+// Each SSE event carries the engine's per-query delivery sequence
+// number and an id line that is a complete resume token: a client that
+// reconnects with Last-Event-ID resumes where it left off — events
+// still inside the per-query replay ring (-replay-buffer) are re-sent,
+// already-seen ones are skipped. A subscriber that falls behind its
+// buffer loses its oldest events rather than stalling ingest.
 //
 // With -wal, every ingested edge is journaled through the write-ahead
 // log and each query's window is checkpointed, so a killed and
 // restarted tsserved recovers its query fleet and window state, then
-// continues matching (delivery across the restart is at-least-once).
-// Without -wal the state is in-memory only.
+// continues matching. Recovery replay re-assigns the same delivery
+// sequence numbers, so subscribers resuming across the restart
+// deduplicate by sequence number. Without -wal the state is in-memory
+// only.
 //
 // On SIGINT/SIGTERM the daemon stops accepting requests, drains
 // in-flight operations, checkpoints (durable mode) and exits.
@@ -59,6 +69,7 @@ func main() {
 	syncEvery := flag.Int("sync-every", 0, "durable mode: fsync the WAL after every n appends (0 disables)")
 	segBytes := flag.Int64("segment-bytes", 0, "durable mode: WAL segment rotation size (0 = 4 MiB)")
 	subBuffer := flag.Int("subscriber-buffer", 256, "per-subscriber SSE event buffer before load shedding")
+	replayBuffer := flag.Int("replay-buffer", 0, "per-query resume ring: events retained for Last-Event-ID resumption (0 = subscriber-buffer)")
 	queueDepth := flag.Int("queue-depth", 128, "bounded work queue: max outstanding serialized operations")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown deadline")
 	flag.Parse()
@@ -70,6 +81,7 @@ func main() {
 		Routed:           *routed,
 		FleetWorkers:     *fleetWorkers,
 		SubscriberBuffer: *subBuffer,
+		ReplayBuffer:     *replayBuffer,
 		QueueDepth:       *queueDepth,
 	}
 	if *adaptive {

@@ -60,6 +60,17 @@ type Engine interface {
 	// query's standing matches. The Match passed to fn is scratch —
 	// Clone to retain. Call while no feed is in flight.
 	CurrentMatches(fn func(*Match) bool)
+	// Subscribe attaches a match consumer at runtime — the primary
+	// results contract, replacing the Open-time OnMatch callback. It
+	// may be called any number of times, from any goroutine, while the
+	// engine runs; each subscription has its own query-name filter,
+	// buffer and overflow policy (see SubscribeOptions), so one slow
+	// reader only stalls ingest if it subscribed with Block. The
+	// subscription ends (its channel closes) on Cancel, on engine
+	// Close, or — when it filters by name on a fleet — when its last
+	// filtered query is removed. After Close, Subscribe returns
+	// ErrClosed.
+	Subscribe(opts SubscribeOptions) (*Subscription, error)
 }
 
 // Fleet is the multi-query extension of Engine: a dynamic set of named
@@ -132,6 +143,18 @@ type Stats struct {
 	// Queries holds per-member snapshots, keyed by query name (fleets
 	// only).
 	Queries map[string]Stats `json:"queries,omitempty"`
+
+	// Subscriptions is the number of live Subscribe consumers attached
+	// to this engine (fleet-level on fleets; per-member snapshots
+	// report zero — members share the fleet's results plane).
+	Subscriptions int `json:"subscriptions,omitempty"`
+	// SubscriptionDelivered counts matches buffered to subscription
+	// channels, summed over all subscriptions past and present.
+	SubscriptionDelivered int64 `json:"subscription_delivered,omitempty"`
+	// SubscriptionDropped counts matches lost to subscription overflow
+	// policies (DropOldest/DropNewest) — the load-shedding ledger. A
+	// Block subscriber never contributes here.
+	SubscriptionDropped int64 `json:"subscription_dropped,omitempty"`
 
 	// Adaptive, Durable and Fleet report which composable capabilities
 	// this engine was opened with, making the snapshot self-describing.
@@ -243,8 +266,24 @@ type Config struct {
 
 	// OnMatch receives every complete match with the name of the query
 	// that matched ("" in single-query mode); it may be nil when only
-	// counters are needed. The callback is serialized per query engine.
+	// counters are needed. The callback is serialized per query engine
+	// and, in durable mode, sees matches re-reported by recovery
+	// replay (at-least-once).
+	//
+	// OnMatch is now a thin shim over the subscription results plane —
+	// an internal synchronous subscription installed at Open. Runtime
+	// consumers should prefer Engine.Subscribe, which attaches and
+	// detaches while the stream runs, filters by query, and cannot
+	// stall ingest unless it asks to.
 	OnMatch func(query string, m *Match)
+	// OnDelivery is OnMatch with the delivery envelope: it receives
+	// every (query, sequence number, match) synchronously, including
+	// durable recovery replay. It is the hook for consumers that
+	// persist their own per-query delivery cursor and need to observe
+	// replayed sequence numbers (runtime consumers should prefer
+	// Subscribe with AfterSeq). The Match is scratch — Clone to
+	// retain. May be combined with OnMatch.
+	OnDelivery func(d Delivery)
 }
 
 // Open builds an Engine from cfg — the single entry point replacing
@@ -278,15 +317,11 @@ func Open(cfg Config) (Engine, error) {
 		LockScheme:    cfg.LockScheme,
 		Decomposition: cfg.Decomposition,
 	}
-	var onMatch func(*Match)
-	if cfg.OnMatch != nil {
-		cb := cfg.OnMatch
-		onMatch = func(m *Match) { cb("", m) }
-	}
+	sink := configSink(cfg)
 	if cfg.Durable != nil {
-		return openDurableSingle(cfg.Query, opts, cfg.Adaptive, *cfg.Durable, onMatch)
+		return openDurableSingle(cfg.Query, opts, cfg.Adaptive, *cfg.Durable, sink)
 	}
-	return newSingle(cfg.Query, opts, cfg.Adaptive, onMatch)
+	return newSingle(cfg.Query, opts, cfg.Adaptive, sink)
 }
 
 // OpenFleet is Open for fleet configurations, returning the Fleet

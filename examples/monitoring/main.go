@@ -3,6 +3,11 @@
 // as JSON — the operational shape of a production deployment: one
 // process, many standing queries, a scrape endpoint.
 //
+// Alert consumption rides the engine's results plane: one
+// Engine.Subscribe subscription (instead of the legacy OnMatch
+// callback) drains matches concurrently with ingest through the
+// iterator form, tagging each alert with its query name.
+//
 // The program starts the endpoint on an ephemeral port, feeds the
 // stream, scrapes its own endpoint twice (mid-run and at the end), and
 // prints both samples, demonstrating that metrics are live.
@@ -41,17 +46,29 @@ func main() {
 		{Name: "cashout", Query: pattern2(labels, "account", "merchant", "account"), Options: timingsubg.Options{Window: 200}},
 		{Name: "lateral", Query: pattern2(labels, "host", "host", "host"), Options: timingsubg.Options{Window: 200}},
 	}
-	alerts := map[string]int{}
 	ms, err := timingsubg.OpenFleet(timingsubg.Config{
 		Queries: specs,
 		Routed:  true,
-		OnMatch: func(name string, m *timingsubg.Match) {
-			alerts[name]++
-		},
 	})
 	if err != nil {
 		panic(err)
 	}
+
+	// The results plane: a runtime-attached subscription consumes every
+	// query's alerts concurrently with ingest. Block means lossless —
+	// and cannot stall the feed as long as this loop keeps draining.
+	sub, err := ms.Subscribe(timingsubg.SubscribeOptions{Policy: timingsubg.Block})
+	if err != nil {
+		panic(err)
+	}
+	alerts := map[string]int{}
+	alertsDone := make(chan struct{})
+	go func() {
+		defer close(alertsDone)
+		for name := range sub.Matches() {
+			alerts[name]++
+		}
+	}()
 
 	reg := timingsubg.NewMetricsRegistry()
 	if err := timingsubg.RegisterMetrics(reg, "fleet", ms); err != nil {
@@ -112,7 +129,8 @@ func main() {
 		}
 	}
 	st := ms.Stats()
-	ms.Close()
+	ms.Close() // ends the subscription; the alert drain exits
+	<-alertsDone
 	scrape("final")
 
 	fmt.Println("-- alerts --")

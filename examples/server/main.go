@@ -1,7 +1,8 @@
 // Command server demonstrates the network serving layer end-to-end in
 // one process: it starts a tsserved-style server on a loopback port,
 // registers the exfiltration pattern over HTTP, streams traffic through
-// POST /ingest, receives the alert on the SSE subscription, retires the
+// POST /ingest, receives the alert on a reconnecting SSE subscription
+// (with its delivery sequence number and resume token), retires the
 // query at runtime, and shuts down cleanly — the lifecycle a real
 // deployment drives from separate machines.
 package main
@@ -53,7 +54,14 @@ func main() {
 	if err := c.AddQuery(ctx, client.QueryRequest{Name: "exfiltration", Text: exfilText, Window: 40}); err != nil {
 		panic(err)
 	}
-	sub, err := c.Subscribe(ctx, "exfiltration")
+	// A reconnecting subscription: if the connection drops, the client
+	// re-establishes it and resumes from the last event id, so alerts
+	// are not double-processed. Each event carries the engine's
+	// per-query delivery sequence number.
+	sub, err := c.SubscribeOpts(ctx, client.SubscribeOptions{
+		Queries:   []string{"exfiltration"},
+		Reconnect: true,
+	})
 	if err != nil {
 		panic(err)
 	}
@@ -61,7 +69,7 @@ func main() {
 	go func() {
 		defer close(alerts)
 		for m := range sub.Events {
-			fmt.Printf("!! %s:", m.Query)
+			fmt.Printf("!! %s #%d:", m.Query, m.Seq)
 			for _, e := range m.Edges {
 				fmt.Printf("  %d→%d %s@%d", e.From, e.To, e.Label, e.Time)
 			}
@@ -111,7 +119,11 @@ func main() {
 		fmt.Printf("  %-14s matches=%d in_window=%d\n", name, qs.Matches, qs.InWindow)
 	}
 
-	// Retire the query at runtime: the subscription stream ends.
+	fmt.Printf("resume token after delivery: %q\n", sub.LastEventID())
+
+	// Retire the query at runtime: the engine ends the filtered
+	// subscription, the client's reconnect attempt gets a definitive
+	// 404, and the stream terminates.
 	if err := c.RemoveQuery(ctx, "exfiltration"); err != nil {
 		panic(err)
 	}

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 
 	"timingsubg/internal/checkpoint"
+	"timingsubg/internal/dispatch"
 	"timingsubg/internal/fleetpool"
 	"timingsubg/internal/graph"
 	"timingsubg/internal/router"
@@ -51,8 +52,14 @@ type fleetEngine struct {
 	members []*single // nil entries are retired slots, reusable by AddQuery
 	names   []string  // "" for retired slots
 	live    int       // number of non-nil members
-	onMatch func(name string, m *Match)
 	route   *router.Router
+
+	// disp is the fleet's results plane: every member publishes into
+	// it under its query name, so one Subscribe call observes the
+	// whole roster (filtered or not). Members on different shards
+	// publish concurrently; the dispatcher serializes per
+	// subscription.
+	disp *dispatch.Dispatcher
 
 	// Sharded execution state (nil/empty in sequential mode).
 	pool      *fleetpool.Pool
@@ -120,13 +127,18 @@ func (fl *fleetEngine) memberAdaptivity(spec QuerySpec) *Adaptivity {
 	return fl.defaults.Adaptive
 }
 
-// memberCallback binds the fleet callback to one query name.
-func (fl *fleetEngine) memberCallback(name string) func(*Match) {
-	if fl.onMatch == nil {
-		return nil
+// newMember builds one member engine and rebases it onto the fleet's
+// results plane: the member publishes matches under its query name
+// into the fleet dispatcher instead of owning one. The rebase happens
+// before any checkpoint restore so durable sequence seeding lands on
+// the fleet dispatcher.
+func (fl *fleetEngine) newMember(spec QuerySpec) (*single, error) {
+	en, err := newSingle(spec.Query, fl.memberOptions(spec), fl.memberAdaptivity(spec), nil)
+	if err != nil {
+		return nil, fmt.Errorf("timingsubg: query %q: %w", spec.Name, err)
 	}
-	cb := fl.onMatch
-	return func(m *Match) { cb(name, m) }
+	en.disp, en.pubName, en.ownsDisp = fl.disp, spec.Name, false
+	return en, nil
 }
 
 // validateFleetSpec checks the per-query constraints of fleet
@@ -161,8 +173,11 @@ func openFleet(cfg Config) (*fleetEngine, error) {
 		return nil, fmt.Errorf("timingsubg: no queries: %w", ErrBadOptions)
 	}
 	fl := &fleetEngine{
-		onMatch:  cfg.OnMatch,
 		defaults: cfg,
+		disp:     dispatch.New(),
+	}
+	if sink := configSink(cfg); sink != nil {
+		fl.disp.SubscribeFunc(sink)
 	}
 	fl.lastTime.Store(int64(minTimestamp))
 	if cfg.Routed {
@@ -226,9 +241,9 @@ func (fl *fleetEngine) addMember(spec QuerySpec) error {
 	if err := fl.validateFleetSpec(spec); err != nil {
 		return err
 	}
-	en, err := newSingle(spec.Query, fl.memberOptions(spec), fl.memberAdaptivity(spec), fl.memberCallback(spec.Name))
+	en, err := fl.newMember(spec)
 	if err != nil {
-		return fmt.Errorf("timingsubg: query %q: %w", spec.Name, err)
+		return err
 	}
 	fl.mu.Lock()
 	defer fl.mu.Unlock()
@@ -316,9 +331,9 @@ func (fl *fleetEngine) openDurable(specs []QuerySpec) error {
 			return fail(fmt.Errorf("timingsubg: query %q: checkpoint window %d != configured window %d: %w",
 				spec.Name, ck.Window, o.Window, ErrBadOptions))
 		}
-		en, err := newSingle(spec.Query, o, fl.memberAdaptivity(spec), fl.memberCallback(spec.Name))
+		en, err := fl.newMember(spec)
 		if err != nil {
-			return fail(fmt.Errorf("timingsubg: query %q: %w", spec.Name, err))
+			return fail(err)
 		}
 		if haveCk {
 			en.restoreCheckpoint(ck)
@@ -394,9 +409,9 @@ func (fl *fleetEngine) AddQuery(spec QuerySpec) error {
 	// Engine construction (decomposition, cost model) is the expensive
 	// part and needs no fleet state — do it before taking the roster
 	// lock so a concurrent stream stalls as briefly as possible.
-	en, err := newSingle(spec.Query, o, fl.memberAdaptivity(spec), fl.memberCallback(spec.Name))
+	en, err := fl.newMember(spec)
 	if err != nil {
-		return fmt.Errorf("timingsubg: query %q: %w", spec.Name, err)
+		return err
 	}
 	fl.mu.Lock()
 	defer fl.mu.Unlock()
@@ -453,10 +468,29 @@ func (fl *fleetEngine) RemoveQuery(name string) error {
 	if fl.pool != nil {
 		fl.pool.Release(i)
 	}
+	// End the subscriptions that filtered solely on retired names and
+	// reset the name's delivery sequence — a later query reusing the
+	// name starts a fresh sequence, exactly as a durable restart (which
+	// discards the checkpoint below) would produce. No publish can race
+	// this: feeds are excluded by the exclusive roster lock.
+	fl.disp.Retire(name, func(q string) bool { return fl.indexLocked(q) >= 0 })
 	if fl.dur != nil {
 		return os.RemoveAll(fl.ckDir(name))
 	}
 	return nil
+}
+
+// Subscribe implements Engine: one subscription observes any subset of
+// the roster (SubscribeOptions.Queries), or all of it, including
+// queries added later.
+func (fl *fleetEngine) Subscribe(opts SubscribeOptions) (*Subscription, error) {
+	return subscribeOn(fl.disp, opts)
+}
+
+// subscriptionCounters is the lock-light sampler behind
+// SubscriptionCounters: dispatcher accounting only, no roster walk.
+func (fl *fleetEngine) subscriptionCounters() (int, int64, int64) {
+	return fl.disp.Subscribers(), fl.disp.Delivered(), fl.disp.Dropped()
 }
 
 // indexLocked returns the slot of the live query named name, or -1.
@@ -865,6 +899,9 @@ func (fl *fleetEngine) Close() error {
 	if fl.pool != nil {
 		fl.pool.Close()
 	}
+	// Members are drained: no further publishes. Ending the
+	// subscriptions closes every consumer channel.
+	fl.disp.Close()
 	if fl.log == nil {
 		return nil
 	}
@@ -931,13 +968,16 @@ func (fl *fleetEngine) stats(memberStats func(*single) Stats, withQueries bool) 
 	fl.mu.RLock()
 	defer fl.mu.RUnlock()
 	st := Stats{
-		Fed:            fl.fedN.Load(),
-		Replayed:       fl.replayed,
-		RoutedFraction: fl.routedFraction(),
-		LastTime:       fl.fleetLastTimeLocked(),
-		Adaptive:       fl.anyAdaptive,
-		Durable:        fl.log != nil,
-		Fleet:          true,
+		Fed:                   fl.fedN.Load(),
+		Replayed:              fl.replayed,
+		RoutedFraction:        fl.routedFraction(),
+		LastTime:              fl.fleetLastTimeLocked(),
+		Adaptive:              fl.anyAdaptive,
+		Durable:               fl.log != nil,
+		Fleet:                 true,
+		Subscriptions:         fl.disp.Subscribers(),
+		SubscriptionDelivered: fl.disp.Delivered(),
+		SubscriptionDropped:   fl.disp.Dropped(),
 	}
 	if withQueries {
 		st.Queries = make(map[string]Stats, fl.live)

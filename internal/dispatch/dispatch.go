@@ -1,0 +1,403 @@
+// Package dispatch is the results plane of the timingsubg engine: one
+// dispatcher per engine fans completed matches out to any number of
+// runtime-attached subscriptions, each with its own query-name filter,
+// buffer and overflow policy. It replaces both the OnMatch-callback
+// monoculture (a single consumer frozen at Open time) and the bespoke
+// SSE hub the serving layer used to keep: the engine-side contract and
+// the network contract are now the same subscription.
+//
+// # Delivery model
+//
+// Publish is called from the engine's (per-query serialized) match
+// reporting path. Each publish assigns the match a per-query delivery
+// sequence number, starting at 1, that is stable for a given stream:
+// in durable mode the counter is seeded from the recovered checkpoint
+// (SeedSeq), so a match re-reported by recovery replay carries the
+// same sequence number it had before the crash. Consumers that track
+// their per-query high-water mark therefore get duplicate suppression
+// across restarts by comparing integers — no content hashing, no
+// bounded-capacity deduper.
+//
+// Synchronous subscribers (SubscribeFunc — the OnMatch/OnDelivery
+// shims) receive the engine's scratch match inline on the reporting
+// goroutine, exactly like the old callback. Channel subscribers each
+// receive their own clone (the consumer owns it) and are each
+// delivered under their own lock, so fan-out from concurrent fleet
+// shards is serialized per subscription while distinct subscriptions
+// proceed in parallel.
+package dispatch
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"timingsubg/internal/match"
+)
+
+// Policy says what a publish does when a subscription's buffer is full.
+type Policy int
+
+const (
+	// Block waits for the consumer: no loss, at the price of stalling
+	// the publishing engine (backpressure).
+	Block Policy = iota
+	// DropOldest evicts the oldest buffered delivery to make room, so
+	// the buffer always holds the newest matches. Ingest never stalls.
+	DropOldest
+	// DropNewest drops the incoming delivery, keeping the oldest
+	// buffered matches. Ingest never stalls.
+	DropNewest
+)
+
+// Delivery is one match handed to a subscriber.
+type Delivery struct {
+	// Query names the query that matched ("" on single-query engines).
+	Query string
+	// Seq is the per-query delivery sequence number, from 1. Stable
+	// across durable recovery replay (see package comment).
+	Seq int64
+	// Match is the complete match. Channel subscribers own it (it is a
+	// clone); SubscribeFunc subscribers get the engine's scratch match
+	// and must Clone to retain it, exactly like the old OnMatch.
+	Match *match.Match
+}
+
+// Options configures one subscription.
+type Options struct {
+	// Queries filters deliveries by query name; nil or empty means
+	// every query, including ones registered after the subscription.
+	Queries []string
+	// Buffer is the channel capacity; values < 1 become 1.
+	Buffer int
+	// Policy is the overflow policy when the buffer is full.
+	Policy Policy
+	// AfterSeq holds per-query resume cursors: a delivery for query q
+	// with Seq <= AfterSeq[q] is silently skipped (not counted as
+	// dropped). The dedup half of resumable delivery.
+	AfterSeq map[string]int64
+}
+
+// Dispatcher fans match deliveries out to subscriptions. One per
+// engine; safe for concurrent Publish across distinct queries.
+type Dispatcher struct {
+	mu     sync.Mutex
+	subs   map[*Sub]struct{}
+	fns    []func(Delivery) // synchronous subscribers, fixed at open
+	seq    map[string]int64
+	closed bool
+
+	delivered atomic.Int64
+	dropped   atomic.Int64
+}
+
+// New returns an empty dispatcher.
+func New() *Dispatcher {
+	return &Dispatcher{
+		subs: make(map[*Sub]struct{}),
+		seq:  make(map[string]int64),
+	}
+}
+
+// SubscribeFunc attaches a synchronous subscriber invoked inline on
+// the publishing goroutine for every query — the OnMatch/OnDelivery
+// shim. Call only before the engine starts publishing (at Open).
+func (d *Dispatcher) SubscribeFunc(fn func(Delivery)) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.fns = append(d.fns, fn)
+}
+
+// SeedSeq sets query's next-delivery baseline to n, so the next
+// publish is n+1. Durable recovery seeds each query with its
+// checkpointed match count before replaying the WAL suffix, which is
+// what makes replayed sequence numbers identical to the pre-crash run.
+func (d *Dispatcher) SeedSeq(query string, n int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.seq[query] = n
+}
+
+// ResetSeq zeroes query's delivery counter (query retirement: a later
+// query reusing the name starts a fresh sequence, matching what a
+// durable restart would produce).
+func (d *Dispatcher) ResetSeq(query string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.seq, query)
+}
+
+// Seq returns query's latest assigned sequence number.
+func (d *Dispatcher) Seq(query string) int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.seq[query]
+}
+
+// Subscribe attaches one channel subscription, or returns nil if the
+// dispatcher is closed. Safe to call at any time, from any goroutine.
+func (d *Dispatcher) Subscribe(o Options) *Sub {
+	if o.Buffer < 1 {
+		o.Buffer = 1
+	}
+	s := &Sub{
+		d:      d,
+		policy: o.Policy,
+		ch:     make(chan Delivery, o.Buffer),
+		done:   make(chan struct{}),
+	}
+	if len(o.Queries) > 0 {
+		s.filter = make(map[string]struct{}, len(o.Queries))
+		for _, q := range o.Queries {
+			s.filter[q] = struct{}{}
+		}
+	}
+	if len(o.AfterSeq) > 0 {
+		s.after = make(map[string]int64, len(o.AfterSeq))
+		for q, n := range o.AfterSeq {
+			s.after[q] = n
+		}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	d.subs[s] = struct{}{}
+	return s
+}
+
+// Publish assigns the next sequence number for query and fans m out.
+// Must be serialized per query (the engine's match reporting already
+// is); distinct queries may publish concurrently. m is the engine's
+// scratch match: synchronous subscribers see it directly, channel
+// subscribers each get their own clone (the delivered match is owned
+// by its consumer).
+func (d *Dispatcher) Publish(query string, m *match.Match) {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	seq := d.seq[query] + 1
+	d.seq[query] = seq
+	fns := d.fns
+	d.mu.Unlock()
+
+	// Synchronous subscribers run BEFORE the channel-subscriber
+	// snapshot. This ordering is what makes snapshot-then-replay
+	// consumers (the server's resume ring, fed by an fn-subscriber)
+	// race-free: a subscription attached before the snapshot receives
+	// the event live; one attached after it was created after the fn
+	// ran, so a ring read performed after Subscribe returns is
+	// guaranteed to see the event. Either way, nothing falls between.
+	dv := Delivery{Query: query, Seq: seq, Match: m}
+	for _, fn := range fns {
+		fn(dv)
+	}
+
+	d.mu.Lock()
+	var targets []*Sub
+	for s := range d.subs {
+		if s.wants(query) {
+			targets = append(targets, s)
+		}
+	}
+	d.mu.Unlock()
+	for _, s := range targets {
+		if seq <= s.after[query] {
+			continue // resume cursor: already seen, don't even clone
+		}
+		s.deliver(Delivery{Query: query, Seq: seq, Match: m.Clone()})
+	}
+}
+
+// Retire ends every subscription whose explicit filter no longer names
+// any live query (live reports liveness by name). Unfiltered
+// subscriptions are untouched — they follow the roster dynamically.
+// The retired query's sequence counter is reset.
+func (d *Dispatcher) Retire(name string, live func(string) bool) {
+	d.mu.Lock()
+	delete(d.seq, name)
+	var ended []*Sub
+	for s := range d.subs {
+		if s.filter == nil {
+			continue
+		}
+		if _, ok := s.filter[name]; !ok {
+			continue
+		}
+		anyLive := false
+		for q := range s.filter {
+			if live(q) {
+				anyLive = true
+				break
+			}
+		}
+		if !anyLive {
+			ended = append(ended, s)
+		}
+	}
+	d.mu.Unlock()
+	for _, s := range ended {
+		s.Cancel()
+	}
+}
+
+// Close cancels every subscription (their channels close) and rejects
+// future subscribes. Idempotent.
+func (d *Dispatcher) Close() {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	d.closed = true
+	subs := make([]*Sub, 0, len(d.subs))
+	for s := range d.subs {
+		subs = append(subs, s)
+	}
+	d.mu.Unlock()
+	for _, s := range subs {
+		s.Cancel()
+	}
+}
+
+// Subscribers returns the number of live channel subscriptions.
+func (d *Dispatcher) Subscribers() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.subs)
+}
+
+// Delivered returns the total deliveries buffered to channel
+// subscribers (synchronous subscribers are not counted).
+func (d *Dispatcher) Delivered() int64 { return d.delivered.Load() }
+
+// Dropped returns the total deliveries dropped by overflow policies,
+// across live and cancelled subscriptions.
+func (d *Dispatcher) Dropped() int64 { return d.dropped.Load() }
+
+// remove detaches s without closing its channel (Cancel does both).
+func (d *Dispatcher) remove(s *Sub) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.subs, s)
+}
+
+// Stats is one subscription's delivery accounting.
+type Stats struct {
+	// Delivered counts deliveries buffered to the channel.
+	Delivered int64
+	// Dropped counts deliveries lost to the overflow policy (or to
+	// publishes racing Cancel).
+	Dropped int64
+}
+
+// Sub is one live channel subscription.
+type Sub struct {
+	d      *Dispatcher
+	filter map[string]struct{} // nil = all queries
+	after  map[string]int64    // read-only resume cursors
+	policy Policy
+
+	ch   chan Delivery
+	done chan struct{}
+	once sync.Once
+
+	mu     sync.Mutex // serializes deliver against deliver and Cancel
+	closed bool
+
+	delivered atomic.Int64
+	dropped   atomic.Int64
+}
+
+// C is the delivery channel. It closes when the subscription is
+// cancelled, its last filtered query is retired, or the engine closes;
+// buffered deliveries remain readable after that.
+func (s *Sub) C() <-chan Delivery { return s.ch }
+
+// Stats returns the subscription's delivery accounting.
+func (s *Sub) Stats() Stats {
+	return Stats{Delivered: s.delivered.Load(), Dropped: s.dropped.Load()}
+}
+
+// Cancel detaches the subscription and closes its channel. Idempotent,
+// safe to call concurrently with deliveries — a Block delivery stuck
+// on a full buffer is released.
+func (s *Sub) Cancel() {
+	s.once.Do(func() {
+		close(s.done) // releases a blocked deliver before we take mu
+		s.d.remove(s)
+		s.mu.Lock()
+		s.closed = true
+		close(s.ch)
+		s.mu.Unlock()
+	})
+}
+
+// wants reports whether the subscription's filter admits query.
+// Caller holds d.mu (the filter itself is immutable).
+func (s *Sub) wants(query string) bool {
+	if s.filter == nil {
+		return true
+	}
+	_, ok := s.filter[query]
+	return ok
+}
+
+// deliver applies the overflow policy to one delivery (already past
+// the subscription's resume cursor; dv.Match is this subscription's
+// own clone). Per-sub serialization (s.mu) keeps a subscription's
+// stream in publish order even when fleet shards publish different
+// queries concurrently.
+func (s *Sub) deliver(dv Delivery) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		s.dropped.Add(1)
+		s.d.dropped.Add(1)
+		return
+	}
+	switch s.policy {
+	case DropNewest:
+		select {
+		case s.ch <- dv:
+			s.count()
+		default:
+			s.dropped.Add(1)
+			s.d.dropped.Add(1)
+		}
+	case DropOldest:
+		for {
+			select {
+			case s.ch <- dv:
+				s.count()
+				return
+			default:
+			}
+			// Full: evict the oldest buffered delivery. Only this
+			// goroutine sends (s.mu), so after one receive the next
+			// send attempt succeeds unless the consumer drained the
+			// buffer first — in which case the send succeeds anyway.
+			select {
+			case <-s.ch:
+				s.dropped.Add(1)
+				s.d.dropped.Add(1)
+			default:
+			}
+		}
+	default: // Block
+		select {
+		case s.ch <- dv:
+			s.count()
+		case <-s.done:
+			s.dropped.Add(1)
+			s.d.dropped.Add(1)
+		}
+	}
+}
+
+func (s *Sub) count() {
+	s.delivered.Add(1)
+	s.d.delivered.Add(1)
+}

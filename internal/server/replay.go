@@ -1,0 +1,113 @@
+package server
+
+import (
+	"sync"
+)
+
+// ringEvent is one pre-serialized SSE match event with its per-query
+// delivery sequence number.
+type ringEvent struct {
+	seq  int64
+	data []byte
+}
+
+// replayRing is a fixed-capacity ring of the newest match events of
+// one query, in sequence order. It is the server-side half of
+// resumable delivery: a reconnecting subscriber's Last-Event-ID maps
+// to per-query cursors, events still inside the ring are replayed, and
+// the live subscription (attached first, with the same cursors as
+// AfterSeq) covers everything after. The ring is fed synchronously by
+// the engine's OnDelivery hook, so after a durable restart it is
+// rebuilt by recovery replay — with the same sequence numbers the
+// pre-crash run assigned — before the server accepts connections.
+type replayRing struct {
+	buf  []ringEvent
+	head int // index of the oldest event
+	n    int // live events
+}
+
+func newReplayRing(capacity int) *replayRing {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &replayRing{buf: make([]ringEvent, capacity)}
+}
+
+// add appends one event, evicting the oldest when full. Events arrive
+// in sequence order (per-query publication is serialized).
+func (r *replayRing) add(ev ringEvent) {
+	if r.n < len(r.buf) {
+		r.buf[(r.head+r.n)%len(r.buf)] = ev
+		r.n++
+		return
+	}
+	r.buf[r.head] = ev
+	r.head = (r.head + 1) % len(r.buf)
+}
+
+// since copies out the retained events with seq > after, oldest first.
+func (r *replayRing) since(after int64) []ringEvent {
+	var out []ringEvent
+	for i := 0; i < r.n; i++ {
+		ev := r.buf[(r.head+i)%len(r.buf)]
+		if ev.seq > after {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// replayStore is the per-query ring set. The engine's delivery hook
+// writes it from the ingest path (concurrently, on sharded fleets);
+// SSE handlers read it once per connection.
+type replayStore struct {
+	mu       sync.Mutex
+	capacity int
+	rings    map[string]*replayRing
+}
+
+func newReplayStore(capacity int) *replayStore {
+	return &replayStore{capacity: capacity, rings: make(map[string]*replayRing)}
+}
+
+func (s *replayStore) add(query string, ev ringEvent) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := s.rings[query]
+	if r == nil {
+		r = newReplayRing(s.capacity)
+		s.rings[query] = r
+	}
+	r.add(ev)
+}
+
+// since returns the retained events of query with seq > after.
+func (s *replayStore) since(query string, after int64) []ringEvent {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := s.rings[query]
+	if r == nil {
+		return nil
+	}
+	return r.since(after)
+}
+
+// queries returns the names with retained events.
+func (s *replayStore) queries() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.rings))
+	for q := range s.rings {
+		out = append(out, q)
+	}
+	return out
+}
+
+// drop discards query's retained events (query retirement: its
+// sequence numbers reset, so stale events must not resurface under a
+// reused name).
+func (s *replayStore) drop(query string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.rings, query)
+}

@@ -18,10 +18,18 @@
 // buffers. Pure reads (healthz, subscription fan-out, query listing)
 // never enter the queue.
 //
-// Match delivery is push-based: the engine callback serializes each
-// match once and hands it to a hub that fans it out to subscribers,
-// dropping events for consumers that cannot keep up rather than
-// stalling ingest (see hub).
+// Match delivery rides the engine's own results plane: each SSE
+// connection is one timingsubg Engine.Subscribe subscription with a
+// query-name filter and the DropOldest overflow policy, so a consumer
+// that cannot keep up loses its oldest buffered events (counted in
+// server.dropped_events) rather than stalling ingest for the whole
+// fleet. Every event carries the engine's per-query delivery sequence
+// number; the SSE id line encodes the subscriber's per-query cursors,
+// and a reconnecting client presents it as Last-Event-ID to resume —
+// events still inside the server's replay ring are re-sent, newer ones
+// flow from the live subscription, duplicates are skipped by sequence
+// number. Because durable engines re-assign the same sequence numbers
+// during recovery replay, resumption composes with server restarts.
 //
 // The wire types live in timingsubg/client, which is also the Go client
 // for this API.
@@ -34,7 +42,10 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/url"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -64,9 +75,14 @@ type Config struct {
 	// every other option; 0 or 1 evaluates sequentially.
 	FleetWorkers int
 	// SubscriberBuffer is the per-subscriber SSE event buffer (default
-	// 256). A subscriber that falls further behind than this loses
-	// events (counted in server.dropped_events).
+	// 256). A subscriber that falls further behind than this loses its
+	// oldest buffered events (counted in server.dropped_events).
 	SubscriberBuffer int
+	// ReplayBuffer is the per-query resume ring: how many recent match
+	// events are retained for Last-Event-ID resumption (default:
+	// SubscriberBuffer). A reconnect older than the ring loses the
+	// overwritten events.
+	ReplayBuffer int
 	// QueueDepth bounds the serialized work queue (default 128
 	// outstanding operations). Producers beyond the bound block — the
 	// backpressure contract.
@@ -84,6 +100,9 @@ func (c *Config) norm() {
 	}
 	if c.SubscriberBuffer <= 0 {
 		c.SubscriberBuffer = 256
+	}
+	if c.ReplayBuffer <= 0 {
+		c.ReplayBuffer = c.SubscriberBuffer
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 128
@@ -106,7 +125,7 @@ type Server struct {
 	cfg      Config
 	labels   *timingsubg.Labels
 	fl       timingsubg.Fleet
-	hub      *hub
+	replay   *replayStore
 	reg      *monitor.Registry
 	ops      chan op
 	stopped  chan struct{}
@@ -138,7 +157,7 @@ func New(cfg Config) *Server {
 		Routed:       cfg.Routed,
 		Adaptive:     cfg.Adaptive,
 		FleetWorkers: cfg.FleetWorkers,
-		OnMatch:      s.deliver,
+		OnDelivery:   s.record,
 	})
 	if err != nil {
 		// Unreachable: an empty dynamic in-memory config cannot fail.
@@ -193,7 +212,9 @@ func NewDurable(cfg Config, opts timingsubg.PersistentMultiOptions) (*Server, er
 			SyncEvery:       opts.SyncEvery,
 			SegmentBytes:    opts.SegmentBytes,
 		},
-		OnMatch: s.deliver,
+		// OnDelivery is installed before recovery, so WAL replay rebuilds
+		// the resume rings with the pre-crash sequence numbers.
+		OnDelivery: s.record,
 	})
 	if err != nil {
 		return nil, err
@@ -210,7 +231,7 @@ func newServer(cfg Config) *Server {
 	return &Server{
 		cfg:      cfg,
 		labels:   cfg.Labels,
-		hub:      newHub(),
+		replay:   newReplayStore(cfg.ReplayBuffer),
 		reg:      monitor.NewRegistry(),
 		ops:      make(chan op, cfg.QueueDepth),
 		stopped:  make(chan struct{}),
@@ -225,9 +246,21 @@ func (s *Server) finish() {
 	s.reg.MustRegister("server.ingested", func() any { return s.ingested.Load() })
 	s.reg.MustRegister("server.last_time", func() any { return s.lastTime })
 	s.reg.MustRegister("server.queries", func() any { return len(s.fl.Names()) })
-	s.reg.MustRegister("server.subscribers", func() any { return s.hub.subscribers() })
-	s.reg.MustRegister("server.delivered_events", func() any { return s.hub.delivered.Load() })
-	s.reg.MustRegister("server.dropped_events", func() any { return s.hub.dropped.Load() })
+	// Subscription accounting comes from the engine's own results
+	// plane (each SSE connection is one Engine.Subscribe subscription),
+	// through the counter fast path — no stats snapshot per gauge.
+	s.reg.MustRegister("server.subscribers", func() any {
+		subs, _, _ := timingsubg.SubscriptionCounters(s.fl)
+		return subs
+	})
+	s.reg.MustRegister("server.delivered_events", func() any {
+		_, delivered, _ := timingsubg.SubscriptionCounters(s.fl)
+		return delivered
+	})
+	s.reg.MustRegister("server.dropped_events", func() any {
+		_, _, dropped := timingsubg.SubscriptionCounters(s.fl)
+		return dropped
+	})
 	s.reg.MustRegister("server.queue_depth", func() any { return len(s.ops) })
 	// Fleet gauges derive generically from the unified Stats snapshot —
 	// no per-façade wiring. "fleet.stats" is the whole snapshot (the
@@ -338,14 +371,14 @@ func (s *Server) do(ctx context.Context, fn func()) error {
 	}
 }
 
-// Close stops the work loop, terminates every subscription and shuts
-// the fleet down (checkpointing it, in durable mode). It is safe to
-// call more than once.
+// Close stops the work loop and shuts the fleet down (checkpointing
+// it, in durable mode); closing the fleet ends every SSE subscription
+// through the engine's results plane. It is safe to call more than
+// once.
 func (s *Server) Close() error {
 	s.closer.Do(func() {
 		close(s.stopped)
 		<-s.loopDone
-		s.hub.closeAll()
 		s.closeErr = s.fl.Close()
 	})
 	return s.closeErr
@@ -387,9 +420,14 @@ func clientStats(st timingsubg.Stats) client.EngineStats {
 		RoutedFraction:  st.RoutedFraction,
 		FleetWorkers:    st.FleetWorkers,
 		ShardMembers:    st.ShardMembers,
-		Adaptive:        st.Adaptive,
-		Durable:         st.Durable,
-		Fleet:           st.Fleet,
+
+		Subscriptions:         st.Subscriptions,
+		SubscriptionDelivered: st.SubscriptionDelivered,
+		SubscriptionDropped:   st.SubscriptionDropped,
+
+		Adaptive: st.Adaptive,
+		Durable:  st.Durable,
+		Fleet:    st.Fleet,
 	}
 	if len(st.Queries) > 0 {
 		out.Queries = make(map[string]client.EngineStats, len(st.Queries))
@@ -400,9 +438,23 @@ func clientStats(st timingsubg.Stats) client.EngineStats {
 	return out
 }
 
-// deliver is the fleet-level match callback: serialize once, fan out.
-func (s *Server) deliver(name string, m *timingsubg.Match) {
-	ev := client.MatchEvent{Query: name, Edges: make([]client.MatchEdge, len(m.Edges))}
+// record is the engine's synchronous delivery hook: serialize the
+// match event once and retain it in the per-query resume ring. Live
+// fan-out happens on the engine side (each SSE handler holds its own
+// subscription); the ring exists only so Last-Event-ID resumption can
+// re-send recent events after a reconnect or a durable restart.
+func (s *Server) record(dv timingsubg.Delivery) {
+	data, err := json.Marshal(s.matchEvent(dv))
+	if err != nil {
+		return // unreachable: MatchEvent is marshal-safe by construction
+	}
+	s.replay.add(dv.Query, ringEvent{seq: dv.Seq, data: data})
+}
+
+// matchEvent converts one engine delivery to its wire form.
+func (s *Server) matchEvent(dv timingsubg.Delivery) client.MatchEvent {
+	m := dv.Match
+	ev := client.MatchEvent{Query: dv.Query, Seq: dv.Seq, Edges: make([]client.MatchEdge, len(m.Edges))}
 	for i, e := range m.Edges {
 		ev.Edges[i] = client.MatchEdge{
 			ID:   int64(e.ID),
@@ -414,11 +466,7 @@ func (s *Server) deliver(name string, m *timingsubg.Match) {
 			ev.Edges[i].Label = s.labels.String(e.EdgeLabel)
 		}
 	}
-	data, err := json.Marshal(ev)
-	if err != nil {
-		return // unreachable: MatchEvent is marshal-safe by construction
-	}
-	s.hub.publish(name, data)
+	return ev
 }
 
 func httpError(w http.ResponseWriter, code int, format string, args ...any) {
@@ -511,9 +559,10 @@ func (s *Server) handleRemoveQuery(w http.ResponseWriter, r *http.Request) {
 		s.qmu.Lock()
 		delete(s.windows, name)
 		s.qmu.Unlock()
-		// End the subscriptions after the engine is gone, so no further
-		// deliveries can race the close.
-		s.hub.closeQuery(name)
+		// The engine already ended the subscriptions filtered to this
+		// name and reset its delivery sequence; drop the resume ring so
+		// stale events cannot resurface under a reused name.
+		s.replay.drop(name)
 	})
 	if err != nil {
 		httpError(w, http.StatusServiceUnavailable, "%v", err)
@@ -653,14 +702,85 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, res)
 }
 
-func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
-	name := r.URL.Query().Get("query")
-	if name == "" {
-		httpError(w, http.StatusBadRequest, "missing ?query= parameter")
-		return
+// subscribeNames extracts the query filter of a subscribe request.
+// ?query=a is verbatim and repeatable — the machine-safe form, since
+// query names may legally contain commas; ?queries=a,b is the
+// comma-separated human convenience (repeatable too). Empty means
+// every query, current and future.
+func subscribeNames(r *http.Request) []string {
+	var names []string
+	seen := map[string]bool{}
+	add := func(name string) {
+		if name != "" && !seen[name] {
+			seen[name] = true
+			names = append(names, name)
+		}
 	}
-	if !s.fl.HasQuery(name) {
-		httpError(w, http.StatusNotFound, "unknown query %q", name)
+	q := r.URL.Query()
+	for _, name := range q["query"] {
+		add(name)
+	}
+	for _, list := range q["queries"] {
+		for _, name := range strings.Split(list, ",") {
+			add(strings.TrimSpace(name))
+		}
+	}
+	return names
+}
+
+// parseResumeToken decodes a Last-Event-ID header into per-query
+// resume cursors. The token is the URL-encoded form the server itself
+// emits on every event's id line (query names escaped, values are the
+// per-query delivery sequence numbers), so it is self-contained: the
+// client never parses it, only echoes the last one it saw.
+func parseResumeToken(token string) (map[string]int64, error) {
+	if token == "" {
+		return nil, nil
+	}
+	vals, err := url.ParseQuery(token)
+	if err != nil {
+		return nil, fmt.Errorf("bad Last-Event-ID %q: %v", token, err)
+	}
+	out := make(map[string]int64, len(vals))
+	for name, ss := range vals {
+		if len(ss) == 0 {
+			continue
+		}
+		n, err := strconv.ParseInt(ss[len(ss)-1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad Last-Event-ID cursor for %q: %v", name, err)
+		}
+		out[name] = n
+	}
+	return out, nil
+}
+
+// resumeToken is parseResumeToken's inverse: the id line emitted with
+// every event, carrying the subscriber's full per-query high-water
+// map so any single event id is a complete resume point.
+func resumeToken(high map[string]int64) string {
+	vals := make(url.Values, len(high))
+	for name, seq := range high {
+		vals.Set(name, strconv.FormatInt(seq, 10))
+	}
+	return vals.Encode()
+}
+
+// handleSubscribe is one SSE consumer: an Engine.Subscribe
+// subscription (query-name filter, DropOldest overflow) bridged onto
+// the HTTP response, preceded by a replay of ring events the
+// Last-Event-ID cursor proves the client has not seen.
+func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	names := subscribeNames(r)
+	for _, name := range names {
+		if !s.fl.HasQuery(name) {
+			httpError(w, http.StatusNotFound, "unknown query %q", name)
+			return
+		}
+	}
+	after, err := parseResumeToken(r.Header.Get("Last-Event-ID"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	flusher, ok := w.(http.Flusher)
@@ -668,20 +788,39 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, "streaming unsupported by connection")
 		return
 	}
-	sub := s.hub.subscribe(name, s.cfg.SubscriberBuffer)
-	if sub == nil {
+	// The live subscription attaches before the ring is read, with the
+	// client's cursors as AfterSeq: an event published in between lands
+	// in both and is emitted once (the high-water check below), an
+	// event published before sits only in the ring, an event after only
+	// in the subscription. DropOldest keeps one stalled consumer from
+	// ever blocking ingest.
+	sub, err := s.fl.Subscribe(timingsubg.SubscribeOptions{
+		Queries:  names,
+		Buffer:   s.cfg.SubscriberBuffer,
+		Policy:   timingsubg.DropOldest,
+		AfterSeq: after,
+	})
+	if err != nil {
 		httpError(w, http.StatusServiceUnavailable, "server shutting down")
 		return
 	}
-	defer s.hub.unsubscribe(name, sub)
-	// Re-check after subscribing: a concurrent DELETE that ran its
-	// closeQuery between our existence check and the subscribe above
-	// would otherwise leave this subscriber attached to a dead name —
-	// an endless silent stream, or worse, a feed of a future query that
-	// reuses the name.
-	if !s.fl.HasQuery(name) {
-		httpError(w, http.StatusNotFound, "unknown query %q", name)
-		return
+	defer sub.Cancel()
+	// Re-check after subscribing: a DELETE racing in between would have
+	// retired its subscriptions before ours attached, leaving a
+	// filtered subscription bound to dead names — an endless silent
+	// stream, or a feed of a future query that reuses the name.
+	if len(names) > 0 {
+		live := false
+		for _, name := range names {
+			if s.fl.HasQuery(name) {
+				live = true
+				break
+			}
+		}
+		if !live {
+			httpError(w, http.StatusNotFound, "no live query among %v", names)
+			return
+		}
 	}
 
 	h := w.Header()
@@ -689,16 +828,53 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 	h.Set("Cache-Control", "no-cache")
 	h.Set("Connection", "keep-alive")
 	w.WriteHeader(http.StatusOK)
-	fmt.Fprintf(w, ": subscribed query=%s\n\n", name)
+	fmt.Fprintf(w, ": subscribed queries=%s\n\n", strings.Join(names, ","))
+
+	high := make(map[string]int64, len(after))
+	for name, seq := range after {
+		high[name] = seq
+	}
+	emit := func(query string, seq int64, data []byte) bool {
+		if seq <= high[query] {
+			return true // already sent (replayed event also live-delivered)
+		}
+		high[query] = seq
+		_, werr := fmt.Fprintf(w, "id: %s\nevent: match\ndata: %s\n\n", resumeToken(high), data)
+		return werr == nil
+	}
+
+	// Replay: ring events newer than the client's cursors. Only on
+	// resume — a request with no Last-Event-ID starts from now, per SSE
+	// convention (a client that wants retained history can present
+	// explicit zero cursors, e.g. "pp=0").
+	if after != nil {
+		replayNames := names
+		if len(replayNames) == 0 {
+			replayNames = s.replay.queries()
+		}
+		for _, name := range replayNames {
+			for _, ev := range s.replay.since(name, high[name]) {
+				if !emit(name, ev.seq, ev.data) {
+					return
+				}
+			}
+		}
+	}
 	flusher.Flush()
 
+	// Live: the engine subscription, until it ends (query retired,
+	// server closing) or the client goes away.
 	for {
 		select {
-		case data, ok := <-sub.ch:
+		case dv, ok := <-sub.C():
 			if !ok {
-				return // query removed or server closing
+				return // filtered queries retired, or server closing
 			}
-			if _, err := fmt.Fprintf(w, "event: match\ndata: %s\n\n", data); err != nil {
+			data, err := json.Marshal(s.matchEvent(dv))
+			if err != nil {
+				return // unreachable: MatchEvent is marshal-safe
+			}
+			if !emit(dv.Query, dv.Seq, data) {
 				return
 			}
 			flusher.Flush()

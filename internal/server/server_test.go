@@ -2,9 +2,13 @@ package server_test
 
 import (
 	"context"
+	"errors"
+	"io"
+	"net"
 	"net/http/httptest"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -337,5 +341,263 @@ func TestServerBackpressure(t *testing.T) {
 	ctx2 := testCtx(t)
 	if _, err := c.Ingest(ctx2, []client.Edge{edge(1, 2, "x")}); err != nil {
 		t.Fatalf("ingest after cancelled request: %v", err)
+	}
+}
+
+// flakyProxy is a TCP forwarder whose live connections the test can
+// sever at will — the "network dies under an SSE stream" harness for
+// the reconnect-and-resume path.
+type flakyProxy struct {
+	ln      net.Listener
+	backend string
+	mu      sync.Mutex
+	conns   []net.Conn
+}
+
+func newFlakyProxy(t *testing.T, backend string) *flakyProxy {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("proxy listen: %v", err)
+	}
+	p := &flakyProxy{ln: ln, backend: backend}
+	go func() {
+		for {
+			in, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			out, err := net.Dial("tcp", backend)
+			if err != nil {
+				in.Close()
+				continue
+			}
+			p.mu.Lock()
+			p.conns = append(p.conns, in, out)
+			p.mu.Unlock()
+			go func() { io.Copy(out, in); out.Close() }()
+			go func() { io.Copy(in, out); in.Close() }()
+		}
+	}()
+	t.Cleanup(func() { ln.Close(); p.killConns() })
+	return p
+}
+
+func (p *flakyProxy) url() string { return "http://" + p.ln.Addr().String() }
+
+// killConns severs every live proxied connection.
+func (p *flakyProxy) killConns() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, c := range p.conns {
+		c.Close()
+	}
+	p.conns = nil
+}
+
+// TestServerSubscribeFilterAndResume drives the new results-plane SSE
+// surface directly: a multi-query ?queries= filter, per-query sequence
+// numbers on every event, and Last-Event-ID resumption that replays
+// events delivered while no subscriber was connected.
+func TestServerSubscribeFilterAndResume(t *testing.T) {
+	srv := server.New(server.Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := client.New(ts.URL, nil)
+	ctx := testCtx(t)
+
+	for _, name := range []string{"a", "b", "noise"} {
+		if err := c.AddQuery(ctx, client.QueryRequest{Name: name, Text: pingPong, Window: 1000}); err != nil {
+			t.Fatalf("register %s: %v", name, err)
+		}
+	}
+	pair := func(x, y int64) []client.Edge {
+		return []client.Edge{edge(x, y, "ping"), edge(y, x, "pong")}
+	}
+
+	// A filtered subscription sees a and b, never noise (all three
+	// queries match every pair — the fleet broadcasts).
+	sub, err := c.SubscribeOpts(ctx, client.SubscribeOptions{Queries: []string{"a", "b"}})
+	if err != nil {
+		t.Fatalf("subscribe: %v", err)
+	}
+	if _, err := c.Ingest(ctx, pair(1, 2)); err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	got := map[string]int64{}
+	for i := 0; i < 2; i++ {
+		m := recvMatch(t, sub)
+		got[m.Query] = m.Seq
+	}
+	if got["a"] != 1 || got["b"] != 1 {
+		t.Fatalf("first round seqs = %v, want a:1 b:1", got)
+	}
+	token := sub.LastEventID()
+	if token == "" {
+		t.Fatal("no resume token after delivery")
+	}
+	sub.Close()
+
+	// Matches delivered while nobody is connected land in the resume
+	// ring; a new subscription presenting the old token replays them.
+	if _, err := c.Ingest(ctx, pair(3, 4)); err != nil {
+		t.Fatalf("ingest while disconnected: %v", err)
+	}
+	sub2, err := c.SubscribeOpts(ctx, client.SubscribeOptions{Queries: []string{"a", "b"}, LastEventID: token})
+	if err != nil {
+		t.Fatalf("resubscribe: %v", err)
+	}
+	defer sub2.Close()
+	round2 := map[string]int64{}
+	for i := 0; i < 2; i++ {
+		m := recvMatch(t, sub2)
+		if m.Seq <= got[m.Query] {
+			t.Fatalf("resumed stream replayed already-seen %s seq %d", m.Query, m.Seq)
+		}
+		round2[m.Query] = m.Seq
+	}
+	if round2["a"] != 2 || round2["b"] != 2 {
+		t.Fatalf("resumed seqs = %v, want a:2 b:2", round2)
+	}
+	// And the live tail still flows on the resumed stream.
+	if _, err := c.Ingest(ctx, pair(5, 6)); err != nil {
+		t.Fatalf("ingest after resume: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if m := recvMatch(t, sub2); m.Seq != 3 {
+			t.Fatalf("live-after-resume %s seq = %d, want 3", m.Query, m.Seq)
+		}
+	}
+}
+
+// TestClientReconnectResume kills the TCP connection under a
+// Reconnect-enabled subscription and proves the client re-establishes
+// the stream and resumes: every match is delivered exactly once, in
+// order, across the outage — including one reported while the client
+// was disconnected.
+func TestClientReconnectResume(t *testing.T) {
+	srv := server.New(server.Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	ctx := testCtx(t)
+
+	// Admin and ingest go straight to the server; only the SSE stream
+	// runs through the severable proxy.
+	direct := client.New(ts.URL, nil)
+	if err := direct.AddQuery(ctx, client.QueryRequest{Name: "pp", Text: pingPong, Window: 10000}); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	proxy := newFlakyProxy(t, ts.Listener.Addr().String())
+	streamer := client.New(proxy.url(), nil)
+	sub, err := streamer.SubscribeOpts(ctx, client.SubscribeOptions{
+		Queries:   []string{"pp"},
+		Reconnect: true,
+	})
+	if err != nil {
+		t.Fatalf("subscribe through proxy: %v", err)
+	}
+	defer sub.Close()
+
+	pair := func(x, y int64) []client.Edge {
+		return []client.Edge{edge(x, y, "ping"), edge(y, x, "pong")}
+	}
+	if _, err := direct.Ingest(ctx, pair(1, 2)); err != nil {
+		t.Fatalf("ingest 1: %v", err)
+	}
+	if m := recvMatch(t, sub); m.Seq != 1 {
+		t.Fatalf("first match seq = %d, want 1", m.Seq)
+	}
+
+	// Sever the stream, and report a match while the client is down.
+	proxy.killConns()
+	if _, err := direct.Ingest(ctx, pair(3, 4)); err != nil {
+		t.Fatalf("ingest during outage: %v", err)
+	}
+	// The client reconnects on its own and resumes: the outage match is
+	// replayed from the server's ring, exactly once.
+	if m := recvMatch(t, sub); m.Seq != 2 {
+		t.Fatalf("post-outage match seq = %d, want 2 (no loss, no dup)", m.Seq)
+	}
+	if _, err := direct.Ingest(ctx, pair(5, 6)); err != nil {
+		t.Fatalf("ingest 3: %v", err)
+	}
+	if m := recvMatch(t, sub); m.Seq != 3 {
+		t.Fatalf("live match after reconnect seq = %d, want 3", m.Seq)
+	}
+
+	// Retiring the query ends even a reconnecting stream: the engine
+	// retires the subscription, the reconnect attempt gets a definitive
+	// 404, and the client reports it as the terminal error.
+	if err := direct.RemoveQuery(ctx, "pp"); err != nil {
+		t.Fatalf("remove: %v", err)
+	}
+	select {
+	case m, ok := <-sub.Events:
+		if ok {
+			t.Fatalf("unexpected delivery after removal: %+v", m)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("reconnecting stream did not terminate after query removal")
+	}
+	var apiErr *client.APIError
+	if err := sub.Err(); !errors.As(err, &apiErr) || apiErr.StatusCode != 404 {
+		t.Fatalf("terminal error = %v, want a 404 APIError", err)
+	}
+}
+
+// TestServerSubscribeFreshStartsFromNow pins SSE convention: a
+// subscriber presenting no Last-Event-ID gets a live tail, not a
+// replay of retained history; and a query name containing a comma
+// survives the trip through the client's verbatim ?query= parameters.
+func TestServerSubscribeFreshStartsFromNow(t *testing.T) {
+	srv := server.New(server.Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := client.New(ts.URL, nil)
+	ctx := testCtx(t)
+
+	const oddName = "pp,v2" // commas are legal in query names
+	if err := c.AddQuery(ctx, client.QueryRequest{Name: oddName, Text: pingPong, Window: 1000}); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	// History accrues with nobody subscribed.
+	if _, err := c.Ingest(ctx, []client.Edge{edge(1, 2, "ping"), edge(2, 1, "pong")}); err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	sub, err := c.Subscribe(ctx, oddName) // no Last-Event-ID
+	if err != nil {
+		t.Fatalf("subscribe to comma-name: %v", err)
+	}
+	defer sub.Close()
+	// The retained seq-1 event must NOT be replayed...
+	select {
+	case m := <-sub.Events:
+		t.Fatalf("fresh subscriber replayed history: %+v", m)
+	case <-time.After(200 * time.Millisecond):
+	}
+	// ...but live traffic flows, under the exact comma name.
+	if _, err := c.Ingest(ctx, []client.Edge{edge(3, 4, "ping"), edge(4, 3, "pong")}); err != nil {
+		t.Fatalf("ingest 2: %v", err)
+	}
+	if m := recvMatch(t, sub); m.Query != oddName || m.Seq != 2 {
+		t.Fatalf("live match = %+v, want query %q seq 2", m, oddName)
+	}
+	// Explicit zero cursors opt back in to the retained history.
+	sub2, err := c.SubscribeOpts(ctx, client.SubscribeOptions{
+		Queries:     []string{oddName},
+		LastEventID: "pp%2Cv2=0",
+	})
+	if err != nil {
+		t.Fatalf("backfill subscribe: %v", err)
+	}
+	defer sub2.Close()
+	if m := recvMatch(t, sub2); m.Seq != 1 {
+		t.Fatalf("backfill first event seq = %d, want 1", m.Seq)
+	}
+	if m := recvMatch(t, sub2); m.Seq != 2 {
+		t.Fatalf("backfill second event seq = %d, want 2", m.Seq)
 	}
 }

@@ -47,6 +47,25 @@ func FastStats(eng Engine) Stats {
 	return eng.Stats()
 }
 
+// subscriptionCounterer reads the results-plane counters straight off
+// the engine's dispatcher — no roster walk, no shard locks.
+type subscriptionCounterer interface {
+	subscriptionCounters() (subs int, delivered, dropped int64)
+}
+
+// SubscriptionCounters reports eng's live results-plane accounting —
+// attached subscriptions, deliveries buffered, deliveries dropped by
+// overflow policies — without taking a stats snapshot. It is the
+// cheap sampler for frequently-scraped delivery gauges; engines that
+// do not implement the fast path fall back to FastStats.
+func SubscriptionCounters(eng Engine) (subs int, delivered, dropped int64) {
+	if sc, ok := eng.(subscriptionCounterer); ok {
+		return sc.subscriptionCounters()
+	}
+	st := FastStats(eng)
+	return st.Subscriptions, st.SubscriptionDelivered, st.SubscriptionDropped
+}
+
 // scalarStatser is the cheapest sampler: FastStats without
 // materializing the per-member Queries map.
 type scalarStatser interface {

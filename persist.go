@@ -60,7 +60,7 @@ func OpenPersistent(q *Query, opts PersistentOptions) (*PersistentSearcher, erro
 		CheckpointEvery: opts.CheckpointEvery,
 		SyncEvery:       opts.SyncEvery,
 		SegmentBytes:    opts.SegmentBytes,
-	}, opts.OnMatch)
+	}, matchSink(opts.OnMatch))
 	if err != nil {
 		return nil, err
 	}

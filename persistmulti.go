@@ -44,7 +44,8 @@ func (o PersistentMultiOptions) durability() *Durability {
 // SpaceBytes) may run concurrently with them.
 //
 // Delivery is at-least-once for post-checkpoint matches, per query
-// (wrap the callback with a MatchDeduper per query for exactly-once).
+// (use MatchDeduper.SeenFor — or, on the unified engine, subscription
+// sequence numbers — for exactly-once).
 //
 // Deprecated: PersistentMultiSearcher is a thin shim over the unified
 // fleet engine. Use Open with Config{Queries: specs, Durable:

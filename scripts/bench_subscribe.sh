@@ -1,0 +1,40 @@
+#!/usr/bin/env sh
+# bench_subscribe.sh — run the results-plane fan-out benchmark and emit
+# the results as BENCH_subscribe.json, so CI (and anyone tracking the
+# perf trajectory) has machine-readable data points for subscription
+# delivery: 1/8/64 subscribers, lossless (block, drained) and
+# load-shedding (dropoldest, stalled) policies.
+#
+# Usage: scripts/bench_subscribe.sh [output.json]
+#   BENCHTIME=2s scripts/bench_subscribe.sh   # longer, more stable runs
+set -eu
+
+out="${1:-BENCH_subscribe.json}"
+benchtime="${BENCHTIME:-1x}"
+
+# Run first, convert second: plain sh has no pipefail, and a benchmark
+# failure must fail this script rather than emit an empty-but-green
+# artifact.
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+go test -run '^$' -bench '^BenchmarkSubscribeFan$' -benchtime "$benchtime" . > "$raw"
+
+awk -v cores="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 0)" '
+    /^BenchmarkSubscribeFan\// {
+      # BenchmarkSubscribeFan/<policy>/subs-<n>-<procs>  iters  ns/op  ... edges/s ... deliveries/s
+      name = $1; iters = $2
+      ns = ""; eps = ""; dps = ""
+      for (i = 3; i < NF; i++) {
+        if ($(i + 1) == "ns/op")        ns = $i
+        if ($(i + 1) == "edges/s")      eps = $i
+        if ($(i + 1) == "deliveries/s") dps = $i
+      }
+      if (n++) printf ",\n"
+      printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"edges_per_s\": %s, \"deliveries_per_s\": %s}", name, iters, ns, eps, dps
+    }
+    BEGIN { if (cores == "") cores = 0; printf "{\n\"cores\": " cores ",\n\"benchmarks\": [\n" }
+    END   { printf "\n]\n}\n" }
+  ' "$raw" > "$out"
+
+echo "wrote $out:"
+cat "$out"

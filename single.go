@@ -9,6 +9,7 @@ import (
 
 	"timingsubg/internal/checkpoint"
 	"timingsubg/internal/core"
+	"timingsubg/internal/dispatch"
 	"timingsubg/internal/graph"
 	"timingsubg/internal/query"
 	"timingsubg/internal/wal"
@@ -25,13 +26,19 @@ type single struct {
 	adapt *Adaptivity // nil = adaptivity off; normalized copy otherwise
 	dur   *Durability // nil = no owned WAL (fleet members stay nil even in durable fleets)
 
-	stream  graph.Windower
-	eng     *core.Engine
-	par     *core.Parallel
-	onMatch func(*Match)
-	// muted suppresses the user callback while derived state is rebuilt
-	// from edges whose matches were already reported (checkpoint
-	// recovery, adaptive rebuilds).
+	stream graph.Windower
+	eng    *core.Engine
+	par    *core.Parallel
+	// disp is the results plane: every reported match is published to
+	// it, and Subscribe attaches consumers at runtime. A standalone
+	// engine owns its dispatcher (ownsDisp); a fleet member shares the
+	// fleet's and publishes under its query name (pubName).
+	disp     *dispatch.Dispatcher
+	pubName  string
+	ownsDisp bool
+	// muted suppresses publication while derived state is rebuilt from
+	// edges whose matches were already reported (checkpoint recovery,
+	// adaptive rebuilds).
 	muted bool
 
 	// Adaptivity state.
@@ -102,12 +109,19 @@ func normAdaptivity(a *Adaptivity) *Adaptivity {
 }
 
 // newSingle builds a non-durable engine (or the in-memory core of a
-// fleet member; durable fleets restore the member's stream afterwards).
-func newSingle(q *Query, o Options, adapt *Adaptivity, onMatch func(*Match)) (*single, error) {
+// fleet member; durable fleets restore the member's stream afterwards,
+// and every member is rebased onto the fleet's dispatcher by
+// newMember). sink, when non-nil, is attached as a synchronous
+// subscription — the Config.OnMatch/OnDelivery and façade-callback
+// shim.
+func newSingle(q *Query, o Options, adapt *Adaptivity, sink func(Delivery)) (*single, error) {
 	if err := validateSingle(q, o, adapt, nil); err != nil {
 		return nil, err
 	}
-	en := &single{q: q, opts: o, adapt: normAdaptivity(adapt), onMatch: onMatch}
+	en := &single{q: q, opts: o, adapt: normAdaptivity(adapt), disp: dispatch.New(), ownsDisp: true}
+	if sink != nil {
+		en.disp.SubscribeFunc(sink)
+	}
 	dec := o.Decomposition
 	if dec == nil {
 		dec = query.Decompose(q)
@@ -131,7 +145,7 @@ func newSingle(q *Query, o Options, adapt *Adaptivity, onMatch func(*Match)) (*s
 // recovering the previous run's state when present: the newest
 // checkpoint's window is rebuilt silently, then the WAL suffix is
 // replayed live.
-func openDurableSingle(q *Query, o Options, adapt *Adaptivity, dur Durability, onMatch func(*Match)) (*single, error) {
+func openDurableSingle(q *Query, o Options, adapt *Adaptivity, dur Durability, sink func(Delivery)) (*single, error) {
 	if err := validateSingle(q, o, adapt, &dur); err != nil {
 		return nil, err
 	}
@@ -152,7 +166,7 @@ func openDurableSingle(q *Query, o Options, adapt *Adaptivity, dur Durability, o
 		return nil, fmt.Errorf("timingsubg: checkpoint window %d != configured window %d: %w",
 			ck.Window, o.Window, ErrBadOptions)
 	}
-	en, err := newSingle(q, o, adapt, onMatch)
+	en, err := newSingle(q, o, adapt, sink)
 	if err != nil {
 		log.Close()
 		return nil, err
@@ -189,6 +203,11 @@ func openDurableSingle(q *Query, o Options, adapt *Adaptivity, dur Durability, o
 // checkpoint.
 func (en *single) restoreCheckpoint(ck checkpoint.Checkpoint) {
 	en.stream = graph.RestoreStream(en.opts.Window, ck.Edges, graph.EdgeID(ck.NextSeq))
+	// Seed the delivery sequence at the checkpointed match count: the
+	// WAL-suffix replay then reassigns each re-reported match the same
+	// sequence number it carried before the crash, which is what makes
+	// SubscribeOptions.AfterSeq a restart-stable dedup cursor.
+	en.disp.SeedSeq(en.pubName, ck.Matches)
 	en.baseMatches.Store(ck.Matches)
 	en.baseDiscarded.Store(ck.Discarded)
 	en.muted = true
@@ -221,21 +240,36 @@ func (en *single) replayRecord(seq int64, e graph.Edge) error {
 }
 
 // newCoreEngine builds the core matching engine under dec, wiring the
-// mute-aware callback.
+// mute-aware publication hook. Every match is published to the
+// dispatcher (core serializes reporting per engine, so per-query
+// publish order is deterministic); muting covers rebuilds from edges
+// whose matches were already reported, so sequence numbers advance
+// exactly once per distinct match.
 func (en *single) newCoreEngine(dec *Decomposition) *core.Engine {
-	var wrapped func(*Match)
-	if cb := en.onMatch; cb != nil {
-		wrapped = func(m *Match) {
-			if !en.muted {
-				cb(m)
-			}
-		}
-	}
 	return core.New(en.q, core.Config{
 		Storage:       en.opts.Storage,
 		Decomposition: dec,
-		OnMatch:       wrapped,
+		OnMatch: func(m *Match) {
+			if !en.muted {
+				en.disp.Publish(en.pubName, m)
+			}
+		},
 	})
+}
+
+// Subscribe implements Engine.
+func (en *single) Subscribe(opts SubscribeOptions) (*Subscription, error) {
+	return subscribeOn(en.disp, opts)
+}
+
+// subscriptionCounters is the lock-light sampler behind
+// SubscriptionCounters. Fleet members report zero — they share the
+// fleet's results plane.
+func (en *single) subscriptionCounters() (int, int64, int64) {
+	if !en.ownsDisp {
+		return 0, 0, 0
+	}
+	return en.disp.Subscribers(), en.disp.Delivered(), en.disp.Dropped()
 }
 
 // push advances the window and processes one edge transaction. It is
@@ -359,8 +393,10 @@ func (en *single) Run(ctx context.Context, edges <-chan Edge) (int64, error) {
 	}, en.Close)
 }
 
-// Close implements Engine: drain in-flight work, checkpoint (durable
-// mode) and close the WAL. Idempotent.
+// Close implements Engine: drain in-flight work, end the engine's own
+// subscriptions, checkpoint (durable mode) and close the WAL.
+// Idempotent. A fleet member shares the fleet's dispatcher and leaves
+// it alone — the fleet owns its results plane.
 func (en *single) Close() error {
 	if en.closed {
 		return nil
@@ -368,6 +404,9 @@ func (en *single) Close() error {
 	en.closed = true
 	if en.par != nil {
 		en.par.Wait()
+	}
+	if en.ownsDisp {
+		en.disp.Close()
 	}
 	if en.log == nil {
 		return nil
@@ -502,6 +541,11 @@ func (en *single) statsFast() Stats {
 	}
 	if en.log != nil {
 		st.WALSeq = en.log.Seq()
+	}
+	if en.ownsDisp {
+		st.Subscriptions = en.disp.Subscribers()
+		st.SubscriptionDelivered = en.disp.Delivered()
+		st.SubscriptionDropped = en.disp.Dropped()
 	}
 	return st
 }

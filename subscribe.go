@@ -1,49 +1,241 @@
 package timingsubg
 
-import "sync"
+import (
+	"errors"
+	"iter"
+	"strconv"
+	"sync"
+
+	"timingsubg/internal/dispatch"
+)
+
+// OverflowPolicy says what happens when a subscription's buffer is
+// full at delivery time. The default, Block, trades ingest throughput
+// for losslessness; the drop policies guarantee that a slow consumer
+// can never stall Feed/FeedBatch.
+type OverflowPolicy = dispatch.Policy
+
+const (
+	// Block applies backpressure: the engine waits for the consumer.
+	// A Block subscriber must keep receiving until its channel closes,
+	// or it stalls ingest (and, on a fleet, can stall Close).
+	Block = dispatch.Block
+	// DropOldest evicts the oldest buffered delivery to admit the new
+	// one — the buffer always holds the newest matches, and ingest
+	// never blocks on this subscriber.
+	DropOldest = dispatch.DropOldest
+	// DropNewest discards the incoming delivery when the buffer is
+	// full — the buffer holds the oldest undelivered matches, and
+	// ingest never blocks on this subscriber.
+	DropNewest = dispatch.DropNewest
+)
+
+// Delivery is one match delivered to a subscription (or to
+// Config.OnDelivery): the query name ("" on single-query engines), the
+// per-query delivery sequence number, and the match itself.
+//
+// Sequence numbers start at 1 per query and are stable for a given
+// stream: a durable engine seeds them from its recovered checkpoint,
+// so a match re-reported by recovery replay carries the same Seq it
+// had before the crash. A consumer that records its per-query
+// high-water mark gets exactly-once delivery across restarts by
+// resubscribing with SubscribeOptions.AfterSeq — the sequence-number
+// successor of MatchDeduper.
+type Delivery = dispatch.Delivery
+
+// SubscribeOptions configures one Engine.Subscribe call.
+type SubscribeOptions struct {
+	// Queries filters the subscription by query name. Nil or empty
+	// subscribes to every query, including queries registered after the
+	// subscription (single-query engines publish under the name "").
+	// A subscription with an explicit filter ends (its channel closes)
+	// when the last of its named queries is removed from a fleet.
+	Queries []string
+	// Buffer is the delivery channel capacity (default 256).
+	Buffer int
+	// Policy is the overflow policy (default Block).
+	Policy OverflowPolicy
+	// AfterSeq holds per-query resume cursors: deliveries for query q
+	// with Seq <= AfterSeq[q] are skipped. Use it to resume after a
+	// consumer restart without re-processing matches already seen.
+	AfterSeq map[string]int64
+}
+
+// SubscriptionStats is one subscription's delivery accounting.
+type SubscriptionStats struct {
+	// Delivered counts matches handed to the subscription's channel.
+	Delivered int64
+	// Dropped counts matches lost to the overflow policy. Always zero
+	// under Block.
+	Dropped int64
+}
+
+// Subscription is one live match consumer, attached to an engine at
+// runtime by Engine.Subscribe and detached by Cancel (or by the engine
+// closing, or — for filtered subscriptions on a fleet — by the last
+// filtered query being removed).
+type Subscription struct {
+	sub *dispatch.Sub
+}
+
+// C is the delivery channel. It closes when the subscription ends;
+// deliveries buffered before that remain readable. Matches received
+// from C are owned by the consumer (they are clones, never scratch).
+func (s *Subscription) C() <-chan Delivery { return s.sub.C() }
+
+// Matches ranges over the subscription as (query, match) pairs — the
+// iterator form of C for Go 1.23+ range-over-func consumers:
+//
+//	for query, m := range sub.Matches() {
+//		alert(query, m)
+//	}
+//
+// The loop ends when the subscription does. Breaking out of the loop
+// cancels the subscription.
+func (s *Subscription) Matches() iter.Seq2[string, *Match] {
+	return func(yield func(string, *Match) bool) {
+		for dv := range s.sub.C() {
+			if !yield(dv.Query, dv.Match) {
+				s.Cancel()
+				return
+			}
+		}
+	}
+}
+
+// Deliveries is Matches with sequence numbers: (query, delivery)
+// pairs for consumers that track resume cursors.
+func (s *Subscription) Deliveries() iter.Seq2[string, Delivery] {
+	return func(yield func(string, Delivery) bool) {
+		for dv := range s.sub.C() {
+			if !yield(dv.Query, dv) {
+				s.Cancel()
+				return
+			}
+		}
+	}
+}
+
+// Cancel detaches the subscription and closes its channel. Idempotent
+// and safe to call concurrently with deliveries; a delivery blocked on
+// this subscription's full buffer is released.
+func (s *Subscription) Cancel() { s.sub.Cancel() }
+
+// Stats returns the subscription's live delivery accounting.
+func (s *Subscription) Stats() SubscriptionStats {
+	st := s.sub.Stats()
+	return SubscriptionStats{Delivered: st.Delivered, Dropped: st.Dropped}
+}
+
+// subscribeOn validates o and attaches a subscription to d on behalf
+// of an engine's Subscribe method.
+func subscribeOn(d *dispatch.Dispatcher, o SubscribeOptions) (*Subscription, error) {
+	switch o.Policy {
+	case Block, DropOldest, DropNewest:
+	default:
+		return nil, errors.Join(ErrBadOptions, errors.New("unknown overflow policy"))
+	}
+	if o.Buffer < 0 {
+		return nil, errors.Join(ErrBadOptions, errors.New("negative subscription buffer"))
+	}
+	if o.Buffer == 0 {
+		o.Buffer = 256
+	}
+	sub := d.Subscribe(dispatch.Options{
+		Queries:  o.Queries,
+		Buffer:   o.Buffer,
+		Policy:   o.Policy,
+		AfterSeq: o.AfterSeq,
+	})
+	if sub == nil {
+		return nil, ErrClosed
+	}
+	return &Subscription{sub: sub}, nil
+}
+
+// configSink folds Config's synchronous delivery hooks (OnMatch,
+// OnDelivery) into one dispatcher fn-subscription, or nil if neither
+// is set.
+func configSink(cfg Config) func(Delivery) {
+	om, od := cfg.OnMatch, cfg.OnDelivery
+	if om == nil && od == nil {
+		return nil
+	}
+	return func(dv Delivery) {
+		if om != nil {
+			om(dv.Query, dv.Match)
+		}
+		if od != nil {
+			od(dv)
+		}
+	}
+}
+
+// matchSink adapts a bare func(*Match) (the deprecated façades'
+// callback shape) to a dispatcher fn-subscription.
+func matchSink(onMatch func(*Match)) func(Delivery) {
+	if onMatch == nil {
+		return nil
+	}
+	return func(dv Delivery) { onMatch(dv.Match) }
+}
 
 // MatchChannel adapts the callback-based OnMatch delivery to a channel,
-// for consumers structured around select loops or pipelines:
-//
-//	onMatch, matches, done := timingsubg.MatchChannel(256)
-//	s, _ := timingsubg.NewSearcher(q, timingsubg.Options{Window: w, OnMatch: onMatch})
-//	go func() {
-//		for m := range matches {
-//			handle(m)
-//		}
-//	}()
-//	feed(s)
-//	s.Close()
-//	done() // closes matches after the last Feed returns
-//
-// The returned callback applies backpressure: when the buffer is full it
+// for consumers structured around select loops or pipelines. The
+// returned callback applies backpressure: when the buffer is full it
 // blocks the engine until the consumer catches up, so no match is ever
-// dropped. Call done exactly once, after the final Feed (and Close, in
-// concurrent mode); calling the callback after done panics, as sending
-// on a closed channel does.
-func MatchChannel(buffer int) (onMatch func(*Match), matches <-chan *Match, done func()) {
+// dropped before done is called. Call done after the final Feed (and
+// Close, in concurrent mode); it closes the channel and returns how
+// many late callback invocations were discarded. A callback invoked
+// after done is a counted no-op — it no longer panics.
+//
+// Deprecated: use Engine.Subscribe, which attaches and detaches at
+// runtime, filters by query, and offers non-blocking overflow policies
+// (SubscribeOptions.Policy). MatchChannel is equivalent to a Block
+// subscription fixed at Open time.
+func MatchChannel(buffer int) (onMatch func(*Match), matches <-chan *Match, done func() int64) {
 	if buffer < 0 {
 		buffer = 0
 	}
 	ch := make(chan *Match, buffer)
-	var once sync.Once
-	return func(m *Match) { ch <- m },
-		ch,
-		func() { once.Do(func() { close(ch) }) }
+	var (
+		mu      sync.Mutex
+		closed  bool
+		dropped int64
+	)
+	onMatch = func(m *Match) {
+		mu.Lock()
+		defer mu.Unlock()
+		if closed {
+			dropped++
+			return
+		}
+		ch <- m
+	}
+	done = func() int64 {
+		mu.Lock()
+		defer mu.Unlock()
+		if !closed {
+			closed = true
+			close(ch)
+		}
+		return dropped
+	}
+	return onMatch, ch, done
 }
 
-// MatchDeduper suppresses duplicate match reports. A PersistentSearcher
+// MatchDeduper suppresses duplicate match reports. A durable engine
 // delivers at-least-once across a crash: matches completed after the
 // last checkpoint may be re-reported during recovery replay. Wrapping
 // the consumer with a deduper restores exactly-once delivery for the
 // retained horizon:
 //
 //	dedup := timingsubg.NewMatchDeduper(1 << 16)
-//	opts.OnMatch = func(m *timingsubg.Match) {
-//		if dedup.Seen(m) {
+//	cfg.OnMatch = func(query string, m *timingsubg.Match) {
+//		if dedup.SeenFor(query, m) {
 //			return
 //		}
-//		alert(m)
+//		alert(query, m)
 //	}
 //
 // The deduper remembers the most recent `capacity` distinct matches
@@ -51,10 +243,16 @@ func MatchChannel(buffer int) (onMatch func(*Match), matches <-chan *Match, done
 // recovery replay can re-deliver — matches completed since the last
 // checkpoint — which CheckpointEvery bounds.
 //
-// Identity is the vector of data-edge IDs bound to the query edges.
-// Edge IDs are WAL sequence numbers in persistent mode, so identity is
-// stable across restarts. A MatchDeduper serves one query; matches of
-// different queries must use separate dedupers.
+// Identity is the query name plus the vector of data-edge IDs bound to
+// the query edges. Edge IDs are WAL sequence numbers in durable mode,
+// so identity is stable across restarts. One deduper may serve a whole
+// fleet through SeenFor; the legacy Seen ties the deduper to a single
+// query.
+//
+// Deprecated: subscription sequence numbers subsume content-identity
+// dedup — they are stable across restarts by construction, need no
+// capacity tuning, and resume with a single integer per query (see
+// Delivery and SubscribeOptions.AfterSeq).
 type MatchDeduper struct {
 	capacity int
 	seen     map[string]struct{}
@@ -74,10 +272,13 @@ func NewMatchDeduper(capacity int) *MatchDeduper {
 	}
 }
 
-// Seen records m and reports whether it was already recorded. Not safe
-// for concurrent use; call from the (serialized) OnMatch callback.
-func (d *MatchDeduper) Seen(m *Match) bool {
-	key := matchIdentity(m)
+// SeenFor records query's match m and reports whether that (query,
+// match) pair was already recorded. Two fleet queries binding the same
+// data edges are distinct entries — the identity is scoped by query
+// name, so one deduper safely serves a whole fleet. Not safe for
+// concurrent use; call from the (serialized) match callback.
+func (d *MatchDeduper) SeenFor(query string, m *Match) bool {
+	key := dedupKey(query, m)
 	if _, dup := d.seen[key]; dup {
 		return true
 	}
@@ -92,13 +293,21 @@ func (d *MatchDeduper) Seen(m *Match) bool {
 	return false
 }
 
+// Seen is SeenFor with an empty query name — the single-query form.
+// Matches of different queries recorded through Seen collide when they
+// bind the same data edges; fleet consumers must use SeenFor.
+func (d *MatchDeduper) Seen(m *Match) bool { return d.SeenFor("", m) }
+
 // Len returns how many distinct matches are currently remembered.
 func (d *MatchDeduper) Len() int { return len(d.order) }
 
-// matchIdentity encodes the bound edge-ID vector. The query-edge order
-// of Match.Edges is fixed per query, so no sorting is needed.
-func matchIdentity(m *Match) string {
-	b := make([]byte, 0, 8*len(m.Edges))
+// dedupKey scopes the edge-ID identity by query name. The name is
+// length-prefixed so no (name, IDs) pair can alias another.
+func dedupKey(query string, m *Match) string {
+	b := make([]byte, 0, len(query)+8+8*len(m.Edges))
+	b = strconv.AppendInt(b, int64(len(query)), 10)
+	b = append(b, ':')
+	b = append(b, query...)
 	for _, e := range m.Edges {
 		id := uint64(e.ID)
 		b = append(b, byte(id), byte(id>>8), byte(id>>16), byte(id>>24),

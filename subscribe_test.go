@@ -152,3 +152,49 @@ func TestDeduperRestoresExactlyOnceAcrossCrash(t *testing.T) {
 		}
 	}
 }
+
+// TestMatchChannelAfterDoneDrops pins the fixed footgun: a callback
+// invoked after done() is a counted no-op, not a panic.
+func TestMatchChannelAfterDoneDrops(t *testing.T) {
+	onMatch, matches, done := MatchChannel(2)
+	m := &Match{Edges: []Edge{{ID: 1}}}
+	onMatch(m)
+	if n := done(); n != 0 {
+		t.Fatalf("dropped = %d before any late callback, want 0", n)
+	}
+	onMatch(m) // late: previously a send on a closed channel (panic)
+	onMatch(m)
+	if n := done(); n != 2 {
+		t.Fatalf("dropped = %d after two late callbacks, want 2", n)
+	}
+	// The pre-done delivery is still readable, then the channel ends.
+	if _, ok := <-matches; !ok {
+		t.Fatal("pre-done match lost")
+	}
+	if _, ok := <-matches; ok {
+		t.Fatal("channel not closed after done")
+	}
+}
+
+// TestMatchDeduperCrossQuery pins the fixed collision: two queries
+// binding the same data edges are distinct identities under SeenFor.
+func TestMatchDeduperCrossQuery(t *testing.T) {
+	d := NewMatchDeduper(8)
+	m := &Match{Edges: []Edge{{ID: 5}, {ID: 9}}}
+	if d.SeenFor("q1", m) {
+		t.Fatal("fresh (q1, match) reported as seen")
+	}
+	if d.SeenFor("q2", m) {
+		t.Fatal("cross-query collision: q2's match shadowed by q1's")
+	}
+	if !d.SeenFor("q1", m) || !d.SeenFor("q2", m) {
+		t.Fatal("per-query duplicates not detected")
+	}
+	// Seen is SeenFor(""): independent of both named queries.
+	if d.Seen(m) {
+		t.Fatal("unnamed-query identity collided with named ones")
+	}
+	if d.Len() != 3 {
+		t.Fatalf("Len = %d, want 3 distinct identities", d.Len())
+	}
+}
