@@ -135,6 +135,13 @@ type Options struct {
 	LockScheme LockScheme
 	// Decomposition overrides the automatic TC decomposition.
 	Decomposition *Decomposition
+
+	// scanProbes disables the MS-tree vertex join indexes on the INSERT
+	// probe paths (core.Config.ScanProbes): every probe scans its whole
+	// expansion-list item. Results are identical; only JoinScanned and
+	// wall clock change. Internal — the equivalence suite and benchmarks
+	// A/B the index against the scan engine with it.
+	scanProbes bool
 }
 
 // ErrBadOptions reports an invalid configuration.

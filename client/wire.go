@@ -133,6 +133,12 @@ type EngineStats struct {
 	PartialMatches  int64   `json:"partial_matches"`
 	SpaceBytes      int64   `json:"space_bytes"`
 	LastTime        int64   `json:"last_time"`
+	// JoinScanned / JoinCandidates expose the engine's join-index
+	// selectivity: stored partial matches visited by INSERT probes vs.
+	// those passing the join-key filter. Equal when the MS-tree vertex
+	// join indexes are doing all the narrowing; the gap is scan work.
+	JoinScanned    int64 `json:"join_scanned,omitempty"`
+	JoinCandidates int64 `json:"join_candidates,omitempty"`
 	K               int     `json:"k,omitempty"`
 	Reoptimizations int     `json:"reoptimizations,omitempty"`
 	WALSeq          int64   `json:"wal_seq,omitempty"`

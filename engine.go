@@ -120,6 +120,19 @@ type Stats struct {
 	// restarts, in durable mode), or 0 before any edge.
 	LastTime Timestamp `json:"last_time"`
 
+	// JoinScanned counts stored partial matches visited by INSERT probe
+	// loops; JoinCandidates counts the visited matches that passed the
+	// join-key filter (equal connecting-vertex binding, or equal shared
+	// bindings in the global cascade). With the MS-tree backend's vertex
+	// join indexes every visited match is a candidate — the two are
+	// equal — while scan-mode and independent-storage engines visit
+	// whole expansion-list items, so candidates/scanned is the index's
+	// observed selectivity. Process-local (reset by a restart, and
+	// including re-joins performed by adaptive rebuilds and checkpoint
+	// restores, which do real work).
+	JoinScanned    int64 `json:"join_scanned,omitempty"`
+	JoinCandidates int64 `json:"join_candidates,omitempty"`
+
 	// K is the size of the TC decomposition in use (0 for fleets; see
 	// Queries for the per-member value).
 	K int `json:"k,omitempty"`
@@ -264,6 +277,11 @@ type Config struct {
 	// Durable composes write-ahead logging and checkpointed recovery.
 	Durable *Durability
 
+	// scanProbes forces full-item INSERT probe scans (see
+	// Options.scanProbes); fleet members inherit it. Internal ablation
+	// knob for the join-index equivalence suite.
+	scanProbes bool
+
 	// OnMatch receives every complete match with the name of the query
 	// that matched ("" in single-query mode); it may be nil when only
 	// counters are needed. The callback is serialized per query engine
@@ -316,6 +334,7 @@ func Open(cfg Config) (Engine, error) {
 		Workers:       cfg.Workers,
 		LockScheme:    cfg.LockScheme,
 		Decomposition: cfg.Decomposition,
+		scanProbes:    cfg.scanProbes,
 	}
 	sink := configSink(cfg)
 	if cfg.Durable != nil {

@@ -115,6 +115,9 @@ func (fl *fleetEngine) memberOptions(spec QuerySpec) Options {
 	if o.LockScheme == FineGrained {
 		o.LockScheme = fl.defaults.LockScheme
 	}
+	if fl.defaults.scanProbes {
+		o.scanProbes = true
+	}
 	return o
 }
 
@@ -992,6 +995,8 @@ func (fl *fleetEngine) stats(memberStats func(*single) Stats, withQueries bool) 
 		st.InWindow += ms.InWindow
 		st.PartialMatches += ms.PartialMatches
 		st.SpaceBytes += ms.SpaceBytes
+		st.JoinScanned += ms.JoinScanned
+		st.JoinCandidates += ms.JoinCandidates
 		st.Reoptimizations += ms.Reoptimizations
 		if withQueries {
 			st.Queries[fl.names[slot]] = ms

@@ -1,11 +1,14 @@
 package core
 
 import (
+	"fmt"
 	"testing"
 
+	"timingsubg/internal/datagen"
 	"timingsubg/internal/graph"
 	"timingsubg/internal/match"
 	"timingsubg/internal/query"
+	"timingsubg/internal/querygen"
 )
 
 // benchQuery builds a 2-subquery decomposition query (a→b ≺-chained pair
@@ -77,6 +80,51 @@ func BenchmarkInsertPlan(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if len(eng.InsertPlan(d)) == 0 {
 			b.Fatal("edge should match")
+		}
+	}
+}
+
+// BenchmarkInsertIngest measures the full INSERT/DELETE hot path on the
+// paper's datagen workloads, one cell per dataset × probe mode: a fixed
+// stream is driven through a sliding window per iteration, so ns/op is
+// end-to-end stream time. The indexed/scan pair is the join-index A/B —
+// scripts/bench_core.sh runs it and emits BENCH_core.json with the
+// per-dataset speedup, the CI artifact tracking the ingest trajectory.
+func BenchmarkInsertIngest(b *testing.B) {
+	const nEdges = 10000
+	const window = 1200
+	for _, ds := range datagen.Datasets() {
+		labels := graph.NewLabels()
+		gen := datagen.New(ds, labels, datagen.Config{Vertices: 120, Seed: 7})
+		edges := gen.Take(nEdges)
+		q, _, err := querygen.Generate(edges[:2000], querygen.Config{
+			Size: 4, Order: querygen.FullOrder, Seed: 11})
+		if err != nil {
+			b.Logf("%s: no query generated: %v", ds, err)
+			continue
+		}
+		for _, mode := range []struct {
+			name string
+			scan bool
+		}{{"indexed", false}, {"scan", true}} {
+			b.Run(fmt.Sprintf("%s/%s", ds, mode.name), func(b *testing.B) {
+				b.ReportAllocs()
+				var matches int64
+				for i := 0; i < b.N; i++ {
+					eng := New(q, Config{ScanProbes: mode.scan})
+					st := graph.NewStream(window)
+					for _, e := range edges {
+						stored, expired, err := st.Push(e)
+						if err != nil {
+							b.Fatal(err)
+						}
+						eng.Process(stored, expired)
+					}
+					matches = eng.Stats().Matches.Load()
+				}
+				b.ReportMetric(float64(nEdges)*float64(b.N)/b.Elapsed().Seconds(), "edges/s")
+				b.ReportMetric(float64(matches), "matches")
+			})
 		}
 	}
 }

@@ -42,6 +42,12 @@ type Config struct {
 	// The match is owned by the callback. In concurrent mode the callback
 	// is serialized by the engine.
 	OnMatch func(*match.Match)
+	// ScanProbes disables the vertex join indexes on the probe paths:
+	// every INSERT probe scans the whole expansion-list item, as the
+	// engine did before the indexes existed. It is the index ablation
+	// switch — equivalence tests and the bench harness A/B the two modes;
+	// results are identical, only JoinScanned (and wall clock) differ.
+	ScanProbes bool
 }
 
 // Stats holds engine counters. All fields are updated atomically so they
@@ -51,15 +57,40 @@ type Stats struct {
 	EdgesOut   atomic.Int64 // delete operations processed
 	Discarded  atomic.Int64 // incoming edges filtered as discardable
 	Matches    atomic.Int64 // complete matches reported
-	JoinOps    atomic.Int64 // compatibility joins performed
 	PartialIns atomic.Int64 // partial matches inserted
 	PartialDel atomic.Int64 // partial matches deleted
+
+	// Join-index selectivity (these replace the old JoinOps counter,
+	// whose visited-pair semantics JoinScanned carries on): JoinScanned
+	// counts stored partial matches visited by INSERT probe loops;
+	// JoinCandidates counts the visited matches that pass the join-key
+	// filter (equal connecting-vertex binding, or equal shared bindings
+	// in the global cascade) and therefore get a full compatibility
+	// evaluation. With the vertex join indexes on (MSTree storage,
+	// ScanProbes off) every visited match is a candidate — scanned ==
+	// candidates, the probe cost the index reduces from O(item) to
+	// O(candidates); scan-mode and independent-storage engines visit
+	// whole items, so the gap between the two is exactly the work the
+	// index saves.
+	JoinScanned    atomic.Int64
+	JoinCandidates atomic.Int64
 }
 
 // edgeLoc places a query edge inside the decomposition.
 type edgeLoc struct {
 	sub int // 1-based TC-subquery index
 	pos int // 1-based position in the timing sequence
+}
+
+// insertProbe is the precomputed join key for extending a prefix with a
+// data edge bound to one query edge at sequence position p > 1: every
+// stored match of the prefix binds the connecting query vertex cv, and
+// only prefixes whose binding equals the incoming edge's corresponding
+// endpoint (From when useFrom) can possibly extend — the hash key the
+// expansion lists index their interior items by.
+type insertProbe struct {
+	cv      query.VertexID
+	useFrom bool
 }
 
 // Engine is the continuous time-constrained subgraph search engine.
@@ -71,7 +102,17 @@ type Engine struct {
 	subs   []explist.SubList
 	global explist.GlobalList // nil when the decomposition has one subquery
 	loc    []edgeLoc          // indexed by query.EdgeID
+	probes []insertProbe      // indexed by query.EdgeID; valid for pos > 1
 	joins  []levelJoin        // join metadata for global items 2..k
+
+	// scanProbes forces full-item probe scans (Config.ScanProbes).
+	scanProbes bool
+
+	// mpool recycles match objects through the insert hot path; scratch
+	// recycles the per-call probe buffers. Both are sync.Pools so
+	// concurrent transactions (Workers > 1) never share state.
+	mpool   sync.Pool
+	scratch sync.Pool
 
 	onMatch func(*match.Match)
 	emitMu  sync.Mutex
@@ -85,11 +126,19 @@ func New(q *query.Query, cfg Config) *Engine {
 	if dec == nil {
 		dec = query.Decompose(q)
 	}
-	e := &Engine{q: q, dec: dec, onMatch: cfg.OnMatch}
+	e := &Engine{q: q, dec: dec, onMatch: cfg.OnMatch, scanProbes: cfg.ScanProbes}
 	e.loc = make([]edgeLoc, q.NumEdges())
+	e.probes = make([]insertProbe, q.NumEdges())
 	for si, sub := range dec.Subqueries {
 		for pi, qe := range sub.Seq {
 			e.loc[qe] = edgeLoc{sub: si + 1, pos: pi + 1}
+			if pi >= 1 {
+				cv, useFrom, ok := sub.ConnectingVertex(q, pi+1)
+				if !ok {
+					panic("core: timing sequence position has no connecting vertex")
+				}
+				e.probes[qe] = insertProbe{cv: cv, useFrom: useFrom}
+			}
 		}
 	}
 	for _, sub := range dec.Subqueries {
@@ -106,9 +155,78 @@ func New(q *query.Query, cfg Config) *Engine {
 			e.global = explist.NewTreeGlobalList(q, dec)
 		}
 		e.joins = buildJoins(q, dec)
+		// Key every stored join side by the shared bindings of the join
+		// level it feeds: sub-list x's complete matches are the right
+		// side of join x (sub-list 1's doubling as L₀¹, the left side of
+		// join 2, which shares joins[2]); global item ℓ < k is the left
+		// side of join ℓ+1.
+		sharedByJoin := make([][]query.VertexID, dec.K()+1)
+		for x := 2; x <= dec.K(); x++ {
+			sharedByJoin[x] = e.joins[x].shared
+		}
+		e.subs[0].SetJoinKey(sharedByJoin[2])
+		for x := 2; x <= dec.K(); x++ {
+			e.subs[x-1].SetJoinKey(sharedByJoin[x])
+		}
+		e.global.SetJoinKeys(sharedByJoin)
 	}
 	return e
 }
+
+// ---------------------------------------------------------------------
+// Hot-path allocation pools
+// ---------------------------------------------------------------------
+
+// insertScratch holds one insert transaction's reusable buffers.
+type insertScratch struct {
+	qes     []query.EdgeID
+	parents []pair
+	delta   []pair
+	pairs   []joined
+}
+
+func (e *Engine) getScratch() *insertScratch {
+	if v := e.scratch.Get(); v != nil {
+		return v.(*insertScratch)
+	}
+	return &insertScratch{}
+}
+
+// putScratch returns sc to the pool with its backing arrays cleared so
+// pooled scratch never pins dead matches or tree nodes.
+func (e *Engine) putScratch(sc *insertScratch) {
+	clear(sc.parents[:cap(sc.parents)])
+	clear(sc.delta[:cap(sc.delta)])
+	clear(sc.pairs[:cap(sc.pairs)])
+	sc.parents, sc.delta, sc.pairs = sc.parents[:0], sc.delta[:0], sc.pairs[:0]
+	e.scratch.Put(sc)
+}
+
+// getEmptyMatch returns a pooled match with no bindings.
+func (e *Engine) getEmptyMatch() *match.Match {
+	if v := e.mpool.Get(); v != nil {
+		m := v.(*match.Match)
+		m.Reset()
+		return m
+	}
+	return match.New(e.q)
+}
+
+// cloneMatch returns a pooled copy of src.
+func (e *Engine) cloneMatch(src *match.Match) *match.Match {
+	var m *match.Match
+	if v := e.mpool.Get(); v != nil {
+		m = v.(*match.Match)
+	} else {
+		m = match.New(e.q)
+	}
+	m.CopyFrom(src)
+	return m
+}
+
+// putMatch recycles a match the engine still owns. Matches handed to
+// the OnMatch callback are owned by the callback and never recycled.
+func (e *Engine) putMatch(m *match.Match) { e.mpool.Put(m) }
 
 // Query returns the engine's query.
 func (e *Engine) Query() *query.Query { return e.q }
@@ -193,33 +311,60 @@ func (e *Engine) globalReadItem(lvl int) lock.ItemID {
 
 func (e *Engine) runInsert(d graph.Edge, lk lock.Locker) {
 	e.stats.EdgesIn.Add(1)
+	sc := e.getScratch()
+	defer e.putScratch(sc)
+	var scanned, candidates int64
 	contributed := false
-	for _, qe := range e.q.MatchingEdges(d) {
+	sc.qes = e.q.MatchingEdgesInto(d, sc.qes)
+	for _, qe := range sc.qes {
 		s, p := e.loc[qe].sub, e.loc[qe].pos
 		sub := e.subs[s-1]
 		depth := sub.Depth()
 
-		var delta []pair
+		delta := sc.delta[:0]
 		if p == 1 {
-			probe := match.New(e.q)
+			probe := e.getEmptyMatch()
 			lk.Acquire(item(s, 1), lock.X)
-			if probe.CanBind(e.q, qe, d) {
+			if probe.CanBindPrescreened(e.q, qe, d) {
 				if h := sub.Insert(1, nil, d); h != nil {
 					probe.Bind(e.q, qe, d)
 					delta = append(delta, pair{h, probe})
+					probe = nil
 				}
 			}
 			lk.Release(item(s, 1), lock.X)
+			if probe != nil {
+				e.putMatch(probe)
+			}
 		} else {
-			var parents []pair
-			lk.Acquire(item(s, p-1), lock.S)
-			sub.Each(p-1, func(h explist.Handle, m *match.Match) bool {
-				e.stats.JoinOps.Add(1)
-				if m.CanBind(e.q, qe, d) {
-					parents = append(parents, pair{h, m.Clone()})
+			// The incoming edge pins the connecting query vertex's
+			// binding to one of its endpoints: only stored prefixes with
+			// that exact binding can extend, so probe by key instead of
+			// scanning the whole item (the flat backend, and scan mode,
+			// still visit everything — the key check then filters).
+			pb := e.probes[qe]
+			key := d.To
+			if pb.useFrom {
+				key = d.From
+			}
+			parents := sc.parents[:0]
+			probe := func(h explist.Handle, m *match.Match) bool {
+				scanned++
+				if m.Vtx[pb.cv] != key {
+					return true
+				}
+				candidates++
+				if m.CanBindPrescreened(e.q, qe, d) {
+					parents = append(parents, pair{h, e.cloneMatch(m)})
 				}
 				return true
-			})
+			}
+			lk.Acquire(item(s, p-1), lock.S)
+			if e.scanProbes {
+				sub.Each(p-1, probe)
+			} else {
+				sub.EachCandidate(p-1, key, probe)
+			}
 			lk.Release(item(s, p-1), lock.S)
 
 			lk.Acquire(item(s, p), lock.X)
@@ -227,9 +372,12 @@ func (e *Engine) runInsert(d graph.Edge, lk lock.Locker) {
 				if h := sub.Insert(p, pr.h, d); h != nil {
 					pr.m.Bind(e.q, qe, d)
 					delta = append(delta, pair{h, pr.m})
+				} else {
+					e.putMatch(pr.m)
 				}
 			}
 			lk.Release(item(s, p), lock.X)
+			sc.parents = parents[:0]
 		}
 		e.stats.PartialIns.Add(int64(len(delta)))
 		if len(delta) > 0 {
@@ -239,13 +387,28 @@ func (e *Engine) runInsert(d graph.Edge, lk lock.Locker) {
 		if p == depth {
 			if e.K() == 1 {
 				e.emit(delta)
+				delta = delta[:0]
 			} else {
-				e.cascade(s, delta, lk)
+				e.cascade(s, delta, sc, lk, &scanned, &candidates)
+				for _, dp := range delta {
+					e.putMatch(dp.m)
+				}
+			}
+		} else {
+			for _, dp := range delta {
+				e.putMatch(dp.m)
 			}
 		}
+		sc.delta = delta[:0]
 	}
 	if !contributed {
 		e.stats.Discarded.Add(1)
+	}
+	if scanned > 0 {
+		e.stats.JoinScanned.Add(scanned)
+	}
+	if candidates > 0 {
+		e.stats.JoinCandidates.Add(candidates)
 	}
 }
 
@@ -260,72 +423,134 @@ type joined struct {
 // cascade joins fresh complete matches of subquery s into the global
 // list and onward through Q^{s+1}..Q^k (Algorithm 1 lines 11-24). It
 // walks every planned item even when delta drains to empty, so the lock
-// schedule matches the dispatched plan. Compatibility is evaluated
-// during the read phase with the precomputed per-level join metadata, so
-// only genuinely joinable rows are materialized.
-func (e *Engine) cascade(s int, delta []pair, lk lock.Locker) {
+// schedule matches the dispatched plan. Each delta row probes the
+// stored side by its shared-binding fingerprint, so only stored matches
+// agreeing on the join's shared vertices are ever materialized;
+// compatibility's remaining checks run per candidate with the
+// precomputed per-level join metadata. The caller retains ownership of
+// delta's matches; every intermediate match cascade allocates is
+// recycled, and the final results are handed to emit.
+func (e *Engine) cascade(s int, delta []pair, sc *insertScratch, lk lock.Locker, scanned, candidates *int64) {
 	k := e.K()
 	deltaG := delta
+	owned := false // deltaG was allocated by this cascade (not the caller)
+	advance := func(old []pair, next []pair) {
+		if owned {
+			for _, d := range old {
+				e.putMatch(d.m)
+			}
+		}
+		owned = true
+		deltaG = next
+	}
 	if s > 1 {
 		// New Q^s matches join with the stored prefix Ω(L₀^{s-1}):
 		// the stored side is the LEFT side of join level s.
-		var pairs []joined
+		pairs := sc.pairs[:0]
 		ri := e.globalReadItem(s - 1)
 		j := &e.joins[s]
+		consider := func(lh explist.Handle, left *match.Match, d pair) {
+			*scanned++
+			if !j.sharedEqual(left, d.m) {
+				return
+			}
+			*candidates++
+			if j.compatibleTail(left, d.m) {
+				nm := e.cloneMatch(left)
+				nm.MergeInPlace(d.m)
+				pairs = append(pairs, joined{lh: lh, rh: d.h, m: nm})
+			}
+		}
 		lk.Acquire(ri, lock.S)
-		if len(deltaG) > 0 {
-			e.eachGlobal(s-1, func(lh explist.Handle, left *match.Match) bool {
-				for _, d := range deltaG {
-					e.stats.JoinOps.Add(1)
-					if j.compatible(left, d.m) {
-						pairs = append(pairs, joined{lh: lh, rh: d.h, m: left.Merge(d.m)})
+		if e.scanProbes {
+			// One pass over the stored item, delta rows inner — each
+			// stored match is materialized once, so the scan ablation
+			// measures scan cost, not redundant re-materialization.
+			if len(deltaG) > 0 {
+				e.eachGlobal(s-1, func(lh explist.Handle, left *match.Match) bool {
+					for _, d := range deltaG {
+						consider(lh, left, d)
 					}
-				}
-				return true
-			})
+					return true
+				})
+			}
+		} else {
+			for _, d := range deltaG {
+				fp := explist.JoinFingerprint(d.m, j.shared)
+				e.eachGlobalCandidate(s-1, fp, func(lh explist.Handle, left *match.Match) bool {
+					consider(lh, left, d)
+					return true
+				})
+			}
 		}
 		lk.Release(ri, lock.S)
 
 		lk.Acquire(item(0, s), lock.X)
-		deltaG = e.insertJoined(s, pairs)
+		out := e.insertJoined(s, pairs)
 		lk.Release(item(0, s), lock.X)
+		advance(deltaG, out)
+		sc.pairs = pairs[:0]
 	}
 	for x := s + 1; x <= k; x++ {
 		// The accumulated prefix deltaG joins with stored Ω(Q^x): the
 		// stored side is the RIGHT side of join level x.
-		var pairs []joined
+		pairs := sc.pairs[:0]
 		ri := item(x, e.subs[x-1].Depth())
 		j := &e.joins[x]
+		consider := func(rh explist.Handle, right *match.Match, d pair) {
+			*scanned++
+			if !j.sharedEqual(d.m, right) {
+				return
+			}
+			*candidates++
+			if j.compatibleTail(d.m, right) {
+				nm := e.cloneMatch(d.m)
+				nm.MergeInPlace(right)
+				pairs = append(pairs, joined{lh: d.h, rh: rh, m: nm})
+			}
+		}
 		lk.Acquire(ri, lock.S)
-		if len(deltaG) > 0 {
-			e.subs[x-1].Each(e.subs[x-1].Depth(), func(rh explist.Handle, right *match.Match) bool {
-				for _, d := range deltaG {
-					e.stats.JoinOps.Add(1)
-					if j.compatible(d.m, right) {
-						pairs = append(pairs, joined{lh: d.h, rh: rh, m: d.m.Merge(right)})
+		if e.scanProbes {
+			if len(deltaG) > 0 {
+				e.subs[x-1].Each(e.subs[x-1].Depth(), func(rh explist.Handle, right *match.Match) bool {
+					for _, d := range deltaG {
+						consider(rh, right, d)
 					}
-				}
-				return true
-			})
+					return true
+				})
+			}
+		} else {
+			for _, d := range deltaG {
+				fp := explist.JoinFingerprint(d.m, j.shared)
+				e.subs[x-1].EachJoinCandidate(fp, func(rh explist.Handle, right *match.Match) bool {
+					consider(rh, right, d)
+					return true
+				})
+			}
 		}
 		lk.Release(ri, lock.S)
 
 		lk.Acquire(item(0, x), lock.X)
-		deltaG = e.insertJoined(x, pairs)
+		out := e.insertJoined(x, pairs)
 		lk.Release(item(0, x), lock.X)
+		advance(deltaG, out)
+		sc.pairs = pairs[:0]
 	}
 	if k > 1 {
 		e.emit(deltaG)
 	}
 }
 
-// insertJoined stores pre-joined pairs at global item lvl. The caller
-// holds the X lock on item(0, lvl).
+// insertJoined stores pre-joined pairs at global item lvl, recycling
+// the merged match when a side died concurrently. The caller holds the
+// X lock on item(0, lvl).
 func (e *Engine) insertJoined(lvl int, pairs []joined) []pair {
 	var out []pair
 	for _, p := range pairs {
 		if h := e.global.Insert(lvl, p.lh, p.rh); h != nil {
 			out = append(out, pair{h, p.m})
+		} else {
+			e.putMatch(p.m)
 		}
 	}
 	e.stats.PartialIns.Add(int64(len(out)))
@@ -341,14 +566,28 @@ func (e *Engine) eachGlobal(lvl int, fn func(explist.Handle, *match.Match) bool)
 	e.global.Each(lvl, fn)
 }
 
+// eachGlobalCandidate is eachGlobal restricted to stored matches whose
+// shared-binding fingerprint equals fp, resolving the L₀¹ alias.
+func (e *Engine) eachGlobalCandidate(lvl int, fp uint64, fn func(explist.Handle, *match.Match) bool) {
+	if lvl == 1 {
+		e.subs[0].EachJoinCandidate(fp, fn)
+		return
+	}
+	e.global.EachCandidate(lvl, fp, fn)
+}
+
 // emit reports complete matches. The callback is serialized so user code
-// never needs its own locking.
+// never needs its own locking; reported matches are owned by the
+// callback. Without a callback the matches return to the pool.
 func (e *Engine) emit(results []pair) {
 	if len(results) == 0 {
 		return
 	}
 	e.stats.Matches.Add(int64(len(results)))
 	if e.onMatch == nil {
+		for _, r := range results {
+			e.putMatch(r.m)
+		}
 		return
 	}
 	e.emitMu.Lock()

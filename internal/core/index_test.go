@@ -1,0 +1,141 @@
+package core_test
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+
+	"timingsubg/internal/core"
+	"timingsubg/internal/datagen"
+	"timingsubg/internal/graph"
+	"timingsubg/internal/match"
+	"timingsubg/internal/querygen"
+)
+
+// indexRun drives one datagen stream through an engine configuration
+// and returns its sorted match keys plus the final counters.
+func indexRun(t *testing.T, storage core.Storage, scanProbes bool, ds datagen.Dataset, trial int) ([]string, *core.Stats, bool) {
+	t.Helper()
+	labels := graph.NewLabels()
+	gen := datagen.New(ds, labels, datagen.Config{Vertices: 80, Seed: int64(trial*31 + 5)})
+	edges := gen.Take(1200)
+	q, _, err := querygen.Generate(edges[:500], querygen.Config{
+		Size: 4, Order: querygen.RandomOrder, Seed: int64(trial*7 + 1)})
+	if err != nil {
+		return nil, nil, false
+	}
+	var keys []string
+	eng := core.New(q, core.Config{
+		Storage:    storage,
+		ScanProbes: scanProbes,
+		OnMatch:    func(m *match.Match) { keys = append(keys, m.Key()) },
+	})
+	runStream(t, edges, 300, eng.Process)
+	sort.Strings(keys)
+	return keys, eng.Stats(), true
+}
+
+// TestIndexEquivalenceAndSelectivity is the join-index acceptance
+// property: across both storage backends and both probe modes the
+// engines must report identical match sets and identical
+// Matches/PartialIns/PartialDel/JoinCandidates counters — the
+// index changes which stored matches are *visited*, never which are
+// candidates or how results form. On the indexed MS-tree engine every
+// visited match must be a genuine candidate (scanned == candidates);
+// the scan engines quantify what the index skips (scanned ≥
+// candidates, strictly greater whenever any probe had non-candidates).
+func TestIndexEquivalenceAndSelectivity(t *testing.T) {
+	type mode struct {
+		name       string
+		storage    core.Storage
+		scanProbes bool
+	}
+	modes := []mode{
+		{"mstree-indexed", core.MSTree, false},
+		{"mstree-scan", core.MSTree, true},
+		{"independent-indexed", core.Independent, false}, // flat backend keeps scan semantics
+		{"independent-scan", core.Independent, true},
+	}
+	anySelective := false
+	for _, ds := range datagen.Datasets() {
+		for trial := 0; trial < 3; trial++ {
+			refKeys, refStats, ok := indexRun(t, modes[0].storage, modes[0].scanProbes, ds, trial)
+			if !ok {
+				continue
+			}
+			if refStats.JoinScanned.Load() != refStats.JoinCandidates.Load() {
+				t.Errorf("%s/%d: indexed engine visited non-candidates: scanned=%d candidates=%d",
+					ds, trial, refStats.JoinScanned.Load(), refStats.JoinCandidates.Load())
+			}
+			for _, m := range modes[1:] {
+				keys, st, ok := indexRun(t, m.storage, m.scanProbes, ds, trial)
+				if !ok {
+					t.Fatalf("%s/%d: reference generated a query but %s did not", ds, trial, m.name)
+				}
+				diffKeys(t, fmt.Sprintf("%s/%d/%s", ds, trial, m.name), refKeys, keys)
+				if st.Matches.Load() != refStats.Matches.Load() ||
+					st.PartialIns.Load() != refStats.PartialIns.Load() ||
+					st.PartialDel.Load() != refStats.PartialDel.Load() ||
+					st.JoinCandidates.Load() != refStats.JoinCandidates.Load() {
+					t.Errorf("%s/%d/%s: counters diverge from indexed engine:\n  got  matches=%d ins=%d del=%d cand=%d\n  want matches=%d ins=%d del=%d cand=%d",
+						ds, trial, m.name,
+						st.Matches.Load(), st.PartialIns.Load(), st.PartialDel.Load(), st.JoinCandidates.Load(),
+						refStats.Matches.Load(), refStats.PartialIns.Load(), refStats.PartialDel.Load(), refStats.JoinCandidates.Load())
+				}
+				if st.JoinScanned.Load() < st.JoinCandidates.Load() {
+					t.Errorf("%s/%d/%s: scanned %d < candidates %d", ds, trial, m.name,
+						st.JoinScanned.Load(), st.JoinCandidates.Load())
+				}
+				if st.JoinScanned.Load() > st.JoinCandidates.Load() {
+					anySelective = true
+				}
+			}
+		}
+	}
+	if !anySelective {
+		t.Error("no workload exercised index selectivity (scan engines never visited a non-candidate); the property test is vacuous")
+	}
+}
+
+// TestIndexParallelChurn is the -race variant: concurrent transactions
+// (insert + expiry cascades) hammer the per-level join indexes under
+// the fine-grained protocol; the lock discipline must keep index
+// mutation exclusive with candidate probes, and results must equal the
+// serial indexed engine's.
+func TestIndexParallelChurn(t *testing.T) {
+	for trial := 0; trial < 2; trial++ {
+		for _, ds := range datagen.Datasets() {
+			labels := graph.NewLabels()
+			gen := datagen.New(ds, labels, datagen.Config{Vertices: 60, Seed: int64(trial*13 + 9)})
+			edges := gen.Take(900)
+			q, _, err := querygen.Generate(edges[:400], querygen.Config{
+				Size: 4, Order: querygen.RandomOrder, Seed: int64(trial*5 + 2)})
+			if err != nil {
+				continue
+			}
+			var serial []string
+			ser := core.New(q, core.Config{OnMatch: func(m *match.Match) {
+				serial = append(serial, m.Key())
+			}})
+			runStream(t, edges, 200, ser.Process)
+			sort.Strings(serial)
+
+			var mu sync.Mutex
+			var conc []string
+			eng := core.New(q, core.Config{OnMatch: func(m *match.Match) {
+				mu.Lock()
+				conc = append(conc, m.Key())
+				mu.Unlock()
+			}})
+			par := core.NewParallel(eng, core.FineGrained, 4)
+			runStream(t, edges, 200, par.Process)
+			par.Wait()
+			sort.Strings(conc)
+			diffKeys(t, fmt.Sprintf("churn/%s/%d", ds, trial), serial, conc)
+			if got, want := eng.Stats().JoinScanned.Load(), eng.Stats().JoinCandidates.Load(); got != want {
+				t.Errorf("churn/%s/%d: parallel indexed engine scanned %d != candidates %d", ds, trial, got, want)
+			}
+		}
+	}
+}

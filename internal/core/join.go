@@ -122,11 +122,25 @@ func edgesCouldShareData(q *query.Query, a, b query.EdgeID) bool {
 // matches with the expected bound-edge masks but touches only the
 // necessary fields.
 func (j *levelJoin) compatible(left, right *match.Match) bool {
+	return j.sharedEqual(left, right) && j.compatibleTail(left, right)
+}
+
+// sharedEqual checks only the shared-vertex binding agreement — the
+// equality the fingerprint index guarantees for its candidates, and the
+// definition of a "genuine candidate" for the JoinCandidates counter.
+func (j *levelJoin) sharedEqual(left, right *match.Match) bool {
 	for _, v := range j.shared {
 		if left.Vtx[v] != right.Vtx[v] {
 			return false
 		}
 	}
+	return true
+}
+
+// compatibleTail applies the remaining checks after sharedEqual:
+// injectivity of newly bound vertices, cross timing constraints and
+// (when structurally possible) data-edge reuse.
+func (j *levelJoin) compatibleTail(left, right *match.Match) bool {
 	for _, v := range j.newV {
 		rv := right.Vtx[v]
 		for _, lv := range j.leftV {

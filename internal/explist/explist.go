@@ -6,9 +6,20 @@
 // Two storage backends exist: the MS-tree backend (the paper's Timing
 // system) and an independent backend that stores every partial match as a
 // standalone copy (the paper's Timing-IND ablation).
+//
+// The MS-tree backend additionally maintains per-item vertex join
+// indexes so the engine's INSERT probes are O(candidates) instead of
+// O(item): interior items are bucketed by the binding of the item's
+// connecting query vertex (the vertex an extending data edge must agree
+// on), and last items / global items by the shared-binding fingerprint
+// of the join they feed. The independent backend keeps the paper's
+// Timing-IND scan semantics: its candidate enumerators visit every
+// stored match.
 package explist
 
 import (
+	"sync"
+
 	"timingsubg/internal/graph"
 	"timingsubg/internal/match"
 	"timingsubg/internal/mstree"
@@ -31,6 +42,23 @@ type SubList interface {
 	// false. The *match.Match passed to fn is scratch reused across
 	// iterations; fn must Clone it to retain it.
 	Each(lvl int, fn func(h Handle, m *match.Match) bool)
+	// EachCandidate calls fn with each stored match of interior item lvl
+	// (1 ≤ lvl < Depth()) whose binding of the item's connecting query
+	// vertex — ConnectingVertex(lvl+1) — equals v. The MS-tree backend
+	// resolves this with an index lookup; the independent backend scans
+	// the whole item (callers re-check the binding either way). Scratch
+	// semantics match Each.
+	EachCandidate(lvl int, v graph.VertexID, fn func(h Handle, m *match.Match) bool)
+	// EachJoinCandidate calls fn with each stored match of the LAST item
+	// whose shared-binding fingerprint (JoinFingerprint over the shared
+	// vertex set installed by SetJoinKey) equals fp. Backend semantics
+	// and scratch rules are as in EachCandidate.
+	EachJoinCandidate(fp uint64, fn func(h Handle, m *match.Match) bool)
+	// SetJoinKey installs the shared query-vertex set of the global join
+	// this sub-list's complete matches feed, enabling the last item's
+	// fingerprint index. Must be called before any insert; the
+	// independent backend ignores it.
+	SetJoinKey(shared []query.VertexID)
 	// Insert stores the match obtained by extending parent with data edge
 	// e (bound to the lvl-th sequence edge); parent is nil for lvl 1.
 	// It returns nil if the parent died concurrently.
@@ -58,6 +86,18 @@ type GlobalList interface {
 	// Each calls fn with each stored match of item lvl (≥ 2). The match
 	// is scratch reused across iterations; Clone to retain.
 	Each(lvl int, fn func(h Handle, m *match.Match) bool)
+	// EachCandidate calls fn with each stored match of item lvl whose
+	// shared-binding fingerprint for join level lvl+1 (the shared sets
+	// installed by SetJoinKeys) equals fp. The MS-tree backend indexes;
+	// the independent backend scans. Scratch semantics match Each.
+	EachCandidate(lvl int, fp uint64, fn func(h Handle, m *match.Match) bool)
+	// SetJoinKeys installs the per-join shared query-vertex sets:
+	// sharedByJoin[x] is the shared set of global join level x (2..k).
+	// Item lvl (2 ≤ lvl < k) is then indexed by the fingerprint of
+	// sharedByJoin[lvl+1] — the join its stored matches are the left
+	// side of. Must be called before any insert; the independent backend
+	// ignores it.
+	SetJoinKeys(sharedByJoin [][]query.VertexID)
 	// Insert stores the join of parent (an item lvl−1 handle; for lvl ==
 	// 2 a handle from the first sub-list's last item) with the submatch
 	// of Q^lvl identified by sub (a handle from sub-list lvl's last
@@ -75,19 +115,127 @@ type GlobalList interface {
 }
 
 // ---------------------------------------------------------------------
+// Join fingerprints
+// ---------------------------------------------------------------------
+
+// FNV-1a constants; the fingerprint must be computed identically by the
+// engine (from a materialized match) and the storage backends (from
+// stored paths), so both fold bindings through fpMix in shared-set
+// order.
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+// fpMix folds one vertex binding into a running FNV-1a hash.
+func fpMix(h uint64, v graph.VertexID) uint64 {
+	u := uint64(v)
+	for i := 0; i < 8; i++ {
+		h ^= u & 0xff
+		h *= fnvPrime
+		u >>= 8
+	}
+	return h
+}
+
+// JoinFingerprint hashes m's bindings of the shared query vertices of a
+// join level, in slice order. Two matches with equal shared bindings
+// always collide (the index must return every genuine candidate); hash
+// collisions between different bindings are harmless — the engine
+// re-checks full compatibility per candidate. An empty shared set
+// yields a constant: every stored match is a candidate (the join is a
+// cross product) and the index degrades to a scan of one bucket.
+func JoinFingerprint(m *match.Match, shared []query.VertexID) uint64 {
+	h := fnvOffset
+	for _, v := range shared {
+		h = fpMix(h, m.Vtx[v])
+	}
+	return h
+}
+
+// ---------------------------------------------------------------------
 // MS-tree backend
 // ---------------------------------------------------------------------
 
-// TreeSubList is the MS-tree backed SubList.
-type TreeSubList struct {
-	q    *query.Query
-	sub  *query.TCSubquery
-	tree *mstree.Tree
+// eachScratch is the reusable materialization buffer for Each-style
+// enumerations; pooled so concurrent shared-lock readers never share
+// state and steady-state probes allocate nothing.
+type eachScratch struct {
+	m    *match.Match
+	ebuf []graph.Edge
 }
 
-// NewTreeSubList returns an MS-tree backed expansion list for sub.
+// TreeSubList is the MS-tree backed SubList.
+type TreeSubList struct {
+	q       *query.Query
+	sub     *query.TCSubquery
+	tree    *mstree.Tree
+	scratch sync.Pool
+}
+
+// NewTreeSubList returns an MS-tree backed expansion list for sub, with
+// every interior item indexed by the binding of its connecting query
+// vertex: item ℓ < |Qi| is only ever probed by an insert at position
+// ℓ+1, whose data edge pins that binding to one of its endpoints.
 func NewTreeSubList(q *query.Query, sub *query.TCSubquery) *TreeSubList {
-	return &TreeSubList{q: q, sub: sub, tree: mstree.New(sub.Len())}
+	l := &TreeSubList{q: q, sub: sub, tree: mstree.New(sub.Len())}
+	l.scratch.New = func() any { return &eachScratch{m: match.New(q)} }
+	for lvl := 1; lvl < sub.Len(); lvl++ {
+		cv, _, ok := sub.ConnectingVertex(q, lvl+1)
+		if !ok {
+			continue
+		}
+		pos, isFrom, ok := sub.BindingSource(q, cv, lvl)
+		if !ok {
+			continue // unreachable: the connecting vertex is in the prefix
+		}
+		l.tree.SetLevelKey(lvl, pathVertexKey(pos, isFrom))
+	}
+	return l
+}
+
+// pathVertexKey returns a key function extracting the From/To endpoint
+// of a node's ancestor at sequence position pos (1-based). The walk
+// touches only immutable payload fields.
+func pathVertexKey(pos int, isFrom bool) func(*mstree.Node) uint64 {
+	src := pathSource{pos: pos, isFrom: isFrom}
+	return func(n *mstree.Node) uint64 { return uint64(src.extract(n)) }
+}
+
+// SetJoinKey implements SubList: the last item is indexed by the
+// fingerprint of the stored match's bindings of shared.
+func (l *TreeSubList) SetJoinKey(shared []query.VertexID) {
+	srcs := make([]pathSource, len(shared))
+	for i, v := range shared {
+		pos, isFrom, ok := l.sub.BindingSource(l.q, v, l.sub.Len())
+		if !ok {
+			panic("explist: shared join vertex not bound by subquery")
+		}
+		srcs[i] = pathSource{pos: pos, isFrom: isFrom}
+	}
+	l.tree.SetLevelKey(l.sub.Len(), func(n *mstree.Node) uint64 {
+		h := fnvOffset
+		for _, s := range srcs {
+			h = fpMix(h, s.extract(n))
+		}
+		return h
+	})
+}
+
+// pathSource locates one vertex binding inside a sub-tree path.
+type pathSource struct {
+	pos    int
+	isFrom bool
+}
+
+func (s pathSource) extract(n *mstree.Node) graph.VertexID {
+	for n.Level > s.pos {
+		n = n.Parent
+	}
+	if s.isFrom {
+		return n.Edge.From
+	}
+	return n.Edge.To
 }
 
 // Tree exposes the underlying MS-tree for tests and space audits.
@@ -99,18 +247,47 @@ func (l *TreeSubList) Depth() int { return l.sub.Len() }
 // Count implements SubList.
 func (l *TreeSubList) Count(lvl int) int { return l.tree.Count(lvl) }
 
-// Each implements SubList. Scratch buffers are per call so concurrent
-// shared-lock readers never share state.
+// Each implements SubList. Scratch buffers are pooled per call so
+// concurrent shared-lock readers never share state.
 func (l *TreeSubList) Each(lvl int, fn func(Handle, *match.Match) bool) {
-	var scratch *match.Match
-	var ebuf []graph.Edge
+	var sc *eachScratch
 	l.tree.Each(lvl, func(n *mstree.Node) bool {
-		if scratch == nil {
-			scratch = match.New(l.q)
+		if sc == nil {
+			sc = l.scratch.Get().(*eachScratch)
 		}
-		ebuf = l.fill(scratch, n, ebuf)
-		return fn(n, scratch)
+		sc.ebuf = l.fill(sc.m, n, sc.ebuf)
+		return fn(n, sc.m)
 	})
+	if sc != nil {
+		l.scratch.Put(sc)
+	}
+}
+
+// EachCandidate implements SubList: an index lookup on the interior
+// item's connecting-vertex buckets; only genuine candidates are
+// materialized.
+func (l *TreeSubList) EachCandidate(lvl int, v graph.VertexID, fn func(Handle, *match.Match) bool) {
+	l.eachCandidateKey(lvl, uint64(v), fn)
+}
+
+// EachJoinCandidate implements SubList: a fingerprint lookup on the
+// last item.
+func (l *TreeSubList) EachJoinCandidate(fp uint64, fn func(Handle, *match.Match) bool) {
+	l.eachCandidateKey(l.sub.Len(), fp, fn)
+}
+
+func (l *TreeSubList) eachCandidateKey(lvl int, key uint64, fn func(Handle, *match.Match) bool) {
+	var sc *eachScratch
+	l.tree.EachCandidate(lvl, key, func(n *mstree.Node) bool {
+		if sc == nil {
+			sc = l.scratch.Get().(*eachScratch)
+		}
+		sc.ebuf = l.fill(sc.m, n, sc.ebuf)
+		return fn(n, sc.m)
+	})
+	if sc != nil {
+		l.scratch.Put(sc)
+	}
 }
 
 // Materialize implements SubList.
@@ -124,7 +301,7 @@ func (l *TreeSubList) Materialize(_ int, h Handle) *match.Match {
 // path, reusing ebuf; it returns the (possibly grown) buffer.
 func (l *TreeSubList) fill(m *match.Match, n *mstree.Node, ebuf []graph.Edge) []graph.Edge {
 	ebuf = n.PathEdges(ebuf)
-	resetMatch(m)
+	m.Reset()
 	for pos, d := range ebuf {
 		m.Bind(l.q, l.sub.Seq[pos], d)
 	}
@@ -157,14 +334,78 @@ func (l *TreeSubList) SpaceBytes() int64 { return l.tree.SpaceBytes() }
 // complete-submatch leaves in the sub-lists' trees rather than copies
 // (Section IV-A).
 type TreeGlobalList struct {
-	q    *query.Query
-	dec  *query.Decomposition
-	tree *mstree.Tree
+	q       *query.Query
+	dec     *query.Decomposition
+	tree    *mstree.Tree
+	scratch sync.Pool
 }
 
 // NewTreeGlobalList returns an MS-tree backed L₀ for the decomposition.
 func NewTreeGlobalList(q *query.Query, dec *query.Decomposition) *TreeGlobalList {
-	return &TreeGlobalList{q: q, dec: dec, tree: mstree.New(dec.K())}
+	g := &TreeGlobalList{q: q, dec: dec, tree: mstree.New(dec.K())}
+	g.scratch.New = func() any { return &eachScratch{m: match.New(q)} }
+	return g
+}
+
+// SetJoinKeys implements GlobalList: item lvl (2 ≤ lvl < k) is indexed
+// by the fingerprint of its matches' bindings of sharedByJoin[lvl+1] —
+// the shared vertex set of the join level those matches feed as the
+// stored left side. Item k is never probed and stays unindexed.
+func (g *TreeGlobalList) SetJoinKeys(sharedByJoin [][]query.VertexID) {
+	for lvl := 2; lvl < g.dec.K(); lvl++ {
+		shared := sharedByJoin[lvl+1]
+		srcs := make([]globalSource, len(shared))
+		for i, v := range shared {
+			srcs[i] = g.locate(v, lvl)
+		}
+		g.tree.SetLevelKey(lvl, func(n *mstree.Node) uint64 {
+			h := fnvOffset
+			for _, s := range srcs {
+				h = fpMix(h, s.extract(n))
+			}
+			return h
+		})
+	}
+}
+
+// globalSource locates one vertex binding inside a global node's
+// composite match: the 1-based TC-subquery holding the vertex and the
+// position/endpoint within that subquery's path.
+type globalSource struct {
+	subIdx int
+	pathSource
+}
+
+// locate finds where the prefix Q¹..Q^maxSub binds query vertex v.
+func (g *TreeGlobalList) locate(v query.VertexID, maxSub int) globalSource {
+	for s := 1; s <= maxSub; s++ {
+		sub := g.dec.Subqueries[s-1]
+		if pos, isFrom, ok := sub.BindingSource(g.q, v, sub.Len()); ok {
+			return globalSource{subIdx: s, pathSource: pathSource{pos: pos, isFrom: isFrom}}
+		}
+	}
+	panic("explist: shared join vertex not bound by global prefix")
+}
+
+// extract reads the binding from a global node at level ≥ subIdx by
+// navigating to the referenced sub-tree leaf: global parents chain down
+// to item 2, whose Parent is a leaf of the first sub-list's tree, and
+// each item x's Sub points at a leaf of sub-tree x. Only immutable
+// payload fields are read.
+func (s globalSource) extract(n *mstree.Node) graph.VertexID {
+	var leaf *mstree.Node
+	if s.subIdx >= 2 {
+		for n.Level > s.subIdx {
+			n = n.Parent
+		}
+		leaf = n.Sub
+	} else {
+		for n.Level > 2 {
+			n = n.Parent
+		}
+		leaf = n.Parent
+	}
+	return s.pathSource.extract(leaf)
 }
 
 // Tree exposes the underlying MS-tree for tests and space audits.
@@ -178,15 +419,33 @@ func (g *TreeGlobalList) Count(lvl int) int { return g.tree.Count(lvl) }
 
 // Each implements GlobalList.
 func (g *TreeGlobalList) Each(lvl int, fn func(Handle, *match.Match) bool) {
-	var scratch *match.Match
-	var ebuf []graph.Edge
+	var sc *eachScratch
 	g.tree.Each(lvl, func(n *mstree.Node) bool {
-		if scratch == nil {
-			scratch = match.New(g.q)
+		if sc == nil {
+			sc = g.scratch.Get().(*eachScratch)
 		}
-		ebuf = g.fill(scratch, n, ebuf)
-		return fn(n, scratch)
+		sc.ebuf = g.fill(sc.m, n, sc.ebuf)
+		return fn(n, sc.m)
 	})
+	if sc != nil {
+		g.scratch.Put(sc)
+	}
+}
+
+// EachCandidate implements GlobalList: a fingerprint lookup on item
+// lvl's shared-binding buckets.
+func (g *TreeGlobalList) EachCandidate(lvl int, fp uint64, fn func(Handle, *match.Match) bool) {
+	var sc *eachScratch
+	g.tree.EachCandidate(lvl, fp, func(n *mstree.Node) bool {
+		if sc == nil {
+			sc = g.scratch.Get().(*eachScratch)
+		}
+		sc.ebuf = g.fill(sc.m, n, sc.ebuf)
+		return fn(n, sc.m)
+	})
+	if sc != nil {
+		g.scratch.Put(sc)
+	}
 }
 
 // Materialize implements GlobalList.
@@ -200,7 +459,7 @@ func (g *TreeGlobalList) Materialize(_ int, h Handle) *match.Match {
 // down to item 2, whose parent is a leaf of the first sub-list's tree,
 // binding each referenced submatch's path along the way.
 func (g *TreeGlobalList) fill(m *match.Match, n *mstree.Node, ebuf []graph.Edge) []graph.Edge {
-	resetMatch(m)
+	m.Reset()
 	cur := n
 	for lvl := n.Level; lvl >= 2; lvl-- {
 		ebuf = g.bindSub(m, lvl, cur.Sub, ebuf)
@@ -265,14 +524,4 @@ func toHandles(ns []*mstree.Node) []Handle {
 		out[i] = n
 	}
 	return out
-}
-
-func resetMatch(m *match.Match) {
-	for i := range m.Vtx {
-		m.Vtx[i] = match.Unbound
-	}
-	for i := range m.Edges {
-		m.Edges[i].ID = match.NoEdge
-	}
-	m.EdgeMask = 0
 }

@@ -109,6 +109,22 @@ func (l *FlatSubList) Each(lvl int, fn func(Handle, *match.Match) bool) {
 	l.items[lvl-1].each(fn)
 }
 
+// EachCandidate implements SubList. Independent storage keeps the
+// paper's Timing-IND scan semantics: every stored match is visited and
+// the caller's own key check does the narrowing.
+func (l *FlatSubList) EachCandidate(lvl int, _ graph.VertexID, fn func(Handle, *match.Match) bool) {
+	l.items[lvl-1].each(fn)
+}
+
+// EachJoinCandidate implements SubList: a scan of the last item.
+func (l *FlatSubList) EachJoinCandidate(_ uint64, fn func(Handle, *match.Match) bool) {
+	l.items[len(l.items)-1].each(fn)
+}
+
+// SetJoinKey implements SubList as a no-op: the scan backend has no
+// index to key.
+func (l *FlatSubList) SetJoinKey([]query.VertexID) {}
+
 // Materialize implements SubList.
 func (l *FlatSubList) Materialize(_ int, h Handle) *match.Match {
 	return h.(*flatEntry).m.Clone()
@@ -168,6 +184,14 @@ func (g *FlatGlobalList) Count(lvl int) int { return g.items[lvl-1].count }
 func (g *FlatGlobalList) Each(lvl int, fn func(Handle, *match.Match) bool) {
 	g.items[lvl-1].each(fn)
 }
+
+// EachCandidate implements GlobalList: a scan (Timing-IND semantics).
+func (g *FlatGlobalList) EachCandidate(lvl int, _ uint64, fn func(Handle, *match.Match) bool) {
+	g.items[lvl-1].each(fn)
+}
+
+// SetJoinKeys implements GlobalList as a no-op.
+func (g *FlatGlobalList) SetJoinKeys([][]query.VertexID) {}
 
 // Materialize implements GlobalList.
 func (g *FlatGlobalList) Materialize(_ int, h Handle) *match.Match {

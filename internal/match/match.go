@@ -7,6 +7,7 @@ package match
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"strings"
 
@@ -56,6 +57,26 @@ func (m *Match) Clone() *Match {
 	}
 }
 
+// Reset clears every binding, returning m to the state New produces.
+// Pools of scratch matches reset before reuse instead of reallocating.
+func (m *Match) Reset() {
+	for i := range m.Vtx {
+		m.Vtx[i] = Unbound
+	}
+	for i := range m.Edges {
+		m.Edges[i].ID = NoEdge
+	}
+	m.EdgeMask = 0
+}
+
+// CopyFrom overwrites m with src's bindings without allocating. Both
+// matches must be built for the same query.
+func (m *Match) CopyFrom(src *Match) {
+	copy(m.Vtx, src.Vtx)
+	copy(m.Edges, src.Edges)
+	m.EdgeMask = src.EdgeMask
+}
+
 // NumBoundEdges returns how many query edges are bound.
 func (m *Match) NumBoundEdges() int {
 	n := 0
@@ -66,9 +87,11 @@ func (m *Match) NumBoundEdges() int {
 }
 
 // HasDataEdge reports whether data edge id is already used by the match.
+// The scan is EdgeMask-guided: only bound query edges are inspected, so
+// a sparse partial match costs O(bound) rather than O(|E(Q)|).
 func (m *Match) HasDataEdge(id graph.EdgeID) bool {
-	for i := range m.Edges {
-		if m.Edges[i].ID == id {
+	for mask := m.EdgeMask; mask != 0; mask &= mask - 1 {
+		if m.Edges[bits.TrailingZeros64(mask)].ID == id {
 			return true
 		}
 	}
@@ -76,20 +99,27 @@ func (m *Match) HasDataEdge(id graph.EdgeID) bool {
 }
 
 // hasDataVertex reports whether data vertex v is in the binding image,
-// excluding query vertices listed in except.
-func (m *Match) hasDataVertex(v graph.VertexID, except ...query.VertexID) bool {
-	for qv, dv := range m.Vtx {
-		if dv != v {
-			continue
-		}
-		skip := false
+// excluding query vertices listed in except. Every bound query vertex
+// is an endpoint of at least one bound query edge (Bind sets both
+// endpoints; Unbind clears unsupported vertices), so the check walks
+// the EdgeMask-guided bound edges instead of scanning all of Vtx.
+func (m *Match) hasDataVertex(q *query.Query, v graph.VertexID, except ...query.VertexID) bool {
+	excepted := func(qv query.VertexID) bool {
 		for _, ex := range except {
-			if query.VertexID(qv) == ex {
-				skip = true
-				break
+			if qv == ex {
+				return true
 			}
 		}
-		if !skip {
+		return false
+	}
+	for mask := m.EdgeMask; mask != 0; mask &= mask - 1 {
+		qe := query.EdgeID(bits.TrailingZeros64(mask))
+		e := q.Edge(qe)
+		d := m.Edges[qe]
+		if d.From == v && !excepted(e.From) {
+			return true
+		}
+		if d.To == v && !excepted(e.To) {
 			return true
 		}
 	}
@@ -101,18 +131,27 @@ func (m *Match) hasDataVertex(v graph.VertexID, except ...query.VertexID) bool {
 // binding, no reuse of d, and all timing constraints between qe and
 // already-bound edges.
 func (m *Match) CanBind(q *query.Query, qe query.EdgeID, d graph.Edge) bool {
-	return m.canBind(q, qe, d, true)
+	return m.canBind(q, qe, d, true, true)
+}
+
+// CanBindPrescreened is CanBind for callers that already know
+// q.MatchesData(qe, d) holds — typically because qe came out of
+// q.MatchingEdges(d) — so the redundant label re-check is skipped. The
+// engine's probe loops run it once per candidate; everything except the
+// label screen is still verified.
+func (m *Match) CanBindPrescreened(q *query.Query, qe query.EdgeID, d graph.Edge) bool {
+	return m.canBind(q, qe, d, true, false)
 }
 
 // CanBindStructural is CanBind without the timing-order check. Static
 // isomorphism baselines use it and verify timing as a post-filter, the
 // way the paper runs SJ-tree and IncMat (Section VII-C).
 func (m *Match) CanBindStructural(q *query.Query, qe query.EdgeID, d graph.Edge) bool {
-	return m.canBind(q, qe, d, false)
+	return m.canBind(q, qe, d, false, true)
 }
 
-func (m *Match) canBind(q *query.Query, qe query.EdgeID, d graph.Edge, timing bool) bool {
-	if !q.MatchesData(qe, d) {
+func (m *Match) canBind(q *query.Query, qe query.EdgeID, d graph.Edge, timing, screen bool) bool {
+	if screen && !q.MatchesData(qe, d) {
 		return false
 	}
 	e := q.Edge(qe)
@@ -131,7 +170,7 @@ func (m *Match) canBind(q *query.Query, qe query.EdgeID, d graph.Edge, timing bo
 		return false
 	}
 	// Injectivity for newly bound vertices.
-	if bf == Unbound && m.hasDataVertex(d.From) {
+	if bf == Unbound && m.hasDataVertex(q, d.From) {
 		return false
 	}
 	if bt == Unbound && e.From != e.To {
@@ -139,7 +178,7 @@ func (m *Match) canBind(q *query.Query, qe query.EdgeID, d graph.Edge, timing bo
 			// Distinct query vertices must map to distinct data vertices.
 			return false
 		}
-		if m.hasDataVertex(d.To) {
+		if m.hasDataVertex(q, d.To) {
 			return false
 		}
 	}

@@ -55,6 +55,14 @@ type Node struct {
 	firstChild       *Node
 	nextSib, prevSib *Node
 
+	// join-index bookkeeping (levels with a key function only, see
+	// Tree.SetLevelKey): joinKey is the node's key, computed once at
+	// insertion; keySlot is its position inside the key's bucket so
+	// removal is O(1) swap-delete. Both are owned by the node's level —
+	// touched only under its item lock, like the other level structures.
+	joinKey uint64
+	keySlot int
+
 	// dead marks a partially removed node (Fig. 14): gone from its level
 	// list and its parent's child list, but Parent/Edge/Sub remain valid
 	// for in-flight earlier readers.

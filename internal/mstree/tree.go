@@ -24,6 +24,18 @@ type level struct {
 	// depIdx maps a foreign submatch leaf to this level's nodes whose Sub
 	// points at it (global trees only).
 	depIdx map[*Node][]*Node
+	// joinIdx buckets this level's live nodes by join key — the binding
+	// of the level's connecting query vertex (sub-trees) or the
+	// shared-binding fingerprint of the level's join (last items and
+	// global levels). It makes the INSERT probe O(candidates) instead of
+	// O(level). nil until SetLevelKey installs keyOf; owned by this
+	// level's item lock like every other level structure, and cleaned as
+	// nodes die (each casualty is swap-deleted from its bucket while the
+	// deleter holds the level's exclusive lock).
+	joinIdx map[uint64][]*Node
+	// keyOf computes a node's join key from its immutable payload
+	// (parent/sub chains); set once before any insert.
+	keyOf func(*Node) uint64
 }
 
 // New returns a tree with the given number of levels (≥ 1).
@@ -38,6 +50,49 @@ func New(depth int) *Tree {
 
 // Depth returns the number of levels.
 func (t *Tree) Depth() int { return len(t.levels) }
+
+// SetLevelKey installs the join-key function for level lvl and enables
+// its join index. It must be called before any insert reaches the level
+// (expansion lists configure their trees at construction). keyOf may
+// only read the node's immutable payload (Parent/Edge/Sub/Level chains).
+func (t *Tree) SetLevelKey(lvl int, keyOf func(*Node) uint64) {
+	lv := &t.levels[lvl-1]
+	lv.keyOf = keyOf
+	lv.joinIdx = make(map[uint64][]*Node)
+}
+
+// indexJoinKey computes and records n's join key. Caller holds the
+// level's item lock (inserts always do).
+func (lv *level) indexJoinKey(n *Node) {
+	if lv.keyOf == nil {
+		return
+	}
+	k := lv.keyOf(n)
+	n.joinKey = k
+	n.keySlot = len(lv.joinIdx[k])
+	lv.joinIdx[k] = append(lv.joinIdx[k], n)
+}
+
+// dropJoinKey swap-deletes n from its join-index bucket. Caller holds
+// the level's exclusive item lock (all death paths run in DeleteLevel).
+func (lv *level) dropJoinKey(n *Node) {
+	if lv.keyOf == nil {
+		return
+	}
+	b := lv.joinIdx[n.joinKey]
+	last := len(b) - 1
+	if n.keySlot > last || b[n.keySlot] != n {
+		return // already dropped
+	}
+	b[n.keySlot] = b[last]
+	b[n.keySlot].keySlot = n.keySlot
+	b[last] = nil
+	if last == 0 {
+		delete(lv.joinIdx, n.joinKey)
+	} else {
+		lv.joinIdx[n.joinKey] = b[:last]
+	}
+}
 
 // Count returns the number of live nodes (= partial matches) at level
 // lvl (1-based).
@@ -70,6 +125,7 @@ func (t *Tree) InsertEdge(lvl int, parent *Node, e graph.Edge) *Node {
 	t.attach(n, parent)
 	lv := &t.levels[lvl-1]
 	lv.edgeIdx[e.ID] = append(lv.edgeIdx[e.ID], n)
+	lv.indexJoinKey(n)
 	return n
 }
 
@@ -84,6 +140,7 @@ func (t *Tree) InsertSub(lvl int, parent, sub *Node) *Node {
 	t.attach(n, parent)
 	lv := &t.levels[lvl-1]
 	lv.depIdx[sub] = append(lv.depIdx[sub], n)
+	lv.indexJoinKey(n)
 	return n
 }
 
@@ -109,6 +166,28 @@ func (t *Tree) attach(n *Node, parent *Node) {
 // Each calls fn for every live node at level lvl until fn returns false.
 func (t *Tree) Each(lvl int, fn func(*Node) bool) {
 	for n := t.levels[lvl-1].head; n != nil; n = n.nextLvl {
+		if !fn(n) {
+			return
+		}
+	}
+}
+
+// EachCandidate calls fn for every live node at level lvl whose join key
+// equals key, until fn returns false. On a level without a join index it
+// degrades to Each — the caller's filter still sees every node, just
+// without the index narrowing. Dead nodes are skipped: a later-
+// timestamped deleter may have overtaken the read under Fig. 14's
+// partial-removal protocol.
+func (t *Tree) EachCandidate(lvl int, key uint64, fn func(*Node) bool) {
+	lv := &t.levels[lvl-1]
+	if lv.keyOf == nil {
+		t.Each(lvl, fn)
+		return
+	}
+	for _, n := range lv.joinIdx[key] {
+		if n.Dead() {
+			continue
+		}
 		if !fn(n) {
 			return
 		}
@@ -183,6 +262,7 @@ func (t *Tree) partialRemoveKeepSib(n *Node) {
 		lv.tail = n.prevLvl
 	}
 	n.nextLvl, n.prevLvl = nil, nil
+	lv.dropJoinKey(n)
 	n.dead.Store(true)
 	lv.count--
 }
@@ -207,6 +287,7 @@ func (t *Tree) SpaceBytes() int64 {
 		b += int64(t.levels[i].count) * nodeSz
 		b += int64(len(t.levels[i].edgeIdx)) * 48
 		b += int64(len(t.levels[i].depIdx)) * 48
+		b += int64(len(t.levels[i].joinIdx)) * 48
 	}
 	return b
 }

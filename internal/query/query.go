@@ -324,7 +324,13 @@ func (q *Query) MatchesData(id EdgeID, d graph.Edge) bool {
 // MatchingEdges returns the query edges that data edge d can match, in ID
 // order.
 func (q *Query) MatchingEdges(d graph.Edge) []EdgeID {
-	var out []EdgeID
+	return q.MatchingEdgesInto(d, nil)
+}
+
+// MatchingEdgesInto is MatchingEdges appending into buf[:0], so per-edge
+// hot paths can reuse one buffer across calls.
+func (q *Query) MatchingEdgesInto(d graph.Edge, buf []EdgeID) []EdgeID {
+	out := buf[:0]
 	for i := range q.edges {
 		if q.MatchesData(EdgeID(i), d) {
 			out = append(out, EdgeID(i))

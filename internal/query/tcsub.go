@@ -30,6 +30,58 @@ func (t *TCSubquery) Pos(e EdgeID) int {
 	return -1
 }
 
+// ConnectingVertex returns the query vertex shared between the pos-th
+// sequence edge (1-based, pos ≥ 2) and its prefix {ε₁..ε_{pos−1}},
+// together with whether that vertex is the From endpoint of the pos-th
+// edge. Prefix connectivity (Definition 7) guarantees such a vertex
+// exists; when both endpoints touch the prefix, From wins
+// deterministically. A stored match of the prefix binds every prefix
+// vertex, so an incoming data edge can only extend prefixes whose
+// binding of the connecting vertex equals the data edge's corresponding
+// endpoint — the key the engine's vertex join indexes probe by.
+// ok is false for pos ≤ 1 (the first sequence edge has no prefix).
+func (t *TCSubquery) ConnectingVertex(q *Query, pos int) (v VertexID, useFrom bool, ok bool) {
+	if pos <= 1 || pos > len(t.Seq) {
+		return 0, false, false
+	}
+	e := q.Edge(t.Seq[pos-1])
+	for _, pe := range t.Seq[:pos-1] {
+		p := q.Edge(pe)
+		if p.From == e.From || p.To == e.From {
+			return e.From, true, true
+		}
+	}
+	for _, pe := range t.Seq[:pos-1] {
+		p := q.Edge(pe)
+		if p.From == e.To || p.To == e.To {
+			return e.To, false, true
+		}
+	}
+	panic("query: timing sequence prefix is not connected")
+}
+
+// BindingSource locates, within the subquery, where a match of the
+// prefix {ε₁..ε_maxPos} binds query vertex v: the smallest 1-based
+// sequence position whose edge touches v, and whether v is that edge's
+// From endpoint. ok is false when no edge of the prefix touches v.
+// Storage backends use it to extract index keys from stored paths
+// without materializing the match.
+func (t *TCSubquery) BindingSource(q *Query, v VertexID, maxPos int) (pos int, isFrom bool, ok bool) {
+	if maxPos > len(t.Seq) {
+		maxPos = len(t.Seq)
+	}
+	for j := 0; j < maxPos; j++ {
+		e := q.Edge(t.Seq[j])
+		if e.From == v {
+			return j + 1, true, true
+		}
+		if e.To == v {
+			return j + 1, false, true
+		}
+	}
+	return 0, false, false
+}
+
 // MaxQueryEdges bounds the number of edges a query may have for the TC
 // machinery, which uses 64-bit edge masks.
 const MaxQueryEdges = 64

@@ -413,6 +413,8 @@ func clientStats(st timingsubg.Stats) client.EngineStats {
 		PartialMatches:  st.PartialMatches,
 		SpaceBytes:      st.SpaceBytes,
 		LastTime:        int64(st.LastTime),
+		JoinScanned:     st.JoinScanned,
+		JoinCandidates:  st.JoinCandidates,
 		K:               st.K,
 		Reoptimizations: st.Reoptimizations,
 		WALSeq:          st.WALSeq,

@@ -1,0 +1,175 @@
+package timingsubg
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+
+	"timingsubg/internal/datagen"
+	"timingsubg/internal/querygen"
+)
+
+// The join-index equivalence suite: the MS-tree vertex join indexes (and
+// the scan-mode ablation behind Config.scanProbes) are pure performance —
+// every engine composition must report identical per-query match sets
+// and identical result counters whether probes are indexed or scanned,
+// on either storage backend, at any fleet worker count. Deeper counter
+// equivalence (PartialIns/PartialDel/JoinCandidates) is asserted per stream in
+// internal/core's TestIndexEquivalenceAndSelectivity; this layer proves
+// the public compositions — including sharded fleets, where shard
+// workers race expiry cascades against candidate probes — inherit it.
+
+// equivFleetRun feeds one stream to a fleet composition and returns the
+// sorted per-query match keys plus the final snapshot.
+func equivFleetRun(t *testing.T, cfg Config, specs []QuerySpec, edges []Edge, batch int) (map[string][]string, Stats) {
+	t.Helper()
+	var mu sync.Mutex
+	got := map[string][]string{}
+	cfg.Queries = specs
+	cfg.Window = 300
+	cfg.OnMatch = func(query string, m *Match) {
+		mu.Lock()
+		got[query] = append(got[query], m.Key())
+		mu.Unlock()
+	}
+	eng, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch > 0 {
+		feedChunks(t, eng, edges, batch)
+	} else {
+		feedEach(t, eng, edges)
+	}
+	st := eng.Stats()
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for name := range got {
+		sort.Strings(got[name])
+	}
+	return got, st
+}
+
+// equivSpecs generates a 3-query roster from the stream prefix.
+func equivSpecs(t *testing.T, edges []Edge) []QuerySpec {
+	t.Helper()
+	var specs []QuerySpec
+	for i, size := range []int{3, 4, 4} {
+		q, _, err := querygen.Generate(edges[:500], querygen.Config{
+			Size: size, Order: querygen.RandomOrder, Seed: int64(i*19 + 3)})
+		if err != nil {
+			continue
+		}
+		specs = append(specs, QuerySpec{Name: fmt.Sprintf("q%d", i), Query: q})
+	}
+	if len(specs) < 2 {
+		t.Skip("stream prefix yielded too few queries")
+	}
+	return specs
+}
+
+func TestJoinIndexEquivalenceFleet(t *testing.T) {
+	for _, ds := range datagen.Datasets() {
+		t.Run(ds.String(), func(t *testing.T) {
+			labels := NewLabels()
+			gen := datagen.New(ds, labels, datagen.Config{Vertices: 90, Seed: 41})
+			edges := gen.Take(1500)
+			specs := equivSpecs(t, edges)
+
+			refKeys, refStats := equivFleetRun(t, Config{}, specs, edges, 0)
+			total := 0
+			for _, ks := range refKeys {
+				total += len(ks)
+			}
+			if total == 0 {
+				t.Skip("degenerate workload: no matches")
+			}
+			if refStats.JoinScanned != refStats.JoinCandidates {
+				t.Errorf("indexed fleet visited non-candidates: scanned=%d candidates=%d",
+					refStats.JoinScanned, refStats.JoinCandidates)
+			}
+
+			for _, tc := range []struct {
+				name  string
+				cfg   Config
+				batch int
+			}{
+				{name: "scan", cfg: Config{scanProbes: true}},
+				{name: "independent", cfg: Config{Storage: Independent}},
+				{name: "independent-scan", cfg: Config{Storage: Independent, scanProbes: true}},
+				{name: "workers4", cfg: Config{FleetWorkers: 4}, batch: 128},
+				{name: "workers4-scan", cfg: Config{FleetWorkers: 4, scanProbes: true}, batch: 128},
+			} {
+				t.Run(tc.name, func(t *testing.T) {
+					keys, st := equivFleetRun(t, tc.cfg, specs, edges, tc.batch)
+					if len(keys) != len(refKeys) {
+						t.Fatalf("per-query sets: got %d queries, want %d", len(keys), len(refKeys))
+					}
+					for name, want := range refKeys {
+						got := keys[name]
+						if len(got) != len(want) {
+							t.Errorf("query %s: %d matches, want %d", name, len(got), len(want))
+							continue
+						}
+						for i := range want {
+							if got[i] != want[i] {
+								t.Errorf("query %s: match set diverges at %d: %s != %s", name, i, got[i], want[i])
+								break
+							}
+						}
+					}
+					if st.Matches != refStats.Matches || st.PartialMatches != refStats.PartialMatches {
+						t.Errorf("counters diverge: matches=%d partials=%d, want matches=%d partials=%d",
+							st.Matches, st.PartialMatches, refStats.Matches, refStats.PartialMatches)
+					}
+					if st.JoinCandidates != refStats.JoinCandidates {
+						t.Errorf("candidate count diverges: %d, want %d", st.JoinCandidates, refStats.JoinCandidates)
+					}
+					if st.JoinScanned < st.JoinCandidates {
+						t.Errorf("scanned %d < candidates %d", st.JoinScanned, st.JoinCandidates)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestJoinIndexStatsSurfaced checks the selectivity counters flow
+// through the unified snapshot on a plain single engine: an indexed run
+// reports scanned == candidates > 0, and the same stream in scan mode
+// reports the same candidates with at least as many visits.
+func TestJoinIndexStatsSurfaced(t *testing.T) {
+	labels := NewLabels()
+	q := persistTestQuery(t, labels)
+	edges := persistTestStream(labels, 2000, 23)
+
+	run := func(scan bool) Stats {
+		eng, err := Open(Config{Query: q, Window: 60, scanProbes: scan})
+		if err != nil {
+			t.Fatal(err)
+		}
+		feedEach(t, eng, edges)
+		st := eng.Stats()
+		eng.Close()
+		return st
+	}
+	idx, scan := run(false), run(true)
+	if idx.JoinCandidates == 0 {
+		t.Fatal("workload produced no join candidates")
+	}
+	if idx.JoinScanned != idx.JoinCandidates {
+		t.Errorf("indexed engine: scanned=%d != candidates=%d", idx.JoinScanned, idx.JoinCandidates)
+	}
+	if scan.JoinCandidates != idx.JoinCandidates {
+		t.Errorf("scan engine candidates %d != indexed %d", scan.JoinCandidates, idx.JoinCandidates)
+	}
+	if scan.JoinScanned <= idx.JoinScanned {
+		t.Errorf("scan engine should visit more than the index (scan %d, indexed %d)",
+			scan.JoinScanned, idx.JoinScanned)
+	}
+	if idx.Matches != scan.Matches {
+		t.Errorf("matches diverge: indexed %d, scan %d", idx.Matches, scan.Matches)
+	}
+}

@@ -87,9 +87,11 @@ func scalarStats(eng Engine) Stats {
 // self-describing snapshot.
 func cheapGauges(st Stats) map[string]func(Stats) any {
 	gauges := map[string]func(Stats) any{
-		"matches":      func(s Stats) any { return s.Matches },
-		"discarded":    func(s Stats) any { return s.Discarded },
-		"window_edges": func(s Stats) any { return s.InWindow },
+		"matches":         func(s Stats) any { return s.Matches },
+		"discarded":       func(s Stats) any { return s.Discarded },
+		"window_edges":    func(s Stats) any { return s.InWindow },
+		"join_scanned":    func(s Stats) any { return s.JoinScanned },
+		"join_candidates": func(s Stats) any { return s.JoinCandidates },
 	}
 	if !st.Fleet {
 		gauges["decomposition_k"] = func(s Stats) any { return s.K }

@@ -1,0 +1,56 @@
+#!/usr/bin/env sh
+# bench_core.sh — run the core ingest benchmark (dataset × probe-mode
+# cells) and emit the results as BENCH_core.json, including the
+# per-dataset indexed-vs-scan speedup. This is the vertex-join-index A/B:
+# the "scan" cells run the engine with the index disabled
+# (core.Config.ScanProbes), so the ratio is exactly the work the index
+# saves on the INSERT hot path.
+#
+# Usage: scripts/bench_core.sh [output.json]
+#   BENCHTIME=2s scripts/bench_core.sh   # longer, more stable runs
+set -eu
+
+out="${1:-BENCH_core.json}"
+benchtime="${BENCHTIME:-1x}"
+
+# Run first, convert second: plain sh has no pipefail, and a benchmark
+# failure must fail this script rather than emit an empty-but-green
+# artifact.
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+go test -run '^$' -bench '^BenchmarkInsertIngest$' -benchtime "$benchtime" ./internal/core > "$raw"
+
+awk -v cores="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 0)" '
+    /^BenchmarkInsertIngest\// {
+      # BenchmarkInsertIngest/<dataset>/<mode>-<procs>  iters  ns/op  edges/s  matches ...
+      name = $1; iters = $2
+      ns = ""; eps = ""
+      for (i = 3; i < NF; i++) {
+        if ($(i + 1) == "ns/op")   ns = $i
+        if ($(i + 1) == "edges/s") eps = $i
+      }
+      if (n++) printf ",\n"
+      printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"edges_per_s\": %s}", name, iters, ns, eps
+      # Record per-dataset ns for the speedup section: the cell name is
+      # <dataset>/<mode>-<procs>.
+      split(name, parts, "/")
+      ds = parts[2]; mode = parts[3]; sub(/-[0-9]+$/, "", mode)
+      cell[ds "," mode] = ns
+      if (!(ds in seen)) { order[++nds] = ds; seen[ds] = 1 }
+    }
+    BEGIN { if (cores == "") cores = 0; printf "{\n\"cores\": " cores ",\n\"benchmarks\": [\n" }
+    END   {
+      printf "\n],\n\"speedup_indexed_vs_scan\": {"
+      for (i = 1; i <= nds; i++) {
+        ds = order[i]
+        if (cell[ds ",indexed"] != "" && cell[ds ",scan"] != "" && cell[ds ",indexed"] > 0) {
+          if (m++) printf ","
+          printf "\n  \"%s\": %.3f", ds, cell[ds ",scan"] / cell[ds ",indexed"]
+        }
+      }
+      printf "\n}\n}\n"
+    }
+  ' "$raw" > "$out"
+
+echo "wrote $out:"
+cat "$out"

@@ -62,6 +62,12 @@ type single struct {
 	engMatches0   atomic.Int64
 	engDiscarded0 atomic.Int64
 
+	// Join-probe counter baselines: unlike matches, the joins an
+	// adaptive rebuild re-performs while re-feeding the window are real
+	// work, so totals are base + engine with no engine0 subtraction.
+	baseJoinScanned    atomic.Int64
+	baseJoinCandidates atomic.Int64
+
 	fed    atomic.Int64
 	closed bool
 }
@@ -249,6 +255,7 @@ func (en *single) newCoreEngine(dec *Decomposition) *core.Engine {
 	return core.New(en.q, core.Config{
 		Storage:       en.opts.Storage,
 		Decomposition: dec,
+		ScanProbes:    en.opts.scanProbes,
 		OnMatch: func(m *Match) {
 			if !en.muted {
 				en.disp.Publish(en.pubName, m)
@@ -491,6 +498,8 @@ func sameOrder(x, y *Decomposition) bool {
 func (en *single) rebuild(dec *Decomposition) {
 	en.baseMatches.Store(en.matches())
 	en.baseDiscarded.Store(en.discarded())
+	en.baseJoinScanned.Add(en.eng.Stats().JoinScanned.Load())
+	en.baseJoinCandidates.Add(en.eng.Stats().JoinCandidates.Load())
 	en.eng = en.newCoreEngine(dec)
 	en.muted = true
 	for _, e := range en.stream.InWindow() {
@@ -532,6 +541,8 @@ func (en *single) statsFast() Stats {
 		Fed:             en.fed.Load(),
 		InWindow:        en.stream.Len(),
 		LastTime:        en.lastTime(),
+		JoinScanned:     en.baseJoinScanned.Load() + en.eng.Stats().JoinScanned.Load(),
+		JoinCandidates:  en.baseJoinCandidates.Load() + en.eng.Stats().JoinCandidates.Load(),
 		K:               en.eng.K(),
 		Reoptimizations: int(en.rebuilds.Load()),
 		Replayed:        en.replayed,
