@@ -50,6 +50,7 @@ import (
 	"timingsubg/internal/graph"
 	"timingsubg/internal/match"
 	"timingsubg/internal/query"
+	"timingsubg/internal/stats"
 )
 
 // Core type aliases so users never import internal packages.
@@ -142,6 +143,17 @@ type Options struct {
 	// wall clock change. Internal — the equivalence suite and benchmarks
 	// A/B the index against the scan engine with it.
 	scanProbes bool
+
+	// Observability wiring (internal): Open threads Config.EventTimeUnit
+	// and the slow-op hook through these, and fleet members inherit the
+	// fleet's stage pipeline so every member's join/expiry/detection
+	// work lands in one fleet-wide view. A nil pipe disables
+	// instrumentation (Config.DisableMetrics, and the deprecated
+	// façades).
+	pipe        *stats.Pipeline
+	eventUnitNs int64
+	slowOpNs    int64
+	onSlowOp    func(SlowOp)
 }
 
 // ErrBadOptions reports an invalid configuration.

@@ -120,6 +120,36 @@ type Health struct {
 	Status string `json:"status"`
 }
 
+// LatencySnapshot is the wire form of one latency-histogram summary.
+// Every duration field is in nanoseconds; an empty histogram is all
+// zeros.
+type LatencySnapshot struct {
+	Count uint64 `json:"count"`
+	Sum   int64  `json:"sum_ns"`
+	Mean  int64  `json:"mean_ns"`
+	P50   int64  `json:"p50_ns"`
+	P90   int64  `json:"p90_ns"`
+	P99   int64  `json:"p99_ns"`
+	P999  int64  `json:"p999_ns"`
+	Max   int64  `json:"max_ns"`
+}
+
+// StageStats is the wire form of the engine's per-stage ingest-pipeline
+// latency breakdown (timingsubg.StageStats): one summary per stage.
+// Stages the server's engine composition does not exercise stay empty.
+type StageStats struct {
+	Ingest       LatencySnapshot `json:"ingest"`
+	WALAppend    LatencySnapshot `json:"wal_append"`
+	WALSync      LatencySnapshot `json:"wal_sync"`
+	QueueWait    LatencySnapshot `json:"shard_queue_wait"`
+	ShardExec    LatencySnapshot `json:"shard_exec"`
+	Join         LatencySnapshot `json:"join"`
+	Expiry       LatencySnapshot `json:"expiry"`
+	Dispatch     LatencySnapshot `json:"dispatch"`
+	Detection    LatencySnapshot `json:"detection"`
+	EventTimeLag LatencySnapshot `json:"event_time_lag"`
+}
+
 // EngineStats is the wire form of the engine's unified Stats snapshot,
 // served under the "fleet.stats" key of GET /stats. Fields a given
 // composition does not use stay zero; the adaptive/durable/fleet flags
@@ -153,10 +183,25 @@ type EngineStats struct {
 
 	// Subscriptions is the number of live match subscriptions (one per
 	// SSE consumer); SubscriptionDelivered/SubscriptionDropped are the
-	// results-plane delivery and load-shedding ledgers.
+	// results-plane delivery and load-shedding ledgers. On per-query
+	// snapshots under Queries, the delivered/dropped pair is that
+	// query's share of the fleet's results plane.
 	Subscriptions         int   `json:"subscriptions,omitempty"`
 	SubscriptionDelivered int64 `json:"subscription_delivered,omitempty"`
 	SubscriptionDropped   int64 `json:"subscription_dropped,omitempty"`
+
+	// Stages is the fleet-wide per-stage latency breakdown (nil when
+	// the engine runs with metrics disabled).
+	Stages *StageStats `json:"stages,omitempty"`
+	// Detection is this engine's detection-latency summary — match emit
+	// wallclock minus triggering-edge arrival wallclock. Per-query
+	// snapshots under Queries carry their own (the per-query
+	// attribution).
+	Detection *LatencySnapshot `json:"detection,omitempty"`
+	// WatermarkLagNs is now minus the stream clock mapped through the
+	// configured event-time unit, in nanoseconds (0 when no unit is
+	// set).
+	WatermarkLagNs int64 `json:"watermark_lag_ns,omitempty"`
 
 	Queries map[string]EngineStats `json:"queries,omitempty"`
 

@@ -189,7 +189,7 @@ func main() {
 		len(edges), elapsed.Round(time.Millisecond), float64(len(edges))/elapsed.Seconds())
 	fmt.Printf("matches: %d  discardable filtered: %d  partial matches held: %d  space: %d KB\n",
 		r.MatchCount(), r.Discarded(), r.PartialMatches(), r.SpaceBytes()/1024)
-	fmt.Printf("per-edge latency: %s\n", hist.String())
+	fmt.Printf("per-edge latency: %s\n", hist.Snapshot())
 	if *state && plain != nil {
 		plain.WriteState(os.Stdout)
 	}

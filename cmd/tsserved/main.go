@@ -19,8 +19,18 @@
 //	POST   /ingest           NDJSON edge batch → per-line accounting
 //	GET    /subscribe        SSE match stream (?queries=a,b filters;
 //	                         no filter streams every query)
-//	GET    /stats            live metrics (optionally ?metric=name)
+//	GET    /stats            live metrics as JSON (optionally ?metric=name)
+//	GET    /metrics          Prometheus text exposition: per-stage latency
+//	                         histograms, per-query detection latency and
+//	                         counters (served off the work queue, so a
+//	                         scrape never waits behind ingest)
 //	GET    /healthz          liveness
+//
+// Observability: -log-level enables structured request/ingest logs,
+// -slow-op-threshold warns on slow feeds and deliveries with a
+// per-stage breakdown, -event-time-unit maps edge timestamps to
+// wallclock (enabling event-time lag and watermark lag), and -pprof
+// mounts the net/http/pprof profiling plane under /debug/pprof/.
 //
 // Each SSE event carries the engine's per-query delivery sequence
 // number and an id line that is a complete resume token: a client that
@@ -47,7 +57,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -56,6 +68,19 @@ import (
 	"timingsubg"
 	"timingsubg/internal/server"
 )
+
+// parseLogLevel maps the -log-level flag onto a slog handler; "" means
+// no request/ingest logging at all.
+func parseLogLevel(s string) (*slog.Logger, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(s)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q (want debug, info, warn or error)", s)
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})), nil
+}
 
 func main() {
 	listen := flag.String("listen", ":8080", "HTTP listen address")
@@ -72,9 +97,17 @@ func main() {
 	replayBuffer := flag.Int("replay-buffer", 0, "per-query resume ring: events retained for Last-Event-ID resumption (0 = subscriber-buffer)")
 	queueDepth := flag.Int("queue-depth", 128, "bounded work queue: max outstanding serialized operations")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown deadline")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (CPU, heap, goroutine profiles)")
+	logLevel := flag.String("log-level", "", "structured request/ingest logging: debug, info, warn or error (empty = off)")
+	slowOp := flag.Duration("slow-op-threshold", 0, "warn (with a per-stage breakdown) on any feed, batch or delivery slower than this (0 = off)")
+	eventUnit := flag.Duration("event-time-unit", 0, "edge timestamps are this many wallclock units since the Unix epoch (enables event-time lag and watermark lag; 0 = off)")
 	flag.Parse()
 	if *fleetWorkers < 0 {
 		log.Fatalf("tsserved: -fleet-workers must be non-negative, got %d", *fleetWorkers)
+	}
+	logger, err := parseLogLevel(*logLevel)
+	if err != nil {
+		log.Fatalf("tsserved: %v", err)
 	}
 
 	cfg := server.Config{
@@ -83,6 +116,9 @@ func main() {
 		SubscriberBuffer: *subBuffer,
 		ReplayBuffer:     *replayBuffer,
 		QueueDepth:       *queueDepth,
+		Logger:           logger,
+		SlowOpThreshold:  *slowOp,
+		EventTimeUnit:    *eventUnit,
 	}
 	if *adaptive {
 		cfg.Adaptive = &timingsubg.Adaptivity{
@@ -91,7 +127,6 @@ func main() {
 		}
 	}
 	var srv *server.Server
-	var err error
 	if *walDir != "" {
 		srv, err = server.NewDurable(cfg, timingsubg.PersistentMultiOptions{
 			Dir:             *walDir,
@@ -108,7 +143,22 @@ func main() {
 		log.Printf("tsserved: in-memory state (no -wal)")
 	}
 
-	httpSrv := &http.Server{Addr: *listen, Handler: srv.Handler()}
+	handler := srv.Handler()
+	if *pprofOn {
+		// The profiling plane mounts beside the API, explicitly — the
+		// DefaultServeMux side effect of importing net/http/pprof is not
+		// relied on, so profiles are only reachable when asked for.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		log.Printf("tsserved: pprof on /debug/pprof/")
+	}
+	httpSrv := &http.Server{Addr: *listen, Handler: handler}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
@@ -136,6 +186,12 @@ func main() {
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 			log.Printf("tsserved: drain: %v", err)
 		}
+	}
+	// The shutdown summary shares the canonical Snapshot.String() one-line
+	// form with tsrun's per-edge latency report.
+	if st := srv.EngineStats(); st.Stages != nil {
+		log.Printf("tsserved: ingest latency: %s", st.Stages.Ingest)
+		log.Printf("tsserved: detection latency: %s", st.Stages.Detection)
 	}
 	if err := srv.Close(); err != nil {
 		log.Printf("tsserved: close: %v", err)

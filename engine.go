@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
+	"timingsubg/internal/stats"
 	"timingsubg/internal/wal"
 )
 
@@ -157,6 +159,21 @@ type Stats struct {
 	// only).
 	Queries map[string]Stats `json:"queries,omitempty"`
 
+	// Stages is the per-stage latency breakdown of the ingest pipeline
+	// (nil when Config.DisableMetrics is set; engine/fleet-level only —
+	// per-member snapshots carry Detection instead).
+	Stages *StageStats `json:"stages,omitempty"`
+	// Detection is this engine's detection-latency histogram snapshot —
+	// match emit wallclock minus triggering-edge arrival wallclock. On
+	// fleets every member snapshot in Queries carries its own (the
+	// per-query attribution); the fleet-wide aggregate is
+	// Stages.Detection.
+	Detection *LatencySnapshot `json:"detection,omitempty"`
+	// WatermarkLagNs is now minus the stream clock mapped through
+	// Config.EventTimeUnit, in nanoseconds (0 when no unit is set;
+	// negative when producer timestamps run ahead of this host).
+	WatermarkLagNs int64 `json:"watermark_lag_ns,omitempty"`
+
 	// Subscriptions is the number of live Subscribe consumers attached
 	// to this engine (fleet-level on fleets; per-member snapshots
 	// report zero — members share the fleet's results plane).
@@ -282,6 +299,27 @@ type Config struct {
 	// knob for the join-index equivalence suite.
 	scanProbes bool
 
+	// DisableMetrics turns the pipeline latency instrumentation off:
+	// Stats.Stages and the per-query detection histograms stay nil and
+	// the feed path performs no clock reads. The instrumentation costs
+	// a few time.Now calls per edge (see BenchmarkInsertIngest's
+	// metrics cell), so the default is on.
+	DisableMetrics bool
+	// EventTimeUnit, when positive, declares how edge timestamps map to
+	// wallclock: an edge's Time is that many multiples of the unit
+	// since the Unix epoch (e.g. time.Millisecond for Unix-millisecond
+	// timestamps). It enables the event-time lag histogram and the
+	// watermark lag gauge; zero (the default) disables both — detection
+	// latency is pure wallclock and works regardless.
+	EventTimeUnit time.Duration
+	// SlowOpThreshold, when positive, fires OnSlowOp (or, when that is
+	// nil, a slog warning) for every feed, batch or synchronous match
+	// delivery whose wall time exceeds it, with a per-stage breakdown.
+	SlowOpThreshold time.Duration
+	// OnSlowOp receives slow-operation reports when SlowOpThreshold is
+	// set. Called synchronously on the feed path — keep it cheap.
+	OnSlowOp func(SlowOp)
+
 	// OnMatch receives every complete match with the name of the query
 	// that matched ("" in single-query mode); it may be nil when only
 	// counters are needed. The callback is serialized per query engine
@@ -323,6 +361,8 @@ func Open(cfg Config) (Engine, error) {
 		return nil, errors.Join(ErrBadOptions, errors.New("FleetWorkers is a fleet option (set Queries or Dynamic); Workers parallelizes a single engine"))
 	case cfg.FleetWorkers < 0:
 		return nil, errors.Join(ErrBadOptions, errors.New("FleetWorkers must be non-negative"))
+	case cfg.EventTimeUnit < 0:
+		return nil, errors.Join(ErrBadOptions, errors.New("EventTimeUnit must be non-negative"))
 	}
 	if fleetMode {
 		return openFleet(cfg)
@@ -335,6 +375,12 @@ func Open(cfg Config) (Engine, error) {
 		LockScheme:    cfg.LockScheme,
 		Decomposition: cfg.Decomposition,
 		scanProbes:    cfg.scanProbes,
+	}
+	if !cfg.DisableMetrics {
+		opts.pipe = stats.NewPipeline()
+		opts.eventUnitNs = int64(cfg.EventTimeUnit)
+		opts.slowOpNs = int64(cfg.SlowOpThreshold)
+		opts.onSlowOp = cfg.OnSlowOp
 	}
 	sink := configSink(cfg)
 	if cfg.Durable != nil {

@@ -9,12 +9,14 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"timingsubg/internal/checkpoint"
 	"timingsubg/internal/dispatch"
 	"timingsubg/internal/fleetpool"
 	"timingsubg/internal/graph"
 	"timingsubg/internal/router"
+	"timingsubg/internal/stats"
 	"timingsubg/internal/wal"
 )
 
@@ -81,6 +83,11 @@ type fleetEngine struct {
 	// (drives the Stats.Adaptive capability flag).
 	anyAdaptive bool
 
+	// obs is the fleet-wide observability wiring (nil = metrics off).
+	// Members share its pipeline and arrival clock; each keeps a
+	// private detection histogram for per-query attribution.
+	obs *obs
+
 	// Config-level defaults inherited by specs that leave them zero.
 	defaults Config
 
@@ -118,6 +125,14 @@ func (fl *fleetEngine) memberOptions(spec QuerySpec) Options {
 	if fl.defaults.scanProbes {
 		o.scanProbes = true
 	}
+	if fl.obs != nil {
+		// Members share the fleet's stage pipeline so every member's
+		// join/expiry/dispatch work lands in one fleet-wide view.
+		o.pipe = fl.obs.pipe
+		o.eventUnitNs = fl.obs.eventUnitNs
+		o.slowOpNs = fl.obs.slowNs
+		o.onSlowOp = fl.obs.onSlow
+	}
 	return o
 }
 
@@ -141,6 +156,15 @@ func (fl *fleetEngine) newMember(spec QuerySpec) (*single, error) {
 		return nil, fmt.Errorf("timingsubg: query %q: %w", spec.Name, err)
 	}
 	en.disp, en.pubName, en.ownsDisp = fl.disp, spec.Name, false
+	if en.obs != nil {
+		// A private detection histogram gives the member its per-query
+		// attribution; fleetDet keeps the fleet-wide aggregate whole. The
+		// member reads the fleet's arrival clock, so detection latency is
+		// measured from the fleet feed boundary (queue wait included).
+		en.obs.det = &stats.AtomicHistogram{}
+		en.obs.fleetDet = &fl.obs.pipe.Detection
+		en.obs.arrival = fl.obs.arrival
+	}
 	return en, nil
 }
 
@@ -179,6 +203,9 @@ func openFleet(cfg Config) (*fleetEngine, error) {
 		defaults: cfg,
 		disp:     dispatch.New(),
 	}
+	if !cfg.DisableMetrics {
+		fl.obs = newObs(stats.NewPipeline(), int64(cfg.EventTimeUnit), int64(cfg.SlowOpThreshold), cfg.OnSlowOp)
+	}
 	if sink := configSink(cfg); sink != nil {
 		fl.disp.SubscribeFunc(sink)
 	}
@@ -188,6 +215,10 @@ func openFleet(cfg Config) (*fleetEngine, error) {
 	}
 	if cfg.FleetWorkers > 1 {
 		fl.pool = fleetpool.New(cfg.FleetWorkers)
+		if fl.obs != nil {
+			fl.pool.WaitHist = &fl.obs.pipe.QueueWait
+			fl.pool.ExecHist = &fl.obs.pipe.ShardExec
+		}
 		fl.shardMu = make([]sync.Mutex, cfg.FleetWorkers)
 		fl.allShards = make([]int, cfg.FleetWorkers)
 		for s := range fl.allShards {
@@ -306,7 +337,11 @@ func (fl *fleetEngine) openDurable(specs []QuerySpec) error {
 		}
 		seen[spec.Name] = true
 	}
-	log, err := wal.Open(fl.dur.Dir, wal.Options{SegmentBytes: fl.dur.SegmentBytes, SyncEvery: fl.dur.SyncEvery, OpenFile: fl.dur.openFile})
+	var syncHist *stats.AtomicHistogram
+	if fl.obs != nil {
+		syncHist = &fl.obs.pipe.WALSync
+	}
+	log, err := wal.Open(fl.dur.Dir, wal.Options{SegmentBytes: fl.dur.SegmentBytes, SyncEvery: fl.dur.SyncEvery, OpenFile: fl.dur.openFile, SyncHist: syncHist})
 	if err != nil {
 		return err
 	}
@@ -658,6 +693,13 @@ func (fl *fleetEngine) Feed(e Edge) (EdgeID, error) {
 	if fl.pool != nil {
 		return fl.feedSharded(e)
 	}
+	o := fl.obs
+	var start time.Time
+	var walNs int64
+	if o != nil {
+		start = time.Now()
+		o.arrival.Store(start.UnixNano())
+	}
 	// The whole mutation — WAL append, fan-out, clock — runs under the
 	// exclusive roster lock, so concurrent Stats sampling (which reads
 	// member windows under RLock) never races it.
@@ -675,7 +717,17 @@ func (fl *fleetEngine) Feed(e Edge) (EdgeID, error) {
 			fl.mu.Unlock()
 			return 0, fmt.Errorf("timingsubg: %w: got %d after %d", graph.ErrOutOfOrder, e.Time, last)
 		}
-		seq, err := fl.log.Append(e)
+		var seq int64
+		var err error
+		if o != nil {
+			t := time.Now()
+			seq, err = fl.log.Append(e)
+			d := time.Since(t)
+			walNs = int64(d)
+			o.pipe.WALAppend.Observe(d)
+		} else {
+			seq, err = fl.log.Append(e)
+		}
 		if err != nil {
 			fl.mu.Unlock()
 			return 0, err
@@ -691,6 +743,11 @@ func (fl *fleetEngine) Feed(e Edge) (EdgeID, error) {
 	if err != nil {
 		return 0, err
 	}
+	if o != nil {
+		total := time.Since(start)
+		o.pipe.Ingest.Observe(total)
+		o.slowFeed("feed", 1, total, time.Duration(walNs))
+	}
 	fl.fedN.Add(1)
 	return id, fl.tick(1)
 }
@@ -699,6 +756,13 @@ func (fl *fleetEngine) Feed(e Edge) (EdgeID, error) {
 // fleet boundary, WAL append (durable mode), then concurrent fan-out
 // with a barrier before the call returns.
 func (fl *fleetEngine) feedSharded(e Edge) (EdgeID, error) {
+	o := fl.obs
+	var start time.Time
+	var walNs int64
+	if o != nil {
+		start = time.Now()
+		o.arrival.Store(start.UnixNano())
+	}
 	fl.mu.RLock()
 	if fl.closed.Load() {
 		fl.mu.RUnlock()
@@ -713,7 +777,17 @@ func (fl *fleetEngine) feedSharded(e Edge) (EdgeID, error) {
 	}
 	id := EdgeID(fl.fedN.Load())
 	if fl.log != nil {
-		seq, err := fl.log.Append(e)
+		var seq int64
+		var err error
+		if o != nil {
+			t := time.Now()
+			seq, err = fl.log.Append(e)
+			d := time.Since(t)
+			walNs = int64(d)
+			o.pipe.WALAppend.Observe(d)
+		} else {
+			seq, err = fl.log.Append(e)
+		}
 		if err != nil {
 			fl.mu.RUnlock()
 			return 0, err
@@ -728,6 +802,11 @@ func (fl *fleetEngine) feedSharded(e Edge) (EdgeID, error) {
 	fl.mu.RUnlock()
 	if err != nil {
 		return 0, err
+	}
+	if o != nil {
+		total := time.Since(start)
+		o.pipe.Ingest.Observe(total)
+		o.slowFeed("feed", 1, total, time.Duration(walNs))
 	}
 	fl.fedN.Add(1)
 	return id, fl.tick(1)
@@ -744,8 +823,14 @@ func (fl *fleetEngine) FeedBatch(batch []Edge) (int, error) {
 	if fl.pool != nil {
 		return fl.feedBatchSharded(batch)
 	}
+	o := fl.obs
+	var start time.Time
+	if o != nil {
+		start = time.Now()
+	}
 	n := len(batch)
 	var batchErr error
+	var walD time.Duration
 	fl.mu.Lock()
 	if fl.closed.Load() {
 		fl.mu.Unlock()
@@ -756,13 +841,27 @@ func (fl *fleetEngine) FeedBatch(batch []Edge) (int, error) {
 		// On a WAL failure, dispatch exactly the records that were
 		// durably appended — fleet state must never diverge from the
 		// shared log (see single.FeedBatch).
-		if _, appended, werr := fl.log.AppendBatch(batch[:n]); werr != nil {
+		if o != nil {
+			t := time.Now()
+			_, appended, werr := fl.log.AppendBatch(batch[:n])
+			walD = time.Since(t)
+			o.pipe.WALAppend.Observe(walD)
+			if werr != nil {
+				n, batchErr = appended, werr
+			}
+		} else if _, appended, werr := fl.log.AppendBatch(batch[:n]); werr != nil {
 			n, batchErr = appended, werr
 		}
 		fl.walSeq.Store(fl.log.Seq())
 	}
+	// One clock read per edge: each iteration's end time is the next
+	// one's arrival stamp (see single.FeedBatch).
+	prev := start
 	i := 0
 	for ; i < n; i++ {
+		if o != nil {
+			o.arrival.Store(prev.UnixNano())
+		}
 		if err := fl.dispatchLocked(batch[i]); err != nil {
 			batchErr = fmt.Errorf("timingsubg: edge %d: %w", i, err)
 			break
@@ -770,8 +869,16 @@ func (fl *fleetEngine) FeedBatch(batch []Edge) (int, error) {
 		if fl.log != nil {
 			fl.lastTime.Store(int64(batch[i].Time))
 		}
+		if o != nil {
+			now := time.Now()
+			o.pipe.Ingest.Observe(now.Sub(prev))
+			prev = now
+		}
 	}
 	fl.mu.Unlock()
+	if o != nil {
+		o.slowFeed("feed_batch", i, time.Since(start), walD)
+	}
 	fl.fedN.Add(int64(i))
 	if err := fl.tick(i); err != nil {
 		return i, err
@@ -784,6 +891,18 @@ func (fl *fleetEngine) FeedBatch(batch []Edge) (int, error) {
 // the WAL exactly once before fan-out, so shards only ever see edges
 // the log already holds — the WAL/engine no-divergence invariant.
 func (fl *fleetEngine) feedBatchSharded(batch []Edge) (int, error) {
+	o := fl.obs
+	var start time.Time
+	var walD time.Duration
+	if o != nil {
+		// Shards interleave the batch's edges, so per-edge ingest
+		// attribution is not possible here: the batch is one ingest
+		// observation and the arrival clock holds the batch entry time
+		// (detection latency is then measured from batch entry — a
+		// documented approximation of the sharded fast path).
+		start = time.Now()
+		o.arrival.Store(start.UnixNano())
+	}
 	fl.mu.RLock()
 	if fl.closed.Load() {
 		fl.mu.RUnlock()
@@ -794,7 +913,15 @@ func (fl *fleetEngine) feedBatchSharded(batch []Edge) (int, error) {
 	// before fan-out, not during it.
 	n, batchErr := monotonePrefix(batch, Timestamp(fl.lastTime.Load()))
 	if fl.log != nil && n > 0 {
-		if _, appended, werr := fl.log.AppendBatch(batch[:n]); werr != nil {
+		if o != nil {
+			t := time.Now()
+			_, appended, werr := fl.log.AppendBatch(batch[:n])
+			walD = time.Since(t)
+			o.pipe.WALAppend.Observe(walD)
+			if werr != nil {
+				n, batchErr = appended, werr
+			}
+		} else if _, appended, werr := fl.log.AppendBatch(batch[:n]); werr != nil {
 			n, batchErr = appended, werr
 		}
 		fl.walSeq.Store(fl.log.Seq())
@@ -806,6 +933,11 @@ func (fl *fleetEngine) feedBatchSharded(batch []Edge) (int, error) {
 		fl.lastTime.Store(int64(batch[n-1].Time))
 	}
 	fl.mu.RUnlock()
+	if o != nil && n > 0 {
+		total := time.Since(start)
+		o.pipe.Ingest.Observe(total)
+		o.slowFeed("feed_batch", n, total, walD)
+	}
 	fl.fedN.Add(int64(n))
 	if err := fl.tick(n); err != nil {
 		return n, err
@@ -988,6 +1120,12 @@ func (fl *fleetEngine) stats(memberStats func(*single) Stats, withQueries bool) 
 	if fl.log != nil {
 		st.WALSeq = fl.walSeq.Load()
 	}
+	if fl.obs != nil {
+		st.Stages = fl.obs.stages()
+		st.WatermarkLagNs = watermarkLag(st.LastTime, fl.obs.eventUnitNs)
+		det := fl.obs.pipe.Detection.Snapshot()
+		st.Detection = &det
+	}
 	add := func(slot int, m *single) {
 		ms := memberStats(m)
 		st.Matches += ms.Matches
@@ -999,6 +1137,9 @@ func (fl *fleetEngine) stats(memberStats func(*single) Stats, withQueries bool) 
 		st.JoinCandidates += ms.JoinCandidates
 		st.Reoptimizations += ms.Reoptimizations
 		if withQueries {
+			// Per-query delivery attribution comes from the shared
+			// dispatcher — members publish into the fleet's results plane.
+			ms.SubscriptionDelivered, ms.SubscriptionDropped = fl.disp.QueryCounts(fl.names[slot])
 			st.Queries[fl.names[slot]] = ms
 		}
 	}

@@ -9,6 +9,7 @@ import (
 	"timingsubg/internal/match"
 	"timingsubg/internal/query"
 	"timingsubg/internal/querygen"
+	"timingsubg/internal/stats"
 )
 
 // benchQuery builds a 2-subquery decomposition query (a→b ≺-chained pair
@@ -90,6 +91,10 @@ func BenchmarkInsertPlan(b *testing.B) {
 // end-to-end stream time. The indexed/scan pair is the join-index A/B —
 // scripts/bench_core.sh runs it and emits BENCH_core.json with the
 // per-dataset speedup, the CI artifact tracking the ingest trajectory.
+// The indexed/metrics pair is the instrumentation-overhead A/B: metrics
+// is the indexed engine with the join and expiry stage histograms
+// attached, so its ns/op gap to indexed is the full observability cost
+// on the hot path.
 func BenchmarkInsertIngest(b *testing.B) {
 	const nEdges = 10000
 	const window = 1200
@@ -104,14 +109,20 @@ func BenchmarkInsertIngest(b *testing.B) {
 			continue
 		}
 		for _, mode := range []struct {
-			name string
-			scan bool
-		}{{"indexed", false}, {"scan", true}} {
+			name    string
+			scan    bool
+			metrics bool
+		}{{"indexed", false, false}, {"scan", true, false}, {"metrics", false, true}} {
 			b.Run(fmt.Sprintf("%s/%s", ds, mode.name), func(b *testing.B) {
 				b.ReportAllocs()
+				cfg := Config{ScanProbes: mode.scan}
+				if mode.metrics {
+					cfg.JoinHist = &stats.AtomicHistogram{}
+					cfg.ExpiryHist = &stats.AtomicHistogram{}
+				}
 				var matches int64
 				for i := 0; i < b.N; i++ {
-					eng := New(q, Config{ScanProbes: mode.scan})
+					eng := New(q, cfg)
 					st := graph.NewStream(window)
 					for _, e := range edges {
 						stored, expired, err := st.Push(e)

@@ -10,12 +10,14 @@ package core
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"timingsubg/internal/explist"
 	"timingsubg/internal/graph"
 	"timingsubg/internal/lock"
 	"timingsubg/internal/match"
 	"timingsubg/internal/query"
+	"timingsubg/internal/stats"
 )
 
 // Storage selects the partial-match store backend.
@@ -48,6 +50,18 @@ type Config struct {
 	// switch — equivalence tests and the bench harness A/B the two modes;
 	// results are identical, only JoinScanned (and wall clock) differ.
 	ScanProbes bool
+	// JoinHist, when non-nil, observes the insert-side join work;
+	// ExpiryHist observes the window-expiry sweep (the batch of deletes
+	// one Process evicts). One Process call in statSampleStride is
+	// timed — a clock read rivals the insert itself, so sampling is
+	// what keeps metrics-on overhead within a few percent (the stride
+	// is latency-independent, so percentiles stay unbiased; Counts are
+	// samples, not call counts). Observed only on the serial Process
+	// path — the parallel wrapper interleaves transactions, so
+	// per-stage wall time is not attributable there. Nil (the default)
+	// adds no work to the hot path.
+	JoinHist   *stats.AtomicHistogram
+	ExpiryHist *stats.AtomicHistogram
 }
 
 // Stats holds engine counters. All fields are updated atomically so they
@@ -108,6 +122,12 @@ type Engine struct {
 	// scanProbes forces full-item probe scans (Config.ScanProbes).
 	scanProbes bool
 
+	// joinHist/expiryHist are Config.JoinHist/ExpiryHist (nil = off);
+	// sampleTick counts Process calls for their sampling stride.
+	joinHist   *stats.AtomicHistogram
+	expiryHist *stats.AtomicHistogram
+	sampleTick uint64
+
 	// mpool recycles match objects through the insert hot path; scratch
 	// recycles the per-call probe buffers. Both are sync.Pools so
 	// concurrent transactions (Workers > 1) never share state.
@@ -126,7 +146,8 @@ func New(q *query.Query, cfg Config) *Engine {
 	if dec == nil {
 		dec = query.Decompose(q)
 	}
-	e := &Engine{q: q, dec: dec, onMatch: cfg.OnMatch, scanProbes: cfg.ScanProbes}
+	e := &Engine{q: q, dec: dec, onMatch: cfg.OnMatch, scanProbes: cfg.ScanProbes,
+		joinHist: cfg.JoinHist, expiryHist: cfg.ExpiryHist}
 	e.loc = make([]edgeLoc, q.NumEdges())
 	e.probes = make([]insertProbe, q.NumEdges())
 	for si, sub := range dec.Subqueries {
@@ -246,11 +267,42 @@ func (e *Engine) Insert(d graph.Edge) { e.runInsert(d, lock.NopLocker{}) }
 // Delete processes one expired edge (Algorithm 2), serially.
 func (e *Engine) Delete(d graph.Edge) { e.runDelete(d, lock.NopLocker{}) }
 
+// statSampleStride is the Process-call sampling stride for the join and
+// expiry stage histograms: one call in 32 is timed, starting with the
+// first. A clock read costs tens of nanoseconds — comparable to the
+// insert hot path itself — so timing every call would be the dominant
+// cost of having metrics on (BenchmarkInsertIngest's indexed/metrics
+// A/B); sampling keeps the overhead a few percent while the stride is
+// latency-independent, so the histogram percentiles stay unbiased.
+const statSampleStride = 32
+
 // Process handles one window slide serially: expired edges are removed in
-// chronological order, then the incoming edge is inserted.
+// chronological order, then the incoming edge is inserted. When
+// Config.JoinHist/ExpiryHist are set, one Process call in
+// statSampleStride has its insert and expiry sweep timed as the
+// pipeline's join and expiry stages.
 func (e *Engine) Process(d graph.Edge, expired []graph.Edge) {
-	for _, x := range expired {
-		e.Delete(x)
+	sampled := false
+	if e.joinHist != nil || e.expiryHist != nil {
+		e.sampleTick++
+		sampled = e.sampleTick%statSampleStride == 1
+	}
+	if sampled && e.expiryHist != nil && len(expired) > 0 {
+		t := time.Now()
+		for _, x := range expired {
+			e.Delete(x)
+		}
+		e.expiryHist.Observe(time.Since(t))
+	} else {
+		for _, x := range expired {
+			e.Delete(x)
+		}
+	}
+	if sampled && e.joinHist != nil {
+		t := time.Now()
+		e.Insert(d)
+		e.joinHist.Observe(time.Since(t))
+		return
 	}
 	e.Insert(d)
 }

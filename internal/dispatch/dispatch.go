@@ -88,6 +88,36 @@ type Dispatcher struct {
 
 	delivered atomic.Int64
 	dropped   atomic.Int64
+
+	// perQuery attributes delivered/dropped per query name (the
+	// observability plane's per-query accounting). sync.Map because
+	// drop attribution happens under a Sub's lock, outside d.mu.
+	perQuery sync.Map // string → *queryCounts
+}
+
+// queryCounts is one query's delivery accounting cell.
+type queryCounts struct {
+	delivered atomic.Int64
+	dropped   atomic.Int64
+}
+
+// qc returns query's counter cell, creating it on first use.
+func (d *Dispatcher) qc(query string) *queryCounts {
+	if v, ok := d.perQuery.Load(query); ok {
+		return v.(*queryCounts)
+	}
+	v, _ := d.perQuery.LoadOrStore(query, &queryCounts{})
+	return v.(*queryCounts)
+}
+
+// QueryCounts returns deliveries buffered and dropped for one query
+// name, across all of its subscriptions.
+func (d *Dispatcher) QueryCounts(query string) (delivered, dropped int64) {
+	if v, ok := d.perQuery.Load(query); ok {
+		c := v.(*queryCounts)
+		return c.delivered.Load(), c.dropped.Load()
+	}
+	return 0, 0
 }
 
 // New returns an empty dispatcher.
@@ -124,6 +154,7 @@ func (d *Dispatcher) ResetSeq(query string) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	delete(d.seq, query)
+	d.perQuery.Delete(query)
 }
 
 // Seq returns query's latest assigned sequence number.
@@ -218,6 +249,7 @@ func (d *Dispatcher) Publish(query string, m *match.Match) {
 func (d *Dispatcher) Retire(name string, live func(string) bool) {
 	d.mu.Lock()
 	delete(d.seq, name)
+	d.perQuery.Delete(name)
 	var ended []*Sub
 	for s := range d.subs {
 		if s.filter == nil {
@@ -354,24 +386,22 @@ func (s *Sub) deliver(dv Delivery) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		s.dropped.Add(1)
-		s.d.dropped.Add(1)
+		s.drop(dv.Query)
 		return
 	}
 	switch s.policy {
 	case DropNewest:
 		select {
 		case s.ch <- dv:
-			s.count()
+			s.count(dv.Query)
 		default:
-			s.dropped.Add(1)
-			s.d.dropped.Add(1)
+			s.drop(dv.Query)
 		}
 	case DropOldest:
 		for {
 			select {
 			case s.ch <- dv:
-				s.count()
+				s.count(dv.Query)
 				return
 			default:
 			}
@@ -379,25 +409,32 @@ func (s *Sub) deliver(dv Delivery) {
 			// goroutine sends (s.mu), so after one receive the next
 			// send attempt succeeds unless the consumer drained the
 			// buffer first — in which case the send succeeds anyway.
+			// The drop is attributed to the evicted delivery's query,
+			// which may differ from dv's on a multi-query subscription.
 			select {
-			case <-s.ch:
-				s.dropped.Add(1)
-				s.d.dropped.Add(1)
+			case old := <-s.ch:
+				s.drop(old.Query)
 			default:
 			}
 		}
 	default: // Block
 		select {
 		case s.ch <- dv:
-			s.count()
+			s.count(dv.Query)
 		case <-s.done:
-			s.dropped.Add(1)
-			s.d.dropped.Add(1)
+			s.drop(dv.Query)
 		}
 	}
 }
 
-func (s *Sub) count() {
+func (s *Sub) count(query string) {
 	s.delivered.Add(1)
 	s.d.delivered.Add(1)
+	s.d.qc(query).delivered.Add(1)
+}
+
+func (s *Sub) drop(query string) {
+	s.dropped.Add(1)
+	s.d.dropped.Add(1)
+	s.d.qc(query).dropped.Add(1)
 }

@@ -19,11 +19,17 @@
 // feed path, which the Engine contract already serializes).
 package fleetpool
 
-import "sync"
+import (
+	"sync"
+	"time"
+
+	"timingsubg/internal/stats"
+)
 
 // task is one unit of shard work plus the barrier it reports to.
 type task struct {
 	fn   func(shard int)
+	sent time.Time // dispatch time, for WaitHist; zero when unmetered
 	done *sync.WaitGroup
 }
 
@@ -35,6 +41,13 @@ type Pool struct {
 
 	shards  [][]int     // member handles per shard, in assignment order
 	shardOf map[int]int // handle → shard
+
+	// WaitHist observes queue wait (Run dispatch → worker pickup) and
+	// ExecHist the task execution time, per shard task. Both are
+	// optional; set them right after New, before the first Run (the
+	// channel handoff orders the writes for the workers). Nil disables.
+	WaitHist *stats.AtomicHistogram
+	ExecHist *stats.AtomicHistogram
 }
 
 // New starts a pool of n shard workers (n < 1 is treated as 1).
@@ -60,7 +73,14 @@ func New(n int) *Pool {
 func (p *Pool) worker(shard int) {
 	defer p.workers.Done()
 	for t := range p.tasks[shard] {
-		t.fn(shard)
+		if t.sent.IsZero() {
+			t.fn(shard)
+		} else {
+			start := time.Now()
+			p.WaitHist.Observe(start.Sub(t.sent))
+			t.fn(shard)
+			p.ExecHist.Observe(time.Since(start))
+		}
 		t.done.Done()
 	}
 }
@@ -129,8 +149,12 @@ func (p *Pool) Run(shards []int, fn func(shard int)) {
 	}
 	var done sync.WaitGroup
 	done.Add(len(shards))
+	var sent time.Time
+	if p.WaitHist != nil && p.ExecHist != nil {
+		sent = time.Now()
+	}
 	for _, s := range shards {
-		p.tasks[s] <- task{fn: fn, done: &done}
+		p.tasks[s] <- task{fn: fn, sent: sent, done: &done}
 	}
 	done.Wait()
 }

@@ -1,0 +1,106 @@
+package monitor
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"timingsubg/internal/stats"
+)
+
+// TestPromWriterFormat locks the text exposition shape: one TYPE line
+// per family, sorted labels, monotone cumulative buckets, and
+// _count == +Inf bucket.
+func TestPromWriterFormat(t *testing.T) {
+	var h stats.Histogram
+	for _, d := range []time.Duration{
+		5 * time.Microsecond, 80 * time.Microsecond, 3 * time.Millisecond,
+		2 * time.Second, 10 * time.Second, // last lands in the clamp bucket
+	} {
+		h.Observe(d)
+	}
+	w := NewPromWriter()
+	w.Counter("reqs_total", nil, 42)
+	w.Gauge("queue", map[string]string{"shard": "0", "host": "a"}, 3)
+	w.Histogram("lat_seconds", map[string]string{"stage": "join"}, h.Snapshot())
+	w.Histogram("lat_seconds", map[string]string{"stage": "expiry"}, stats.Snapshot{})
+	out := string(w.Bytes())
+
+	if got := strings.Count(out, "# TYPE lat_seconds histogram"); got != 1 {
+		t.Fatalf("want exactly one TYPE line for the lat_seconds family, got %d\n%s", got, out)
+	}
+	if !strings.Contains(out, "# TYPE reqs_total counter") || !strings.Contains(out, "reqs_total 42\n") {
+		t.Fatalf("counter exposition wrong:\n%s", out)
+	}
+	// Label keys render sorted regardless of map order.
+	if !strings.Contains(out, `queue{host="a",shard="0"} 3`) {
+		t.Fatalf("gauge labels not sorted:\n%s", out)
+	}
+
+	checkHistogram(t, out, "lat_seconds", `stage="join"`, 5)
+	checkHistogram(t, out, "lat_seconds", `stage="expiry"`, 0)
+}
+
+// checkHistogram verifies bucket monotonicity, the +Inf bucket, and
+// _count/_sum presence for one labelled series.
+func checkHistogram(t *testing.T, out, name, label string, wantCount uint64) {
+	t.Helper()
+	var last uint64
+	var sawInf, sawCount, sawSum bool
+	buckets := 0
+	for _, line := range strings.Split(out, "\n") {
+		switch {
+		case strings.HasPrefix(line, name+"_bucket{"+label+","):
+			buckets++
+			v := parseValue(t, line)
+			if v < last {
+				t.Fatalf("bucket counts must be non-decreasing: %q after %d", line, last)
+			}
+			last = v
+			if strings.Contains(line, `le="+Inf"`) {
+				sawInf = true
+				if v != wantCount {
+					t.Fatalf("+Inf bucket = %d, want %d: %q", v, wantCount, line)
+				}
+			}
+		case strings.HasPrefix(line, name+"_count{"+label+"}"):
+			sawCount = true
+			if v := parseValue(t, line); v != wantCount {
+				t.Fatalf("_count = %d, want %d", v, wantCount)
+			}
+		case strings.HasPrefix(line, name+"_sum{"+label+"}"):
+			sawSum = true
+		}
+	}
+	if !sawInf || !sawCount || !sawSum {
+		t.Fatalf("series %s{%s}: inf=%v count=%v sum=%v\n%s", name, label, sawInf, sawCount, sawSum, out)
+	}
+	if buckets < 2 {
+		t.Fatalf("series %s{%s}: only %d bucket lines", name, label, buckets)
+	}
+}
+
+func parseValue(t *testing.T, line string) uint64 {
+	t.Helper()
+	i := strings.LastIndexByte(line, ' ')
+	v, err := strconv.ParseFloat(line[i+1:], 64)
+	if err != nil {
+		t.Fatalf("bad sample value in %q: %v", line, err)
+	}
+	return uint64(v)
+}
+
+// TestPromWriterSanitizes maps arbitrary metric and label names onto
+// the legal charset and escapes label values.
+func TestPromWriterSanitizes(t *testing.T) {
+	w := NewPromWriter()
+	w.Counter("bad-name.total", map[string]string{"query": "a\"b\nc\\d"}, 1)
+	out := string(w.Bytes())
+	if !strings.Contains(out, "# TYPE bad_name_total counter") {
+		t.Fatalf("metric name not sanitized:\n%s", out)
+	}
+	if !strings.Contains(out, `bad_name_total{query="a\"b\nc\\d"} 1`) {
+		t.Fatalf("label value not escaped:\n%s", out)
+	}
+}

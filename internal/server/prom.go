@@ -1,0 +1,111 @@
+package server
+
+import (
+	"net/http"
+	"sort"
+
+	"timingsubg"
+	"timingsubg/internal/monitor"
+)
+
+// stageOrder fixes the exposition order of the per-stage latency
+// histograms — stable output is what the golden-format test (and any
+// diff-based scrape tooling) keys on.
+var stageOrder = []string{
+	"ingest", "wal_append", "wal_sync", "shard_queue_wait",
+	"shard_exec", "join", "expiry", "dispatch", "detection",
+	"event_time_lag",
+}
+
+// stageSnapshot selects one stage's summary from the breakdown.
+func stageSnapshot(st *timingsubg.StageStats, stage string) timingsubg.LatencySnapshot {
+	switch stage {
+	case "ingest":
+		return st.Ingest
+	case "wal_append":
+		return st.WALAppend
+	case "wal_sync":
+		return st.WALSync
+	case "shard_queue_wait":
+		return st.QueueWait
+	case "shard_exec":
+		return st.ShardExec
+	case "join":
+		return st.Join
+	case "expiry":
+		return st.Expiry
+	case "dispatch":
+		return st.Dispatch
+	case "detection":
+		return st.Detection
+	case "event_time_lag":
+		return st.EventTimeLag
+	}
+	return timingsubg.LatencySnapshot{}
+}
+
+// handleProm serves GET /metrics in the Prometheus text format. Unlike
+// GET /stats it does NOT ride the serialized work queue: the snapshot
+// behind it (FastStats) is documented concurrency-safe against feeding,
+// and the histograms are atomics — so a scrape never waits in line
+// behind an ingest burst, and a stalled scraper cannot exert
+// backpressure on producers.
+func (s *Server) handleProm(w http.ResponseWriter, r *http.Request) {
+	st := timingsubg.FastStats(s.fl)
+	pw := monitor.NewPromWriter()
+
+	// Fleet-wide counters and gauges.
+	pw.Counter("timingsubg_ingested_edges_total", nil, float64(s.ingested.Load()))
+	pw.Counter("timingsubg_fed_edges_total", nil, float64(st.Fed))
+	pw.Counter("timingsubg_matches_total", nil, float64(st.Matches))
+	pw.Counter("timingsubg_discarded_edges_total", nil, float64(st.Discarded))
+	pw.Counter("timingsubg_subscription_delivered_total", nil, float64(st.SubscriptionDelivered))
+	pw.Counter("timingsubg_subscription_dropped_total", nil, float64(st.SubscriptionDropped))
+	pw.Gauge("timingsubg_window_edges", nil, float64(st.InWindow))
+	pw.Gauge("timingsubg_queries", nil, float64(len(st.Queries)))
+	pw.Gauge("timingsubg_subscriptions", nil, float64(st.Subscriptions))
+	pw.Gauge("timingsubg_queue_depth", nil, float64(len(s.ops)))
+	if st.Durable {
+		pw.Counter("timingsubg_wal_seq", nil, float64(st.WALSeq))
+		pw.Counter("timingsubg_replayed_edges_total", nil, float64(st.Replayed))
+	}
+	if st.WatermarkLagNs != 0 {
+		pw.Gauge("timingsubg_watermark_lag_seconds", nil, float64(st.WatermarkLagNs)/1e9)
+	}
+
+	// Per-query attribution, sorted for deterministic output.
+	names := make([]string, 0, len(st.Queries))
+	for name := range st.Queries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		qs := st.Queries[name]
+		l := map[string]string{"query": name}
+		pw.Counter("timingsubg_query_matches_total", l, float64(qs.Matches))
+		pw.Counter("timingsubg_query_delivered_total", l, float64(qs.SubscriptionDelivered))
+		pw.Counter("timingsubg_query_dropped_total", l, float64(qs.SubscriptionDropped))
+		pw.Counter("timingsubg_query_join_scanned_total", l, float64(qs.JoinScanned))
+		pw.Counter("timingsubg_query_join_candidates_total", l, float64(qs.JoinCandidates))
+		pw.Gauge("timingsubg_query_window_edges", l, float64(qs.InWindow))
+	}
+
+	// Per-stage latency histograms (absent when metrics are disabled).
+	if st.Stages != nil {
+		for _, stage := range stageOrder {
+			pw.Histogram("timingsubg_stage_latency_seconds",
+				map[string]string{"stage": stage}, stageSnapshot(st.Stages, stage))
+		}
+	}
+	// Per-query detection latency — the paper's end-to-end metric,
+	// attributed to the query that matched.
+	for _, name := range names {
+		if det := st.Queries[name].Detection; det != nil {
+			pw.Histogram("timingsubg_query_detection_latency_seconds",
+				map[string]string{"query": name}, *det)
+		}
+	}
+
+	w.Header().Set("Content-Type", monitor.ContentType)
+	w.Write(pw.Bytes())
+}

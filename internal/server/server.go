@@ -41,6 +41,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/url"
 	"path/filepath"
@@ -48,6 +49,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"timingsubg"
 	"timingsubg/client"
@@ -87,6 +89,21 @@ type Config struct {
 	// outstanding operations). Producers beyond the bound block — the
 	// backpressure contract.
 	QueueDepth int
+
+	// Logger, when non-nil, receives structured request logs (method,
+	// path, status, duration) and per-batch ingest accounting at Debug
+	// level; slow-op warnings also route through it. Nil keeps the
+	// server silent (slow ops then warn on the default slog logger,
+	// when a threshold is set).
+	Logger *slog.Logger
+	// SlowOpThreshold fires a slow-operation report for every feed,
+	// batch or synchronous delivery exceeding it (see
+	// timingsubg.Config.SlowOpThreshold).
+	SlowOpThreshold time.Duration
+	// EventTimeUnit declares how edge timestamps map to wallclock (see
+	// timingsubg.Config.EventTimeUnit); it enables the event-time lag
+	// histogram and watermark lag gauge on GET /metrics.
+	EventTimeUnit time.Duration
 }
 
 func (c *Config) norm() {
@@ -153,11 +170,14 @@ func New(cfg Config) *Server {
 	cfg.norm()
 	s := newServer(cfg)
 	fl, err := timingsubg.OpenFleet(timingsubg.Config{
-		Dynamic:      true,
-		Routed:       cfg.Routed,
-		Adaptive:     cfg.Adaptive,
-		FleetWorkers: cfg.FleetWorkers,
-		OnDelivery:   s.record,
+		Dynamic:         true,
+		Routed:          cfg.Routed,
+		Adaptive:        cfg.Adaptive,
+		FleetWorkers:    cfg.FleetWorkers,
+		EventTimeUnit:   cfg.EventTimeUnit,
+		SlowOpThreshold: cfg.SlowOpThreshold,
+		OnSlowOp:        s.slowOp(),
+		OnDelivery:      s.record,
 	})
 	if err != nil {
 		// Unreachable: an empty dynamic in-memory config cannot fail.
@@ -202,10 +222,13 @@ func NewDurable(cfg Config, opts timingsubg.PersistentMultiOptions) (*Server, er
 		s.windows[req.Name] = req.Window
 	}
 	fl, err := timingsubg.OpenFleet(timingsubg.Config{
-		Queries:      specs,
-		Dynamic:      true,
-		Adaptive:     cfg.Adaptive,
-		FleetWorkers: cfg.FleetWorkers,
+		Queries:         specs,
+		Dynamic:         true,
+		Adaptive:        cfg.Adaptive,
+		FleetWorkers:    cfg.FleetWorkers,
+		EventTimeUnit:   cfg.EventTimeUnit,
+		SlowOpThreshold: cfg.SlowOpThreshold,
+		OnSlowOp:        s.slowOp(),
 		Durable: &timingsubg.Durability{
 			Dir:             opts.Dir,
 			CheckpointEvery: opts.CheckpointEvery,
@@ -297,10 +320,61 @@ func (s *Server) finish() {
 	mux.HandleFunc("POST /ingest", s.handleIngest)
 	mux.HandleFunc("GET /subscribe", s.handleSubscribe)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleProm)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux = mux
+	if s.cfg.Logger != nil {
+		s.mux = requestLog(s.cfg.Logger, mux)
+	}
 
 	go s.run()
+}
+
+// slowOp returns the engine slow-operation hook: route reports through
+// the configured logger, or nil to keep the engine's default (a
+// default-logger slog warning).
+func (s *Server) slowOp() func(timingsubg.SlowOp) {
+	log := s.cfg.Logger
+	if log == nil {
+		return nil
+	}
+	return func(op timingsubg.SlowOp) {
+		log.Warn("slow op",
+			"op", op.Op, "query", op.Query, "edges", op.Edges,
+			"total", op.Total, "wal", op.WAL, "fanout", op.Fanout)
+	}
+}
+
+// statusWriter captures the response status for the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the underlying writer so SSE streaming keeps
+// working behind the logging wrapper.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// requestLog is the structured access-log middleware: one Info line per
+// request with method, path, status and wall time.
+func requestLog(log *slog.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		log.Info("request",
+			"method", r.Method, "path", r.URL.Path,
+			"status", sw.status, "duration", time.Since(start))
+	})
 }
 
 // Handler returns the server's HTTP API.
@@ -427,9 +501,29 @@ func clientStats(st timingsubg.Stats) client.EngineStats {
 		SubscriptionDelivered: st.SubscriptionDelivered,
 		SubscriptionDropped:   st.SubscriptionDropped,
 
+		WatermarkLagNs: st.WatermarkLagNs,
+
 		Adaptive: st.Adaptive,
 		Durable:  st.Durable,
 		Fleet:    st.Fleet,
+	}
+	if st.Stages != nil {
+		out.Stages = &client.StageStats{
+			Ingest:       clientLatency(st.Stages.Ingest),
+			WALAppend:    clientLatency(st.Stages.WALAppend),
+			WALSync:      clientLatency(st.Stages.WALSync),
+			QueueWait:    clientLatency(st.Stages.QueueWait),
+			ShardExec:    clientLatency(st.Stages.ShardExec),
+			Join:         clientLatency(st.Stages.Join),
+			Expiry:       clientLatency(st.Stages.Expiry),
+			Dispatch:     clientLatency(st.Stages.Dispatch),
+			Detection:    clientLatency(st.Stages.Detection),
+			EventTimeLag: clientLatency(st.Stages.EventTimeLag),
+		}
+	}
+	if st.Detection != nil {
+		d := clientLatency(*st.Detection)
+		out.Detection = &d
 	}
 	if len(st.Queries) > 0 {
 		out.Queries = make(map[string]client.EngineStats, len(st.Queries))
@@ -438,6 +532,20 @@ func clientStats(st timingsubg.Stats) client.EngineStats {
 		}
 	}
 	return out
+}
+
+// clientLatency converts one latency summary to its wire form.
+func clientLatency(s timingsubg.LatencySnapshot) client.LatencySnapshot {
+	return client.LatencySnapshot{
+		Count: s.Count,
+		Sum:   int64(s.Sum),
+		Mean:  int64(s.Mean),
+		P50:   int64(s.P50),
+		P90:   int64(s.P90),
+		P99:   int64(s.P99),
+		P999:  int64(s.P999),
+		Max:   int64(s.Max),
+	}
 }
 
 // record is the engine's synchronous delivery hook: serialize the
@@ -701,6 +809,9 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, "%v", opErr)
 		return
 	}
+	if log := s.cfg.Logger; log != nil {
+		log.Debug("ingest", "accepted", res.Accepted, "rejected", res.Rejected)
+	}
 	writeJSON(w, http.StatusOK, res)
 }
 
@@ -927,4 +1038,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // LastTime returns the server's stream clock (for tests and embedding).
 func (s *Server) LastTime() timingsubg.Timestamp {
 	return timingsubg.Timestamp(s.lastTime)
+}
+
+// EngineStats returns the hosted fleet's counter-only snapshot — the
+// hook for embedders and the tsserved shutdown summary. Safe to call
+// while the server runs; the walking fields stay zero.
+func (s *Server) EngineStats() timingsubg.Stats {
+	return timingsubg.FastStats(s.fl)
 }

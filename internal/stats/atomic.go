@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// AtomicHistogram is the concurrency-safe sibling of Histogram: the
+// same log-bucketed layout with every cell updated atomically, so any
+// number of goroutines may Observe while others Snapshot. The zero
+// value is ready to use.
+//
+// Observe is wait-free except for the max update (a short CAS loop);
+// the cost is a handful of uncontended atomic adds, cheap enough to
+// leave on in the ingest hot path. Snapshot reads the buckets without
+// a lock, so a snapshot taken mid-Observe may be torn by a sample or
+// two across fields — the documented trade for a lock-free hot path.
+// Within a snapshot, Count is defined as the sum of the bucket counts
+// read, so cumulative expositions are always internally consistent.
+type AtomicHistogram struct {
+	counts [nBuckets]atomic.Uint64
+	sum    atomic.Int64
+	max    atomic.Int64
+}
+
+// Observe records one latency sample. Safe for concurrent use.
+func (h *AtomicHistogram) Observe(d time.Duration) {
+	h.counts[bucketFor(d)].Add(1)
+	h.sum.Add(int64(d))
+	for {
+		m := h.max.Load()
+		if int64(d) <= m || h.max.CompareAndSwap(m, int64(d)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of samples observed so far.
+func (h *AtomicHistogram) Count() uint64 {
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Snapshot summarizes the histogram at a point in time. Safe to call
+// concurrently with Observe.
+func (h *AtomicHistogram) Snapshot() Snapshot {
+	var counts [nBuckets]uint64
+	var n uint64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		counts[i] = c
+		n += c
+	}
+	return snapshotOf(&counts, n,
+		time.Duration(h.sum.Load()), time.Duration(h.max.Load()))
+}
+
+// Pipeline is the per-engine set of stage latency histograms the
+// serving plane exposes: one AtomicHistogram per pipeline stage, all
+// observed lock-free from the feed path and snapshotted by stats
+// samplers and the /metrics exposition. A nil *Pipeline disables
+// instrumentation everywhere it is threaded.
+type Pipeline struct {
+	// Ingest is end-to-end Feed/FeedBatch latency per edge (WAL append
+	// + fan-out + join + expiry + synchronous delivery).
+	Ingest AtomicHistogram
+	// WALAppend times each durable append call (including any fsync the
+	// append's cadence triggered); WALSync times each fsync alone.
+	WALAppend AtomicHistogram
+	WALSync   AtomicHistogram
+	// QueueWait is time a shard task spends queued before a fleet pool
+	// worker picks it up; ShardExec is the task's execution time.
+	QueueWait AtomicHistogram
+	ShardExec AtomicHistogram
+	// Join times core insert work per edge; Expiry times each
+	// window-expiry sweep (the batch of deletes one slide evicts).
+	Join   AtomicHistogram
+	Expiry AtomicHistogram
+	// Dispatch times synchronous match delivery (Publish fan-out to
+	// subscribers, including any Block-policy backpressure).
+	Dispatch AtomicHistogram
+	// Detection is the paper's detection latency: emit wallclock minus
+	// the triggering edge's arrival wallclock, engine-wide. Per-query
+	// detection histograms live on each fleet member.
+	Detection AtomicHistogram
+	// EventTimeLag is emit wallclock minus the triggering edge's event
+	// timestamp (Config.EventTimeUnit maps edge times to wallclock);
+	// only observed when an event-time unit is configured.
+	EventTimeLag AtomicHistogram
+}
+
+// NewPipeline returns an empty stage-histogram set.
+func NewPipeline() *Pipeline { return &Pipeline{} }

@@ -6,16 +6,22 @@
 package stats
 
 import (
-	"fmt"
 	"math"
 	"time"
 )
 
 // Histogram is a log-bucketed latency histogram: 1ns..~17m in buckets of
-// ~9% relative width. The zero value is ready to use. Not safe for
-// concurrent use; callers aggregate per goroutine and Merge.
+// ~9% relative width. The zero value is ready to use.
+//
+// Aggregation contract: a Histogram is single-writer. Observe and
+// Merge mutate and must not race with each other or with readers; the
+// supported concurrent pattern is one private Histogram per goroutine,
+// merged after the writers have stopped (or under the caller's lock).
+// TestHistogramShardMerge enforces this shape under -race. For a
+// histogram that is written and read concurrently without external
+// coordination, use AtomicHistogram.
 type Histogram struct {
-	counts [256]uint64
+	counts [nBuckets]uint64
 	total  uint64
 	sum    time.Duration
 	max    time.Duration
@@ -85,7 +91,14 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	return h.max
 }
 
-// Merge folds other into h.
+// Snapshot summarizes the histogram. An empty histogram snapshots to
+// all zeros.
+func (h *Histogram) Snapshot() Snapshot {
+	return snapshotOf(&h.counts, h.total, h.sum, h.max)
+}
+
+// Merge folds other into h. Merge is a write: see the aggregation
+// contract on Histogram for when it may run.
 func (h *Histogram) Merge(other *Histogram) {
 	for i, c := range other.counts {
 		h.counts[i] += c
@@ -97,12 +110,8 @@ func (h *Histogram) Merge(other *Histogram) {
 	}
 }
 
-// String summarizes the distribution.
-func (h *Histogram) String() string {
-	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v p999=%v max=%v",
-		h.total, h.Mean().Round(time.Nanosecond),
-		h.Quantile(0.50), h.Quantile(0.99), h.Quantile(0.999), h.max)
-}
+// String summarizes the distribution in the shared Snapshot form.
+func (h *Histogram) String() string { return h.Snapshot().String() }
 
 // Meter measures throughput over a run.
 type Meter struct {

@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"fmt"
+	"time"
+)
+
+// Snapshot is an immutable point-in-time summary of a histogram:
+// sample count, sum, mean, tail percentiles, and max, plus the raw
+// bucket counts needed to render cumulative-bucket expositions
+// (Prometheus). A Snapshot of an empty histogram is all zeros — never
+// NaN, never garbage percentiles — so callers can format it blindly.
+//
+// Snapshots marshal to JSON with nanosecond-valued fields (`p99_ns`,
+// `mean_ns`, ...); Snapshot.String is the one human-readable form the
+// CLIs share.
+type Snapshot struct {
+	Count uint64        `json:"count"`
+	Sum   time.Duration `json:"sum_ns"`
+	Mean  time.Duration `json:"mean_ns"`
+	P50   time.Duration `json:"p50_ns"`
+	P90   time.Duration `json:"p90_ns"`
+	P99   time.Duration `json:"p99_ns"`
+	P999  time.Duration `json:"p999_ns"`
+	Max   time.Duration `json:"max_ns"`
+
+	counts [nBuckets]uint64
+}
+
+const nBuckets = 256
+
+// snapshotOf summarizes one set of bucket counts. count must equal the
+// sum of counts so that cumulative-bucket expositions stay consistent
+// with Count.
+func snapshotOf(counts *[nBuckets]uint64, count uint64, sum, max time.Duration) Snapshot {
+	s := Snapshot{Count: count, Sum: sum, Max: max, counts: *counts}
+	if count == 0 {
+		return s
+	}
+	s.Mean = sum / time.Duration(count)
+	s.P50 = s.quantile(0.50)
+	s.P90 = s.quantile(0.90)
+	s.P99 = s.quantile(0.99)
+	s.P999 = s.quantile(0.999)
+	return s
+}
+
+// quantile estimates the q-quantile from the bucket counts: the lower
+// bound of the bucket holding the q·Count-th sample, capped at Max.
+func (s *Snapshot) quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	want := uint64(q * float64(s.Count))
+	if want >= s.Count {
+		want = s.Count - 1
+	}
+	var seen uint64
+	for i, c := range s.counts {
+		seen += c
+		if seen > want {
+			est := bucketLow(i)
+			if s.Max > 0 && est > s.Max {
+				est = s.Max
+			}
+			return est
+		}
+	}
+	return s.Max
+}
+
+// Quantile returns an estimate of the q-quantile (0 < q ≤ 1) from the
+// snapshot's bucket counts.
+func (s Snapshot) Quantile(q float64) time.Duration { return s.quantile(q) }
+
+// String renders the canonical one-line summary shared by the CLIs.
+func (s Snapshot) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p90=%v p99=%v p999=%v max=%v",
+		s.Count, s.Mean.Round(time.Nanosecond), s.P50, s.P90, s.P99, s.P999, s.Max)
+}
+
+// Bucket is one cumulative histogram bucket: the count of samples with
+// latency ≤ Le. The final bucket of Snapshot.Buckets always has
+// Count == Snapshot.Count (the +Inf bucket).
+type Bucket struct {
+	Le    time.Duration // upper bound; 0 marks the +Inf bucket
+	Count uint64        // samples ≤ Le (cumulative)
+}
+
+// promLadder is the fixed upper-bound ladder used for cumulative
+// expositions: powers of 4 from 1µs to ~4.3s, 12 finite bounds. The
+// fine-grained 256-bucket histogram is coarsened onto it so every
+// series shares a stable, small le-set.
+var promLadder = func() []time.Duration {
+	var l []time.Duration
+	for le := time.Microsecond; le <= 5*time.Second; le *= 4 {
+		l = append(l, le)
+	}
+	return l
+}()
+
+// Buckets renders the snapshot as cumulative buckets on the fixed
+// exposition ladder, ending with the +Inf bucket (Le == 0). Counts are
+// non-decreasing and the last equals Snapshot.Count.
+func (s Snapshot) Buckets() []Bucket {
+	out := make([]Bucket, 0, len(promLadder)+1)
+	var cum uint64
+	i := 0
+	for _, le := range promLadder {
+		// Fine bucket i covers [bucketLow(i), bucketLow(i+1)); fold every
+		// fine bucket whose low bound is ≤ le into the cumulative count.
+		// The ~9% bucket width bounds the coarsening error well under the
+		// 4× ladder step. Bucket nBuckets-1 is the clamp bucket — it holds
+		// every over-range sample, so it belongs only to +Inf.
+		for i < nBuckets-1 && bucketLow(i) <= le {
+			cum += s.counts[i]
+			i++
+		}
+		out = append(out, Bucket{Le: le, Count: cum})
+	}
+	out = append(out, Bucket{Le: 0, Count: s.Count})
+	return out
+}

@@ -1,0 +1,174 @@
+package stats
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestEmptySnapshotZeros: the satellite contract — an empty histogram
+// snapshots to all zeros, never NaN or garbage percentiles.
+func TestEmptySnapshotZeros(t *testing.T) {
+	for name, snap := range map[string]Snapshot{
+		"histogram": (&Histogram{}).Snapshot(),
+		"atomic":    (&AtomicHistogram{}).Snapshot(),
+		"zero":      {},
+	} {
+		if snap.Count != 0 || snap.Sum != 0 || snap.Mean != 0 ||
+			snap.P50 != 0 || snap.P90 != 0 || snap.P99 != 0 ||
+			snap.P999 != 0 || snap.Max != 0 {
+			t.Errorf("%s: empty snapshot not zero: %+v", name, snap)
+		}
+		if q := snap.Quantile(0.99); q != 0 {
+			t.Errorf("%s: Quantile on empty = %v", name, q)
+		}
+		if s := snap.String(); strings.Contains(s, "NaN") {
+			t.Errorf("%s: String contains NaN: %s", name, s)
+		}
+		bs := snap.Buckets()
+		if len(bs) == 0 || bs[len(bs)-1].Count != 0 {
+			t.Errorf("%s: empty buckets: %+v", name, bs)
+		}
+	}
+}
+
+func TestSnapshotSummary(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Max != 1000*time.Microsecond {
+		t.Errorf("max = %v", s.Max)
+	}
+	// Log buckets are ~9% wide; allow 15% relative error on percentiles.
+	for _, tc := range []struct {
+		got  time.Duration
+		want time.Duration
+	}{{s.P50, 500 * time.Microsecond}, {s.P90, 900 * time.Microsecond}, {s.P99, 990 * time.Microsecond}} {
+		if math.Abs(float64(tc.got)-float64(tc.want)) > 0.15*float64(tc.want) {
+			t.Errorf("percentile %v, want ~%v", tc.got, tc.want)
+		}
+	}
+	if s.Mean < 400*time.Microsecond || s.Mean > 600*time.Microsecond {
+		t.Errorf("mean = %v", s.Mean)
+	}
+	// JSON form carries nanosecond fields.
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"count":1000`, `"p50_ns"`, `"p999_ns"`, `"max_ns"`} {
+		if !strings.Contains(string(b), key) {
+			t.Errorf("JSON missing %s: %s", key, b)
+		}
+	}
+}
+
+// TestSnapshotBuckets checks the cumulative exposition invariants the
+// Prometheus golden test depends on: non-decreasing counts, and the
+// +Inf bucket equal to Count.
+func TestSnapshotBuckets(t *testing.T) {
+	var h AtomicHistogram
+	for _, d := range []time.Duration{
+		1, 100 * time.Nanosecond, time.Microsecond, 30 * time.Microsecond,
+		time.Millisecond, 70 * time.Millisecond, time.Second, 10 * time.Second,
+	} {
+		h.Observe(d)
+	}
+	s := h.Snapshot()
+	bs := s.Buckets()
+	var prev uint64
+	for _, b := range bs {
+		if b.Count < prev {
+			t.Fatalf("bucket counts decrease: %+v", bs)
+		}
+		prev = b.Count
+	}
+	last := bs[len(bs)-1]
+	if last.Le != 0 || last.Count != s.Count {
+		t.Fatalf("+Inf bucket = %+v, want count %d", last, s.Count)
+	}
+	// A 10s sample lies beyond the finite ladder: only +Inf holds it.
+	if bs[len(bs)-2].Count != s.Count-1 {
+		t.Errorf("top finite bucket = %d, want %d", bs[len(bs)-2].Count, s.Count-1)
+	}
+}
+
+// TestHistogramShardMerge enforces the documented aggregation contract
+// under -race: per-goroutine shards, merged after writers stop.
+func TestHistogramShardMerge(t *testing.T) {
+	const workers, perWorker = 8, 5000
+	shards := make([]Histogram, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(h *Histogram, seed int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Observe(time.Duration(seed*perWorker+i+1) * time.Nanosecond)
+			}
+		}(&shards[w], w)
+	}
+	wg.Wait()
+	var total Histogram
+	for i := range shards {
+		total.Merge(&shards[i])
+	}
+	if got := total.Count(); got != workers*perWorker {
+		t.Fatalf("merged count = %d, want %d", got, workers*perWorker)
+	}
+	if total.Max() != workers*perWorker*time.Nanosecond {
+		t.Errorf("merged max = %v", total.Max())
+	}
+}
+
+// TestAtomicHistogramConcurrent hammers Observe from many goroutines
+// while snapshots are taken concurrently — the -race proof that the
+// serving plane may scrape during ingest.
+func TestAtomicHistogramConcurrent(t *testing.T) {
+	const workers, perWorker = 8, 5000
+	var h AtomicHistogram
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s := h.Snapshot()
+				if s.Count > workers*perWorker {
+					panic("overcount")
+				}
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Observe(time.Duration(seed+i+1) * time.Nanosecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	s := h.Snapshot()
+	if s.Count != workers*perWorker {
+		t.Fatalf("count = %d, want %d", s.Count, workers*perWorker)
+	}
+	if s.Count != h.Count() {
+		t.Fatalf("Count() = %d, snapshot %d", h.Count(), s.Count)
+	}
+	if s.Max < time.Duration(perWorker)*time.Nanosecond {
+		t.Errorf("max = %v", s.Max)
+	}
+}

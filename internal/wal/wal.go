@@ -33,8 +33,10 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"timingsubg/internal/graph"
+	"timingsubg/internal/stats"
 )
 
 const (
@@ -84,6 +86,12 @@ type Options struct {
 	// wrap the real file to fail or tear a write mid-batch. Reads
 	// (scan, replay) always go through the real filesystem.
 	OpenFile OpenFileFunc
+	// SyncHist, when non-nil, observes the duration of every fsync the
+	// log performs (cadence syncs inside Append/AppendBatch as well as
+	// explicit Sync calls). The fsync happens inside the append path —
+	// callers timing Append from outside cannot separate it — so the
+	// log itself attributes it. Nil disables the measurement.
+	SyncHist *stats.AtomicHistogram
 }
 
 func (o *Options) norm() {
@@ -272,8 +280,15 @@ func (l *Log) SkipTo(seq int64) error {
 // Sync flushes the current segment to stable storage.
 func (l *Log) Sync() error {
 	l.pending = 0
+	var t time.Time
+	if l.opts.SyncHist != nil {
+		t = time.Now()
+	}
 	if err := l.f.Sync(); err != nil {
 		return fmt.Errorf("wal: sync: %w", err)
+	}
+	if l.opts.SyncHist != nil {
+		l.opts.SyncHist.Observe(time.Since(t))
 	}
 	return nil
 }

@@ -103,6 +103,17 @@ func cheapGauges(st Stats) map[string]func(Stats) any {
 		gauges["wal_seq"] = func(s Stats) any { return s.WALSeq }
 		gauges["replayed"] = func(s Stats) any { return s.Replayed }
 	}
+	if st.Detection != nil {
+		gauges["detection_p99_ns"] = func(s Stats) any {
+			if s.Detection == nil {
+				return int64(0)
+			}
+			return int64(s.Detection.P99)
+		}
+	}
+	if st.WatermarkLagNs != 0 || st.Detection != nil {
+		gauges["watermark_lag_ns"] = func(s Stats) any { return s.WatermarkLagNs }
+	}
 	return gauges
 }
 
@@ -130,6 +141,14 @@ func RegisterMetrics(r *MetricsRegistry, prefix string, eng Engine) error {
 	for name, field := range cheapGauges(st) {
 		field := field
 		if err := r.Register(prefix+"."+name, func() any { return field(fast()) }); err != nil {
+			return err
+		}
+	}
+	if st.Stages != nil {
+		// The whole per-stage latency breakdown as one structured gauge:
+		// the JSON registry serves nested histogram summaries without a
+		// metric name per quantile.
+		if err := r.Register(prefix+".stages", func() any { return fast().Stages }); err != nil {
 			return err
 		}
 	}

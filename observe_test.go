@@ -1,0 +1,273 @@
+package timingsubg_test
+
+import (
+	"testing"
+	"time"
+
+	"timingsubg"
+)
+
+// feedTwoHopMatch feeds a→b then b→c at t=1,2 — one complete match.
+func feedTwoHopMatch(t *testing.T, en timingsubg.Engine, ls []timingsubg.Label) {
+	t.Helper()
+	for i, e := range []timingsubg.Edge{
+		{From: 1, To: 2, FromLabel: ls[0], ToLabel: ls[1], Time: 1},
+		{From: 2, To: 3, FromLabel: ls[1], ToLabel: ls[2], Time: 2},
+	} {
+		if _, err := en.Feed(e); err != nil {
+			t.Fatalf("feed %d: %v", i, err)
+		}
+	}
+}
+
+// TestStagesPopulated: with metrics on (the default), a single engine's
+// snapshot carries the per-stage pipeline breakdown, and the stage
+// counts agree with the work done.
+func TestStagesPopulated(t *testing.T) {
+	q, _, ls := buildTwoHop(t)
+	en, err := timingsubg.Open(timingsubg.Config{Query: q, Window: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer en.Close()
+	feedTwoHopMatch(t, en, ls)
+
+	st := en.Stats()
+	if st.Stages == nil {
+		t.Fatal("Stages must be populated when metrics are on")
+	}
+	if got := st.Stages.Ingest.Count; got != 2 {
+		t.Errorf("Ingest count = %d, want 2 (one per fed edge)", got)
+	}
+	// The join stage is sampled (1 in core.statSampleStride, first call
+	// always), so two feeds yield exactly one observation.
+	if got := st.Stages.Join.Count; got != 1 {
+		t.Errorf("Join count = %d, want 1 sampled observation", got)
+	}
+	if st.Detection == nil || st.Detection.Count != 1 {
+		t.Errorf("Detection = %+v, want count 1 (one match)", st.Detection)
+	}
+	if st.Stages.Detection.Count != 1 {
+		t.Errorf("Stages.Detection count = %d, want 1", st.Stages.Detection.Count)
+	}
+	if st.Stages.Ingest.Max <= 0 || st.Stages.Ingest.P50 <= 0 {
+		t.Errorf("ingest latencies must be positive: %s", st.Stages.Ingest)
+	}
+	// No WAL, no shards, nothing expired, no event-time unit.
+	for name, c := range map[string]uint64{
+		"wal_append":   st.Stages.WALAppend.Count,
+		"wal_sync":     st.Stages.WALSync.Count,
+		"queue_wait":   st.Stages.QueueWait.Count,
+		"shard_exec":   st.Stages.ShardExec.Count,
+		"expiry":       st.Stages.Expiry.Count,
+		"event_lag":    st.Stages.EventTimeLag.Count,
+		"watermark_ns": uint64(st.WatermarkLagNs),
+	} {
+		if c != 0 {
+			t.Errorf("%s = %d, want 0 on an in-memory sequential engine", name, c)
+		}
+	}
+}
+
+// TestDisableMetrics: the ablation switch — no Stages, no Detection, no
+// watermark, and feeding still works.
+func TestDisableMetrics(t *testing.T) {
+	q, _, ls := buildTwoHop(t)
+	en, err := timingsubg.Open(timingsubg.Config{Query: q, Window: 10, DisableMetrics: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer en.Close()
+	feedTwoHopMatch(t, en, ls)
+	st := en.Stats()
+	if st.Stages != nil || st.Detection != nil || st.WatermarkLagNs != 0 {
+		t.Fatalf("DisableMetrics must zero the latency plane: %+v", st)
+	}
+	if st.Matches != 1 {
+		t.Fatalf("matching must be unaffected: %d matches", st.Matches)
+	}
+}
+
+// TestEventTimeLag: with EventTimeUnit set, matches observe event-time
+// lag and the snapshot carries a watermark lag.
+func TestEventTimeLag(t *testing.T) {
+	q, _, ls := buildTwoHop(t)
+	en, err := timingsubg.Open(timingsubg.Config{
+		Query: q, Window: 10, EventTimeUnit: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer en.Close()
+	feedTwoHopMatch(t, en, ls)
+	st := en.Stats()
+	if st.Stages.EventTimeLag.Count != 1 {
+		t.Errorf("EventTimeLag count = %d, want 1 (one match)", st.Stages.EventTimeLag.Count)
+	}
+	// Timestamps 1..2 ms since the epoch are decades behind wallclock.
+	if st.WatermarkLagNs <= 0 {
+		t.Errorf("WatermarkLagNs = %d, want > 0", st.WatermarkLagNs)
+	}
+}
+
+// TestFleetPerQueryAttribution: each fleet member carries its own
+// detection histogram and its query's share of the delivery counters,
+// while the fleet aggregate stays whole in Stages.
+func TestFleetPerQueryAttribution(t *testing.T) {
+	for _, workers := range []int{0, 2} {
+		t.Run(map[int]string{0: "sequential", 2: "sharded"}[workers], func(t *testing.T) {
+			q, _, ls := buildTwoHop(t)
+			q2, _, _ := buildTwoHop(t)
+			en, err := timingsubg.Open(timingsubg.Config{
+				Queries: []timingsubg.QuerySpec{
+					{Name: "hot", Query: q},
+					{Name: "cold", Query: q2},
+				},
+				Window:       10,
+				FleetWorkers: workers,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer en.Close()
+			sub, err := en.Subscribe(timingsubg.SubscribeOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sub.Cancel()
+			feedTwoHopMatch(t, en, ls)
+			for i := 0; i < 2; i++ {
+				<-sub.C()
+			}
+
+			st := en.Stats()
+			if st.Stages == nil {
+				t.Fatal("fleet Stages must be populated")
+			}
+			if got := st.Stages.Detection.Count; got != 2 {
+				t.Errorf("fleet-wide detection count = %d, want 2 (both members)", got)
+			}
+			if got := st.Stages.Ingest.Count; got != 2 {
+				t.Errorf("fleet ingest count = %d, want 2 (per fleet feed, not per member)", got)
+			}
+			for _, name := range []string{"hot", "cold"} {
+				ms := st.Queries[name]
+				if ms.Detection == nil || ms.Detection.Count != 1 {
+					t.Errorf("member %q detection = %+v, want count 1", name, ms.Detection)
+				}
+				if ms.SubscriptionDelivered != 1 {
+					t.Errorf("member %q delivered = %d, want 1", name, ms.SubscriptionDelivered)
+				}
+			}
+			if workers > 0 {
+				if st.Stages.ShardExec.Count == 0 || st.Stages.QueueWait.Count == 0 {
+					t.Errorf("sharded fleet must observe shard stages: exec=%d wait=%d",
+						st.Stages.ShardExec.Count, st.Stages.QueueWait.Count)
+				}
+			}
+		})
+	}
+}
+
+// TestSlowOpHook: a 1ns threshold makes every operation slow; the hook
+// sees feeds, batches and their stage breakdown synchronously.
+func TestSlowOpHook(t *testing.T) {
+	q, _, ls := buildTwoHop(t)
+	var ops []timingsubg.SlowOp
+	en, err := timingsubg.Open(timingsubg.Config{
+		Query: q, Window: 10,
+		SlowOpThreshold: time.Nanosecond,
+		OnSlowOp:        func(op timingsubg.SlowOp) { ops = append(ops, op) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer en.Close()
+	feedTwoHopMatch(t, en, ls)
+	if _, err := en.FeedBatch([]timingsubg.Edge{
+		{From: 3, To: 4, FromLabel: ls[0], ToLabel: ls[1], Time: 3},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	kinds := map[string]int{}
+	for _, op := range ops {
+		kinds[op.Op]++
+		if op.Total <= 0 {
+			t.Errorf("slow op %q reported non-positive total %v", op.Op, op.Total)
+		}
+	}
+	if kinds["feed"] != 2 {
+		t.Errorf("feed slow ops = %d, want 2 (got %v)", kinds["feed"], kinds)
+	}
+	if kinds["feed_batch"] != 1 {
+		t.Errorf("feed_batch slow ops = %d, want 1 (got %v)", kinds["feed_batch"], kinds)
+	}
+	for _, op := range ops {
+		if op.Op != "delivery" && op.Edges == 0 {
+			t.Errorf("feed op must carry its edge count: %+v", op)
+		}
+	}
+}
+
+// TestDurableWALStages: durable engines time the WAL append (and, with
+// a sync cadence, the fsync) as their own stages.
+func TestDurableWALStages(t *testing.T) {
+	q, _, ls := buildTwoHop(t)
+	en, err := timingsubg.Open(timingsubg.Config{
+		Query: q, Window: 10,
+		Durable: &timingsubg.Durability{Dir: t.TempDir(), SyncEvery: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer en.Close()
+	feedTwoHopMatch(t, en, ls)
+	st := en.Stats()
+	if got := st.Stages.WALAppend.Count; got != 2 {
+		t.Errorf("WALAppend count = %d, want 2", got)
+	}
+	if got := st.Stages.WALSync.Count; got == 0 {
+		t.Errorf("WALSync count = %d, want > 0 with SyncEvery=1", got)
+	}
+}
+
+// TestRecoveryReplaySuppressed: matches re-reported by durable recovery
+// replay must not pollute the detection or event-lag histograms — they
+// are not fresh detections.
+func TestRecoveryReplaySuppressed(t *testing.T) {
+	q, _, ls := buildTwoHop(t)
+	dir := t.TempDir()
+	open := func() timingsubg.Engine {
+		t.Helper()
+		en, err := timingsubg.Open(timingsubg.Config{
+			Query: q, Window: 10,
+			EventTimeUnit: time.Millisecond,
+			Durable:       &timingsubg.Durability{Dir: dir, SyncEvery: 1, CheckpointEvery: 1 << 20},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return en
+	}
+	en := open()
+	feedTwoHopMatch(t, en, ls)
+	// Simulate a crash: abandon without Close, so no checkpoint covers
+	// the fed edges and recovery must replay them from the WAL.
+
+	en = open() // recovery replays both edges and re-reports the match
+	defer en.Close()
+	st := en.Stats()
+	if st.Replayed == 0 {
+		t.Fatal("precondition: recovery must have replayed WAL edges")
+	}
+	if st.Matches != 1 {
+		t.Fatalf("replay must restore the match, got %d", st.Matches)
+	}
+	if got := st.Stages.Detection.Count; got != 0 {
+		t.Errorf("replayed match observed as a detection (count %d, want 0)", got)
+	}
+	if got := st.Stages.EventTimeLag.Count; got != 0 {
+		t.Errorf("replayed match observed as event-time lag (count %d, want 0)", got)
+	}
+}

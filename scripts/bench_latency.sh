@@ -1,0 +1,46 @@
+#!/usr/bin/env sh
+# bench_latency.sh — run the ingest-latency benchmark and emit the
+# results as BENCH_latency.json. The cells drive the 1e5-edge stream
+# through a metrics-on engine per-edge (feed) and batched (batch-1024)
+# and report the pipeline's own histogram percentiles: p50/p99 ingest
+# latency (feed call → edge joined and delivered) and p50/p99 detection
+# latency (edge arrival → match emission). It is the latency counterpart
+# to BENCH_core.json's throughput trajectory.
+#
+# Usage: scripts/bench_latency.sh [output.json]
+#   BENCHTIME=5x scripts/bench_latency.sh   # longer, more stable runs
+set -eu
+
+out="${1:-BENCH_latency.json}"
+benchtime="${BENCHTIME:-1x}"
+
+# Run first, convert second: plain sh has no pipefail, and a benchmark
+# failure must fail this script rather than emit an empty-but-green
+# artifact.
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+go test -run '^$' -bench '^BenchmarkIngestLatency$' -benchtime "$benchtime" . > "$raw"
+
+awk -v cores="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 0)" '
+    /^BenchmarkIngestLatency\// {
+      # BenchmarkIngestLatency/<mode>-<procs>  iters  ns/op  <value unit>...
+      name = $1; iters = $2
+      ns = ""; eps = ""; p50i = ""; p99i = ""; p50d = ""; p99d = ""
+      for (i = 3; i < NF; i++) {
+        if ($(i + 1) == "ns/op")         ns = $i
+        if ($(i + 1) == "edges/s")       eps = $i
+        if ($(i + 1) == "p50-ingest-ns") p50i = $i
+        if ($(i + 1) == "p99-ingest-ns") p99i = $i
+        if ($(i + 1) == "p50-detect-ns") p50d = $i
+        if ($(i + 1) == "p99-detect-ns") p99d = $i
+      }
+      if (n++) printf ",\n"
+      printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"edges_per_s\": %s, ", name, iters, ns, eps
+      printf "\"p50_ingest_ns\": %s, \"p99_ingest_ns\": %s, \"p50_detection_ns\": %s, \"p99_detection_ns\": %s}", p50i, p99i, p50d, p99d
+    }
+    BEGIN { if (cores == "") cores = 0; printf "{\n\"cores\": " cores ",\n\"benchmarks\": [\n" }
+    END   { printf "\n]\n}\n" }
+  ' "$raw" > "$out"
+
+echo "wrote $out:"
+cat "$out"

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"sync/atomic"
+	"time"
 
 	"timingsubg/internal/checkpoint"
 	"timingsubg/internal/core"
@@ -40,6 +41,15 @@ type single struct {
 	// edges whose matches were already reported (checkpoint recovery,
 	// adaptive rebuilds).
 	muted bool
+
+	// obs is the observability wiring (nil = metrics off). Fleet
+	// members share the fleet's pipeline and arrival clock but keep a
+	// private detection histogram — the per-query attribution.
+	obs *obs
+	// lastWALNs is the most recent Feed's WAL-append duration, for the
+	// slow-op breakdown. Plain field: the feed path is single-caller by
+	// the Engine contract, and it is only read within the same call.
+	lastWALNs int64
 
 	// Adaptivity state.
 	picked     []*query.TCSubquery
@@ -125,6 +135,9 @@ func newSingle(q *Query, o Options, adapt *Adaptivity, sink func(Delivery)) (*si
 		return nil, err
 	}
 	en := &single{q: q, opts: o, adapt: normAdaptivity(adapt), disp: dispatch.New(), ownsDisp: true}
+	if o.pipe != nil {
+		en.obs = newObs(o.pipe, o.eventUnitNs, o.slowOpNs, o.onSlowOp)
+	}
 	if sink != nil {
 		en.disp.SubscribeFunc(sink)
 	}
@@ -158,7 +171,7 @@ func openDurableSingle(q *Query, o Options, adapt *Adaptivity, dur Durability, s
 	if dur.CheckpointEvery <= 0 {
 		dur.CheckpointEvery = 4096
 	}
-	log, err := wal.Open(dur.Dir, wal.Options{SegmentBytes: dur.SegmentBytes, SyncEvery: dur.SyncEvery, OpenFile: dur.openFile})
+	log, err := wal.Open(dur.Dir, wal.Options{SegmentBytes: dur.SegmentBytes, SyncEvery: dur.SyncEvery, OpenFile: dur.openFile, SyncHist: pipeSync(o.pipe)})
 	if err != nil {
 		return nil, err
 	}
@@ -252,16 +265,26 @@ func (en *single) replayRecord(seq int64, e graph.Edge) error {
 // whose matches were already reported, so sequence numbers advance
 // exactly once per distinct match.
 func (en *single) newCoreEngine(dec *Decomposition) *core.Engine {
-	return core.New(en.q, core.Config{
+	cfg := core.Config{
 		Storage:       en.opts.Storage,
 		Decomposition: dec,
 		ScanProbes:    en.opts.scanProbes,
 		OnMatch: func(m *Match) {
-			if !en.muted {
-				en.disp.Publish(en.pubName, m)
+			if en.muted {
+				return
 			}
+			if o := en.obs; o != nil {
+				o.onMatch(en.pubName, m, func() { en.disp.Publish(en.pubName, m) })
+				return
+			}
+			en.disp.Publish(en.pubName, m)
 		},
-	})
+	}
+	if en.obs != nil {
+		cfg.JoinHist = &en.obs.pipe.Join
+		cfg.ExpiryHist = &en.obs.pipe.Expiry
+	}
+	return core.New(en.q, cfg)
 }
 
 // Subscribe implements Engine.
@@ -300,11 +323,21 @@ func (en *single) push(e Edge) (EdgeID, error) {
 // work. The monotonicity check runs before the WAL append so an
 // out-of-order edge can never poison the log.
 func (en *single) feedOne(e Edge) (EdgeID, error) {
+	en.lastWALNs = 0
 	if en.log != nil {
 		if e.Time <= en.stream.LastTime() {
 			return 0, fmt.Errorf("timingsubg: %w: got %d after %d", graph.ErrOutOfOrder, e.Time, en.stream.LastTime())
 		}
-		if _, err := en.log.Append(e); err != nil {
+		if en.obs != nil {
+			t := time.Now()
+			_, err := en.log.Append(e)
+			d := time.Since(t)
+			en.lastWALNs = int64(d)
+			en.obs.pipe.WALAppend.Observe(d)
+			if err != nil {
+				return 0, err
+			}
+		} else if _, err := en.log.Append(e); err != nil {
 			return 0, err
 		}
 	}
@@ -342,10 +375,23 @@ func (en *single) Feed(e Edge) (EdgeID, error) {
 	if en.closed {
 		return 0, ErrClosed
 	}
+	o := en.obs
+	if o == nil {
+		id, err := en.feedOne(e)
+		if err != nil {
+			return 0, err
+		}
+		return id, en.tick(1)
+	}
+	start := time.Now()
+	o.arrival.Store(start.UnixNano())
 	id, err := en.feedOne(e)
 	if err != nil {
 		return 0, err
 	}
+	total := time.Since(start)
+	o.pipe.Ingest.Observe(total)
+	o.slowFeed("feed", 1, total, time.Duration(en.lastWALNs))
 	return id, en.tick(1)
 }
 
@@ -355,23 +401,52 @@ func (en *single) FeedBatch(batch []Edge) (int, error) {
 	if en.closed {
 		return 0, ErrClosed
 	}
+	o := en.obs
+	var start time.Time
+	if o != nil {
+		start = time.Now()
+	}
 	n := len(batch)
 	var batchErr error
+	var walD time.Duration
 	if en.log != nil {
 		n, batchErr = monotonePrefix(batch, en.stream.LastTime())
 		// On a WAL failure, feed exactly the records that were durably
 		// appended — engine state must never diverge from the log (a
 		// logged-but-unfed edge would leave LastTime behind the log
 		// tail and let a later feed append non-monotonically).
-		if _, appended, werr := en.log.AppendBatch(batch[:n]); werr != nil {
+		if o != nil {
+			t := time.Now()
+			_, appended, werr := en.log.AppendBatch(batch[:n])
+			walD = time.Since(t)
+			o.pipe.WALAppend.Observe(walD)
+			if werr != nil {
+				n, batchErr = appended, werr
+			}
+		} else if _, appended, werr := en.log.AppendBatch(batch[:n]); werr != nil {
 			n, batchErr = appended, werr
 		}
 	}
+	// One clock read per edge: each iteration's end time is the next
+	// one's arrival stamp, so per-edge ingest latency and the detection
+	// arrival clock cost a single time.Now together.
+	prev := start
 	for i := 0; i < n; i++ {
+		if o != nil {
+			o.arrival.Store(prev.UnixNano())
+		}
 		if _, err := en.push(batch[i]); err != nil {
 			en.tick(i)
 			return i, fmt.Errorf("timingsubg: edge %d: %w", i, err)
 		}
+		if o != nil {
+			now := time.Now()
+			o.pipe.Ingest.Observe(now.Sub(prev))
+			prev = now
+		}
+	}
+	if o != nil {
+		o.slowFeed("feed_batch", n, time.Since(start), walD)
 	}
 	if err := en.tick(n); err != nil {
 		return n, err
@@ -557,6 +632,17 @@ func (en *single) statsFast() Stats {
 		st.Subscriptions = en.disp.Subscribers()
 		st.SubscriptionDelivered = en.disp.Delivered()
 		st.SubscriptionDropped = en.disp.Dropped()
+	}
+	if o := en.obs; o != nil {
+		det := o.det.Snapshot()
+		st.Detection = &det
+		if en.ownsDisp {
+			// Standalone engines carry the full stage view; fleet
+			// members leave it to the fleet aggregate (they share one
+			// pipeline).
+			st.Stages = o.stages()
+			st.WatermarkLagNs = watermarkLag(st.LastTime, o.eventUnitNs)
+		}
 	}
 	return st
 }
