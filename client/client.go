@@ -10,6 +10,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -19,6 +20,7 @@ import (
 type Client struct {
 	base string
 	hc   *http.Client
+	key  string
 }
 
 // New returns a client for the server at baseURL (e.g.
@@ -31,6 +33,27 @@ func New(baseURL string, hc *http.Client) *Client {
 		hc = http.DefaultClient
 	}
 	return &Client{base: strings.TrimRight(baseURL, "/"), hc: hc}
+}
+
+// WithAPIKey returns a copy of the client that authenticates every
+// request with the given API key (Authorization: Bearer). On a
+// multi-tenant server the key selects the tenant namespace all calls
+// operate in; the admin key addresses the raw roster instead. An
+// empty key returns the receiver unchanged.
+func (c *Client) WithAPIKey(key string) *Client {
+	if key == "" {
+		return c
+	}
+	cc := *c
+	cc.key = key
+	return &cc
+}
+
+// authorize attaches the client's API key, if any.
+func (c *Client) authorize(req *http.Request) {
+	if c.key != "" {
+		req.Header.Set("Authorization", "Bearer "+c.key)
+	}
 }
 
 // APIError is a non-2xx server response: the HTTP status code plus
@@ -47,15 +70,46 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("client: %s: %s", e.Status, e.Message)
 }
 
+// ErrRateLimited is the typed form of a 429 admission rejection: the
+// server refused the request before doing any work on it. RetryAfter
+// carries the server's Retry-After hint (zero when the rejection was
+// a hard quota, not a rate — retrying later won't help until capacity
+// is released). It unwraps to *APIError, so errors.As against either
+// type matches; check for *ErrRateLimited first when both matter.
+type ErrRateLimited struct {
+	APIError
+	RetryAfter time.Duration
+}
+
+func (e *ErrRateLimited) Error() string {
+	if e.RetryAfter > 0 {
+		return fmt.Sprintf("client: rate limited (retry after %v): %s", e.RetryAfter, e.Message)
+	}
+	return fmt.Sprintf("client: rate limited: %s", e.Message)
+}
+
+// Unwrap exposes the embedded APIError as a chain link, so existing
+// errors.As(err, &apiErr) call sites keep matching 429s.
+func (e *ErrRateLimited) Unwrap() error { return &e.APIError }
+
 // apiError turns a non-2xx response into an *APIError carrying the
-// status and the server's message body.
+// status and the server's message body — or an *ErrRateLimited for
+// 429s, with the Retry-After header parsed into a duration.
 func apiError(resp *http.Response) error {
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 	msg := strings.TrimSpace(string(body))
 	if msg == "" {
 		msg = resp.Status
 	}
-	return &APIError{StatusCode: resp.StatusCode, Status: resp.Status, Message: msg}
+	ae := APIError{StatusCode: resp.StatusCode, Status: resp.Status, Message: msg}
+	if resp.StatusCode == http.StatusTooManyRequests {
+		rl := &ErrRateLimited{APIError: ae}
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			rl.RetryAfter = time.Duration(secs) * time.Second
+		}
+		return rl
+	}
+	return &ae
 }
 
 func (c *Client) doJSON(ctx context.Context, method, path string, in, out any) error {
@@ -74,6 +128,7 @@ func (c *Client) doJSON(ctx context.Context, method, path string, in, out any) e
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	c.authorize(req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
@@ -124,6 +179,7 @@ func (c *Client) Ingest(ctx context.Context, edges []Edge) (IngestResult, error)
 		return out, err
 	}
 	req.Header.Set("Content-Type", "application/x-ndjson")
+	c.authorize(req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return out, err
@@ -163,6 +219,36 @@ func (c *Client) Health(ctx context.Context) error {
 		return fmt.Errorf("client: unhealthy: %q", h.Status)
 	}
 	return nil
+}
+
+// Ready probes the server's readiness endpoint. Unlike Health, which
+// answers as soon as the process is listening, Ready fails (503) while
+// a durable server is still replaying its log at boot — the signal a
+// load balancer or orchestrator should gate traffic on.
+func (c *Client) Ready(ctx context.Context) error {
+	var h Health
+	if err := c.doJSON(ctx, http.MethodGet, "/readyz", nil, &h); err != nil {
+		return err
+	}
+	if h.Status != "ready" {
+		return fmt.Errorf("client: not ready: %q", h.Status)
+	}
+	return nil
+}
+
+// CreateTenant registers a tenant (admin API: the client must carry
+// the server's admin key). The returned snapshot never echoes keys.
+func (c *Client) CreateTenant(ctx context.Context, spec TenantSpec) (TenantInfo, error) {
+	var out TenantInfo
+	err := c.doJSON(ctx, http.MethodPost, "/tenants", spec, &out)
+	return out, err
+}
+
+// Tenants lists every tenant with live usage (admin API).
+func (c *Client) Tenants(ctx context.Context) (TenantList, error) {
+	var out TenantList
+	err := c.doJSON(ctx, http.MethodGet, "/tenants", nil, &out)
+	return out, err
 }
 
 // SubscribeOptions configures Client.SubscribeOpts.
@@ -288,6 +374,19 @@ func (c *Client) SubscribeOpts(ctx context.Context, opts SubscribeOptions) (*Sub
 				if ctx.Err() != nil {
 					return
 				}
+				// A 429 is the server's admission control speaking, not a
+				// verdict on the subscription: honor Retry-After and keep
+				// trying. (Checked before the *APIError case it unwraps to.)
+				var limited *ErrRateLimited
+				if errors.As(rerr, &limited) {
+					if backoff *= 2; backoff > time.Second {
+						backoff = time.Second
+					}
+					if limited.RetryAfter > backoff {
+						backoff = limited.RetryAfter
+					}
+					continue
+				}
 				var apiErr *APIError
 				if errors.As(rerr, &apiErr) {
 					sub.setErr(rerr)
@@ -321,6 +420,7 @@ func (c *Client) openStream(ctx context.Context, queries []string, lastID string
 	if lastID != "" {
 		req.Header.Set("Last-Event-ID", lastID)
 	}
+	c.authorize(req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, err

@@ -23,7 +23,17 @@
 // number, stable across durable server restarts.
 //
 //	GET    /stats            sample live metrics           (JSON object)
-//	GET    /healthz          liveness probe
+//	GET    /healthz          liveness probe (answers as soon as the process listens)
+//	GET    /readyz           readiness probe (503 while durable recovery replays)
+//	POST   /tenants          register a tenant             (TenantSpec → TenantInfo, admin key)
+//	GET    /tenants          list tenants with usage       (TenantList, admin key)
+//
+// On a multi-tenant server every request carries an API key in the
+// Authorization: Bearer header (Client.WithAPIKey); the key selects
+// the tenant namespace the call operates in, and query names are
+// scoped per tenant. Admission rejections surface as *ErrRateLimited
+// (HTTP 429) carrying the server's Retry-After hint; SubscribeOptions
+// .Reconnect honors it when re-establishing a stream.
 package client
 
 // QueryRequest registers a continuous query with the server.
@@ -42,12 +52,19 @@ type QueryRequest struct {
 	// units. Must be positive; the serving layer routes by labels, so
 	// count-based windows are not accepted over the wire.
 	Window int64 `json:"window"`
+	// Tenant is the owning tenant. It is set by the server from the
+	// request's credential — a value sent by a client is overwritten —
+	// and appears in durable query registrations and admin listings.
+	Tenant string `json:"tenant,omitempty"`
 }
 
-// QueryInfo describes one live query.
+// QueryInfo describes one live query. Tenant is empty on a
+// single-tenant server; in tenant-scoped listings Name is the wire
+// name, in admin listings the full internal roster name.
 type QueryInfo struct {
 	Name   string `json:"name"`
 	Window int64  `json:"window"`
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // QueryList is the response of GET /queries.
@@ -103,8 +120,13 @@ type MatchEdge struct {
 // MatchEvent is one complete time-constrained match, delivered on the
 // SSE subscription stream.
 type MatchEvent struct {
-	// Query names the continuous query that matched.
+	// Query names the continuous query that matched — the wire name
+	// within its owner's namespace.
 	Query string `json:"query"`
+	// Tenant is the owning tenant (empty on a single-tenant server).
+	// It disambiguates admin streams that span namespaces, where two
+	// tenants may both run a query named Query.
+	Tenant string `json:"tenant,omitempty"`
 	// Seq is the engine's per-query delivery sequence number, from 1.
 	// It is stable across durable server restarts (recovery replay
 	// re-assigns the same numbers), so consumers that persist their
@@ -180,6 +202,9 @@ type EngineStats struct {
 	// parallel fan-out (tsserved -fleet-workers).
 	FleetWorkers int   `json:"fleet_workers,omitempty"`
 	ShardMembers []int `json:"shard_members,omitempty"`
+	// ShardBusyNs is each shard's cumulative busy time in nanoseconds —
+	// per-shard utilization for spotting skew across the fan-out.
+	ShardBusyNs []int64 `json:"shard_busy_ns,omitempty"`
 
 	// Subscriptions is the number of live match subscriptions (one per
 	// SSE consumer); SubscriptionDelivered/SubscriptionDropped are the
@@ -204,8 +229,67 @@ type EngineStats struct {
 	WatermarkLagNs int64 `json:"watermark_lag_ns,omitempty"`
 
 	Queries map[string]EngineStats `json:"queries,omitempty"`
+	// Groups aggregates queries sharing a group (the serving layer
+	// groups by owning tenant): summed counters plus a group-wide
+	// Detection histogram that survives query retirement.
+	Groups map[string]EngineStats `json:"groups,omitempty"`
 
 	Adaptive bool `json:"adaptive,omitempty"`
 	Durable  bool `json:"durable,omitempty"`
 	Fleet    bool `json:"fleet,omitempty"`
+}
+
+// TenantKey declares one API key of a tenant: the bearer credential
+// and its role ("write" — the default — or "read").
+type TenantKey struct {
+	Key  string `json:"key"`
+	Role string `json:"role,omitempty"`
+}
+
+// TenantLimits bounds a tenant's admission. Zero fields are unlimited,
+// so a spec states only what it wants to constrain. Rates refill token
+// buckets charged before work is read or queued; bursts default to one
+// second's worth of the rate.
+type TenantLimits struct {
+	EdgesPerSec      float64 `json:"edges_per_sec,omitempty"`
+	EdgeBurst        int     `json:"edge_burst,omitempty"`
+	BatchesPerSec    float64 `json:"batches_per_sec,omitempty"`
+	BatchBurst       int     `json:"batch_burst,omitempty"`
+	MaxQueries       int     `json:"max_queries,omitempty"`
+	MaxSubscriptions int     `json:"max_subscriptions,omitempty"`
+	// Weight is the tenant's fair share of the server's serialized
+	// work loop (default 1).
+	Weight float64 `json:"weight,omitempty"`
+}
+
+// TenantSpec declares one tenant: a tenants-file entry and the POST
+// /tenants request body (admin API).
+type TenantSpec struct {
+	Name   string       `json:"name"`
+	Keys   []TenantKey  `json:"keys,omitempty"`
+	Limits TenantLimits `json:"limits,omitempty"`
+}
+
+// TenantUsage is one tenant's live admission and ownership counters.
+type TenantUsage struct {
+	AdmittedEdges   int64 `json:"admitted_edges"`
+	RejectedEdges   int64 `json:"rejected_edges"`
+	AdmittedBatches int64 `json:"admitted_batches"`
+	RejectedBatches int64 `json:"rejected_batches"`
+	IngestBytes     int64 `json:"ingest_bytes"`
+	Queries         int   `json:"queries"`
+	Subscriptions   int   `json:"subscriptions"`
+}
+
+// TenantInfo is one tenant's admin-facing snapshot: declared limits
+// plus live usage. API keys are never echoed back.
+type TenantInfo struct {
+	Name   string       `json:"name"`
+	Limits TenantLimits `json:"limits"`
+	Usage  TenantUsage  `json:"usage"`
+}
+
+// TenantList is the response of GET /tenants (admin API).
+type TenantList struct {
+	Tenants []TenantInfo `json:"tenants"`
 }

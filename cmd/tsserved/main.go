@@ -24,7 +24,22 @@
 //	                         histograms, per-query detection latency and
 //	                         counters (served off the work queue, so a
 //	                         scrape never waits behind ingest)
-//	GET    /healthz          liveness
+//	GET    /healthz          liveness (200 as soon as the process listens)
+//	GET    /readyz           readiness (503 while durable recovery replays)
+//	POST   /tenants          register a tenant (admin key)
+//	GET    /tenants          list tenants with live usage (admin key)
+//
+// Multi-tenancy: -tenants-file loads a static tenant registry (JSON:
+// {"tenants":[{"name","keys":[{"key","role"}],"limits":{...}}]}),
+// -admin-key arms the /tenants admin API, and either flag switches the
+// server into tenant mode — every request then resolves its
+// Authorization: Bearer key to a tenant whose namespace scopes query
+// names, whose token buckets gate ingest *before* the work queue
+// (429 + Retry-After), and whose weight sets its fair share of the
+// serialized work loop. -default-tenant names the tenant that
+// unauthenticated requests act as, preserving single-tenant clients
+// unchanged. Without any of these flags tenancy is off and the wire
+// contract is exactly the pre-tenancy one.
 //
 // Observability: -log-level enables structured request/ingest logs,
 // -slow-op-threshold warns on slow feeds and deliveries with a
@@ -67,6 +82,7 @@ import (
 
 	"timingsubg"
 	"timingsubg/internal/server"
+	"timingsubg/internal/tenant"
 )
 
 // parseLogLevel maps the -log-level flag onto a slog handler; "" means
@@ -101,6 +117,9 @@ func main() {
 	logLevel := flag.String("log-level", "", "structured request/ingest logging: debug, info, warn or error (empty = off)")
 	slowOp := flag.Duration("slow-op-threshold", 0, "warn (with a per-stage breakdown) on any feed, batch or delivery slower than this (0 = off)")
 	eventUnit := flag.Duration("event-time-unit", 0, "edge timestamps are this many wallclock units since the Unix epoch (enables event-time lag and watermark lag; 0 = off)")
+	tenantsFile := flag.String("tenants-file", "", "multi-tenant mode: JSON tenant registry (names, API keys, limits)")
+	adminKey := flag.String("admin-key", "", "multi-tenant mode: bearer key for the /tenants admin API and raw-roster access")
+	defaultTenant := flag.String("default-tenant", "", "multi-tenant mode: tenant that unauthenticated requests act as (compatibility; created if not in -tenants-file)")
 	flag.Parse()
 	if *fleetWorkers < 0 {
 		log.Fatalf("tsserved: -fleet-workers must be non-negative, got %d", *fleetWorkers)
@@ -120,12 +139,48 @@ func main() {
 		SlowOpThreshold:  *slowOp,
 		EventTimeUnit:    *eventUnit,
 	}
+	if *tenantsFile != "" || *adminKey != "" || *defaultTenant != "" {
+		reg := tenant.NewRegistry()
+		if *tenantsFile != "" {
+			if err := reg.LoadFile(*tenantsFile); err != nil {
+				log.Fatalf("tsserved: %v", err)
+			}
+		}
+		if *defaultTenant != "" {
+			if _, ok := reg.Get(*defaultTenant); !ok {
+				if _, err := reg.Create(tenant.Spec{Name: *defaultTenant}); err != nil {
+					log.Fatalf("tsserved: -default-tenant: %v", err)
+				}
+			}
+			if err := reg.SetAnonymous(*defaultTenant); err != nil {
+				log.Fatalf("tsserved: -default-tenant: %v", err)
+			}
+		}
+		cfg.Tenants = reg
+		cfg.AdminKey = *adminKey
+		log.Printf("tsserved: multi-tenant mode: %d tenants", len(reg.Names()))
+	}
 	if *adaptive {
 		cfg.Adaptive = &timingsubg.Adaptivity{
 			ReoptimizeEvery: *reoptEvery,
 			MinGain:         *minGain,
 		}
 	}
+	// The listener opens before the serving core is built: during a
+	// durable recovery replay the gate answers /healthz 200 (the process
+	// is alive) and everything else 503 + Retry-After (not ready yet), so
+	// orchestrator probes can already distinguish "booting" from "dead".
+	gate := server.NewGate()
+	httpSrv := &http.Server{Addr: *listen, Handler: gate}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("tsserved: listening on %s", *listen)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
 	var srv *server.Server
 	if *walDir != "" {
 		srv, err = server.NewDurable(cfg, timingsubg.PersistentMultiOptions{
@@ -158,15 +213,7 @@ func main() {
 		handler = mux
 		log.Printf("tsserved: pprof on /debug/pprof/")
 	}
-	httpSrv := &http.Server{Addr: *listen, Handler: handler}
-	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
-	defer stop()
-
-	errc := make(chan error, 1)
-	go func() {
-		log.Printf("tsserved: listening on %s", *listen)
-		errc <- httpSrv.ListenAndServe()
-	}()
+	gate.Set(handler)
 
 	select {
 	case err := <-errc:

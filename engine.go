@@ -155,9 +155,19 @@ type Stats struct {
 	// ShardMembers is the number of live members assigned to each
 	// evaluation shard (sharded fleets only).
 	ShardMembers []int `json:"shard_members,omitempty"`
+	// ShardBusyNs is each evaluation shard's cumulative task execution
+	// time in nanoseconds — the per-shard utilization ledger whose skew
+	// shows how evenly member work spreads across FleetWorkers (sharded
+	// fleets with metrics enabled only).
+	ShardBusyNs []int64 `json:"shard_busy_ns,omitempty"`
 	// Queries holds per-member snapshots, keyed by query name (fleets
 	// only).
 	Queries map[string]Stats `json:"queries,omitempty"`
+	// Groups aggregates members sharing a QuerySpec.Group, keyed by
+	// group name: summed counters plus a group-wide Detection histogram
+	// that survives member retirement — the serving layer's per-tenant
+	// slice. Nil when no member declares a group (fleets only).
+	Groups map[string]Stats `json:"groups,omitempty"`
 
 	// Stages is the per-stage latency breakdown of the ingest pipeline
 	// (nil when Config.DisableMetrics is set; engine/fleet-level only —

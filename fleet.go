@@ -53,8 +53,19 @@ type fleetEngine struct {
 	mu      sync.RWMutex
 	members []*single // nil entries are retired slots, reusable by AddQuery
 	names   []string  // "" for retired slots
+	groups  []string  // per-slot QuerySpec.Group ("" = ungrouped)
 	live    int       // number of non-nil members
 	route   *router.Router
+
+	// groupDets holds one shared detection histogram per declared
+	// member group (QuerySpec.Group) — the per-tenant attribution
+	// behind Stats.Groups. Histograms are cumulative and never removed:
+	// a group's detection history survives its members' retirement,
+	// exactly as the fleet-wide pipeline histograms survive roster
+	// churn. Guarded by groupMu because members are constructed outside
+	// the roster lock.
+	groupMu   sync.Mutex
+	groupDets map[string]*stats.AtomicHistogram
 
 	// disp is the fleet's results plane: every member publishes into
 	// it under its query name, so one Subscribe call observes the
@@ -164,8 +175,28 @@ func (fl *fleetEngine) newMember(spec QuerySpec) (*single, error) {
 		en.obs.det = &stats.AtomicHistogram{}
 		en.obs.fleetDet = &fl.obs.pipe.Detection
 		en.obs.arrival = fl.obs.arrival
+		if spec.Group != "" {
+			en.obs.groupDet = fl.groupHist(spec.Group)
+		}
 	}
 	return en, nil
+}
+
+// groupHist returns group's shared detection histogram, creating it on
+// first use. Safe to call without the roster lock (AddQuery constructs
+// members before taking it).
+func (fl *fleetEngine) groupHist(group string) *stats.AtomicHistogram {
+	fl.groupMu.Lock()
+	defer fl.groupMu.Unlock()
+	if fl.groupDets == nil {
+		fl.groupDets = make(map[string]*stats.AtomicHistogram)
+	}
+	h, ok := fl.groupDets[group]
+	if !ok {
+		h = &stats.AtomicHistogram{}
+		fl.groupDets[group] = h
+	}
+	return h
 }
 
 // validateFleetSpec checks the per-query constraints of fleet
@@ -299,9 +330,11 @@ func (fl *fleetEngine) installLocked(spec QuerySpec, en *single) int {
 		slot = len(fl.members)
 		fl.members = append(fl.members, nil)
 		fl.names = append(fl.names, "")
+		fl.groups = append(fl.groups, "")
 	}
 	fl.members[slot] = en
 	fl.names[slot] = spec.Name
+	fl.groups[slot] = spec.Group
 	fl.live++
 	if en.adapt != nil {
 		fl.anyAdaptive = true
@@ -499,6 +532,7 @@ func (fl *fleetEngine) RemoveQuery(name string) error {
 	fl.members[i].Close()
 	fl.members[i] = nil
 	fl.names[i] = ""
+	fl.groups[i] = ""
 	fl.live--
 	if fl.route != nil {
 		fl.route.Remove(i)
@@ -1141,27 +1175,66 @@ func (fl *fleetEngine) stats(memberStats func(*single) Stats, withQueries bool) 
 			// dispatcher — members publish into the fleet's results plane.
 			ms.SubscriptionDelivered, ms.SubscriptionDropped = fl.disp.QueryCounts(fl.names[slot])
 			st.Queries[fl.names[slot]] = ms
-		}
-	}
-	if fl.pool == nil {
-		for i, m := range fl.members {
-			if m == nil {
-				continue
-			}
-			add(i, m)
-		}
-		return st
-	}
-	st.FleetWorkers = fl.pool.Workers()
-	st.ShardMembers = fl.pool.Load()
-	for s := range fl.shardMu {
-		fl.shardMu[s].Lock()
-		for _, slot := range fl.pool.Handles(s) {
-			if m := fl.members[slot]; m != nil {
-				add(slot, m)
+			if g := fl.groups[slot]; g != "" {
+				if st.Groups == nil {
+					st.Groups = make(map[string]Stats)
+				}
+				gs := st.Groups[g]
+				gs.Matches += ms.Matches
+				gs.Discarded += ms.Discarded
+				gs.InWindow += ms.InWindow
+				gs.PartialMatches += ms.PartialMatches
+				gs.SpaceBytes += ms.SpaceBytes
+				gs.JoinScanned += ms.JoinScanned
+				gs.JoinCandidates += ms.JoinCandidates
+				gs.Reoptimizations += ms.Reoptimizations
+				gs.SubscriptionDelivered += ms.SubscriptionDelivered
+				gs.SubscriptionDropped += ms.SubscriptionDropped
+				st.Groups[g] = gs
 			}
 		}
-		fl.shardMu[s].Unlock()
+	}
+	walk := func() {
+		if fl.pool == nil {
+			for i, m := range fl.members {
+				if m == nil {
+					continue
+				}
+				add(i, m)
+			}
+			return
+		}
+		st.FleetWorkers = fl.pool.Workers()
+		st.ShardMembers = fl.pool.Load()
+		if fl.obs != nil {
+			st.ShardBusyNs = fl.pool.Busy()
+		}
+		for s := range fl.shardMu {
+			fl.shardMu[s].Lock()
+			for _, slot := range fl.pool.Handles(s) {
+				if m := fl.members[slot]; m != nil {
+					add(slot, m)
+				}
+			}
+			fl.shardMu[s].Unlock()
+		}
+	}
+	walk()
+	if withQueries {
+		// Every declared group appears in the snapshot, live members or
+		// not: the shared detection histogram is cumulative, so a group
+		// whose queries have all retired still reports its history.
+		fl.groupMu.Lock()
+		for g, h := range fl.groupDets {
+			gs := st.Groups[g] // zero value for fully retired groups
+			det := h.Snapshot()
+			gs.Detection = &det
+			if st.Groups == nil {
+				st.Groups = make(map[string]Stats)
+			}
+			st.Groups[g] = gs
+		}
+		fl.groupMu.Unlock()
 	}
 	return st
 }

@@ -28,6 +28,7 @@
 package dispatch
 
 import (
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -67,6 +68,12 @@ type Options struct {
 	// Queries filters deliveries by query name; nil or empty means
 	// every query, including ones registered after the subscription.
 	Queries []string
+	// Prefix, when non-empty, additionally restricts the subscription
+	// to queries whose name starts with it — the namespace form of the
+	// filter. Unlike Queries it follows the roster dynamically: queries
+	// registered later under the prefix are delivered, and the
+	// subscription does not end when its current queries retire.
+	Prefix string
 	// Buffer is the channel capacity; values < 1 become 1.
 	Buffer int
 	// Policy is the overflow policy when the buffer is full.
@@ -173,6 +180,7 @@ func (d *Dispatcher) Subscribe(o Options) *Sub {
 	s := &Sub{
 		d:      d,
 		policy: o.Policy,
+		prefix: o.Prefix,
 		ch:     make(chan Delivery, o.Buffer),
 		done:   make(chan struct{}),
 	}
@@ -329,6 +337,7 @@ type Stats struct {
 type Sub struct {
 	d      *Dispatcher
 	filter map[string]struct{} // nil = all queries
+	prefix string              // "" = no prefix restriction
 	after  map[string]int64    // read-only resume cursors
 	policy Policy
 
@@ -370,6 +379,9 @@ func (s *Sub) Cancel() {
 // wants reports whether the subscription's filter admits query.
 // Caller holds d.mu (the filter itself is immutable).
 func (s *Sub) wants(query string) bool {
+	if s.prefix != "" && !strings.HasPrefix(query, s.prefix) {
+		return false
+	}
 	if s.filter == nil {
 		return true
 	}

@@ -21,6 +21,7 @@ package fleetpool
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"timingsubg/internal/stats"
@@ -48,6 +49,12 @@ type Pool struct {
 	// channel handoff orders the writes for the workers). Nil disables.
 	WaitHist *stats.AtomicHistogram
 	ExecHist *stats.AtomicHistogram
+
+	// busy accumulates each shard's cumulative task execution time, in
+	// nanoseconds — the per-shard utilization ledger behind Busy. Only
+	// metered tasks contribute (the histograms already pay for the clock
+	// reads; an unmetered pool stays clock-free).
+	busy []atomic.Int64
 }
 
 // New starts a pool of n shard workers (n < 1 is treated as 1).
@@ -59,6 +66,7 @@ func New(n int) *Pool {
 		tasks:   make([]chan task, n),
 		shards:  make([][]int, n),
 		shardOf: make(map[int]int),
+		busy:    make([]atomic.Int64, n),
 	}
 	for i := range p.tasks {
 		// Capacity 1: Run dispatches at most one task per shard per
@@ -79,7 +87,9 @@ func (p *Pool) worker(shard int) {
 			start := time.Now()
 			p.WaitHist.Observe(start.Sub(t.sent))
 			t.fn(shard)
-			p.ExecHist.Observe(time.Since(start))
+			d := time.Since(start)
+			p.ExecHist.Observe(d)
+			p.busy[shard].Add(int64(d))
 		}
 		t.done.Done()
 	}
@@ -130,6 +140,18 @@ func (p *Pool) ShardOf(handle int) (int, bool) {
 // is the pool's own; callers must not mutate it and must hold the same
 // exclusion they hold for Assign/Release while reading it.
 func (p *Pool) Handles(shard int) []int { return p.shards[shard] }
+
+// Busy returns each shard's cumulative task execution time in
+// nanoseconds (a fresh slice) — the skew between shards is the
+// fair-share scheduler's view of how evenly member work spreads. All
+// zeros when the pool runs unmetered (no histograms installed).
+func (p *Pool) Busy() []int64 {
+	out := make([]int64, len(p.busy))
+	for i := range p.busy {
+		out[i] = p.busy[i].Load()
+	}
+	return out
+}
 
 // Load returns the number of handles on each shard (a fresh slice).
 func (p *Pool) Load() []int {

@@ -1,0 +1,43 @@
+package server
+
+import (
+	"net/http"
+	"sync/atomic"
+
+	"timingsubg/client"
+)
+
+// Gate is the boot-time readiness gate: an http.Handler that can start
+// serving before the Server exists. Until Set installs the real
+// handler, /healthz answers 200 (the process is alive) while /readyz —
+// and every other route — answers 503 with Retry-After, which is the
+// honest state while durable recovery replays the WAL: the process is
+// up, but it must not receive traffic yet. cmd/tsserved listens behind
+// a Gate so orchestrators can distinguish "recovering, leave it alone"
+// from "dead, restart it" from the very first request.
+type Gate struct {
+	h atomic.Value // http.Handler once Set
+}
+
+// NewGate returns a gate with no handler installed.
+func NewGate() *Gate { return &Gate{} }
+
+// Set installs the real handler; all subsequent requests pass through.
+func (g *Gate) Set(h http.Handler) { g.h.Store(&h) }
+
+func (g *Gate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h, ok := g.h.Load().(*http.Handler); ok {
+		(*h).ServeHTTP(w, r)
+		return
+	}
+	if r.URL.Path == "/healthz" {
+		writeJSON(w, http.StatusOK, client.Health{Status: "ok"})
+		return
+	}
+	w.Header().Set("Retry-After", "1")
+	if r.URL.Path == "/readyz" {
+		writeJSON(w, http.StatusServiceUnavailable, client.Health{Status: "starting"})
+		return
+	}
+	httpError(w, http.StatusServiceUnavailable, "server starting (recovery in progress)")
+}

@@ -64,7 +64,7 @@ func (s *Server) handleProm(w http.ResponseWriter, r *http.Request) {
 	pw.Gauge("timingsubg_window_edges", nil, float64(st.InWindow))
 	pw.Gauge("timingsubg_queries", nil, float64(len(st.Queries)))
 	pw.Gauge("timingsubg_subscriptions", nil, float64(st.Subscriptions))
-	pw.Gauge("timingsubg_queue_depth", nil, float64(len(s.ops)))
+	pw.Gauge("timingsubg_queue_depth", nil, float64(s.sched.Len()))
 	if st.Durable {
 		pw.Counter("timingsubg_wal_seq", nil, float64(st.WALSeq))
 		pw.Counter("timingsubg_replayed_edges_total", nil, float64(st.Replayed))
@@ -88,6 +88,39 @@ func (s *Server) handleProm(w http.ResponseWriter, r *http.Request) {
 		pw.Counter("timingsubg_query_join_scanned_total", l, float64(qs.JoinScanned))
 		pw.Counter("timingsubg_query_join_candidates_total", l, float64(qs.JoinCandidates))
 		pw.Gauge("timingsubg_query_window_edges", l, float64(qs.InWindow))
+	}
+
+	// Per-tenant control-plane series — emitted only when tenancy is
+	// enabled, so a single-tenant server's exposition stays
+	// byte-identical to versions that predate the control plane.
+	// Tenant names come sorted from the registry; admission counters
+	// come from the tenant's buckets, engine counters and the
+	// tenant-wide detection histogram from the group aggregation
+	// (QuerySpec.Group = tenant), which survives query retirement.
+	if s.tenants != nil {
+		for _, name := range s.tenants.Names() {
+			tn, ok := s.tenants.Get(name)
+			if !ok {
+				continue
+			}
+			u := tn.Usage()
+			l := map[string]string{"tenant": name}
+			pw.Counter("timingsubg_tenant_admitted_edges_total", l, float64(u.AdmittedEdges))
+			pw.Counter("timingsubg_tenant_rejected_edges_total", l, float64(u.RejectedEdges))
+			pw.Counter("timingsubg_tenant_admitted_batches_total", l, float64(u.AdmittedBatches))
+			pw.Counter("timingsubg_tenant_rejected_batches_total", l, float64(u.RejectedBatches))
+			pw.Counter("timingsubg_tenant_ingest_bytes_total", l, float64(u.IngestBytes))
+			pw.Gauge("timingsubg_tenant_queries", l, float64(u.Queries))
+			pw.Gauge("timingsubg_tenant_subscriptions", l, float64(u.Subscriptions))
+			if gs, ok := st.Groups[name]; ok {
+				pw.Counter("timingsubg_tenant_matches_total", l, float64(gs.Matches))
+				pw.Counter("timingsubg_tenant_delivered_total", l, float64(gs.SubscriptionDelivered))
+				pw.Counter("timingsubg_tenant_dropped_total", l, float64(gs.SubscriptionDropped))
+				if gs.Detection != nil {
+					pw.Histogram("timingsubg_tenant_detection_latency_seconds", l, *gs.Detection)
+				}
+			}
+		}
 	}
 
 	// Per-stage latency histograms (absent when metrics are disabled).

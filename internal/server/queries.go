@@ -66,12 +66,21 @@ func LoadQueries(dir string) ([]client.QueryRequest, error) {
 		}
 		out = append(out, req)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	sort.Slice(out, func(i, j int) bool {
+		// Owner first: the load order (and so the fleet's slot order) is
+		// deterministic even when two tenants share a wire name.
+		if out[i].Tenant != out[j].Tenant {
+			return out[i].Tenant < out[j].Tenant
+		}
+		return out[i].Name < out[j].Name
+	})
 	return out, nil
 }
 
-// saveQueryFile atomically persists one registration.
-func saveQueryFile(dir string, req client.QueryRequest) error {
+// saveQueryFile atomically persists one registration as <base>.json —
+// base is the internal (tenant-scoped) roster name, while req.Name
+// stays the wire name, with req.Tenant recording the owner.
+func saveQueryFile(dir, base string, req client.QueryRequest) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("server: query registry mkdir: %w", err)
 	}
@@ -98,7 +107,7 @@ func saveQueryFile(dir string, req client.QueryRequest) error {
 		os.Remove(tmpName)
 		return fmt.Errorf("server: query file close: %w", err)
 	}
-	if err := os.Rename(tmpName, filepath.Join(dir, req.Name+queryFileSuffix)); err != nil {
+	if err := os.Rename(tmpName, filepath.Join(dir, base+queryFileSuffix)); err != nil {
 		os.Remove(tmpName)
 		return fmt.Errorf("server: query file rename: %w", err)
 	}

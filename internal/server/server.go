@@ -31,6 +31,19 @@
 // number. Because durable engines re-assign the same sequence numbers
 // during recovery replay, resumption composes with server restarts.
 //
+// # Multi-tenancy
+//
+// With a tenant registry configured (Config.Tenants), the server runs
+// a multi-tenant control plane: API keys resolve to tenants, each
+// tenant owns a private query namespace, per-tenant token buckets and
+// quotas reject over-limit work with 429 + Retry-After *before* it
+// reaches the work queue (admission control — reject, never
+// queue-then-drop), and the work queue itself becomes a weighted
+// fair-share scheduler so one flooding tenant cannot starve another's
+// operations. See tenancy.go. With no registry configured, everything
+// above is inert and the wire behavior is identical to a single-tenant
+// server.
+//
 // The wire types live in timingsubg/client, which is also the Go client
 // for this API.
 package server
@@ -54,6 +67,7 @@ import (
 	"timingsubg"
 	"timingsubg/client"
 	"timingsubg/internal/monitor"
+	"timingsubg/internal/tenant"
 )
 
 // Config tunes a Server.
@@ -87,8 +101,22 @@ type Config struct {
 	ReplayBuffer int
 	// QueueDepth bounds the serialized work queue (default 128
 	// outstanding operations). Producers beyond the bound block — the
-	// backpressure contract.
+	// backpressure contract. With tenancy enabled the bound is per
+	// tenant: one backlogged tenant fills only its own slice of the
+	// queue.
 	QueueDepth int
+
+	// Tenants enables the multi-tenant control plane: API-key auth,
+	// per-tenant namespaces, admission control and fair-share
+	// scheduling (see the package comment). Nil disables tenancy —
+	// every request is the implicit single tenant and the wire
+	// behavior is unchanged.
+	Tenants *tenant.Registry
+	// AdminKey, with Tenants set, is the bearer credential for the
+	// POST/GET /tenants admin API; it also grants the full (cross-
+	// tenant) view of /queries, /stats and /subscribe. Empty disables
+	// the admin API.
+	AdminKey string
 
 	// Logger, when non-nil, receives structured request logs (method,
 	// path, status, duration) and per-batch ingest accounting at Debug
@@ -136,6 +164,16 @@ type op struct {
 	done chan struct{}
 }
 
+// queryMeta is the server-side record of one live query: who owns it
+// and what it is called on the wire. Internal roster names are never
+// string-parsed — this map (keyed by internal name, under qmu) is the
+// only translation.
+type queryMeta struct {
+	tenant string // owning tenant; "" when tenancy is off or unowned
+	wire   string // tenant-facing name (= internal name when unowned)
+	window int64  // window in wire units
+}
+
 // Server hosts one query fleet behind the HTTP API. Create with New or
 // NewDurable, mount Handler, and Close on shutdown.
 type Server struct {
@@ -144,14 +182,20 @@ type Server struct {
 	fl       timingsubg.Fleet
 	replay   *replayStore
 	reg      *monitor.Registry
-	ops      chan op
+	tenants  *tenant.Registry // nil = tenancy disabled
+	adminKey string
+	// sched is the bounded work queue: one flow per tenant, weighted
+	// start-time fair queueing on the drain side, so admission and
+	// service are both isolated per tenant. Untenanted servers run one
+	// flow ("") and behave like a plain bounded FIFO.
+	sched    *tenant.Sched[op]
 	stopped  chan struct{}
 	loopDone chan struct{}
 	closer   sync.Once
 	closeErr error
 
 	qmu     sync.RWMutex
-	windows map[string]int64 // live query name → window (wire units)
+	queries map[string]queryMeta // internal query name → meta
 
 	queryDir string // query registration directory; "" when not durable
 	stateDir string // durability root (label table home); "" when not durable
@@ -208,6 +252,16 @@ func NewDurable(cfg Config, opts timingsubg.PersistentMultiOptions) (*Server, er
 	}
 	s.persistedLabels = s.labels.Len()
 
+	// Tenants created at runtime through the admin API are durable too;
+	// restore them before queries so owners exist when their queries
+	// load. The operator's static tenants file wins over a stale
+	// persisted spec of the same name.
+	if s.tenants != nil {
+		if err := loadTenants(filepath.Join(s.stateDir, "tenants"), s.tenants, s.sched); err != nil {
+			return nil, err
+		}
+	}
+
 	reqs, err := LoadQueries(s.queryDir)
 	if err != nil {
 		return nil, err
@@ -218,8 +272,40 @@ func NewDurable(cfg Config, opts timingsubg.PersistentMultiOptions) (*Server, er
 		if err != nil {
 			return nil, fmt.Errorf("server: persisted %w", err)
 		}
+		// The internal roster name is derived from the recorded owner,
+		// never from the current tenancy mode: checkpoint directories and
+		// replay rings are keyed by it, so it must be identical across
+		// restarts even if tenancy was toggled in between.
+		internal := req.Name
+		if req.Tenant != "" {
+			internal = req.Tenant + ":" + req.Name
+		}
+		meta := queryMeta{tenant: req.Tenant, wire: req.Name, window: req.Window}
+		if s.tenants == nil {
+			// Tenancy off: the roster is addressed verbatim, so a scoped
+			// name IS the wire name and nobody owns it.
+			meta.tenant, meta.wire = "", internal
+		} else if req.Tenant != "" {
+			owner, ok := s.tenants.Get(req.Tenant)
+			if !ok {
+				// Durable state outlives a tenants file that dropped the
+				// owner: re-register it key-less and unlimited so its
+				// queries keep matching (unreachable by credential until
+				// the admin re-adds keys).
+				owner, err = s.tenants.Create(tenant.Spec{Name: req.Tenant})
+				if err != nil {
+					return nil, fmt.Errorf("server: restore owner of query %q: %w", req.Name, err)
+				}
+				s.sched.SetWeight(owner.Name(), owner.Weight())
+			}
+			// Recovered queries count toward the quota gauge but are never
+			// dropped for exceeding a since-tightened MaxQueries.
+			owner.RestoreQuery()
+			spec.Group = req.Tenant
+		}
+		spec.Name = internal
 		specs = append(specs, spec)
-		s.windows[req.Name] = req.Window
+		s.queries[internal] = meta
 	}
 	fl, err := timingsubg.OpenFleet(timingsubg.Config{
 		Queries:         specs,
@@ -251,16 +337,26 @@ func NewDurable(cfg Config, opts timingsubg.PersistentMultiOptions) (*Server, er
 }
 
 func newServer(cfg Config) *Server {
-	return &Server{
+	s := &Server{
 		cfg:      cfg,
 		labels:   cfg.Labels,
 		replay:   newReplayStore(cfg.ReplayBuffer),
 		reg:      monitor.NewRegistry(),
-		ops:      make(chan op, cfg.QueueDepth),
+		tenants:  cfg.Tenants,
+		adminKey: cfg.AdminKey,
+		sched:    tenant.NewSched[op](cfg.QueueDepth),
 		stopped:  make(chan struct{}),
 		loopDone: make(chan struct{}),
-		windows:  make(map[string]int64),
+		queries:  make(map[string]queryMeta),
 	}
+	if s.tenants != nil {
+		for _, name := range s.tenants.Names() {
+			if t, ok := s.tenants.Get(name); ok {
+				s.sched.SetWeight(name, t.Weight())
+			}
+		}
+	}
+	return s
 }
 
 // finish wires metrics and routes once the fleet exists, then starts
@@ -284,7 +380,20 @@ func (s *Server) finish() {
 		_, _, dropped := timingsubg.SubscriptionCounters(s.fl)
 		return dropped
 	})
-	s.reg.MustRegister("server.queue_depth", func() any { return len(s.ops) })
+	s.reg.MustRegister("server.queue_depth", func() any { return s.sched.Len() })
+	if s.tenants != nil {
+		// The tenant-sliced view of the control plane: admission and
+		// ownership counters per tenant, for the monitor/stats plane.
+		s.reg.MustRegister("server.tenants", func() any {
+			out := make(map[string]tenant.Usage)
+			for _, name := range s.tenants.Names() {
+				if t, ok := s.tenants.Get(name); ok {
+					out[name] = t.Usage()
+				}
+			}
+			return out
+		})
+	}
 	// Fleet gauges derive generically from the unified Stats snapshot —
 	// no per-façade wiring. "fleet.stats" is the whole snapshot (the
 	// primary contract, self-describing and dynamic-roster-safe); the
@@ -322,6 +431,9 @@ func (s *Server) finish() {
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /metrics", s.handleProm)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("POST /tenants", s.handleCreateTenant)
+	mux.HandleFunc("GET /tenants", s.handleListTenants)
 	s.mux = mux
 	if s.cfg.Logger != nil {
 		s.mux = requestLog(s.cfg.Logger, mux)
@@ -381,67 +493,56 @@ func requestLog(log *slog.Logger, next http.Handler) http.Handler {
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // run drains the work queue; it is the single goroutine that touches
-// engine state.
+// engine state. The scheduler hands it the queued flow with the least
+// virtual service, and each executed op is charged back at its
+// measured wall time — that pair is what makes the loop fair-share:
+// over any busy interval, each backlogged tenant's ops get loop time
+// proportional to the tenant's weight.
 func (s *Server) run() {
 	defer close(s.loopDone)
-	exec := func(o op) {
+	for {
+		o, flow, ok := s.sched.Next()
+		if !ok {
+			return // closed and drained
+		}
 		if o.ctx.Err() == nil {
+			start := time.Now()
 			o.fn()
+			s.sched.Charge(flow, time.Since(start))
 		}
 		close(o.done)
-	}
-	for {
-		select {
-		case o := <-s.ops:
-			exec(o)
-		case <-s.stopped:
-			// Finish operations already admitted to the queue so their
-			// callers unblock, then stop.
-			for {
-				select {
-				case o := <-s.ops:
-					exec(o)
-				default:
-					return
-				}
-			}
-		}
 	}
 }
 
 // errClosed reports an operation submitted after Close.
 var errClosed = errors.New("server: closed")
 
-// do runs fn on the work loop and waits for it. Submission blocks while
-// the bounded queue is full — that is the backpressure path — and gives
-// up when ctx expires.
+// do runs fn on the work loop as the nil tenant (internal work, or a
+// request on an untenanted server).
 func (s *Server) do(ctx context.Context, fn func()) error {
+	return s.doAs(ctx, nil, fn)
+}
+
+// doAs submits fn to t's fair-share flow and waits for the loop to run
+// it. Submission blocks while the flow's slice of the bounded queue is
+// full — that is the backpressure path, and it is per tenant: another
+// tenant's backlog never blocks this Submit — and gives up when ctx
+// expires.
+func (s *Server) doAs(ctx context.Context, t *tenant.Tenant, fn func()) error {
 	o := op{ctx: ctx, fn: fn, done: make(chan struct{})}
-	select {
-	case s.ops <- o:
-	case <-ctx.Done():
-		return ctx.Err()
-	case <-s.stopped:
-		return errClosed
+	if err := s.sched.Submit(ctx, t.Name(), o); err != nil {
+		if errors.Is(err, tenant.ErrSchedClosed) {
+			return errClosed
+		}
+		return err
 	}
 	select {
 	case <-o.done:
 		return nil
 	case <-ctx.Done():
-		// The loop sees the dead ctx and skips the op when it reaches
-		// the front of the queue.
+		// The loop sees the dead ctx and skips the op when it surfaces;
+		// Close drains every admitted op, so done always closes.
 		return ctx.Err()
-	case <-s.stopped:
-		// The loop's final drain may already have passed when this op
-		// was buffered, in which case done will never close. Once the
-		// loop has fully exited, "did it run" has a definitive answer.
-		<-s.loopDone
-		select {
-		case <-o.done:
-			return nil
-		default:
-			return errClosed
-		}
 	}
 }
 
@@ -452,6 +553,9 @@ func (s *Server) do(ctx context.Context, fn func()) error {
 func (s *Server) Close() error {
 	s.closer.Do(func() {
 		close(s.stopped)
+		// Closing the scheduler rejects new submissions and lets the
+		// loop drain the ops already admitted, so their callers unblock.
+		s.sched.Close()
 		<-s.loopDone
 		s.closeErr = s.fl.Close()
 	})
@@ -496,6 +600,7 @@ func clientStats(st timingsubg.Stats) client.EngineStats {
 		RoutedFraction:  st.RoutedFraction,
 		FleetWorkers:    st.FleetWorkers,
 		ShardMembers:    st.ShardMembers,
+		ShardBusyNs:     st.ShardBusyNs,
 
 		Subscriptions:         st.Subscriptions,
 		SubscriptionDelivered: st.SubscriptionDelivered,
@@ -531,6 +636,12 @@ func clientStats(st timingsubg.Stats) client.EngineStats {
 			out.Queries[name] = clientStats(qs)
 		}
 	}
+	if len(st.Groups) > 0 {
+		out.Groups = make(map[string]client.EngineStats, len(st.Groups))
+		for name, gs := range st.Groups {
+			out.Groups[name] = clientStats(gs)
+		}
+	}
 	return out
 }
 
@@ -561,10 +672,19 @@ func (s *Server) record(dv timingsubg.Delivery) {
 	s.replay.add(dv.Query, ringEvent{seq: dv.Seq, data: data})
 }
 
-// matchEvent converts one engine delivery to its wire form.
+// matchEvent converts one engine delivery to its wire form. The
+// query's internal roster name is translated back to the owner's wire
+// name (plus the owning tenant, so an admin firehose stream stays
+// unambiguous when two tenants use the same wire name).
 func (s *Server) matchEvent(dv timingsubg.Delivery) client.MatchEvent {
 	m := dv.Match
-	ev := client.MatchEvent{Query: dv.Query, Seq: dv.Seq, Edges: make([]client.MatchEdge, len(m.Edges))}
+	wire, owner := dv.Query, ""
+	s.qmu.RLock()
+	if meta, ok := s.queries[dv.Query]; ok {
+		wire, owner = meta.wire, meta.tenant
+	}
+	s.qmu.RUnlock()
+	ev := client.MatchEvent{Query: wire, Tenant: owner, Seq: dv.Seq, Edges: make([]client.MatchEdge, len(m.Edges))}
 	for i, e := range m.Edges {
 		ev.Edges[i] = client.MatchEdge{
 			ID:   int64(e.ID),
@@ -592,20 +712,37 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 func (s *Server) handleAddQuery(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.authTenant(w, r, tenant.RoleWrite)
+	if !ok {
+		return
+	}
 	var req client.QueryRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, "bad query request: %v", err)
 		return
 	}
+	// Ownership is the credential's, never the request body's.
+	req.Tenant = t.Name()
 	spec, err := ParseQueryRequest(req, s.labels)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	internal := s.scopedName(t, req.Name)
+	spec.Name = internal
+	// Group = owning tenant: the engine aggregates the tenant's members
+	// into Stats.Groups[tenant], including the group-wide detection
+	// histogram ("" — untenanted — declares no group).
+	spec.Group = t.Name()
+	// Quota admission happens before the work queue, like all admission.
+	if !t.AcquireQuery() {
+		rateLimited(w, 0, "tenant %q: query quota exceeded (max %d)", t.Name(), t.Limits().MaxQueries)
+		return
+	}
 	var opErr error
 	status := http.StatusCreated
-	err = s.do(r.Context(), func() {
-		if s.fl.HasQuery(req.Name) {
+	err = s.doAs(r.Context(), t, func() {
+		if s.fl.HasQuery(internal) {
 			status = http.StatusConflict
 			opErr = fmt.Errorf("query %q already registered", req.Name)
 			return
@@ -621,58 +758,71 @@ func (s *Server) handleAddQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if s.queryDir != "" {
-			if err := saveQueryFile(s.queryDir, req); err != nil {
+			if err := saveQueryFile(s.queryDir, internal, req); err != nil {
 				// The query is live but would not survive a restart;
 				// surface that as a server error and roll it back.
-				s.fl.RemoveQuery(req.Name)
+				s.fl.RemoveQuery(internal)
 				status = http.StatusInternalServerError
 				opErr = err
 				return
 			}
 		}
 		s.qmu.Lock()
-		s.windows[req.Name] = req.Window
+		s.queries[internal] = queryMeta{tenant: t.Name(), wire: req.Name, window: req.Window}
 		s.qmu.Unlock()
 	})
 	if err != nil {
+		t.ReleaseQuery()
 		httpError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
 	if opErr != nil {
+		t.ReleaseQuery()
 		httpError(w, status, "%v", opErr)
 		return
 	}
-	writeJSON(w, status, client.QueryInfo{Name: req.Name, Window: req.Window})
+	writeJSON(w, status, client.QueryInfo{Name: req.Name, Tenant: t.Name(), Window: req.Window})
 }
 
 func (s *Server) handleRemoveQuery(w http.ResponseWriter, r *http.Request) {
-	name := r.PathValue("name")
+	t, ok := s.authTenant(w, r, tenant.RoleWrite)
+	if !ok {
+		return
+	}
+	wire := r.PathValue("name")
+	internal := s.scopedName(t, wire)
 	var opErr error
+	var owner string
 	status := http.StatusNoContent
-	err := s.do(r.Context(), func() {
-		if !s.fl.HasQuery(name) {
+	err := s.doAs(r.Context(), t, func() {
+		// Cross-tenant deletion is rejected by construction: a foreign
+		// query's internal name is outside the caller's prefix, so the
+		// lookup below cannot see it (404, same as a nonexistent name —
+		// existence itself is namespaced).
+		if !s.fl.HasQuery(internal) {
 			status = http.StatusNotFound
-			opErr = fmt.Errorf("unknown query %q", name)
+			opErr = fmt.Errorf("unknown query %q", wire)
 			return
 		}
-		if opErr = s.fl.RemoveQuery(name); opErr != nil {
+		if opErr = s.fl.RemoveQuery(internal); opErr != nil {
 			status = http.StatusInternalServerError
 			return
 		}
 		if s.queryDir != "" {
-			if err := removeQueryFile(s.queryDir, name); err != nil {
+			if err := removeQueryFile(s.queryDir, internal); err != nil {
 				status = http.StatusInternalServerError
 				opErr = err
 				return
 			}
 		}
 		s.qmu.Lock()
-		delete(s.windows, name)
+		owner = s.queries[internal].tenant
+		delete(s.queries, internal)
 		s.qmu.Unlock()
 		// The engine already ended the subscriptions filtered to this
 		// name and reset its delivery sequence; drop the resume ring so
 		// stale events cannot resurface under a reused name.
-		s.replay.drop(name)
+		s.replay.drop(internal)
 	})
 	if err != nil {
 		httpError(w, http.StatusServiceUnavailable, "%v", err)
@@ -681,16 +831,38 @@ func (s *Server) handleRemoveQuery(w http.ResponseWriter, r *http.Request) {
 	if opErr != nil {
 		httpError(w, status, "%v", opErr)
 		return
+	}
+	// Return the owner's quota slot (the admin may be deleting on a
+	// tenant's behalf, so resolve the recorded owner, not the caller).
+	if s.tenants != nil && owner != "" {
+		if ot, ok := s.tenants.Get(owner); ok {
+			ot.ReleaseQuery()
+		}
 	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
 func (s *Server) handleListQueries(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.authTenant(w, r, tenant.RoleRead)
+	if !ok {
+		return
+	}
 	names := s.fl.Names()
 	s.qmu.RLock()
 	list := client.QueryList{Queries: make([]client.QueryInfo, 0, len(names))}
 	for _, n := range names {
-		list.Queries = append(list.Queries, client.QueryInfo{Name: n, Window: s.windows[n]})
+		meta, known := s.queries[n]
+		if !known {
+			meta = queryMeta{wire: n}
+		}
+		if t != nil && meta.tenant != t.Name() {
+			continue // another tenant's — invisible, not just forbidden
+		}
+		name := n // admin and untenanted callers see roster names
+		if t != nil {
+			name = meta.wire
+		}
+		list.Queries = append(list.Queries, client.QueryInfo{Name: name, Tenant: meta.tenant, Window: meta.window})
 	}
 	s.qmu.RUnlock()
 	writeJSON(w, http.StatusOK, list)
@@ -706,17 +878,46 @@ type ingestLine struct {
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.authTenant(w, r, tenant.RoleWrite)
+	if !ok {
+		return
+	}
+	// Admission control runs here, before anything is read or queued:
+	// an over-limit request is rejected while it is still cheap — never
+	// admitted to the bounded work queue and then dropped. One POST
+	// costs one batch token, charged up front and not refunded (see
+	// tenant.AdmitBatch on why refunds would hide the limit).
+	if ok, wait := t.AdmitBatch(); !ok {
+		rateLimited(w, time.Duration(wait), "tenant %q: batch rate limit exceeded", t.Name())
+		return
+	}
 	var res client.IngestResult
 	var batch []ingestLine
-	sc := bufio.NewScanner(http.MaxBytesReader(w, r.Body, 64<<20))
+	body := &countingReader{r: r.Body}
+	defer func() { t.AddIngestBytes(body.n) }()
+	sc := bufio.NewScanner(http.MaxBytesReader(w, body, 64<<20))
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	line := 0
+	line, taken := 0, 0
 	for sc.Scan() {
 		line++
 		raw := sc.Bytes()
 		if len(raw) == 0 {
 			continue
 		}
+		// One edge token per non-empty line, charged before the line is
+		// even parsed. On exhaustion: stop reading immediately — the rest
+		// of the body never comes off the wire, and bytes-read accounting
+		// reflects that — refund the tokens this request took (nothing
+		// will be fed, so a retry after Retry-After can admit the same
+		// batch) and answer 429.
+		if ok, wait := t.AdmitEdge(); !ok {
+			t.RefundEdges(taken)
+			rateLimited(w, time.Duration(wait),
+				"tenant %q: edge rate limit exceeded at line %d (%d bytes read, nothing ingested)",
+				t.Name(), line, body.n)
+			return
+		}
+		taken++
 		var e client.Edge
 		if err := json.Unmarshal(raw, &e); err != nil {
 			res.Rejected++
@@ -747,7 +948,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 
 	var opErr error
-	err := s.do(r.Context(), func() {
+	err := s.doAs(r.Context(), t, func() {
 		// Any label this batch interned must hit disk before the first
 		// WAL append that references its ID.
 		if opErr = s.persistLabels(); opErr != nil {
@@ -884,12 +1085,28 @@ func resumeToken(high map[string]int64) string {
 // the HTTP response, preceded by a replay of ring events the
 // Last-Event-ID cursor proves the client has not seen.
 func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
-	names := subscribeNames(r)
-	for _, name := range names {
-		if !s.fl.HasQuery(name) {
-			httpError(w, http.StatusNotFound, "unknown query %q", name)
+	t, ok := s.authTenant(w, r, tenant.RoleRead)
+	if !ok {
+		return
+	}
+	wireNames := subscribeNames(r)
+	names := make([]string, len(wireNames))
+	for i, wire := range wireNames {
+		// A foreign query's internal name is outside the caller's
+		// namespace, so cross-tenant subscription fails here exactly like
+		// a nonexistent name.
+		names[i] = s.scopedName(t, wire)
+		if !s.fl.HasQuery(names[i]) {
+			httpError(w, http.StatusNotFound, "unknown query %q", wireNames[i])
 			return
 		}
+	}
+	// An unfiltered stream from a tenant is scoped to its namespace —
+	// the tenant's own queries, current AND future — by prefix, which
+	// the dispatcher evaluates per event (it follows the roster).
+	prefix := ""
+	if t != nil && len(names) == 0 {
+		prefix = t.Name() + ":"
 	}
 	after, err := parseResumeToken(r.Header.Get("Last-Event-ID"))
 	if err != nil {
@@ -901,6 +1118,12 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, "streaming unsupported by connection")
 		return
 	}
+	if !t.AcquireSubscription() {
+		rateLimited(w, 0, "tenant %q: subscription quota exceeded (max %d)",
+			t.Name(), t.Limits().MaxSubscriptions)
+		return
+	}
+	defer t.ReleaseSubscription()
 	// The live subscription attaches before the ring is read, with the
 	// client's cursors as AfterSeq: an event published in between lands
 	// in both and is emitted once (the high-water check below), an
@@ -909,6 +1132,7 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 	// ever blocking ingest.
 	sub, err := s.fl.Subscribe(timingsubg.SubscribeOptions{
 		Queries:  names,
+		Prefix:   prefix,
 		Buffer:   s.cfg.SubscriberBuffer,
 		Policy:   timingsubg.DropOldest,
 		AfterSeq: after,
@@ -931,7 +1155,7 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		if !live {
-			httpError(w, http.StatusNotFound, "no live query among %v", names)
+			httpError(w, http.StatusNotFound, "no live query among %v", wireNames)
 			return
 		}
 	}
@@ -941,7 +1165,7 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 	h.Set("Cache-Control", "no-cache")
 	h.Set("Connection", "keep-alive")
 	w.WriteHeader(http.StatusOK)
-	fmt.Fprintf(w, ": subscribed queries=%s\n\n", strings.Join(names, ","))
+	fmt.Fprintf(w, ": subscribed queries=%s\n\n", strings.Join(wireNames, ","))
 
 	high := make(map[string]int64, len(after))
 	for name, seq := range after {
@@ -964,6 +1188,15 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 		replayNames := names
 		if len(replayNames) == 0 {
 			replayNames = s.replay.queries()
+			if prefix != "" {
+				kept := replayNames[:0]
+				for _, name := range replayNames {
+					if strings.HasPrefix(name, prefix) {
+						kept = append(kept, name)
+					}
+				}
+				replayNames = kept
+			}
 		}
 		for _, name := range replayNames {
 			for _, ev := range s.replay.since(name, high[name]) {
@@ -1002,6 +1235,17 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.authTenant(w, r, tenant.RoleRead)
+	if !ok {
+		return
+	}
+	// A tenant gets its own slice: usage, group aggregate, per-query
+	// snapshots. The full registry view is for admins (and the
+	// untenanted server, where everything belongs to everyone).
+	if t != nil {
+		s.handleTenantStats(w, r, t)
+		return
+	}
 	// Sampling runs on the work loop so engine-internal gauges (space
 	// bytes, partial-match walks) never race an in-flight edge
 	// transaction; the registry supplies the metric set.
@@ -1031,8 +1275,26 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, payload)
 }
 
+// handleHealthz is pure liveness: 200 for as long as the process can
+// answer at all, even while shutting down. Whether the server should
+// receive traffic is /readyz's question.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, client.Health{Status: "ok"})
+}
+
+// handleReadyz is readiness: 200 only while the server is accepting
+// work. It flips to 503 the moment shutdown begins, so load balancers
+// drain ahead of the listener closing. The other not-ready window —
+// boot, while durable recovery replays the WAL — is covered by Gate,
+// which answers for these paths before the Server exists.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	select {
+	case <-s.stopped:
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, client.Health{Status: "shutting-down"})
+	default:
+		writeJSON(w, http.StatusOK, client.Health{Status: "ready"})
+	}
 }
 
 // LastTime returns the server's stream clock (for tests and embedding).

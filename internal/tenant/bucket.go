@@ -1,0 +1,93 @@
+package tenant
+
+import (
+	"sync"
+	"time"
+)
+
+// Bucket is a token bucket: it refills at rate tokens per second up to
+// a burst capacity, and admission takes tokens. A nil *Bucket is the
+// unlimited bucket — every Take succeeds, Put is a no-op — so callers
+// express "no limit configured" as nil instead of branching.
+//
+// Take is all-or-nothing and never debts the bucket: when the tokens
+// are not there the call takes nothing and reports how long until they
+// would be, which is exactly the Retry-After an admission rejection
+// needs. Put returns tokens taken for work that was then not performed
+// (e.g. ingest lines admitted before a later line tripped the limit),
+// keeping the advertised retry horizon honest.
+type Bucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second (> 0)
+	burst  float64 // capacity
+	tokens float64
+	last   time.Time
+	now    func() time.Time // test seam; time.Now in production
+}
+
+// NewBucket builds a bucket refilling at rate tokens/second with the
+// given burst capacity. Rate must be positive; burst < 1 becomes
+// max(1, rate) so a fresh bucket always admits at least one token.
+// The bucket starts full.
+func NewBucket(rate float64, burst int) *Bucket {
+	if rate <= 0 {
+		return nil
+	}
+	b := float64(burst)
+	if b < 1 {
+		b = rate
+		if b < 1 {
+			b = 1
+		}
+	}
+	return &Bucket{rate: rate, burst: b, tokens: b, now: time.Now}
+}
+
+// refillLocked advances the bucket to now.
+func (b *Bucket) refillLocked() {
+	now := b.now()
+	if !b.last.IsZero() {
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+}
+
+// Take removes n tokens if they are all available. Otherwise it takes
+// nothing and returns the duration until n tokens will have refilled —
+// the Retry-After horizon. A nil bucket always admits. Asking for more
+// than the burst capacity can never succeed; the returned wait is the
+// refill time for the missing tokens regardless, so callers that
+// over-ask see a finite (if hopeless) horizon and should bound n by
+// the burst themselves.
+func (b *Bucket) Take(n int) (ok bool, wait time.Duration) {
+	if b == nil || n <= 0 {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked()
+	need := float64(n)
+	if b.tokens >= need {
+		b.tokens -= need
+		return true, 0
+	}
+	return false, time.Duration((need - b.tokens) / b.rate * float64(time.Second))
+}
+
+// Put returns n tokens to the bucket, up to the burst capacity — the
+// refund path for admission that was granted and then not used.
+func (b *Bucket) Put(n int) {
+	if b == nil || n <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked()
+	b.tokens += float64(n)
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+}

@@ -1,0 +1,89 @@
+package tenant
+
+import (
+	"testing"
+	"time"
+)
+
+// clock is a settable test clock for buckets.
+type clock struct{ t time.Time }
+
+func (c *clock) now() time.Time { return c.t }
+
+func newTestBucket(rate float64, burst int) (*Bucket, *clock) {
+	c := &clock{t: time.Unix(1000, 0)}
+	b := NewBucket(rate, burst)
+	b.now = c.now
+	return b, c
+}
+
+func TestBucketTakeAndRefill(t *testing.T) {
+	b, c := newTestBucket(10, 5) // 10 tokens/s, burst 5, starts full
+
+	if ok, _ := b.Take(5); !ok {
+		t.Fatal("full bucket rejected its burst")
+	}
+	ok, wait := b.Take(1)
+	if ok {
+		t.Fatal("empty bucket admitted")
+	}
+	if want := 100 * time.Millisecond; wait != want {
+		t.Fatalf("wait = %v, want %v", wait, want)
+	}
+
+	// All-or-nothing: the failed Take must not have consumed anything —
+	// after exactly one token's refill time, one token is there.
+	c.t = c.t.Add(100 * time.Millisecond)
+	if ok, _ := b.Take(1); !ok {
+		t.Fatal("token not available after advertised wait")
+	}
+
+	// Refill caps at burst.
+	c.t = c.t.Add(time.Hour)
+	if ok, _ := b.Take(5); !ok {
+		t.Fatal("bucket did not refill to burst")
+	}
+	if ok, _ := b.Take(1); ok {
+		t.Fatal("bucket refilled past burst")
+	}
+}
+
+func TestBucketPut(t *testing.T) {
+	b, _ := newTestBucket(1, 3)
+	if ok, _ := b.Take(3); !ok {
+		t.Fatal("burst rejected")
+	}
+	b.Put(2)
+	if ok, _ := b.Take(2); !ok {
+		t.Fatal("refunded tokens not available")
+	}
+	// Put past the burst caps.
+	b.Put(100)
+	if ok, _ := b.Take(3); !ok {
+		t.Fatal("capped refund below burst")
+	}
+	if ok, _ := b.Take(1); ok {
+		t.Fatal("refund exceeded burst")
+	}
+}
+
+func TestBucketNilAndDefaults(t *testing.T) {
+	var b *Bucket
+	if ok, wait := b.Take(100); !ok || wait != 0 {
+		t.Fatal("nil bucket limited")
+	}
+	b.Put(1) // must not panic
+
+	if NewBucket(0, 5) != nil || NewBucket(-1, 5) != nil {
+		t.Fatal("non-positive rate produced a bucket")
+	}
+	// Default burst = rate; sub-1 rates still hold one token.
+	b2 := NewBucket(4, 0)
+	if ok, _ := b2.Take(4); !ok {
+		t.Fatal("default burst below rate")
+	}
+	b3 := NewBucket(0.5, 0)
+	if ok, _ := b3.Take(1); !ok {
+		t.Fatal("slow bucket does not hold one token")
+	}
+}

@@ -1,0 +1,207 @@
+package tenant
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrSchedClosed is returned by Sched.Submit after Close.
+var ErrSchedClosed = errors.New("tenant: scheduler closed")
+
+// Sched is a weighted start-time fair queueing scheduler over named
+// flows — the fair-share stage between admission and the serialized
+// execution loop. Each flow keeps its own bounded FIFO, so one
+// backlogged flow can fill only its own queue and never crowds another
+// flow out of admission; the drain side picks the queued flow with the
+// smallest virtual time, and Charge advances a flow's virtual time by
+// the measured cost of its work divided by its weight. Over any busy
+// interval each flow therefore receives service proportional to its
+// weight, regardless of how hard the others push.
+//
+// The intended loop is one drainer:
+//
+//	for item, flow, ok := s.Next(); ok; item, flow, ok = s.Next() {
+//		start := time.Now()
+//		run(item)
+//		s.Charge(flow, time.Since(start))
+//	}
+//
+// Submit may be called from any number of goroutines. A flow that goes
+// idle and returns re-enters at max(own vtime, scheduler vtime): it is
+// not owed credit for the time it was absent, the classic start-time
+// fairness rule.
+type Sched[T any] struct {
+	mu      sync.Mutex
+	flows   map[string]*flow[T]
+	vnow    float64 // virtual time of the most recently dispatched item
+	depth   int     // per-flow queue bound
+	pending int     // total queued items
+	closed  bool
+
+	work  chan struct{} // cap 1: "an item may be available"
+	space chan struct{} // closed and replaced when any queue frees a slot
+	done  chan struct{} // closed by Close
+}
+
+type flow[T any] struct {
+	weight float64
+	vtime  float64
+	queue  []T
+}
+
+// NewSched builds a scheduler whose flows each hold at most depth
+// queued items (depth < 1 becomes 1).
+func NewSched[T any](depth int) *Sched[T] {
+	if depth < 1 {
+		depth = 1
+	}
+	return &Sched[T]{
+		flows: make(map[string]*flow[T]),
+		depth: depth,
+		work:  make(chan struct{}, 1),
+		space: make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+}
+
+func (s *Sched[T]) flowLocked(name string) *flow[T] {
+	f := s.flows[name]
+	if f == nil {
+		f = &flow[T]{weight: 1}
+		s.flows[name] = f
+	}
+	return f
+}
+
+// SetWeight sets name's fair-share weight (values <= 0 become 1). A
+// flow with weight 2 receives twice the service of a weight-1 flow
+// over any interval where both are backlogged.
+func (s *Sched[T]) SetWeight(name string, w float64) {
+	if w <= 0 {
+		w = 1
+	}
+	s.mu.Lock()
+	s.flowLocked(name).weight = w
+	s.mu.Unlock()
+}
+
+// Submit enqueues item on name's flow, blocking while that flow's
+// queue is full. It returns ctx.Err() if the context ends first and
+// ErrSchedClosed after Close. Other flows' backlogs never block a
+// Submit — the bound is strictly per flow.
+func (s *Sched[T]) Submit(ctx context.Context, name string, item T) error {
+	for {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return ErrSchedClosed
+		}
+		f := s.flowLocked(name)
+		if len(f.queue) < s.depth {
+			if len(f.queue) == 0 && f.vtime < s.vnow {
+				// Reactivation: an idle flow re-enters at the current
+				// virtual time, carrying no credit for its absence.
+				f.vtime = s.vnow
+			}
+			f.queue = append(f.queue, item)
+			s.pending++
+			s.mu.Unlock()
+			select {
+			case s.work <- struct{}{}:
+			default:
+			}
+			return nil
+		}
+		space := s.space
+		s.mu.Unlock()
+		select {
+		case <-space:
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-s.done:
+			return ErrSchedClosed
+		}
+	}
+}
+
+// Next dequeues the head of the queued flow with the smallest virtual
+// time, blocking until an item is available. After Close it drains the
+// remaining queued items, then returns ok = false — every item
+// admitted before Close is still delivered.
+func (s *Sched[T]) Next() (item T, flowName string, ok bool) {
+	for {
+		s.mu.Lock()
+		var best *flow[T]
+		var bestName string
+		for n, f := range s.flows {
+			if len(f.queue) == 0 {
+				continue
+			}
+			// The name comparison breaks exact virtual-time ties
+			// deterministically (map order must not pick the winner).
+			if best == nil || f.vtime < best.vtime ||
+				(f.vtime == best.vtime && n < bestName) {
+				best, bestName = f, n
+			}
+		}
+		if best != nil {
+			item = best.queue[0]
+			var zero T
+			best.queue[0] = zero // drop the reference for GC
+			best.queue = best.queue[1:]
+			if len(best.queue) == 0 {
+				best.queue = nil // reset capacity; idle flows hold nothing
+			}
+			s.pending--
+			if best.vtime > s.vnow {
+				s.vnow = best.vtime
+			}
+			close(s.space) // a slot freed: wake every blocked Submit
+			s.space = make(chan struct{})
+			s.mu.Unlock()
+			return item, bestName, true
+		}
+		closed := s.closed
+		s.mu.Unlock()
+		if closed {
+			var zero T
+			return zero, "", false
+		}
+		select {
+		case <-s.work:
+		case <-s.done:
+		}
+	}
+}
+
+// Charge advances name's virtual time by cost scaled down by the
+// flow's weight. Call it after executing an item Next returned, with
+// the item's measured wall time.
+func (s *Sched[T]) Charge(name string, cost time.Duration) {
+	s.mu.Lock()
+	if f := s.flows[name]; f != nil {
+		f.vtime += float64(cost) / f.weight
+	}
+	s.mu.Unlock()
+}
+
+// Len returns the total number of queued items across all flows.
+func (s *Sched[T]) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pending
+}
+
+// Close rejects further Submits and wakes blocked ones. Items already
+// queued remain deliverable through Next, which returns ok = false
+// once they are drained. Idempotent.
+func (s *Sched[T]) Close() {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.done)
+	}
+	s.mu.Unlock()
+}

@@ -1,0 +1,238 @@
+package tenant
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSchedFIFOWithinFlow(t *testing.T) {
+	s := NewSched[int](8)
+	ctx := context.Background()
+	for i := 1; i <= 4; i++ {
+		if err := s.Submit(ctx, "a", i); err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+	}
+	for i := 1; i <= 4; i++ {
+		got, flow, ok := s.Next()
+		if !ok || flow != "a" || got != i {
+			t.Fatalf("Next() = %d, %q, %v; want %d, a, true", got, flow, ok, i)
+		}
+	}
+	if n := s.Len(); n != 0 {
+		t.Fatalf("Len() = %d after drain", n)
+	}
+}
+
+func TestSchedFairInterleaving(t *testing.T) {
+	s := NewSched[string](8)
+	ctx := context.Background()
+	// Flow "hot" queues 6 items, "quiet" queues 2. With equal weights
+	// and equal per-item cost, the quiet flow's items must not all wait
+	// behind the hot backlog.
+	for i := 0; i < 6; i++ {
+		if err := s.Submit(ctx, "hot", "h"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if err := s.Submit(ctx, "quiet", "q"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var order []string
+	for i := 0; i < 8; i++ {
+		_, flow, ok := s.Next()
+		if !ok {
+			t.Fatal("Next ended early")
+		}
+		order = append(order, flow)
+		s.Charge(flow, time.Millisecond)
+	}
+	// Both quiet items must be served within the first four dispatches:
+	// equal-cost charging alternates the two flows while both are
+	// backlogged.
+	quietSeen := 0
+	for _, f := range order[:4] {
+		if f == "quiet" {
+			quietSeen++
+		}
+	}
+	if quietSeen != 2 {
+		t.Fatalf("quiet flow starved: order = %v", order)
+	}
+}
+
+func TestSchedWeights(t *testing.T) {
+	s := NewSched[int](32)
+	s.SetWeight("heavy", 3)
+	ctx := context.Background()
+	for i := 0; i < 12; i++ {
+		if err := s.Submit(ctx, "heavy", i); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Submit(ctx, "light", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	counts := map[string]int{}
+	for i := 0; i < 8; i++ {
+		_, flow, ok := s.Next()
+		if !ok {
+			t.Fatal("Next ended early")
+		}
+		counts[flow]++
+		s.Charge(flow, time.Millisecond)
+	}
+	// Weight 3 vs 1 → the heavy flow gets ~3/4 of the first 8 slots.
+	if counts["heavy"] < 5 {
+		t.Fatalf("weighted flow under-served: %v", counts)
+	}
+}
+
+func TestSchedPerFlowBoundDoesNotCrossBlock(t *testing.T) {
+	s := NewSched[int](2)
+	ctx := context.Background()
+	// Fill flow "a" to its bound.
+	if err := s.Submit(ctx, "a", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Submit(ctx, "a", 2); err != nil {
+		t.Fatal(err)
+	}
+	// Flow "b" must still admit immediately despite "a" being full.
+	done := make(chan error, 1)
+	go func() { done <- s.Submit(ctx, "b", 1) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Submit(b): %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Submit(b) blocked behind flow a's backlog")
+	}
+
+	// A third "a" item blocks until Next frees a slot.
+	blocked := make(chan error, 1)
+	go func() { blocked <- s.Submit(ctx, "a", 3) }()
+	select {
+	case <-blocked:
+		t.Fatal("Submit(a) did not block on a full flow")
+	case <-time.After(50 * time.Millisecond):
+	}
+	if _, _, ok := s.Next(); !ok {
+		t.Fatal("Next failed")
+	}
+	select {
+	case err := <-blocked:
+		if err != nil {
+			t.Fatalf("unblocked Submit: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Submit(a) still blocked after a slot freed")
+	}
+}
+
+func TestSchedSubmitContextCancel(t *testing.T) {
+	s := NewSched[int](1)
+	if err := s.Submit(context.Background(), "a", 1); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Submit(ctx, "a", 2) }()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Submit = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled Submit did not return")
+	}
+}
+
+func TestSchedCloseDrains(t *testing.T) {
+	s := NewSched[int](8)
+	ctx := context.Background()
+	for i := 1; i <= 3; i++ {
+		if err := s.Submit(ctx, "a", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	if err := s.Submit(ctx, "a", 4); !errors.Is(err, ErrSchedClosed) {
+		t.Fatalf("Submit after Close = %v", err)
+	}
+	for i := 1; i <= 3; i++ {
+		got, _, ok := s.Next()
+		if !ok || got != i {
+			t.Fatalf("drain Next() = %d, %v; want %d, true", got, ok, i)
+		}
+	}
+	if _, _, ok := s.Next(); ok {
+		t.Fatal("Next returned an item after drain")
+	}
+}
+
+func TestSchedCloseUnblocksSubmit(t *testing.T) {
+	s := NewSched[int](1)
+	if err := s.Submit(context.Background(), "a", 1); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Submit(context.Background(), "a", 2) }()
+	time.Sleep(20 * time.Millisecond)
+	s.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrSchedClosed) {
+			t.Fatalf("Submit = %v, want ErrSchedClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not unblock Submit")
+	}
+}
+
+func TestSchedConcurrent(t *testing.T) {
+	s := NewSched[int](16)
+	const flows, perFlow = 4, 50
+	names := []string{"f0", "f1", "f2", "f3"}
+	var wg sync.WaitGroup
+	for f := 0; f < flows; f++ {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			for i := 0; i < perFlow; i++ {
+				if err := s.Submit(context.Background(), name, i); err != nil {
+					t.Errorf("Submit(%s): %v", name, err)
+					return
+				}
+			}
+		}(names[f])
+	}
+	got := make(map[string][]int)
+	for n := 0; n < flows*perFlow; n++ {
+		item, flow, ok := s.Next()
+		if !ok {
+			t.Fatal("Next ended early")
+		}
+		got[flow] = append(got[flow], item)
+		s.Charge(flow, time.Microsecond)
+	}
+	wg.Wait()
+	for _, name := range names {
+		if len(got[name]) != perFlow {
+			t.Fatalf("flow %s delivered %d items, want %d", name, len(got[name]), perFlow)
+		}
+		for i, v := range got[name] {
+			if v != i {
+				t.Fatalf("flow %s out of order at %d: %v", name, i, got[name][:i+1])
+			}
+		}
+	}
+}

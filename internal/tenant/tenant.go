@@ -1,0 +1,457 @@
+// Package tenant is the multi-tenant control plane of the serving
+// layer: named tenants owning namespaced queries and subscriptions, an
+// API-key registry resolving bearer credentials to a tenant and role,
+// per-tenant token-bucket admission for ingest, query/subscription
+// quotas, and a weighted fair-share scheduler that keeps one
+// backlogged tenant from monopolizing the serialized execution loop.
+//
+// The package is deliberately engine-agnostic: it knows nothing about
+// queries or edges, only about names, tokens and virtual time. The
+// server threads it through the HTTP boundary (admission before the
+// bounded work queue — reject, never queue-then-drop) and tags fleet
+// members with the owning tenant for per-tenant statistics.
+package tenant
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Role says what an API key may do.
+type Role string
+
+const (
+	// RoleWrite keys may ingest, register and retire queries,
+	// subscribe, and read stats — full tenant access.
+	RoleWrite Role = "write"
+	// RoleRead keys may list, subscribe and read stats only.
+	RoleRead Role = "read"
+)
+
+// Limits bound one tenant's admission. The zero value is unlimited:
+// every field left zero disables that limit, so a tenants file only
+// states what it wants to constrain.
+type Limits struct {
+	// EdgesPerSec refills the edge token bucket; EdgeBurst is its
+	// capacity (default: one second's worth). One ingested NDJSON line
+	// costs one token, charged before the line is parsed or queued.
+	EdgesPerSec float64 `json:"edges_per_sec,omitempty"`
+	EdgeBurst   int     `json:"edge_burst,omitempty"`
+	// BatchesPerSec refills the batch token bucket; BatchBurst is its
+	// capacity. One POST /ingest costs one token.
+	BatchesPerSec float64 `json:"batches_per_sec,omitempty"`
+	BatchBurst    int     `json:"batch_burst,omitempty"`
+	// MaxQueries caps concurrently registered queries; MaxSubscriptions
+	// caps concurrent SSE subscriptions.
+	MaxQueries       int `json:"max_queries,omitempty"`
+	MaxSubscriptions int `json:"max_subscriptions,omitempty"`
+	// Weight is the tenant's fair-share weight at the execution loop
+	// (default 1): with two backlogged tenants of weights 2 and 1, the
+	// first receives two thirds of the loop.
+	Weight float64 `json:"weight,omitempty"`
+}
+
+// KeySpec declares one API key of a tenant spec.
+type KeySpec struct {
+	// Key is the bearer credential, verbatim. Only its SHA-256 is kept
+	// in memory after registration.
+	Key string `json:"key"`
+	// Role defaults to write.
+	Role Role `json:"role,omitempty"`
+}
+
+// Spec declares one tenant: the tenants-file entry and the POST
+// /tenants request body.
+type Spec struct {
+	Name   string    `json:"name"`
+	Keys   []KeySpec `json:"keys,omitempty"`
+	Limits Limits    `json:"limits,omitempty"`
+}
+
+// File is the on-disk tenants file: a JSON object so the format can
+// grow fields without breaking old files.
+type File struct {
+	Tenants []Spec `json:"tenants"`
+}
+
+// Usage is one tenant's admission and ownership counters — the
+// per-tenant slice of GET /stats.
+type Usage struct {
+	AdmittedEdges   int64 `json:"admitted_edges"`
+	RejectedEdges   int64 `json:"rejected_edges"`
+	AdmittedBatches int64 `json:"admitted_batches"`
+	RejectedBatches int64 `json:"rejected_batches"`
+	IngestBytes     int64 `json:"ingest_bytes"`
+	Queries         int   `json:"queries"`
+	Subscriptions   int   `json:"subscriptions"`
+}
+
+// ValidateName checks a tenant name: non-empty, at most 64 bytes, and
+// limited to lowercase letters, digits, '-', '_' and '.' with no
+// leading dot. The alphabet excludes ':' (the namespace separator in
+// internal query names), '/' and '\' (names become path components of
+// durable state), and anything that could alias "." or "..".
+func ValidateName(name string) error {
+	if name == "" {
+		return errors.New("tenant name must be non-empty")
+	}
+	if len(name) > 64 {
+		return fmt.Errorf("tenant name %q exceeds 64 bytes", name)
+	}
+	if name[0] == '.' {
+		return fmt.Errorf("tenant name %q must not start with '.'", name)
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			return fmt.Errorf("tenant name %q: byte %q not in [a-z0-9._-]", name, c)
+		}
+	}
+	return nil
+}
+
+// Tenant is one namespace's live admission state. All methods are safe
+// for concurrent use. A nil *Tenant admits everything and counts
+// nothing — the "tenancy disabled" object.
+type Tenant struct {
+	name   string
+	limits Limits
+
+	edges   *Bucket // nil = unlimited
+	batches *Bucket // nil = unlimited
+
+	admittedEdges   atomic.Int64
+	rejectedEdges   atomic.Int64
+	admittedBatches atomic.Int64
+	rejectedBatches atomic.Int64
+	ingestBytes     atomic.Int64
+
+	mu            sync.Mutex // guards the quota gauges below
+	queries       int
+	subscriptions int
+}
+
+// newTenant builds a tenant with its buckets sized from limits.
+func newTenant(name string, l Limits) *Tenant {
+	return &Tenant{
+		name:    name,
+		limits:  l,
+		edges:   NewBucket(l.EdgesPerSec, l.EdgeBurst),
+		batches: NewBucket(l.BatchesPerSec, l.BatchBurst),
+	}
+}
+
+// Name returns the tenant's name ("" for the nil tenant).
+func (t *Tenant) Name() string {
+	if t == nil {
+		return ""
+	}
+	return t.name
+}
+
+// Limits returns the tenant's configured limits.
+func (t *Tenant) Limits() Limits {
+	if t == nil {
+		return Limits{}
+	}
+	return t.limits
+}
+
+// Weight returns the tenant's fair-share weight (1 when unset or nil).
+func (t *Tenant) Weight() float64 {
+	if t == nil || t.limits.Weight <= 0 {
+		return 1
+	}
+	return t.limits.Weight
+}
+
+// AdmitBatch charges one batch token. On rejection it returns the
+// Retry-After horizon. Batch tokens are never refunded: a rejected
+// request that retries immediately would otherwise never observe the
+// limit.
+func (t *Tenant) AdmitBatch() (ok bool, wait int64) {
+	if t == nil {
+		return true, 0
+	}
+	ok, w := t.batches.Take(1)
+	if ok {
+		t.admittedBatches.Add(1)
+		return true, 0
+	}
+	t.rejectedBatches.Add(1)
+	return false, int64(w)
+}
+
+// AdmitEdge charges one edge token — one NDJSON ingest line. On
+// rejection it returns the Retry-After horizon in nanoseconds.
+func (t *Tenant) AdmitEdge() (ok bool, wait int64) {
+	if t == nil {
+		return true, 0
+	}
+	ok, w := t.edges.Take(1)
+	if ok {
+		t.admittedEdges.Add(1)
+		return true, 0
+	}
+	t.rejectedEdges.Add(1)
+	return false, int64(w)
+}
+
+// RefundEdges returns n edge tokens taken for lines that were then not
+// fed (the early-abort path: lines admitted before a later line
+// tripped the limit are refunded so the advertised Retry-After is the
+// real horizon for the whole batch).
+func (t *Tenant) RefundEdges(n int) {
+	if t == nil || n <= 0 {
+		return
+	}
+	t.edges.Put(n)
+	t.admittedEdges.Add(int64(-n))
+}
+
+// AddIngestBytes accounts request-body bytes read for this tenant.
+func (t *Tenant) AddIngestBytes(n int64) {
+	if t == nil || n <= 0 {
+		return
+	}
+	t.ingestBytes.Add(n)
+}
+
+// AcquireQuery claims one query slot against MaxQueries, reporting
+// whether the quota admits it. Pair with ReleaseQuery.
+func (t *Tenant) AcquireQuery() bool {
+	if t == nil {
+		return true
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.limits.MaxQueries > 0 && t.queries >= t.limits.MaxQueries {
+		return false
+	}
+	t.queries++
+	return true
+}
+
+// RestoreQuery counts one recovered query slot without enforcing
+// MaxQueries: durable state is never dropped at boot for exceeding a
+// quota that was tightened after the query was registered.
+func (t *Tenant) RestoreQuery() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.queries++
+	t.mu.Unlock()
+}
+
+// ReleaseQuery returns one query slot.
+func (t *Tenant) ReleaseQuery() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.queries > 0 {
+		t.queries--
+	}
+	t.mu.Unlock()
+}
+
+// AcquireSubscription claims one subscription slot against
+// MaxSubscriptions. Pair with ReleaseSubscription.
+func (t *Tenant) AcquireSubscription() bool {
+	if t == nil {
+		return true
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.limits.MaxSubscriptions > 0 && t.subscriptions >= t.limits.MaxSubscriptions {
+		return false
+	}
+	t.subscriptions++
+	return true
+}
+
+// ReleaseSubscription returns one subscription slot.
+func (t *Tenant) ReleaseSubscription() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.subscriptions > 0 {
+		t.subscriptions--
+	}
+	t.mu.Unlock()
+}
+
+// Usage snapshots the tenant's counters.
+func (t *Tenant) Usage() Usage {
+	if t == nil {
+		return Usage{}
+	}
+	t.mu.Lock()
+	q, s := t.queries, t.subscriptions
+	t.mu.Unlock()
+	return Usage{
+		AdmittedEdges:   t.admittedEdges.Load(),
+		RejectedEdges:   t.rejectedEdges.Load(),
+		AdmittedBatches: t.admittedBatches.Load(),
+		RejectedBatches: t.rejectedBatches.Load(),
+		IngestBytes:     t.ingestBytes.Load(),
+		Queries:         q,
+		Subscriptions:   s,
+	}
+}
+
+// keyEntry resolves one hashed API key.
+type keyEntry struct {
+	tenant *Tenant
+	role   Role
+}
+
+// Registry is the tenant roster and API-key resolver. Keys are held
+// as SHA-256 digests only; Resolve hashes the presented credential and
+// compares digests in constant time.
+type Registry struct {
+	mu      sync.RWMutex
+	tenants map[string]*Tenant
+	keys    map[[sha256.Size]byte]keyEntry
+	anon    *Tenant // tenant served to unauthenticated requests; nil = reject
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		tenants: make(map[string]*Tenant),
+		keys:    make(map[[sha256.Size]byte]keyEntry),
+	}
+}
+
+// Create registers one tenant from its spec. It validates the name,
+// rejects duplicate tenants and keys, and defaults each key's role to
+// write.
+func (r *Registry) Create(spec Spec) (*Tenant, error) {
+	if err := ValidateName(spec.Name); err != nil {
+		return nil, err
+	}
+	for _, k := range spec.Keys {
+		if k.Key == "" {
+			return nil, fmt.Errorf("tenant %q: empty API key", spec.Name)
+		}
+		switch k.Role {
+		case "", RoleWrite, RoleRead:
+		default:
+			return nil, fmt.Errorf("tenant %q: unknown role %q (want %q or %q)",
+				spec.Name, k.Role, RoleWrite, RoleRead)
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.tenants[spec.Name]; dup {
+		return nil, fmt.Errorf("tenant %q already exists", spec.Name)
+	}
+	for _, k := range spec.Keys {
+		if _, dup := r.keys[sha256.Sum256([]byte(k.Key))]; dup {
+			return nil, fmt.Errorf("tenant %q: API key already registered", spec.Name)
+		}
+	}
+	t := newTenant(spec.Name, spec.Limits)
+	r.tenants[spec.Name] = t
+	for _, k := range spec.Keys {
+		role := k.Role
+		if role == "" {
+			role = RoleWrite
+		}
+		r.keys[sha256.Sum256([]byte(k.Key))] = keyEntry{tenant: t, role: role}
+	}
+	return t, nil
+}
+
+// Get returns the named tenant.
+func (r *Registry) Get(name string) (*Tenant, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	t, ok := r.tenants[name]
+	return t, ok
+}
+
+// Names returns the registered tenant names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.tenants))
+	for n := range r.tenants {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Resolve maps a bearer credential to its tenant and role. The lookup
+// is by SHA-256 digest: equality of digests stands in for equality of
+// keys, and because the attacker cannot choose the digest of an
+// unknown key, the map lookup's timing leaks nothing useful about
+// registered credentials.
+func (r *Registry) Resolve(key string) (*Tenant, Role, bool) {
+	if key == "" {
+		return nil, "", false
+	}
+	sum := sha256.Sum256([]byte(key))
+	r.mu.RLock()
+	e, ok := r.keys[sum]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, "", false
+	}
+	return e.tenant, e.role, true
+}
+
+// SetAnonymous maps unauthenticated requests to the named tenant — the
+// default-tenant compatibility mode. The tenant must already exist.
+func (r *Registry) SetAnonymous(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.tenants[name]
+	if !ok {
+		return fmt.Errorf("default tenant %q not registered", name)
+	}
+	r.anon = t
+	return nil
+}
+
+// Anonymous returns the tenant served to unauthenticated requests, or
+// nil when such requests must be rejected.
+func (r *Registry) Anonymous() *Tenant {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.anon
+}
+
+// LoadFile reads a tenants file (see File) and registers every entry.
+func (r *Registry) LoadFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var f File
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return fmt.Errorf("tenants file %s: %w", path, err)
+	}
+	for _, spec := range f.Tenants {
+		if _, err := r.Create(spec); err != nil {
+			return fmt.Errorf("tenants file %s: %w", path, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,197 @@
+package tenant
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestValidateName(t *testing.T) {
+	for _, good := range []string{"a", "acme", "acme-prod", "a.b_c-9", "x0"} {
+		if err := ValidateName(good); err != nil {
+			t.Errorf("ValidateName(%q) = %v, want nil", good, err)
+		}
+	}
+	for _, bad := range []string{
+		"", ".", "..", ".hidden", "UPPER", "a:b", "a/b", `a\b`, "a b",
+		string(make([]byte, 65)),
+	} {
+		if err := ValidateName(bad); err == nil {
+			t.Errorf("ValidateName(%q) = nil, want error", bad)
+		}
+	}
+}
+
+func TestRegistryCreateResolve(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Create(Spec{
+		Name: "acme",
+		Keys: []KeySpec{{Key: "k-write"}, {Key: "k-read", Role: RoleRead}},
+	}); err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+
+	tn, role, ok := r.Resolve("k-write")
+	if !ok || tn.Name() != "acme" || role != RoleWrite {
+		t.Fatalf("Resolve(k-write) = %v, %q, %v", tn.Name(), role, ok)
+	}
+	tn, role, ok = r.Resolve("k-read")
+	if !ok || tn.Name() != "acme" || role != RoleRead {
+		t.Fatalf("Resolve(k-read) = %v, %q, %v", tn.Name(), role, ok)
+	}
+	if _, _, ok := r.Resolve("nope"); ok {
+		t.Fatal("Resolve(nope) succeeded")
+	}
+	if _, _, ok := r.Resolve(""); ok {
+		t.Fatal("Resolve(\"\") succeeded")
+	}
+
+	// Duplicate tenant and duplicate key are both rejected.
+	if _, err := r.Create(Spec{Name: "acme"}); err == nil {
+		t.Fatal("duplicate tenant accepted")
+	}
+	if _, err := r.Create(Spec{Name: "other", Keys: []KeySpec{{Key: "k-write"}}}); err == nil {
+		t.Fatal("duplicate key accepted")
+	}
+	// A failed Create must not leave the tenant behind.
+	if _, ok := r.Get("other"); ok {
+		t.Fatal("failed Create left tenant registered")
+	}
+	if _, err := r.Create(Spec{Name: "bad", Keys: []KeySpec{{Key: "k", Role: "admin"}}}); err == nil {
+		t.Fatal("unknown role accepted")
+	}
+}
+
+func TestRegistryAnonymous(t *testing.T) {
+	r := NewRegistry()
+	if r.Anonymous() != nil {
+		t.Fatal("empty registry has an anonymous tenant")
+	}
+	if err := r.SetAnonymous("ghost"); err == nil {
+		t.Fatal("SetAnonymous(ghost) succeeded")
+	}
+	if _, err := r.Create(Spec{Name: "default"}); err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if err := r.SetAnonymous("default"); err != nil {
+		t.Fatalf("SetAnonymous: %v", err)
+	}
+	if got := r.Anonymous().Name(); got != "default" {
+		t.Fatalf("Anonymous() = %q", got)
+	}
+}
+
+func TestLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tenants.json")
+	body := `{"tenants":[
+		{"name":"acme","keys":[{"key":"ka"}],"limits":{"edges_per_sec":100,"max_queries":2}},
+		{"name":"beta","keys":[{"key":"kb","role":"read"}]}
+	]}`
+	if err := os.WriteFile(path, []byte(body), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	r := NewRegistry()
+	if err := r.LoadFile(path); err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	if got := r.Names(); len(got) != 2 || got[0] != "acme" || got[1] != "beta" {
+		t.Fatalf("Names() = %v", got)
+	}
+	tn, _ := r.Get("acme")
+	if tn.Limits().EdgesPerSec != 100 || tn.Limits().MaxQueries != 2 {
+		t.Fatalf("acme limits = %+v", tn.Limits())
+	}
+
+	// Unknown fields are a config error, not silently dropped.
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"tenant":[]}`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.LoadFile(bad); err == nil {
+		t.Fatal("LoadFile accepted unknown field")
+	}
+}
+
+func TestQuotas(t *testing.T) {
+	tn := newTenant("q", Limits{MaxQueries: 2, MaxSubscriptions: 1})
+	if !tn.AcquireQuery() || !tn.AcquireQuery() {
+		t.Fatal("quota rejected within limit")
+	}
+	if tn.AcquireQuery() {
+		t.Fatal("quota admitted past MaxQueries")
+	}
+	tn.ReleaseQuery()
+	if !tn.AcquireQuery() {
+		t.Fatal("released slot not reusable")
+	}
+	if !tn.AcquireSubscription() {
+		t.Fatal("subscription quota rejected within limit")
+	}
+	if tn.AcquireSubscription() {
+		t.Fatal("subscription quota admitted past limit")
+	}
+	u := tn.Usage()
+	if u.Queries != 2 || u.Subscriptions != 1 {
+		t.Fatalf("Usage = %+v", u)
+	}
+}
+
+func TestNilTenantAdmitsEverything(t *testing.T) {
+	var tn *Tenant
+	if ok, _ := tn.AdmitBatch(); !ok {
+		t.Fatal("nil tenant rejected batch")
+	}
+	if ok, _ := tn.AdmitEdge(); !ok {
+		t.Fatal("nil tenant rejected edge")
+	}
+	if !tn.AcquireQuery() || !tn.AcquireSubscription() {
+		t.Fatal("nil tenant rejected quota")
+	}
+	tn.ReleaseQuery()
+	tn.ReleaseSubscription()
+	tn.RefundEdges(3)
+	tn.AddIngestBytes(10)
+	if tn.Name() != "" || tn.Weight() != 1 {
+		t.Fatalf("nil tenant Name/Weight = %q/%v", tn.Name(), tn.Weight())
+	}
+	if u := tn.Usage(); u != (Usage{}) {
+		t.Fatalf("nil tenant Usage = %+v", u)
+	}
+}
+
+func TestAdmissionCounters(t *testing.T) {
+	tn := newTenant("c", Limits{EdgesPerSec: 1, EdgeBurst: 2, BatchesPerSec: 1, BatchBurst: 1})
+	tn.edges.now = func() time.Time { return time.Unix(0, 0) }
+	tn.batches.now = tn.edges.now
+
+	if ok, _ := tn.AdmitBatch(); !ok {
+		t.Fatal("first batch rejected")
+	}
+	if ok, wait := tn.AdmitBatch(); ok || wait <= 0 {
+		t.Fatalf("second batch admitted (ok=%v wait=%d)", ok, wait)
+	}
+	if ok, _ := tn.AdmitEdge(); !ok {
+		t.Fatal("edge 1 rejected")
+	}
+	if ok, _ := tn.AdmitEdge(); !ok {
+		t.Fatal("edge 2 rejected")
+	}
+	if ok, _ := tn.AdmitEdge(); ok {
+		t.Fatal("edge 3 admitted past burst")
+	}
+	tn.RefundEdges(2)
+	if ok, _ := tn.AdmitEdge(); !ok {
+		t.Fatal("refunded token not reusable")
+	}
+	tn.AddIngestBytes(42)
+	u := tn.Usage()
+	if u.AdmittedBatches != 1 || u.RejectedBatches != 1 {
+		t.Fatalf("batch counters = %+v", u)
+	}
+	// 2 admitted − 2 refunded + 1 re-admitted.
+	if u.AdmittedEdges != 1 || u.RejectedEdges != 1 || u.IngestBytes != 42 {
+		t.Fatalf("edge counters = %+v", u)
+	}
+}

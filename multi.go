@@ -13,6 +13,12 @@ type QuerySpec struct {
 	// Adaptive composes the feedback join-order reoptimizer onto this
 	// member. Nil inherits the fleet Config's Adaptive setting.
 	Adaptive *Adaptivity
+	// Group tags this member with a statistics group — the serving
+	// layer's tenant attribution hook. Members sharing a group are
+	// aggregated into Stats.Groups[group]: summed counters plus a
+	// group-wide detection histogram that survives member retirement.
+	// Empty joins no group.
+	Group string
 }
 
 // MultiSearcher runs several continuous queries over one shared stream.

@@ -84,8 +84,11 @@ type obs struct {
 	// standalone engine, a private histogram per fleet member (the
 	// per-query view); fleetDet, when non-nil, additionally receives
 	// every member observation so the fleet-wide stage view stays whole.
+	// groupDet, when non-nil, is the member's QuerySpec.Group histogram
+	// shared with every other member of the group (the per-tenant view).
 	det      *stats.AtomicHistogram
 	fleetDet *stats.AtomicHistogram
+	groupDet *stats.AtomicHistogram
 	// arrival is the wallclock (UnixNano) when the edge(s) currently
 	// being processed entered the engine — stored at the feed boundary,
 	// read at match emit. Members share the fleet's cell so sharded
@@ -153,6 +156,9 @@ func (o *obs) onMatch(query string, m *Match, publish func()) {
 		o.det.Observe(d)
 		if o.fleetDet != nil {
 			o.fleetDet.Observe(d)
+		}
+		if o.groupDet != nil {
+			o.groupDet.Observe(d)
 		}
 		if o.eventUnitNs > 0 {
 			if lag := now.UnixNano() - latestEdgeTime(m)*o.eventUnitNs; lag > 0 {

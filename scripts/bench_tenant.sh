@@ -1,0 +1,39 @@
+#!/usr/bin/env sh
+# bench_tenant.sh — run the multi-tenant admission A/B benchmark and
+# emit the results as BENCH_tenant.json: the same HTTP ingest workload
+# with tenancy off ("open") and on ("tenanted" — key resolution,
+# per-line token-bucket admission, fair-share scheduling), so the
+# control plane's toll on the hot path is a tracked number, not a vibe.
+#
+# Usage: scripts/bench_tenant.sh [output.json]
+#   BENCHTIME=2s scripts/bench_tenant.sh   # longer, more stable runs
+set -eu
+
+out="${1:-BENCH_tenant.json}"
+benchtime="${BENCHTIME:-1x}"
+
+# Run first, convert second: plain sh has no pipefail, and a benchmark
+# failure must fail this script rather than emit an empty-but-green
+# artifact.
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+go test -run '^$' -bench '^BenchmarkTenantIngest$' -benchtime "$benchtime" ./internal/server/ > "$raw"
+
+awk -v cores="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 0)" '
+    /^BenchmarkTenantIngest\// {
+      # BenchmarkTenantIngest/<cell>-<procs>  iters  ns/op  edges/s ...
+      name = $1; iters = $2
+      ns = ""; eps = ""
+      for (i = 3; i < NF; i++) {
+        if ($(i + 1) == "ns/op")   ns = $i
+        if ($(i + 1) == "edges/s") eps = $i
+      }
+      if (n++) printf ",\n"
+      printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"edges_per_s\": %s}", name, iters, ns, eps
+    }
+    BEGIN { if (cores == "") cores = 0; printf "{\n\"cores\": " cores ",\n\"benchmarks\": [\n" }
+    END   { printf "\n]\n}\n" }
+  ' "$raw" > "$out"
+
+echo "wrote $out:"
+cat "$out"

@@ -51,6 +51,12 @@ type SubscribeOptions struct {
 	// A subscription with an explicit filter ends (its channel closes)
 	// when the last of its named queries is removed from a fleet.
 	Queries []string
+	// Prefix, when non-empty, restricts the subscription to queries
+	// whose name starts with it — the namespace form of Queries. It
+	// follows the roster dynamically (queries registered later under
+	// the prefix are delivered) and composes with Queries: when both
+	// are set a delivery must pass both filters.
+	Prefix string
 	// Buffer is the delivery channel capacity (default 256).
 	Buffer int
 	// Policy is the overflow policy (default Block).
@@ -143,6 +149,7 @@ func subscribeOn(d *dispatch.Dispatcher, o SubscribeOptions) (*Subscription, err
 	}
 	sub := d.Subscribe(dispatch.Options{
 		Queries:  o.Queries,
+		Prefix:   o.Prefix,
 		Buffer:   o.Buffer,
 		Policy:   o.Policy,
 		AfterSeq: o.AfterSeq,
