@@ -160,9 +160,12 @@ type LatencySnapshot struct {
 // latency breakdown (timingsubg.StageStats): one summary per stage.
 // Stages the server's engine composition does not exercise stay empty.
 type StageStats struct {
-	Ingest       LatencySnapshot `json:"ingest"`
-	WALAppend    LatencySnapshot `json:"wal_append"`
-	WALSync      LatencySnapshot `json:"wal_sync"`
+	Ingest    LatencySnapshot `json:"ingest"`
+	WALAppend LatencySnapshot `json:"wal_append"`
+	WALSync   LatencySnapshot `json:"wal_sync"`
+	// GroupCommit is each committer's wait for group-commit durability
+	// (batch-coalescing latency under concurrent feeders).
+	GroupCommit  LatencySnapshot `json:"wal_group_commit"`
 	QueueWait    LatencySnapshot `json:"shard_queue_wait"`
 	ShardExec    LatencySnapshot `json:"shard_exec"`
 	Join         LatencySnapshot `json:"join"`
@@ -178,24 +181,27 @@ type StageStats struct {
 // say which sections apply. Per-query snapshots (never themselves
 // fleets) sit under Queries.
 type EngineStats struct {
-	Matches         int64   `json:"matches"`
-	Discarded       int64   `json:"discarded"`
-	Fed             int64   `json:"fed"`
-	InWindow        int     `json:"in_window"`
-	PartialMatches  int64   `json:"partial_matches"`
-	SpaceBytes      int64   `json:"space_bytes"`
-	LastTime        int64   `json:"last_time"`
+	Matches        int64 `json:"matches"`
+	Discarded      int64 `json:"discarded"`
+	Fed            int64 `json:"fed"`
+	InWindow       int   `json:"in_window"`
+	PartialMatches int64 `json:"partial_matches"`
+	SpaceBytes     int64 `json:"space_bytes"`
+	LastTime       int64 `json:"last_time"`
 	// JoinScanned / JoinCandidates expose the engine's join-index
 	// selectivity: stored partial matches visited by INSERT probes vs.
 	// those passing the join-key filter. Equal when the MS-tree vertex
 	// join indexes are doing all the narrowing; the gap is scan work.
-	JoinScanned    int64 `json:"join_scanned,omitempty"`
-	JoinCandidates int64 `json:"join_candidates,omitempty"`
-	K               int     `json:"k,omitempty"`
-	Reoptimizations int     `json:"reoptimizations,omitempty"`
-	WALSeq          int64   `json:"wal_seq,omitempty"`
-	Replayed        int64   `json:"replayed,omitempty"`
-	RoutedFraction  float64 `json:"routed_fraction,omitempty"`
+	JoinScanned     int64 `json:"join_scanned,omitempty"`
+	JoinCandidates  int64 `json:"join_candidates,omitempty"`
+	K               int   `json:"k,omitempty"`
+	Reoptimizations int   `json:"reoptimizations,omitempty"`
+	WALSeq          int64 `json:"wal_seq,omitempty"`
+	// WALSyncs counts WAL fsyncs this process performed — feeds per
+	// fsync is the group-commit coalescing ratio.
+	WALSyncs       int64   `json:"wal_syncs,omitempty"`
+	Replayed       int64   `json:"replayed,omitempty"`
+	RoutedFraction float64 `json:"routed_fraction,omitempty"`
 	// FleetWorkers is the number of evaluation shards of a sharded
 	// fleet (0 when evaluation is sequential); ShardMembers is the live
 	// member count per shard — together the shape of the server's

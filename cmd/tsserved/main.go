@@ -107,7 +107,8 @@ func main() {
 	minGain := flag.Float64("min-gain", 0, "adaptive mode: estimated cost ratio required before a rebuild (0 = 2.0)")
 	walDir := flag.String("wal", "", "durability directory: WAL + checkpoints + query registry; empty = in-memory only")
 	ckEvery := flag.Int("checkpoint-every", 4096, "durable mode: checkpoint after every n ingested edges")
-	syncEvery := flag.Int("sync-every", 0, "durable mode: fsync the WAL after every n appends (0 disables)")
+	syncEvery := flag.Int("sync-every", 0, "durable mode: fsync the WAL after every n appends (0 disables); concurrent feeders group-commit into shared fsyncs")
+	syncInterval := flag.Duration("wal-sync-interval", 0, "durable mode: background WAL group commit at this period — appends become durable within one interval without blocking feeders (0 disables)")
 	segBytes := flag.Int64("segment-bytes", 0, "durable mode: WAL segment rotation size (0 = 4 MiB)")
 	subBuffer := flag.Int("subscriber-buffer", 256, "per-subscriber SSE event buffer before load shedding")
 	replayBuffer := flag.Int("replay-buffer", 0, "per-query resume ring: events retained for Last-Event-ID resumption (0 = subscriber-buffer)")
@@ -187,6 +188,7 @@ func main() {
 			Dir:             *walDir,
 			CheckpointEvery: *ckEvery,
 			SyncEvery:       *syncEvery,
+			SyncInterval:    *syncInterval,
 			SegmentBytes:    *segBytes,
 		})
 		if err != nil {

@@ -82,14 +82,15 @@ func info(dir string) {
 		fmt.Println("checkpoint: none (cold start)")
 		return
 	}
-	fmt.Printf("checkpoint: next-seq=%d window=%d matches=%d discarded=%d in-window-edges=%d\n",
-		ck.NextSeq, ck.Window, ck.Matches, ck.Discarded, len(ck.Edges))
+	fmt.Printf("checkpoint: lsn=%d window=%d matches=%d discarded=%d in-window-edges=%d\n",
+		ck.LSN(), ck.Window, ck.Matches, ck.Discarded, len(ck.Edges))
 	replay := end - ck.NextSeq
 	if replay < 0 {
 		replay = 0
 	}
 	fmt.Printf("recovery would rebuild %d checkpointed edges and replay %d WAL records\n",
 		len(ck.Edges), replay)
+	fmt.Printf("truncation gate: segments wholly below LSN %d are reclaimable\n", ck.LSN())
 }
 
 func dump(dir string, from, limit int64) {

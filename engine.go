@@ -143,6 +143,10 @@ type Stats struct {
 	// WALSeq is the write-ahead log's next sequence number (= edges
 	// logged across all runs).
 	WALSeq int64 `json:"wal_seq,omitempty"`
+	// WALSyncs counts WAL fsyncs this process has performed — the
+	// denominator of the group-commit coalescing ratio: concurrent
+	// feeders sharing fsyncs show WALSyncs growing slower than feeds.
+	WALSyncs int64 `json:"wal_syncs,omitempty"`
 	// Replayed is how many WAL edges were replayed by the most recent
 	// Open (0 on a cold start).
 	Replayed int64 `json:"replayed,omitempty"`
@@ -233,10 +237,21 @@ type Durability struct {
 	// means 4096.
 	CheckpointEvery int
 	// SyncEvery fsyncs the WAL after every n appends; zero disables
-	// fsync. A FeedBatch is one durability unit: it syncs at most once,
-	// after the batch.
+	// cadence fsync. A FeedBatch is one durability unit: it syncs at
+	// most once, after the batch. Concurrent feeders group-commit —
+	// many callers' durability waits coalesce into one fsync.
 	SyncEvery int
+	// SyncInterval, when positive, runs a background WAL group commit
+	// at this period: appends become durable within roughly one
+	// interval without any feeder blocking on the disk. It is the
+	// throughput end of the durability lever; combine with SyncEvery: 0
+	// for async durability, or leave both zero to persist only on
+	// checkpoint/Close.
+	SyncInterval time.Duration
 	// SegmentBytes sets the WAL segment rotation size (default 4 MiB).
+	// Together with checkpoint-gated truncation it bounds the on-disk
+	// log: after a checkpoint the WAL holds at most the records the
+	// checkpoint does not cover plus one segment.
 	SegmentBytes int64
 
 	// openFile, when non-nil, replaces os.OpenFile for WAL segment

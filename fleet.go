@@ -370,11 +370,19 @@ func (fl *fleetEngine) openDurable(specs []QuerySpec) error {
 		}
 		seen[spec.Name] = true
 	}
-	var syncHist *stats.AtomicHistogram
+	var syncHist, gcHist *stats.AtomicHistogram
 	if fl.obs != nil {
 		syncHist = &fl.obs.pipe.WALSync
+		gcHist = &fl.obs.pipe.WALGroupCommit
 	}
-	log, err := wal.Open(fl.dur.Dir, wal.Options{SegmentBytes: fl.dur.SegmentBytes, SyncEvery: fl.dur.SyncEvery, OpenFile: fl.dur.openFile, SyncHist: syncHist})
+	log, err := wal.Open(fl.dur.Dir, wal.Options{
+		SegmentBytes:    fl.dur.SegmentBytes,
+		SyncEvery:       fl.dur.SyncEvery,
+		SyncInterval:    fl.dur.SyncInterval,
+		OpenFile:        fl.dur.openFile,
+		SyncHist:        syncHist,
+		GroupCommitHist: gcHist,
+	})
 	if err != nil {
 		return err
 	}
@@ -423,6 +431,19 @@ func (fl *fleetEngine) openDurable(specs []QuerySpec) error {
 		if lt := en.stream.LastTime(); lt > lastT {
 			lastT = lt
 		}
+	}
+	if len(specs) > 0 {
+		// The slowest member cursor gates truncation from the start: no
+		// record a member still needs to replay can be reclaimed. SkipTo
+		// below may raise the gate further when the whole log tail was
+		// lost behind the newest checkpoint.
+		minFrom := froms[0]
+		for _, f := range froms[1:] {
+			if f < minFrom {
+				minFrom = f
+			}
+		}
+		log.SetCheckpointLSN(minFrom)
 	}
 	if err := log.SkipTo(maxNext); err != nil {
 		return fail(err)
@@ -1038,6 +1059,10 @@ func (fl *fleetEngine) checkpointLocked() error {
 			return err
 		}
 	}
+	// Every member now has a durable checkpoint at next, so next is the
+	// new truncation gate: segments wholly below it are reclaimable and
+	// the shared log stays bounded by window span plus one segment.
+	fl.log.SetCheckpointLSN(next)
 	return fl.log.TruncateFront(next)
 }
 
@@ -1153,6 +1178,7 @@ func (fl *fleetEngine) stats(memberStats func(*single) Stats, withQueries bool) 
 	}
 	if fl.log != nil {
 		st.WALSeq = fl.walSeq.Load()
+		st.WALSyncs = fl.log.Syncs()
 	}
 	if fl.obs != nil {
 		st.Stages = fl.obs.stages()

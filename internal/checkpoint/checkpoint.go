@@ -39,8 +39,10 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // Checkpoint is the durable state of a searcher at a cut point.
 type Checkpoint struct {
-	// NextSeq is the WAL sequence number of the first edge NOT covered
-	// by this checkpoint; recovery replays the WAL from here.
+	// NextSeq is the checkpoint's LSN: the WAL sequence number of the
+	// first edge NOT covered by this checkpoint. Recovery replays the
+	// WAL from here, and the checkpoint file itself is named by it, so
+	// a checkpoint names the exact log position it covers. See LSN.
 	NextSeq int64
 	// Window is the sliding-window duration the searcher ran with.
 	Window graph.Timestamp
@@ -50,6 +52,24 @@ type Checkpoint struct {
 	// Edges are the in-window edges at the cut point, oldest first,
 	// with their original IDs and timestamps.
 	Edges []graph.Edge
+}
+
+// LSN returns the log position this checkpoint covers: every WAL
+// record below it is folded into the checkpointed window state, and
+// recovery replays from it. It is the value the WAL's truncation gate
+// (wal.Log.SetCheckpointLSN) keys on — segments wholly below the last
+// durable checkpoint LSN are reclaimable.
+func (ck Checkpoint) LSN() int64 { return ck.NextSeq }
+
+// LatestLSN returns the LSN of the newest readable checkpoint in dir —
+// the position below which the WAL may safely be truncated. ok is
+// false on a cold start (no readable checkpoint).
+func LatestLSN(dir string) (lsn int64, ok bool, err error) {
+	ck, ok, err := Load(dir)
+	if err != nil || !ok {
+		return 0, ok, err
+	}
+	return ck.LSN(), true, nil
 }
 
 // Save atomically writes ck into dir. Older checkpoints are retained

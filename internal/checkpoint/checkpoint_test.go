@@ -141,6 +141,28 @@ func TestGCKeepsNewest(t *testing.T) {
 	}
 }
 
+func TestLatestLSN(t *testing.T) {
+	dir := t.TempDir()
+	if _, ok, err := LatestLSN(dir); ok || err != nil {
+		t.Fatalf("cold start: ok=%v err=%v", ok, err)
+	}
+	for _, seq := range []int64{10, 30, 20} {
+		if err := Save(dir, sample(seq, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lsn, ok, err := LatestLSN(dir)
+	if err != nil || !ok {
+		t.Fatalf("latest: ok=%v err=%v", ok, err)
+	}
+	if lsn != 30 {
+		t.Fatalf("latest LSN = %d, want 30", lsn)
+	}
+	if got := sample(30, 2).LSN(); got != 30 {
+		t.Fatalf("LSN() = %d, want 30", got)
+	}
+}
+
 func TestGCMissingDirNoop(t *testing.T) {
 	if err := GC(filepath.Join(t.TempDir(), "nope"), 1); err != nil {
 		t.Fatal(err)

@@ -12,9 +12,9 @@ import (
 // histograms — stable output is what the golden-format test (and any
 // diff-based scrape tooling) keys on.
 var stageOrder = []string{
-	"ingest", "wal_append", "wal_sync", "shard_queue_wait",
-	"shard_exec", "join", "expiry", "dispatch", "detection",
-	"event_time_lag",
+	"ingest", "wal_append", "wal_sync", "wal_group_commit",
+	"shard_queue_wait", "shard_exec", "join", "expiry", "dispatch",
+	"detection", "event_time_lag",
 }
 
 // stageSnapshot selects one stage's summary from the breakdown.
@@ -26,6 +26,8 @@ func stageSnapshot(st *timingsubg.StageStats, stage string) timingsubg.LatencySn
 		return st.WALAppend
 	case "wal_sync":
 		return st.WALSync
+	case "wal_group_commit":
+		return st.GroupCommit
 	case "shard_queue_wait":
 		return st.QueueWait
 	case "shard_exec":
@@ -67,6 +69,7 @@ func (s *Server) handleProm(w http.ResponseWriter, r *http.Request) {
 	pw.Gauge("timingsubg_queue_depth", nil, float64(s.sched.Len()))
 	if st.Durable {
 		pw.Counter("timingsubg_wal_seq", nil, float64(st.WALSeq))
+		pw.Counter("timingsubg_wal_syncs_total", nil, float64(st.WALSyncs))
 		pw.Counter("timingsubg_replayed_edges_total", nil, float64(st.Replayed))
 	}
 	if st.WatermarkLagNs != 0 {

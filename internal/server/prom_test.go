@@ -98,9 +98,9 @@ func TestMetricsExposition(t *testing.T) {
 
 	// Every stage series is exposed; the hot ones carry samples.
 	for _, stage := range []string{
-		"ingest", "wal_append", "wal_sync", "shard_queue_wait",
-		"shard_exec", "join", "expiry", "dispatch", "detection",
-		"event_time_lag",
+		"ingest", "wal_append", "wal_sync", "wal_group_commit",
+		"shard_queue_wait", "shard_exec", "join", "expiry", "dispatch",
+		"detection", "event_time_lag",
 	} {
 		label := `stage="` + stage + `"`
 		if !strings.Contains(out, "timingsubg_stage_latency_seconds_bucket{"+label) {

@@ -319,6 +319,7 @@ func NewDurable(cfg Config, opts timingsubg.PersistentMultiOptions) (*Server, er
 			Dir:             opts.Dir,
 			CheckpointEvery: opts.CheckpointEvery,
 			SyncEvery:       opts.SyncEvery,
+			SyncInterval:    opts.SyncInterval,
 			SegmentBytes:    opts.SegmentBytes,
 		},
 		// OnDelivery is installed before recovery, so WAL replay rebuilds
@@ -596,6 +597,7 @@ func clientStats(st timingsubg.Stats) client.EngineStats {
 		K:               st.K,
 		Reoptimizations: st.Reoptimizations,
 		WALSeq:          st.WALSeq,
+		WALSyncs:        st.WALSyncs,
 		Replayed:        st.Replayed,
 		RoutedFraction:  st.RoutedFraction,
 		FleetWorkers:    st.FleetWorkers,
@@ -617,6 +619,7 @@ func clientStats(st timingsubg.Stats) client.EngineStats {
 			Ingest:       clientLatency(st.Stages.Ingest),
 			WALAppend:    clientLatency(st.Stages.WALAppend),
 			WALSync:      clientLatency(st.Stages.WALSync),
+			GroupCommit:  clientLatency(st.Stages.GroupCommit),
 			QueueWait:    clientLatency(st.Stages.QueueWait),
 			ShardExec:    clientLatency(st.Stages.ShardExec),
 			Join:         clientLatency(st.Stages.Join),

@@ -71,6 +71,10 @@ type Pipeline struct {
 	// append's cadence triggered); WALSync times each fsync alone.
 	WALAppend AtomicHistogram
 	WALSync   AtomicHistogram
+	// WALGroupCommit times each committer's wait for group-commit
+	// durability — the coalescing latency a caller pays when its fsync
+	// is shared with (or queued behind) concurrent committers.
+	WALGroupCommit AtomicHistogram
 	// QueueWait is time a shard task spends queued before a fleet pool
 	// worker picks it up; ShardExec is the task's execution time.
 	QueueWait AtomicHistogram

@@ -3,6 +3,8 @@ package wal
 import (
 	"errors"
 	"os"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"timingsubg/internal/graph"
@@ -129,6 +131,218 @@ func TestAppendBatchTornWriteRecovery(t *testing.T) {
 	}
 	if end, err := Replay(dir, 0, func(int64, graph.Edge) error { return nil }); err != nil || end != replayed+1 {
 		t.Fatalf("replay after post-recovery append = (%d, %v)", end, err)
+	}
+}
+
+// TestAppendAfterTornWriteSticky: once a write tears, the in-memory
+// cursor no longer matches the file, so every later append, batch and
+// sync must refuse with the original fault (not silently write after
+// the torn bytes, which would read back as interior corruption) until
+// a reopen rescans and truncates the tail.
+func TestAppendAfterTornWriteSticky(t *testing.T) {
+	dir := t.TempDir()
+	budget := int64(120)
+	l, err := Open(dir, Options{OpenFile: tornOpen(&budget)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acked int64
+	for i := 0; i < 64; i++ {
+		if _, err := l.Append(testEdge(int64(i))); err != nil {
+			if !errors.Is(err, errInjectedWrite) {
+				t.Fatalf("fault surfaced as %v", err)
+			}
+			break
+		}
+		acked++
+	}
+	if acked == 64 {
+		t.Fatal("budget never exhausted")
+	}
+	// Every write-path entry point is now closed, each still naming the
+	// original fault, and none moves the cursor.
+	if _, err := l.Append(testEdge(500)); !errors.Is(err, errInjectedWrite) {
+		t.Fatalf("Append after torn write: %v, want sticky injected fault", err)
+	}
+	if _, n, err := l.AppendBatch([]graph.Edge{testEdge(501), testEdge(502)}); !errors.Is(err, errInjectedWrite) || n != 0 {
+		t.Fatalf("AppendBatch after torn write: n=%d err=%v, want sticky injected fault", n, err)
+	}
+	if err := l.Sync(); !errors.Is(err, errInjectedWrite) {
+		t.Fatalf("Sync after torn write: %v, want sticky injected fault", err)
+	}
+	if err := l.SkipTo(1000); !errors.Is(err, errInjectedWrite) {
+		t.Fatalf("SkipTo after torn write: %v, want sticky injected fault", err)
+	}
+	if l.Seq() != acked {
+		t.Fatalf("failed ops moved the cursor: %d, want %d", l.Seq(), acked)
+	}
+	// Close is clean (nothing more to flush) and reopen fully recovers.
+	if err := l.Close(); err != nil {
+		t.Fatalf("close of failed log: %v", err)
+	}
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if l2.Seq() < acked {
+		t.Fatalf("recovered Seq %d < acked %d", l2.Seq(), acked)
+	}
+	appendN(t, l2, l2.Seq(), 5)
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var prev int64 = -1
+	if _, err := Replay(dir, 0, func(seq int64, e graph.Edge) error {
+		if seq != prev+1 {
+			t.Fatalf("replay gap at %d after %d", seq, prev)
+		}
+		prev = seq
+		return nil
+	}); err != nil {
+		t.Fatalf("replay after recovery: %v", err)
+	}
+}
+
+// failSyncFile fails the first n fsyncs, then succeeds.
+type failSyncFile struct {
+	f     File
+	fails *int
+}
+
+var errInjectedSync = errors.New("injected fsync failure")
+
+func failSyncOpen(fails *int) OpenFileFunc {
+	return func(name string, flag int, perm os.FileMode) (File, error) {
+		f, err := os.OpenFile(name, flag, perm)
+		if err != nil {
+			return nil, err
+		}
+		return &failSyncFile{f: f, fails: fails}, nil
+	}
+}
+
+func (s *failSyncFile) Write(p []byte) (int, error) { return s.f.Write(p) }
+func (s *failSyncFile) Seek(o int64, w int) (int64, error) {
+	return s.f.Seek(o, w)
+}
+func (s *failSyncFile) Close() error           { return s.f.Close() }
+func (s *failSyncFile) Truncate(n int64) error { return s.f.Truncate(n) }
+func (s *failSyncFile) Sync() error {
+	if *s.fails > 0 {
+		*s.fails--
+		return errInjectedSync
+	}
+	return s.f.Sync()
+}
+
+// TestFailedSyncKeepsDebt is the regression test for the
+// cadence-debt-reset bug: a failed fsync must NOT clear the durability
+// debt — the next append's cadence commit retries and, on success,
+// covers the earlier records too.
+func TestFailedSyncKeepsDebt(t *testing.T) {
+	dir := t.TempDir()
+	fails := 1
+	l, err := Open(dir, Options{SyncEvery: 1, OpenFile: failSyncOpen(&fails)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First append: the cadence fsync fails; the record is written but
+	// not durable, and the failure is reported.
+	if _, err := l.Append(testEdge(0)); !errors.Is(err, errInjectedSync) {
+		t.Fatalf("append with failing fsync: %v, want injected failure", err)
+	}
+	if l.Seq() != 1 {
+		t.Fatalf("seq = %d, want 1 (record landed)", l.Seq())
+	}
+	if d := l.DurableLSN(); d != 0 {
+		t.Fatalf("durable = %d after failed fsync, want 0 (debt retained)", d)
+	}
+	// Second append: fsync now works and must cover BOTH records —
+	// durability debt from the failed fsync was not forgotten.
+	if _, err := l.Append(testEdge(1)); err != nil {
+		t.Fatalf("append after fsync recovered: %v", err)
+	}
+	if d := l.DurableLSN(); d != 2 {
+		t.Fatalf("durable = %d, want 2 (retried fsync covers the debt)", d)
+	}
+	// Explicit Sync with zero debt is a no-op, not another fsync.
+	syncs := l.Syncs()
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Syncs() != syncs {
+		t.Fatal("debt-free Sync performed an fsync")
+	}
+	l.Close()
+}
+
+// TestTornWriteUnderConcurrentFeeders extends the torn-write fault
+// suite to the group-commit path: concurrent appenders against a
+// tearing disk, per-record durability. Every acknowledged append must
+// survive reopen (writes are serialized, so an acked record implies
+// all records below it landed), and the survivors replay gap-free.
+func TestTornWriteUnderConcurrentFeeders(t *testing.T) {
+	dir := t.TempDir()
+	budget := int64(4096)
+	l, err := Open(dir, Options{SyncEvery: 1, SegmentBytes: 1024, OpenFile: tornOpen(&budget)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const feeders = 4
+	var wg sync.WaitGroup
+	var maxAcked atomic.Int64
+	maxAcked.Store(-1)
+	var sawFault atomic.Bool
+	for g := 0; g < feeders; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				seq, err := l.Append(testEdge(int64(g*1000 + i)))
+				if err != nil {
+					if !errors.Is(err, errInjectedWrite) {
+						t.Errorf("feeder %d: %v", g, err)
+					}
+					sawFault.Store(true)
+					return
+				}
+				for {
+					cur := maxAcked.Load()
+					if seq <= cur || maxAcked.CompareAndSwap(cur, seq) {
+						break
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if !sawFault.Load() {
+		t.Fatal("budget never exhausted — fault not exercised")
+	}
+	acked := maxAcked.Load() + 1
+
+	// Crash (no Close) and reopen on the real filesystem.
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen after concurrent torn write: %v", err)
+	}
+	defer l2.Close()
+	if l2.Seq() < acked {
+		t.Fatalf("recovered Seq = %d, lost acknowledged records (acked through %d)", l2.Seq(), acked)
+	}
+	var prev int64 = -1
+	end, err := Replay(dir, 0, func(seq int64, e graph.Edge) error {
+		if seq != prev+1 {
+			t.Fatalf("replay gap at %d after %d", seq, prev)
+		}
+		prev = seq
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if end != l2.Seq() {
+		t.Fatalf("replay ended at %d, log at %d", end, l2.Seq())
 	}
 }
 

@@ -280,6 +280,226 @@ func TestSyncEvery(t *testing.T) {
 	}
 }
 
+// TestReplayFromOnEmptyDir is the regression test for the empty-log
+// skip-loop panic: replaying an empty directory with from > 0 (a
+// checkpoint ahead of a lost log) must return (from, nil), not panic.
+func TestReplayFromOnEmptyDir(t *testing.T) {
+	for _, from := range []int64{1, 42, 1 << 30} {
+		n, err := Replay(t.TempDir(), from, func(int64, graph.Edge) error {
+			t.Fatal("callback on empty log")
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("from=%d: %v", from, err)
+		}
+		if n != from {
+			t.Fatalf("from=%d: returned next seq %d, want %d", from, n, from)
+		}
+	}
+}
+
+// TestSkipToThenTruncateFront covers the checkpoint-newer-than-lost-tail
+// recovery path end to end: SkipTo fast-forwards the cursor, reclaims
+// the stale segments below it, and leaves a log that appends and
+// replays cleanly from the skip point.
+func TestSkipToThenTruncateFront(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 0, 100)
+	l.Close()
+
+	// Simulate: a checkpoint at 150 survived but the log tail past 100
+	// did not (fsync was off). Recovery must continue at 150.
+	l2, err := Open(dir, Options{SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.SkipTo(150); err != nil {
+		t.Fatal(err)
+	}
+	if l2.Seq() != 150 {
+		t.Fatalf("after SkipTo: seq %d, want 150", l2.Seq())
+	}
+	if first, _ := FirstSeq(dir); first != 150 {
+		t.Fatalf("after SkipTo: FirstSeq %d, want 150 (stale segments reclaimed)", first)
+	}
+	if gate := l2.CheckpointLSN(); gate != 150 {
+		t.Fatalf("after SkipTo: gate %d, want 150", gate)
+	}
+	appendN(t, l2, 150, 20)
+	l2.Close()
+
+	got := replayAll(t, dir, 150)
+	if len(got) != 20 {
+		t.Fatalf("replay from 150: %d records, want 20", len(got))
+	}
+	if got[0].ID != 150 {
+		t.Fatalf("first replayed ID %d, want 150", got[0].ID)
+	}
+	// SkipTo is idempotent at or below the cursor.
+	l3, err := Open(dir, Options{SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l3.SkipTo(100); err != nil {
+		t.Fatal(err)
+	}
+	if l3.Seq() != 170 {
+		t.Fatalf("backward SkipTo moved the cursor: %d", l3.Seq())
+	}
+	l3.Close()
+}
+
+// TestTruncateFrontGatedByCheckpointLSN: once a checkpoint LSN is
+// declared, TruncateFront must never reclaim records at or above it,
+// no matter what the caller asks for.
+func TestTruncateFrontGatedByCheckpointLSN(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 0, 300)
+	l.SetCheckpointLSN(100)
+	if err := l.TruncateFront(250); err != nil {
+		t.Fatal(err)
+	}
+	// Everything from the gate up must survive.
+	var seen int
+	if _, err := Replay(dir, 100, func(seq int64, e graph.Edge) error {
+		seen++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if seen != 200 {
+		t.Fatalf("records >= 100 after gated truncate: %d, want 200", seen)
+	}
+	// Raising the gate unlocks the rest; lowering it is a no-op.
+	l.SetCheckpointLSN(50)
+	if gate := l.CheckpointLSN(); gate != 100 {
+		t.Fatalf("gate lowered to %d", gate)
+	}
+	l.SetCheckpointLSN(250)
+	if err := l.TruncateFront(250); err != nil {
+		t.Fatal(err)
+	}
+	first, _ := FirstSeq(dir)
+	if first > 250 {
+		t.Fatalf("truncate removed records >= 250: first %d", first)
+	}
+	if first <= 100 {
+		t.Fatalf("raised gate did not unlock truncation: first %d", first)
+	}
+	l.Close()
+}
+
+// TestFirstSeqTornSegmentOnly: a directory holding only a torn
+// (headerless) segment still reports the LSN its name pins — and Open
+// repairs the directory without losing that cursor.
+func TestFirstSeqTornSegmentOnly(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, segName(7)), []byte(magic[:3]), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	first, err := FirstSeq(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 7 {
+		t.Fatalf("FirstSeq = %d, want 7 (name-derived)", first)
+	}
+	// Replay treats the headerless segment as an empty log tail.
+	n, err := Replay(dir, 0, func(int64, graph.Edge) error {
+		t.Fatal("callback on headerless log")
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 7 {
+		t.Fatalf("replay next seq = %d, want 7", n)
+	}
+	// Open drops the torn file but keeps the LSN cursor it pinned.
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Seq() != 7 {
+		t.Fatalf("repaired seq = %d, want 7", l.Seq())
+	}
+	appendN(t, l, 7, 3)
+	l.Close()
+	if got := replayAll(t, dir, 0); len(got) != 3 {
+		t.Fatalf("after repair: %d records, want 3", len(got))
+	}
+}
+
+// TestOpenAfterCrashDuringRotation: intact segments followed by a
+// headerless newest segment (the crash-mid-rotation shape) must open,
+// keep every intact record, and continue the sequence.
+func TestOpenAfterCrashDuringRotation(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 0, 50)
+	l.Close()
+	// Fake the crash: a new segment file exists but its header never
+	// landed (0 bytes, then a second run with a partial header).
+	for _, partial := range [][]byte{nil, []byte(magic[:5])} {
+		if err := os.WriteFile(filepath.Join(dir, segName(50)), partial, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l2, err := Open(dir, Options{SegmentBytes: 128})
+		if err != nil {
+			t.Fatalf("open with headerless tail: %v", err)
+		}
+		if l2.Seq() != 50 {
+			t.Fatalf("seq = %d, want 50", l2.Seq())
+		}
+		l2.Close()
+	}
+	if got := replayAll(t, dir, 0); len(got) != 50 {
+		t.Fatalf("replayed %d, want 50", len(got))
+	}
+}
+
+// TestDurableLSNAndSyncs: the durable horizon trails the tail until a
+// commit, and Syncs counts the fsyncs that moved it.
+func TestDurableLSNAndSyncs(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 0, 10)
+	if d := l.DurableLSN(); d != 0 {
+		t.Fatalf("durable before sync = %d, want 0", d)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if d := l.DurableLSN(); d != 10 {
+		t.Fatalf("durable after sync = %d, want 10", d)
+	}
+	if s := l.Syncs(); s != 1 {
+		t.Fatalf("syncs = %d, want 1", s)
+	}
+	// A sync with no debt is free.
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if s := l.Syncs(); s != 1 {
+		t.Fatalf("debt-free sync fsynced: %d", s)
+	}
+	l.Close()
+}
+
 // TestEdgeCodecRoundTrip property-checks the payload codec over random
 // edges, including negative vertex IDs and extreme timestamps.
 func TestEdgeCodecRoundTrip(t *testing.T) {
@@ -328,7 +548,9 @@ func TestRandomCrashPoints(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	for cut := len(magic); cut <= len(full); cut++ {
+	// cut < len(magic) is the crash-during-rotation shape: a segment
+	// without a complete header holds no records, and Open drops it.
+	for cut := 0; cut <= len(full); cut++ {
 		dir := t.TempDir()
 		if err := os.WriteFile(filepath.Join(dir, segName(0)), full[:cut], 0o644); err != nil {
 			t.Fatal(err)

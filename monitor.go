@@ -101,6 +101,7 @@ func cheapGauges(st Stats) map[string]func(Stats) any {
 	}
 	if st.Durable {
 		gauges["wal_seq"] = func(s Stats) any { return s.WALSeq }
+		gauges["wal_syncs"] = func(s Stats) any { return s.WALSyncs }
 		gauges["replayed"] = func(s Stats) any { return s.Replayed }
 	}
 	if st.Detection != nil {

@@ -25,6 +25,10 @@ type StageStats struct {
 	// it triggered); WALSync times each fsync alone.
 	WALAppend LatencySnapshot `json:"wal_append"`
 	WALSync   LatencySnapshot `json:"wal_sync"`
+	// GroupCommit times each committer's wait for group-commit
+	// durability — the batch-coalescing latency paid when an fsync is
+	// shared with (or queued behind) concurrent committers.
+	GroupCommit LatencySnapshot `json:"wal_group_commit"`
 	// QueueWait is the time a shard task waits for a fleet-pool worker;
 	// ShardExec is the task's execution time (sharded fleets only).
 	QueueWait LatencySnapshot `json:"shard_queue_wait"`
@@ -122,6 +126,7 @@ func (o *obs) stages() *StageStats {
 		Ingest:       p.Ingest.Snapshot(),
 		WALAppend:    p.WALAppend.Snapshot(),
 		WALSync:      p.WALSync.Snapshot(),
+		GroupCommit:  p.WALGroupCommit.Snapshot(),
 		QueueWait:    p.QueueWait.Snapshot(),
 		ShardExec:    p.ShardExec.Snapshot(),
 		Join:         p.Join.Snapshot(),
@@ -204,4 +209,12 @@ func pipeSync(p *stats.Pipeline) *stats.AtomicHistogram {
 		return nil
 	}
 	return &p.WALSync
+}
+
+// pipeGroupCommit selects the group-commit wait histogram. Nil-safe.
+func pipeGroupCommit(p *stats.Pipeline) *stats.AtomicHistogram {
+	if p == nil {
+		return nil
+	}
+	return &p.WALGroupCommit
 }

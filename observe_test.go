@@ -57,6 +57,7 @@ func TestStagesPopulated(t *testing.T) {
 	for name, c := range map[string]uint64{
 		"wal_append":   st.Stages.WALAppend.Count,
 		"wal_sync":     st.Stages.WALSync.Count,
+		"group_commit": st.Stages.GroupCommit.Count,
 		"queue_wait":   st.Stages.QueueWait.Count,
 		"shard_exec":   st.Stages.ShardExec.Count,
 		"expiry":       st.Stages.Expiry.Count,

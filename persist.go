@@ -1,6 +1,8 @@
 package timingsubg
 
 import (
+	"time"
+
 	"timingsubg/internal/wal"
 )
 
@@ -23,6 +25,9 @@ type PersistentOptions struct {
 	// fsync (see wal.Options). With fsync disabled a crash may lose the
 	// most recent edges; recovery is still consistent, just shorter.
 	SyncEvery int
+	// SyncInterval runs a background WAL group commit at this period
+	// (see Durability.SyncInterval); zero disables.
+	SyncInterval time.Duration
 	// SegmentBytes sets the WAL segment rotation size (default 4 MiB).
 	SegmentBytes int64
 }
@@ -59,6 +64,7 @@ func OpenPersistent(q *Query, opts PersistentOptions) (*PersistentSearcher, erro
 		Dir:             opts.Dir,
 		CheckpointEvery: opts.CheckpointEvery,
 		SyncEvery:       opts.SyncEvery,
+		SyncInterval:    opts.SyncInterval,
 		SegmentBytes:    opts.SegmentBytes,
 	}, matchSink(opts.OnMatch))
 	if err != nil {

@@ -4,6 +4,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 )
 
 // TestWALDoesNotGrowUnboundedly: with periodic checkpoints, old WAL
@@ -64,6 +65,103 @@ func TestWALDoesNotGrowUnboundedly(t *testing.T) {
 	}
 	if n := segCount(); n > 4 {
 		t.Fatalf("%d WAL segments retained after checkpointing; GC not working", n)
+	}
+}
+
+// TestWALBoundedAfterCheckpoint pins the absolute truncation contract:
+// once a checkpoint covers the whole log, the on-disk WAL is at most
+// the open segment plus one boundary segment — independent of how many
+// segment-multiples the stream wrote before it.
+func TestWALBoundedAfterCheckpoint(t *testing.T) {
+	labels := NewLabels()
+	q := persistTestQuery(t, labels)
+	dir := t.TempDir()
+	const segBytes = 2048
+	ps, err := OpenPersistent(q, PersistentOptions{
+		Options:         Options{Window: 30},
+		Dir:             dir,
+		CheckpointEvery: 200,
+		SegmentBytes:    segBytes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range persistTestStream(labels, 10000, 63) {
+		if _, err := ps.Feed(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 10k edges is dozens of 2KiB segments' worth of records; an
+	// explicit checkpoint at the tail must reclaim all but the live
+	// suffix.
+	if err := ps.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) > 2 {
+		t.Fatalf("%d WAL segments after full checkpoint, want <= 2 (open + boundary)", len(segs))
+	}
+	var walBytes int64
+	for _, s := range segs {
+		info, err := os.Stat(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		walBytes += info.Size()
+	}
+	if walBytes > 3*segBytes {
+		t.Fatalf("WAL holds %d bytes after full checkpoint, want <= %d", walBytes, 3*segBytes)
+	}
+	if err := ps.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The truncated log plus checkpoint must still recover.
+	ps2, err := OpenPersistent(q, PersistentOptions{
+		Options:         Options{Window: 30},
+		Dir:             dir,
+		CheckpointEvery: 200,
+		SegmentBytes:    segBytes,
+	})
+	if err != nil {
+		t.Fatalf("reopen after truncation: %v", err)
+	}
+	if err := ps2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSyncIntervalPlumbing: PersistentOptions.SyncInterval must reach
+// the WAL — with cadence sync disabled, the background group-commit
+// ticker alone makes appends durable, visible as Stats().WALSyncs.
+func TestSyncIntervalPlumbing(t *testing.T) {
+	labels := NewLabels()
+	q := persistTestQuery(t, labels)
+	dir := t.TempDir()
+	ps, err := OpenPersistent(q, PersistentOptions{
+		Options:      Options{Window: 30},
+		Dir:          dir,
+		SyncInterval: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range persistTestStream(labels, 50, 64) {
+		if _, err := ps.Feed(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for ps.Stats().WALSyncs == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("background WAL sync never fired (SyncInterval not plumbed through?)")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := ps.Close(); err != nil {
+		t.Fatal(err)
 	}
 }
 

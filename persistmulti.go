@@ -1,6 +1,8 @@
 package timingsubg
 
 import (
+	"time"
+
 	"timingsubg/internal/wal"
 )
 
@@ -17,6 +19,9 @@ type PersistentMultiOptions struct {
 	CheckpointEvery int
 	// SyncEvery fsyncs the WAL after every n appends (zero disables).
 	SyncEvery int
+	// SyncInterval runs a background WAL group commit at this period
+	// (see Durability.SyncInterval); zero disables.
+	SyncInterval time.Duration
 	// SegmentBytes sets the WAL segment rotation size (default 4 MiB).
 	SegmentBytes int64
 }
@@ -26,6 +31,7 @@ func (o PersistentMultiOptions) durability() *Durability {
 		Dir:             o.Dir,
 		CheckpointEvery: o.CheckpointEvery,
 		SyncEvery:       o.SyncEvery,
+		SyncInterval:    o.SyncInterval,
 		SegmentBytes:    o.SegmentBytes,
 	}
 }

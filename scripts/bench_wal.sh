@@ -1,0 +1,39 @@
+#!/usr/bin/env sh
+# bench_wal.sh — run the WAL group-commit A/B benchmark (per-batch fsync
+# vs group commit at 1/4/16 concurrent feeders) and emit the results as
+# BENCH_wal.json, so CI has machine-readable evidence that coalescing
+# actually reduces fsyncs/batch below the per-batch baseline of 1.0.
+#
+# Usage: scripts/bench_wal.sh [output.json]
+#   BENCHTIME=500x scripts/bench_wal.sh   # more batches per data point
+set -eu
+
+out="${1:-BENCH_wal.json}"
+benchtime="${BENCHTIME:-100x}"
+
+# Run first, convert second: plain sh has no pipefail, and a benchmark
+# failure must fail this script rather than emit an empty-but-green
+# artifact.
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+go test -run '^$' -bench '^BenchmarkGroupCommit$' -benchtime "$benchtime" ./internal/wal/ > "$raw"
+
+awk -v cores="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 0)" '
+    /^BenchmarkGroupCommit\// {
+      # BenchmarkGroupCommit/<mode>/feeders-<n>-<procs>  iters  ns/op  edges/s  fsyncs/batch
+      name = $1; iters = $2
+      ns = ""; eps = ""; fpb = ""
+      for (i = 3; i < NF; i++) {
+        if ($(i + 1) == "ns/op")        ns = $i
+        if ($(i + 1) == "edges/s")      eps = $i
+        if ($(i + 1) == "fsyncs/batch") fpb = $i
+      }
+      if (n++) printf ",\n"
+      printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"edges_per_s\": %s, \"fsyncs_per_batch\": %s}", name, iters, ns, eps, fpb
+    }
+    BEGIN { if (cores == "") cores = 0; printf "{\n\"cores\": " cores ",\n\"benchmarks\": [\n" }
+    END   { printf "\n]\n}\n" }
+  ' "$raw" > "$out"
+
+echo "wrote $out:"
+cat "$out"

@@ -171,7 +171,14 @@ func openDurableSingle(q *Query, o Options, adapt *Adaptivity, dur Durability, s
 	if dur.CheckpointEvery <= 0 {
 		dur.CheckpointEvery = 4096
 	}
-	log, err := wal.Open(dur.Dir, wal.Options{SegmentBytes: dur.SegmentBytes, SyncEvery: dur.SyncEvery, OpenFile: dur.openFile, SyncHist: pipeSync(o.pipe)})
+	log, err := wal.Open(dur.Dir, wal.Options{
+		SegmentBytes:    dur.SegmentBytes,
+		SyncEvery:       dur.SyncEvery,
+		SyncInterval:    dur.SyncInterval,
+		OpenFile:        dur.openFile,
+		SyncHist:        pipeSync(o.pipe),
+		GroupCommitHist: pipeGroupCommit(o.pipe),
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -193,6 +200,9 @@ func openDurableSingle(q *Query, o Options, adapt *Adaptivity, dur Durability, s
 	en.dur, en.log = &dur, log
 	if haveCk {
 		en.restoreCheckpoint(ck)
+		// The loaded checkpoint gates truncation from the start: the log
+		// may reclaim segments below its LSN and nothing above.
+		log.SetCheckpointLSN(ck.LSN())
 		// If fsync was off and the WAL tail was lost in the crash, the
 		// checkpoint may be ahead of the log; fast-forward the log so
 		// future sequence numbers continue at the checkpoint cursor.
@@ -525,6 +535,10 @@ func (en *single) checkpointNow() error {
 	if err := checkpoint.GC(en.dur.Dir, 2); err != nil {
 		return err
 	}
+	// The save succeeded, so the checkpoint's LSN is the new truncation
+	// gate; reclaiming up to it bounds the on-disk log to the records
+	// the checkpoint does not cover plus the open segment.
+	en.log.SetCheckpointLSN(ck.LSN())
 	return en.log.TruncateFront(ck.NextSeq)
 }
 
@@ -627,6 +641,7 @@ func (en *single) statsFast() Stats {
 	}
 	if en.log != nil {
 		st.WALSeq = en.log.Seq()
+		st.WALSyncs = en.log.Syncs()
 	}
 	if en.ownsDisp {
 		st.Subscriptions = en.disp.Subscribers()
