@@ -1,0 +1,126 @@
+// Package analysistest runs an analyzer over fixture packages under a
+// testdata tree and checks its diagnostics against expectations
+// written in the fixtures themselves, mirroring
+// golang.org/x/tools/go/analysis/analysistest:
+//
+//	f.Sync() // want `blocking call`
+//
+// Each `want` comment holds one or more Go-quoted regular expressions;
+// every diagnostic reported on that line must match one (in order of
+// appearance), and every expectation must be consumed. Lines carrying
+// a //tsvet:allow directive assert the opposite — the framework-level
+// suppression must make the diagnostic disappear — simply by carrying
+// no want comment.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"timingsubg/internal/analysis"
+)
+
+// Run loads the named fixture packages from root/src/<path> in order
+// (earlier packages are importable by later ones), runs the analyzer,
+// and reports mismatches between diagnostics and want expectations as
+// test errors.
+func Run(t *testing.T, root string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	pkgs := make([]analysis.DirPkg, len(paths))
+	for i, p := range paths {
+		pkgs[i] = analysis.DirPkg{Path: p, Dir: filepath.Join(root, "src", filepath.FromSlash(p))}
+	}
+	prog, err := analysis.LoadDirs(root, pkgs)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	diags, err := analysis.Run(prog, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, prog)
+	for _, d := range diags {
+		pos := prog.Fset.Position(d.Pos)
+		key := lineKey{file: pos.Filename, line: pos.Line}
+		ws := wants[key]
+		matched := false
+		for i, w := range ws {
+			if !w.used && w.re.MatchString(d.Message) {
+				ws[i].used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.used {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", key.file, key.line, w.re.String())
+			}
+		}
+	}
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	re   *regexp.Regexp
+	used bool
+}
+
+// wantRE matches the quoted patterns of a want comment: Go strings or
+// backquoted rawstrings.
+var wantRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+func collectWants(t *testing.T, prog *analysis.Program) map[lineKey][]want {
+	t.Helper()
+	wants := make(map[lineKey][]want)
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					if !strings.HasPrefix(text, "want ") {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					for _, q := range wantRE.FindAllString(strings.TrimPrefix(text, "want "), -1) {
+						pat, err := unquote(q)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, q, err)
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+						}
+						key := lineKey{file: pos.Filename, line: pos.Line}
+						wants[key] = append(wants[key], want{re: re})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func unquote(q string) (string, error) {
+	if strings.HasPrefix(q, "`") {
+		return strings.Trim(q, "`"), nil
+	}
+	s, err := strconv.Unquote(q)
+	if err != nil {
+		return "", fmt.Errorf("unquote: %v", err)
+	}
+	return s, nil
+}

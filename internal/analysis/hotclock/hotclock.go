@@ -1,0 +1,102 @@
+// Package hotclock forbids raw wallclock reads — time.Now() and
+// time.Since() — in the ingest hot-path packages internal/core,
+// internal/explist and internal/mstree.
+//
+// This is the PR 6 sampling discipline made mechanical: a clock read
+// costs tens of nanoseconds, comparable to an indexed insert itself,
+// so timing every hot-path call would be the dominant cost of having
+// metrics on. Clock reads on those paths must therefore go through
+// the sampled stats helpers (stats.SampleStart /
+// (*stats.AtomicHistogram).ObserveSince), whose call sites make the
+// 1-in-N sampling stride auditable, or sit inside an explicit
+// `if ...DisableMetrics...` gate.
+//
+// Suppress a deliberate read with //tsvet:allow hotclock.
+package hotclock
+
+import (
+	"go/ast"
+	"strings"
+
+	"timingsubg/internal/analysis"
+)
+
+// Analyzer is the hotclock checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotclock",
+	Doc:  "report raw time.Now()/time.Since() in hot-path packages (internal/core, internal/explist, internal/mstree); clock reads there must flow through the sampled stats helpers or a DisableMetrics gate",
+	Run:  run,
+}
+
+// hotSuffixes are the package paths under the invariant. Matching is
+// by path suffix so both the real module paths and short fixture
+// paths (package "core" under analysistest) are covered.
+var hotSuffixes = []string{"internal/core", "internal/explist", "internal/mstree", "core", "explist", "mstree"}
+
+func hot(path string) bool {
+	for _, s := range hotSuffixes {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	if !hot(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		check(pass, f, false)
+	}
+	return nil
+}
+
+// check walks n reporting raw clock reads; gated is true inside the
+// body of an if statement whose condition mentions DisableMetrics —
+// the sanctioned ablation gate, under which a clock read is by
+// definition not on the metrics-off hot path.
+func check(pass *analysis.Pass, n ast.Node, gated bool) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			if mentionsDisableMetrics(n.Cond) {
+				if n.Init != nil {
+					check(pass, n.Init, gated)
+				}
+				check(pass, n.Body, true)
+				if n.Else != nil {
+					check(pass, n.Else, true)
+				}
+				return false
+			}
+			return true
+		case *ast.CallExpr:
+			fn := analysis.Callee(pass.TypesInfo, n)
+			if gated {
+				return true
+			}
+			switch {
+			case analysis.IsFunc(fn, "time", "Now"):
+				pass.Reportf(n.Pos(), "raw time.Now() in hot-path package %s; use stats.SampleStart/ObserveSince or gate on DisableMetrics", pass.Pkg.Path())
+			case analysis.IsFunc(fn, "time", "Since"):
+				pass.Reportf(n.Pos(), "raw time.Since() in hot-path package %s; use (*stats.AtomicHistogram).ObserveSince or gate on DisableMetrics", pass.Pkg.Path())
+			}
+		}
+		return true
+	})
+}
+
+// mentionsDisableMetrics reports whether the condition references an
+// identifier or field named DisableMetrics.
+func mentionsDisableMetrics(cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == "DisableMetrics" {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}

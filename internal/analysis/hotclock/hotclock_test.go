@@ -1,0 +1,12 @@
+package hotclock_test
+
+import (
+	"testing"
+
+	"timingsubg/internal/analysis/analysistest"
+	"timingsubg/internal/analysis/hotclock"
+)
+
+func TestHotclock(t *testing.T) {
+	analysistest.Run(t, "testdata", hotclock.Analyzer, "core", "coldpkg")
+}

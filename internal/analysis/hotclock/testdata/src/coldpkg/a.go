@@ -1,0 +1,10 @@
+// Fixture for the hotclock analyzer: coldpkg is not a hot-path
+// package, so raw clock reads here are fine.
+package coldpkg
+
+import "time"
+
+func FreeClock() time.Duration {
+	t := time.Now()
+	return time.Since(t)
+}

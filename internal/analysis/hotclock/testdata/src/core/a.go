@@ -1,0 +1,39 @@
+// Fixture for the hotclock analyzer: this package's import path ends
+// in "core", so it is a hot-path package — raw wallclock reads must be
+// reported unless gated on DisableMetrics or explicitly waived.
+package core
+
+import "time"
+
+type cfg struct{ DisableMetrics bool }
+
+func rawNow() time.Time {
+	return time.Now() // want `raw time\.Now\(\) in hot-path package core`
+}
+
+func rawSince(t time.Time) time.Duration {
+	return time.Since(t) // want `raw time\.Since\(\) in hot-path package core`
+}
+
+// gated: reads under an if whose condition mentions DisableMetrics are
+// the sanctioned ablation gate — by definition off the metrics-off hot
+// path. Both branches of the gate are exempt.
+func gated(c cfg) time.Duration {
+	if !c.DisableMetrics {
+		t := time.Now()
+		return time.Since(t)
+	} else {
+		_ = time.Now()
+	}
+	return 0
+}
+
+func waived() time.Time {
+	return time.Now() //tsvet:allow hotclock — one-time startup stamp, not on the ingest path
+}
+
+// nonClockTimeFuncs: only Now and Since are wallclock reads.
+func nonClockTimeFuncs() {
+	_ = time.Unix(0, 0)
+	_ = time.Duration(5) * time.Millisecond
+}

@@ -1,0 +1,254 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// listPkg is the subset of `go list -json` output the loader needs.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+}
+
+// Load resolves patterns (typically "./...") from dir, type-checks
+// every matched package against export data compiled by the go tool,
+// and returns the Program. It works fully offline: the go toolchain
+// compiles dependencies into the build cache and hands back export
+// data paths, so no pre-built $GOROOT/pkg archives and no network
+// are required.
+func Load(dir string, patterns ...string) (*Program, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-export",
+		"-json=ImportPath,Dir,Name,GoFiles,Export,Standard,DepOnly",
+		"-deps",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list -export: %v\n%s", err, stderr.String())
+	}
+
+	exports := make(map[string]string)
+	var targets []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			targets = append(targets, p)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	prog := &Program{Fset: fset}
+	var errs []error
+	for _, p := range targets {
+		pkg, err := checkPackage(fset, imp, p.ImportPath, p.Dir, p.GoFiles)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		prog.Packages = append(prog.Packages, pkg)
+	}
+	if len(errs) > 0 {
+		return prog, errors.Join(errs...)
+	}
+	return prog, nil
+}
+
+// checkPackage parses and type-checks one package's listed files.
+func checkPackage(fset *token.FileSet, imp types.Importer, path, dir string, goFiles []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", path, err)
+	}
+	name := tpkg.Name()
+	return &Package{Path: path, Name: name, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// LoadDirs loads an explicit, dependency-ordered list of package
+// directories — the analysistest entry point, used for fixture trees
+// under testdata that `go list ./...` deliberately ignores. Each
+// entry maps an import path to its directory; fixture packages may
+// import earlier entries by those paths, and anything else resolves
+// through export data for the packages' external imports (stdlib,
+// or in-module packages reachable from modDir).
+func LoadDirs(modDir string, pkgs []DirPkg) (*Program, error) {
+	fset := token.NewFileSet()
+
+	// Parse everything first so external imports can be collected and
+	// resolved with a single go list invocation.
+	type parsed struct {
+		DirPkg
+		files []*ast.File
+	}
+	local := make(map[string]bool, len(pkgs))
+	for _, p := range pkgs {
+		local[p.Path] = true
+	}
+	var all []parsed
+	external := make(map[string]bool)
+	for _, p := range pkgs {
+		entries, err := os.ReadDir(p.Dir)
+		if err != nil {
+			return nil, err
+		}
+		var files []*ast.File
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+			for _, imp := range f.Imports {
+				path := strings.Trim(imp.Path.Value, `"`)
+				if !local[path] {
+					external[path] = true
+				}
+			}
+		}
+		all = append(all, parsed{DirPkg: p, files: files})
+	}
+
+	exports := make(map[string]string)
+	if len(external) > 0 {
+		paths := make([]string, 0, len(external))
+		for p := range external {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		args := append([]string{
+			"list", "-export", "-json=ImportPath,Export", "-deps",
+		}, paths...)
+		cmd := exec.Command("go", args...)
+		cmd.Dir = modDir
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		out, err := cmd.Output()
+		if err != nil {
+			return nil, fmt.Errorf("go list -export %s: %v\n%s", strings.Join(paths, " "), err, stderr.String())
+		}
+		dec := json.NewDecoder(bytes.NewReader(out))
+		for {
+			var p listPkg
+			if err := dec.Decode(&p); err == io.EOF {
+				break
+			} else if err != nil {
+				return nil, err
+			}
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+
+	gc := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+	chain := &chainImporter{local: make(map[string]*types.Package), next: gc}
+
+	prog := &Program{Fset: fset}
+	for _, p := range all {
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+		}
+		conf := types.Config{Importer: chain}
+		tpkg, err := conf.Check(p.Path, fset, p.files, info)
+		if err != nil {
+			return nil, fmt.Errorf("typecheck %s: %v", p.Path, err)
+		}
+		chain.local[p.Path] = tpkg
+		prog.Packages = append(prog.Packages, &Package{
+			Path: p.Path, Name: tpkg.Name(), Files: p.files, Types: tpkg, Info: info,
+		})
+	}
+	return prog, nil
+}
+
+// DirPkg names one fixture package for LoadDirs.
+type DirPkg struct {
+	Path string // import path fixture files use
+	Dir  string // directory holding its .go files
+}
+
+// chainImporter resolves already-type-checked local packages first and
+// defers everything else to the export-data importer.
+type chainImporter struct {
+	local map[string]*types.Package
+	next  types.Importer
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	if p, ok := c.local[path]; ok {
+		return p, nil
+	}
+	return c.next.Import(path)
+}

@@ -1,0 +1,297 @@
+// Package lockhold forbids blocking calls while a sync.Mutex or
+// sync.RWMutex is held.
+//
+// This is the engine's fine-grained-locking discipline made
+// mechanical: the WAL group-commit protocol fsyncs outside the lock
+// (a leader snapshots the tail under the mutex, releases it, syncs,
+// then relocks to publish), and the fleetpool shard workers never
+// perform channel hand-offs under a shard lock. A blocking call
+// under a mutex turns one slow syscall into a convoy for every
+// contender, which on the ingest hot path means a stalled fsync
+// backpressures all concurrent feeders.
+//
+// Blocking calls are: (*os.File).Sync, time.Sleep, any function or
+// method of package net, channel sends and receives, and select
+// statements without a default clause. The tracking is
+// intra-procedural and source-ordered: a lock is held from
+// mu.Lock()/mu.RLock() until mu.Unlock()/mu.RUnlock() on the same
+// receiver expression; `defer mu.Unlock()` keeps the lock held for
+// the remainder of the function, which is exactly when a blocking
+// call in that function would run under it. Function literals are
+// analyzed as their own functions (a goroutine body does not inherit
+// the spawner's locks).
+//
+// Intentional violations carry a justification:
+//
+//	ch <- ev //tsvet:allow lockhold — per-subscription ordering needs the send under the lock
+package lockhold
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"timingsubg/internal/analysis"
+)
+
+// Analyzer is the lockhold checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockhold",
+	Doc:  "report blocking calls (fsync, channel ops, net I/O, time.Sleep) made while a sync.Mutex/RWMutex is held",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkFunc(pass, fn.Body)
+				}
+				return false
+			case *ast.FuncLit:
+				// Reached only for package-level `var f = func(){...}`;
+				// literals inside functions are dispatched by checkFunc.
+				checkFunc(pass, fn.Body)
+				return false
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// heldLock records one acquired mutex: the receiver expression text it
+// was locked through and where.
+type heldLock struct {
+	pos token.Pos
+}
+
+// checker walks one function body in source order, maintaining the set
+// of currently held locks keyed by receiver expression text.
+type checker struct {
+	pass *analysis.Pass
+	held map[string]heldLock
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	c := &checker{pass: pass, held: make(map[string]heldLock)}
+	c.stmts(body.List)
+}
+
+func (c *checker) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		c.stmt(s)
+	}
+}
+
+func (c *checker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		c.stmts(s.List)
+	case *ast.ExprStmt:
+		c.expr(s.X)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			c.expr(e)
+		}
+		for _, e := range s.Lhs {
+			c.expr(e)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						c.expr(e)
+					}
+				}
+			}
+		}
+	case *ast.SendStmt:
+		c.expr(s.Value)
+		c.blockingOp(s.Pos(), "channel send")
+	case *ast.IncDecStmt:
+		c.expr(s.X)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			c.expr(e)
+		}
+	case *ast.DeferStmt:
+		// A deferred Unlock pins the lock for the rest of the function
+		// (the held set deliberately keeps it); other deferred calls
+		// run at return time, outside this linear model, and are not
+		// classified as blocking-under-lock.
+		c.lockCall(s.Call, true)
+		for _, a := range s.Call.Args {
+			c.expr(a)
+		}
+	case *ast.GoStmt:
+		// The spawned goroutine does not inherit the spawner's locks;
+		// its body is checked as an independent function by expr's
+		// FuncLit handling. Argument expressions evaluate here though.
+		for _, a := range s.Call.Args {
+			c.expr(a)
+		}
+		c.expr(s.Call.Fun)
+	case *ast.IfStmt:
+		c.stmt(s.Init)
+		c.expr(s.Cond)
+		c.stmts(s.Body.List)
+		c.stmt(s.Else)
+	case *ast.ForStmt:
+		c.stmt(s.Init)
+		if s.Cond != nil {
+			c.expr(s.Cond)
+		}
+		c.stmts(s.Body.List)
+		c.stmt(s.Post)
+	case *ast.RangeStmt:
+		c.expr(s.X)
+		c.stmts(s.Body.List)
+	case *ast.SwitchStmt:
+		c.stmt(s.Init)
+		if s.Tag != nil {
+			c.expr(s.Tag)
+		}
+		c.stmts(s.Body.List)
+	case *ast.TypeSwitchStmt:
+		c.stmt(s.Init)
+		c.stmt(s.Assign)
+		c.stmts(s.Body.List)
+	case *ast.CaseClause:
+		for _, e := range s.List {
+			c.expr(e)
+		}
+		c.stmts(s.Body)
+	case *ast.SelectStmt:
+		c.selectStmt(s)
+	case *ast.CommClause:
+		c.stmt(s.Comm)
+		c.stmts(s.Body)
+	case *ast.LabeledStmt:
+		c.stmt(s.Stmt)
+	}
+}
+
+// selectStmt flags a select without a default clause as itself
+// blocking; one with a default is a non-blocking poll, so its comm
+// clauses' channel operations are deliberately not reported (only
+// the clause bodies are walked).
+func (c *checker) selectStmt(s *ast.SelectStmt) {
+	hasDefault := false
+	for _, cl := range s.Body.List {
+		if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		c.blockingOp(s.Pos(), "blocking select")
+	}
+	for _, cl := range s.Body.List {
+		cc, ok := cl.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		c.stmts(cc.Body)
+	}
+}
+
+// expr scans one expression in evaluation-ish order, classifying lock
+// transitions and blocking operations.
+func (c *checker) expr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			checkFunc(c.pass, n.Body)
+			return false
+		case *ast.CallExpr:
+			c.lockCall(n, false)
+			c.callExpr(n)
+			return true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				c.blockingOp(n.Pos(), "channel receive")
+			}
+			return true
+		}
+		return true
+	})
+}
+
+// lockCall updates the held set for Lock/Unlock-family calls on
+// sync.Mutex / sync.RWMutex receivers (including promoted methods on
+// embedding structs).
+func (c *checker) lockCall(call *ast.CallExpr, deferred bool) {
+	fn := analysis.Callee(c.pass.TypesInfo, call)
+	if fn == nil || !isSyncLockMethod(fn) {
+		return
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	key := types.ExprString(sel.X)
+	switch fn.Name() {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		if !deferred {
+			c.held[key] = heldLock{pos: call.Pos()}
+		}
+	case "Unlock", "RUnlock":
+		if !deferred {
+			delete(c.held, key)
+		}
+		// defer mu.Unlock(): the lock stays in the held set — every
+		// statement after this one really does run under it.
+	}
+}
+
+func isSyncLockMethod(fn *types.Func) bool {
+	for _, typ := range []string{"Mutex", "RWMutex"} {
+		for _, m := range []string{"Lock", "RLock", "TryLock", "TryRLock", "Unlock", "RUnlock"} {
+			if analysis.IsMethodOn(fn, "sync", typ, m) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// callExpr reports calls classified as blocking when a lock is held.
+func (c *checker) callExpr(call *ast.CallExpr) {
+	fn := analysis.Callee(c.pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	switch {
+	case analysis.IsMethodOn(fn, "os", "File", "Sync"):
+		c.blockingOp(call.Pos(), "call to (*os.File).Sync")
+	case analysis.IsFunc(fn, "time", "Sleep"):
+		c.blockingOp(call.Pos(), "call to time.Sleep")
+	case fn.Pkg() != nil && fn.Pkg().Path() == "net":
+		c.blockingOp(call.Pos(), "call to net."+fn.Name())
+	}
+}
+
+// blockingOp reports desc at pos against every currently held lock,
+// in deterministic (sorted) key order.
+func (c *checker) blockingOp(pos token.Pos, desc string) {
+	if len(c.held) == 0 {
+		return
+	}
+	keys := make([]string, 0, len(c.held))
+	for key := range c.held {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		lp := c.pass.Fset.Position(c.held[key].pos)
+		c.pass.Reportf(pos, "%s while %q is held (locked at line %d)", desc, key, lp.Line)
+	}
+}

@@ -1,0 +1,12 @@
+package lockhold_test
+
+import (
+	"testing"
+
+	"timingsubg/internal/analysis/analysistest"
+	"timingsubg/internal/analysis/lockhold"
+)
+
+func TestLockhold(t *testing.T) {
+	analysistest.Run(t, "testdata", lockhold.Analyzer, "lockholdtest")
+}

@@ -1,0 +1,112 @@
+// Fixture for the lockhold analyzer: blocking calls under a held
+// sync.Mutex / sync.RWMutex must be reported; the same calls outside
+// the critical section, in non-blocking polls, in spawned goroutines,
+// or under a //tsvet:allow waiver must not.
+package lockholdtest
+
+import (
+	"net"
+	"os"
+	"sync"
+	"time"
+)
+
+type guarded struct {
+	mu sync.Mutex
+	f  *os.File
+	ch chan int
+}
+
+func (g *guarded) syncUnderLock() {
+	g.mu.Lock()
+	g.f.Sync() // want `call to \(\*os\.File\)\.Sync while "g\.mu" is held`
+	g.mu.Unlock()
+}
+
+func (g *guarded) syncOutsideLock() {
+	g.mu.Lock()
+	g.mu.Unlock()
+	g.f.Sync()
+}
+
+// groupCommitShape is the WAL group-commit protocol: snapshot under
+// the lock, sync outside it, relock to publish. No diagnostics.
+func (g *guarded) groupCommitShape() error {
+	g.mu.Lock()
+	g.mu.Unlock()
+	err := g.f.Sync()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return err
+}
+
+// deferHolds: a deferred Unlock keeps the lock held for the remainder
+// of the function body.
+func (g *guarded) deferHolds() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	time.Sleep(time.Millisecond) // want `call to time\.Sleep while "g\.mu" is held`
+}
+
+func (g *guarded) chanOps() {
+	g.mu.Lock()
+	g.ch <- 1 // want `channel send while "g\.mu" is held`
+	<-g.ch    // want `channel receive while "g\.mu" is held`
+	g.mu.Unlock()
+	g.ch <- 2
+}
+
+// nonBlockingSelect: a select with a default clause is a poll, not a
+// block — its comm-clause channel operations are exempt.
+func (g *guarded) nonBlockingSelect() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select {
+	case v := <-g.ch:
+		_ = v
+	default:
+	}
+}
+
+func (g *guarded) blockingSelect() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select { // want `blocking select while "g\.mu" is held`
+	case v := <-g.ch:
+		_ = v
+	}
+}
+
+func rlockCountsToo() {
+	var rw sync.RWMutex
+	rw.RLock()
+	time.Sleep(time.Millisecond) // want `call to time\.Sleep while "rw" is held`
+	rw.RUnlock()
+}
+
+func (g *guarded) netUnderLock(c net.Conn) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	c.Write(nil) // want `call to net\.Write while "g\.mu" is held`
+}
+
+// goroutineDoesNotInherit: the spawned body is analyzed as its own
+// function; the race between the goroutine and the critical section
+// is the race detector's jurisdiction, not lockhold's.
+func (g *guarded) goroutineDoesNotInherit() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	go func() {
+		g.f.Sync()
+	}()
+}
+
+// waived: both the trailing and the line-above //tsvet:allow forms
+// suppress the diagnostic.
+func (g *guarded) waived() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.ch <- 1 //tsvet:allow lockhold — deliberate backpressure under the subscription mutex
+	//tsvet:allow lockhold — second form: directive on the line above
+	g.ch <- 2
+}

@@ -1,0 +1,583 @@
+// Package poolpair checks that every (*sync.Pool).Get in a function is
+// matched by a (*sync.Pool).Put on the same pool on every path out of
+// the function — the allocation-pooling invariant of the expansion-list
+// probe scratch buffers and the engine match pool (PR 5): a Get whose
+// value is dropped on an early return silently degrades the pool into
+// an allocator, which the ingest benchmarks read as GC churn, not as a
+// test failure.
+//
+// Ownership transfers are exempt, because they move the Put obligation
+// to the new owner:
+//
+//   - returning the pooled value (the getMatch/getScratch pattern —
+//     the caller recycles via putMatch/putScratch);
+//   - storing it into a struct field, map, slice element or global;
+//   - sending it on a channel;
+//   - assigning it to a variable captured from an enclosing function
+//     (the explist Each pattern: the closure Gets into a captured
+//     scratch pointer, the enclosing function Puts it).
+//
+// A Get guarded by `if v := pool.Get(); v != nil` carries no
+// obligation on the nil branch — there is nothing to return to the
+// pool. The analysis is per-function and branch-sensitive: states
+// merge by union, so a Put on only one arm of an if still leaves the
+// other arm's leak visible. Function literals are analyzed
+// independently.
+//
+// Suppress deliberate exceptions with //tsvet:allow poolpair.
+package poolpair
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"timingsubg/internal/analysis"
+)
+
+// Analyzer is the poolpair checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "poolpair",
+	Doc:  "report sync.Pool Gets that are not Put back (or ownership-transferred) on every path out of the function",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkFunc(pass, fn.Body)
+				}
+				return false
+			case *ast.FuncLit:
+				checkFunc(pass, fn.Body)
+				return false
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// getRecord tracks one outstanding pool Get: where it happened and
+// which local variables currently hold the pooled value.
+type getRecord struct {
+	pos  token.Pos
+	vars map[types.Object]bool
+}
+
+func (g *getRecord) clone() *getRecord {
+	vars := make(map[types.Object]bool, len(g.vars))
+	for k, v := range g.vars {
+		vars[k] = v
+	}
+	return &getRecord{pos: g.pos, vars: vars}
+}
+
+// state maps pool-receiver expression text to its outstanding Get.
+// One pool key tracks at most one live Get at a time; a second Get on
+// the same key before the first is resolved keeps the first's
+// obligation (both must be Put, but one diagnostic per key suffices).
+type state map[string]*getRecord
+
+func (s state) clone() state {
+	out := make(state, len(s))
+	for k, v := range s {
+		out[k] = v.clone()
+	}
+	return out
+}
+
+// checker analyzes one function body.
+type checker struct {
+	pass *analysis.Pass
+	body *ast.BlockStmt
+	// deferredPut holds pool keys with a `defer pool.Put(...)` seen so
+	// far on the current path.
+	violations map[token.Pos]string
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	c := &checker{pass: pass, body: body, violations: make(map[token.Pos]string)}
+	st, deferred, terminated := c.walk(body.List, make(state), make(map[string]bool))
+	if !terminated {
+		c.leak(st, deferred)
+	}
+	for pos, key := range c.violations {
+		pass.Reportf(pos, "%s.Get() is not matched by a Put (or ownership transfer) on every path out of the function", key)
+	}
+}
+
+// walk processes a statement list from st, returning the fall-through
+// state, the deferred-Put set at exit, and whether the list
+// terminates (return / branch / panic) instead of falling through.
+func (c *checker) walk(list []ast.Stmt, st state, deferred map[string]bool) (state, map[string]bool, bool) {
+	for _, s := range list {
+		var term bool
+		st, deferred, term = c.stmt(s, st, deferred)
+		if term {
+			return st, deferred, true
+		}
+	}
+	return st, deferred, false
+}
+
+func cloneDeferred(d map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(d))
+	for k, v := range d {
+		out[k] = v
+	}
+	return out
+}
+
+func (c *checker) stmt(s ast.Stmt, st state, deferred map[string]bool) (state, map[string]bool, bool) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		return c.walk(s.List, st, deferred)
+	case *ast.ExprStmt:
+		if isPanic(s.X) {
+			return st, deferred, true
+		}
+		c.scanExpr(s.X, st)
+	case *ast.AssignStmt:
+		c.assign(s, st)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					c.declSpec(vs, st)
+				}
+			}
+		}
+	case *ast.DeferStmt:
+		if key, ok := c.poolCall(s.Call, "Put"); ok {
+			deferred = cloneDeferred(deferred)
+			deferred[key] = true
+			delete(st, key)
+		}
+	case *ast.SendStmt:
+		// Sending the pooled value transfers ownership to the receiver.
+		c.dropMentioned(s.Value, st)
+		c.scanExpr(s.Chan, st)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			c.scanExpr(e, st)
+			c.dropReturned(e, st)
+		}
+		c.leak(st, deferred)
+		return st, deferred, true
+	case *ast.BranchStmt:
+		return st, deferred, true
+	case *ast.GoStmt:
+		for _, a := range s.Call.Args {
+			c.scanExpr(a, st)
+		}
+		c.scanExpr(s.Call.Fun, st)
+	case *ast.IfStmt:
+		var term bool
+		st, deferred, term = c.stmt(s.Init, st, deferred)
+		if term {
+			return st, deferred, true
+		}
+		c.scanExpr(s.Cond, st)
+		thenSt, elseSt := st.clone(), st.clone()
+		// `if v != nil` on a pooled value: the false side saw Get
+		// return nil — no obligation there. And symmetrically.
+		if key, eq := nilCheck(c.pass, s.Cond, st); key != "" {
+			if eq {
+				delete(thenSt, key)
+			} else {
+				delete(elseSt, key)
+			}
+		}
+		thenOut, thenDef, thenTerm := c.walk(s.Body.List, thenSt, cloneDeferred(deferred))
+		elseOut, elseDef, elseTerm := elseSt, cloneDeferred(deferred), false
+		if s.Else != nil {
+			elseOut, elseDef, elseTerm = c.stmt(s.Else, elseSt, elseDef)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return st, deferred, true
+		case thenTerm:
+			return elseOut, elseDef, false
+		case elseTerm:
+			return thenOut, thenDef, false
+		default:
+			return mergeStates(thenOut, elseOut), mergeDeferred(thenDef, elseDef), false
+		}
+	case *ast.ForStmt:
+		var term bool
+		st, deferred, term = c.stmt(s.Init, st, deferred)
+		if term {
+			return st, deferred, true
+		}
+		if s.Cond != nil {
+			c.scanExpr(s.Cond, st)
+		}
+		bodyOut, _, bodyTerm := c.walk(s.Body.List, st.clone(), cloneDeferred(deferred))
+		if !bodyTerm {
+			st = mergeStates(st, bodyOut)
+		}
+	case *ast.RangeStmt:
+		c.scanExpr(s.X, st)
+		bodyOut, _, bodyTerm := c.walk(s.Body.List, st.clone(), cloneDeferred(deferred))
+		if !bodyTerm {
+			st = mergeStates(st, bodyOut)
+		}
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return c.branchy(s, st, deferred)
+	case *ast.LabeledStmt:
+		return c.stmt(s.Stmt, st, deferred)
+	case *ast.IncDecStmt:
+		c.scanExpr(s.X, st)
+	}
+	return st, deferred, false
+}
+
+// branchy conservatively handles switch/type-switch/select: every
+// clause runs from a copy of the incoming state, and the outgoing
+// state is the union of the incoming state with every falling-through
+// clause (a missing default means no clause may run at all).
+func (c *checker) branchy(s ast.Stmt, st state, deferred map[string]bool) (state, map[string]bool, bool) {
+	var body *ast.BlockStmt
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		var term bool
+		st, deferred, term = c.stmt(s.Init, st, deferred)
+		if term {
+			return st, deferred, true
+		}
+		if s.Tag != nil {
+			c.scanExpr(s.Tag, st)
+		}
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		var term bool
+		st, deferred, term = c.stmt(s.Init, st, deferred)
+		if term {
+			return st, deferred, true
+		}
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+	}
+	out := st.clone()
+	for _, cl := range body.List {
+		var clauseBody []ast.Stmt
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			for _, e := range cl.List {
+				c.scanExpr(e, st)
+			}
+			clauseBody = cl.Body
+		case *ast.CommClause:
+			var term bool
+			st2 := st.clone()
+			st2, _, term = c.stmt(cl.Comm, st2, cloneDeferred(deferred))
+			if !term {
+				clOut, _, clTerm := c.walk(cl.Body, st2, cloneDeferred(deferred))
+				if !clTerm {
+					out = mergeStates(out, clOut)
+				}
+			}
+			continue
+		}
+		clOut, _, clTerm := c.walk(clauseBody, st.clone(), cloneDeferred(deferred))
+		if !clTerm {
+			out = mergeStates(out, clOut)
+		}
+	}
+	return out, deferred, false
+}
+
+// assign processes one assignment: new Gets, Puts buried in the RHS,
+// alias propagation, and escape-by-store.
+func (c *checker) assign(s *ast.AssignStmt, st state) {
+	for _, e := range s.Rhs {
+		c.scanExpr(e, st)
+	}
+	// Propagate aliases and detect escapes, pairing LHS with RHS when
+	// the counts line up (the only form pools occur in here).
+	if len(s.Lhs) == len(s.Rhs) {
+		for i, lhs := range s.Lhs {
+			c.assignOne(lhs, s.Rhs[i], st)
+		}
+	} else if len(s.Rhs) == 1 {
+		for _, lhs := range s.Lhs {
+			c.assignOne(lhs, s.Rhs[0], st)
+		}
+	}
+}
+
+func (c *checker) assignOne(lhs, rhs ast.Expr, st state) {
+	for key, rec := range st {
+		if !mentionsVar(c.pass, rhs, rec.vars) && !isGetOf(c.pass, rhs, key) {
+			continue
+		}
+		switch l := ast.Unparen(lhs).(type) {
+		case *ast.Ident:
+			if l.Name == "_" {
+				continue
+			}
+			obj := c.pass.TypesInfo.Defs[l]
+			if obj == nil {
+				obj = c.pass.TypesInfo.Uses[l]
+			}
+			if obj == nil {
+				continue
+			}
+			// Assignment to a variable declared outside this function
+			// literal hands the value to the enclosing scope.
+			if obj.Pos().IsValid() && (obj.Pos() < c.body.Pos() || obj.Pos() > c.body.End()) {
+				delete(st, key)
+				continue
+			}
+			rec.vars[obj] = true
+		default:
+			// Selector, index, star expression: stored into a struct,
+			// slice, map or pointee — ownership escapes unless the
+			// destination's base is itself the tracked value (filling a
+			// field of the pooled object keeps the obligation).
+			if base := baseIdentObj(c.pass, l); base != nil && rec.vars[base] {
+				continue
+			}
+			delete(st, key)
+		}
+	}
+}
+
+func (c *checker) declSpec(vs *ast.ValueSpec, st state) {
+	for _, e := range vs.Values {
+		c.scanExpr(e, st)
+	}
+	if len(vs.Names) == len(vs.Values) {
+		for i, name := range vs.Names {
+			c.assignOne(name, vs.Values[i], st)
+		}
+	}
+}
+
+// scanExpr records Gets and resolves Puts found anywhere inside e,
+// skipping nested function literals (checked independently).
+func (c *checker) scanExpr(e ast.Expr, st state) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			checkFunc(c.pass, n.Body)
+			return false
+		case *ast.CallExpr:
+			if key, ok := c.poolCall(n, "Get"); ok {
+				if _, exists := st[key]; !exists {
+					st[key] = &getRecord{pos: n.Pos(), vars: make(map[types.Object]bool)}
+				}
+			}
+			if key, ok := c.poolCall(n, "Put"); ok {
+				delete(st, key)
+			}
+		}
+		return true
+	})
+}
+
+// poolCall reports whether call is (*sync.Pool).<method> and returns
+// the receiver expression text as the pool key.
+func (c *checker) poolCall(call *ast.CallExpr, method string) (string, bool) {
+	fn := analysis.Callee(c.pass.TypesInfo, call)
+	if !analysis.IsMethodOn(fn, "sync", "Pool", method) {
+		return "", false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	return types.ExprString(sel.X), true
+}
+
+// dropMentioned removes the obligation of every pool whose tracked
+// value appears in e — the value's ownership has been transferred.
+func (c *checker) dropMentioned(e ast.Expr, st state) {
+	for key, rec := range st {
+		if mentionsVar(c.pass, e, rec.vars) || isGetOf(c.pass, e, key) {
+			delete(st, key)
+		}
+	}
+}
+
+// dropReturned removes obligations whose value is itself the returned
+// expression (`return v`, `return v.(*T)`, `return &v`, or directly
+// `return pool.Get()`). Returning something merely derived from the
+// value — `return v != nil`, `return len(v.b)` — is not a transfer:
+// the pooled object is still dropped on the floor.
+func (c *checker) dropReturned(e ast.Expr, st state) {
+	for key, rec := range st {
+		if isValueOf(c.pass, e, rec.vars) || isGetOf(c.pass, e, key) {
+			delete(st, key)
+		}
+	}
+}
+
+// isValueOf reports whether e IS one of the tracked variables, up to
+// parens, type assertions/conversions-by-assert and address-of.
+func isValueOf(pass *analysis.Pass, e ast.Expr, vars map[types.Object]bool) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[e]
+		return obj != nil && vars[obj]
+	case *ast.TypeAssertExpr:
+		return isValueOf(pass, e.X, vars)
+	case *ast.UnaryExpr:
+		return e.Op == token.AND && isValueOf(pass, e.X, vars)
+	case *ast.StarExpr:
+		return isValueOf(pass, e.X, vars)
+	}
+	return false
+}
+
+// leak records a violation for every outstanding Get not covered by a
+// deferred Put.
+func (c *checker) leak(st state, deferred map[string]bool) {
+	for key, rec := range st {
+		if deferred[key] {
+			continue
+		}
+		c.violations[rec.pos] = key
+	}
+}
+
+// mergeStates unions outstanding obligations from two fall-through
+// branches (a leak on either branch stays visible).
+func mergeStates(a, b state) state {
+	out := a.clone()
+	for key, rec := range b {
+		if have, ok := out[key]; ok {
+			for v := range rec.vars {
+				have.vars[v] = true
+			}
+			continue
+		}
+		out[key] = rec.clone()
+	}
+	return out
+}
+
+func mergeDeferred(a, b map[string]bool) map[string]bool {
+	// A Put deferred on only one branch does not cover the other:
+	// intersect.
+	out := make(map[string]bool)
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+// nilCheck recognizes `x == nil` / `x != nil` where x holds a tracked
+// pooled value, returning the pool key and whether the comparison is
+// == (true side is the nil side).
+func nilCheck(pass *analysis.Pass, cond ast.Expr, st state) (key string, eq bool) {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+		return "", false
+	}
+	var other ast.Expr
+	if isNil(pass, be.X) {
+		other = be.Y
+	} else if isNil(pass, be.Y) {
+		other = be.X
+	} else {
+		return "", false
+	}
+	for k, rec := range st {
+		if mentionsVar(pass, other, rec.vars) {
+			return k, be.Op == token.EQL
+		}
+	}
+	return "", false
+}
+
+func isNil(pass *analysis.Pass, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNilConst := pass.TypesInfo.Uses[id].(*types.Nil)
+	return isNilConst
+}
+
+// mentionsVar reports whether e uses any of the tracked variables.
+func mentionsVar(pass *analysis.Pass, e ast.Expr, vars map[types.Object]bool) bool {
+	if e == nil || len(vars) == 0 {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Uses[id]; obj != nil && vars[obj] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isGetOf reports whether e is (possibly a type assertion or parens
+// around) key.Get() — covers `return pool.Get().(*T)` transferring the
+// fresh value directly.
+func isGetOf(pass *analysis.Pass, e ast.Expr, key string) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.TypeAssertExpr:
+		return isGetOf(pass, e.X, key)
+	case *ast.CallExpr:
+		fn := analysis.Callee(pass.TypesInfo, e)
+		if !analysis.IsMethodOn(fn, "sync", "Pool", "Get") {
+			return false
+		}
+		sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr)
+		return ok && types.ExprString(sel.X) == key
+	}
+	return false
+}
+
+// isPanic reports whether e is a call to the builtin panic.
+func isPanic(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// baseIdentObj returns the object of the base identifier of a
+// selector/index/star chain (`s.f.g[i]` → s), or nil.
+func baseIdentObj(pass *analysis.Pass, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[x]; obj != nil {
+				return obj
+			}
+			return pass.TypesInfo.Defs[x]
+		default:
+			return nil
+		}
+	}
+}

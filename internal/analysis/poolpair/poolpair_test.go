@@ -1,0 +1,12 @@
+package poolpair_test
+
+import (
+	"testing"
+
+	"timingsubg/internal/analysis/analysistest"
+	"timingsubg/internal/analysis/poolpair"
+)
+
+func TestPoolpair(t *testing.T) {
+	analysistest.Run(t, "testdata", poolpair.Analyzer, "poolpairtest")
+}

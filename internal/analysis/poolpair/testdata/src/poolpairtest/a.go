@@ -1,0 +1,135 @@
+// Fixture for the poolpair analyzer: every sync.Pool Get must be
+// matched by a Put or an ownership transfer on every path out of the
+// function.
+package poolpairtest
+
+import "sync"
+
+type buf struct{ b []byte }
+
+type store struct {
+	pool  sync.Pool
+	field *buf
+}
+
+func use(v any) { _ = v }
+
+func (s *store) leak() {
+	v := s.pool.Get() // want `s\.pool\.Get\(\) is not matched by a Put`
+	use(v)
+}
+
+func (s *store) paired() {
+	v := s.pool.Get()
+	s.pool.Put(v)
+}
+
+func (s *store) deferredPut() {
+	v := s.pool.Get()
+	defer s.pool.Put(v)
+	use(v)
+}
+
+func (s *store) earlyReturnLeaks(cond bool) {
+	v := s.pool.Get() // want `s\.pool\.Get\(\) is not matched by a Put`
+	if cond {
+		return
+	}
+	s.pool.Put(v)
+}
+
+func (s *store) putOnBothArms(cond bool) {
+	v := s.pool.Get()
+	if cond {
+		s.pool.Put(v)
+	} else {
+		s.pool.Put(v)
+	}
+}
+
+func (s *store) putOnOneArm(cond bool) {
+	v := s.pool.Get() // want `s\.pool\.Get\(\) is not matched by a Put`
+	if cond {
+		s.pool.Put(v)
+	}
+}
+
+// transferByReturn is the engine getMatch/getScratch pattern: the
+// caller takes over the Put obligation.
+func (s *store) transferByReturn() *buf {
+	v := s.pool.Get()
+	b := v.(*buf)
+	return b
+}
+
+// boolReturn: returning a value merely derived from the pooled object
+// is not a transfer — the object itself is dropped.
+func (s *store) boolReturn() bool {
+	v := s.pool.Get() // want `s\.pool\.Get\(\) is not matched by a Put`
+	return v != nil
+}
+
+// nilChecked: the nil branch of `Get(); v != nil` carries no
+// obligation, and the non-nil branch transfers by return.
+func (s *store) nilChecked() *buf {
+	if v := s.pool.Get(); v != nil {
+		return v.(*buf)
+	}
+	return &buf{}
+}
+
+func (s *store) transferByFieldStore() {
+	v := s.pool.Get()
+	s.field = v.(*buf)
+}
+
+func (s *store) transferBySend(ch chan any) {
+	v := s.pool.Get()
+	ch <- v
+}
+
+// capturedClosure is the explist Each pattern: the closure Gets into a
+// variable captured from the enclosing function, which Puts it after
+// the iteration.
+func (s *store) capturedClosure(each func(func() bool)) {
+	var v any
+	each(func() bool {
+		if v == nil {
+			v = s.pool.Get()
+		}
+		return true
+	})
+	if v != nil {
+		s.pool.Put(v)
+	}
+}
+
+// leakInClosure: a function literal is its own scope — a Get confined
+// to it must be resolved inside it.
+func (s *store) leakInClosure(each func(func() bool)) {
+	each(func() bool {
+		v := s.pool.Get() // want `s\.pool\.Get\(\) is not matched by a Put`
+		use(v)
+		return true
+	})
+}
+
+func (s *store) panicPath() {
+	v := s.pool.Get()
+	if v == nil {
+		panic("pool returned nil")
+	}
+	s.pool.Put(v)
+}
+
+func (s *store) loopBalanced(n int) {
+	for i := 0; i < n; i++ {
+		v := s.pool.Get()
+		s.pool.Put(v)
+	}
+}
+
+func (s *store) waived() {
+	v := s.pool.Get() //tsvet:allow poolpair — ownership handed to an external registry
+	use(v)
+}

@@ -1,0 +1,260 @@
+// Package statswire cross-checks the four layers of the metrics plane
+// that PRs 6–8 each had to hand-audit: a counter added to the engine's
+// unified Stats snapshot is only useful if it actually reaches
+// operators, which means the client wire struct, and — for pipeline
+// stages — the Prometheus stage-family list. Silent drift between
+// those layers is the failure mode this analyzer ends: the field
+// compiles, the JSON marshals, and the metric just never appears on
+// /stats or /metrics.
+//
+// It is a whole-program analyzer. The four anchor declarations are
+// found structurally, so fixtures can model the topology with small
+// stand-in packages:
+//
+//   - the stats package: declares the stage-histogram struct Pipeline;
+//   - the engine root: declares the unified snapshot structs Stats and
+//     StageStats;
+//   - the client wire package: declares EngineStats (and its own
+//     StageStats mirror);
+//   - the Prometheus exposition site: declares the stage family list
+//     `var stageOrder = []string{...}`.
+//
+// Checks, each reported at the drifting declaration:
+//
+//  1. every root Stats field has a same-named field with the same JSON
+//     name in the wire EngineStats;
+//  2. every root StageStats stage has a same-named field with the same
+//     JSON name in the wire StageStats;
+//  3. the stage JSON names and the stageOrder exposition list agree
+//     exactly, in both directions (a stage missing from the list never
+//     reaches /metrics; a stale list entry exposes an empty family);
+//  4. every stats.Pipeline histogram field is read somewhere in the
+//     engine root package — an unread stage histogram is collected but
+//     never snapshotted into Stats.Stages.
+//
+// Suppress a deliberately engine-internal field with
+// //tsvet:allow statswire on its declaration line.
+package statswire
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+	"strings"
+
+	"timingsubg/internal/analysis"
+)
+
+// Analyzer is the statswire checker.
+var Analyzer = &analysis.Analyzer{
+	Name:         "statswire",
+	Doc:          "cross-check that every unified-Stats / StageStats / stats.Pipeline metric is surfaced through the client wire structs and the Prometheus stage family list",
+	Run:          run,
+	WholeProgram: true,
+}
+
+// field is one struct field's identity: Go name, JSON name, position.
+type field struct {
+	name string
+	json string
+	pos  token.Pos
+}
+
+func run(pass *analysis.Pass) error {
+	var (
+		rootPkg    *analysis.Package
+		rootStats  []field
+		rootStages []field
+		wireStats  []field
+		wireStages []field
+		statsPkg   *analysis.Package
+		pipeline   []field
+		orderList  []stringLit
+	)
+	for _, pkg := range pass.Program.Packages {
+		stats := structFields(pkg, "Stats")
+		stages := structFields(pkg, "StageStats")
+		engine := structFields(pkg, "EngineStats")
+		pipe := structFields(pkg, "Pipeline")
+		if stats != nil && stages != nil && engine == nil {
+			rootPkg, rootStats, rootStages = pkg, stats, stages
+		}
+		if engine != nil {
+			wireStats = engine
+			if stages != nil {
+				wireStages = stages
+			}
+		}
+		if pipe != nil {
+			statsPkg, pipeline = pkg, pipe
+		}
+		if lits := stringListVar(pkg, "stageOrder"); lits != nil {
+			orderList = lits
+		}
+	}
+
+	// Check 1+2: root snapshot structs against their wire mirrors.
+	if rootStats != nil && wireStats != nil {
+		checkMirror(pass, rootStats, wireStats, "Stats", "EngineStats")
+	}
+	if rootStages != nil && wireStages != nil {
+		checkMirror(pass, rootStages, wireStages, "StageStats", "the wire StageStats")
+	}
+
+	// Check 3: stage JSON names ⇔ Prometheus stage family list.
+	if rootStages != nil && orderList != nil {
+		inOrder := make(map[string]bool, len(orderList))
+		for _, l := range orderList {
+			inOrder[l.val] = true
+		}
+		stageJSON := make(map[string]bool, len(rootStages))
+		for _, f := range rootStages {
+			stageJSON[f.json] = true
+			if !inOrder[f.json] {
+				pass.Reportf(f.pos, "stage %s (json %q) is missing from the Prometheus stageOrder family list — it will never be exposed on /metrics", f.name, f.json)
+			}
+		}
+		for _, l := range orderList {
+			if !stageJSON[l.val] {
+				pass.Reportf(l.pos, "stageOrder entry %q matches no StageStats stage — it exposes a permanently empty family", l.val)
+			}
+		}
+	}
+
+	// Check 4: every Pipeline stage histogram is read by the root
+	// package (snapshotted into Stats.Stages).
+	if pipeline != nil && rootPkg != nil && statsPkg != nil {
+		used := fieldsUsedFrom(rootPkg, statsPkg.Types.Path(), "Pipeline")
+		for _, f := range pipeline {
+			if !used[f.name] {
+				pass.Reportf(f.pos, "stats.Pipeline stage %s is never read by the engine root package — it is collected but never snapshotted", f.name)
+			}
+		}
+	}
+	return nil
+}
+
+// structFields returns the flattened field list of the named struct
+// type declared in pkg, or nil when pkg doesn't declare it.
+func structFields(pkg *analysis.Package, typeName string) []field {
+	var out []field
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || ts.Name.Name != typeName {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, fld := range st.Fields.List {
+					jsonName := ""
+					if fld.Tag != nil {
+						tag := strings.Trim(fld.Tag.Value, "`")
+						jsonName = strings.Split(reflect.StructTag(tag).Get("json"), ",")[0]
+					}
+					for _, name := range fld.Names {
+						out = append(out, field{name: name.Name, json: jsonName, pos: name.Pos()})
+					}
+				}
+				if out == nil {
+					out = []field{} // declared, but empty
+				}
+			}
+		}
+	}
+	return out
+}
+
+// stringLit is one element of a []string composite literal.
+type stringLit struct {
+	val string
+	pos token.Pos
+}
+
+// stringListVar finds `var <name> = []string{...}` in pkg and returns
+// its elements.
+func stringListVar(pkg *analysis.Package, name string) []stringLit {
+	var out []stringLit
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Names) != 1 || vs.Names[0].Name != name || len(vs.Values) != 1 {
+					continue
+				}
+				cl, ok := vs.Values[0].(*ast.CompositeLit)
+				if !ok {
+					continue
+				}
+				for _, el := range cl.Elts {
+					bl, ok := el.(*ast.BasicLit)
+					if !ok || bl.Kind != token.STRING {
+						continue
+					}
+					out = append(out, stringLit{val: strings.Trim(bl.Value, `"`), pos: bl.Pos()})
+				}
+				if out == nil {
+					out = []stringLit{}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkMirror reports every src field without a name+JSON counterpart
+// in dst.
+func checkMirror(pass *analysis.Pass, src, dst []field, srcName, dstName string) {
+	byName := make(map[string]field, len(dst))
+	for _, f := range dst {
+		byName[f.name] = f
+	}
+	for _, f := range src {
+		d, ok := byName[f.name]
+		if !ok {
+			pass.Reportf(f.pos, "%s field %s (json %q) has no counterpart in %s — it is invisible to clients", srcName, f.name, f.json, dstName)
+			continue
+		}
+		if d.json != f.json {
+			pass.Reportf(f.pos, "%s field %s marshals as %q but %s marshals it as %q — the wire contract has drifted", srcName, f.name, f.json, dstName, d.json)
+		}
+	}
+}
+
+// fieldsUsedFrom collects the names of fields of <fromPkgPath>.<typeName>
+// selected anywhere in pkg.
+func fieldsUsedFrom(pkg *analysis.Package, fromPkgPath, typeName string) map[string]bool {
+	used := make(map[string]bool)
+	for _, selection := range pkg.Info.Selections {
+		obj := selection.Obj()
+		if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != fromPkgPath {
+			continue
+		}
+		if named := derefNamed(selection.Recv()); named != nil && named.Obj().Name() == typeName {
+			used[obj.Name()] = true
+		}
+	}
+	return used
+}
+
+// derefNamed unwraps one pointer level and returns the named type, or
+// nil.
+func derefNamed(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}

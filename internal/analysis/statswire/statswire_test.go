@@ -1,0 +1,13 @@
+package statswire_test
+
+import (
+	"testing"
+
+	"timingsubg/internal/analysis/analysistest"
+	"timingsubg/internal/analysis/statswire"
+)
+
+func TestStatswire(t *testing.T) {
+	analysistest.Run(t, "testdata", statswire.Analyzer,
+		"swfix/stats", "swfix/wire", "swfix/prom", "swfix/root")
+}

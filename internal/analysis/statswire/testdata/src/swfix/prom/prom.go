@@ -1,0 +1,16 @@
+// Fixture Prometheus exposition package for the statswire analyzer:
+// declares the stage family list anchor. "expiry" is absent (reported
+// at the root StageStats field) and "stale" matches no stage — the
+// check-3 regressions.
+package prom
+
+var stageOrder = []string{
+	"ingest",
+	"join",
+	"hidden",
+	"stale", // want `stageOrder entry "stale" matches no StageStats stage`
+}
+
+// Exposed keeps the list referenced, mirroring the real PromWriter's
+// iteration over its family list.
+func Exposed() int { return len(stageOrder) }

@@ -1,0 +1,39 @@
+// Fixture engine-root package for the statswire analyzer: declares
+// the unified Stats and StageStats snapshot structs (and no
+// EngineStats, which is what distinguishes the root anchor from the
+// wire anchor). The want comments here are the wire-drift regression:
+// a Stats field dropped from the wire struct, a field whose JSON name
+// drifted, and a stage missing from the Prometheus family list.
+package root
+
+import "swfix/stats"
+
+type LatencySnapshot struct{ Count uint64 }
+
+type StageStats struct {
+	Ingest LatencySnapshot `json:"ingest"`
+	Join   LatencySnapshot `json:"join"`
+	Expiry LatencySnapshot `json:"expiry"` // want `stage Expiry \(json "expiry"\) is missing from the Prometheus stageOrder`
+	Hidden LatencySnapshot `json:"hidden"`
+}
+
+type Stats struct {
+	Matches  int64       `json:"matches"`
+	Fed      int64       `json:"fed"`
+	Dropped  int64       `json:"dropped"`   // want `Stats field Dropped \(json "dropped"\) has no counterpart in EngineStats`
+	Renamed  int64       `json:"renamed_a"` // want `Stats field Renamed marshals as "renamed_a" but EngineStats marshals it as "renamed_wire"`
+	Internal int64       `json:"internal"`  //tsvet:allow statswire — deliberately engine-internal gauge
+	Stages   *StageStats `json:"stages"`
+}
+
+// snapshot reads the Pipeline stage histograms into the unified
+// snapshot — every Pipeline field this function does not touch is an
+// unread stage (the stats fixture's Orphan).
+func snapshot(p *stats.Pipeline) Stats {
+	var st Stats
+	ingest := p.Ingest
+	join := p.Join
+	_, _ = ingest, join
+	st.Stages = &StageStats{}
+	return st
+}

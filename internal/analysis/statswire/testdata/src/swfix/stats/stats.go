@@ -1,0 +1,17 @@
+// Fixture stats package for the statswire analyzer: declares the
+// stage-histogram struct Pipeline (the structural anchor for the
+// collection layer). Orphan is collected but never read by the root
+// package's snapshot function — the check-4 regression.
+package stats
+
+type hist struct{ n uint64 }
+
+func (h *hist) Observe(v uint64) { h.n += v }
+
+// Pipeline mirrors the real internal/stats.Pipeline shape: one
+// histogram per ingest stage.
+type Pipeline struct {
+	Ingest hist
+	Join   hist
+	Orphan hist // want `stats\.Pipeline stage Orphan is never read by the engine root package`
+}

@@ -1,0 +1,22 @@
+// Fixture wire package for the statswire analyzer: declares the
+// client-facing EngineStats (the structural anchor for the wire
+// layer) and its StageStats mirror. It is missing the root's Dropped
+// counter and marshals Renamed under a drifted JSON name — the
+// check-1 regressions, reported at the root declarations.
+package wire
+
+type LatencySnapshot struct{ Count uint64 }
+
+type StageStats struct {
+	Ingest LatencySnapshot `json:"ingest"`
+	Join   LatencySnapshot `json:"join"`
+	Expiry LatencySnapshot `json:"expiry"`
+	Hidden LatencySnapshot `json:"hidden"`
+}
+
+type EngineStats struct {
+	Matches int64       `json:"matches"`
+	Fed     int64       `json:"fed"`
+	Renamed int64       `json:"renamed_wire"`
+	Stages  *StageStats `json:"stages"`
+}

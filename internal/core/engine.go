@@ -10,7 +10,6 @@ package core
 import (
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"timingsubg/internal/explist"
 	"timingsubg/internal/graph"
@@ -288,20 +287,20 @@ func (e *Engine) Process(d graph.Edge, expired []graph.Edge) {
 		sampled = e.sampleTick%statSampleStride == 1
 	}
 	if sampled && e.expiryHist != nil && len(expired) > 0 {
-		t := time.Now()
+		t := stats.SampleStart()
 		for _, x := range expired {
 			e.Delete(x)
 		}
-		e.expiryHist.Observe(time.Since(t))
+		e.expiryHist.ObserveSince(t)
 	} else {
 		for _, x := range expired {
 			e.Delete(x)
 		}
 	}
 	if sampled && e.joinHist != nil {
-		t := time.Now()
+		t := stats.SampleStart()
 		e.Insert(d)
-		e.joinHist.Observe(time.Since(t))
+		e.joinHist.ObserveSince(t)
 		return
 	}
 	e.Insert(d)

@@ -430,6 +430,12 @@ func (s *Sub) deliver(dv Delivery) {
 			}
 		}
 	default: // Block
+		// The Block policy delivers under s.mu by design: the mutex is
+		// this subscription's private serializer (never an engine or
+		// dispatcher lock), and blocking while holding it is exactly the
+		// documented backpressure contract — concurrent publishers to
+		// the same subscription must queue behind the stalled consumer.
+		//tsvet:allow lockhold — per-subscription Block backpressure holds only s.mu
 		select {
 		case s.ch <- dv:
 			s.count(dv.Query)

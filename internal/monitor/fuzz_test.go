@@ -1,0 +1,108 @@
+package monitor
+
+import (
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"timingsubg/internal/stats"
+)
+
+// nameCharset is the Prometheus metric/label name grammar sanitizeName
+// must land every input in.
+var nameCharset = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// FuzzPromWriter drives arbitrary metric names, label pairs and values
+// through the text-exposition writer and checks the output grammar:
+// sanitizeName is idempotent and lands in the name charset, every line
+// is a # TYPE line or a sample line, and the histogram series keeps
+// its cumulative-bucket arithmetic (non-decreasing buckets, _count
+// equal to the +Inf bucket).
+func FuzzPromWriter(f *testing.F) {
+	f.Add("requests_total", "query", "q1", 1.5, uint16(3))
+	f.Add("", "", "", 0.0, uint16(0))
+	f.Add("0weird name!", "lab el", "va\"lue\nnewline", -2.25, uint16(9))
+	f.Add("métrique", "l\xffbl", "\\", 1e300, uint16(255))
+	f.Fuzz(func(t *testing.T, name, lk, lv string, v float64, n uint16) {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			v = 0 // formatFloat targets finite exposition values
+		}
+
+		s := sanitizeName(name)
+		if got := sanitizeName(s); got != s {
+			t.Fatalf("sanitizeName not idempotent: %q -> %q -> %q", name, s, got)
+		}
+		if name != "" && !nameCharset.MatchString(s) {
+			t.Fatalf("sanitizeName(%q) = %q, outside the name charset", name, s)
+		}
+		if name == "" && s != "" {
+			t.Fatalf("sanitizeName(%q) = %q, want empty", name, s)
+		}
+
+		var h stats.AtomicHistogram
+		for i := 0; i < int(n)%64; i++ {
+			h.Observe(time.Duration(i+1) * time.Microsecond << (i % 16))
+		}
+		hn := sanitizeName("lat_" + name)
+
+		w := NewPromWriter()
+		labels := map[string]string{lk: lv}
+		w.Counter("c_"+name, labels, v)
+		w.Gauge("g_"+name, nil, v)
+		w.Histogram("lat_"+name, labels, h.Snapshot())
+		out := string(w.Bytes())
+
+		if !strings.HasSuffix(out, "\n") {
+			t.Fatalf("exposition does not end in newline: %q", out)
+		}
+		var bucketVals []float64
+		var countVal float64
+		for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+			fields := strings.Fields(line)
+			if strings.HasPrefix(line, "# TYPE ") {
+				if len(fields) != 4 || !nameCharset.MatchString(fields[2]) {
+					t.Fatalf("malformed TYPE line: %q", line)
+				}
+				continue
+			}
+			// Sample line: name-with-optional-labels, space, value. The
+			// value is the text after the final space (label values are
+			// %q-quoted, so they never contain a raw newline, but may
+			// contain spaces — only the last field is the value).
+			if len(fields) < 2 {
+				t.Fatalf("malformed sample line: %q", line)
+			}
+			val, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+			if err != nil {
+				t.Fatalf("unparseable sample value in %q: %v", line, err)
+			}
+			metric := line[:strings.IndexAny(line, "{ ")]
+			if !nameCharset.MatchString(metric) {
+				t.Fatalf("sample metric name %q outside the charset in %q", metric, line)
+			}
+			switch {
+			case strings.HasPrefix(line, hn+"_bucket"):
+				bucketVals = append(bucketVals, val)
+			case metric == hn+"_count":
+				countVal = val
+			}
+		}
+		if len(bucketVals) == 0 {
+			t.Fatalf("histogram emitted no _bucket series:\n%s", out)
+		}
+		for i := 1; i < len(bucketVals); i++ {
+			if bucketVals[i] < bucketVals[i-1] {
+				t.Fatalf("cumulative buckets decreased: %v", bucketVals)
+			}
+		}
+		if last := bucketVals[len(bucketVals)-1]; last != countVal {
+			t.Fatalf("+Inf bucket %v != _count %v", last, countVal)
+		}
+		if countVal != float64(h.Count()) {
+			t.Fatalf("_count %v != histogram count %d", countVal, h.Count())
+		}
+	})
+}

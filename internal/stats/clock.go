@@ -1,0 +1,26 @@
+package stats
+
+import "time"
+
+// The hot-path clock discipline (enforced by tsvet's hotclock
+// analyzer): the ingest hot-path packages — internal/core,
+// internal/explist, internal/mstree — may not read the wallclock
+// directly. A clock read costs tens of nanoseconds, comparable to an
+// indexed insert itself, so an unsampled time.Now() on those paths
+// silently becomes the dominant cost of having metrics on. Sampled
+// sections instead obtain their start time from SampleStart and
+// record through ObserveSince, which keeps every hot-path clock read
+// at a call site whose sampling stride is auditable next to the
+// histogram it feeds.
+
+// SampleStart returns the wallclock start of one sampled hot-path
+// timing section.
+func SampleStart() time.Time { return time.Now() }
+
+// ObserveSince records the latency elapsed since start, completing a
+// SampleStart section. Safe for concurrent use.
+func (h *AtomicHistogram) ObserveSince(start time.Time) { h.Observe(time.Since(start)) }
+
+// ObserveSince records the latency elapsed since start. Like Observe,
+// it is not safe for concurrent use.
+func (h *Histogram) ObserveSince(start time.Time) { h.Observe(time.Since(start)) }

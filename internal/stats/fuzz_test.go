@@ -1,0 +1,76 @@
+package stats
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzHistogram feeds arbitrary sample sequences to the log-bucketed
+// histogram and checks the snapshot invariants callers rely on: exact
+// count and sum, monotone percentiles bounded by max, and cumulative
+// exposition buckets that never decrease and end at the total count.
+func FuzzHistogram(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0})
+	f.Add([]byte{1, 2, 3, 250, 251, 255})
+	f.Fuzz(func(t *testing.T, samples []byte) {
+		var h Histogram
+		var sum time.Duration
+		var max time.Duration
+		for _, b := range samples {
+			// Spread samples across the full bucket range: magnitude from
+			// the low bits, mantissa from the byte value.
+			d := time.Duration(b) << (b % 32)
+			h.Observe(d)
+			sum += d
+			if d > max {
+				max = d
+			}
+		}
+
+		if h.Count() != uint64(len(samples)) {
+			t.Fatalf("Count = %d, want %d", h.Count(), len(samples))
+		}
+		s := h.Snapshot()
+		if s.Count != uint64(len(samples)) {
+			t.Fatalf("Snapshot.Count = %d, want %d", s.Count, len(samples))
+		}
+		if s.Sum != sum {
+			t.Fatalf("Snapshot.Sum = %v, want %v", s.Sum, sum)
+		}
+		if s.Max != max {
+			t.Fatalf("Snapshot.Max = %v, want %v", s.Max, max)
+		}
+		if len(samples) == 0 {
+			if s.Mean != 0 || s.P50 != 0 || s.P999 != 0 {
+				t.Fatalf("empty snapshot not all-zero: %+v", s)
+			}
+		} else {
+			if want := sum / time.Duration(len(samples)); s.Mean != want {
+				t.Fatalf("Snapshot.Mean = %v, want %v", s.Mean, want)
+			}
+			qs := []time.Duration{s.P50, s.P90, s.P99, s.P999}
+			for i := 1; i < len(qs); i++ {
+				if qs[i] < qs[i-1] {
+					t.Fatalf("percentiles not monotone: %v", qs)
+				}
+			}
+			if max > 0 && s.P999 > max {
+				t.Fatalf("P999 %v exceeds max %v", s.P999, max)
+			}
+		}
+
+		buckets := s.Buckets()
+		if len(buckets) == 0 || buckets[len(buckets)-1].Le != 0 {
+			t.Fatalf("bucket ladder must end with the +Inf bucket: %v", buckets)
+		}
+		for i := 1; i < len(buckets); i++ {
+			if buckets[i].Count < buckets[i-1].Count {
+				t.Fatalf("cumulative bucket counts decreased: %v", buckets)
+			}
+		}
+		if got := buckets[len(buckets)-1].Count; got != s.Count {
+			t.Fatalf("+Inf bucket = %d, want Count %d", got, s.Count)
+		}
+	})
+}

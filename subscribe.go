@@ -217,6 +217,10 @@ func MatchChannel(buffer int) (onMatch func(*Match), matches <-chan *Match, done
 			dropped++
 			return
 		}
+		// MatchChannel is the deprecated fixed Block subscription: the
+		// send deliberately blocks under the closure's private mutex so
+		// a concurrent done() cannot close the channel mid-send.
+		//tsvet:allow lockhold — Block semantics; mu only fences close(ch) vs send
 		ch <- m
 	}
 	done = func() int64 {
