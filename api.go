@@ -144,6 +144,14 @@ type Options struct {
 	// A/B the index against the scan engine with it.
 	scanProbes bool
 
+	// perEdgeExpiry disables batched window-slide eviction: each expired
+	// edge runs as its own delete pass (core.Engine.Process /
+	// Parallel.Process) instead of one DeleteBatch sweep per slide.
+	// Results are identical; only lock traffic, level walks and the
+	// Expiry* counters change. Internal — the expiry equivalence suite
+	// and BenchmarkExpiryIngest A/B the two paths with it.
+	perEdgeExpiry bool
+
 	// Observability wiring (internal): Open threads Config.EventTimeUnit
 	// and the slow-op hook through these, and fleet members inherit the
 	// fleet's stage pipeline so every member's join/expiry/detection

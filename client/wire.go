@@ -192,8 +192,14 @@ type EngineStats struct {
 	// selectivity: stored partial matches visited by INSERT probes vs.
 	// those passing the join-key filter. Equal when the MS-tree vertex
 	// join indexes are doing all the narrowing; the gap is scan work.
-	JoinScanned     int64 `json:"join_scanned,omitempty"`
-	JoinCandidates  int64 `json:"join_candidates,omitempty"`
+	JoinScanned    int64 `json:"join_scanned,omitempty"`
+	JoinCandidates int64 `json:"join_candidates,omitempty"`
+	// ExpiryBatches / ExpiryEvicted expose the batched expiry plane:
+	// window slides processed as single eviction transactions, and the
+	// expired edges they covered — their ratio is the mean eviction
+	// batch size. Zero under the per-edge expiry ablation.
+	ExpiryBatches   int64 `json:"expiry_batches,omitempty"`
+	ExpiryEvicted   int64 `json:"expiry_evicted,omitempty"`
 	K               int   `json:"k,omitempty"`
 	Reoptimizations int   `json:"reoptimizations,omitempty"`
 	WALSeq          int64 `json:"wal_seq,omitempty"`

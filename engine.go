@@ -135,6 +135,17 @@ type Stats struct {
 	JoinScanned    int64 `json:"join_scanned,omitempty"`
 	JoinCandidates int64 `json:"join_candidates,omitempty"`
 
+	// ExpiryBatches counts window slides processed through the batched
+	// expiry path — one delete transaction sweeping the slide's whole
+	// eviction set; ExpiryEvicted counts the expired edges those
+	// batches covered. Their ratio is the mean eviction batch size,
+	// the factor by which batching divides per-item lock round-trips
+	// relative to edge-at-a-time expiry. Process-local, accumulated
+	// across adaptive rebuilds like the join counters. Zero when the
+	// per-edge ablation path is in use.
+	ExpiryBatches int64 `json:"expiry_batches,omitempty"`
+	ExpiryEvicted int64 `json:"expiry_evicted,omitempty"`
+
 	// K is the size of the TC decomposition in use (0 for fleets; see
 	// Queries for the per-member value).
 	K int `json:"k,omitempty"`
@@ -324,6 +335,11 @@ type Config struct {
 	// knob for the join-index equivalence suite.
 	scanProbes bool
 
+	// perEdgeExpiry disables batched slide eviction (see
+	// Options.perEdgeExpiry); fleet members inherit it. Internal
+	// ablation knob for the expiry equivalence suite and benchmarks.
+	perEdgeExpiry bool
+
 	// DisableMetrics turns the pipeline latency instrumentation off:
 	// Stats.Stages and the per-query detection histograms stay nil and
 	// the feed path performs no clock reads. The instrumentation costs
@@ -400,6 +416,7 @@ func Open(cfg Config) (Engine, error) {
 		LockScheme:    cfg.LockScheme,
 		Decomposition: cfg.Decomposition,
 		scanProbes:    cfg.scanProbes,
+		perEdgeExpiry: cfg.perEdgeExpiry,
 	}
 	if !cfg.DisableMetrics {
 		opts.pipe = stats.NewPipeline()

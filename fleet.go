@@ -136,6 +136,9 @@ func (fl *fleetEngine) memberOptions(spec QuerySpec) Options {
 	if fl.defaults.scanProbes {
 		o.scanProbes = true
 	}
+	if fl.defaults.perEdgeExpiry {
+		o.perEdgeExpiry = true
+	}
 	if fl.obs != nil {
 		// Members share the fleet's stage pipeline so every member's
 		// join/expiry/dispatch work lands in one fleet-wide view.
@@ -1195,6 +1198,8 @@ func (fl *fleetEngine) stats(memberStats func(*single) Stats, withQueries bool) 
 		st.SpaceBytes += ms.SpaceBytes
 		st.JoinScanned += ms.JoinScanned
 		st.JoinCandidates += ms.JoinCandidates
+		st.ExpiryBatches += ms.ExpiryBatches
+		st.ExpiryEvicted += ms.ExpiryEvicted
 		st.Reoptimizations += ms.Reoptimizations
 		if withQueries {
 			// Per-query delivery attribution comes from the shared
@@ -1213,6 +1218,8 @@ func (fl *fleetEngine) stats(memberStats func(*single) Stats, withQueries bool) 
 				gs.SpaceBytes += ms.SpaceBytes
 				gs.JoinScanned += ms.JoinScanned
 				gs.JoinCandidates += ms.JoinCandidates
+				gs.ExpiryBatches += ms.ExpiryBatches
+				gs.ExpiryEvicted += ms.ExpiryEvicted
 				gs.Reoptimizations += ms.Reoptimizations
 				gs.SubscriptionDelivered += ms.SubscriptionDelivered
 				gs.SubscriptionDropped += ms.SubscriptionDropped

@@ -10,6 +10,7 @@ package core
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"timingsubg/internal/explist"
 	"timingsubg/internal/graph"
@@ -87,6 +88,16 @@ type Stats struct {
 	// index saves.
 	JoinScanned    atomic.Int64
 	JoinCandidates atomic.Int64
+
+	// Batch-expiry plane: ExpiryBatches counts window slides processed
+	// through the batched delete path (one transaction sweeping every
+	// expired edge of the slide); ExpiryEvicted counts the expired
+	// edges those batches covered. Their ratio is the mean eviction
+	// batch size — the factor by which batching divides per-level lock
+	// acquisitions and level walks relative to edge-at-a-time expiry.
+	// Zero when the per-edge ablation path is in use.
+	ExpiryBatches atomic.Int64
+	ExpiryEvicted atomic.Int64
 }
 
 // edgeLoc places a query edge inside the decomposition.
@@ -266,6 +277,14 @@ func (e *Engine) Insert(d graph.Edge) { e.runInsert(d, lock.NopLocker{}) }
 // Delete processes one expired edge (Algorithm 2), serially.
 func (e *Engine) Delete(d graph.Edge) { e.runDelete(d, lock.NopLocker{}) }
 
+// DeleteBatch processes every edge expired by one window slide as a
+// single batched sweep (Algorithm 2, amortized), serially. expired
+// must be the slide's eviction set in chronological order, as produced
+// by the windower.
+func (e *Engine) DeleteBatch(expired []graph.Edge) {
+	e.runDeleteBatch(expired, lock.NopLocker{})
+}
+
 // statSampleStride is the Process-call sampling stride for the join and
 // expiry stage histograms: one call in 32 is timed, starting with the
 // first. A clock read costs tens of nanoseconds — comparable to the
@@ -275,26 +294,58 @@ func (e *Engine) Delete(d graph.Edge) { e.runDelete(d, lock.NopLocker{}) }
 // latency-independent, so the histogram percentiles stay unbiased.
 const statSampleStride = 32
 
-// Process handles one window slide serially: expired edges are removed in
-// chronological order, then the incoming edge is inserted. When
-// Config.JoinHist/ExpiryHist are set, one Process call in
-// statSampleStride has its insert and expiry sweep timed as the
-// pipeline's join and expiry stages.
-func (e *Engine) Process(d graph.Edge, expired []graph.Edge) {
-	sampled := false
-	if e.joinHist != nil || e.expiryHist != nil {
-		e.sampleTick++
-		sampled = e.sampleTick%statSampleStride == 1
+// tickSample advances the histogram sampling stride shared by Process
+// and ProcessBatch, reporting whether this slide is the timed one.
+func (e *Engine) tickSample() bool {
+	if e.joinHist == nil && e.expiryHist == nil {
+		return false
 	}
-	if sampled && e.expiryHist != nil && len(expired) > 0 {
-		t := stats.SampleStart()
-		for _, x := range expired {
-			e.Delete(x)
-		}
+	e.sampleTick++
+	return e.sampleTick%statSampleStride == 1
+}
+
+// Process handles one window slide serially with edge-at-a-time expiry:
+// expired edges are removed in chronological order, then the incoming
+// edge is inserted. This is the per-edge ablation path — ProcessBatch
+// is the batched production path. When Config.JoinHist/ExpiryHist are
+// set, one call in statSampleStride has its insert and expiry sweep
+// timed as the pipeline's join and expiry stages.
+func (e *Engine) Process(d graph.Edge, expired []graph.Edge) {
+	sampled := e.tickSample()
+	timed := sampled && e.expiryHist != nil && len(expired) > 0
+	var t time.Time
+	if timed {
+		t = stats.SampleStart()
+	}
+	for _, x := range expired {
+		e.Delete(x)
+	}
+	if timed {
 		e.expiryHist.ObserveSince(t)
-	} else {
-		for _, x := range expired {
-			e.Delete(x)
+	}
+	if sampled && e.joinHist != nil {
+		t = stats.SampleStart()
+		e.Insert(d)
+		e.joinHist.ObserveSince(t)
+		return
+	}
+	e.Insert(d)
+}
+
+// ProcessBatch handles one window slide serially with batched expiry:
+// all expired edges are swept in a single runDeleteBatch pass (one
+// lock round-trip per touched item instead of one per item per edge),
+// then the incoming edge is inserted. Sampling mirrors Process: the
+// expiry histogram observes the whole batch once.
+func (e *Engine) ProcessBatch(d graph.Edge, expired []graph.Edge) {
+	sampled := e.tickSample()
+	if len(expired) > 0 {
+		if sampled && e.expiryHist != nil {
+			t := stats.SampleStart()
+			e.DeleteBatch(expired)
+			e.expiryHist.ObserveSince(t)
+		} else {
+			e.DeleteBatch(expired)
 		}
 	}
 	if sampled && e.joinHist != nil {
@@ -693,10 +744,74 @@ func (e *Engine) runDelete(d graph.Edge, lk lock.Locker) {
 	}
 }
 
+// runDeleteBatch processes all of a slide's expired edges as ONE
+// transaction: each touched item is X-locked once per slide instead of
+// once per slide per edge, and each level is swept once from its
+// death-time expiry structure (DeleteExpired) instead of walked per
+// edge. Correctness rests on death-time keying: a stored match dies
+// iff its minimum edge timestamp is below the watermark, and any
+// extension of a dying match inherits a key below the watermark, so
+// every level's sweep is self-contained — no casualty or deadSubs
+// propagation between levels or into the global list. The lock
+// acquire/release points must stay in lockstep with DeleteBatchPlan;
+// FineTxn asserts the correspondence.
+func (e *Engine) runDeleteBatch(expired []graph.Edge, lk lock.Locker) {
+	e.stats.EdgesOut.Add(int64(len(expired)))
+	e.stats.ExpiryBatches.Add(1)
+	e.stats.ExpiryEvicted.Add(int64(len(expired)))
+	// The windower evicts oldest-first with strictly increasing
+	// timestamps, so everything still stored after this slide has a
+	// timestamp strictly above the last expired edge's.
+	cut := expired[len(expired)-1].Time + 1
+	k := e.K()
+	minTouched := 0
+	for s := 1; s <= k; s++ {
+		if !e.subTouchedByAny(s, expired) {
+			continue
+		}
+		if minTouched == 0 {
+			minTouched = s
+		}
+		sub := e.subs[s-1]
+		depth := sub.Depth()
+		for lvl := 1; lvl <= depth; lvl++ {
+			lk.Acquire(item(s, lvl), lock.X)
+			n := sub.DeleteExpired(lvl, cut)
+			lk.Release(item(s, lvl), lock.X)
+			e.stats.PartialDel.Add(int64(n))
+		}
+	}
+	if k == 1 || minTouched == 0 {
+		return
+	}
+	// Global item lvl only references submatches of Q¹..Q^lvl, so items
+	// below the first touched subquery cannot hold an expired binding.
+	start := minTouched
+	if start < 2 {
+		start = 2
+	}
+	for lvl := start; lvl <= k; lvl++ {
+		lk.Acquire(item(0, lvl), lock.X)
+		n := e.global.DeleteExpired(lvl, cut)
+		lk.Release(item(0, lvl), lock.X)
+		e.stats.PartialDel.Add(int64(n))
+	}
+}
+
 // subTouchedBy reports whether d can match any position of subquery s.
 func (e *Engine) subTouchedBy(s int, d graph.Edge) bool {
 	for _, qe := range e.dec.Subqueries[s-1].Seq {
 		if e.q.MatchesData(qe, d) {
+			return true
+		}
+	}
+	return false
+}
+
+// subTouchedByAny reports whether any expired edge can match subquery s.
+func (e *Engine) subTouchedByAny(s int, expired []graph.Edge) bool {
+	for _, d := range expired {
+		if e.subTouchedBy(s, d) {
 			return true
 		}
 	}

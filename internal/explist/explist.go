@@ -70,6 +70,15 @@ type SubList interface {
 	// edgeID and every extension of parentCasualties, returning this
 	// level's casualties.
 	DeleteLevel(lvl int, edgeID graph.EdgeID, parentCasualties []Handle) []Handle
+	// DeleteExpired removes at item lvl every match whose death-time key
+	// (minimum timestamp over its data edges) is below watermark,
+	// returning the number removed. The batch counterpart of
+	// DeleteLevel: one call per item covers every edge expired by a
+	// window slide at once, and casualties are merged across the whole
+	// expired set rather than propagated per edge — an extension of an
+	// expired match itself contains an edge below the watermark, so its
+	// own item's sweep catches it without parent bookkeeping.
+	DeleteExpired(lvl int, watermark graph.Timestamp) int
 	// SpaceBytes estimates resident bytes (call while quiescent).
 	SpaceBytes() int64
 }
@@ -110,6 +119,12 @@ type GlobalList interface {
 	// backend) every match containing edgeID; returns this level's
 	// casualties.
 	DeleteLevel(lvl int, deadSubs, parentCasualties []Handle, edgeID graph.EdgeID) []Handle
+	// DeleteExpired removes at item lvl every match whose death-time key
+	// is below watermark, returning the number removed; semantics as in
+	// SubList.DeleteExpired. A global match's death-time key is the
+	// minimum over every referenced submatch, so the sweep needs no
+	// deadSubs propagation from the sub-lists.
+	DeleteExpired(lvl int, watermark graph.Timestamp) int
 	// SpaceBytes estimates resident bytes (call while quiescent).
 	SpaceBytes() int64
 }
@@ -327,6 +342,11 @@ func (l *TreeSubList) DeleteLevel(lvl int, edgeID graph.EdgeID, parentCasualties
 	return toHandles(dead)
 }
 
+// DeleteExpired implements SubList: one heap-ordered sweep of the item.
+func (l *TreeSubList) DeleteExpired(lvl int, watermark graph.Timestamp) int {
+	return l.tree.DeleteExpiredBefore(lvl, watermark)
+}
+
 // SpaceBytes implements SubList.
 func (l *TreeSubList) SpaceBytes() int64 { return l.tree.SpaceBytes() }
 
@@ -497,6 +517,13 @@ func (g *TreeGlobalList) Insert(lvl int, parent, sub Handle) Handle {
 func (g *TreeGlobalList) DeleteLevel(lvl int, deadSubs, parentCasualties []Handle, _ graph.EdgeID) []Handle {
 	dead := g.tree.DeleteLevel(lvl, -1, toNodes(parentCasualties), toNodes(deadSubs))
 	return toHandles(dead)
+}
+
+// DeleteExpired implements GlobalList: one heap-ordered sweep of the
+// item. Global nodes inherit their death-time key from the referenced
+// submatch leaves at insert, so no sub-list casualties are consulted.
+func (g *TreeGlobalList) DeleteExpired(lvl int, watermark graph.Timestamp) int {
+	return g.tree.DeleteExpiredBefore(lvl, watermark)
 }
 
 // SpaceBytes implements GlobalList.

@@ -13,6 +13,11 @@ type flatEntry struct {
 	m          *match.Match
 	prev, next *flatEntry
 	dead       bool
+	// minT is the death-time key: the minimum timestamp over the
+	// match's bound data edges, computed incrementally at insert. A
+	// window slide with watermark w kills exactly the entries with
+	// minT < w (see SubList.DeleteExpired).
+	minT graph.Timestamp
 }
 
 // flatItem is one expansion-list item storing independent match copies.
@@ -77,6 +82,24 @@ func (it *flatItem) deleteContaining(id graph.EdgeID) []Handle {
 	return dead
 }
 
+// deleteExpired removes every entry whose death-time key is below cut,
+// returning the number removed. Timing-IND keeps scan semantics (no
+// time-ordered index), but the scan runs once per window slide instead
+// of once per expired edge, and the minT comparison replaces the
+// per-edge HasDataEdge containment probe.
+func (it *flatItem) deleteExpired(cut graph.Timestamp) int {
+	removed := 0
+	for e := it.head; e != nil; {
+		next := e.next
+		if e.minT < cut {
+			it.remove(e)
+			removed++
+		}
+		e = next
+	}
+	return removed
+}
+
 func (it *flatItem) spaceBytes() int64 {
 	var b int64
 	for e := it.head; e != nil; e = e.next {
@@ -133,6 +156,7 @@ func (l *FlatSubList) Materialize(_ int, h Handle) *match.Match {
 // Insert implements SubList.
 func (l *FlatSubList) Insert(lvl int, parent Handle, e graph.Edge) Handle {
 	var m *match.Match
+	minT := e.Time
 	if parent == nil {
 		m = match.New(l.q)
 	} else {
@@ -141,9 +165,14 @@ func (l *FlatSubList) Insert(lvl int, parent Handle, e graph.Edge) Handle {
 			return nil
 		}
 		m = pe.m.Clone()
+		if pe.minT < minT {
+			minT = pe.minT
+		}
 	}
 	m.Bind(l.q, l.sub.Seq[lvl-1], e)
-	return l.items[lvl-1].insert(m)
+	ne := l.items[lvl-1].insert(m)
+	ne.minT = minT
+	return ne
 }
 
 // DeleteLevel implements SubList. Independent storage finds casualties by
@@ -151,6 +180,11 @@ func (l *FlatSubList) Insert(lvl int, parent Handle, e graph.Edge) Handle {
 // extension of a match containing the expired edge also contains it.
 func (l *FlatSubList) DeleteLevel(lvl int, edgeID graph.EdgeID, _ []Handle) []Handle {
 	return l.items[lvl-1].deleteContaining(edgeID)
+}
+
+// DeleteExpired implements SubList: one scan of the item per slide.
+func (l *FlatSubList) DeleteExpired(lvl int, watermark graph.Timestamp) int {
+	return l.items[lvl-1].deleteExpired(watermark)
 }
 
 // SpaceBytes implements SubList.
@@ -208,12 +242,22 @@ func (g *FlatGlobalList) Insert(lvl int, parent, sub Handle) Handle {
 		return nil
 	}
 	m := pe.m.Merge(se.m)
-	return g.items[lvl-1].insert(m)
+	ne := g.items[lvl-1].insert(m)
+	ne.minT = pe.minT
+	if se.minT < ne.minT {
+		ne.minT = se.minT
+	}
+	return ne
 }
 
 // DeleteLevel implements GlobalList: scan for edge containment.
 func (g *FlatGlobalList) DeleteLevel(lvl int, _, _ []Handle, edgeID graph.EdgeID) []Handle {
 	return g.items[lvl-1].deleteContaining(edgeID)
+}
+
+// DeleteExpired implements GlobalList: one scan of the item per slide.
+func (g *FlatGlobalList) DeleteExpired(lvl int, watermark graph.Timestamp) int {
+	return g.items[lvl-1].deleteExpired(watermark)
 }
 
 // SpaceBytes implements GlobalList.

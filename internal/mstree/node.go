@@ -63,6 +63,22 @@ type Node struct {
 	joinKey uint64
 	keySlot int
 
+	// edgeSlot / depSlot are the node's positions inside its edgeIdx /
+	// depIdx bucket, so every death path can swap-delete the reference
+	// and the indexes stay live-only (no dead entries for the batch
+	// expiry sweep to leak). Owned by the node's level like keySlot.
+	edgeSlot int
+	depSlot  int
+
+	// minTime is the death-time key: the minimum timestamp over the
+	// edges of the full partial match this node represents — its own
+	// path edges and, for global nodes, the path edges of every
+	// submatch it transitively references. A window slide with
+	// watermark w kills exactly the nodes with minTime < w, so a level
+	// can be swept oldest-first from a heap ordered on it. Immutable
+	// after insertion (derived from parent/sub minTime at attach).
+	minTime graph.Timestamp
+
 	// dead marks a partially removed node (Fig. 14): gone from its level
 	// list and its parent's child list, but Parent/Edge/Sub remain valid
 	// for in-flight earlier readers.
@@ -71,6 +87,10 @@ type Node struct {
 
 // Dead reports whether the node has been (partially) removed.
 func (n *Node) Dead() bool { return n.dead.Load() }
+
+// MinTime returns the node's death-time key: the minimum timestamp over
+// every data edge of the partial match the node represents.
+func (n *Node) MinTime() graph.Timestamp { return n.minTime }
 
 // PathEdges fills buf (reallocating if needed) with the data edges along
 // n's path from the root, index 0 being the level-1 edge, and returns the

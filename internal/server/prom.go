@@ -90,6 +90,8 @@ func (s *Server) handleProm(w http.ResponseWriter, r *http.Request) {
 		pw.Counter("timingsubg_query_dropped_total", l, float64(qs.SubscriptionDropped))
 		pw.Counter("timingsubg_query_join_scanned_total", l, float64(qs.JoinScanned))
 		pw.Counter("timingsubg_query_join_candidates_total", l, float64(qs.JoinCandidates))
+		pw.Counter("timingsubg_query_expiry_batches_total", l, float64(qs.ExpiryBatches))
+		pw.Counter("timingsubg_query_expiry_evicted_total", l, float64(qs.ExpiryEvicted))
 		pw.Gauge("timingsubg_query_window_edges", l, float64(qs.InWindow))
 	}
 

@@ -594,6 +594,8 @@ func clientStats(st timingsubg.Stats) client.EngineStats {
 		LastTime:        int64(st.LastTime),
 		JoinScanned:     st.JoinScanned,
 		JoinCandidates:  st.JoinCandidates,
+		ExpiryBatches:   st.ExpiryBatches,
+		ExpiryEvicted:   st.ExpiryEvicted,
 		K:               st.K,
 		Reoptimizations: st.Reoptimizations,
 		WALSeq:          st.WALSeq,

@@ -92,6 +92,8 @@ func cheapGauges(st Stats) map[string]func(Stats) any {
 		"window_edges":    func(s Stats) any { return s.InWindow },
 		"join_scanned":    func(s Stats) any { return s.JoinScanned },
 		"join_candidates": func(s Stats) any { return s.JoinCandidates },
+		"expiry_batches":  func(s Stats) any { return s.ExpiryBatches },
+		"expiry_evicted":  func(s Stats) any { return s.ExpiryEvicted },
 	}
 	if !st.Fleet {
 		gauges["decomposition_k"] = func(s Stats) any { return s.K }

@@ -1,10 +1,15 @@
 #!/usr/bin/env sh
-# bench_core.sh — run the core ingest benchmark (dataset × probe-mode
-# cells) and emit the results as BENCH_core.json, including the
-# per-dataset indexed-vs-scan speedup. This is the vertex-join-index A/B:
-# the "scan" cells run the engine with the index disabled
-# (core.Config.ScanProbes), so the ratio is exactly the work the index
-# saves on the INSERT hot path.
+# bench_core.sh — run the core ingest benchmarks (dataset × mode cells)
+# and emit the results as BENCH_core.json, including the per-dataset
+# speedups for the two standing A/Bs:
+#   - BenchmarkInsertIngest indexed vs scan: the vertex-join-index A/B.
+#     The "scan" cells run the engine with the index disabled
+#     (core.Config.ScanProbes), so the ratio is exactly the work the
+#     index saves on the INSERT hot path.
+#   - BenchmarkExpiryIngest batched vs peredge: the batch-eviction A/B.
+#     The "peredge" cells expire edge-at-a-time (Engine.Process), so
+#     the ratio is the work one-pass window slides save on the
+#     eviction-dominated bursty stream.
 #
 # Usage: scripts/bench_core.sh [output.json]
 #   BENCHTIME=2s scripts/bench_core.sh   # longer, more stable runs
@@ -18,11 +23,11 @@ benchtime="${BENCHTIME:-1x}"
 # artifact.
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
-go test -run '^$' -bench '^BenchmarkInsertIngest$' -benchtime "$benchtime" ./internal/core > "$raw"
+go test -run '^$' -bench '^Benchmark(Insert|Expiry)Ingest$' -benchtime "$benchtime" ./internal/core > "$raw"
 
 awk -v cores="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 0)" '
-    /^BenchmarkInsertIngest\// {
-      # BenchmarkInsertIngest/<dataset>/<mode>-<procs>  iters  ns/op  edges/s  matches ...
+    /^Benchmark(Insert|Expiry)Ingest\// {
+      # Benchmark<Kind>Ingest/<dataset>/<mode>-<procs>  iters  ns/op  edges/s  matches ...
       name = $1; iters = $2
       ns = ""; eps = ""
       for (i = 3; i < NF; i++) {
@@ -31,12 +36,13 @@ awk -v cores="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 0)" '
       }
       if (n++) printf ",\n"
       printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"edges_per_s\": %s}", name, iters, ns, eps
-      # Record per-dataset ns for the speedup section: the cell name is
-      # <dataset>/<mode>-<procs>.
+      # Record per-dataset ns for the speedup sections: the cell name is
+      # Benchmark<Kind>Ingest/<dataset>/<mode>-<procs>.
       split(name, parts, "/")
       ds = parts[2]; mode = parts[3]; sub(/-[0-9]+$/, "", mode)
       cell[ds "," mode] = ns
-      if (!(ds in seen)) { order[++nds] = ds; seen[ds] = 1 }
+      if (name ~ /^BenchmarkInsertIngest\// && !(ds in seen)) { order[++nds] = ds; seen[ds] = 1 }
+      if (name ~ /^BenchmarkExpiryIngest\// && !(ds in xseen)) { xorder[++xnds] = ds; xseen[ds] = 1 }
     }
     BEGIN { if (cores == "") cores = 0; printf "{\n\"cores\": " cores ",\n\"benchmarks\": [\n" }
     END   {
@@ -46,6 +52,14 @@ awk -v cores="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 0)" '
         if (cell[ds ",indexed"] != "" && cell[ds ",scan"] != "" && cell[ds ",indexed"] > 0) {
           if (m++) printf ","
           printf "\n  \"%s\": %.3f", ds, cell[ds ",scan"] / cell[ds ",indexed"]
+        }
+      }
+      printf "\n},\n\"speedup_batched_vs_peredge\": {"
+      for (i = 1; i <= xnds; i++) {
+        ds = xorder[i]
+        if (cell[ds ",batched"] != "" && cell[ds ",peredge"] != "" && cell[ds ",batched"] > 0) {
+          if (x++) printf ","
+          printf "\n  \"%s\": %.3f", ds, cell[ds ",peredge"] / cell[ds ",batched"]
         }
       }
       printf "\n}\n}\n"

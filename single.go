@@ -78,6 +78,12 @@ type single struct {
 	baseJoinScanned    atomic.Int64
 	baseJoinCandidates atomic.Int64
 
+	// Expiry-plane baselines, accumulated like the join-probe ones
+	// (rebuild re-feeds never slide the window, so the fresh engine
+	// restarts both at zero).
+	baseExpiryBatches atomic.Int64
+	baseExpiryEvicted atomic.Int64
+
 	fed    atomic.Int64
 	closed bool
 }
@@ -320,10 +326,15 @@ func (en *single) push(e Edge) (EdgeID, error) {
 	if err != nil {
 		return 0, err
 	}
-	if en.par != nil {
+	switch {
+	case en.par != nil && en.opts.perEdgeExpiry:
 		en.par.Process(stored, expired)
-	} else {
+	case en.par != nil:
+		en.par.ProcessBatch(stored, expired)
+	case en.opts.perEdgeExpiry:
 		en.eng.Process(stored, expired)
+	default:
+		en.eng.ProcessBatch(stored, expired)
 	}
 	en.fed.Add(1)
 	return stored.ID, nil
@@ -589,6 +600,8 @@ func (en *single) rebuild(dec *Decomposition) {
 	en.baseDiscarded.Store(en.discarded())
 	en.baseJoinScanned.Add(en.eng.Stats().JoinScanned.Load())
 	en.baseJoinCandidates.Add(en.eng.Stats().JoinCandidates.Load())
+	en.baseExpiryBatches.Add(en.eng.Stats().ExpiryBatches.Load())
+	en.baseExpiryEvicted.Add(en.eng.Stats().ExpiryEvicted.Load())
 	en.eng = en.newCoreEngine(dec)
 	en.muted = true
 	for _, e := range en.stream.InWindow() {
@@ -632,6 +645,8 @@ func (en *single) statsFast() Stats {
 		LastTime:        en.lastTime(),
 		JoinScanned:     en.baseJoinScanned.Load() + en.eng.Stats().JoinScanned.Load(),
 		JoinCandidates:  en.baseJoinCandidates.Load() + en.eng.Stats().JoinCandidates.Load(),
+		ExpiryBatches:   en.baseExpiryBatches.Load() + en.eng.Stats().ExpiryBatches.Load(),
+		ExpiryEvicted:   en.baseExpiryEvicted.Load() + en.eng.Stats().ExpiryEvicted.Load(),
 		K:               en.eng.K(),
 		Reoptimizations: int(en.rebuilds.Load()),
 		Replayed:        en.replayed,
